@@ -1,0 +1,93 @@
+// Ablation: exact Gaussian CDF (Equations 6-7) vs the paper's logistic
+// approximation (Equation 8).
+//
+// The paper computes the RSTF with a sigmoid approximation of the Gaussian
+// integral. This ablation quantifies what the approximation costs: pointwise
+// transform disagreement, control-set uniformity, and evaluation speed.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/rstf.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace {
+
+std::vector<double> RationalScores(size_t n, uint64_t seed) {
+  zr::Rng rng(seed);
+  std::vector<double> s;
+  s.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t tf =
+        1 + static_cast<uint32_t>(9.0 * rng.NextDouble() * rng.NextDouble());
+    uint32_t len = 50 + static_cast<uint32_t>(rng.Uniform(451));
+    s.push_back(static_cast<double>(tf) / static_cast<double>(len));
+  }
+  return s;
+}
+
+double EvalThroughput(const zr::core::Rstf& rstf,
+                      const std::vector<double>& points) {
+  auto start = std::chrono::steady_clock::now();
+  double sink = 0.0;
+  for (int rep = 0; rep < 20; ++rep) {
+    for (double x : points) sink += rstf.Transform(x);
+  }
+  auto end = std::chrono::steady_clock::now();
+  double seconds = std::chrono::duration<double>(end - start).count();
+  volatile double keep = sink;
+  (void)keep;
+  return 20.0 * static_cast<double>(points.size()) / seconds;
+}
+
+}  // namespace
+
+int main() {
+  using namespace zr;
+  std::printf("=== Ablation: RSTF kernel — exact erf vs Equation 8 logistic ===\n\n");
+
+  auto train = RationalScores(4000, 3);
+  auto control = RationalScores(4000, 4);
+
+  std::printf("%-10s %-14s %-14s %-16s %-14s\n", "sigma", "max |diff|",
+              "var(erf)", "var(logistic)", "speedup(logi)");
+  double worst_diff = 0.0;
+  for (double sigma : {0.0005, 0.002, 0.01}) {
+    core::RstfOptions erf_opts;
+    erf_opts.kind = core::RstfKind::kGaussianErf;
+    erf_opts.sigma = sigma;
+    core::RstfOptions logi_opts = erf_opts;
+    logi_opts.kind = core::RstfKind::kLogisticApprox;
+
+    auto erf_rstf = core::Rstf::Train(train, erf_opts);
+    auto logi_rstf = core::Rstf::Train(train, logi_opts);
+    if (!erf_rstf.ok() || !logi_rstf.ok()) return 1;
+
+    double max_diff = 0.0;
+    std::vector<double> erf_trs, logi_trs;
+    for (double x : control) {
+      double a = erf_rstf->Transform(x);
+      double b = logi_rstf->Transform(x);
+      erf_trs.push_back(a);
+      logi_trs.push_back(b);
+      max_diff = std::max(max_diff, std::abs(a - b));
+    }
+    worst_diff = std::max(worst_diff, max_diff);
+
+    double erf_speed = EvalThroughput(*erf_rstf, control);
+    double logi_speed = EvalThroughput(*logi_rstf, control);
+    std::printf("%-10.4g %-14.2e %-14.3g %-16.3g %-14.2fx\n", sigma, max_diff,
+                UniformityVariance(erf_trs), UniformityVariance(logi_trs),
+                logi_speed / erf_speed);
+  }
+
+  std::printf("\ncheck: kernels agree within 0.02 everywhere "
+              "(the approximation is ranking-equivalent in practice): %s\n",
+              worst_diff < 0.02 ? "PASS" : "FAIL");
+  std::printf("both kernels are monotone, so per-term ranking is identical "
+              "by construction; only TRS *values* differ slightly.\n");
+  return worst_diff < 0.02 ? 0 : 1;
+}

@@ -1,0 +1,112 @@
+// Shared infrastructure for the experiment harnesses.
+//
+// Every bench binary regenerates one figure or table of the paper's
+// evaluation (Section 6). Binaries take an optional scale factor:
+//
+//     fig11_bandwidth_overhead [scale]
+//
+// scale in (0, 1] shrinks the synthetic datasets proportionally (1.0 = the
+// paper's full sizes). The default keeps the whole suite minutes-fast on a
+// laptop; EXPERIMENTS.md records the scale used for the checked-in outputs.
+
+#ifndef ZERBERR_BENCH_BENCH_COMMON_H_
+#define ZERBERR_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "synth/presets.h"
+
+namespace zr::bench {
+
+/// Default dataset scale for bench runs (fraction of the paper's sizes).
+inline constexpr double kDefaultScale = 0.04;
+
+/// Parses argv[1] as the scale factor, falling back to kDefaultScale.
+inline double ScaleFromArgs(int argc, char** argv) {
+  if (argc > 1) {
+    double s = std::atof(argv[1]);
+    if (s > 0.0 && s <= 1.0) return s;
+    std::fprintf(stderr, "ignoring invalid scale '%s' (want (0,1])\n", argv[1]);
+  }
+  return kDefaultScale;
+}
+
+/// Prints the standard harness banner.
+inline void Banner(const char* experiment, const char* paper_claim,
+                   double scale) {
+  std::printf("=== %s ===\n", experiment);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("dataset scale: %.3f of paper size\n\n", scale);
+}
+
+/// Builds the Zerber+R pipeline for a preset, exiting on failure (bench
+/// binaries have no meaningful recovery path).
+inline std::unique_ptr<core::Pipeline> MustBuildPipeline(
+    core::PipelineOptions options) {
+  auto pipeline = core::BuildPipeline(options);
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "pipeline build failed: %s\n",
+                 pipeline.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(pipeline).value();
+}
+
+/// Standard pipeline options for a dataset preset at a scale. Sigma is fixed
+/// to a pre-calibrated value by default so most benches skip the (expensive)
+/// cross-validation; fig09 exercises selection explicitly.
+inline core::PipelineOptions StandardOptions(const synth::DatasetPreset& preset,
+                                             double sigma = 0.002) {
+  core::PipelineOptions options;
+  options.preset = preset;
+  options.sigma = sigma;
+  options.seed = 20090324;
+  return options;
+}
+
+/// Flattens the first `limit` queries of the pipeline's log into single-term
+/// queries (the paper treats multi-term queries as sequences of single-term
+/// queries), skipping terms absent from the corpus.
+inline std::vector<text::TermId> SampleTermQueries(const core::Pipeline& p,
+                                                   size_t limit) {
+  std::vector<text::TermId> terms;
+  for (const auto& query : p.query_log.queries) {
+    for (text::TermId t : query) {
+      if (p.corpus.DocumentFrequency(t) == 0) continue;
+      terms.push_back(t);
+      if (terms.size() >= limit) return terms;
+    }
+  }
+  return terms;
+}
+
+/// Replays `terms` as single-term top-k queries with initial response size b
+/// and returns the per-query transfer traces (Equations 12-14 inputs).
+inline std::vector<core::QueryTrace> ReplayTraces(
+    core::Pipeline* p, const std::vector<text::TermId>& terms, size_t k,
+    size_t b) {
+  core::ProtocolOptions protocol;
+  protocol.initial_response_size = b;
+  p->client->set_protocol(protocol);
+  std::vector<core::QueryTrace> traces;
+  traces.reserve(terms.size());
+  for (text::TermId t : terms) {
+    auto result = p->client->QueryTopK(t, k);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    traces.push_back(result->trace);
+  }
+  return traces;
+}
+
+}  // namespace zr::bench
+
+#endif  // ZERBERR_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,89 @@
+// Figure 9: TRS variance in the control set depending on sigma.
+//
+// Paper: "At first, the TRS values are distributed more uniformly with an
+// increasing sigma. However, after reaching the minimum (an optimal sigma),
+// the overfitting effect appears and the uniformness is destroyed. ... a
+// good selection of sigma provides a variance of smaller than 0.00002
+// (standard deviation of 0.0044, that is, 0.44% of the range [0,1])."
+//
+// Note on axis convention: the paper's sigma is an inverse bell width
+// (its "higher sigma" = narrower bell = overfitting). We sweep the standard
+// kernel standard deviation, so our curve is the same U mirrored: variance
+// falls as sigma decreases from far-too-broad, reaches the optimum, then
+// rises again as kernels get so narrow they memorize the training points.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/sigma_selection.h"
+#include "core/trs.h"
+#include "index/term_stats.h"
+#include "synth/corpus_generator.h"
+
+int main(int argc, char** argv) {
+  using namespace zr;
+  double scale = bench::ScaleFromArgs(argc, argv);
+  bench::Banner("Figure 9: TRS control-set variance vs sigma",
+                "U-shaped curve; optimum variance < 2e-5 (sd ~0.44% of range)",
+                scale);
+
+  auto preset = synth::StudIpPreset(scale);
+  auto corpus = synth::GenerateCorpus(preset.corpus);
+  if (!corpus.ok()) return 1;
+  auto training_docs =
+      core::SampleTrainingDocs(*corpus, preset.training_fraction, 42);
+
+  core::SigmaSelectionOptions options;
+  options.grid = core::LogSpacedGrid(1e-6, 0.3, 22);
+  options.control_fraction = preset.control_fraction;
+  options.seed = 97;
+
+  auto result = core::SelectCorpusSigma(*corpus, training_docs, 24, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-12s %-14s %s\n", "sigma", "variance", "stddev(%% of range)");
+  for (const auto& point : result->sweep) {
+    std::printf("%-12.4g %-14.6g %.3f%%\n", point.sigma, point.variance,
+                100.0 * std::sqrt(point.variance));
+  }
+  std::printf("\noptimal sigma = %.4g, variance = %.3g (sd = %.3f%% of [0,1])\n",
+              result->best_sigma, result->best_variance,
+              100.0 * std::sqrt(result->best_variance));
+  std::printf("note: the variance of even a perfectly uniform control set of "
+              "n values floors at ~1/(6n);\nper-term control sets at this "
+              "dataset scale are small, so absolute values sit above the\n"
+              "paper's 2e-5 (their control sets were larger). The large-"
+              "sample run below reproduces the\npaper's absolute floor.\n\n");
+
+  // Large-sample demonstration of the paper's absolute number: one term
+  // with a 60k-score sample (20k control) reaches variance < 2e-5.
+  {
+    Rng rng(20090324);
+    std::vector<double> scores;
+    scores.reserve(60000);
+    for (int i = 0; i < 60000; ++i) {
+      uint32_t tf = 1 + static_cast<uint32_t>(9.0 * rng.NextDouble() *
+                                              rng.NextDouble());
+      uint32_t len = 50 + static_cast<uint32_t>(rng.Uniform(451));
+      scores.push_back(static_cast<double>(tf) / static_cast<double>(len));
+    }
+    core::SigmaSelectionOptions big;
+    big.grid = core::LogSpacedGrid(1e-4, 0.1, 12);
+    auto big_result = core::SelectSigma(scores, big);
+    if (!big_result.ok()) return 1;
+    std::printf("large-sample run (60k scores): optimal sigma = %.4g, "
+                "variance = %.3g, sd = %.3f%% of range (paper: <2e-5, 0.44%%)\n",
+                big_result->best_sigma, big_result->best_variance,
+                100.0 * std::sqrt(big_result->best_variance));
+    bool u_shaped = result->sweep.front().variance > result->best_variance &&
+                    result->sweep.back().variance > result->best_variance * 2;
+    bool paper_floor = big_result->best_variance < 2e-5;
+    std::printf("shape check: U-shaped=%s, paper floor reproduced=%s\n",
+                u_shaped ? "PASS" : "FAIL", paper_floor ? "PASS" : "FAIL");
+    return (u_shaped && paper_floor) ? 0 : 1;
+  }
+}

@@ -1,0 +1,71 @@
+// Figure 10: query frequency vs cumulative query workload.
+//
+// Paper: "The log-scale X-axis shows the query terms in decreasing order of
+// frequency (from most to least popular). The most frequent queries
+// constitute nearly the whole query workload. Thus to reduce the total
+// workload cost, the system should provide high efficiency for the most
+// frequent queries." Workload per term is Equation 9's cost with top-10.
+//
+// We print: term popularity rank -> cumulative share of the total workload
+// cost Q (Equation 9, k = 10).
+
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/workload_model.h"
+#include "synth/corpus_generator.h"
+#include "synth/query_log.h"
+#include "zerber/merge_planner.h"
+
+int main(int argc, char** argv) {
+  using namespace zr;
+  double scale = bench::ScaleFromArgs(argc, argv);
+  bench::Banner("Figure 10: cumulative query workload by term popularity",
+                "head queries constitute nearly the whole workload", scale);
+
+  auto preset = synth::OdpWebPreset(scale);
+  auto corpus = synth::GenerateCorpus(preset.corpus);
+  if (!corpus.ok()) return 1;
+  auto log = synth::GenerateQueryLog(*corpus, preset.queries);
+  if (!log.ok()) return 1;
+  auto plan = zerber::PlanBfmMerge(*corpus, preset.r);
+  if (!plan.ok()) return 1;
+
+  const size_t k = 10;
+  // Per-term workload contribution: q_t * N(L_t) (Equation 9 summand).
+  std::vector<double> contribution(log->terms_by_popularity.size());
+  double total = 0.0;
+  for (size_t i = 0; i < log->terms_by_popularity.size(); ++i) {
+    text::TermId t = log->terms_by_popularity[i];
+    double cost = core::ExpectedElementsForTopK(*corpus, *plan, t, k);
+    contribution[i] =
+        static_cast<double>(log->frequency_by_popularity[i]) * cost;
+    total += contribution[i];
+  }
+  if (total <= 0.0) {
+    std::fprintf(stderr, "empty workload\n");
+    return 1;
+  }
+
+  std::printf("%-12s %-16s %s\n", "term rank", "cum workload", "share");
+  double acc = 0.0;
+  size_t next_print = 1;
+  for (size_t i = 0; i < contribution.size(); ++i) {
+    acc += contribution[i];
+    if (i + 1 == next_print || i + 1 == contribution.size()) {
+      std::printf("%-12zu %-16.4g %.2f%%\n", i + 1, acc, 100.0 * acc / total);
+      next_print *= 2;  // log-scale X axis
+    }
+  }
+
+  // Shape check: top 10% of terms carry most of the workload.
+  double head = 0.0;
+  size_t head_n = contribution.size() / 10;
+  for (size_t i = 0; i < head_n; ++i) head += contribution[i];
+  std::printf("\nhead share (top 10%% of terms): %.1f%% (%s)\n",
+              100.0 * head / total,
+              head / total > 0.5 ? "PASS: head-dominated" : "INCONCLUSIVE");
+  return 0;
+}

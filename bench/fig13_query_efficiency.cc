@@ -1,0 +1,82 @@
+// Figure 13: efficiency in query answering QRatio_eff (Equation 14).
+//
+// Paper: "The best query efficiency distribution for the top-10 request in
+// both test collections is attained using the initial response size b=10.
+// In this case around 60% of the longest running queries in the workload
+// have an efficiency value QRatio_eff = 1 and the next 20% longest-running
+// queries have QRatio_eff = 0.2 on average. The shortest running 20% of the
+// queries have average QRatio_eff = 0.1."
+//
+// We replay the workload for k = 10 and b in {10, 20, 50} and print the
+// QRatio_eff distribution over query percentiles (queries ordered by
+// QRatio_eff, as in the paper's X-axis).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/query_protocol.h"
+
+namespace {
+
+void RunCollection(const zr::synth::DatasetPreset& preset) {
+  using namespace zr;
+  auto pipeline = bench::MustBuildPipeline(bench::StandardOptions(preset));
+  auto terms = bench::SampleTermQueries(*pipeline, 1500);
+  std::printf("--- collection: %s (queries=%zu) ---\n", preset.name.c_str(),
+              terms.size());
+
+  const size_t k = 10;
+  for (size_t b : {10u, 20u, 50u}) {
+    auto traces = bench::ReplayTraces(pipeline.get(), terms, k, b);
+    std::vector<double> ratios;
+    ratios.reserve(traces.size());
+    for (const auto& t : traces) {
+      ratios.push_back(core::QueryEfficiencyRatio(k, t.elements_fetched));
+    }
+    // Order queries by efficiency ascending = "longest running" last, like
+    // the paper's percent-of-workload X-axis.
+    std::sort(ratios.begin(), ratios.end());
+
+    std::printf("b=%zu  QRatio_eff by workload percentile:\n  ", b);
+    for (int pct : {10, 20, 30, 40, 50, 60, 70, 80, 90, 100}) {
+      size_t idx = std::min(ratios.size() - 1,
+                            static_cast<size_t>(ratios.size() * pct / 100));
+      if (pct == 100) idx = ratios.size() - 1;
+      std::printf("p%d=%.2f ", pct, ratios[idx]);
+    }
+    double at_one = static_cast<double>(
+                        std::count_if(ratios.begin(), ratios.end(),
+                                      [](double r) { return r >= 0.999; })) /
+                    static_cast<double>(ratios.size());
+    std::printf("\n  share with QRatio_eff = 1.0: %.1f%%\n", 100.0 * at_one);
+  }
+
+  // Shape check: at b=10 a large fraction of queries achieve ratio 1.0, and
+  // that fraction shrinks when b grows to 20 (paper: 60% -> 0%).
+  auto share_at_one = [&](size_t b) {
+    auto traces = bench::ReplayTraces(pipeline.get(), terms, k, b);
+    size_t ones = 0;
+    for (const auto& t : traces) {
+      if (core::QueryEfficiencyRatio(k, t.elements_fetched) >= 0.999) ++ones;
+    }
+    return static_cast<double>(ones) / static_cast<double>(traces.size());
+  };
+  double s10 = share_at_one(10), s20 = share_at_one(20);
+  std::printf("b=10 vs b=20 top-efficiency share: %.2f vs %.2f (%s)\n\n", s10,
+              s20, s10 > s20 ? "PASS: b=10 dominates" : "FAIL");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace zr;
+  double scale = bench::ScaleFromArgs(argc, argv);
+  bench::Banner("Figure 13: efficiency in query answering (Equation 14)",
+                "b=10 best for top-10: ~60% of queries at QRatio_eff = 1",
+                scale);
+  RunCollection(synth::StudIpPreset(scale));
+  RunCollection(synth::OdpWebPreset(scale));
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Microbenchmarks: index construction, merge planning, baseline top-k.
+
+#include <benchmark/benchmark.h>
+
+#include "index/inverted_index.h"
+#include "synth/corpus_generator.h"
+#include "util/random.h"
+#include "zerber/merge_planner.h"
+
+namespace {
+
+zr::text::Corpus MakeCorpus(uint32_t docs) {
+  zr::synth::CorpusGeneratorOptions options;
+  options.num_documents = docs;
+  options.vocabulary_size = docs * 10;
+  options.seed = 3;
+  auto corpus = zr::synth::GenerateCorpus(options);
+  return std::move(corpus).value();
+}
+
+void BM_CorpusGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    auto corpus = MakeCorpus(static_cast<uint32_t>(state.range(0)));
+    benchmark::DoNotOptimize(corpus);
+  }
+}
+BENCHMARK(BM_CorpusGeneration)->Arg(100)->Arg(500);
+
+void BM_InvertedIndexBuild(benchmark::State& state) {
+  auto corpus = MakeCorpus(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto index = zr::index::InvertedIndex::Build(
+        corpus, zr::index::ScoringModel::kNormalizedTf);
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_InvertedIndexBuild)->Arg(200)->Arg(1000);
+
+void BM_BaselineTopK(benchmark::State& state) {
+  auto corpus = MakeCorpus(800);
+  auto index = zr::index::InvertedIndex::Build(
+      corpus, zr::index::ScoringModel::kNormalizedTf);
+  zr::Rng rng(5);
+  auto ids = corpus.vocabulary().AllTermIds();
+  for (auto _ : state) {
+    auto top = index.TopK(ids[rng.Uniform(ids.size())], 10);
+    benchmark::DoNotOptimize(top);
+  }
+}
+BENCHMARK(BM_BaselineTopK);
+
+void BM_BfmMergePlanning(benchmark::State& state) {
+  auto corpus = MakeCorpus(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto plan = zr::zerber::PlanBfmMerge(corpus, 128.0);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_BfmMergePlanning)->Arg(200)->Arg(1000);
+
+void BM_MergePlanValidation(benchmark::State& state) {
+  auto corpus = MakeCorpus(500);
+  auto plan = zr::zerber::PlanBfmMerge(corpus, 128.0);
+  for (auto _ : state) {
+    auto status = zr::zerber::ValidateMergePlan(corpus, *plan, 128.0);
+    benchmark::DoNotOptimize(status);
+  }
+}
+BENCHMARK(BM_MergePlanValidation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

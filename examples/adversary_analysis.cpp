@@ -1,0 +1,148 @@
+// Adversary analysis (paper Sections 4.1 and 6.2).
+//
+// Simulates Alice, an adversary who compromised the index server, and shows
+// both attacks the paper defends against:
+//
+//   Attack 1 — fingerprint terms from the visible sort keys. Alice profiles
+//   per-term score distributions on a *public* corpus with similar language
+//   statistics, then classifies the elements of a merged list. With a naive
+//   "ordered index" (raw relevance scores visible) she beats blind guessing
+//   decisively on distinguishable term pairs; with Zerber+R's TRS keys she
+//   cannot, even holding the published RSTFs.
+//
+//   Attack 2 — watch follow-up request counts to tell rare from frequent
+//   query terms. BFM merging keeps the counts flat within a merged list.
+
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/adversary.h"
+#include "core/pipeline.h"
+#include "core/workload_model.h"
+#include "index/term_stats.h"
+#include "synth/corpus_generator.h"
+
+int main() {
+  using namespace zr;
+
+  core::PipelineOptions options;
+  options.preset = synth::TinyPreset();
+  options.preset.corpus.num_documents = 400;
+  options.sigma = 0.002;
+  options.seed = 4242;
+  auto built = core::BuildPipeline(options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  core::Pipeline& p = **built;
+
+  std::printf("deployment: %zu merged lists over %llu posting elements\n\n",
+              p.plan.NumLists(),
+              static_cast<unsigned long long>(p.server->TotalElements()));
+
+  // ------------------------------------------------------------------
+  // Attack 1 on a constructed two-term list (the paper's Figure 3 pair):
+  // a frequent term and a clearly less frequent one.
+  // ------------------------------------------------------------------
+  synth::CorpusGeneratorOptions twin_options = options.preset.corpus;
+  twin_options.seed += 1;
+  auto twin = synth::GenerateCorpus(twin_options);
+  if (!twin.ok()) return 1;
+
+  index::TermStats stats(&p.corpus);
+  text::TermId term_a = stats.NthMostFrequentTerm(2);
+  text::TermId term_b = stats.NthMostFrequentTerm(25);
+
+  auto run = [&](bool use_trs, const char* label) {
+    std::unordered_map<text::TermId, std::vector<double>> bg;
+    std::unordered_map<text::TermId, double> priors;
+    std::vector<core::LabeledObservation> obs;
+    for (text::TermId t : {term_a, term_b}) {
+      priors[t] = p.corpus.TermProbability(t);
+      auto term_string = p.corpus.vocabulary().TermOf(t);
+      if (!term_string.ok()) std::exit(1);
+      // Background: Alice's public-corpus profile of this term.
+      text::TermId twin_id = twin->vocabulary().Lookup(*term_string);
+      for (const auto& doc : twin->documents()) {
+        if (twin_id == text::kInvalidTermId ||
+            doc.TermFrequency(twin_id) == 0) {
+          continue;
+        }
+        double s = doc.RelevanceScore(twin_id);
+        if (use_trs && p.assigner->HasRstf(t)) {
+          auto rstf = p.assigner->GetRstf(t);
+          s = (*rstf)->Transform(s);
+        }
+        bg[t].push_back(s);
+      }
+      // Observations: the confidential index contents.
+      for (const auto& doc : p.corpus.documents()) {
+        if (doc.TermFrequency(t) == 0) continue;
+        double key = doc.RelevanceScore(t);
+        if (use_trs) {
+          key = p.assigner->Assign(t, *term_string, doc.id(), key);
+        }
+        obs.push_back({t, key});
+      }
+    }
+    auto outcome = core::RunScoreDistributionAttack(bg, priors, obs, 20);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "attack failed: %s\n",
+                   outcome.status().ToString().c_str());
+      std::exit(1);
+    }
+    std::printf("  %-34s balanced accuracy %.1f%% (blind: 50%%) -> %.2fx\n",
+                label, 100 * outcome->balanced_accuracy,
+                outcome->balanced_amplification);
+    return outcome->balanced_amplification;
+  };
+
+  std::printf("attack 1: classify elements of a 2-term merged list "
+              "(frequent + less frequent term)\n");
+  double raw_amp = run(false, "naive ordered index (raw scores):");
+  double trs_amp = run(true, "Zerber+R (TRS):");
+  std::printf("\n");
+
+  // ------------------------------------------------------------------
+  // Attack 2: request-count observation across a few merged lists.
+  // ------------------------------------------------------------------
+  std::unordered_map<text::TermId, double> mean_requests;
+  size_t lists_probed = 0;
+  for (size_t l = 0; l < p.plan.NumLists() && lists_probed < 6; ++l) {
+    if (p.plan.lists[l].size() < 2) continue;
+    for (text::TermId t : p.plan.lists[l]) {
+      auto result = p.client->QueryTopK(t, 10);
+      if (!result.ok()) return 1;
+      mean_requests[t] = static_cast<double>(result->trace.requests);
+    }
+    ++lists_probed;
+  }
+  auto leak = core::AnalyzeRequestLeakage(p.corpus, p.plan, mean_requests);
+  std::printf("attack 2: request-count observation over %zu merged lists\n",
+              leak.lists_evaluated);
+  std::printf("  mean within-list spread: %.2f requests\n",
+              leak.mean_within_list_spread);
+  std::printf("  max within-list spread:  %.2f requests\n",
+              leak.max_within_list_spread);
+  std::printf("  df <-> requests rank correlation: %.2f\n\n",
+              leak.df_request_correlation);
+
+  // ------------------------------------------------------------------
+  // The formal bound Alice can never beat: the r-confidentiality audit.
+  // ------------------------------------------------------------------
+  auto audit =
+      core::AuditConfidentiality(p.corpus, p.plan, options.preset.r);
+  std::printf("r-confidentiality audit (r=%.0f): max amplification %.2f, "
+              "mean %.2f, all within bound: %s\n",
+              options.preset.r, audit.max_amplification,
+              audit.mean_amplification, audit.all_within_r ? "yes" : "NO");
+
+  std::printf("\nconclusion: raw-score ordering leaks (%.2fx over blind), "
+              "TRS ordering does not (%.2fx ~ 1x) — the paper's core claim.\n",
+              raw_amp, trs_amp);
+  return 0;
+}

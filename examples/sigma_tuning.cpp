@@ -1,0 +1,92 @@
+// Sigma tuning walkthrough (paper Section 5.1.3).
+//
+// Shows how an operator picks the RSTF kernel scale sigma by
+// cross-validation before deploying Zerber+R:
+//   1. pull the training scores of a term,
+//   2. hold out a third as the control set,
+//   3. sweep sigma, measuring the control set's TRS uniformity variance,
+//   4. deploy the minimizer (the paper reports variance < 2e-5 for a good
+//      sigma — a standard deviation of ~0.44% of the [0,1] range).
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/sigma_selection.h"
+#include "core/trs.h"
+#include "index/term_stats.h"
+#include "synth/corpus_generator.h"
+#include "synth/presets.h"
+
+int main() {
+  using namespace zr;
+
+  auto preset = synth::StudIpPreset(0.05);
+  auto corpus = synth::GenerateCorpus(preset.corpus);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  auto training_docs =
+      core::SampleTrainingDocs(*corpus, preset.training_fraction, 42);
+  std::printf("corpus: %zu documents; training sample: %zu documents (30%%)\n",
+              corpus->NumDocuments(), training_docs.size());
+
+  // Pick a frequent term so the control set is well-populated.
+  index::TermStats stats(&*corpus);
+  text::TermId term = stats.NthMostFrequentTerm(3);
+  std::vector<double> scores;
+  for (text::DocId d : training_docs) {
+    auto doc = corpus->GetDocument(d);
+    if (!doc.ok()) return 1;
+    if ((*doc)->TermFrequency(term) > 0) {
+      scores.push_back((*doc)->RelevanceScore(term));
+    }
+  }
+  std::printf("tuning term: df=%llu, %zu training scores\n\n",
+              static_cast<unsigned long long>(corpus->DocumentFrequency(term)),
+              scores.size());
+
+  core::SigmaSelectionOptions options;
+  options.grid = core::LogSpacedGrid(1e-6, 0.2, 16);
+  options.control_fraction = preset.control_fraction;
+  auto result = core::SelectSigma(scores, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-12s %-12s %s\n", "sigma", "variance", "verdict");
+  for (const auto& point : result->sweep) {
+    const char* verdict = "";
+    if (point.sigma == result->best_sigma) {
+      verdict = "<- optimum (deploy this)";
+    } else if (point.sigma < result->best_sigma / 30) {
+      verdict = "overfit: kernels memorize training points";
+    } else if (point.sigma > result->best_sigma * 30) {
+      verdict = "underfit: kernels blur the distribution";
+    }
+    std::printf("%-12.3g %-12.3g %s\n", point.sigma, point.variance, verdict);
+  }
+  size_t control_n = std::max<size_t>(1, scores.size() / 3);
+  std::printf("\nchosen sigma = %.4g, control variance = %.3g "
+              "(sd = %.2f%% of [0,1])\n",
+              result->best_sigma, result->best_variance,
+              100.0 * std::sqrt(result->best_variance));
+  std::printf("statistical floor for a %zu-value control set is ~1/(6n) = "
+              "%.2g — the paper's 2e-5 comes from much larger control sets "
+              "(see bench/fig09 large-sample run).\n",
+              control_n, 1.0 / (6.0 * static_cast<double>(control_n)));
+
+  // Corpus-level selection: what the pipeline does by default.
+  core::SigmaSelectionOptions corpus_options;
+  corpus_options.grid = core::LogSpacedGrid(1e-5, 0.1, 10);
+  auto corpus_sigma =
+      core::SelectCorpusSigma(*corpus, training_docs, 16, corpus_options);
+  if (!corpus_sigma.ok()) return 1;
+  std::printf("corpus-level sigma over 16 frequent terms: %.4g "
+              "(variance %.3g)\n",
+              corpus_sigma->best_sigma, corpus_sigma->best_variance);
+  std::printf("\nfinding a method to determine sigma directly (without "
+              "cross-validation) is the paper's open future-work question.\n");
+  return 0;
+}

@@ -1,0 +1,186 @@
+#include "core/adversary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/stats.h"
+#include "zerber/confidentiality.h"
+
+namespace zr::core {
+
+StatusOr<AttackOutcome> RunScoreDistributionAttack(
+    const std::unordered_map<text::TermId, std::vector<double>>&
+        background_keys,
+    const std::unordered_map<text::TermId, double>& priors,
+    const std::vector<LabeledObservation>& observations, size_t bins) {
+  if (background_keys.empty()) {
+    return Status::InvalidArgument("no background knowledge supplied");
+  }
+  if (observations.empty()) {
+    return Status::InvalidArgument("no observations supplied");
+  }
+  if (bins == 0) {
+    return Status::InvalidArgument("bins must be positive");
+  }
+
+  // Common histogram range over background + observed keys.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& [term, keys] : background_keys) {
+    for (double k : keys) {
+      lo = std::min(lo, k);
+      hi = std::max(hi, k);
+    }
+  }
+  for (const auto& obs : observations) {
+    lo = std::min(lo, obs.key);
+    hi = std::max(hi, obs.key);
+  }
+  if (!(hi > lo)) hi = lo + 1.0;  // degenerate: all keys equal
+  const double width = (hi - lo) / static_cast<double>(bins);
+
+  auto bin_of = [&](double key) {
+    long b = static_cast<long>((key - lo) / width);
+    if (b < 0) b = 0;
+    if (b >= static_cast<long>(bins)) b = static_cast<long>(bins) - 1;
+    return static_cast<size_t>(b);
+  };
+
+  // Per-term smoothed histograms: p(bin | t).
+  struct TermModel {
+    std::vector<double> bin_prob;
+    double prior = 0.0;
+  };
+  std::unordered_map<text::TermId, TermModel> models;
+  models.reserve(background_keys.size());
+  for (const auto& [term, keys] : background_keys) {
+    TermModel model;
+    model.bin_prob.assign(bins, 1.0);  // Laplace smoothing (+1 per bin)
+    for (double k : keys) model.bin_prob[bin_of(k)] += 1.0;
+    double total = static_cast<double>(keys.size()) + static_cast<double>(bins);
+    for (double& p : model.bin_prob) p /= total;
+    auto prior_it = priors.find(term);
+    model.prior = prior_it == priors.end() ? 1.0 : prior_it->second;
+    models.emplace(term, std::move(model));
+  }
+
+  // Prior-only baseline: always guess the highest-prior candidate.
+  text::TermId prior_guess = models.begin()->first;
+  double best_prior = -1.0;
+  for (const auto& [term, model] : models) {
+    if (model.prior > best_prior ||
+        (model.prior == best_prior && term < prior_guess)) {
+      best_prior = model.prior;
+      prior_guess = term;
+    }
+  }
+
+  AttackOutcome outcome;
+  outcome.num_elements = observations.size();
+  outcome.num_terms = models.size();
+  size_t correct = 0, prior_correct = 0;
+  std::unordered_map<text::TermId, std::pair<size_t, size_t>> per_term;
+  for (const auto& obs : observations) {
+    size_t bin = bin_of(obs.key);
+    text::TermId guess = prior_guess;
+    double best = -1.0;
+    for (const auto& [term, model] : models) {
+      double likelihood = model.bin_prob[bin] * model.prior;
+      if (likelihood > best || (likelihood == best && term < guess)) {
+        best = likelihood;
+        guess = term;
+      }
+    }
+    auto& [term_correct, term_total] = per_term[obs.true_term];
+    ++term_total;
+    if (guess == obs.true_term) {
+      ++correct;
+      ++term_correct;
+    }
+    if (prior_guess == obs.true_term) ++prior_correct;
+  }
+  outcome.accuracy =
+      static_cast<double>(correct) / static_cast<double>(observations.size());
+  outcome.prior_accuracy = static_cast<double>(prior_correct) /
+                           static_cast<double>(observations.size());
+  outcome.amplification = outcome.prior_accuracy > 0.0
+                              ? outcome.accuracy / outcome.prior_accuracy
+                              : std::numeric_limits<double>::infinity();
+  double recall_sum = 0.0;
+  for (const auto& [term, counts] : per_term) {
+    recall_sum += static_cast<double>(counts.first) /
+                  static_cast<double>(counts.second);
+  }
+  // Terms with no observations contribute zero recall (they cannot be
+  // identified), keeping the measure honest across sparse lists.
+  outcome.balanced_accuracy =
+      recall_sum / static_cast<double>(models.size());
+  outcome.balanced_amplification =
+      outcome.balanced_accuracy * static_cast<double>(models.size());
+  return outcome;
+}
+
+RequestLeakageReport AnalyzeRequestLeakage(
+    const text::Corpus& corpus, const zerber::MergePlan& plan,
+    const std::unordered_map<text::TermId, double>& mean_requests_per_term) {
+  RequestLeakageReport report;
+  double spread_sum = 0.0;
+  double corr_sum = 0.0;
+  size_t corr_lists = 0;
+
+  for (const auto& terms : plan.lists) {
+    std::vector<double> dfs, reqs;
+    for (text::TermId t : terms) {
+      auto it = mean_requests_per_term.find(t);
+      if (it == mean_requests_per_term.end()) continue;
+      dfs.push_back(static_cast<double>(corpus.DocumentFrequency(t)));
+      reqs.push_back(it->second);
+    }
+    if (reqs.size() < 2) continue;
+    ++report.lists_evaluated;
+    double mn = *std::min_element(reqs.begin(), reqs.end());
+    double mx = *std::max_element(reqs.begin(), reqs.end());
+    spread_sum += mx - mn;
+    report.max_within_list_spread =
+        std::max(report.max_within_list_spread, mx - mn);
+    // Correlation only meaningful when df varies within the list.
+    bool df_varies =
+        *std::max_element(dfs.begin(), dfs.end()) >
+        *std::min_element(dfs.begin(), dfs.end());
+    if (df_varies) {
+      corr_sum += SpearmanCorrelation(dfs, reqs);
+      ++corr_lists;
+    }
+  }
+  if (report.lists_evaluated > 0) {
+    report.mean_within_list_spread =
+        spread_sum / static_cast<double>(report.lists_evaluated);
+  }
+  if (corr_lists > 0) {
+    report.df_request_correlation =
+        corr_sum / static_cast<double>(corr_lists);
+  }
+  return report;
+}
+
+ConfidentialityAudit AuditConfidentiality(const text::Corpus& corpus,
+                                          const zerber::MergePlan& plan,
+                                          double r) {
+  ConfidentialityAudit audit;
+  audit.num_lists = plan.lists.size();
+  audit.all_within_r = true;
+  double sum = 0.0;
+  for (const auto& terms : plan.lists) {
+    double amp = zerber::MaxAmplification(corpus, terms);
+    audit.max_amplification = std::max(audit.max_amplification, amp);
+    sum += amp;
+    if (amp > r) audit.all_within_r = false;
+  }
+  if (audit.num_lists > 0) {
+    audit.mean_amplification = sum / static_cast<double>(audit.num_lists);
+  }
+  return audit;
+}
+
+}  // namespace zr::core

@@ -1,0 +1,116 @@
+// Adversary simulations (paper Sections 4.1 and 6.2).
+//
+// Attack 1 — score-distribution attack: an adversary who compromised the
+// index server sees the per-element sort keys (raw relevance scores in a
+// naive ordered index; TRS values in Zerber+R). Armed with background
+// knowledge of per-term score distributions (e.g. from public corpora), she
+// assigns each element of a merged list to its most likely term. Zerber+R's
+// claim: with TRS keys her accuracy collapses to the prior.
+//
+// Attack 2 — query-observation attack: the adversary watches how many
+// (follow-up) requests each query needs. Document frequency is term
+// specific, so request counts can identify terms; BFM merging makes counts
+// indistinguishable within a merged list.
+
+#ifndef ZERBERR_CORE_ADVERSARY_H_
+#define ZERBERR_CORE_ADVERSARY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "text/corpus.h"
+#include "util/status.h"
+#include "util/statusor.h"
+#include "zerber/merge_planner.h"
+
+namespace zr::core {
+
+/// One observed posting element with ground truth (known to the harness,
+/// not the adversary).
+struct LabeledObservation {
+  text::TermId true_term = 0;
+  /// Server-visible sort key: raw score or TRS.
+  double key = 0.0;
+};
+
+/// Result of the score-distribution attack.
+struct AttackOutcome {
+  /// Fraction of elements assigned to their true term.
+  double accuracy = 0.0;
+
+  /// Accuracy of the best prior-only strategy (always guess the term with
+  /// the highest prior).
+  double prior_accuracy = 0.0;
+
+  /// accuracy / prior_accuracy — empirical probability amplification; the
+  /// r-confidentiality goal is to keep this near 1.
+  double amplification = 0.0;
+
+  /// Mean per-term recall. Unlike `accuracy`, this cannot be gamed by
+  /// always guessing a dominant term: identifying the *rare* term's
+  /// elements (the paper's "imClone" in a list with "and") counts equally.
+  /// A blind adversary scores 1 / num_terms.
+  double balanced_accuracy = 0.0;
+
+  /// balanced_accuracy * num_terms — 1.0 means no better than blind.
+  double balanced_amplification = 0.0;
+
+  size_t num_terms = 0;
+  size_t num_elements = 0;
+};
+
+/// Maximum-likelihood classification of elements to candidate terms.
+///
+/// `background_keys[t]` holds the adversary's reference sample of visible
+/// keys for term t (from background knowledge); `priors[t]` the prior
+/// probability that an element of this list belongs to t (its p_t share).
+/// Histograms with Laplace smoothing estimate p(key | t); elements are
+/// assigned to argmax_t p(key | t) * prior(t). InvalidArgument on empty
+/// inputs.
+StatusOr<AttackOutcome> RunScoreDistributionAttack(
+    const std::unordered_map<text::TermId, std::vector<double>>&
+        background_keys,
+    const std::unordered_map<text::TermId, double>& priors,
+    const std::vector<LabeledObservation>& observations, size_t bins = 40);
+
+/// Request-count leakage of the query protocol.
+struct RequestLeakageReport {
+  /// Mean over merged lists of (max - min) of the per-term average request
+  /// count. ~0 means the adversary cannot tell the list's terms apart.
+  double mean_within_list_spread = 0.0;
+
+  /// Worst list.
+  double max_within_list_spread = 0.0;
+
+  /// Spearman correlation between per-term document frequency and average
+  /// request count, computed *within* lists and averaged. High correlation
+  /// means frequency leaks through the protocol.
+  double df_request_correlation = 0.0;
+
+  /// Lists with at least two queried terms (others carry no signal).
+  size_t lists_evaluated = 0;
+};
+
+/// Analyzes per-term average request counts against the merge plan.
+RequestLeakageReport AnalyzeRequestLeakage(
+    const text::Corpus& corpus, const zerber::MergePlan& plan,
+    const std::unordered_map<text::TermId, double>& mean_requests_per_term);
+
+/// Definition 1/2 audit over a merge plan.
+struct ConfidentialityAudit {
+  double max_amplification = 0.0;
+  double mean_amplification = 0.0;
+  size_t num_lists = 0;
+  /// True iff every list keeps amplification <= r.
+  bool all_within_r = false;
+};
+
+/// Computes the amplification profile of the plan against parameter r.
+ConfidentialityAudit AuditConfidentiality(const text::Corpus& corpus,
+                                          const zerber::MergePlan& plan,
+                                          double r);
+
+}  // namespace zr::core
+
+#endif  // ZERBERR_CORE_ADVERSARY_H_

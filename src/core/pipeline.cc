@@ -1,0 +1,116 @@
+#include "core/pipeline.h"
+
+#include <set>
+#include <string>
+
+#include "core/zerber_r_index.h"
+#include "synth/corpus_generator.h"
+
+namespace zr::core {
+
+namespace {
+
+StatusOr<std::unique_ptr<Pipeline>> Assemble(text::Corpus corpus,
+                                             const PipelineOptions& options) {
+  auto p = std::make_unique<Pipeline>();
+  p->options = options;
+  p->corpus = std::move(corpus);
+
+  if (options.build_query_log) {
+    ZR_ASSIGN_OR_RETURN(p->query_log,
+                        synth::GenerateQueryLog(p->corpus,
+                                                options.preset.queries));
+  }
+
+  // 1. Training sample (paper: 30% of the corpus).
+  p->training_docs = SampleTrainingDocs(
+      p->corpus, options.preset.training_fraction, options.seed ^ 0xA5A5);
+  if (p->training_docs.empty()) {
+    return Status::FailedPrecondition("empty training sample");
+  }
+
+  // 2. Sigma: configured or cross-validated (Section 5.1.3).
+  if (options.sigma > 0.0) {
+    p->sigma = options.sigma;
+  } else {
+    SigmaSelectionOptions so;
+    so.kind = options.rstf_kind;
+    so.control_fraction = options.preset.control_fraction;
+    so.max_training_points = options.max_training_points;
+    so.seed = options.seed ^ 0x5A5A;
+    ZR_ASSIGN_OR_RETURN(
+        SigmaSelectionResult sel,
+        SelectCorpusSigma(p->corpus, p->training_docs,
+                          options.sigma_sample_terms, so));
+    p->sigma = sel.best_sigma;
+    p->sigma_sweep = std::move(sel.sweep);
+  }
+
+  // 3. Keys + per-group provisioning.
+  p->keys = std::make_unique<crypto::KeyStore>(
+      "zerber-r-pipeline-" + std::to_string(options.seed));
+  std::set<crypto::GroupId> groups;
+  for (const text::Document& doc : p->corpus.documents()) {
+    groups.insert(doc.group());
+  }
+  for (crypto::GroupId g : groups) {
+    ZR_RETURN_IF_ERROR(p->keys->CreateGroup(g));
+  }
+
+  // 4. Train per-term RSTFs on the sample.
+  TrsTrainerOptions trainer;
+  trainer.rstf.kind = options.rstf_kind;
+  trainer.rstf.sigma = p->sigma;
+  trainer.rstf.max_training_points = options.max_training_points;
+  ZR_ASSIGN_OR_RETURN(TrsAssigner assigner,
+                      TrainTrsAssigner(p->corpus, p->training_docs, trainer,
+                                       p->keys.get()));
+  p->assigner = std::make_unique<TrsAssigner>(std::move(assigner));
+
+  // 5. Merge plan (BFM by default; random merge as ablation).
+  if (options.bfm_merge) {
+    ZR_ASSIGN_OR_RETURN(p->plan, zerber::PlanBfmMerge(p->corpus,
+                                                      options.preset.r));
+  } else {
+    ZR_ASSIGN_OR_RETURN(
+        p->plan,
+        zerber::PlanRandomMerge(p->corpus, options.preset.r, options.seed));
+  }
+
+  // 6. Server with ACLs; the experiment user may read every group.
+  p->server = std::make_unique<zerber::IndexServer>(
+      p->plan.NumLists(), options.placement, options.seed ^ 0x0F0F);
+  for (crypto::GroupId g : groups) {
+    ZR_RETURN_IF_ERROR(p->server->acl().AddGroup(g));
+    ZR_RETURN_IF_ERROR(p->server->acl().GrantMembership(p->user, g));
+  }
+
+  // 7. Client + encrypted index build.
+  p->client = std::make_unique<ZerberRClient>(
+      p->user, p->keys.get(), &p->plan, p->server.get(),
+      &p->corpus.vocabulary(), p->assigner.get(), options.protocol);
+  ZR_RETURN_IF_ERROR(BuildEncryptedIndex(p->corpus, p->client.get()));
+
+  // 8. Plaintext comparator.
+  if (options.build_baseline_index) {
+    p->baseline = index::InvertedIndex::Build(
+        p->corpus, index::ScoringModel::kNormalizedTf);
+  }
+  return p;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Pipeline>> BuildPipeline(
+    const PipelineOptions& options) {
+  ZR_ASSIGN_OR_RETURN(text::Corpus corpus,
+                      synth::GenerateCorpus(options.preset.corpus));
+  return Assemble(std::move(corpus), options);
+}
+
+StatusOr<std::unique_ptr<Pipeline>> BuildPipelineFromCorpus(
+    text::Corpus corpus, const PipelineOptions& options) {
+  return Assemble(std::move(corpus), options);
+}
+
+}  // namespace zr::core

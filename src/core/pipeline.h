@@ -1,0 +1,110 @@
+// End-to-end experiment pipeline.
+//
+// Wires together every subsystem in the order the paper describes
+// (Section 5): generate (or accept) a corpus, sample a training set, select
+// sigma by cross-validation, train per-term RSTFs, plan the BFM merge,
+// provision keys and ACLs, build the encrypted index on the server, and
+// stand up baseline comparators. All benches and examples build on this.
+
+#ifndef ZERBERR_CORE_PIPELINE_H_
+#define ZERBERR_CORE_PIPELINE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/query_protocol.h"
+#include "core/sigma_selection.h"
+#include "core/trs.h"
+#include "core/zerber_r_client.h"
+#include "index/inverted_index.h"
+#include "synth/presets.h"
+#include "synth/query_log.h"
+#include "text/corpus.h"
+#include "util/status.h"
+#include "util/statusor.h"
+#include "zerber/merge_planner.h"
+#include "zerber/zerber_index.h"
+
+namespace zr::core {
+
+/// Pipeline construction options.
+struct PipelineOptions {
+  /// Dataset (corpus + workload + r + training fractions).
+  synth::DatasetPreset preset = synth::TinyPreset();
+
+  /// RSTF kernel.
+  RstfKind rstf_kind = RstfKind::kGaussianErf;
+
+  /// Kernel scale; 0 = select by corpus-level cross-validation (Fig. 9).
+  double sigma = 0.0;
+
+  /// Terms sampled for corpus-level sigma selection.
+  size_t sigma_sample_terms = 32;
+
+  /// Subsample cap per term's RSTF.
+  size_t max_training_points = 512;
+
+  /// Server-side element placement. kTrsSorted = Zerber+R;
+  /// kRandomPlacement = plain Zerber baseline.
+  zerber::Placement placement = zerber::Placement::kTrsSorted;
+
+  /// Merge strategy: true = BFM (paper), false = random-merge ablation.
+  bool bfm_merge = true;
+
+  /// Client protocol parameters (initial response size b, ...).
+  ProtocolOptions protocol;
+
+  /// Build the plaintext InvertedIndex comparator too.
+  bool build_baseline_index = true;
+
+  /// Generate the synthetic query log.
+  bool build_query_log = true;
+
+  /// Master seed for keys/ACL randomness.
+  uint64_t seed = 99;
+};
+
+/// A fully provisioned deployment. Not copyable/movable: members hold
+/// pointers into each other.
+struct Pipeline {
+  PipelineOptions options;
+
+  text::Corpus corpus;
+  synth::QueryLog query_log;
+  std::vector<text::DocId> training_docs;
+
+  /// Sigma actually used (either configured or cross-validated).
+  double sigma = 0.0;
+  /// Sweep from sigma selection (empty when sigma was configured).
+  std::vector<SigmaSweepPoint> sigma_sweep;
+
+  zerber::MergePlan plan;
+  std::unique_ptr<crypto::KeyStore> keys;
+  std::unique_ptr<TrsAssigner> assigner;
+  std::unique_ptr<zerber::IndexServer> server;
+  std::unique_ptr<ZerberRClient> client;
+
+  /// Plaintext comparator (normalized-TF scoring, Equation 4).
+  std::optional<index::InvertedIndex> baseline;
+
+  /// The single experiment user (member of every group, like the paper's
+  /// Section 6.6 setup "the user has access to all documents").
+  zerber::UserId user = 1;
+
+  Pipeline() = default;
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+};
+
+/// Builds the full deployment. Steps and failures are surfaced via Status.
+StatusOr<std::unique_ptr<Pipeline>> BuildPipeline(const PipelineOptions& options);
+
+/// Like BuildPipeline but over an externally supplied corpus (examples use
+/// this with hand-written documents).
+StatusOr<std::unique_ptr<Pipeline>> BuildPipelineFromCorpus(
+    text::Corpus corpus, const PipelineOptions& options);
+
+}  // namespace zr::core
+
+#endif  // ZERBERR_CORE_PIPELINE_H_

@@ -1,0 +1,22 @@
+#include "core/query_protocol.h"
+
+namespace zr::core {
+
+uint64_t RequestSize(size_t initial_response_size, size_t request_index) {
+  if (request_index >= 63) return UINT64_MAX;  // avoid shift overflow
+  return static_cast<uint64_t>(initial_response_size) << request_index;
+}
+
+uint64_t CumulativeResponseSize(size_t initial_response_size,
+                                size_t last_index) {
+  if (last_index >= 62) return UINT64_MAX;
+  uint64_t factor = (uint64_t{1} << (last_index + 1)) - 1;
+  return static_cast<uint64_t>(initial_response_size) * factor;
+}
+
+double QueryEfficiencyRatio(size_t k, uint64_t total_response_size) {
+  if (total_response_size == 0) return 1.0;
+  return static_cast<double>(k) / static_cast<double>(total_response_size);
+}
+
+}  // namespace zr::core

@@ -1,0 +1,70 @@
+// The Zerber+R query-answering protocol (paper Section 5.2).
+//
+// The server returns an initial response of `b` top-TRS elements of the
+// requested merged list. The client decrypts, filters out foreign terms and,
+// if it has not yet collected k hits, issues follow-up requests whose size
+// *doubles* each round ("Zerber+R doubles response size for each follow-up
+// request until the user is satisfied with the result or obtains the whole
+// list"). The schedule both caps the number of round trips (log) and blurs
+// the adversary's estimate of the queried term's position in the list.
+
+#ifndef ZERBERR_CORE_QUERY_PROTOCOL_H_
+#define ZERBERR_CORE_QUERY_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace zr::core {
+
+/// Client-side protocol tunables.
+struct ProtocolOptions {
+  /// Initial response size b (paper Section 6.4: b = k minimizes bandwidth
+  /// overhead; b = 10 for the flagship top-10 experiments).
+  size_t initial_response_size = 10;
+
+  /// Safety cap on round trips (the schedule is geometric, so 64 requests
+  /// would cover any list; this guards protocol bugs, not workloads).
+  size_t max_requests = 64;
+
+  /// Extension of the paper's footnote 1 ("optimizations where this size
+  /// could vary depending on the frequency of the terms of each merged
+  /// posting list"): scale the initial request by the number of terms
+  /// merged into the queried list. Under BFM the terms of a list have
+  /// similar frequency, so a list of m terms interleaves ~m elements per
+  /// hit and b = k * m covers the top-k in about one round trip. The merge
+  /// plan is public to clients, so this leaks nothing new.
+  bool adaptive_initial_size = false;
+};
+
+/// Transfer accounting of one top-k query (inputs of Equations 12-14).
+struct QueryTrace {
+  /// Server round trips (1 = answered by the initial response).
+  uint64_t requests = 0;
+
+  /// Total posting elements transferred — the paper's TRes.
+  uint64_t elements_fetched = 0;
+
+  /// Bytes transferred server -> client.
+  uint64_t bytes_fetched = 0;
+
+  /// Elements of the queried term among those fetched.
+  uint64_t hits = 0;
+
+  /// True when the accessible list was exhausted before k hits were found.
+  bool exhausted = false;
+};
+
+/// Size of the i-th request (0-based) under the doubling schedule: b * 2^i.
+uint64_t RequestSize(size_t initial_response_size, size_t request_index);
+
+/// Cumulative elements after request index n (Equation 12):
+/// TRes = b * sum_{i=0..n} 2^i = b * (2^(n+1) - 1).
+uint64_t CumulativeResponseSize(size_t initial_response_size, size_t last_index);
+
+/// Efficiency in query answering (Equation 14): QRatio_eff = k / TRes.
+/// Returns 1.0 when nothing was transferred (vacuously efficient).
+double QueryEfficiencyRatio(size_t k, uint64_t total_response_size);
+
+}  // namespace zr::core
+
+#endif  // ZERBERR_CORE_QUERY_PROTOCOL_H_

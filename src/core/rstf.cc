@@ -1,0 +1,88 @@
+#include "core/rstf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/erf_utils.h"
+
+namespace zr::core {
+
+StatusOr<Rstf> Rstf::Train(std::vector<double> scores,
+                           const RstfOptions& options) {
+  if (scores.empty()) {
+    return Status::InvalidArgument("RSTF requires at least one training score");
+  }
+  if (options.sigma <= 0.0) {
+    return Status::InvalidArgument("RSTF sigma must be positive");
+  }
+  std::sort(scores.begin(), scores.end());
+
+  Rstf rstf;
+  rstf.sigma_ = options.sigma;
+  rstf.kind_ = options.kind;
+
+  if (options.max_training_points > 0 &&
+      scores.size() > options.max_training_points) {
+    // Evenly spaced subsample of the sorted scores: keeps the empirical
+    // quantile structure, bounds evaluation cost.
+    const size_t n = options.max_training_points;
+    rstf.centers_.reserve(n);
+    const double step = static_cast<double>(scores.size() - 1) /
+                        static_cast<double>(n - 1);
+    for (size_t i = 0; i < n; ++i) {
+      rstf.centers_.push_back(
+          scores[static_cast<size_t>(std::llround(step * static_cast<double>(i)))]);
+    }
+  } else {
+    rstf.centers_ = std::move(scores);
+  }
+
+  switch (options.kind) {
+    case RstfKind::kGaussianErf:
+      rstf.kernel_scale_ = options.sigma;
+      // erf saturates to 1 ulp within ~8.5 sigma.
+      rstf.cutoff_ = 9.0 * options.sigma;
+      break;
+    case RstfKind::kLogisticApprox:
+      rstf.kernel_scale_ = LogisticScaleForSigma(options.sigma);
+      // logistic tail e^-(d/s): d = 40 s gives ~4e-18.
+      rstf.cutoff_ = 40.0 * rstf.kernel_scale_;
+      break;
+  }
+  return rstf;
+}
+
+double Rstf::Transform(double x) const {
+  // Kernels centred below x - cutoff contribute 1; above x + cutoff, 0.
+  // Only the O(window) kernels in between need explicit evaluation.
+  auto lo = std::lower_bound(centers_.begin(), centers_.end(), x - cutoff_);
+  auto hi = std::upper_bound(lo, centers_.end(), x + cutoff_);
+
+  double acc = static_cast<double>(lo - centers_.begin());  // saturated ones
+  for (auto it = lo; it != hi; ++it) {
+    acc += kind_ == RstfKind::kGaussianErf
+               ? NormalCdf(x, *it, kernel_scale_)
+               : LogisticCdf(x, *it, kernel_scale_);
+  }
+  return acc / static_cast<double>(centers_.size());
+}
+
+double Rstf::Density(double x) const {
+  auto lo = std::lower_bound(centers_.begin(), centers_.end(), x - cutoff_);
+  auto hi = std::upper_bound(lo, centers_.end(), x + cutoff_);
+  double acc = 0.0;
+  for (auto it = lo; it != hi; ++it) {
+    if (kind_ == RstfKind::kGaussianErf) {
+      acc += NormalPdf(x, *it, kernel_scale_);
+    } else {
+      // Logistic density: e^-z / (s * (1 + e^-z)^2), z = (x - mu)/s.
+      double z = (x - *it) / kernel_scale_;
+      double e = std::exp(-std::abs(z));
+      double denom = (1.0 + e);
+      acc += e / (kernel_scale_ * denom * denom);
+    }
+  }
+  return acc / static_cast<double>(centers_.size());
+}
+
+}  // namespace zr::core

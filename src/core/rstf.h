@@ -1,0 +1,90 @@
+// Relevance Score Transformation Function (paper Section 5.1).
+//
+// The RSTF of a term maps its raw relevance scores (TF/|d|, Equation 4) onto
+// [0, 1] such that the transformed scores (TRS) are approximately uniform —
+// making the score distributions of different terms indistinguishable while
+// preserving per-term order (Section 4.2 requirements).
+//
+// Construction: the per-term score density is modelled as a sum of Gaussian
+// kernels centred at the training scores (Equation 5); the RSTF is the
+// integral of that density (Equation 6):
+//
+//     RSTF(x) = (1/N) * sum_i CDF(x; mu_i, sigma)
+//
+// Two CDF evaluators are provided:
+//  * kGaussianErf     — exact Gaussian CDF via erf (Equations 6-7 verbatim);
+//  * kLogisticApprox  — the paper's Equation 8 sigmoid approximation
+//                       1/(1 + e^-((x - mu_i)/s)), with s = sigma*sqrt(3)/pi
+//                       matching the Gaussian's variance. (The equation as
+//                       printed in the paper is mangled by PDF extraction;
+//                       this is the standard logistic approximation of the
+//                       normal CDF it references.)
+
+#ifndef ZERBERR_CORE_RSTF_H_
+#define ZERBERR_CORE_RSTF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace zr::core {
+
+/// CDF kernel used by the RSTF.
+enum class RstfKind {
+  kGaussianErf,
+  kLogisticApprox,
+};
+
+/// Training options for one RSTF.
+struct RstfOptions {
+  RstfKind kind = RstfKind::kGaussianErf;
+
+  /// Kernel scale sigma of Equation 5 (Section 5.1.3). Must be > 0.
+  double sigma = 0.005;
+
+  /// Cap on stored kernel centres per term. Frequent terms may contribute
+  /// thousands of training scores; beyond the cap an evenly spaced
+  /// subsample of the sorted scores is kept (preserving the empirical
+  /// distribution). 0 = unlimited.
+  size_t max_training_points = 1024;
+};
+
+/// A trained transformation function for one term. Immutable, copyable.
+class Rstf {
+ public:
+  /// Trains from the term's raw training scores (Section 5.1.1's mu_i).
+  /// InvalidArgument if `scores` is empty or sigma <= 0.
+  static StatusOr<Rstf> Train(std::vector<double> scores,
+                              const RstfOptions& options);
+
+  /// Transformed relevance score in [0, 1]. Monotone non-decreasing in x.
+  double Transform(double x) const;
+
+  /// The estimated probability density at x (Equation 5) — the derivative
+  /// of Transform. Used by the Figure 7 harness.
+  double Density(double x) const;
+
+  /// Number of retained kernel centres.
+  size_t NumCenters() const { return centers_.size(); }
+
+  /// Retained centres, ascending.
+  const std::vector<double>& centers() const { return centers_; }
+
+  double sigma() const { return sigma_; }
+  RstfKind kind() const { return kind_; }
+
+ private:
+  Rstf() = default;
+
+  std::vector<double> centers_;  // sorted ascending
+  double sigma_ = 0.0;
+  double kernel_scale_ = 0.0;  // sigma (erf) or logistic s
+  double cutoff_ = 0.0;        // kernel distance beyond which CDF is 0 or 1
+  RstfKind kind_ = RstfKind::kGaussianErf;
+};
+
+}  // namespace zr::core
+
+#endif  // ZERBERR_CORE_RSTF_H_

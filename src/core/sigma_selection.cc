@@ -1,0 +1,150 @@
+#include "core/sigma_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace zr::core {
+
+std::vector<double> LogSpacedGrid(double lo, double hi, size_t points) {
+  std::vector<double> grid;
+  if (points == 0 || lo <= 0.0 || hi <= lo) return grid;
+  grid.reserve(points);
+  if (points == 1) {
+    grid.push_back(lo);
+    return grid;
+  }
+  double log_lo = std::log10(lo), log_hi = std::log10(hi);
+  double step = (log_hi - log_lo) / static_cast<double>(points - 1);
+  for (size_t i = 0; i < points; ++i) {
+    grid.push_back(std::pow(10.0, log_lo + step * static_cast<double>(i)));
+  }
+  return grid;
+}
+
+namespace {
+
+std::vector<double> DefaultGrid() {
+  // Raw scores TF/|d| live roughly in [1e-4, 0.5]; kernel scales from very
+  // narrow (overfit) to very broad (underfit) bracket the optimum.
+  return LogSpacedGrid(1e-5, 0.3, 18);
+}
+
+// Splits scores into train/control deterministically.
+void Split(const std::vector<double>& scores, double control_fraction,
+           uint64_t seed, std::vector<double>* train,
+           std::vector<double>* control) {
+  std::vector<double> shuffled = scores;
+  Rng rng(seed);
+  rng.Shuffle(&shuffled);
+  size_t n_control = std::max<size_t>(
+      1, static_cast<size_t>(control_fraction *
+                             static_cast<double>(shuffled.size())));
+  if (n_control >= shuffled.size()) n_control = shuffled.size() - 1;
+  control->assign(shuffled.begin(),
+                  shuffled.begin() + static_cast<long>(n_control));
+  train->assign(shuffled.begin() + static_cast<long>(n_control),
+                shuffled.end());
+}
+
+}  // namespace
+
+StatusOr<SigmaSelectionResult> SelectSigma(
+    const std::vector<double>& scores, const SigmaSelectionOptions& options) {
+  if (scores.size() < 4) {
+    return Status::InvalidArgument(
+        "sigma cross-validation needs at least 4 scores, got " +
+        std::to_string(scores.size()));
+  }
+  std::vector<double> grid = options.grid.empty() ? DefaultGrid() : options.grid;
+
+  std::vector<double> train, control;
+  Split(scores, options.control_fraction, options.seed, &train, &control);
+
+  SigmaSelectionResult result;
+  result.best_variance = std::numeric_limits<double>::infinity();
+  for (double sigma : grid) {
+    RstfOptions ro;
+    ro.kind = options.kind;
+    ro.sigma = sigma;
+    ro.max_training_points = options.max_training_points;
+    auto rstf = Rstf::Train(train, ro);
+    if (!rstf.ok()) return rstf.status();
+
+    std::vector<double> trs;
+    trs.reserve(control.size());
+    for (double x : control) trs.push_back(rstf->Transform(x));
+    double variance = UniformityVariance(std::move(trs));
+    result.sweep.push_back(SigmaSweepPoint{sigma, variance});
+    if (variance < result.best_variance) {
+      result.best_variance = variance;
+      result.best_sigma = sigma;
+    }
+  }
+  return result;
+}
+
+StatusOr<SigmaSelectionResult> SelectCorpusSigma(
+    const text::Corpus& corpus, const std::vector<text::DocId>& training_docs,
+    size_t sample_terms, const SigmaSelectionOptions& options) {
+  if (training_docs.empty()) {
+    return Status::InvalidArgument("no training documents supplied");
+  }
+  // Collect per-term training scores over the training documents.
+  std::unordered_map<text::TermId, std::vector<double>> scores_by_term;
+  for (text::DocId doc_id : training_docs) {
+    ZR_ASSIGN_OR_RETURN(const text::Document* doc, corpus.GetDocument(doc_id));
+    for (const auto& [term, tf] : doc->terms()) {
+      (void)tf;
+      scores_by_term[term].push_back(doc->RelevanceScore(term));
+    }
+  }
+  // Keep the `sample_terms` terms with the most scores: they dominate index
+  // volume and give the most reliable variance estimates.
+  std::vector<std::pair<text::TermId, std::vector<double>*>> ranked;
+  ranked.reserve(scores_by_term.size());
+  for (auto& [term, s] : scores_by_term) {
+    if (s.size() >= 6) ranked.emplace_back(term, &s);
+  }
+  if (ranked.empty()) {
+    return Status::FailedPrecondition(
+        "training set has no term with enough scores (>= 6)");
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second->size() != b.second->size())
+      return a.second->size() > b.second->size();
+    return a.first < b.first;
+  });
+  if (ranked.size() > sample_terms) ranked.resize(sample_terms);
+
+  std::vector<double> grid = options.grid.empty() ? DefaultGrid() : options.grid;
+  std::vector<double> total_variance(grid.size(), 0.0);
+  SigmaSelectionOptions per_term = options;
+  per_term.grid = grid;
+  for (const auto& [term, scores] : ranked) {
+    per_term.seed = options.seed ^ (0x9E3779B97F4A7C15ULL * (term + 1));
+    ZR_ASSIGN_OR_RETURN(SigmaSelectionResult r,
+                        SelectSigma(*scores, per_term));
+    for (size_t i = 0; i < grid.size(); ++i) {
+      total_variance[i] += r.sweep[i].variance;
+    }
+  }
+
+  SigmaSelectionResult result;
+  result.best_variance = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < grid.size(); ++i) {
+    double avg = total_variance[i] / static_cast<double>(ranked.size());
+    result.sweep.push_back(SigmaSweepPoint{grid[i], avg});
+    if (avg < result.best_variance) {
+      result.best_variance = avg;
+      result.best_sigma = grid[i];
+    }
+  }
+  return result;
+}
+
+}  // namespace zr::core

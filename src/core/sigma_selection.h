@@ -1,0 +1,77 @@
+// Sigma selection by cross-validation (paper Section 5.1.3, Figure 9).
+//
+// The kernel scale sigma controls the generality of the RSTF: too small a
+// sigma underfits (wide bells, term's structure ignored), too large a sigma
+// overfits the training points and destroys uniformity on held-out data.
+// Note the paper's unusual convention: its sigma is the *inverse* bell
+// width ("Smaller sigma means a broader Gaussian bell"); we use the standard
+// convention (sigma = standard deviation of the kernel), so our variance
+// curve falls then rises as sigma *decreases* — same U-shape, mirrored axis.
+//
+// The optimal sigma minimizes the uniformity variance of the transformed
+// control set (a held-out third of the training sample).
+
+#ifndef ZERBERR_CORE_SIGMA_SELECTION_H_
+#define ZERBERR_CORE_SIGMA_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rstf.h"
+#include "text/corpus.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace zr::core {
+
+/// Options for cross-validated sigma selection.
+struct SigmaSelectionOptions {
+  /// Candidate sigma values. Empty = log-spaced default grid.
+  std::vector<double> grid;
+
+  /// CDF kernel used during validation.
+  RstfKind kind = RstfKind::kGaussianErf;
+
+  /// Fraction of the scores held out as the control set (paper: ~1/3).
+  double control_fraction = 1.0 / 3.0;
+
+  /// Subsample cap handed to Rstf::Train.
+  size_t max_training_points = 1024;
+
+  /// Seed of the train/control split.
+  uint64_t seed = 97;
+};
+
+/// One point of the Figure 9 sweep.
+struct SigmaSweepPoint {
+  double sigma = 0.0;
+  /// Uniformity variance of the transformed control set (util/stats.h).
+  double variance = 0.0;
+};
+
+/// Result of the cross-validation sweep.
+struct SigmaSelectionResult {
+  double best_sigma = 0.0;
+  double best_variance = 0.0;
+  std::vector<SigmaSweepPoint> sweep;
+};
+
+/// Default log-spaced sigma grid over [lo, hi] with `points` points.
+std::vector<double> LogSpacedGrid(double lo, double hi, size_t points);
+
+/// Cross-validates sigma for one term's raw scores. InvalidArgument when
+/// fewer than 4 scores are supplied (no meaningful split exists).
+StatusOr<SigmaSelectionResult> SelectSigma(const std::vector<double>& scores,
+                                           const SigmaSelectionOptions& options);
+
+/// Corpus-level sigma: averages the per-sigma control variance over the
+/// `sample_terms` terms with the most training data in `training_docs`, then
+/// picks the minimizing sigma. This is the production default; per-term
+/// cross-validation remains available for ablation.
+StatusOr<SigmaSelectionResult> SelectCorpusSigma(
+    const text::Corpus& corpus, const std::vector<text::DocId>& training_docs,
+    size_t sample_terms, const SigmaSelectionOptions& options);
+
+}  // namespace zr::core
+
+#endif  // ZERBERR_CORE_SIGMA_SELECTION_H_

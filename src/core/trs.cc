@@ -1,0 +1,65 @@
+#include "core/trs.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace zr::core {
+
+void TrsAssigner::SetRstf(text::TermId term, Rstf rstf) {
+  rstfs_.insert_or_assign(term, std::move(rstf));
+}
+
+double TrsAssigner::Assign(text::TermId term, std::string_view term_string,
+                           text::DocId doc, double score) const {
+  auto it = rstfs_.find(term);
+  if (it != rstfs_.end()) return it->second.Transform(score);
+  return keys_->DeterministicUnit(term_string, doc);
+}
+
+StatusOr<const Rstf*> TrsAssigner::GetRstf(text::TermId term) const {
+  auto it = rstfs_.find(term);
+  if (it == rstfs_.end()) {
+    return Status::NotFound("no trained RSTF for term " + std::to_string(term));
+  }
+  return &it->second;
+}
+
+std::vector<text::DocId> SampleTrainingDocs(const text::Corpus& corpus,
+                                            double fraction, uint64_t seed) {
+  std::vector<text::DocId> all(corpus.NumDocuments());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<text::DocId>(i);
+  Rng rng(seed);
+  rng.Shuffle(&all);
+  size_t n = static_cast<size_t>(fraction * static_cast<double>(all.size()));
+  n = std::clamp<size_t>(n, std::min<size_t>(1, all.size()), all.size());
+  all.resize(n);
+  return all;
+}
+
+StatusOr<TrsAssigner> TrainTrsAssigner(const text::Corpus& corpus,
+                                       const std::vector<text::DocId>& docs,
+                                       const TrsTrainerOptions& options,
+                                       const crypto::KeyStore* keys) {
+  if (keys == nullptr) {
+    return Status::InvalidArgument("key store must not be null");
+  }
+  std::unordered_map<text::TermId, std::vector<double>> scores_by_term;
+  for (text::DocId doc_id : docs) {
+    ZR_ASSIGN_OR_RETURN(const text::Document* doc, corpus.GetDocument(doc_id));
+    for (const auto& [term, tf] : doc->terms()) {
+      (void)tf;
+      scores_by_term[term].push_back(doc->RelevanceScore(term));
+    }
+  }
+
+  TrsAssigner assigner(keys);
+  for (auto& [term, scores] : scores_by_term) {
+    if (scores.size() < options.min_training_scores) continue;
+    ZR_ASSIGN_OR_RETURN(Rstf rstf, Rstf::Train(std::move(scores), options.rstf));
+    assigner.SetRstf(term, std::move(rstf));
+  }
+  return assigner;
+}
+
+}  // namespace zr::core

@@ -1,0 +1,81 @@
+// TRS assignment: per-term RSTF registry + trainer (paper Section 5).
+//
+// Offline pre-computation phase: from a representative training sample of
+// the corpus (paper: 30%), Zerber+R trains one RSTF per term and publishes
+// the functions to inserting clients. Online phase: an inserting client
+// computes the TRS of each posting element locally and uploads it next to
+// the sealed payload. Terms unseen during training are assumed rare and get
+// a deterministic pseudo-random TRS (Section 5.1.1) derived from the
+// client-side directory key, so the server still cannot correlate them.
+
+#ifndef ZERBERR_CORE_TRS_H_
+#define ZERBERR_CORE_TRS_H_
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rstf.h"
+#include "crypto/keys.h"
+#include "text/corpus.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace zr::core {
+
+/// Client-side registry of trained RSTFs.
+class TrsAssigner {
+ public:
+  /// `keys` supplies the deterministic fallback for unseen terms; must
+  /// outlive the assigner.
+  explicit TrsAssigner(const crypto::KeyStore* keys) : keys_(keys) {}
+
+  /// Registers the trained RSTF of a term (replacing any previous one).
+  void SetRstf(text::TermId term, Rstf rstf);
+
+  /// True if the term has a trained RSTF.
+  bool HasRstf(text::TermId term) const { return rstfs_.count(term) > 0; }
+
+  /// TRS for a posting element. Trained terms: RSTF(score). Unseen terms:
+  /// deterministic pseudo-random value bound to (term_string, doc).
+  double Assign(text::TermId term, std::string_view term_string,
+                text::DocId doc, double score) const;
+
+  /// The term's RSTF; NotFound if untrained.
+  StatusOr<const Rstf*> GetRstf(text::TermId term) const;
+
+  /// Number of trained terms.
+  size_t NumTrained() const { return rstfs_.size(); }
+
+ private:
+  const crypto::KeyStore* keys_;
+  std::unordered_map<text::TermId, Rstf> rstfs_;
+};
+
+/// Trainer configuration.
+struct TrsTrainerOptions {
+  /// Kernel + sigma used for every term's RSTF. Choose sigma with
+  /// sigma_selection.h (or leave the calibrated default).
+  RstfOptions rstf;
+
+  /// Terms with fewer training scores than this are left untrained (they
+  /// fall back to the pseudo-random path, matching the paper's treatment of
+  /// rare/unseen terms).
+  size_t min_training_scores = 2;
+};
+
+/// Splits the corpus into training document ids: a deterministic random
+/// sample of `fraction` of all documents (paper: 30%).
+std::vector<text::DocId> SampleTrainingDocs(const text::Corpus& corpus,
+                                            double fraction, uint64_t seed);
+
+/// Trains per-term RSTFs from the given training documents.
+StatusOr<TrsAssigner> TrainTrsAssigner(const text::Corpus& corpus,
+                                       const std::vector<text::DocId>& docs,
+                                       const TrsTrainerOptions& options,
+                                       const crypto::KeyStore* keys);
+
+}  // namespace zr::core
+
+#endif  // ZERBERR_CORE_TRS_H_

@@ -1,0 +1,54 @@
+#include "core/workload_model.h"
+
+namespace zr::core {
+
+double ExpectedFirstPosition(const text::Corpus& corpus,
+                             const zerber::MergePlan& plan,
+                             text::TermId term) {
+  auto it = plan.term_to_list.find(term);
+  if (it == plan.term_to_list.end()) return 0.0;
+  uint64_t nd_t = corpus.DocumentFrequency(term);
+  if (nd_t == 0) return 0.0;
+  uint64_t total = 0;
+  for (text::TermId t : plan.lists[it->second]) {
+    total += corpus.DocumentFrequency(t);
+  }
+  return static_cast<double>(total) / static_cast<double>(nd_t);
+}
+
+double ExpectedElementsForTopK(const text::Corpus& corpus,
+                               const zerber::MergePlan& plan,
+                               text::TermId term, size_t k) {
+  return static_cast<double>(k) * ExpectedFirstPosition(corpus, plan, term);
+}
+
+double TotalWorkloadCost(
+    const text::Corpus& corpus, const zerber::MergePlan& plan,
+    const std::unordered_map<text::TermId, uint64_t>& query_frequency,
+    size_t k) {
+  double total = 0.0;
+  for (const auto& [term, freq] : query_frequency) {
+    total += static_cast<double>(freq) *
+             ExpectedElementsForTopK(corpus, plan, term, k);
+  }
+  return total;
+}
+
+double AverageBandwidthOverhead(const std::vector<QueryTrace>& traces,
+                                size_t k) {
+  if (traces.empty() || k == 0) return 0.0;
+  double acc = 0.0;
+  for (const QueryTrace& t : traces) {
+    acc += static_cast<double>(t.elements_fetched) / static_cast<double>(k);
+  }
+  return acc / static_cast<double>(traces.size());
+}
+
+double AverageRequests(const std::vector<QueryTrace>& traces) {
+  if (traces.empty()) return 0.0;
+  double acc = 0.0;
+  for (const QueryTrace& t : traces) acc += static_cast<double>(t.requests);
+  return acc / static_cast<double>(traces.size());
+}
+
+}  // namespace zr::core

@@ -1,0 +1,49 @@
+// Analytical workload model (paper Equations 9-13).
+
+#ifndef ZERBERR_CORE_WORKLOAD_MODEL_H_
+#define ZERBERR_CORE_WORKLOAD_MODEL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/query_protocol.h"
+#include "text/corpus.h"
+#include "zerber/merge_planner.h"
+
+namespace zr::core {
+
+/// Expected (1-based) position of the first element of `term` in its
+/// TRS-sorted merged list (Equation 10): because TRS values of every merged
+/// term are uniform on [0,1], the term's nd(t) elements interleave uniformly
+/// with the other terms' elements, so
+///     pos1(t) ~= sum_{t_i in L} nd(t_i) / nd(t).
+/// Returns 0 if the term has no postings or is not in the plan.
+double ExpectedFirstPosition(const text::Corpus& corpus,
+                             const zerber::MergePlan& plan, text::TermId term);
+
+/// Expected elements to retrieve from the merged list to cover the term's
+/// top-k (Equation 11): N(L) = k * pos1(t).
+double ExpectedElementsForTopK(const text::Corpus& corpus,
+                               const zerber::MergePlan& plan,
+                               text::TermId term, size_t k);
+
+/// Total workload cost (Equation 9): Q = sum over merged lists of
+/// N(L_j) * sum of query frequencies q_j of the list's terms.
+/// `query_frequency` maps term -> how often it is queried in the workload.
+double TotalWorkloadCost(
+    const text::Corpus& corpus, const zerber::MergePlan& plan,
+    const std::unordered_map<text::TermId, uint64_t>& query_frequency,
+    size_t k);
+
+/// Average bandwidth overhead (Equation 13): mean over queries of
+/// TRes(q) / k, where TRes is the measured total response size.
+double AverageBandwidthOverhead(const std::vector<QueryTrace>& traces,
+                                size_t k);
+
+/// Average number of requests over the traces.
+double AverageRequests(const std::vector<QueryTrace>& traces);
+
+}  // namespace zr::core
+
+#endif  // ZERBERR_CORE_WORKLOAD_MODEL_H_

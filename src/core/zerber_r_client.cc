@@ -1,0 +1,99 @@
+#include "core/zerber_r_client.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace zr::core {
+
+Status ZerberRClient::IndexDocument(const text::Document& doc) {
+  for (const auto& [term, tf] : doc.terms()) {
+    (void)tf;
+    double score = doc.RelevanceScore(term);
+    ZR_ASSIGN_OR_RETURN(std::string term_string, vocab_->TermOf(term));
+    double trs = assigner_->Assign(term, term_string, doc.id(), score);
+    ZR_RETURN_IF_ERROR(UploadElement(term, doc.id(), score, doc.group(), trs));
+  }
+  return Status::OK();
+}
+
+StatusOr<TopKResult> ZerberRClient::QueryTopK(text::TermId term, size_t k) {
+  ZR_ASSIGN_OR_RETURN(zerber::MergedListId list, ListOf(term));
+
+  size_t initial = protocol_.initial_response_size;
+  if (protocol_.adaptive_initial_size && list < plan_->lists.size()) {
+    // Footnote-1 extension: one interleaved "stripe" of the merged list per
+    // expected hit.
+    initial = std::max<size_t>(initial, k * plan_->lists[list].size());
+  }
+
+  TopKResult out;
+  size_t offset = 0;
+  size_t request_index = 0;
+  while (out.trace.hits < k && out.trace.requests < protocol_.max_requests) {
+    size_t want = static_cast<size_t>(RequestSize(initial, request_index));
+    ZR_ASSIGN_OR_RETURN(zerber::FetchResult fetched,
+                        server_->Fetch(user_, list, offset, want));
+    ++out.trace.requests;
+    out.trace.elements_fetched += fetched.elements.size();
+    out.trace.bytes_fetched += fetched.wire_bytes;
+
+    for (const zerber::EncryptedPostingElement& element : fetched.elements) {
+      auto payload = OpenPostingElement(element, *keys_);
+      if (!payload.ok()) {
+        if (payload.status().IsPermissionDenied()) continue;
+        return payload.status();
+      }
+      if (payload->term != term) continue;
+      if (out.trace.hits < k) {
+        out.results.push_back(index::ScoredDoc{payload->doc, payload->score});
+        ++out.trace.hits;
+      }
+    }
+
+    if (fetched.exhausted) {
+      out.trace.exhausted = true;
+      break;
+    }
+    offset += fetched.elements.size();
+    ++request_index;
+  }
+
+  // Elements arrive in descending TRS order; within one term that is
+  // descending raw-score order (RSTF monotonicity), so results are already
+  // ranked. Sort defensively for exact tie determinism.
+  std::stable_sort(out.results.begin(), out.results.end(),
+                   [](const index::ScoredDoc& a, const index::ScoredDoc& b) {
+                     return a.score > b.score;
+                   });
+  return out;
+}
+
+StatusOr<TopKResult> ZerberRClient::QueryTopKMulti(
+    const std::vector<text::TermId>& terms, size_t k) {
+  std::unordered_map<text::DocId, double> acc;
+  TopKResult out;
+  for (text::TermId term : terms) {
+    ZR_ASSIGN_OR_RETURN(TopKResult single, QueryTopK(term, k));
+    out.trace.requests += single.trace.requests;
+    out.trace.elements_fetched += single.trace.elements_fetched;
+    out.trace.bytes_fetched += single.trace.bytes_fetched;
+    out.trace.hits += single.trace.hits;
+    out.trace.exhausted = out.trace.exhausted || single.trace.exhausted;
+    for (const index::ScoredDoc& d : single.results) {
+      acc[d.doc_id] += d.score;
+    }
+  }
+  out.results.reserve(acc.size());
+  for (const auto& [doc, score] : acc) {
+    out.results.push_back(index::ScoredDoc{doc, score});
+  }
+  std::sort(out.results.begin(), out.results.end(),
+            [](const index::ScoredDoc& a, const index::ScoredDoc& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc_id < b.doc_id;
+            });
+  if (out.results.size() > k) out.results.resize(k);
+  return out;
+}
+
+}  // namespace zr::core

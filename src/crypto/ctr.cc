@@ -1,0 +1,76 @@
+#include "crypto/ctr.h"
+
+#include <cstring>
+
+#include "crypto/aes.h"
+#include "crypto/hmac.h"
+#include "util/coding.h"
+
+namespace zr::crypto {
+
+StatusOr<std::string> CtrTransform(std::string_view key, uint64_t nonce,
+                                   std::string_view data) {
+  ZR_ASSIGN_OR_RETURN(Aes aes, Aes::Create(key));
+
+  std::string out(data.begin(), data.end());
+  AesBlock counter_block;
+  size_t offset = 0;
+  uint64_t block_index = 0;
+  while (offset < out.size()) {
+    // Counter block: nonce (8B BE) || block index (8B BE).
+    for (int i = 0; i < 8; ++i) {
+      counter_block[i] = static_cast<uint8_t>(nonce >> (56 - 8 * i));
+      counter_block[8 + i] = static_cast<uint8_t>(block_index >> (56 - 8 * i));
+    }
+    aes.EncryptBlock(&counter_block);
+    size_t chunk = std::min(kAesBlockSize, out.size() - offset);
+    for (size_t i = 0; i < chunk; ++i) {
+      out[offset + i] = static_cast<char>(
+          static_cast<uint8_t>(out[offset + i]) ^ counter_block[i]);
+    }
+    offset += chunk;
+    ++block_index;
+  }
+  return out;
+}
+
+StatusOr<std::string> Seal(std::string_view enc_key, std::string_view mac_key,
+                           uint64_t nonce, std::string_view plaintext) {
+  ZR_ASSIGN_OR_RETURN(std::string ciphertext,
+                      CtrTransform(enc_key, nonce, plaintext));
+  std::string out;
+  out.reserve(kSealNonceSize + ciphertext.size() + kSealTagSize);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>(nonce >> (56 - 8 * i)));
+  }
+  out.append(ciphertext);
+  Sha256Digest tag = HmacSha256(mac_key, out);
+  out.append(reinterpret_cast<const char*>(tag.data()), kSealTagSize);
+  return out;
+}
+
+StatusOr<std::string> Open(std::string_view enc_key, std::string_view mac_key,
+                           std::string_view sealed) {
+  if (sealed.size() < kSealNonceSize + kSealTagSize) {
+    return Status::Corruption("sealed message too short");
+  }
+  std::string_view body =
+      sealed.substr(0, sealed.size() - kSealTagSize);
+  std::string_view tag = sealed.substr(sealed.size() - kSealTagSize);
+
+  Sha256Digest expected = HmacSha256(mac_key, body);
+  // Constant-time comparison of the truncated tag.
+  uint8_t diff = 0;
+  for (size_t i = 0; i < kSealTagSize; ++i) {
+    diff |= static_cast<uint8_t>(tag[i]) ^ expected[i];
+  }
+  if (diff != 0) return Status::Corruption("authentication tag mismatch");
+
+  uint64_t nonce = 0;
+  for (size_t i = 0; i < kSealNonceSize; ++i) {
+    nonce = (nonce << 8) | static_cast<uint8_t>(body[i]);
+  }
+  return CtrTransform(enc_key, nonce, body.substr(kSealNonceSize));
+}
+
+}  // namespace zr::crypto

@@ -1,0 +1,43 @@
+// AES-CTR stream encryption (SP 800-38A) with an HMAC integrity tag.
+//
+// Posting elements are sealed with Encrypt-then-MAC: AES-CTR for
+// confidentiality, truncated HMAC-SHA-256 for integrity. The nonce is caller
+// supplied and must be unique per (key, message).
+
+#ifndef ZERBERR_CRYPTO_CTR_H_
+#define ZERBERR_CRYPTO_CTR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace zr::crypto {
+
+/// Bytes of HMAC tag appended by Seal (truncated HMAC-SHA-256).
+constexpr size_t kSealTagSize = 8;
+
+/// Bytes of nonce prepended by Seal.
+constexpr size_t kSealNonceSize = 8;
+
+/// Raw CTR keystream transform: out = data XOR AES-CTR(key, nonce).
+/// Symmetric: applying it twice with the same arguments restores the input.
+/// `key` must be 16 or 32 bytes.
+StatusOr<std::string> CtrTransform(std::string_view key, uint64_t nonce,
+                                   std::string_view data);
+
+/// Authenticated encryption: nonce (8B) || ciphertext || tag (8B).
+/// `enc_key` and `mac_key` should be independent (see DeriveKey).
+StatusOr<std::string> Seal(std::string_view enc_key, std::string_view mac_key,
+                           uint64_t nonce, std::string_view plaintext);
+
+/// Inverse of Seal. Returns Corruption if the tag does not verify or the
+/// message is malformed.
+StatusOr<std::string> Open(std::string_view enc_key, std::string_view mac_key,
+                           std::string_view sealed);
+
+}  // namespace zr::crypto
+
+#endif  // ZERBERR_CRYPTO_CTR_H_

@@ -1,0 +1,63 @@
+#include "crypto/drbg.h"
+
+#include <cstring>
+
+#include "crypto/sha256.h"
+
+namespace zr::crypto {
+
+namespace {
+
+Aes MakeAesFromSeed(std::string_view seed) {
+  Sha256Digest d = Sha256::Hash(seed);
+  // First 16 bytes of the hash as AES-128 key; cannot fail for this length.
+  auto aes = Aes::Create(
+      std::string_view(reinterpret_cast<const char*>(d.data()), 16));
+  return std::move(aes).value();
+}
+
+}  // namespace
+
+Drbg::Drbg(std::string_view seed) : aes_(MakeAesFromSeed(seed)) {}
+
+void Drbg::Refill() {
+  AesBlock block{};
+  for (int i = 0; i < 8; ++i) {
+    block[8 + i] = static_cast<uint8_t>(counter_ >> (56 - 8 * i));
+  }
+  ++counter_;
+  aes_.EncryptBlock(&block);
+  buffer_ = block;
+  buffer_pos_ = 0;
+}
+
+void Drbg::Generate(size_t n, std::string* out) {
+  out->reserve(out->size() + n);
+  while (n > 0) {
+    if (buffer_pos_ >= kAesBlockSize) Refill();
+    size_t take = std::min(n, kAesBlockSize - buffer_pos_);
+    out->append(reinterpret_cast<const char*>(buffer_.data()) + buffer_pos_,
+                take);
+    buffer_pos_ += take;
+    n -= take;
+  }
+}
+
+std::string Drbg::GenerateBytes(size_t n) {
+  std::string out;
+  Generate(n, &out);
+  return out;
+}
+
+uint64_t Drbg::NextU64() {
+  std::string bytes = GenerateBytes(8);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | static_cast<uint8_t>(bytes[i]);
+  return v;
+}
+
+double Drbg::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace zr::crypto

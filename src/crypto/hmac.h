@@ -1,0 +1,36 @@
+// HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+//
+// Used to derive per-term keys, term pseudonyms (so the index server sees
+// opaque posting-list identifiers instead of terms), and deterministic
+// "random" TRS values for unseen terms (paper Section 5.1.1).
+// Validated against the RFC 4231 test vectors.
+
+#ifndef ZERBERR_CRYPTO_HMAC_H_
+#define ZERBERR_CRYPTO_HMAC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "crypto/sha256.h"
+
+namespace zr::crypto {
+
+/// Computes HMAC-SHA-256(key, message).
+Sha256Digest HmacSha256(std::string_view key, std::string_view message);
+
+/// HKDF-style single-step key derivation: HMAC(key, label || 0x00 || context).
+/// Distinct labels give independent keys from one master secret.
+Sha256Digest DeriveKey(std::string_view master_key, std::string_view label,
+                       std::string_view context);
+
+/// First 8 bytes of HMAC(key, message) as a uint64 (big-endian). Handy for
+/// deterministic pseudo-random values bound to a secret.
+uint64_t HmacSha256Trunc64(std::string_view key, std::string_view message);
+
+/// Digest as a std::string of raw bytes (for use as a key).
+std::string DigestToKey(const Sha256Digest& digest);
+
+}  // namespace zr::crypto
+
+#endif  // ZERBERR_CRYPTO_HMAC_H_

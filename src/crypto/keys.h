@@ -1,0 +1,72 @@
+// Group key management.
+//
+// In the Zerber model (paper Sections 2-3) documents belong to collaboration
+// groups; members of a group share key material that the index server never
+// sees. The KeyStore holds per-group master secrets and derives independent
+// encryption/MAC subkeys, plus a corpus-wide directory key used to map terms
+// to opaque pseudonyms so the server only ever sees posting-list IDs.
+
+#ifndef ZERBERR_CRYPTO_KEYS_H_
+#define ZERBERR_CRYPTO_KEYS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "crypto/drbg.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace zr::crypto {
+
+/// Identifier of a collaboration group.
+using GroupId = uint32_t;
+
+/// Derived key pair for sealing posting elements of one group.
+struct GroupKeys {
+  std::string enc_key;  ///< 16-byte AES-128 key.
+  std::string mac_key;  ///< 32-byte HMAC key.
+};
+
+/// Client-side key store. The index server has no access to an instance of
+/// this class; it only ever handles sealed bytes and pseudonymous IDs.
+class KeyStore {
+ public:
+  /// Creates a store whose keys are derived deterministically from `seed`
+  /// (reproducible experiments). Use a high-entropy seed in production.
+  explicit KeyStore(std::string_view seed);
+
+  /// Registers a group and generates its master secret.
+  /// AlreadyExists if the group was registered before.
+  Status CreateGroup(GroupId group);
+
+  /// True if the group exists.
+  bool HasGroup(GroupId group) const;
+
+  /// Derived encryption + MAC keys for a group. NotFound if unknown.
+  StatusOr<GroupKeys> GetGroupKeys(GroupId group) const;
+
+  /// Deterministic pseudonym of a term under the directory key. The server
+  /// observes pseudonyms (as posting-list lookup keys), never terms.
+  uint64_t TermPseudonym(std::string_view term) const;
+
+  /// Deterministic pseudo-random value in [0,1) bound to (term, context).
+  /// Used for assigning random-but-reproducible TRS values to terms that
+  /// were absent from the RSTF training set (paper Section 5.1.1).
+  double DeterministicUnit(std::string_view term, uint64_t context) const;
+
+  /// Fresh unique nonce for sealing (monotonic counter mixed with the seed).
+  uint64_t NextNonce();
+
+ private:
+  std::string directory_key_;
+  std::map<GroupId, std::string> master_keys_;
+  Drbg drbg_;
+  uint64_t nonce_counter_ = 0;
+  uint64_t nonce_salt_ = 0;
+};
+
+}  // namespace zr::crypto
+
+#endif  // ZERBERR_CRYPTO_KEYS_H_

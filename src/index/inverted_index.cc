@@ -1,0 +1,67 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+
+namespace zr::index {
+
+InvertedIndex InvertedIndex::Build(const text::Corpus& corpus,
+                                   ScoringModel model) {
+  InvertedIndex idx;
+  idx.model_ = model;
+  Scorer scorer(&corpus, model);
+
+  std::unordered_map<text::TermId, std::vector<Posting>> raw;
+  for (const text::Document& doc : corpus.documents()) {
+    for (const auto& [term, tf] : doc.terms()) {
+      raw[term].push_back(Posting{doc.id(), scorer.Score(doc, term)});
+      ++idx.num_postings_;
+    }
+  }
+  idx.lists_.reserve(raw.size());
+  for (auto& [term, postings] : raw) {
+    idx.lists_.emplace(term, PostingList::FromUnsorted(std::move(postings)));
+  }
+  return idx;
+}
+
+std::vector<ScoredDoc> InvertedIndex::TopK(text::TermId term, size_t k) const {
+  std::vector<ScoredDoc> out;
+  auto it = lists_.find(term);
+  if (it == lists_.end()) return out;
+  for (const Posting& p : it->second.TopK(k)) {
+    out.push_back(ScoredDoc{p.doc_id, p.score});
+  }
+  return out;
+}
+
+std::vector<ScoredDoc> InvertedIndex::TopKMulti(
+    const std::vector<text::TermId>& terms, size_t k) const {
+  std::unordered_map<text::DocId, double> acc;
+  for (text::TermId term : terms) {
+    auto it = lists_.find(term);
+    if (it == lists_.end()) continue;
+    for (const Posting& p : it->second.postings()) {
+      acc[p.doc_id] += p.score;
+    }
+  }
+  std::vector<ScoredDoc> all;
+  all.reserve(acc.size());
+  for (const auto& [doc, score] : acc) all.push_back(ScoredDoc{doc, score});
+  std::sort(all.begin(), all.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc_id < b.doc_id;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+StatusOr<const PostingList*> InvertedIndex::GetPostingList(
+    text::TermId term) const {
+  auto it = lists_.find(term);
+  if (it == lists_.end()) {
+    return Status::NotFound("no posting list for term " + std::to_string(term));
+  }
+  return &it->second;
+}
+
+}  // namespace zr::index

@@ -1,0 +1,62 @@
+// The ordinary (plaintext) inverted index — the paper's efficiency and
+// effectiveness comparator ("offers retrieval properties comparable with an
+// ordinary inverted index", Abstract).
+
+#ifndef ZERBERR_INDEX_INVERTED_INDEX_H_
+#define ZERBERR_INDEX_INVERTED_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "index/posting_list.h"
+#include "index/scorer.h"
+#include "text/corpus.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace zr::index {
+
+/// Result entry of a (single- or multi-term) query.
+struct ScoredDoc {
+  text::DocId doc_id = 0;
+  double score = 0.0;
+
+  friend bool operator==(const ScoredDoc&, const ScoredDoc&) = default;
+};
+
+/// Plaintext inverted index with score-sorted posting lists.
+class InvertedIndex {
+ public:
+  /// Builds the index over `corpus` with the given scoring model. The corpus
+  /// must outlive the index.
+  static InvertedIndex Build(const text::Corpus& corpus, ScoringModel model);
+
+  /// Top-k documents for a single term (prefix of the sorted posting list).
+  std::vector<ScoredDoc> TopK(text::TermId term, size_t k) const;
+
+  /// Top-k for a multi-term query by score accumulation over posting lists
+  /// (document-at-a-time is unnecessary at our scale; term-at-a-time
+  /// accumulation is exact).
+  std::vector<ScoredDoc> TopKMulti(const std::vector<text::TermId>& terms,
+                                   size_t k) const;
+
+  /// Posting list of a term; NotFound if the term has no postings.
+  StatusOr<const PostingList*> GetPostingList(text::TermId term) const;
+
+  /// Number of posting lists (== distinct indexed terms).
+  size_t NumLists() const { return lists_.size(); }
+
+  /// Total posting elements.
+  uint64_t NumPostings() const { return num_postings_; }
+
+  ScoringModel model() const { return model_; }
+
+ private:
+  std::unordered_map<text::TermId, PostingList> lists_;
+  uint64_t num_postings_ = 0;
+  ScoringModel model_ = ScoringModel::kNormalizedTf;
+};
+
+}  // namespace zr::index
+
+#endif  // ZERBERR_INDEX_INVERTED_INDEX_H_

@@ -1,0 +1,33 @@
+// Posting element of the ordinary (plaintext) inverted index.
+
+#ifndef ZERBERR_INDEX_POSTING_H_
+#define ZERBERR_INDEX_POSTING_H_
+
+#include <cstdint>
+
+#include "text/document.h"
+
+namespace zr::index {
+
+/// One entry of a plaintext posting list: a document and the relevance score
+/// of the list's term for it (Figure 1 of the paper).
+struct Posting {
+  text::DocId doc_id = 0;
+  /// Relevance score used for ranking (e.g. TF/|d|, Equation 4).
+  double score = 0.0;
+
+  friend bool operator==(const Posting&, const Posting&) = default;
+};
+
+/// Sort order of posting lists: descending score, ties by ascending doc id
+/// (deterministic, so top-k results are reproducible).
+struct PostingScoreOrder {
+  bool operator()(const Posting& a, const Posting& b) const {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc_id < b.doc_id;
+  }
+};
+
+}  // namespace zr::index
+
+#endif  // ZERBERR_INDEX_POSTING_H_

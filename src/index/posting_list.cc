@@ -1,0 +1,25 @@
+#include "index/posting_list.h"
+
+#include <algorithm>
+
+namespace zr::index {
+
+void PostingList::Insert(const Posting& posting) {
+  auto it = std::lower_bound(postings_.begin(), postings_.end(), posting,
+                             PostingScoreOrder());
+  postings_.insert(it, posting);
+}
+
+PostingList PostingList::FromUnsorted(std::vector<Posting> postings) {
+  std::sort(postings.begin(), postings.end(), PostingScoreOrder());
+  PostingList list;
+  list.postings_ = std::move(postings);
+  return list;
+}
+
+std::vector<Posting> PostingList::TopK(size_t k) const {
+  size_t n = std::min(k, postings_.size());
+  return std::vector<Posting>(postings_.begin(), postings_.begin() + n);
+}
+
+}  // namespace zr::index

@@ -1,0 +1,42 @@
+// A score-sorted posting list.
+
+#ifndef ZERBERR_INDEX_POSTING_LIST_H_
+#define ZERBERR_INDEX_POSTING_LIST_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "index/posting.h"
+
+namespace zr::index {
+
+/// Posting list kept sorted by descending score, which allows the top-k
+/// prefix to be read off directly (paper Section 1: "Posting elements within
+/// the list are sorted with respect to their scores").
+class PostingList {
+ public:
+  PostingList() = default;
+
+  /// Inserts a posting, maintaining sort order. O(log n) search + O(n) move.
+  void Insert(const Posting& posting);
+
+  /// Bulk-builds from unsorted postings. O(n log n).
+  static PostingList FromUnsorted(std::vector<Posting> postings);
+
+  /// Number of postings.
+  size_t size() const { return postings_.size(); }
+  bool empty() const { return postings_.empty(); }
+
+  /// The k highest-scored postings (fewer if the list is shorter).
+  std::vector<Posting> TopK(size_t k) const;
+
+  /// All postings in descending score order.
+  const std::vector<Posting>& postings() const { return postings_; }
+
+ private:
+  std::vector<Posting> postings_;
+};
+
+}  // namespace zr::index
+
+#endif  // ZERBERR_INDEX_POSTING_LIST_H_

@@ -1,0 +1,23 @@
+#include "index/scorer.h"
+
+namespace zr::index {
+
+double Scorer::Idf(text::TermId term) const {
+  uint64_t df = corpus_->DocumentFrequency(term);
+  if (df == 0) return 0.0;
+  double n = static_cast<double>(corpus_->NumDocuments());
+  return std::log(n / static_cast<double>(df));
+}
+
+double Scorer::Score(const text::Document& doc, text::TermId term) const {
+  double ntf = doc.RelevanceScore(term);  // TF / |d|
+  switch (model_) {
+    case ScoringModel::kNormalizedTf:
+      return ntf;
+    case ScoringModel::kTfIdf:
+      return ntf * Idf(term);
+  }
+  return 0.0;
+}
+
+}  // namespace zr::index

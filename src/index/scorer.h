@@ -1,0 +1,45 @@
+// Relevance scoring functions (paper Section 3.2).
+
+#ifndef ZERBERR_INDEX_SCORER_H_
+#define ZERBERR_INDEX_SCORER_H_
+
+#include <cmath>
+
+#include "text/corpus.h"
+
+namespace zr::index {
+
+/// Which scoring model a plaintext index uses.
+enum class ScoringModel {
+  /// Normalized term frequency TF/|d| (Equation 4) — the confidential
+  /// ranking model of Zerber+R; IDF-free so single documents suffice.
+  kNormalizedTf,
+  /// TF/|d| * log(N / df) (Equation 3) — classic TFxIDF; needs collection
+  /// statistics and therefore leaks them (Section 3.2). Used as the
+  /// plaintext multi-term comparator.
+  kTfIdf,
+};
+
+/// Computes per-(term, document) relevance scores over a corpus.
+class Scorer {
+ public:
+  Scorer(const text::Corpus* corpus, ScoringModel model)
+      : corpus_(corpus), model_(model) {}
+
+  /// Score of `term` in `doc` under the configured model. Returns 0 for
+  /// absent terms.
+  double Score(const text::Document& doc, text::TermId term) const;
+
+  /// The IDF factor log(N / df(t)); 0 when df == 0.
+  double Idf(text::TermId term) const;
+
+  ScoringModel model() const { return model_; }
+
+ private:
+  const text::Corpus* corpus_;
+  ScoringModel model_;
+};
+
+}  // namespace zr::index
+
+#endif  // ZERBERR_INDEX_SCORER_H_

@@ -1,0 +1,58 @@
+#include "index/term_stats.h"
+
+#include <algorithm>
+
+namespace zr::index {
+
+std::vector<double> TermStats::TfSeries(text::TermId term) const {
+  std::vector<double> out;
+  for (const text::Document& doc : corpus_->documents()) {
+    uint32_t tf = doc.TermFrequency(term);
+    if (tf > 0) out.push_back(static_cast<double>(tf));
+  }
+  return out;
+}
+
+std::vector<double> TermStats::NormalizedTfSeries(text::TermId term) const {
+  std::vector<double> out;
+  for (const text::Document& doc : corpus_->documents()) {
+    if (doc.TermFrequency(term) > 0) out.push_back(doc.RelevanceScore(term));
+  }
+  return out;
+}
+
+LogHistogram TermStats::TfDistribution(text::TermId term,
+                                       size_t buckets_per_decade) const {
+  std::vector<double> series = TfSeries(term);
+  double max_v = 1.0;
+  for (double v : series) max_v = std::max(max_v, v);
+  LogHistogram h(1.0, max_v + 1.0, buckets_per_decade);
+  for (double v : series) h.Add(v);
+  return h;
+}
+
+LogHistogram TermStats::NormalizedTfDistribution(
+    text::TermId term, size_t buckets_per_decade) const {
+  std::vector<double> series = NormalizedTfSeries(term);
+  double lo = 1e-6, hi = 1.0;
+  for (double v : series) lo = std::min(lo, std::max(v / 2.0, 1e-9));
+  LogHistogram h(lo, hi, buckets_per_decade);
+  for (double v : series) h.Add(v);
+  return h;
+}
+
+text::TermId TermStats::NthMostFrequentTerm(size_t n) const {
+  if (df_ranked_.empty()) {
+    df_ranked_ = corpus_->vocabulary().AllTermIds();
+    std::sort(df_ranked_.begin(), df_ranked_.end(),
+              [this](text::TermId a, text::TermId b) {
+                uint64_t da = corpus_->DocumentFrequency(a);
+                uint64_t db = corpus_->DocumentFrequency(b);
+                return da != db ? da > db : a < b;
+              });
+  }
+  if (n >= df_ranked_.size()) return text::kInvalidTermId;
+  return df_ranked_[n];
+}
+
+}  // namespace zr::index

@@ -1,0 +1,48 @@
+// Per-term distribution statistics (paper Section 3.4, Figures 4-5).
+//
+// These are exactly the statistics an adversary would use to fingerprint
+// terms from ranking information, and what the RSTF must hide.
+
+#ifndef ZERBERR_INDEX_TERM_STATS_H_
+#define ZERBERR_INDEX_TERM_STATS_H_
+
+#include <vector>
+
+#include "text/corpus.h"
+#include "util/histogram.h"
+#include "util/stats.h"
+
+namespace zr::index {
+
+/// Extracts per-term score/frequency series from a corpus.
+class TermStats {
+ public:
+  explicit TermStats(const text::Corpus* corpus) : corpus_(corpus) {}
+
+  /// Raw term frequencies of `term` across all documents containing it.
+  std::vector<double> TfSeries(text::TermId term) const;
+
+  /// Normalized term frequencies TF/|d| across documents containing `term`
+  /// (the relevance scores of Equation 4).
+  std::vector<double> NormalizedTfSeries(text::TermId term) const;
+
+  /// Log-bucketed histogram of the raw TF distribution (Figure 4 series).
+  LogHistogram TfDistribution(text::TermId term,
+                              size_t buckets_per_decade = 8) const;
+
+  /// Log-bucketed histogram of the normalized TF distribution (Figure 5).
+  LogHistogram NormalizedTfDistribution(text::TermId term,
+                                        size_t buckets_per_decade = 8) const;
+
+  /// Term id with the n-th highest document frequency (n is 0-based).
+  /// Returns kInvalidTermId when n exceeds the vocabulary.
+  text::TermId NthMostFrequentTerm(size_t n) const;
+
+ private:
+  const text::Corpus* corpus_;
+  mutable std::vector<text::TermId> df_ranked_;  // lazily computed
+};
+
+}  // namespace zr::index
+
+#endif  // ZERBERR_INDEX_TERM_STATS_H_

@@ -1,0 +1,11 @@
+// top_k.h is header-only; this translation unit exists so the build exports
+// a symbol per module and the header gets compiled standalone at least once.
+#include "index/top_k.h"
+
+namespace zr::index {
+
+// Instantiate the common configuration to catch template errors at library
+// build time rather than first use.
+template class TopKHeap<double>;
+
+}  // namespace zr::index

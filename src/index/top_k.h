@@ -1,0 +1,61 @@
+// Generic bounded top-k selection.
+
+#ifndef ZERBERR_INDEX_TOP_K_H_
+#define ZERBERR_INDEX_TOP_K_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace zr::index {
+
+/// Maintains the k greatest elements (by `Less`) seen so far using a
+/// min-heap of size k. Memory O(k); Push is O(log k).
+template <typename T, typename Less = std::less<T>>
+class TopKHeap {
+ public:
+  explicit TopKHeap(size_t k, Less less = Less()) : k_(k), less_(less) {}
+
+  /// Offers an element; keeps it only if it is among the k greatest.
+  void Push(const T& value) {
+    if (k_ == 0) return;
+    if (heap_.size() < k_) {
+      heap_.push_back(value);
+      std::push_heap(heap_.begin(), heap_.end(), Greater{less_});
+    } else if (less_(heap_.front(), value)) {
+      std::pop_heap(heap_.begin(), heap_.end(), Greater{less_});
+      heap_.back() = value;
+      std::push_heap(heap_.begin(), heap_.end(), Greater{less_});
+    }
+  }
+
+  /// Number of elements currently retained (<= k).
+  size_t size() const { return heap_.size(); }
+
+  /// Extracts the retained elements in descending order. The heap is empty
+  /// afterwards.
+  std::vector<T> TakeSortedDescending() {
+    std::vector<T> out = std::move(heap_);
+    heap_.clear();
+    std::sort(out.begin(), out.end(),
+              [this](const T& a, const T& b) { return less_(b, a); });
+    return out;
+  }
+
+ private:
+  // Min-heap comparator: parent is the *smallest* retained element.
+  struct Greater {
+    Less less;
+    bool operator()(const T& a, const T& b) const { return less(b, a); }
+  };
+
+  size_t k_;
+  Less less_;
+  std::vector<T> heap_;
+};
+
+}  // namespace zr::index
+
+#endif  // ZERBERR_INDEX_TOP_K_H_

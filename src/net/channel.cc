@@ -1,0 +1,19 @@
+#include "net/channel.h"
+
+namespace zr::net {
+
+double SimChannel::TotalTransferSeconds() const {
+  double up = static_cast<double>(bytes_up_) * 8.0 / uplink_.bits_per_second +
+              uplink_.latency_seconds * static_cast<double>(messages_up_);
+  double down =
+      static_cast<double>(bytes_down_) * 8.0 / downlink_.bits_per_second +
+      downlink_.latency_seconds * static_cast<double>(messages_down_);
+  return up + down;
+}
+
+void SimChannel::Reset() {
+  bytes_up_ = bytes_down_ = 0;
+  messages_up_ = messages_down_ = 0;
+}
+
+}  // namespace zr::net

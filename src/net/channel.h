@@ -1,0 +1,50 @@
+// Byte-accounted simulated channel.
+
+#ifndef ZERBERR_NET_CHANNEL_H_
+#define ZERBERR_NET_CHANNEL_H_
+
+#include <cstdint>
+
+#include "net/bandwidth.h"
+
+namespace zr::net {
+
+/// Accumulates traffic in both directions and converts it to transfer time
+/// under the configured link models.
+class SimChannel {
+ public:
+  SimChannel(LinkModel uplink, LinkModel downlink)
+      : uplink_(uplink), downlink_(downlink) {}
+
+  /// Records a client -> server message of `bytes`.
+  void RecordRequest(uint64_t bytes) {
+    bytes_up_ += bytes;
+    ++messages_up_;
+  }
+
+  /// Records a server -> client message of `bytes`.
+  void RecordResponse(uint64_t bytes) {
+    bytes_down_ += bytes;
+    ++messages_down_;
+  }
+
+  uint64_t bytes_up() const { return bytes_up_; }
+  uint64_t bytes_down() const { return bytes_down_; }
+  uint64_t messages_up() const { return messages_up_; }
+  uint64_t messages_down() const { return messages_down_; }
+
+  /// Total modelled wall-clock seconds spent on the wire (uplink serialized
+  /// + downlink serialized, per-message latency included).
+  double TotalTransferSeconds() const;
+
+  void Reset();
+
+ private:
+  LinkModel uplink_, downlink_;
+  uint64_t bytes_up_ = 0, bytes_down_ = 0;
+  uint64_t messages_up_ = 0, messages_down_ = 0;
+};
+
+}  // namespace zr::net
+
+#endif  // ZERBERR_NET_CHANNEL_H_

@@ -1,0 +1,99 @@
+#include "net/messages.h"
+
+#include "util/coding.h"
+
+namespace zr::net {
+
+namespace {
+// Message type tags guard against cross-parsing.
+constexpr uint8_t kTagQueryRequest = 1;
+constexpr uint8_t kTagQueryResponse = 2;
+constexpr uint8_t kTagInsertRequest = 3;
+
+Status ExpectTag(ByteReader* reader, uint8_t expected) {
+  std::string_view tag;
+  ZR_RETURN_IF_ERROR(reader->GetRaw(1, &tag));
+  if (static_cast<uint8_t>(tag[0]) != expected) {
+    return Status::Corruption("unexpected message tag");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+std::string SerializeQueryRequest(const QueryRequest& request) {
+  std::string out;
+  out.push_back(static_cast<char>(kTagQueryRequest));
+  PutVarint32(&out, request.user);
+  PutVarint32(&out, request.list);
+  PutVarint64(&out, request.offset);
+  PutVarint64(&out, request.count);
+  return out;
+}
+
+StatusOr<QueryRequest> ParseQueryRequest(std::string_view data) {
+  ByteReader reader(data);
+  ZR_RETURN_IF_ERROR(ExpectTag(&reader, kTagQueryRequest));
+  QueryRequest request;
+  ZR_RETURN_IF_ERROR(reader.GetVarint32(&request.user));
+  ZR_RETURN_IF_ERROR(reader.GetVarint32(&request.list));
+  ZR_RETURN_IF_ERROR(reader.GetVarint64(&request.offset));
+  ZR_RETURN_IF_ERROR(reader.GetVarint64(&request.count));
+  ZR_RETURN_IF_ERROR(reader.ExpectEof());
+  return request;
+}
+
+std::string SerializeQueryResponse(const QueryResponse& response) {
+  std::string out;
+  out.push_back(static_cast<char>(kTagQueryResponse));
+  out.push_back(response.exhausted ? 1 : 0);
+  PutVarint64(&out, response.elements.size());
+  for (const auto& e : response.elements) {
+    zerber::AppendElement(&out, e);
+  }
+  return out;
+}
+
+StatusOr<QueryResponse> ParseQueryResponse(std::string_view data) {
+  ByteReader reader(data);
+  ZR_RETURN_IF_ERROR(ExpectTag(&reader, kTagQueryResponse));
+  std::string_view flag;
+  ZR_RETURN_IF_ERROR(reader.GetRaw(1, &flag));
+  QueryResponse response;
+  response.exhausted = flag[0] != 0;
+  uint64_t n;
+  ZR_RETURN_IF_ERROR(reader.GetVarint64(&n));
+  std::string_view rest;
+  ZR_RETURN_IF_ERROR(reader.GetRaw(reader.remaining(), &rest));
+  response.elements.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    ZR_ASSIGN_OR_RETURN(zerber::EncryptedPostingElement element,
+                        zerber::ParseElement(&rest));
+    response.elements.push_back(std::move(element));
+  }
+  if (!rest.empty()) return Status::Corruption("trailing bytes in response");
+  return response;
+}
+
+std::string SerializeInsertRequest(const InsertRequest& request) {
+  std::string out;
+  out.push_back(static_cast<char>(kTagInsertRequest));
+  PutVarint32(&out, request.user);
+  PutVarint32(&out, request.list);
+  zerber::AppendElement(&out, request.element);
+  return out;
+}
+
+StatusOr<InsertRequest> ParseInsertRequest(std::string_view data) {
+  ByteReader reader(data);
+  ZR_RETURN_IF_ERROR(ExpectTag(&reader, kTagInsertRequest));
+  InsertRequest request;
+  ZR_RETURN_IF_ERROR(reader.GetVarint32(&request.user));
+  ZR_RETURN_IF_ERROR(reader.GetVarint32(&request.list));
+  std::string_view rest;
+  ZR_RETURN_IF_ERROR(reader.GetRaw(reader.remaining(), &rest));
+  ZR_ASSIGN_OR_RETURN(request.element, zerber::ParseElement(&rest));
+  if (!rest.empty()) return Status::Corruption("trailing bytes in insert");
+  return request;
+}
+
+}  // namespace zr::net

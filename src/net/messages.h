@@ -1,0 +1,56 @@
+// Wire messages between client and index server.
+//
+// The simulation calls the server in-process, but all requests/responses
+// have a defined wire format so byte accounting (and the Section 6.6
+// bandwidth numbers) reflect real serialized sizes, and so corrupt input
+// handling is testable.
+
+#ifndef ZERBERR_NET_MESSAGES_H_
+#define ZERBERR_NET_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+#include "zerber/posting_element.h"
+
+namespace zr::net {
+
+/// Client -> server: fetch a range of a merged posting list.
+struct QueryRequest {
+  uint32_t user = 0;
+  uint32_t list = 0;
+  uint64_t offset = 0;
+  uint64_t count = 0;
+
+  friend bool operator==(const QueryRequest&, const QueryRequest&) = default;
+};
+
+/// Server -> client: the fetched elements.
+struct QueryResponse {
+  std::vector<zerber::EncryptedPostingElement> elements;
+  bool exhausted = false;
+};
+
+/// Client -> server: insert one sealed element.
+struct InsertRequest {
+  uint32_t user = 0;
+  uint32_t list = 0;
+  zerber::EncryptedPostingElement element;
+};
+
+std::string SerializeQueryRequest(const QueryRequest& request);
+StatusOr<QueryRequest> ParseQueryRequest(std::string_view data);
+
+std::string SerializeQueryResponse(const QueryResponse& response);
+StatusOr<QueryResponse> ParseQueryResponse(std::string_view data);
+
+std::string SerializeInsertRequest(const InsertRequest& request);
+StatusOr<InsertRequest> ParseInsertRequest(std::string_view data);
+
+}  // namespace zr::net
+
+#endif  // ZERBERR_NET_MESSAGES_H_

@@ -1,0 +1,129 @@
+#include "synth/corpus_generator.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace zr::synth {
+
+std::string SyntheticTerm(uint64_t rank) {
+  return "term" + std::to_string(rank);
+}
+
+namespace {
+
+// Deterministic hash of a term rank into [0, 1): fixes the term's
+// burstiness across documents (it is a property of the term, not the doc).
+double UnitHash(uint64_t rank, uint64_t seed) {
+  uint64_t z = rank * 0x9E3779B97F4A7C15ULL + seed;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+Status Validate(const CorpusGeneratorOptions& o) {
+  if (o.num_documents == 0) {
+    return Status::InvalidArgument("num_documents must be positive");
+  }
+  if (o.vocabulary_size == 0) {
+    return Status::InvalidArgument("vocabulary_size must be positive");
+  }
+  if (o.zipf_exponent <= 0.0) {
+    return Status::InvalidArgument("zipf_exponent must be positive");
+  }
+  if (o.topic_mixture < 0.0 || o.topic_mixture > 1.0) {
+    return Status::InvalidArgument("topic_mixture must be in [0,1]");
+  }
+  if (o.topic_window <= 0.0 || o.topic_window > 1.0) {
+    return Status::InvalidArgument("topic_window must be in (0,1]");
+  }
+  if (o.burstiness < 0.0 || o.burstiness >= 1.0) {
+    return Status::InvalidArgument("burstiness must be in [0,1)");
+  }
+  if (o.num_groups == 0) {
+    return Status::InvalidArgument("num_groups must be positive");
+  }
+  if (o.min_doc_length == 0 || o.min_doc_length > o.max_doc_length) {
+    return Status::InvalidArgument("invalid document length bounds");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<text::Corpus> GenerateCorpus(const CorpusGeneratorOptions& options) {
+  ZR_RETURN_IF_ERROR(Validate(options));
+
+  Rng rng(options.seed);
+  ZipfDistribution global_zipf(options.vocabulary_size, options.zipf_exponent);
+
+  // Topic windows: each group prefers a contiguous rank window placed along
+  // the vocabulary (excluding the extreme head, which stays shared, like
+  // function words in natural language).
+  const uint64_t window_size = std::max<uint64_t>(
+      1, static_cast<uint64_t>(options.topic_window *
+                               static_cast<double>(options.vocabulary_size)));
+  std::vector<uint64_t> topic_offset(options.num_groups, 0);
+  for (uint32_t g = 0; g < options.num_groups; ++g) {
+    uint64_t max_offset = options.vocabulary_size > window_size
+                              ? options.vocabulary_size - window_size
+                              : 0;
+    topic_offset[g] = max_offset == 0 ? 0 : rng.Uniform(max_offset + 1);
+  }
+  ZipfDistribution window_zipf(window_size, options.zipf_exponent);
+
+  text::Corpus corpus;
+  // Pre-intern terms lazily: rank -> TermId.
+  std::unordered_map<uint64_t, text::TermId> rank_to_id;
+  rank_to_id.reserve(options.vocabulary_size / 4);
+  auto term_id_for_rank = [&](uint64_t rank) -> text::TermId {
+    auto it = rank_to_id.find(rank);
+    if (it != rank_to_id.end()) return it->second;
+    text::TermId id = corpus.vocabulary().GetOrAdd(SyntheticTerm(rank));
+    rank_to_id.emplace(rank, id);
+    return id;
+  };
+
+  std::unordered_map<text::TermId, uint32_t> doc_counts;
+  for (uint32_t d = 0; d < options.num_documents; ++d) {
+    uint32_t group = static_cast<uint32_t>(rng.Uniform(options.num_groups));
+    double len = rng.LogNormal(options.doc_length_log_mean,
+                               options.doc_length_log_sigma);
+    uint32_t length = static_cast<uint32_t>(std::clamp(
+        len, static_cast<double>(options.min_doc_length),
+        static_cast<double>(options.max_doc_length)));
+
+    doc_counts.clear();
+    for (uint32_t i = 0; i < length;) {
+      uint64_t rank;
+      if (rng.Bernoulli(options.topic_mixture)) {
+        rank = topic_offset[group] + window_zipf.Sample(&rng);
+      } else {
+        rank = global_zipf.Sample(&rng);
+      }
+      // Term-specific burstiness: deterministic per-rank repeat probability
+      // makes within-document TF shapes differ between equal-df terms.
+      // Seeded by the rank only (not the corpus seed): burstiness models a
+      // property of the *language* ("nicht" is diffuse, "management" bursty)
+      // so that independently sampled corpora share term statistics — the
+      // background-knowledge premise of the paper's adversary.
+      double burst = options.burstiness * UnitHash(rank, 0xB0B5);
+      uint32_t count = 1;
+      while (i + count < length && rng.Bernoulli(burst)) ++count;
+      doc_counts[term_id_for_rank(rank)] += count;
+      i += count;
+    }
+
+    std::vector<std::pair<text::TermId, uint32_t>> counts(doc_counts.begin(),
+                                                          doc_counts.end());
+    std::sort(counts.begin(), counts.end());
+    corpus.AddDocumentCounts(counts, group);
+  }
+  return corpus;
+}
+
+}  // namespace zr::synth

@@ -1,0 +1,79 @@
+// Synthetic corpus generation.
+//
+// The paper evaluates on two proprietary collections (a Stud IP LMS snapshot
+// and an ODP web crawl; Section 6.1). Neither is redistributable, so this
+// generator produces collections with the same *statistical shape*, which is
+// all the evaluation depends on:
+//   * Zipfian term popularity (power-law TF distributions, Figure 4),
+//   * term-specific normalized-TF distributions (Figure 5),
+//   * log-normal document lengths,
+//   * topic-skewed collaboration groups (ODP topics, Section 6.1.2).
+//
+// Documents are bags of tokens sampled i.i.d. from a Zipf(v, s) vocabulary
+// distribution, optionally mixed with a group-specific topic window so that
+// different groups emphasise different term ranges.
+
+#ifndef ZERBERR_SYNTH_CORPUS_GENERATOR_H_
+#define ZERBERR_SYNTH_CORPUS_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "text/corpus.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace zr::synth {
+
+/// Parameters of the synthetic collection.
+struct CorpusGeneratorOptions {
+  /// Number of documents to generate.
+  uint32_t num_documents = 2000;
+
+  /// Vocabulary size (number of distinct candidate terms).
+  uint32_t vocabulary_size = 20000;
+
+  /// Zipf exponent of term popularity (1.0-1.2 typical of natural text).
+  double zipf_exponent = 1.05;
+
+  /// Document token counts are LogNormal(log_mean, log_sigma).
+  double doc_length_log_mean = 5.0;  ///< exp(5.0) ~ 150 tokens median
+  double doc_length_log_sigma = 0.7;
+
+  /// Hard floor/ceiling on document length in tokens.
+  uint32_t min_doc_length = 16;
+  uint32_t max_doc_length = 20000;
+
+  /// Collaboration groups; documents are assigned round-robin-with-jitter.
+  uint32_t num_groups = 10;
+
+  /// Fraction of each document's tokens drawn from the group's topic window
+  /// rather than the global distribution (0 = no topical skew).
+  double topic_mixture = 0.3;
+
+  /// Width of each group's topic window as a fraction of the vocabulary.
+  double topic_window = 0.05;
+
+  /// Per-term burstiness ceiling in [0, 1). Each term gets a deterministic
+  /// repeat probability in [0, burstiness); once sampled in a document it
+  /// recurs geometrically with that probability. This makes normalized-TF
+  /// distributions *term specific* even among equal-df terms — the paper's
+  /// Figure 5 observation, and the signal its score-distribution attack
+  /// (Section 6.2) exploits. 0 disables burstiness.
+  double burstiness = 0.7;
+
+  /// RNG seed; identical options yield an identical corpus.
+  uint64_t seed = 42;
+};
+
+/// Generates a corpus per the options. InvalidArgument on nonsensical
+/// parameters (zero documents/vocabulary, mixture outside [0,1], ...).
+StatusOr<text::Corpus> GenerateCorpus(const CorpusGeneratorOptions& options);
+
+/// The synthetic term string for a popularity rank (1-based), e.g. "term42".
+/// Rank 1 is the most popular term.
+std::string SyntheticTerm(uint64_t rank);
+
+}  // namespace zr::synth
+
+#endif  // ZERBERR_SYNTH_CORPUS_GENERATOR_H_

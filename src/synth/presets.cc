@@ -1,0 +1,96 @@
+#include "synth/presets.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zr::synth {
+
+namespace {
+
+uint32_t ScaleCount(uint32_t full, double scale, uint32_t floor_value) {
+  double v = static_cast<double>(full) * scale;
+  return std::max(floor_value, static_cast<uint32_t>(std::llround(v)));
+}
+
+uint64_t ScaleCount64(uint64_t full, double scale, uint64_t floor_value) {
+  double v = static_cast<double>(full) * scale;
+  return std::max(floor_value, static_cast<uint64_t>(std::llround(v)));
+}
+
+}  // namespace
+
+DatasetPreset StudIpPreset(double scale) {
+  DatasetPreset p;
+  p.name = "studip";
+  p.corpus.num_documents = ScaleCount(8500, scale, 200);
+  p.corpus.vocabulary_size = ScaleCount(570000, scale, 5000);
+  p.corpus.zipf_exponent = 1.05;
+  // Course material: longer documents (exp(5.8) ~ 330 tokens median).
+  p.corpus.doc_length_log_mean = 5.8;
+  p.corpus.doc_length_log_sigma = 0.9;
+  p.corpus.num_groups = std::max<uint32_t>(4, ScaleCount(60, scale, 4));
+  p.corpus.topic_mixture = 0.35;  // courses are topically focused
+  p.corpus.topic_window = 0.04;
+  p.corpus.seed = 20090324;  // EDBT'09 dates, fixed for reproducibility
+
+  p.queries.num_queries = ScaleCount64(7000000, scale * 0.02, 20000);
+  p.queries.terms_per_query_mean = 2.4;
+  p.queries.query_zipf_exponent = 1.25;
+  p.queries.rank_noise = 0.6;
+  p.queries.distinct_query_terms = ScaleCount64(135000, scale, 2000);
+  p.queries.seed = 20090325;
+
+  p.r = std::max(64.0, 32768.0 * scale);
+  return p;
+}
+
+DatasetPreset OdpWebPreset(double scale) {
+  DatasetPreset p;
+  p.name = "odp";
+  p.corpus.num_documents = ScaleCount(237000, scale, 500);
+  p.corpus.vocabulary_size = ScaleCount(987700, scale, 8000);
+  p.corpus.zipf_exponent = 1.1;
+  // Web pages: shorter than course material (exp(5.2) ~ 180 tokens median).
+  p.corpus.doc_length_log_mean = 5.2;
+  p.corpus.doc_length_log_sigma = 1.0;
+  p.corpus.num_groups = 100;  // ODP topics, one group per topic
+  p.corpus.topic_mixture = 0.45;
+  p.corpus.topic_window = 0.03;
+  p.corpus.seed = 20050101;  // crawl year
+
+  p.queries.num_queries = ScaleCount64(7000000, scale * 0.02, 20000);
+  p.queries.terms_per_query_mean = 2.4;
+  p.queries.query_zipf_exponent = 1.25;
+  p.queries.rank_noise = 0.6;
+  p.queries.distinct_query_terms = ScaleCount64(135000, scale, 2000);
+  p.queries.seed = 20090326;
+
+  p.r = std::max(64.0, 32768.0 * scale);
+  return p;
+}
+
+DatasetPreset TinyPreset() {
+  DatasetPreset p;
+  p.name = "tiny";
+  p.corpus.num_documents = 300;
+  p.corpus.vocabulary_size = 2000;
+  p.corpus.zipf_exponent = 1.05;
+  p.corpus.doc_length_log_mean = 4.2;
+  p.corpus.doc_length_log_sigma = 0.6;
+  p.corpus.num_groups = 4;
+  p.corpus.topic_mixture = 0.3;
+  p.corpus.topic_window = 0.1;
+  p.corpus.seed = 1234;
+
+  p.queries.num_queries = 2000;
+  p.queries.terms_per_query_mean = 2.4;
+  p.queries.query_zipf_exponent = 1.25;
+  p.queries.rank_noise = 0.6;
+  p.queries.distinct_query_terms = 500;
+  p.queries.seed = 4321;
+
+  p.r = 64.0;
+  return p;
+}
+
+}  // namespace zr::synth

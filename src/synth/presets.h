@@ -1,0 +1,55 @@
+// Dataset presets matching the paper's two evaluation collections.
+//
+// Section 6.1 of the paper:
+//  * Stud IP: 8,500 documents, 570,000 terms, course groups.
+//  * ODP web crawl (2005): 237,000 documents, 987,700 distinct terms,
+//    100 topics used as collaboration groups.
+//  * Query log: 7M queries, 2.4 terms/query, 135,000 distinct terms.
+//  * Index: 32K merged posting lists per collection.
+//
+// Full-scale generation is supported but expensive; presets take a `scale`
+// in (0, 1] that shrinks documents / vocabulary / queries proportionally
+// while preserving the distributional shape. Benches default to a reduced
+// scale and record it in EXPERIMENTS.md.
+
+#ifndef ZERBERR_SYNTH_PRESETS_H_
+#define ZERBERR_SYNTH_PRESETS_H_
+
+#include <string>
+
+#include "synth/corpus_generator.h"
+#include "synth/query_log.h"
+
+namespace zr::synth {
+
+/// A named dataset configuration: corpus + workload + index parameters.
+struct DatasetPreset {
+  std::string name;
+  CorpusGeneratorOptions corpus;
+  QueryLogOptions queries;
+
+  /// Confidentiality parameter r (Definition 2). The paper builds 32K merged
+  /// posting lists; with balanced BFM merging the list count is <= r, so the
+  /// preset r corresponds to the paper's list count at scale 1.
+  double r = 32768.0;
+
+  /// Fraction of documents used to train the RSTF (paper: 30%).
+  double training_fraction = 0.30;
+
+  /// Fraction of the training sample held out as the control set for sigma
+  /// cross-validation (paper: about one third).
+  double control_fraction = 1.0 / 3.0;
+};
+
+/// Stud IP Learning Management System collection (Section 6.1.1).
+DatasetPreset StudIpPreset(double scale = 1.0);
+
+/// Open Directory Project web crawl (Section 6.1.2).
+DatasetPreset OdpWebPreset(double scale = 1.0);
+
+/// Tiny smoke-test dataset for unit/integration tests (fast, deterministic).
+DatasetPreset TinyPreset();
+
+}  // namespace zr::synth
+
+#endif  // ZERBERR_SYNTH_PRESETS_H_

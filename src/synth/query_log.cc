@@ -1,0 +1,106 @@
+#include "synth/query_log.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace zr::synth {
+
+uint64_t QueryLog::TotalTermOccurrences() const {
+  uint64_t total = 0;
+  for (const Query& q : queries) total += q.size();
+  return total;
+}
+
+StatusOr<QueryLog> GenerateQueryLog(const text::Corpus& corpus,
+                                    const QueryLogOptions& options) {
+  const size_t vocab_size = corpus.vocabulary().size();
+  if (vocab_size == 0) {
+    return Status::InvalidArgument("corpus vocabulary is empty");
+  }
+  if (options.num_queries == 0) {
+    return Status::InvalidArgument("num_queries must be positive");
+  }
+  if (options.terms_per_query_mean < 1.0) {
+    return Status::InvalidArgument("terms_per_query_mean must be >= 1");
+  }
+  if (options.query_zipf_exponent <= 0.0) {
+    return Status::InvalidArgument("query_zipf_exponent must be positive");
+  }
+  if (options.rank_noise < 0.0) {
+    return Status::InvalidArgument("rank_noise must be non-negative");
+  }
+
+  Rng rng(options.seed);
+
+  // Rank terms by document frequency (descending).
+  std::vector<text::TermId> by_df = corpus.vocabulary().AllTermIds();
+  std::sort(by_df.begin(), by_df.end(),
+            [&](text::TermId a, text::TermId b) {
+              uint64_t da = corpus.DocumentFrequency(a);
+              uint64_t db = corpus.DocumentFrequency(b);
+              return da != db ? da > db : a < b;
+            });
+
+  uint64_t n_terms = options.distinct_query_terms == 0
+                         ? static_cast<uint64_t>(vocab_size)
+                         : std::min<uint64_t>(options.distinct_query_terms,
+                                              vocab_size);
+  by_df.resize(n_terms);
+
+  // Perturb df ranks multiplicatively (log-scale noise) to obtain
+  // query-popularity ranks — strongly correlated at the head, looser in
+  // the tail (imperfect df <-> qf correlation).
+  std::vector<std::pair<double, text::TermId>> noisy(n_terms);
+  for (uint64_t i = 0; i < n_terms; ++i) {
+    double noisy_rank = static_cast<double>(i + 1) *
+                        std::exp(rng.Gaussian(0.0, options.rank_noise));
+    noisy[i] = {noisy_rank, by_df[i]};
+  }
+  std::sort(noisy.begin(), noisy.end());
+
+  QueryLog log;
+  log.terms_by_popularity.resize(n_terms);
+  for (uint64_t i = 0; i < n_terms; ++i) {
+    log.terms_by_popularity[i] = noisy[i].second;
+  }
+
+  // Sample queries; term choice is Zipf over popularity rank.
+  ZipfDistribution qzipf(n_terms, options.query_zipf_exponent);
+  std::vector<uint64_t> freq(n_terms, 0);
+  log.queries.reserve(options.num_queries);
+  const double extra_mean = options.terms_per_query_mean - 1.0;
+  for (uint64_t q = 0; q < options.num_queries; ++q) {
+    // 1 + Poisson(extra_mean) term count, inverse-CDF sampling.
+    uint32_t n = 1;
+    if (extra_mean > 0.0) {
+      double L = std::exp(-extra_mean);
+      double p = rng.NextDouble();
+      double cdf = L;
+      uint32_t k = 0;
+      double pk = L;
+      while (p > cdf && k < 64) {
+        ++k;
+        pk *= extra_mean / static_cast<double>(k);
+        cdf += pk;
+      }
+      n += k;
+    }
+    Query query;
+    query.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      uint64_t rank = qzipf.Sample(&rng) - 1;  // 0-based
+      query.push_back(log.terms_by_popularity[rank]);
+      ++freq[rank];
+    }
+    log.queries.push_back(std::move(query));
+  }
+  log.frequency_by_popularity = std::move(freq);
+  return log;
+}
+
+}  // namespace zr::synth

@@ -1,0 +1,77 @@
+// Synthetic query log generation.
+//
+// The paper replays a proprietary web-search query log (7M queries, 2.4
+// terms on average, 135k distinct terms; Section 6.1.3). The generator below
+// reproduces the two properties the evaluation depends on:
+//  (i)  head-heavy Zipfian query frequencies (Figure 10: the most frequent
+//       queries constitute nearly the whole workload), and
+//  (ii) an imperfect correlation between query frequency and document
+//       frequency — "document frequencies and query frequencies are
+//       correlated, though some frequent terms are rarely queried
+//       (e.g., 'although')" (Section 5.2, citing [15]).
+
+#ifndef ZERBERR_SYNTH_QUERY_LOG_H_
+#define ZERBERR_SYNTH_QUERY_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "text/corpus.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace zr::synth {
+
+/// One query: a sequence of term ids. Zerber+R processes a multi-term query
+/// as a sequence of single-term queries (paper Section 3.2).
+using Query = std::vector<text::TermId>;
+
+/// Parameters of the synthetic workload.
+struct QueryLogOptions {
+  /// Number of queries to generate.
+  uint64_t num_queries = 100000;
+
+  /// Average number of terms per query (paper: 2.4). Sampled as
+  /// 1 + Poisson(mean - 1).
+  double terms_per_query_mean = 2.4;
+
+  /// Zipf exponent of query-term popularity (head-heaviness of Figure 10).
+  double query_zipf_exponent = 0.95;
+
+  /// Controls how strongly query popularity follows document frequency:
+  /// the query-popularity rank of a term is its df rank perturbed
+  /// multiplicatively, rank * exp(N(0, rank_noise)). Log-scale noise keeps
+  /// the head aligned (people do query the common terms) while shuffling
+  /// the tail, and still produces the paper's exceptions ("some frequent
+  /// terms are rarely queried, e.g. 'although'"). 0 = perfect correlation.
+  double rank_noise = 0.6;
+
+  /// Number of distinct queryable terms; 0 means min(vocab, 135000-scaled).
+  uint64_t distinct_query_terms = 0;
+
+  uint64_t seed = 7;
+};
+
+/// A generated workload plus bookkeeping for workload-cost analysis.
+struct QueryLog {
+  std::vector<Query> queries;
+
+  /// Distinct query terms in popularity order (most queried first).
+  std::vector<text::TermId> terms_by_popularity;
+
+  /// Query frequency (count in `queries`, flattened) per term id; indexed by
+  /// position in `terms_by_popularity`.
+  std::vector<uint64_t> frequency_by_popularity;
+
+  /// Total single-term queries (sum over queries of their term counts).
+  uint64_t TotalTermOccurrences() const;
+};
+
+/// Generates a query log over the corpus's vocabulary. InvalidArgument on
+/// nonsensical parameters or an empty corpus vocabulary.
+StatusOr<QueryLog> GenerateQueryLog(const text::Corpus& corpus,
+                                    const QueryLogOptions& options);
+
+}  // namespace zr::synth
+
+#endif  // ZERBERR_SYNTH_QUERY_LOG_H_

@@ -1,0 +1,52 @@
+#include "text/corpus.h"
+
+namespace zr::text {
+
+DocId Corpus::AddDocumentText(std::string_view textv, uint32_t group,
+                              const Tokenizer& tokenizer) {
+  return AddDocumentTokens(tokenizer.Tokenize(textv), group);
+}
+
+DocId Corpus::AddDocumentTokens(const std::vector<std::string>& tokens,
+                                uint32_t group) {
+  Document doc(static_cast<DocId>(docs_.size()), group);
+  for (const std::string& token : tokens) {
+    doc.AddTerm(vocab_.GetOrAdd(token));
+  }
+  return FinishDocument(std::move(doc));
+}
+
+DocId Corpus::AddDocumentCounts(
+    const std::vector<std::pair<TermId, uint32_t>>& counts, uint32_t group) {
+  Document doc(static_cast<DocId>(docs_.size()), group);
+  for (const auto& [term, count] : counts) {
+    doc.AddTerm(term, count);
+  }
+  return FinishDocument(std::move(doc));
+}
+
+DocId Corpus::FinishDocument(Document&& doc) {
+  for (const auto& [term, count] : doc.terms()) {
+    vocab_.BumpDocumentFrequency(term);
+  }
+  DocId id = doc.id();
+  docs_.push_back(std::move(doc));
+  return id;
+}
+
+StatusOr<const Document*> Corpus::GetDocument(DocId id) const {
+  if (id >= docs_.size()) {
+    return Status::OutOfRange("document id " + std::to_string(id) +
+                              " out of range");
+  }
+  return &docs_[id];
+}
+
+double Corpus::TermProbability(TermId term) const {
+  uint64_t total = vocab_.TotalPostings();
+  if (total == 0) return 0.0;
+  return static_cast<double>(vocab_.DocumentFrequency(term)) /
+         static_cast<double>(total);
+}
+
+}  // namespace zr::text

@@ -1,0 +1,79 @@
+// Corpus: a set of documents with shared vocabulary and global statistics.
+//
+// The corpus also exposes the term probability p_t of Definition 2 —
+// the *normalized document frequency*: the fraction of all posting elements
+// (distinct term-document pairs) that belong to term t. With that reading,
+// Definition 2's constraint sum_{t in S} p_t >= 1/r bounds the adversary's
+// probability amplification for every term in a merged list by exactly r
+// (posterior nd(t)/sum_S nd over prior nd(t)/sum_D nd equals
+// sum_D nd / sum_S nd <= r).
+
+#ifndef ZERBERR_TEXT_CORPUS_H_
+#define ZERBERR_TEXT_CORPUS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "text/document.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace zr::text {
+
+/// An in-memory document collection.
+class Corpus {
+ public:
+  Corpus() = default;
+
+  /// Parses `textv` with `tokenizer` and appends it as a new document in
+  /// `group`. Returns the new document's id.
+  DocId AddDocumentText(std::string_view textv, uint32_t group,
+                        const Tokenizer& tokenizer);
+
+  /// Appends a pre-tokenized document in `group`; `tokens` are interned.
+  DocId AddDocumentTokens(const std::vector<std::string>& tokens,
+                          uint32_t group);
+
+  /// Appends a document already expressed as (term id, frequency) pairs.
+  /// Term ids must come from this corpus's vocabulary.
+  DocId AddDocumentCounts(const std::vector<std::pair<TermId, uint32_t>>& counts,
+                          uint32_t group);
+
+  /// Number of documents.
+  size_t NumDocuments() const { return docs_.size(); }
+
+  /// Document by id. OutOfRange when the id is invalid.
+  StatusOr<const Document*> GetDocument(DocId id) const;
+
+  /// All documents.
+  const std::vector<Document>& documents() const { return docs_; }
+
+  /// Shared vocabulary (mutable access for generators).
+  Vocabulary& vocabulary() { return vocab_; }
+  const Vocabulary& vocabulary() const { return vocab_; }
+
+  /// Term probability p_t of Definition 2: document frequency of t divided
+  /// by the total number of posting elements in the corpus. Returns 0 for an
+  /// unknown term or an empty corpus.
+  double TermProbability(TermId term) const;
+
+  /// Documents containing `term`.
+  uint64_t DocumentFrequency(TermId term) const {
+    return vocab_.DocumentFrequency(term);
+  }
+
+  /// Total posting elements (sum of document frequencies).
+  uint64_t TotalPostings() const { return vocab_.TotalPostings(); }
+
+ private:
+  DocId FinishDocument(Document&& doc);
+
+  Vocabulary vocab_;
+  std::vector<Document> docs_;
+};
+
+}  // namespace zr::text
+
+#endif  // ZERBERR_TEXT_CORPUS_H_

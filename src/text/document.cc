@@ -1,0 +1,22 @@
+#include "text/document.h"
+
+namespace zr::text {
+
+void Document::AddTerm(TermId term, uint32_t count) {
+  if (count == 0) return;
+  tf_[term] += count;
+  length_ += count;
+}
+
+uint32_t Document::TermFrequency(TermId term) const {
+  auto it = tf_.find(term);
+  return it == tf_.end() ? 0 : it->second;
+}
+
+double Document::RelevanceScore(TermId term) const {
+  if (length_ == 0) return 0.0;
+  uint32_t tf = TermFrequency(term);
+  return static_cast<double>(tf) / static_cast<double>(length_);
+}
+
+}  // namespace zr::text

@@ -1,0 +1,34 @@
+#include "text/stopwords.h"
+
+#include <algorithm>
+#include <array>
+#include <string_view>
+
+namespace zr::text {
+
+namespace {
+
+// Sorted for binary search. English + common German function words.
+constexpr std::array<std::string_view, 88> kStopwords = {
+    "a",     "aber",  "about", "all",   "als",   "also",  "am",    "an",
+    "and",   "are",   "as",    "at",    "auch",  "auf",   "aus",   "be",
+    "bei",   "but",   "by",    "can",   "das",   "dass",  "dem",   "den",
+    "der",   "des",   "die",   "durch", "ein",   "eine",  "einem", "einen",
+    "einer", "eines", "er",    "es",    "for",   "from",  "fur",   "had",
+    "has",   "have",  "he",    "her",   "his",   "ich",   "im",    "in",
+    "ist",   "it",    "its",   "mit",   "nach",  "nicht", "noch",  "not",
+    "of",    "on",    "or",    "sein",  "sich",  "sie",   "sind",  "that",
+    "the",   "their", "them",  "there", "they",  "this",  "to",    "uber",
+    "um",    "und",   "von",   "vor",   "war",   "was",   "wer",   "were",
+    "wie",   "will",  "wird",  "with",  "you",   "zu",    "zum",   "zur",
+};
+
+}  // namespace
+
+bool IsStopword(std::string_view term) {
+  return std::binary_search(kStopwords.begin(), kStopwords.end(), term);
+}
+
+size_t StopwordCount() { return kStopwords.size(); }
+
+}  // namespace zr::text

@@ -1,0 +1,23 @@
+// Small English + German stopword list.
+//
+// The paper's examples contrast extremely frequent function words ("and",
+// German "nicht") with content terms; stopword handling is optional and off
+// by default because the confidentiality analysis explicitly involves
+// high-frequency terms.
+
+#ifndef ZERBERR_TEXT_STOPWORDS_H_
+#define ZERBERR_TEXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace zr::text {
+
+/// True if `term` (already lowercased) is in the built-in stopword list.
+bool IsStopword(std::string_view term);
+
+/// Number of stopwords in the built-in list.
+size_t StopwordCount();
+
+}  // namespace zr::text
+
+#endif  // ZERBERR_TEXT_STOPWORDS_H_

@@ -1,0 +1,42 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "text/stopwords.h"
+
+namespace zr::text {
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
+
+bool Tokenizer::IsTokenChar(unsigned char c) const {
+  if (c >= 0x80) return true;  // UTF-8 continuation/lead bytes
+  if (std::isalpha(c)) return true;
+  if (options_.keep_digits && std::isdigit(c)) return true;
+  return false;
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view textv) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (current.size() >= options_.min_token_length &&
+        current.size() <= options_.max_token_length &&
+        !(options_.remove_stopwords && IsStopword(current))) {
+      tokens.push_back(current);
+    }
+    current.clear();
+  };
+  for (unsigned char c : textv) {
+    if (IsTokenChar(c)) {
+      current.push_back(options_.lowercase && c < 0x80
+                            ? static_cast<char>(std::tolower(c))
+                            : static_cast<char>(c));
+    } else if (!current.empty()) {
+      flush();
+    }
+  }
+  if (!current.empty()) flush();
+  return tokens;
+}
+
+}  // namespace zr::text

@@ -1,0 +1,46 @@
+// Tokenization of document text into index terms.
+
+#ifndef ZERBERR_TEXT_TOKENIZER_H_
+#define ZERBERR_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zr::text {
+
+/// Tokenizer configuration.
+struct TokenizerOptions {
+  /// Lowercase ASCII letters (locale-independent).
+  bool lowercase = true;
+  /// Drop tokens shorter than this many bytes.
+  size_t min_token_length = 2;
+  /// Drop tokens longer than this many bytes (guards pathological input).
+  size_t max_token_length = 64;
+  /// Remove stopwords (see stopwords.h).
+  bool remove_stopwords = false;
+  /// Treat ASCII digits as token characters.
+  bool keep_digits = true;
+};
+
+/// Splits text into terms: maximal runs of alphanumeric bytes, optionally
+/// lowercased and stopword-filtered. Bytes >= 0x80 are treated as letters so
+/// UTF-8 words survive intact (the paper's Stud IP corpus is German).
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  /// Tokenizes `textv` into terms, in order of appearance.
+  std::vector<std::string> Tokenize(std::string_view textv) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  bool IsTokenChar(unsigned char c) const;
+
+  TokenizerOptions options_;
+};
+
+}  // namespace zr::text
+
+#endif  // ZERBERR_TEXT_TOKENIZER_H_

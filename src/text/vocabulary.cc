@@ -1,0 +1,48 @@
+#include "text/vocabulary.h"
+
+#include <numeric>
+
+namespace zr::text {
+
+TermId Vocabulary::GetOrAdd(std::string_view term) {
+  auto it = index_.find(std::string(term));
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  doc_freq_.push_back(0);
+  index_.emplace(terms_.back(), id);
+  return id;
+}
+
+TermId Vocabulary::Lookup(std::string_view term) const {
+  auto it = index_.find(std::string(term));
+  return it == index_.end() ? kInvalidTermId : it->second;
+}
+
+StatusOr<std::string> Vocabulary::TermOf(TermId id) const {
+  if (id >= terms_.size()) {
+    return Status::OutOfRange("term id " + std::to_string(id) +
+                              " out of range (vocabulary size " +
+                              std::to_string(terms_.size()) + ")");
+  }
+  return terms_[id];
+}
+
+void Vocabulary::BumpDocumentFrequency(TermId id) {
+  if (id < doc_freq_.size()) {
+    ++doc_freq_[id];
+    ++total_postings_;
+  }
+}
+
+uint64_t Vocabulary::DocumentFrequency(TermId id) const {
+  return id < doc_freq_.size() ? doc_freq_[id] : 0;
+}
+
+std::vector<TermId> Vocabulary::AllTermIds() const {
+  std::vector<TermId> ids(terms_.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+}  // namespace zr::text

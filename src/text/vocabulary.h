@@ -1,0 +1,62 @@
+// Term dictionary: string terms <-> dense integer ids, with document
+// frequencies.
+
+#ifndef ZERBERR_TEXT_VOCABULARY_H_
+#define ZERBERR_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace zr::text {
+
+/// Dense term identifier. Ids are assigned in first-seen order.
+using TermId = uint32_t;
+
+/// Sentinel for "no such term".
+constexpr TermId kInvalidTermId = UINT32_MAX;
+
+/// Bidirectional term <-> id map with per-term document frequency counts.
+class Vocabulary {
+ public:
+  /// Returns the id for `term`, interning it if new.
+  TermId GetOrAdd(std::string_view term);
+
+  /// Returns the id for `term` or kInvalidTermId if absent.
+  TermId Lookup(std::string_view term) const;
+
+  /// The term string for an id. OutOfRange if the id was never assigned.
+  StatusOr<std::string> TermOf(TermId id) const;
+
+  /// Increments the document frequency of a term (call once per distinct
+  /// (term, document) pair).
+  void BumpDocumentFrequency(TermId id);
+
+  /// Documents containing this term (0 for unknown ids).
+  uint64_t DocumentFrequency(TermId id) const;
+
+  /// Number of distinct terms.
+  size_t size() const { return terms_.size(); }
+
+  /// Sum of document frequencies over all terms == total number of posting
+  /// elements in a full index of the corpus.
+  uint64_t TotalPostings() const { return total_postings_; }
+
+  /// All term ids, [0, size()).
+  std::vector<TermId> AllTermIds() const;
+
+ private:
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<std::string> terms_;
+  std::vector<uint64_t> doc_freq_;
+  uint64_t total_postings_ = 0;
+};
+
+}  // namespace zr::text
+
+#endif  // ZERBERR_TEXT_VOCABULARY_H_

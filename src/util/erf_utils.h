@@ -1,0 +1,40 @@
+// Cumulative distribution helpers for RSTF construction.
+//
+// The paper builds the RSTF as an integral over a sum of Gaussian densities
+// (Equation 6) and approximates each Gaussian integral with a sigmoid
+// (Equations 7-8). Both forms live here.
+
+#ifndef ZERBERR_UTIL_ERF_UTILS_H_
+#define ZERBERR_UTIL_ERF_UTILS_H_
+
+#include <cmath>
+
+namespace zr {
+
+/// CDF of N(mu, sigma^2) at x, via the error function. sigma > 0.
+inline double NormalCdf(double x, double mu, double sigma) {
+  return 0.5 * (1.0 + std::erf((x - mu) / (sigma * M_SQRT2)));
+}
+
+/// Logistic sigmoid CDF centred at mu with scale s: 1 / (1 + e^-((x-mu)/s)).
+inline double LogisticCdf(double x, double mu, double s) {
+  return 1.0 / (1.0 + std::exp(-(x - mu) / s));
+}
+
+/// Scale of the logistic that matches the variance of N(0, sigma^2):
+/// a logistic with scale s has variance s^2*pi^2/3, so s = sigma*sqrt(3)/pi.
+/// This is the standard sigmoid approximation of the normal CDF referenced
+/// by the paper's Equation 7.
+inline double LogisticScaleForSigma(double sigma) {
+  return sigma * std::sqrt(3.0) / M_PI;
+}
+
+/// Density of N(mu, sigma^2) at x.
+inline double NormalPdf(double x, double mu, double sigma) {
+  double z = (x - mu) / sigma;
+  return std::exp(-0.5 * z * z) / (sigma * std::sqrt(2.0 * M_PI));
+}
+
+}  // namespace zr
+
+#endif  // ZERBERR_UTIL_ERF_UTILS_H_

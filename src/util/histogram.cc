@@ -1,0 +1,94 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace zr {
+
+double HistogramBucket::GeometricMid() const {
+  if (lo <= 0.0) return hi / 2.0;
+  return std::sqrt(lo * hi);
+}
+
+LinearHistogram::LinearHistogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  assert(lo < hi);
+  assert(buckets >= 1);
+}
+
+void LinearHistogram::Add(double value) {
+  ++total_;
+  if (value < lo_) {
+    ++counts_.front();
+    return;
+  }
+  size_t idx = static_cast<size_t>((value - lo_) / width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;
+  ++counts_[idx];
+}
+
+std::vector<HistogramBucket> LinearHistogram::Buckets() const {
+  std::vector<HistogramBucket> out(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    out[i].lo = lo_ + width_ * static_cast<double>(i);
+    out[i].hi = lo_ + width_ * static_cast<double>(i + 1);
+    out[i].count = counts_[i];
+  }
+  return out;
+}
+
+LogHistogram::LogHistogram(double lo, double hi, size_t buckets_per_decade) {
+  assert(lo > 0.0 && lo < hi);
+  assert(buckets_per_decade >= 1);
+  log_lo_ = std::log10(lo);
+  log_step_ = 1.0 / static_cast<double>(buckets_per_decade);
+  double decades = std::log10(hi) - log_lo_;
+  size_t n = static_cast<size_t>(std::ceil(decades / log_step_));
+  counts_.assign(std::max<size_t>(n, 1), 0);
+}
+
+void LogHistogram::Add(double value) {
+  if (value <= 0.0) return;
+  ++total_;
+  double pos = (std::log10(value) - log_lo_) / log_step_;
+  long idx = static_cast<long>(std::floor(pos));
+  if (idx < 0) idx = 0;
+  if (idx >= static_cast<long>(counts_.size())) {
+    idx = static_cast<long>(counts_.size()) - 1;
+  }
+  ++counts_[static_cast<size_t>(idx)];
+}
+
+std::vector<HistogramBucket> LogHistogram::Buckets() const {
+  std::vector<HistogramBucket> out(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    out[i].lo = std::pow(10.0, log_lo_ + log_step_ * static_cast<double>(i));
+    out[i].hi = std::pow(10.0, log_lo_ + log_step_ * static_cast<double>(i + 1));
+    out[i].count = counts_[i];
+  }
+  return out;
+}
+
+std::vector<HistogramBucket> LogHistogram::NonEmptyBuckets() const {
+  std::vector<HistogramBucket> out = Buckets();
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [](const HistogramBucket& b) { return b.count == 0; }),
+            out.end());
+  return out;
+}
+
+std::string FormatLogLogSeries(const std::vector<HistogramBucket>& buckets) {
+  std::string out;
+  char line[64];
+  for (const auto& b : buckets) {
+    std::snprintf(line, sizeof(line), "%.6g %llu\n", b.GeometricMid(),
+                  static_cast<unsigned long long>(b.count));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace zr

@@ -1,0 +1,80 @@
+// Linear and logarithmic histograms.
+//
+// The paper presents term-frequency distributions on log-log plots
+// (Figures 4 and 5); LogHistogram produces exactly those series.
+
+#ifndef ZERBERR_UTIL_HISTOGRAM_H_
+#define ZERBERR_UTIL_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zr {
+
+/// One histogram bucket: [lo, hi) and the number of observations in it.
+struct HistogramBucket {
+  double lo = 0.0;
+  double hi = 0.0;
+  uint64_t count = 0;
+
+  /// Geometric midpoint, suitable as the x-coordinate on a log axis.
+  double GeometricMid() const;
+};
+
+/// Fixed-width linear histogram over [lo, hi). Out-of-range samples clamp to
+/// the first/last bucket.
+class LinearHistogram {
+ public:
+  /// Creates `buckets` equal-width buckets spanning [lo, hi). Requires
+  /// lo < hi and buckets >= 1.
+  LinearHistogram(double lo, double hi, size_t buckets);
+
+  /// Records one observation.
+  void Add(double value);
+
+  /// Bucket descriptors in ascending order.
+  std::vector<HistogramBucket> Buckets() const;
+
+  /// Total observations recorded.
+  uint64_t TotalCount() const { return total_; }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+/// Histogram with geometrically spaced bucket edges, for power-law data.
+/// Values below `lo` clamp into the first bucket.
+class LogHistogram {
+ public:
+  /// Buckets span [lo, hi) with `buckets_per_decade` buckets per factor of
+  /// 10. Requires 0 < lo < hi.
+  LogHistogram(double lo, double hi, size_t buckets_per_decade);
+
+  /// Records one observation (values <= 0 are ignored).
+  void Add(double value);
+
+  /// Bucket descriptors in ascending order. Empty buckets are included.
+  std::vector<HistogramBucket> Buckets() const;
+
+  /// Buckets with nonzero counts only (the usual plot input).
+  std::vector<HistogramBucket> NonEmptyBuckets() const;
+
+  uint64_t TotalCount() const { return total_; }
+
+ private:
+  double log_lo_, log_step_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+/// Renders buckets as "x y" rows (geometric mid, count), one per line —
+/// ready for a log-log plot such as the paper's Figures 4-5.
+std::string FormatLogLogSeries(const std::vector<HistogramBucket>& buckets);
+
+}  // namespace zr
+
+#endif  // ZERBERR_UTIL_HISTOGRAM_H_

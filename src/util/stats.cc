@@ -1,0 +1,152 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace zr {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::population_variance() const {
+  if (count_ == 0) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double delta = other.mean_ - mean_;
+  size_t total = count_ + other.count_;
+  double nb = static_cast<double>(other.count_);
+  double na = static_cast<double>(count_);
+  mean_ += delta * nb / static_cast<double>(total);
+  m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(total);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  count_ = total;
+}
+
+double UniformityVariance(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    double expected = static_cast<double>(i + 1) / (n + 1.0);
+    double d = values[i] - expected;
+    acc += d * d;
+  }
+  return acc / n;
+}
+
+double KolmogorovSmirnovUniform(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  double d = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    double ecdf_hi = static_cast<double>(i + 1) / n;
+    double ecdf_lo = static_cast<double>(i) / n;
+    d = std::max(d, std::abs(ecdf_hi - values[i]));
+    d = std::max(d, std::abs(values[i] - ecdf_lo));
+  }
+  return d;
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  assert(!a.empty());
+  const double n = static_cast<double>(a.size());
+  double mean_a = std::accumulate(a.begin(), a.end(), 0.0) / n;
+  double mean_b = std::accumulate(b.begin(), b.end(), 0.0) / n;
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double da = a[i] - mean_a;
+    double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+std::vector<double> AverageRanks(const std::vector<double>& values) {
+  std::vector<size_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t i, size_t j) { return values[i] < values[j]; });
+  std::vector<double> ranks(values.size(), 0.0);
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() && values[order[j + 1]] == values[order[i]]) {
+      ++j;
+    }
+    // Positions i..j (0-based) share average 1-based rank.
+    double avg = (static_cast<double>(i + 1) + static_cast<double>(j + 1)) / 2.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  return PearsonCorrelation(AverageRanks(a), AverageRanks(b));
+}
+
+double QuantileSorted(const std::vector<double>& sorted, double q) {
+  assert(!sorted.empty());
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double EntropyBits(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double w : weights) {
+    if (w <= 0.0) continue;
+    double p = w / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace zr

@@ -1,0 +1,90 @@
+// Statistical primitives used throughout the evaluation harness.
+//
+// The central measurement of the paper is the *uniformity* of transformed
+// relevance scores (Section 5.1.3, Figure 9): how far the TRS values of a
+// term are from a uniform distribution on [0, 1]. This module provides that
+// measure plus supporting descriptive statistics.
+
+#ifndef ZERBERR_UTIL_STATS_H_
+#define ZERBERR_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace zr {
+
+/// Streaming mean/variance/min/max via Welford's algorithm. Numerically
+/// stable for long streams.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Number of observations.
+  size_t count() const { return count_; }
+
+  /// Arithmetic mean (0 when empty).
+  double mean() const { return mean_; }
+
+  /// Unbiased sample variance (0 when fewer than 2 observations).
+  double variance() const;
+
+  /// Population variance, dividing by n (0 when empty).
+  double population_variance() const;
+
+  /// sqrt(variance()).
+  double stddev() const;
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void Merge(const RunningStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Variance of a sample in [0,1] w.r.t. the uniform distribution: the mean
+/// squared deviation between the sorted sample and the uniform order
+/// statistics i/(n+1) (a Cramer-von-Mises-type statistic).
+///
+/// This is the paper's Figure 9 measure: "the variance in the distribution
+/// of the TRS values of a particular term in the control set with respect to
+/// a uniform distribution". 0 means perfectly uniform spacing; the paper
+/// reports < 2e-5 for a well-chosen sigma.
+double UniformityVariance(std::vector<double> values);
+
+/// Kolmogorov-Smirnov statistic of a sample in [0,1] against U(0,1):
+/// sup_x |ECDF(x) - x|.
+double KolmogorovSmirnovUniform(std::vector<double> values);
+
+/// Pearson linear correlation coefficient. Requires equal, nonzero sizes.
+/// Returns 0 when either side has zero variance.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Spearman rank correlation (Pearson over average ranks; handles ties).
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+/// q-quantile (0 <= q <= 1) by linear interpolation on a *sorted* vector.
+/// Requires non-empty input.
+double QuantileSorted(const std::vector<double>& sorted, double q);
+
+/// Average ranks of the values (1-based; ties share the average rank).
+std::vector<double> AverageRanks(const std::vector<double>& values);
+
+/// Shannon entropy (bits) of a discrete distribution given as non-negative
+/// weights (normalized internally; zero weights contribute nothing).
+double EntropyBits(const std::vector<double>& weights);
+
+}  // namespace zr
+
+#endif  // ZERBERR_UTIL_STATS_H_

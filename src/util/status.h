@@ -1,0 +1,144 @@
+// Status: RocksDB/Arrow-style error propagation without exceptions.
+//
+// All fallible public APIs in this library return either `Status` or
+// `StatusOr<T>` (see statusor.h). Exceptions are never thrown across module
+// boundaries.
+
+#ifndef ZERBERR_UTIL_STATUS_H_
+#define ZERBERR_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace zr {
+
+/// Canonical error codes, modelled on the RocksDB / absl canonical space.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kPermissionDenied = 4,
+  kCorruption = 5,
+  kFailedPrecondition = 6,
+  kOutOfRange = 7,
+  kUnimplemented = 8,
+  kInternal = 9,
+};
+
+/// Human-readable name of a status code ("OK", "InvalidArgument", ...).
+inline std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kPermissionDenied: return "PermissionDenied";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kUnimplemented: return "Unimplemented";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+/// A lightweight success-or-error result. Copyable, movable, cheap when OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status code.
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsPermissionDenied() const { return code_ == StatusCode::kPermissionDenied; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out(StatusCodeToString(code_));
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+  friend bool operator!=(const Status& a, const Status& b) { return !(a == b); }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace zr
+
+/// Propagates a non-OK Status to the caller.
+#define ZR_RETURN_IF_ERROR(expr)                    \
+  do {                                              \
+    ::zr::Status zr_status_tmp_ = (expr);           \
+    if (!zr_status_tmp_.ok()) return zr_status_tmp_; \
+  } while (false)
+
+#endif  // ZERBERR_UTIL_STATUS_H_

@@ -1,0 +1,87 @@
+// StatusOr<T>: a value or an error, in the style of absl::StatusOr / Arrow's
+// Result<T>.
+
+#ifndef ZERBERR_UTIL_STATUSOR_H_
+#define ZERBERR_UTIL_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace zr {
+
+/// Holds either a `T` or a non-OK `Status` explaining why the `T` is absent.
+///
+/// Accessing `value()` when `!ok()` is a programming error and aborts in
+/// debug builds (assert); callers must check `ok()` or use `value_or()`.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+
+  /// Constructs from a value; the status is OK.
+  StatusOr(T value)  // NOLINT(runtime/explicit)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status (OK iff a value is present).
+  const Status& status() const { return status_; }
+
+  /// The contained value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// The contained value, or `fallback` when this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const {
+    assert(ok());
+    return &*value_;
+  }
+  T* operator->() {
+    assert(ok());
+    return &*value_;
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace zr
+
+/// Assigns the value of a StatusOr expression to `lhs`, or propagates the
+/// error. `lhs` may include a declaration, e.g.
+///   ZR_ASSIGN_OR_RETURN(auto plan, planner.Plan(corpus));
+#define ZR_ASSIGN_OR_RETURN(lhs, expr)                 \
+  ZR_ASSIGN_OR_RETURN_IMPL_(                           \
+      ZR_STATUS_MACRO_CONCAT_(zr_statusor_, __LINE__), lhs, expr)
+
+#define ZR_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define ZR_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define ZR_STATUS_MACRO_CONCAT_(x, y) ZR_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+#endif  // ZERBERR_UTIL_STATUSOR_H_

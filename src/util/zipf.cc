@@ -1,0 +1,63 @@
+#include "util/zipf.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace zr {
+
+double GeneralizedHarmonic(uint64_t n, double s) {
+  // Kahan summation: these sums feed probability normalisation and small
+  // errors would bias the synthetic corpus statistics.
+  double sum = 0.0;
+  double c = 0.0;
+  for (uint64_t k = 1; k <= n; ++k) {
+    double term = std::pow(static_cast<double>(k), -s);
+    double y = term - c;
+    double t = sum + y;
+    c = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double s) : n_(n), s_(s) {
+  assert(n >= 1);
+  assert(s > 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  generalized_harmonic_ = GeneralizedHarmonic(n, s);
+}
+
+// H(x) = integral of x^-s: (x^(1-s) - 1) / (1 - s), or log(x) when s == 1.
+double ZipfDistribution::H(double x) const {
+  if (s_ == 1.0) return std::log(x);
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfDistribution::HInverse(double x) const {
+  if (s_ == 1.0) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+uint64_t ZipfDistribution::Sample(Rng* rng) const {
+  // Rejection-inversion (Hoermann & Derflinger 1996).
+  for (;;) {
+    double u = h_x1_ + rng->NextDouble() * (h_n_ - h_x1_);
+    double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    if (k - x <= 0.5 ||
+        u >= H(static_cast<double>(k) + 0.5) -
+                 std::pow(static_cast<double>(k), -s_)) {
+      return k;
+    }
+  }
+}
+
+double ZipfDistribution::Probability(uint64_t k) const {
+  assert(k >= 1 && k <= n_);
+  return std::pow(static_cast<double>(k), -s_) / generalized_harmonic_;
+}
+
+}  // namespace zr

@@ -1,0 +1,57 @@
+// Zipf / zeta distribution sampling.
+//
+// Term frequencies and query frequencies in real corpora follow power laws
+// (paper Section 3.4, Figure 4; Section 6.1.3, Figure 10). The synthetic data
+// substrate samples vocabularies and query logs from this distribution.
+
+#ifndef ZERBERR_UTIL_ZIPF_H_
+#define ZERBERR_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace zr {
+
+/// Samples ranks in [1, n] with P(k) proportional to 1 / k^s.
+///
+/// Uses Hoermann & Derflinger rejection-inversion ("Rejection-inversion to
+/// generate variates from monotone discrete distributions", 1996), which is
+/// O(1) per sample independent of n, so vocabulary sizes in the millions are
+/// cheap. Exponent s may be any value > 0 (s == 1 handled separately).
+class ZipfDistribution {
+ public:
+  /// Creates a sampler over ranks [1, n] with exponent s. Requires n >= 1,
+  /// s > 0.
+  ZipfDistribution(uint64_t n, double s);
+
+  /// Draws one rank in [1, n].
+  uint64_t Sample(Rng* rng) const;
+
+  /// Number of ranks.
+  uint64_t n() const { return n_; }
+
+  /// Skew exponent.
+  double s() const { return s_; }
+
+  /// Exact probability of rank k (computed via the normalization constant).
+  double Probability(uint64_t k) const;
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double h_x1_;           // H(1.5) - 1
+  double h_n_;            // H(n + 0.5)
+  double generalized_harmonic_;  // sum_{k=1..n} k^-s (for Probability)
+};
+
+/// Computes the generalized harmonic number H_{n,s} = sum_{k=1..n} k^-s.
+double GeneralizedHarmonic(uint64_t n, double s);
+
+}  // namespace zr
+
+#endif  // ZERBERR_UTIL_ZIPF_H_

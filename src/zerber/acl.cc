@@ -1,0 +1,78 @@
+#include "zerber/acl.h"
+
+namespace zr::zerber {
+
+Status AccessControl::AddGroup(crypto::GroupId group) {
+  auto [it, inserted] = members_.emplace(group, std::set<UserId>());
+  if (!inserted) {
+    return Status::AlreadyExists("group " + std::to_string(group) + " exists");
+  }
+  return Status::OK();
+}
+
+bool AccessControl::HasGroup(crypto::GroupId group) const {
+  return members_.count(group) > 0;
+}
+
+Status AccessControl::GrantMembership(UserId user, crypto::GroupId group) {
+  auto it = members_.find(group);
+  if (it == members_.end()) {
+    return Status::NotFound("group " + std::to_string(group) + " unknown");
+  }
+  it->second.insert(user);
+  return Status::OK();
+}
+
+Status AccessControl::RevokeMembership(UserId user, crypto::GroupId group) {
+  auto it = members_.find(group);
+  if (it == members_.end()) {
+    return Status::NotFound("group " + std::to_string(group) + " unknown");
+  }
+  if (it->second.erase(user) == 0) {
+    return Status::NotFound("user " + std::to_string(user) +
+                            " is not a member of group " +
+                            std::to_string(group));
+  }
+  return Status::OK();
+}
+
+Status AccessControl::CheckAccess(UserId user, crypto::GroupId group) const {
+  auto it = members_.find(group);
+  if (it == members_.end()) {
+    return Status::NotFound("group " + std::to_string(group) + " unknown");
+  }
+  if (it->second.count(user) == 0) {
+    return Status::PermissionDenied("user " + std::to_string(user) +
+                                    " may not access group " +
+                                    std::to_string(group));
+  }
+  return Status::OK();
+}
+
+bool AccessControl::IsMember(UserId user, crypto::GroupId group) const {
+  auto it = members_.find(group);
+  return it != members_.end() && it->second.count(user) > 0;
+}
+
+std::vector<crypto::GroupId> AccessControl::AllGroups() const {
+  std::vector<crypto::GroupId> out;
+  out.reserve(members_.size());
+  for (const auto& [group, users] : members_) out.push_back(group);
+  return out;
+}
+
+std::vector<UserId> AccessControl::MembersOf(crypto::GroupId group) const {
+  auto it = members_.find(group);
+  if (it == members_.end()) return {};
+  return std::vector<UserId>(it->second.begin(), it->second.end());
+}
+
+std::vector<crypto::GroupId> AccessControl::GroupsOf(UserId user) const {
+  std::vector<crypto::GroupId> out;
+  for (const auto& [group, users] : members_) {
+    if (users.count(user) > 0) out.push_back(group);
+  }
+  return out;
+}
+
+}  // namespace zr::zerber

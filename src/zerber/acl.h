@@ -1,0 +1,64 @@
+// Access control: users, collaboration groups, memberships.
+//
+// The index server authenticates users and "determines user's access rights"
+// before serving posting elements (paper Sections 4.1, 5.2). Group tags on
+// posting elements are opaque ids; the server learns memberships but never
+// document contents or terms.
+
+#ifndef ZERBERR_ZERBER_ACL_H_
+#define ZERBERR_ZERBER_ACL_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "util/status.h"
+
+namespace zr::zerber {
+
+/// Identifier of an authenticated user.
+using UserId = uint32_t;
+
+/// Group membership registry held by the index server.
+class AccessControl {
+ public:
+  /// Registers a group. AlreadyExists if present.
+  Status AddGroup(crypto::GroupId group);
+
+  /// True if the group exists.
+  bool HasGroup(crypto::GroupId group) const;
+
+  /// Makes `user` a member of `group`. NotFound if the group is unknown.
+  Status GrantMembership(UserId user, crypto::GroupId group);
+
+  /// Removes `user` from `group`. NotFound if absent.
+  Status RevokeMembership(UserId user, crypto::GroupId group);
+
+  /// OK iff `user` is a member of `group`; PermissionDenied otherwise
+  /// (NotFound if the group does not exist).
+  Status CheckAccess(UserId user, crypto::GroupId group) const;
+
+  /// True iff the user is a member (no Status overhead; hot path).
+  bool IsMember(UserId user, crypto::GroupId group) const;
+
+  /// Groups the user belongs to (sorted).
+  std::vector<crypto::GroupId> GroupsOf(UserId user) const;
+
+  /// All registered groups (sorted).
+  std::vector<crypto::GroupId> AllGroups() const;
+
+  /// Members of a group (sorted); empty for unknown groups.
+  std::vector<UserId> MembersOf(crypto::GroupId group) const;
+
+  /// Number of registered groups.
+  size_t NumGroups() const { return members_.size(); }
+
+ private:
+  std::map<crypto::GroupId, std::set<UserId>> members_;
+};
+
+}  // namespace zr::zerber
+
+#endif  // ZERBERR_ZERBER_ACL_H_

@@ -1,0 +1,27 @@
+#include "zerber/confidentiality.h"
+
+#include <limits>
+
+namespace zr::zerber {
+
+double TermProbabilitySum(const text::Corpus& corpus,
+                          const std::vector<text::TermId>& terms) {
+  double sum = 0.0;
+  for (text::TermId t : terms) sum += corpus.TermProbability(t);
+  return sum;
+}
+
+double MaxAmplification(const text::Corpus& corpus,
+                        const std::vector<text::TermId>& terms) {
+  double sum = TermProbabilitySum(corpus, terms);
+  if (sum <= 0.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / sum;
+}
+
+bool IsListRConfidential(const text::Corpus& corpus,
+                         const std::vector<text::TermId>& terms, double r) {
+  if (r <= 0.0) return false;
+  return TermProbabilitySum(corpus, terms) >= 1.0 / r;
+}
+
+}  // namespace zr::zerber

@@ -1,0 +1,34 @@
+// r-confidentiality (paper Section 3.1, Definitions 1-2).
+//
+// A merged posting list with term set S is r-confidential iff
+//     sum_{t in S} p_t >= 1/r                                  (Definition 2)
+// where p_t is the term's normalized document frequency (fraction of all
+// posting elements belonging to t). The adversary's probability
+// amplification for "element e is about term t" is then bounded:
+//     P(X | I, B) / P(X | B) = (sum_D n_d) / (sum_S n_d) = 1 / sum_S p_t <= r.
+
+#ifndef ZERBERR_ZERBER_CONFIDENTIALITY_H_
+#define ZERBERR_ZERBER_CONFIDENTIALITY_H_
+
+#include <vector>
+
+#include "text/corpus.h"
+
+namespace zr::zerber {
+
+/// Sum of term probabilities p_t over a candidate merged list.
+double TermProbabilitySum(const text::Corpus& corpus,
+                          const std::vector<text::TermId>& terms);
+
+/// Maximal probability amplification an adversary gains from knowing an
+/// element lies in this list: 1 / sum p_t. Returns +inf for an empty list.
+double MaxAmplification(const text::Corpus& corpus,
+                        const std::vector<text::TermId>& terms);
+
+/// Definition 2 check: sum p_t >= 1/r.
+bool IsListRConfidential(const text::Corpus& corpus,
+                         const std::vector<text::TermId>& terms, double r);
+
+}  // namespace zr::zerber
+
+#endif  // ZERBERR_ZERBER_CONFIDENTIALITY_H_

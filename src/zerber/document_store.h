@@ -1,0 +1,72 @@
+// Encrypted document/snippet store.
+//
+// Section 6.6 of the paper accounts ~250 B of XML snippet per top-k result:
+// after ranking, the client fetches result snippets. Like posting elements,
+// snippets live on the untrusted server sealed under the owning group's
+// keys; the server can enforce ACLs (group tags are visible) but cannot
+// read contents.
+
+#ifndef ZERBERR_ZERBER_DOCUMENT_STORE_H_
+#define ZERBERR_ZERBER_DOCUMENT_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "text/document.h"
+#include "util/status.h"
+#include "util/statusor.h"
+#include "zerber/acl.h"
+
+namespace zr::zerber {
+
+/// A sealed snippet as stored server-side.
+struct SealedSnippet {
+  crypto::GroupId group = 0;
+  std::string sealed;
+
+  /// Bytes this snippet occupies on the wire.
+  size_t WireSize() const;
+};
+
+/// Server-side snippet storage with ACL enforcement.
+class DocumentStore {
+ public:
+  explicit DocumentStore(const AccessControl* acl) : acl_(acl) {}
+
+  /// Stores (or replaces) the sealed snippet of a document on behalf of
+  /// `user`. PermissionDenied unless the user is in the snippet's group.
+  Status Put(UserId user, text::DocId doc, SealedSnippet snippet);
+
+  /// Fetches the sealed snippet of a document. NotFound if absent;
+  /// PermissionDenied if the user is not in the snippet's group.
+  StatusOr<const SealedSnippet*> Get(UserId user, text::DocId doc) const;
+
+  /// Removes a document's snippet. Same access rules as Get.
+  Status Remove(UserId user, text::DocId doc);
+
+  /// Number of stored snippets.
+  size_t size() const { return snippets_.size(); }
+
+  /// Total stored bytes (capacity accounting).
+  uint64_t TotalWireSize() const;
+
+ private:
+  const AccessControl* acl_;
+  std::map<text::DocId, SealedSnippet> snippets_;
+};
+
+/// Client-side helpers: seal/open a snippet string for a group.
+StatusOr<SealedSnippet> SealSnippet(std::string_view snippet_text,
+                                    crypto::GroupId group,
+                                    crypto::KeyStore* keys);
+
+StatusOr<std::string> OpenSnippet(const SealedSnippet& snippet,
+                                  const crypto::KeyStore& keys);
+
+}  // namespace zr::zerber
+
+#endif  // ZERBERR_ZERBER_DOCUMENT_STORE_H_

@@ -1,0 +1,134 @@
+#include "zerber/merge_planner.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/random.h"
+#include "zerber/confidentiality.h"
+
+namespace zr::zerber {
+
+MergedListId MergePlan::ListOf(text::TermId term,
+                               uint64_t term_pseudonym) const {
+  auto it = term_to_list.find(term);
+  if (it != term_to_list.end()) return it->second;
+  // Unseen term: deterministic pseudo-random assignment. Rare by assumption
+  // (Section 5.1.1), so the confidentiality impact is negligible.
+  return static_cast<MergedListId>(term_pseudonym % NumLists());
+}
+
+namespace {
+
+StatusOr<MergePlan> PlanWithOrder(const text::Corpus& corpus, double r,
+                                  std::vector<text::TermId> order,
+                                  std::string strategy) {
+  if (r <= 0.0) {
+    return Status::InvalidArgument("confidentiality parameter r must be > 0");
+  }
+  if (corpus.TotalPostings() == 0) {
+    return Status::FailedPrecondition("cannot plan merge over empty corpus");
+  }
+
+  // Drop terms with no postings: they have p_t == 0 and no list membership.
+  order.erase(std::remove_if(order.begin(), order.end(),
+                             [&](text::TermId t) {
+                               return corpus.DocumentFrequency(t) == 0;
+                             }),
+              order.end());
+  if (order.empty()) {
+    return Status::FailedPrecondition("no indexable terms in corpus");
+  }
+
+  const double threshold = 1.0 / r;
+  MergePlan plan;
+  plan.strategy = std::move(strategy);
+
+  std::vector<text::TermId> current;
+  double current_sum = 0.0;
+  for (text::TermId t : order) {
+    current.push_back(t);
+    current_sum += corpus.TermProbability(t);
+    if (current_sum >= threshold) {
+      plan.lists.push_back(std::move(current));
+      current.clear();
+      current_sum = 0.0;
+    }
+  }
+  if (!current.empty()) {
+    // Tail run below threshold: fold into the last complete list so every
+    // list satisfies Definition 2.
+    if (plan.lists.empty()) {
+      // Whole corpus below threshold: one list containing everything is the
+      // best achievable; it still may violate r if r is tiny. Report that.
+      plan.lists.push_back(std::move(current));
+    } else {
+      auto& last = plan.lists.back();
+      last.insert(last.end(), current.begin(), current.end());
+    }
+  }
+
+  for (size_t i = 0; i < plan.lists.size(); ++i) {
+    for (text::TermId t : plan.lists[i]) {
+      plan.term_to_list.emplace(t, static_cast<MergedListId>(i));
+    }
+  }
+
+  ZR_RETURN_IF_ERROR(ValidateMergePlan(corpus, plan, r));
+  return plan;
+}
+
+}  // namespace
+
+StatusOr<MergePlan> PlanBfmMerge(const text::Corpus& corpus, double r) {
+  std::vector<text::TermId> order = corpus.vocabulary().AllTermIds();
+  std::sort(order.begin(), order.end(), [&](text::TermId a, text::TermId b) {
+    uint64_t da = corpus.DocumentFrequency(a);
+    uint64_t db = corpus.DocumentFrequency(b);
+    return da != db ? da > db : a < b;
+  });
+  return PlanWithOrder(corpus, r, std::move(order), "bfm");
+}
+
+StatusOr<MergePlan> PlanRandomMerge(const text::Corpus& corpus, double r,
+                                    uint64_t seed) {
+  std::vector<text::TermId> order = corpus.vocabulary().AllTermIds();
+  Rng rng(seed);
+  rng.Shuffle(&order);
+  return PlanWithOrder(corpus, r, std::move(order), "random");
+}
+
+Status ValidateMergePlan(const text::Corpus& corpus, const MergePlan& plan,
+                         double r) {
+  if (plan.lists.empty()) {
+    return Status::FailedPrecondition("merge plan has no lists");
+  }
+  size_t assigned = 0;
+  for (size_t i = 0; i < plan.lists.size(); ++i) {
+    const auto& terms = plan.lists[i];
+    if (terms.empty()) {
+      return Status::Corruption("merged list " + std::to_string(i) +
+                                " is empty");
+    }
+    if (!IsListRConfidential(corpus, terms, r)) {
+      return Status::FailedPrecondition(
+          "merged list " + std::to_string(i) +
+          " violates Definition 2: sum p_t = " +
+          std::to_string(TermProbabilitySum(corpus, terms)) + " < 1/r = " +
+          std::to_string(1.0 / r));
+    }
+    for (text::TermId t : terms) {
+      auto it = plan.term_to_list.find(t);
+      if (it == plan.term_to_list.end() || it->second != i) {
+        return Status::Corruption("term_to_list inconsistent for term " +
+                                  std::to_string(t));
+      }
+      ++assigned;
+    }
+  }
+  if (assigned != plan.term_to_list.size()) {
+    return Status::Corruption("term assigned to multiple lists");
+  }
+  return Status::OK();
+}
+
+}  // namespace zr::zerber

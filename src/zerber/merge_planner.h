@@ -1,0 +1,68 @@
+// Posting-list merge planning (paper Sections 3.1 and 5.2).
+//
+// Zerber merges posting lists of several terms into one list until the
+// r-confidentiality threshold of Definition 2 is met. Zerber+R specifically
+// relies on the *BFM* (Breadth-First Merging) strategy of [22], which merges
+// terms of similar document frequency; this is what makes follow-up request
+// counts indistinguishable within a list (Section 5.2).
+//
+// A random merge planner is provided as an ablation baseline: it also
+// satisfies Definition 2 but mixes rare terms with frequent ones, so the
+// number of follow-up requests leaks which kind of term was queried.
+
+#ifndef ZERBERR_ZERBER_MERGE_PLANNER_H_
+#define ZERBERR_ZERBER_MERGE_PLANNER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "text/corpus.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace zr::zerber {
+
+/// Identifier of a merged posting list on the server.
+using MergedListId = uint32_t;
+
+/// The (public) assignment of terms to merged posting lists, computed once
+/// in the offline pre-computation phase (paper Section 5).
+struct MergePlan {
+  /// lists[i] = term ids merged into list i.
+  std::vector<std::vector<text::TermId>> lists;
+
+  /// Inverse mapping.
+  std::unordered_map<text::TermId, MergedListId> term_to_list;
+
+  /// Strategy used (for reporting).
+  std::string strategy;
+
+  /// Number of merged lists.
+  size_t NumLists() const { return lists.size(); }
+
+  /// List of a term, or the deterministic fallback `hash % NumLists()` for
+  /// terms unknown at planning time (paper Section 5.1.1 treats unseen terms
+  /// as rare).
+  MergedListId ListOf(text::TermId term, uint64_t term_pseudonym) const;
+};
+
+/// Breadth-First Merging: terms sorted by descending document frequency are
+/// greedily grouped in consecutive runs until each run satisfies
+/// sum p_t >= 1/r. Terms with zero document frequency are skipped. The final
+/// run is folded into its predecessor if it falls short of the threshold.
+/// InvalidArgument if r <= 0; FailedPrecondition if the corpus is empty.
+StatusOr<MergePlan> PlanBfmMerge(const text::Corpus& corpus, double r);
+
+/// Ablation baseline: random term order, same greedy thresholding.
+StatusOr<MergePlan> PlanRandomMerge(const text::Corpus& corpus, double r,
+                                    uint64_t seed);
+
+/// Verifies Definition 2 for every list of the plan and that every indexed
+/// term is assigned exactly once. Returns the first violation found.
+Status ValidateMergePlan(const text::Corpus& corpus, const MergePlan& plan,
+                         double r);
+
+}  // namespace zr::zerber
+
+#endif  // ZERBERR_ZERBER_MERGE_PLANNER_H_

@@ -1,0 +1,64 @@
+#include "zerber/merged_list.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace zr::zerber {
+
+void MergedList::Insert(EncryptedPostingElement element, Rng* rng) {
+  switch (placement_) {
+    case Placement::kRandomPlacement: {
+      assert(rng != nullptr && "random placement requires an Rng");
+      size_t pos = elements_.empty()
+                       ? 0
+                       : static_cast<size_t>(rng->Uniform(elements_.size() + 1));
+      elements_.insert(elements_.begin() + static_cast<long>(pos),
+                       std::move(element));
+      break;
+    }
+    case Placement::kTrsSorted: {
+      // Descending TRS; ties keep insertion order (stable upper_bound).
+      auto it = std::upper_bound(
+          elements_.begin(), elements_.end(), element,
+          [](const EncryptedPostingElement& a,
+             const EncryptedPostingElement& b) { return a.trs > b.trs; });
+      elements_.insert(it, std::move(element));
+      break;
+    }
+  }
+}
+
+std::vector<EncryptedPostingElement> MergedList::Range(size_t offset,
+                                                       size_t count) const {
+  std::vector<EncryptedPostingElement> out;
+  if (offset >= elements_.size()) return out;
+  size_t end = std::min(elements_.size(), offset + count);
+  out.assign(elements_.begin() + static_cast<long>(offset),
+             elements_.begin() + static_cast<long>(end));
+  return out;
+}
+
+const EncryptedPostingElement* MergedList::FindByHandle(uint64_t handle) const {
+  for (const auto& e : elements_) {
+    if (e.handle == handle) return &e;
+  }
+  return nullptr;
+}
+
+bool MergedList::EraseByHandle(uint64_t handle) {
+  for (auto it = elements_.begin(); it != elements_.end(); ++it) {
+    if (it->handle == handle) {
+      elements_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t MergedList::TotalWireSize() const {
+  size_t total = 0;
+  for (const auto& e : elements_) total += e.WireSize();
+  return total;
+}
+
+}  // namespace zr::zerber

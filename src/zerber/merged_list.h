@@ -1,0 +1,68 @@
+// Server-side merged posting list.
+//
+// Two placement disciplines (paper Sections 3.1 and 5):
+//  * kRandomPlacement — plain Zerber: elements sit at random positions so
+//    their order reveals nothing; clients must download whole lists.
+//  * kTrsSorted — Zerber+R: elements are kept sorted by descending TRS,
+//    enabling server-side top-k without term-specific leakage.
+
+#ifndef ZERBERR_ZERBER_MERGED_LIST_H_
+#define ZERBERR_ZERBER_MERGED_LIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+#include "zerber/posting_element.h"
+
+namespace zr::zerber {
+
+/// Element placement discipline of a merged list.
+enum class Placement {
+  kRandomPlacement,  ///< plain Zerber ([22])
+  kTrsSorted,        ///< Zerber+R
+};
+
+/// A merged posting list holding sealed elements of several terms.
+class MergedList {
+ public:
+  explicit MergedList(Placement placement) : placement_(placement) {}
+
+  /// Inserts an element according to the placement discipline. For random
+  /// placement `rng` supplies the position; it may be null for kTrsSorted.
+  void Insert(EncryptedPostingElement element, Rng* rng);
+
+  /// Appends an element at the tail, preserving a previously persisted
+  /// order. Only for snapshot restore (zerber/persistence.h).
+  void AppendRestored(EncryptedPostingElement element) {
+    elements_.push_back(std::move(element));
+  }
+
+  /// Finds an element by server handle; nullptr if absent.
+  const EncryptedPostingElement* FindByHandle(uint64_t handle) const;
+
+  /// Removes the element with the given handle. False if absent.
+  bool EraseByHandle(uint64_t handle);
+
+  /// Elements [offset, offset+count) in list order. Clamps to the list end.
+  std::vector<EncryptedPostingElement> Range(size_t offset, size_t count) const;
+
+  /// All elements in list order.
+  const std::vector<EncryptedPostingElement>& elements() const {
+    return elements_;
+  }
+
+  size_t size() const { return elements_.size(); }
+  Placement placement() const { return placement_; }
+
+  /// Sum of wire sizes of all elements (storage accounting, Section 6.3).
+  size_t TotalWireSize() const;
+
+ private:
+  Placement placement_;
+  std::vector<EncryptedPostingElement> elements_;
+};
+
+}  // namespace zr::zerber
+
+#endif  // ZERBERR_ZERBER_MERGED_LIST_H_

@@ -1,0 +1,48 @@
+// On-disk persistence of the index server state.
+//
+// The paper's deployment model is a long-lived centralized index; a real
+// server must survive restarts. The format is a single snapshot file:
+//
+//   magic "ZBRIDX01"
+//   placement (1 byte)
+//   varint num_lists
+//     per list: varint element_count, elements (posting_element wire format)
+//   varint num_groups
+//     per group: varint group_id, varint num_users, varint user_ids
+//   SHA-256 checksum of everything above (32 bytes)
+//
+// The checksum detects torn writes and bit rot; element-level integrity is
+// additionally protected by each element's own HMAC tag (clients verify on
+// decrypt, so even a malicious storage layer cannot forge payloads).
+
+#ifndef ZERBERR_ZERBER_PERSISTENCE_H_
+#define ZERBERR_ZERBER_PERSISTENCE_H_
+
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+#include "util/statusor.h"
+#include "zerber/zerber_index.h"
+
+namespace zr::zerber {
+
+/// Serializes the full server state (lists + ACL) to a byte string.
+std::string SerializeIndexSnapshot(const IndexServer& server);
+
+/// Reconstructs a server from a snapshot byte string. Corruption if the
+/// checksum or structure is invalid.
+StatusOr<std::unique_ptr<IndexServer>> ParseIndexSnapshot(
+    std::string_view snapshot, uint64_t rng_seed = 1);
+
+/// Writes the snapshot atomically (tmp file + rename). IO failures surface
+/// as Internal.
+Status SaveIndex(const IndexServer& server, const std::string& path);
+
+/// Loads a snapshot file written by SaveIndex.
+StatusOr<std::unique_ptr<IndexServer>> LoadIndex(const std::string& path,
+                                                 uint64_t rng_seed = 1);
+
+}  // namespace zr::zerber
+
+#endif  // ZERBERR_ZERBER_PERSISTENCE_H_

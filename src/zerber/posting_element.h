@@ -1,0 +1,83 @@
+// Encrypted posting elements (paper Sections 3.1 and 5).
+//
+// A posting element carries (term, document, raw relevance score) sealed
+// under the owning group's keys. The server additionally sees:
+//   * the group tag (needed to enforce access control),
+//   * the transformed relevance score TRS (Zerber+R; enables server-side
+//     top-k without revealing term-specific score distributions).
+// For the plain Zerber baseline the TRS field holds a random placement key
+// instead, reproducing Zerber's "posting elements are placed randomly inside
+// the merged posting list".
+
+#ifndef ZERBERR_ZERBER_POSTING_ELEMENT_H_
+#define ZERBERR_ZERBER_POSTING_ELEMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "crypto/keys.h"
+#include "text/document.h"
+#include "text/vocabulary.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace zr::zerber {
+
+/// The confidential payload of a posting element (client-side only).
+struct PostingPayload {
+  text::TermId term = 0;
+  text::DocId doc = 0;
+  /// Raw relevance score rscore(t, d) = TF/|d| (Equation 4).
+  double score = 0.0;
+
+  friend bool operator==(const PostingPayload&, const PostingPayload&) = default;
+};
+
+/// A posting element as stored on the (untrusted) index server.
+struct EncryptedPostingElement {
+  /// Owning collaboration group (server-visible; drives ACL filtering).
+  crypto::GroupId group = 0;
+
+  /// Server-assigned element handle (unique per server instance, 0 before
+  /// insertion). Lets clients reference elements for deletion without the
+  /// server learning their contents ("unlimited index update and insert
+  /// operations", paper Section 7).
+  uint64_t handle = 0;
+
+  /// Transformed relevance score in [0, 1] (server-visible sort key).
+  double trs = 0.0;
+
+  /// Seal(enc_key, mac_key, nonce, serialized PostingPayload).
+  std::string sealed;
+
+  /// Serialized wire size in bytes.
+  size_t WireSize() const;
+};
+
+/// Serializes a payload (varint term, varint doc, fixed64 score bits).
+std::string SerializePayload(const PostingPayload& payload);
+
+/// Parses a payload; Corruption on malformed input.
+StatusOr<PostingPayload> ParsePayload(std::string_view data);
+
+/// Seals `payload` into an element for `group` with the given TRS.
+/// Fails if the key store has no keys for the group.
+StatusOr<EncryptedPostingElement> SealPostingElement(
+    const PostingPayload& payload, crypto::GroupId group, double trs,
+    crypto::KeyStore* keys);
+
+/// Opens an element. PermissionDenied if the key store lacks the group's
+/// keys; Corruption if authentication fails.
+StatusOr<PostingPayload> OpenPostingElement(
+    const EncryptedPostingElement& element, const crypto::KeyStore& keys);
+
+/// Serializes an element for network transfer / persistence.
+void AppendElement(std::string* dst, const EncryptedPostingElement& element);
+
+/// Parses one element from a reader; Corruption on malformed input.
+StatusOr<EncryptedPostingElement> ParseElement(std::string_view* data);
+
+}  // namespace zr::zerber
+
+#endif  // ZERBERR_ZERBER_POSTING_ELEMENT_H_

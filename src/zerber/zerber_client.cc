@@ -1,0 +1,90 @@
+#include "zerber/zerber_client.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace zr::zerber {
+
+StatusOr<MergedListId> ZerberClient::ListOf(text::TermId term) const {
+  ZR_ASSIGN_OR_RETURN(std::string term_string, vocab_->TermOf(term));
+  return plan_->ListOf(term, keys_->TermPseudonym(term_string));
+}
+
+Status ZerberClient::UploadElement(text::TermId term, text::DocId doc,
+                                   double score, crypto::GroupId group,
+                                   double trs) {
+  PostingPayload payload{term, doc, score};
+  ZR_ASSIGN_OR_RETURN(EncryptedPostingElement element,
+                      SealPostingElement(payload, group, trs, keys_));
+  ZR_ASSIGN_OR_RETURN(MergedListId list, ListOf(term));
+  return server_->Insert(user_, list, std::move(element)).status();
+}
+
+StatusOr<size_t> ZerberClient::RemoveDocument(const text::Document& doc) {
+  size_t removed = 0;
+  for (const auto& [term, tf] : doc.terms()) {
+    (void)tf;
+    ZR_ASSIGN_OR_RETURN(MergedListId list, ListOf(term));
+    ZR_ASSIGN_OR_RETURN(
+        FetchResult fetched,
+        server_->Fetch(user_, list, 0, std::numeric_limits<size_t>::max()));
+    for (const EncryptedPostingElement& element : fetched.elements) {
+      auto payload = OpenPostingElement(element, *keys_);
+      if (!payload.ok()) {
+        if (payload.status().IsPermissionDenied()) continue;
+        return payload.status();
+      }
+      if (payload->term != term || payload->doc != doc.id()) continue;
+      ZR_RETURN_IF_ERROR(server_->Delete(user_, list, element.handle));
+      ++removed;
+      break;  // one element per (term, doc)
+    }
+  }
+  return removed;
+}
+
+Status ZerberClient::IndexDocument(const text::Document& doc) {
+  for (const auto& [term, tf] : doc.terms()) {
+    (void)tf;
+    double score = doc.RelevanceScore(term);
+    ZR_RETURN_IF_ERROR(
+        UploadElement(term, doc.id(), score, doc.group(), /*trs=*/0.0));
+  }
+  return Status::OK();
+}
+
+StatusOr<ClientQueryResult> ZerberClient::QueryTopK(text::TermId term,
+                                                    size_t k) {
+  ZR_ASSIGN_OR_RETURN(MergedListId list, ListOf(term));
+
+  // Plain Zerber: one request for the entire accessible list.
+  ZR_ASSIGN_OR_RETURN(
+      FetchResult fetched,
+      server_->Fetch(user_, list, 0, std::numeric_limits<size_t>::max()));
+
+  ClientQueryResult result;
+  result.requests = 1;
+  result.elements_fetched = fetched.elements.size();
+  result.bytes_fetched = fetched.wire_bytes;
+
+  std::vector<index::ScoredDoc> matches;
+  for (const EncryptedPostingElement& element : fetched.elements) {
+    auto payload = OpenPostingElement(element, *keys_);
+    if (!payload.ok()) {
+      if (payload.status().IsPermissionDenied()) continue;  // foreign group
+      return payload.status();
+    }
+    if (payload->term != term) continue;  // other merged term
+    matches.push_back(index::ScoredDoc{payload->doc, payload->score});
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const index::ScoredDoc& a, const index::ScoredDoc& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc_id < b.doc_id;
+            });
+  if (matches.size() > k) matches.resize(k);
+  result.results = std::move(matches);
+  return result;
+}
+
+}  // namespace zr::zerber

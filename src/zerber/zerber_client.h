@@ -1,0 +1,87 @@
+// The plain Zerber client (the paper's baseline, [22]).
+//
+// Zerber stores ranking information encrypted and places elements randomly,
+// so the server cannot rank: the client downloads the *whole* merged posting
+// list, decrypts the elements it has keys for, filters them by the queried
+// term and ranks locally. Zerber+R (src/core) replaces exactly this flow
+// with server-side TRS ranking plus the follow-up protocol.
+
+#ifndef ZERBERR_ZERBER_ZERBER_CLIENT_H_
+#define ZERBERR_ZERBER_ZERBER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "index/inverted_index.h"
+#include "text/corpus.h"
+#include "util/status.h"
+#include "util/statusor.h"
+#include "zerber/merge_planner.h"
+#include "zerber/zerber_index.h"
+
+namespace zr::zerber {
+
+/// Outcome of a client-side top-k query with transfer accounting.
+struct ClientQueryResult {
+  /// Ranked results, best first, at most k.
+  std::vector<index::ScoredDoc> results;
+
+  /// Server round trips used.
+  uint64_t requests = 0;
+
+  /// Posting elements transferred (the paper's total response size TRes).
+  uint64_t elements_fetched = 0;
+
+  /// Bytes transferred server -> client.
+  uint64_t bytes_fetched = 0;
+};
+
+/// A group member interacting with the index server.
+class ZerberClient {
+ public:
+  /// All pointers must outlive the client. `vocab` supplies term strings for
+  /// pseudonym computation (a real client knows its terms directly).
+  ZerberClient(UserId user, crypto::KeyStore* keys, const MergePlan* plan,
+               IndexServer* server, const text::Vocabulary* vocab)
+      : user_(user), keys_(keys), plan_(plan), server_(server), vocab_(vocab) {}
+
+  /// Builds, seals and uploads one posting element per distinct term of the
+  /// document. The raw relevance score (Equation 4) goes inside the sealed
+  /// payload; the server-visible TRS is 0 (plain Zerber exposes no ranking
+  /// information).
+  Status IndexDocument(const text::Document& doc);
+
+  /// Top-k documents for a single term: downloads the entire accessible
+  /// merged list, decrypts, filters, ranks locally.
+  StatusOr<ClientQueryResult> QueryTopK(text::TermId term, size_t k);
+
+  /// Removes every posting element of `doc` from the index: the client
+  /// downloads the relevant lists, identifies its own elements by
+  /// decryption, and deletes them by server handle (the server cannot find
+  /// them itself — it never sees document ids). Returns the number of
+  /// elements removed. Supports the paper's "unlimited index update and
+  /// insert operations" (Section 7): an update is remove + re-index.
+  StatusOr<size_t> RemoveDocument(const text::Document& doc);
+
+  /// Merged list id for a term (via its pseudonym).
+  StatusOr<MergedListId> ListOf(text::TermId term) const;
+
+  UserId user() const { return user_; }
+
+ protected:
+  /// Seals and uploads one element; `trs` is the server-visible sort key.
+  Status UploadElement(text::TermId term, text::DocId doc, double score,
+                       crypto::GroupId group, double trs);
+
+  UserId user_;
+  crypto::KeyStore* keys_;
+  const MergePlan* plan_;
+  IndexServer* server_;
+  const text::Vocabulary* vocab_;
+};
+
+}  // namespace zr::zerber
+
+#endif  // ZERBERR_ZERBER_ZERBER_CLIENT_H_

@@ -1,0 +1,106 @@
+#include "zerber/zerber_index.h"
+
+namespace zr::zerber {
+
+IndexServer::IndexServer(size_t num_lists, Placement placement, uint64_t seed)
+    : placement_(placement), rng_(seed) {
+  lists_.reserve(num_lists);
+  for (size_t i = 0; i < num_lists; ++i) lists_.emplace_back(placement);
+}
+
+Status IndexServer::RestoreElements(
+    MergedListId list, std::vector<EncryptedPostingElement> elements) {
+  if (list >= lists_.size()) {
+    return Status::OutOfRange("merged list " + std::to_string(list) +
+                              " does not exist");
+  }
+  for (auto& element : elements) {
+    // Keep the handle counter ahead of restored handles so post-restore
+    // inserts never collide.
+    if (element.handle >= next_handle_) next_handle_ = element.handle + 1;
+    lists_[list].AppendRestored(std::move(element));
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> IndexServer::Insert(UserId user, MergedListId list,
+                                       EncryptedPostingElement element) {
+  ++stats_.insert_requests;
+  if (list >= lists_.size()) {
+    return Status::OutOfRange("merged list " + std::to_string(list) +
+                              " does not exist");
+  }
+  ZR_RETURN_IF_ERROR(acl_.CheckAccess(user, element.group));
+  element.handle = next_handle_++;
+  uint64_t handle = element.handle;
+  lists_[list].Insert(std::move(element), &rng_);
+  return handle;
+}
+
+Status IndexServer::Delete(UserId user, MergedListId list, uint64_t handle) {
+  if (list >= lists_.size()) {
+    return Status::OutOfRange("merged list " + std::to_string(list) +
+                              " does not exist");
+  }
+  const EncryptedPostingElement* element = lists_[list].FindByHandle(handle);
+  if (element == nullptr) {
+    return Status::NotFound("no element with handle " +
+                            std::to_string(handle));
+  }
+  ZR_RETURN_IF_ERROR(acl_.CheckAccess(user, element->group));
+  lists_[list].EraseByHandle(handle);
+  return Status::OK();
+}
+
+StatusOr<FetchResult> IndexServer::Fetch(UserId user, MergedListId list,
+                                         size_t offset, size_t count) {
+  ++stats_.fetch_requests;
+  if (list >= lists_.size()) {
+    return Status::OutOfRange("merged list " + std::to_string(list) +
+                              " does not exist");
+  }
+  FetchResult result;
+  const auto& elements = lists_[list].elements();
+  size_t accessible_seen = 0;
+  size_t i = 0;
+  for (; i < elements.size() && result.elements.size() < count; ++i) {
+    const auto& e = elements[i];
+    if (!acl_.IsMember(user, e.group)) continue;
+    if (accessible_seen++ < offset) continue;
+    result.elements.push_back(e);
+    result.wire_bytes += e.WireSize();
+  }
+  // Exhausted iff no accessible element remains at or beyond position i.
+  result.exhausted = true;
+  for (; i < elements.size(); ++i) {
+    if (acl_.IsMember(user, elements[i].group)) {
+      result.exhausted = false;
+      break;
+    }
+  }
+  stats_.elements_served += result.elements.size();
+  stats_.bytes_served += result.wire_bytes;
+  return result;
+}
+
+uint64_t IndexServer::TotalElements() const {
+  uint64_t total = 0;
+  for (const auto& l : lists_) total += l.size();
+  return total;
+}
+
+uint64_t IndexServer::TotalWireSize() const {
+  uint64_t total = 0;
+  for (const auto& l : lists_) total += l.TotalWireSize();
+  return total;
+}
+
+StatusOr<const MergedList*> IndexServer::GetList(MergedListId list) const {
+  if (list >= lists_.size()) {
+    return Status::OutOfRange("merged list " + std::to_string(list) +
+                              " does not exist");
+  }
+  return &lists_[list];
+}
+
+}  // namespace zr::zerber

@@ -1,0 +1,112 @@
+// The untrusted index server.
+//
+// Holds merged posting lists of sealed elements. Enforces authentication +
+// group ACLs (paper Sections 4.1, 5): it verifies that inserting users are
+// members of the element's group and filters query responses down to groups
+// the querying user may read. It never sees terms, documents, or raw scores
+// — only group tags, TRS values and ciphertext.
+
+#ifndef ZERBERR_ZERBER_ZERBER_INDEX_H_
+#define ZERBERR_ZERBER_ZERBER_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+#include "util/statusor.h"
+#include "zerber/acl.h"
+#include "zerber/merge_planner.h"
+#include "zerber/merged_list.h"
+#include "zerber/posting_element.h"
+
+namespace zr::zerber {
+
+/// Response of a range fetch.
+struct FetchResult {
+  /// Accessible elements in list order, at most `count` of them.
+  std::vector<EncryptedPostingElement> elements;
+
+  /// True when no accessible elements remain beyond this range — the client
+  /// has seen the whole (accessible) list.
+  bool exhausted = false;
+
+  /// Serialized size of `elements` in bytes (bandwidth accounting).
+  size_t wire_bytes = 0;
+};
+
+/// Cumulative server-side counters for the evaluation harness.
+struct ServerStats {
+  uint64_t fetch_requests = 0;
+  uint64_t insert_requests = 0;
+  uint64_t elements_served = 0;
+  uint64_t bytes_served = 0;
+};
+
+/// The index server. One instance per deployment; thread-compatible.
+class IndexServer {
+ public:
+  /// Creates a server with `num_lists` empty merged lists using the given
+  /// placement discipline. `seed` drives random placement.
+  IndexServer(size_t num_lists, Placement placement, uint64_t seed = 1);
+
+  /// Access-control registry (server operator API).
+  AccessControl& acl() { return acl_; }
+  const AccessControl& acl() const { return acl_; }
+
+  /// Inserts a sealed element into a merged list on behalf of `user`.
+  /// PermissionDenied unless the user is a member of the element's group;
+  /// OutOfRange for an invalid list id. Assigns the element a fresh server
+  /// handle (returned for later deletion).
+  StatusOr<uint64_t> Insert(UserId user, MergedListId list,
+                            EncryptedPostingElement element);
+
+  /// Deletes the element with the given handle from a list on behalf of
+  /// `user`. The server never learns contents — only the handle and the
+  /// (visible) group tag, whose membership it checks. NotFound if no such
+  /// handle; PermissionDenied for foreign groups.
+  Status Delete(UserId user, MergedListId list, uint64_t handle);
+
+  /// Returns up to `count` accessible elements of `list`, skipping the first
+  /// `offset` accessible ones. Offset/count address the *accessible*
+  /// subsequence for this user, so inaccessible groups neither appear nor
+  /// shift positions. OutOfRange for an invalid list id.
+  StatusOr<FetchResult> Fetch(UserId user, MergedListId list, size_t offset,
+                              size_t count);
+
+  /// Number of merged lists.
+  size_t NumLists() const { return lists_.size(); }
+
+  /// Total stored elements across all lists.
+  uint64_t TotalElements() const;
+
+  /// Total wire size of all stored elements (Section 6.3 storage accounting).
+  uint64_t TotalWireSize() const;
+
+  /// List inspection (tests / adversary simulation — a compromised server
+  /// can read everything it stores; paper Section 6.2).
+  StatusOr<const MergedList*> GetList(MergedListId list) const;
+
+  /// Element placement discipline of this server's lists.
+  Placement placement() const { return placement_; }
+
+  /// Appends pre-ordered elements to a list, bypassing ACL checks. Only for
+  /// snapshot restore (zerber/persistence.h); OutOfRange on a bad list id.
+  Status RestoreElements(MergedListId list,
+                         std::vector<EncryptedPostingElement> elements);
+
+  const ServerStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ServerStats(); }
+
+ private:
+  std::vector<MergedList> lists_;
+  AccessControl acl_;
+  Placement placement_;
+  Rng rng_;
+  ServerStats stats_;
+  uint64_t next_handle_ = 1;
+};
+
+}  // namespace zr::zerber
+
+#endif  // ZERBERR_ZERBER_ZERBER_INDEX_H_

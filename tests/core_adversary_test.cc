@@ -1,0 +1,168 @@
+#include "core/adversary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rstf.h"
+#include "util/random.h"
+
+namespace zr::core {
+namespace {
+
+// Two terms with clearly different raw score distributions, as in the
+// paper's Figure 5: a "frequent" term scoring low, a "specific" term
+// scoring high.
+std::vector<double> LowScores(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> s;
+  for (size_t i = 0; i < n; ++i) s.push_back(0.01 + 0.05 * rng.NextDouble());
+  return s;
+}
+
+std::vector<double> HighScores(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> s;
+  for (size_t i = 0; i < n; ++i) s.push_back(0.2 + 0.2 * rng.NextDouble());
+  return s;
+}
+
+TEST(ScoreAttackTest, RawScoresLeakTermIdentity) {
+  // Background knowledge: separate samples of each term's raw scores.
+  std::unordered_map<text::TermId, std::vector<double>> background{
+      {1, LowScores(500, 1)}, {2, HighScores(500, 2)}};
+  std::unordered_map<text::TermId, double> priors{{1, 0.5}, {2, 0.5}};
+
+  // Observed merged list: fresh draws, labels known to the harness.
+  std::vector<LabeledObservation> observations;
+  for (double s : LowScores(200, 3)) observations.push_back({1, s});
+  for (double s : HighScores(200, 4)) observations.push_back({2, s});
+
+  auto outcome = RunScoreDistributionAttack(background, priors, observations);
+  ASSERT_TRUE(outcome.ok());
+  // Distributions are disjoint: the adversary wins almost always.
+  EXPECT_GT(outcome->accuracy, 0.95);
+  EXPECT_GT(outcome->amplification, 1.8);
+}
+
+TEST(ScoreAttackTest, TrsValuesDefeatTheAttack) {
+  // Same two terms, but the adversary sees TRS values: per-term RSTFs map
+  // both score populations to U(0,1), making them indistinguishable.
+  RstfOptions opts;
+  opts.sigma = 0.002;
+  auto rstf_low = Rstf::Train(LowScores(500, 1), opts);
+  auto rstf_high = Rstf::Train(HighScores(500, 2), opts);
+  ASSERT_TRUE(rstf_low.ok() && rstf_high.ok());
+
+  auto transform = [](const Rstf& f, std::vector<double> xs) {
+    for (double& x : xs) x = f.Transform(x);
+    return xs;
+  };
+  std::unordered_map<text::TermId, std::vector<double>> background{
+      {1, transform(*rstf_low, LowScores(500, 5))},
+      {2, transform(*rstf_high, HighScores(500, 6))}};
+  std::unordered_map<text::TermId, double> priors{{1, 0.5}, {2, 0.5}};
+
+  std::vector<LabeledObservation> observations;
+  for (double s : LowScores(200, 7)) {
+    observations.push_back({1, rstf_low->Transform(s)});
+  }
+  for (double s : HighScores(200, 8)) {
+    observations.push_back({2, rstf_high->Transform(s)});
+  }
+
+  auto outcome = RunScoreDistributionAttack(background, priors, observations);
+  ASSERT_TRUE(outcome.ok());
+  // Both TRS populations are ~U(0,1): accuracy collapses to ~coin flip.
+  EXPECT_LT(outcome->accuracy, 0.62);
+  EXPECT_LT(outcome->amplification, 1.25);
+}
+
+TEST(ScoreAttackTest, PriorsBreakSymmetricTies) {
+  // With identical distributions, the attack should follow priors: the
+  // prior-only baseline equals the informed attack.
+  std::unordered_map<text::TermId, std::vector<double>> background{
+      {1, LowScores(300, 1)}, {2, LowScores(300, 2)}};
+  std::unordered_map<text::TermId, double> priors{{1, 0.8}, {2, 0.2}};
+  std::vector<LabeledObservation> observations;
+  for (double s : LowScores(160, 3)) observations.push_back({1, s});
+  for (double s : LowScores(40, 4)) observations.push_back({2, s});
+
+  auto outcome = RunScoreDistributionAttack(background, priors, observations);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_NEAR(outcome->accuracy, outcome->prior_accuracy, 0.1);
+}
+
+TEST(ScoreAttackTest, InputValidation) {
+  std::unordered_map<text::TermId, std::vector<double>> background{
+      {1, {0.1, 0.2}}};
+  std::unordered_map<text::TermId, double> priors{{1, 1.0}};
+  std::vector<LabeledObservation> observations{{1, 0.1}};
+  EXPECT_TRUE(RunScoreDistributionAttack({}, priors, observations)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(RunScoreDistributionAttack(background, priors, {})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(RunScoreDistributionAttack(background, priors, observations, 0)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(RequestLeakageTest, UniformRequestCountsShowNoLeak) {
+  text::Corpus corpus;
+  corpus.AddDocumentTokens({"a", "b"}, 1);
+  corpus.AddDocumentTokens({"a", "b"}, 1);
+  auto plan = zerber::PlanBfmMerge(corpus, 1.0);
+  ASSERT_TRUE(plan.ok());
+
+  text::TermId a = corpus.vocabulary().Lookup("a");
+  text::TermId b = corpus.vocabulary().Lookup("b");
+  std::unordered_map<text::TermId, double> requests{{a, 2.0}, {b, 2.0}};
+  auto report = AnalyzeRequestLeakage(corpus, *plan, requests);
+  EXPECT_EQ(report.lists_evaluated, 1u);
+  EXPECT_DOUBLE_EQ(report.mean_within_list_spread, 0.0);
+}
+
+TEST(RequestLeakageTest, DivergentCountsAreReported) {
+  text::Corpus corpus;
+  corpus.AddDocumentTokens({"a", "b"}, 1);
+  corpus.AddDocumentTokens({"a"}, 1);
+  auto plan = zerber::PlanBfmMerge(corpus, 1.0);
+  ASSERT_TRUE(plan.ok());
+  text::TermId a = corpus.vocabulary().Lookup("a");
+  text::TermId b = corpus.vocabulary().Lookup("b");
+  std::unordered_map<text::TermId, double> requests{{a, 1.0}, {b, 5.0}};
+  auto report = AnalyzeRequestLeakage(corpus, *plan, requests);
+  EXPECT_DOUBLE_EQ(report.mean_within_list_spread, 4.0);
+  EXPECT_DOUBLE_EQ(report.max_within_list_spread, 4.0);
+  // Rarer term needs more requests: negative df<->requests correlation.
+  EXPECT_LT(report.df_request_correlation, 0.0);
+}
+
+TEST(AuditTest, ReportsAmplificationProfile) {
+  text::Corpus corpus;
+  corpus.AddDocumentTokens({"a", "b"}, 1);
+  corpus.AddDocumentTokens({"a", "c"}, 1);
+  auto plan = zerber::PlanBfmMerge(corpus, 4.0);
+  ASSERT_TRUE(plan.ok());
+  auto audit = AuditConfidentiality(corpus, *plan, 4.0);
+  EXPECT_EQ(audit.num_lists, plan->NumLists());
+  EXPECT_TRUE(audit.all_within_r);
+  EXPECT_GE(audit.max_amplification, audit.mean_amplification);
+  EXPECT_LE(audit.max_amplification, 4.0 + 1e-9);
+}
+
+TEST(AuditTest, FlagsViolations) {
+  text::Corpus corpus;
+  corpus.AddDocumentTokens({"a", "b"}, 1);
+  corpus.AddDocumentTokens({"a", "c"}, 1);
+  auto plan = zerber::PlanBfmMerge(corpus, 4.0);
+  ASSERT_TRUE(plan.ok());
+  // Audit against a *stricter* r than the plan was built for.
+  auto audit = AuditConfidentiality(corpus, *plan, 1.5);
+  EXPECT_FALSE(audit.all_within_r);
+}
+
+}  // namespace
+}  // namespace zr::core

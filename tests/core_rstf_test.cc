@@ -1,0 +1,218 @@
+#include "core/rstf.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace zr::core {
+namespace {
+
+std::vector<double> PowerLawScores(size_t n, uint64_t seed) {
+  // Normalized-TF-like scores: heavy mass near small values, rare large ones
+  // (the term-specific shape of the paper's Figure 5). Quadratic transform:
+  // skewed but with an integrable, KDE-trackable density (a harder cubic
+  // spike would measure KDE boundary bias, not the RSTF contract).
+  Rng rng(seed);
+  std::vector<double> scores;
+  scores.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double u = rng.NextDouble();
+    scores.push_back(0.001 + 0.4 * u * u);
+  }
+  return scores;
+}
+
+RstfOptions Opts(RstfKind kind, double sigma) {
+  RstfOptions o;
+  o.kind = kind;
+  o.sigma = sigma;
+  return o;
+}
+
+TEST(RstfTest, RejectsEmptyTrainingSet) {
+  EXPECT_TRUE(Rstf::Train({}, Opts(RstfKind::kGaussianErf, 0.01))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(RstfTest, RejectsNonPositiveSigma) {
+  EXPECT_TRUE(Rstf::Train({0.5}, Opts(RstfKind::kGaussianErf, 0.0))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(Rstf::Train({0.5}, Opts(RstfKind::kGaussianErf, -1.0))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(RstfTest, SingleCenterBehavesLikeCdf) {
+  auto rstf = Rstf::Train({0.5}, Opts(RstfKind::kGaussianErf, 0.1));
+  ASSERT_TRUE(rstf.ok());
+  EXPECT_NEAR(rstf->Transform(0.5), 0.5, 1e-12);  // CDF at its center
+  EXPECT_LT(rstf->Transform(0.0), 0.01);
+  EXPECT_GT(rstf->Transform(1.0), 0.99);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep over both kernels and several sigmas (the paper's required
+// RSTF properties from Section 4.2):
+//   1. maps into a common range [0, 1]
+//   2. uniformly distributes TRS values
+//   3. preserves order
+// ---------------------------------------------------------------------------
+
+class RstfPropertyTest
+    : public ::testing::TestWithParam<std::tuple<RstfKind, double>> {};
+
+TEST_P(RstfPropertyTest, RangeIsZeroOne) {
+  auto [kind, sigma] = GetParam();
+  auto rstf = Rstf::Train(PowerLawScores(500, 1), Opts(kind, sigma));
+  ASSERT_TRUE(rstf.ok());
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    double x = rng.UniformReal(-0.5, 1.5);  // also outside training support
+    double y = rstf->Transform(x);
+    ASSERT_GE(y, 0.0) << "x=" << x;
+    ASSERT_LE(y, 1.0) << "x=" << x;
+  }
+}
+
+TEST_P(RstfPropertyTest, MonotoneNonDecreasing) {
+  auto [kind, sigma] = GetParam();
+  auto rstf = Rstf::Train(PowerLawScores(300, 3), Opts(kind, sigma));
+  ASSERT_TRUE(rstf.ok());
+  double prev = rstf->Transform(-0.1);
+  for (double x = -0.1; x <= 0.6; x += 0.001) {
+    double y = rstf->Transform(x);
+    ASSERT_GE(y, prev - 1e-12) << "x=" << x;
+    prev = y;
+  }
+}
+
+TEST_P(RstfPropertyTest, StrictlyIncreasingInsideSupport) {
+  // Order preservation (requirement 3): distinct scores within the data
+  // range map to distinct TRS values.
+  auto [kind, sigma] = GetParam();
+  auto scores = PowerLawScores(300, 5);
+  auto rstf = Rstf::Train(scores, Opts(kind, sigma));
+  ASSERT_TRUE(rstf.ok());
+  std::sort(scores.begin(), scores.end());
+  double lo = scores.front(), hi = scores.back();
+  double step = (hi - lo) / 50;
+  for (double x = lo; x + step <= hi; x += step) {
+    ASSERT_LT(rstf->Transform(x), rstf->Transform(x + step)) << "x=" << x;
+  }
+}
+
+TEST_P(RstfPropertyTest, UniformizesItsTrainingDistribution) {
+  // Requirement 2: fresh samples from the same distribution map to ~U(0,1).
+  auto [kind, sigma] = GetParam();
+  if (sigma > 0.02) GTEST_SKIP() << "broad kernels underfit by design";
+  auto rstf = Rstf::Train(PowerLawScores(2000, 7), Opts(kind, sigma));
+  ASSERT_TRUE(rstf.ok());
+  std::vector<double> trs;
+  for (double x : PowerLawScores(2000, 8)) trs.push_back(rstf->Transform(x));
+  // Floor for a genuinely uniform sample of n=2000 is ~1/(6n) ~ 8e-5; KDE
+  // bias at sigma=0.01 adds a little.
+  EXPECT_LT(UniformityVariance(trs), 5e-4);
+  EXPECT_LT(KolmogorovSmirnovUniform(trs), 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KernelsAndSigmas, RstfPropertyTest,
+    ::testing::Combine(::testing::Values(RstfKind::kGaussianErf,
+                                         RstfKind::kLogisticApprox),
+                       ::testing::Values(0.002, 0.01, 0.05)));
+
+TEST(RstfTest, ErfAndLogisticAgreeClosely) {
+  // Equation 8 is an approximation of Equations 6-7; both evaluators must
+  // produce nearly identical transformations.
+  auto scores = PowerLawScores(400, 11);
+  auto erf = Rstf::Train(scores, Opts(RstfKind::kGaussianErf, 0.01));
+  auto logistic = Rstf::Train(scores, Opts(RstfKind::kLogisticApprox, 0.01));
+  ASSERT_TRUE(erf.ok() && logistic.ok());
+  for (double x = 0.0; x <= 0.5; x += 0.005) {
+    EXPECT_NEAR(erf->Transform(x), logistic->Transform(x), 0.02) << "x=" << x;
+  }
+}
+
+TEST(RstfTest, SubsamplingCapsCentersButPreservesShape) {
+  auto scores = PowerLawScores(5000, 13);
+  RstfOptions capped = Opts(RstfKind::kGaussianErf, 0.01);
+  capped.max_training_points = 256;
+  RstfOptions full = Opts(RstfKind::kGaussianErf, 0.01);
+  full.max_training_points = 0;
+
+  auto a = Rstf::Train(scores, capped);
+  auto b = Rstf::Train(scores, full);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->NumCenters(), 256u);
+  EXPECT_EQ(b->NumCenters(), 5000u);
+  for (double x = 0.0; x <= 0.5; x += 0.01) {
+    EXPECT_NEAR(a->Transform(x), b->Transform(x), 0.02) << "x=" << x;
+  }
+}
+
+TEST(RstfTest, CentersAreSortedAscending) {
+  auto rstf = Rstf::Train({0.5, 0.1, 0.9, 0.3}, Opts(RstfKind::kGaussianErf, 0.05));
+  ASSERT_TRUE(rstf.ok());
+  EXPECT_TRUE(std::is_sorted(rstf->centers().begin(), rstf->centers().end()));
+}
+
+TEST(RstfTest, DensityIntegratesToApproximatelyOne) {
+  auto rstf = Rstf::Train(PowerLawScores(200, 17),
+                          Opts(RstfKind::kGaussianErf, 0.01));
+  ASSERT_TRUE(rstf.ok());
+  // Trapezoid integration over a generous window.
+  double integral = 0.0;
+  double step = 0.0005;
+  for (double x = -0.3; x <= 0.9; x += step) {
+    integral += rstf->Density(x) * step;
+  }
+  EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST(RstfTest, DensityIsDerivativeOfTransform) {
+  auto rstf = Rstf::Train(PowerLawScores(100, 19),
+                          Opts(RstfKind::kGaussianErf, 0.02));
+  ASSERT_TRUE(rstf.ok());
+  double h = 1e-6;
+  for (double x : {0.05, 0.1, 0.2, 0.3}) {
+    double numeric = (rstf->Transform(x + h) - rstf->Transform(x - h)) / (2 * h);
+    EXPECT_NEAR(rstf->Density(x), numeric, 1e-3) << "x=" << x;
+  }
+}
+
+TEST(RstfTest, IdenticalScoresDegenerateGracefully) {
+  // All training scores equal: step-like CDF centred there, still in range
+  // and monotone.
+  auto rstf = Rstf::Train(std::vector<double>(50, 0.25),
+                          Opts(RstfKind::kGaussianErf, 0.01));
+  ASSERT_TRUE(rstf.ok());
+  EXPECT_LT(rstf->Transform(0.1), 0.01);
+  EXPECT_NEAR(rstf->Transform(0.25), 0.5, 1e-9);
+  EXPECT_GT(rstf->Transform(0.4), 0.99);
+}
+
+TEST(RstfTest, FastPathMatchesBruteForce) {
+  // The windowed evaluation (saturated kernels counted in bulk) must match
+  // the naive full sum.
+  auto scores = PowerLawScores(300, 23);
+  auto rstf = Rstf::Train(scores, Opts(RstfKind::kGaussianErf, 0.003));
+  ASSERT_TRUE(rstf.ok());
+  for (double x : {0.0, 0.01, 0.05, 0.2, 0.39, 0.6}) {
+    double brute = 0.0;
+    for (double c : rstf->centers()) {
+      brute += 0.5 * (1.0 + std::erf((x - c) / (0.003 * std::sqrt(2.0))));
+    }
+    brute /= static_cast<double>(rstf->NumCenters());
+    EXPECT_NEAR(rstf->Transform(x), brute, 1e-9) << "x=" << x;
+  }
+}
+
+}  // namespace
+}  // namespace zr::core

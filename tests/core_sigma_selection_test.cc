@@ -1,0 +1,166 @@
+#include "core/sigma_selection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "synth/corpus_generator.h"
+#include "util/random.h"
+
+namespace zr::core {
+namespace {
+
+std::vector<double> SkewedScores(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> scores;
+  for (size_t i = 0; i < n; ++i) {
+    double u = rng.NextDouble();
+    scores.push_back(0.002 + 0.3 * u * u);
+  }
+  return scores;
+}
+
+// Realistic relevance scores: discrete rationals tf/|d| (Equation 4), the
+// kind of data the paper cross-validates on.
+std::vector<double> RationalScores(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> scores;
+  scores.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t tf =
+        1 + static_cast<uint32_t>(9.0 * rng.NextDouble() * rng.NextDouble());
+    uint32_t len = 50 + static_cast<uint32_t>(rng.Uniform(451));
+    scores.push_back(static_cast<double>(tf) / static_cast<double>(len));
+  }
+  return scores;
+}
+
+TEST(LogSpacedGridTest, EndpointsAndMonotonicity) {
+  auto grid = LogSpacedGrid(0.001, 1.0, 7);
+  ASSERT_EQ(grid.size(), 7u);
+  EXPECT_NEAR(grid.front(), 0.001, 1e-12);
+  EXPECT_NEAR(grid.back(), 1.0, 1e-9);
+  EXPECT_TRUE(std::is_sorted(grid.begin(), grid.end()));
+}
+
+TEST(LogSpacedGridTest, DegenerateInputs) {
+  EXPECT_TRUE(LogSpacedGrid(0.0, 1.0, 5).empty());
+  EXPECT_TRUE(LogSpacedGrid(1.0, 0.5, 5).empty());
+  EXPECT_TRUE(LogSpacedGrid(0.1, 1.0, 0).empty());
+  EXPECT_EQ(LogSpacedGrid(0.1, 1.0, 1).size(), 1u);
+}
+
+TEST(SelectSigmaTest, RejectsTinySamples) {
+  SigmaSelectionOptions o;
+  EXPECT_TRUE(SelectSigma({0.1, 0.2, 0.3}, o).status().IsInvalidArgument());
+}
+
+TEST(SelectSigmaTest, SweepCoversGridAndFindsMinimum) {
+  SigmaSelectionOptions o;
+  o.grid = {1e-5, 1e-4, 1e-3, 1e-2, 1e-1};
+  auto result = SelectSigma(SkewedScores(600, 3), o);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->sweep.size(), 5u);
+  // best == argmin of sweep.
+  double min_var = result->sweep[0].variance;
+  for (const auto& p : result->sweep) min_var = std::min(min_var, p.variance);
+  EXPECT_DOUBLE_EQ(result->best_variance, min_var);
+  EXPECT_GT(result->best_sigma, 0.0);
+}
+
+TEST(SelectSigmaTest, CurveIsUShapedAcrossExtremes) {
+  // Figure 9's shape, in the paper's own setting: small per-term training
+  // samples, sweep averaged across terms. Both extremes lose to the
+  // interior optimum — too narrow overfits (memorizes training points), too
+  // broad underfits (blurs the distribution).
+  SigmaSelectionOptions o;
+  o.grid = LogSpacedGrid(1e-6, 0.5, 14);
+  std::vector<double> avg(o.grid.size(), 0.0);
+  const int kTerms = 40;
+  for (int t = 0; t < kTerms; ++t) {
+    auto result = SelectSigma(RationalScores(60, 100 + t), o);
+    ASSERT_TRUE(result.ok());
+    for (size_t i = 0; i < avg.size(); ++i) {
+      avg[i] += result->sweep[i].variance;
+    }
+  }
+  size_t best_index = 0;
+  for (size_t i = 0; i < avg.size(); ++i) {
+    if (avg[i] < avg[best_index]) best_index = i;
+  }
+  EXPECT_GT(avg.front(), avg[best_index] * 1.1);  // overfit branch rises
+  EXPECT_GT(avg.back(), avg[best_index] * 2.0);   // underfit branch rises
+  EXPECT_GT(best_index, 0u);                       // minimum strictly inside
+  EXPECT_LT(best_index, avg.size() - 1);
+}
+
+TEST(SelectSigmaTest, GoodSigmaReachesPaperQualityUniformity) {
+  // Paper: a good sigma yields control-set variance < 2e-5. The variance of
+  // even a perfectly uniform control set of n points floors at ~1/(6n), so
+  // the paper's number implies control sets of >= ~10k values; we use a
+  // 60k-score sample (20k control).
+  SigmaSelectionOptions o;
+  o.grid = LogSpacedGrid(1e-4, 0.1, 16);
+  auto result = SelectSigma(RationalScores(60000, 7), o);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->best_variance, 2e-5);
+}
+
+TEST(SelectSigmaTest, DeterministicForSeed) {
+  SigmaSelectionOptions o;
+  o.seed = 123;
+  auto a = SelectSigma(SkewedScores(400, 9), o);
+  auto b = SelectSigma(SkewedScores(400, 9), o);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->best_sigma, b->best_sigma);
+  EXPECT_EQ(a->best_variance, b->best_variance);
+}
+
+TEST(SelectSigmaTest, BothKernelsWork) {
+  for (RstfKind kind : {RstfKind::kGaussianErf, RstfKind::kLogisticApprox}) {
+    SigmaSelectionOptions o;
+    o.kind = kind;
+    o.grid = LogSpacedGrid(1e-4, 0.1, 8);
+    auto result = SelectSigma(SkewedScores(500, 11), o);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GT(result->best_sigma, 0.0);
+  }
+}
+
+TEST(SelectCorpusSigmaTest, WorksOnSyntheticCorpus) {
+  synth::CorpusGeneratorOptions co;
+  co.num_documents = 250;
+  co.vocabulary_size = 1500;
+  co.seed = 13;
+  auto corpus = synth::GenerateCorpus(co);
+  ASSERT_TRUE(corpus.ok());
+
+  std::vector<text::DocId> docs;
+  for (size_t i = 0; i < corpus->NumDocuments(); ++i) {
+    docs.push_back(static_cast<text::DocId>(i));
+  }
+  SigmaSelectionOptions o;
+  o.grid = LogSpacedGrid(1e-4, 0.2, 10);
+  auto result = SelectCorpusSigma(*corpus, docs, 16, o);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->sweep.size(), 10u);
+  EXPECT_GT(result->best_sigma, 0.0);
+  EXPECT_LT(result->best_variance,
+            result->sweep.front().variance + 1e-12);
+}
+
+TEST(SelectCorpusSigmaTest, FailsOnEmptyInput) {
+  synth::CorpusGeneratorOptions co;
+  co.num_documents = 10;
+  co.vocabulary_size = 50;
+  co.seed = 15;
+  auto corpus = synth::GenerateCorpus(co);
+  ASSERT_TRUE(corpus.ok());
+  SigmaSelectionOptions o;
+  EXPECT_TRUE(
+      SelectCorpusSigma(*corpus, {}, 8, o).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace zr::core

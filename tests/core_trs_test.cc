@@ -1,0 +1,141 @@
+#include "core/trs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "synth/corpus_generator.h"
+#include "util/stats.h"
+
+namespace zr::core {
+namespace {
+
+class TrsTest : public ::testing::Test {
+ protected:
+  TrsTest() : keys_("trs-test") {}
+  crypto::KeyStore keys_;
+};
+
+TEST_F(TrsTest, TrainedTermUsesRstf) {
+  TrsAssigner assigner(&keys_);
+  auto rstf = Rstf::Train({0.1, 0.2, 0.3, 0.4}, RstfOptions{});
+  ASSERT_TRUE(rstf.ok());
+  assigner.SetRstf(7, std::move(rstf).value());
+  EXPECT_TRUE(assigner.HasRstf(7));
+  EXPECT_EQ(assigner.NumTrained(), 1u);
+
+  double t1 = assigner.Assign(7, "seven", 1, 0.15);
+  double t2 = assigner.Assign(7, "seven", 2, 0.35);
+  EXPECT_LT(t1, t2);  // order preserved
+  // Doc id must NOT affect a trained term's TRS (pure function of score).
+  EXPECT_EQ(assigner.Assign(7, "seven", 99, 0.15), t1);
+}
+
+TEST_F(TrsTest, UnseenTermGetsDeterministicPseudoRandom) {
+  TrsAssigner assigner(&keys_);
+  double a = assigner.Assign(5, "rareterm", 1, 0.5);
+  double b = assigner.Assign(5, "rareterm", 1, 0.9);
+  // Same (term, doc): same TRS regardless of score (score is meaningless
+  // for untrained terms; determinism keeps re-insertion consistent).
+  EXPECT_EQ(a, b);
+  // Different doc: different TRS.
+  EXPECT_NE(a, assigner.Assign(5, "rareterm", 2, 0.5));
+  EXPECT_GE(a, 0.0);
+  EXPECT_LT(a, 1.0);
+}
+
+TEST_F(TrsTest, GetRstfNotFoundForUntrained) {
+  TrsAssigner assigner(&keys_);
+  EXPECT_TRUE(assigner.GetRstf(3).status().IsNotFound());
+}
+
+TEST_F(TrsTest, SampleTrainingDocsFractionAndDeterminism) {
+  synth::CorpusGeneratorOptions o;
+  o.num_documents = 200;
+  o.vocabulary_size = 1000;
+  o.seed = 3;
+  auto corpus = synth::GenerateCorpus(o);
+  ASSERT_TRUE(corpus.ok());
+
+  auto docs = SampleTrainingDocs(*corpus, 0.30, 42);
+  EXPECT_EQ(docs.size(), 60u);  // 30% of 200
+  auto again = SampleTrainingDocs(*corpus, 0.30, 42);
+  EXPECT_EQ(docs, again);
+  auto different = SampleTrainingDocs(*corpus, 0.30, 43);
+  EXPECT_NE(docs, different);
+
+  // No duplicates, all in range.
+  std::sort(docs.begin(), docs.end());
+  EXPECT_TRUE(std::adjacent_find(docs.begin(), docs.end()) == docs.end());
+  EXPECT_LT(docs.back(), 200u);
+}
+
+TEST_F(TrsTest, TrainAssignerCoversFrequentTermsOnly) {
+  synth::CorpusGeneratorOptions o;
+  o.num_documents = 150;
+  o.vocabulary_size = 800;
+  o.seed = 5;
+  auto corpus = synth::GenerateCorpus(o);
+  ASSERT_TRUE(corpus.ok());
+  auto docs = SampleTrainingDocs(*corpus, 0.4, 7);
+
+  TrsTrainerOptions topt;
+  topt.min_training_scores = 3;
+  auto assigner = TrainTrsAssigner(*corpus, docs, topt, &keys_);
+  ASSERT_TRUE(assigner.ok());
+  EXPECT_GT(assigner->NumTrained(), 10u);
+  // Terms trained have at least min_training_scores occurrences in sample.
+  EXPECT_LT(assigner->NumTrained(), corpus->vocabulary().size());
+}
+
+TEST_F(TrsTest, TrainAssignerRejectsNullKeys) {
+  synth::CorpusGeneratorOptions o;
+  o.num_documents = 20;
+  o.vocabulary_size = 100;
+  o.seed = 9;
+  auto corpus = synth::GenerateCorpus(o);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_TRUE(TrainTrsAssigner(*corpus, {0, 1}, TrsTrainerOptions{}, nullptr)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(TrsTest, TrsOfTrainedTermsIsApproximatelyUniformOverCorpus) {
+  // The paper's core security property at assigner level: transform all
+  // occurrences of a frequent term across the corpus; TRS must look uniform.
+  synth::CorpusGeneratorOptions o;
+  o.num_documents = 400;
+  o.vocabulary_size = 1200;
+  o.seed = 11;
+  auto corpus = synth::GenerateCorpus(o);
+  ASSERT_TRUE(corpus.ok());
+  auto docs = SampleTrainingDocs(*corpus, 0.35, 13);
+
+  TrsTrainerOptions topt;
+  topt.rstf.sigma = 0.002;
+  auto assigner = TrainTrsAssigner(*corpus, docs, topt, &keys_);
+  ASSERT_TRUE(assigner.ok());
+
+  // Most frequent term.
+  text::TermId best = 0;
+  uint64_t best_df = 0;
+  for (text::TermId t : corpus->vocabulary().AllTermIds()) {
+    if (corpus->DocumentFrequency(t) > best_df) {
+      best_df = corpus->DocumentFrequency(t);
+      best = t;
+    }
+  }
+  ASSERT_TRUE(assigner->HasRstf(best));
+
+  std::vector<double> trs;
+  for (const auto& doc : corpus->documents()) {
+    if (doc.TermFrequency(best) == 0) continue;
+    trs.push_back(
+        assigner->Assign(best, "term1", doc.id(), doc.RelevanceScore(best)));
+  }
+  ASSERT_GT(trs.size(), 100u);
+  EXPECT_LT(UniformityVariance(trs), 1e-3);
+}
+
+}  // namespace
+}  // namespace zr::core

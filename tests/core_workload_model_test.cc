@@ -1,0 +1,94 @@
+#include "core/workload_model.h"
+
+#include <gtest/gtest.h>
+
+#include "zerber/merge_planner.h"
+
+namespace zr::core {
+namespace {
+
+// Controlled corpus: term frequencies a:4, b:2, c:2 docs.
+text::Corpus MakeCorpus() {
+  text::Corpus corpus;
+  corpus.AddDocumentTokens({"a", "b"}, 1);
+  corpus.AddDocumentTokens({"a", "b"}, 1);
+  corpus.AddDocumentTokens({"a", "c"}, 1);
+  corpus.AddDocumentTokens({"a", "c"}, 1);
+  return corpus;
+}
+
+zerber::MergePlan OneListPlan(const text::Corpus& corpus) {
+  auto plan = zerber::PlanBfmMerge(corpus, 1.0);  // everything in one list
+  EXPECT_TRUE(plan.ok());
+  EXPECT_EQ(plan->NumLists(), 1u);
+  return std::move(plan).value();
+}
+
+TEST(WorkloadModelTest, ExpectedFirstPositionIsEquation10) {
+  text::Corpus corpus = MakeCorpus();
+  zerber::MergePlan plan = OneListPlan(corpus);
+  text::TermId a = corpus.vocabulary().Lookup("a");
+  text::TermId b = corpus.vocabulary().Lookup("b");
+  // Total nd over list = 8; pos1(a) = 8/4 = 2, pos1(b) = 8/2 = 4.
+  EXPECT_DOUBLE_EQ(ExpectedFirstPosition(corpus, plan, a), 2.0);
+  EXPECT_DOUBLE_EQ(ExpectedFirstPosition(corpus, plan, b), 4.0);
+}
+
+TEST(WorkloadModelTest, UnknownTermHasZeroPosition) {
+  text::Corpus corpus = MakeCorpus();
+  zerber::MergePlan plan = OneListPlan(corpus);
+  EXPECT_DOUBLE_EQ(ExpectedFirstPosition(corpus, plan, 9999), 0.0);
+}
+
+TEST(WorkloadModelTest, ExpectedElementsIsEquation11) {
+  text::Corpus corpus = MakeCorpus();
+  zerber::MergePlan plan = OneListPlan(corpus);
+  text::TermId b = corpus.vocabulary().Lookup("b");
+  // N(L) = k * pos1: k=3 -> 12.
+  EXPECT_DOUBLE_EQ(ExpectedElementsForTopK(corpus, plan, b, 3), 12.0);
+  EXPECT_DOUBLE_EQ(ExpectedElementsForTopK(corpus, plan, b, 0), 0.0);
+}
+
+TEST(WorkloadModelTest, TotalWorkloadCostIsEquation9) {
+  text::Corpus corpus = MakeCorpus();
+  zerber::MergePlan plan = OneListPlan(corpus);
+  text::TermId a = corpus.vocabulary().Lookup("a");
+  text::TermId b = corpus.vocabulary().Lookup("b");
+  std::unordered_map<text::TermId, uint64_t> qf{{a, 10}, {b, 5}};
+  // k=1: Q = 10 * 2 + 5 * 4 = 40.
+  EXPECT_DOUBLE_EQ(TotalWorkloadCost(corpus, plan, qf, 1), 40.0);
+  // k=2 doubles everything.
+  EXPECT_DOUBLE_EQ(TotalWorkloadCost(corpus, plan, qf, 2), 80.0);
+}
+
+TEST(WorkloadModelTest, FrequentTermsCostLessPerQuery) {
+  // BFM lists of mixed frequency: the rarer the term, the deeper its top-k
+  // sits in the TRS-sorted list.
+  text::Corpus corpus = MakeCorpus();
+  zerber::MergePlan plan = OneListPlan(corpus);
+  text::TermId a = corpus.vocabulary().Lookup("a");
+  text::TermId c = corpus.vocabulary().Lookup("c");
+  EXPECT_LT(ExpectedElementsForTopK(corpus, plan, a, 10),
+            ExpectedElementsForTopK(corpus, plan, c, 10));
+}
+
+TEST(WorkloadModelTest, AverageBandwidthOverheadIsEquation13) {
+  std::vector<QueryTrace> traces(2);
+  traces[0].elements_fetched = 30;  // TRes/k = 3
+  traces[1].elements_fetched = 10;  // TRes/k = 1
+  EXPECT_DOUBLE_EQ(AverageBandwidthOverhead(traces, 10), 2.0);
+  EXPECT_DOUBLE_EQ(AverageBandwidthOverhead({}, 10), 0.0);
+  EXPECT_DOUBLE_EQ(AverageBandwidthOverhead(traces, 0), 0.0);
+}
+
+TEST(WorkloadModelTest, AverageRequests) {
+  std::vector<QueryTrace> traces(3);
+  traces[0].requests = 1;
+  traces[1].requests = 2;
+  traces[2].requests = 6;
+  EXPECT_DOUBLE_EQ(AverageRequests(traces), 3.0);
+  EXPECT_DOUBLE_EQ(AverageRequests({}), 0.0);
+}
+
+}  // namespace
+}  // namespace zr::core

@@ -1,0 +1,129 @@
+#include "crypto/aes.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace zr::crypto {
+namespace {
+
+std::string HexDecode(std::string_view hex) {
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::string out;
+  for (size_t i = 0; i + 1 < hex.size(); i += 2) {
+    out.push_back(static_cast<char>((nibble(hex[i]) << 4) | nibble(hex[i + 1])));
+  }
+  return out;
+}
+
+std::string HexEncode(const AesBlock& block) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  for (uint8_t b : block) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+AesBlock BlockFromHex(std::string_view hex) {
+  std::string raw = HexDecode(hex);
+  AesBlock block{};
+  for (size_t i = 0; i < kAesBlockSize && i < raw.size(); ++i) {
+    block[i] = static_cast<uint8_t>(raw[i]);
+  }
+  return block;
+}
+
+// FIPS-197 Appendix C.1: AES-128.
+TEST(AesTest, Fips197Aes128KnownAnswer) {
+  auto aes = Aes::Create(HexDecode("000102030405060708090a0b0c0d0e0f"));
+  ASSERT_TRUE(aes.ok());
+  EXPECT_EQ(aes->rounds(), 10);
+  AesBlock block = BlockFromHex("00112233445566778899aabbccddeeff");
+  aes->EncryptBlock(&block);
+  EXPECT_EQ(HexEncode(block), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+// FIPS-197 Appendix C.3: AES-256.
+TEST(AesTest, Fips197Aes256KnownAnswer) {
+  auto aes = Aes::Create(HexDecode(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"));
+  ASSERT_TRUE(aes.ok());
+  EXPECT_EQ(aes->rounds(), 14);
+  AesBlock block = BlockFromHex("00112233445566778899aabbccddeeff");
+  aes->EncryptBlock(&block);
+  EXPECT_EQ(HexEncode(block), "8ea2b7ca516745bfeafc49904b496089");
+}
+
+// SP 800-38A F.1.1 ECB-AES128 block 1.
+TEST(AesTest, Sp80038aEcbAes128Block1) {
+  auto aes = Aes::Create(HexDecode("2b7e151628aed2a6abf7158809cf4f3c"));
+  ASSERT_TRUE(aes.ok());
+  AesBlock block = BlockFromHex("6bc1bee22e409f96e93d7e117393172a");
+  aes->EncryptBlock(&block);
+  EXPECT_EQ(HexEncode(block), "3ad77bb40d7a3660a89ecaf32466ef97");
+}
+
+// SP 800-38A F.1.1 ECB-AES128 block 2.
+TEST(AesTest, Sp80038aEcbAes128Block2) {
+  auto aes = Aes::Create(HexDecode("2b7e151628aed2a6abf7158809cf4f3c"));
+  ASSERT_TRUE(aes.ok());
+  AesBlock block = BlockFromHex("ae2d8a571e03ac9c9eb76fac45af8e51");
+  aes->EncryptBlock(&block);
+  EXPECT_EQ(HexEncode(block), "f5d3d58503b9699de785895a96fdbaaf");
+}
+
+TEST(AesTest, RejectsInvalidKeyLengths) {
+  EXPECT_TRUE(Aes::Create("short").status().IsInvalidArgument());
+  EXPECT_TRUE(Aes::Create(std::string(24, 'k')).status().IsInvalidArgument());
+  EXPECT_TRUE(Aes::Create("").status().IsInvalidArgument());
+}
+
+TEST(AesTest, AcceptsValidKeyLengths) {
+  EXPECT_TRUE(Aes::Create(std::string(16, 'k')).ok());
+  EXPECT_TRUE(Aes::Create(std::string(32, 'k')).ok());
+}
+
+TEST(AesTest, EncryptionIsDeterministic) {
+  auto aes = Aes::Create(std::string(16, 'k'));
+  ASSERT_TRUE(aes.ok());
+  AesBlock a{}, b{};
+  a[3] = b[3] = 99;
+  aes->EncryptBlock(&a);
+  aes->EncryptBlock(&b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(AesTest, DifferentKeysProduceDifferentCiphertext) {
+  auto aes1 = Aes::Create(std::string(16, 'a'));
+  auto aes2 = Aes::Create(std::string(16, 'b'));
+  ASSERT_TRUE(aes1.ok() && aes2.ok());
+  AesBlock b1{}, b2{};
+  aes1->EncryptBlock(&b1);
+  aes2->EncryptBlock(&b2);
+  EXPECT_NE(b1, b2);
+}
+
+TEST(AesTest, SingleBitPlaintextChangeAvalanches) {
+  auto aes = Aes::Create(std::string(16, 'k'));
+  ASSERT_TRUE(aes.ok());
+  AesBlock a{}, b{};
+  b[0] = 1;  // one bit difference
+  aes->EncryptBlock(&a);
+  aes->EncryptBlock(&b);
+  int differing_bits = 0;
+  for (size_t i = 0; i < kAesBlockSize; ++i) {
+    differing_bits += __builtin_popcount(a[i] ^ b[i]);
+  }
+  // Expect roughly half of the 128 bits to flip; 30 is a loose floor.
+  EXPECT_GT(differing_bits, 30);
+}
+
+}  // namespace
+}  // namespace zr::crypto

@@ -1,0 +1,101 @@
+#include "crypto/keys.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace zr::crypto {
+namespace {
+
+TEST(KeyStoreTest, CreateGroupOnceOnly) {
+  KeyStore ks("seed");
+  EXPECT_TRUE(ks.CreateGroup(1).ok());
+  EXPECT_TRUE(ks.CreateGroup(1).IsAlreadyExists());
+  EXPECT_TRUE(ks.HasGroup(1));
+  EXPECT_FALSE(ks.HasGroup(2));
+}
+
+TEST(KeyStoreTest, GroupKeysHaveExpectedSizes) {
+  KeyStore ks("seed");
+  ASSERT_TRUE(ks.CreateGroup(5).ok());
+  auto keys = ks.GetGroupKeys(5);
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(keys->enc_key.size(), 16u);  // AES-128
+  EXPECT_EQ(keys->mac_key.size(), 32u);  // HMAC-SHA-256
+  EXPECT_NE(keys->enc_key, keys->mac_key.substr(0, 16));
+}
+
+TEST(KeyStoreTest, UnknownGroupIsNotFound) {
+  KeyStore ks("seed");
+  EXPECT_TRUE(ks.GetGroupKeys(9).status().IsNotFound());
+}
+
+TEST(KeyStoreTest, GroupsHaveIndependentKeys) {
+  KeyStore ks("seed");
+  ASSERT_TRUE(ks.CreateGroup(1).ok());
+  ASSERT_TRUE(ks.CreateGroup(2).ok());
+  auto k1 = ks.GetGroupKeys(1);
+  auto k2 = ks.GetGroupKeys(2);
+  ASSERT_TRUE(k1.ok() && k2.ok());
+  EXPECT_NE(k1->enc_key, k2->enc_key);
+  EXPECT_NE(k1->mac_key, k2->mac_key);
+}
+
+TEST(KeyStoreTest, DeterministicAcrossInstancesWithSameSeed) {
+  KeyStore a("same-seed"), b("same-seed");
+  ASSERT_TRUE(a.CreateGroup(1).ok());
+  ASSERT_TRUE(b.CreateGroup(1).ok());
+  EXPECT_EQ(a.GetGroupKeys(1)->enc_key, b.GetGroupKeys(1)->enc_key);
+  EXPECT_EQ(a.TermPseudonym("hello"), b.TermPseudonym("hello"));
+}
+
+TEST(KeyStoreTest, DifferentSeedsDifferentKeys) {
+  KeyStore a("seed-1"), b("seed-2");
+  ASSERT_TRUE(a.CreateGroup(1).ok());
+  ASSERT_TRUE(b.CreateGroup(1).ok());
+  EXPECT_NE(a.GetGroupKeys(1)->enc_key, b.GetGroupKeys(1)->enc_key);
+  EXPECT_NE(a.TermPseudonym("hello"), b.TermPseudonym("hello"));
+}
+
+TEST(KeyStoreTest, TermPseudonymsDistinctPerTerm) {
+  KeyStore ks("seed");
+  std::set<uint64_t> pseudonyms;
+  for (int i = 0; i < 1000; ++i) {
+    pseudonyms.insert(ks.TermPseudonym("term" + std::to_string(i)));
+  }
+  EXPECT_EQ(pseudonyms.size(), 1000u);
+}
+
+TEST(KeyStoreTest, DeterministicUnitInRangeAndUniform) {
+  KeyStore ks("seed");
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) {
+    double v = ks.DeterministicUnit("rare-term", static_cast<uint64_t>(i));
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    values.push_back(v);
+  }
+  // Pseudo-random TRS values for unseen terms must look uniform: that is the
+  // paper's Section 5.1.1 requirement.
+  EXPECT_LT(KolmogorovSmirnovUniform(values), 0.03);
+}
+
+TEST(KeyStoreTest, DeterministicUnitIsStable) {
+  KeyStore ks("seed");
+  EXPECT_EQ(ks.DeterministicUnit("t", 1), ks.DeterministicUnit("t", 1));
+  EXPECT_NE(ks.DeterministicUnit("t", 1), ks.DeterministicUnit("t", 2));
+  EXPECT_NE(ks.DeterministicUnit("t", 1), ks.DeterministicUnit("u", 1));
+}
+
+TEST(KeyStoreTest, NoncesNeverRepeat) {
+  KeyStore ks("seed");
+  std::set<uint64_t> nonces;
+  for (int i = 0; i < 10000; ++i) nonces.insert(ks.NextNonce());
+  EXPECT_EQ(nonces.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace zr::crypto

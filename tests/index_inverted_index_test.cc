@@ -1,0 +1,111 @@
+#include "index/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "text/corpus.h"
+
+namespace zr::index {
+namespace {
+
+// Corpus of Figure 1's flavor: "imClone" in doc0, "and" everywhere.
+text::Corpus MakeCorpus() {
+  text::Corpus corpus;
+  corpus.AddDocumentTokens({"imclone", "and", "imclone"}, 1);      // doc 0
+  corpus.AddDocumentTokens({"and", "report", "and", "and", "q"}, 1);  // doc 1
+  corpus.AddDocumentTokens({"report", "and"}, 1);                  // doc 2
+  return corpus;
+}
+
+TEST(InvertedIndexTest, BuildCountsListsAndPostings) {
+  text::Corpus corpus = MakeCorpus();
+  InvertedIndex idx = InvertedIndex::Build(corpus, ScoringModel::kNormalizedTf);
+  EXPECT_EQ(idx.NumLists(), 4u);  // imclone, and, report, q
+  EXPECT_EQ(idx.NumPostings(), corpus.TotalPostings());
+}
+
+TEST(InvertedIndexTest, SingleTermTopKScoresAreEquation4) {
+  text::Corpus corpus = MakeCorpus();
+  InvertedIndex idx = InvertedIndex::Build(corpus, ScoringModel::kNormalizedTf);
+  text::TermId and_id = corpus.vocabulary().Lookup("and");
+  auto top = idx.TopK(and_id, 10);
+  ASSERT_EQ(top.size(), 3u);
+  // doc1: 3/5 = 0.6 > doc2: 1/2 = 0.5 > doc0: 1/3.
+  EXPECT_EQ(top[0].doc_id, 1u);
+  EXPECT_DOUBLE_EQ(top[0].score, 0.6);
+  EXPECT_EQ(top[1].doc_id, 2u);
+  EXPECT_DOUBLE_EQ(top[1].score, 0.5);
+  EXPECT_EQ(top[2].doc_id, 0u);
+}
+
+TEST(InvertedIndexTest, TopKLimitsResults) {
+  text::Corpus corpus = MakeCorpus();
+  InvertedIndex idx = InvertedIndex::Build(corpus, ScoringModel::kNormalizedTf);
+  text::TermId and_id = corpus.vocabulary().Lookup("and");
+  EXPECT_EQ(idx.TopK(and_id, 2).size(), 2u);
+  EXPECT_EQ(idx.TopK(and_id, 0).size(), 0u);
+}
+
+TEST(InvertedIndexTest, UnknownTermYieldsEmpty) {
+  text::Corpus corpus = MakeCorpus();
+  InvertedIndex idx = InvertedIndex::Build(corpus, ScoringModel::kNormalizedTf);
+  EXPECT_TRUE(idx.TopK(9999, 5).empty());
+  EXPECT_TRUE(idx.GetPostingList(9999).status().IsNotFound());
+}
+
+TEST(InvertedIndexTest, TfIdfDownweightsUbiquitousTerms) {
+  text::Corpus corpus = MakeCorpus();
+  InvertedIndex idx = InvertedIndex::Build(corpus, ScoringModel::kTfIdf);
+  text::TermId and_id = corpus.vocabulary().Lookup("and");
+  // "and" occurs in all 3 documents: idf = log(3/3) = 0 -> all scores 0.
+  for (const auto& doc : idx.TopK(and_id, 10)) {
+    EXPECT_DOUBLE_EQ(doc.score, 0.0);
+  }
+  text::TermId imclone = corpus.vocabulary().Lookup("imclone");
+  auto top = idx.TopK(imclone, 10);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_NEAR(top[0].score, (2.0 / 3.0) * std::log(3.0), 1e-12);
+}
+
+TEST(InvertedIndexTest, MultiTermAccumulatesScores) {
+  text::Corpus corpus = MakeCorpus();
+  InvertedIndex idx = InvertedIndex::Build(corpus, ScoringModel::kNormalizedTf);
+  text::TermId and_id = corpus.vocabulary().Lookup("and");
+  text::TermId report = corpus.vocabulary().Lookup("report");
+  auto top = idx.TopKMulti({and_id, report}, 10);
+  ASSERT_EQ(top.size(), 3u);
+  // doc2: 0.5 + 0.5 = 1.0 wins over doc1: 0.6 + 0.2 = 0.8.
+  EXPECT_EQ(top[0].doc_id, 2u);
+  EXPECT_DOUBLE_EQ(top[0].score, 1.0);
+  EXPECT_EQ(top[1].doc_id, 1u);
+  EXPECT_NEAR(top[1].score, 0.8, 1e-12);
+}
+
+TEST(InvertedIndexTest, MultiTermWithDuplicateTermsDoubleCounts) {
+  text::Corpus corpus = MakeCorpus();
+  InvertedIndex idx = InvertedIndex::Build(corpus, ScoringModel::kNormalizedTf);
+  text::TermId report = corpus.vocabulary().Lookup("report");
+  auto once = idx.TopKMulti({report}, 10);
+  auto twice = idx.TopKMulti({report, report}, 10);
+  ASSERT_FALSE(once.empty());
+  EXPECT_DOUBLE_EQ(twice[0].score, 2 * once[0].score);
+}
+
+TEST(ScorerTest, IdfZeroForUnknownTerm) {
+  text::Corpus corpus = MakeCorpus();
+  Scorer scorer(&corpus, ScoringModel::kTfIdf);
+  EXPECT_DOUBLE_EQ(scorer.Idf(12345), 0.0);
+}
+
+TEST(ScorerTest, NormalizedTfMatchesDocument) {
+  text::Corpus corpus = MakeCorpus();
+  Scorer scorer(&corpus, ScoringModel::kNormalizedTf);
+  text::TermId imclone = corpus.vocabulary().Lookup("imclone");
+  auto doc = corpus.GetDocument(0);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_DOUBLE_EQ(scorer.Score(**doc, imclone), 2.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace zr::index

@@ -1,0 +1,76 @@
+#include "index/posting_list.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace zr::index {
+namespace {
+
+TEST(PostingListTest, InsertKeepsDescendingScoreOrder) {
+  PostingList list;
+  list.Insert({1, 0.5});
+  list.Insert({2, 0.9});
+  list.Insert({3, 0.1});
+  list.Insert({4, 0.7});
+  const auto& p = list.postings();
+  ASSERT_EQ(p.size(), 4u);
+  for (size_t i = 1; i < p.size(); ++i) {
+    EXPECT_GE(p[i - 1].score, p[i].score);
+  }
+  EXPECT_EQ(p[0].doc_id, 2u);
+  EXPECT_EQ(p[3].doc_id, 3u);
+}
+
+TEST(PostingListTest, TiesBrokenByDocId) {
+  PostingList list;
+  list.Insert({5, 0.5});
+  list.Insert({1, 0.5});
+  list.Insert({3, 0.5});
+  const auto& p = list.postings();
+  EXPECT_EQ(p[0].doc_id, 1u);
+  EXPECT_EQ(p[1].doc_id, 3u);
+  EXPECT_EQ(p[2].doc_id, 5u);
+}
+
+TEST(PostingListTest, FromUnsortedEqualsIncrementalInsert) {
+  Rng rng(3);
+  std::vector<Posting> postings;
+  for (int i = 0; i < 500; ++i) {
+    postings.push_back({static_cast<text::DocId>(i), rng.NextDouble()});
+  }
+  PostingList incremental;
+  for (const auto& p : postings) incremental.Insert(p);
+  PostingList bulk = PostingList::FromUnsorted(postings);
+  ASSERT_EQ(incremental.size(), bulk.size());
+  EXPECT_EQ(incremental.postings(), bulk.postings());
+}
+
+TEST(PostingListTest, TopKReturnsPrefix) {
+  PostingList list;
+  for (int i = 0; i < 10; ++i) {
+    list.Insert({static_cast<text::DocId>(i), static_cast<double>(i)});
+  }
+  auto top3 = list.TopK(3);
+  ASSERT_EQ(top3.size(), 3u);
+  EXPECT_EQ(top3[0].doc_id, 9u);
+  EXPECT_EQ(top3[1].doc_id, 8u);
+  EXPECT_EQ(top3[2].doc_id, 7u);
+}
+
+TEST(PostingListTest, TopKLargerThanListReturnsAll) {
+  PostingList list;
+  list.Insert({1, 0.5});
+  EXPECT_EQ(list.TopK(10).size(), 1u);
+  EXPECT_EQ(list.TopK(0).size(), 0u);
+}
+
+TEST(PostingListTest, EmptyList) {
+  PostingList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_TRUE(list.TopK(5).empty());
+}
+
+}  // namespace
+}  // namespace zr::index

@@ -1,0 +1,89 @@
+#include "index/term_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/corpus_generator.h"
+
+namespace zr::index {
+namespace {
+
+text::Corpus HandCorpus() {
+  text::Corpus corpus;
+  corpus.AddDocumentTokens({"and", "and", "and", "x"}, 1);  // tf(and)=3, |d|=4
+  corpus.AddDocumentTokens({"and", "x"}, 1);                // tf(and)=1, |d|=2
+  corpus.AddDocumentTokens({"y", "y"}, 1);                  // no "and"
+  return corpus;
+}
+
+TEST(TermStatsTest, TfSeriesCollectsPerDocumentCounts) {
+  text::Corpus corpus = HandCorpus();
+  TermStats stats(&corpus);
+  text::TermId and_id = corpus.vocabulary().Lookup("and");
+  auto series = stats.TfSeries(and_id);
+  ASSERT_EQ(series.size(), 2u);  // docs containing "and" only
+  EXPECT_EQ(series[0], 3.0);
+  EXPECT_EQ(series[1], 1.0);
+}
+
+TEST(TermStatsTest, NormalizedTfSeriesIsEquation4) {
+  text::Corpus corpus = HandCorpus();
+  TermStats stats(&corpus);
+  text::TermId and_id = corpus.vocabulary().Lookup("and");
+  auto series = stats.NormalizedTfSeries(and_id);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0], 0.75);
+  EXPECT_DOUBLE_EQ(series[1], 0.5);
+}
+
+TEST(TermStatsTest, UnknownTermGivesEmptySeries) {
+  text::Corpus corpus = HandCorpus();
+  TermStats stats(&corpus);
+  EXPECT_TRUE(stats.TfSeries(999).empty());
+  EXPECT_TRUE(stats.NormalizedTfSeries(999).empty());
+}
+
+TEST(TermStatsTest, TfDistributionTotalsMatchSeries) {
+  text::Corpus corpus = HandCorpus();
+  TermStats stats(&corpus);
+  text::TermId and_id = corpus.vocabulary().Lookup("and");
+  auto hist = stats.TfDistribution(and_id);
+  EXPECT_EQ(hist.TotalCount(), 2u);
+}
+
+TEST(TermStatsTest, NthMostFrequentTermOrder) {
+  text::Corpus corpus = HandCorpus();
+  TermStats stats(&corpus);
+  text::TermId first = stats.NthMostFrequentTerm(0);
+  // df: and=2, x=2, y=1; tie (and,x) broken by term id (and < x, added first).
+  EXPECT_EQ(first, corpus.vocabulary().Lookup("and"));
+  EXPECT_EQ(stats.NthMostFrequentTerm(2), corpus.vocabulary().Lookup("y"));
+  EXPECT_EQ(stats.NthMostFrequentTerm(99), text::kInvalidTermId);
+}
+
+TEST(TermStatsTest, FrequentTermHasWiderTfRangeOnSyntheticCorpus) {
+  // The Figure 4 premise: frequent terms reach much higher raw TF values
+  // than rare terms.
+  synth::CorpusGeneratorOptions o;
+  o.num_documents = 500;
+  o.vocabulary_size = 5000;
+  o.seed = 17;
+  auto corpus = synth::GenerateCorpus(o);
+  ASSERT_TRUE(corpus.ok());
+  TermStats stats(&*corpus);
+  text::TermId frequent = stats.NthMostFrequentTerm(0);
+  text::TermId rare = stats.NthMostFrequentTerm(1500);
+  ASSERT_NE(frequent, text::kInvalidTermId);
+  ASSERT_NE(rare, text::kInvalidTermId);
+  auto freq_series = stats.TfSeries(frequent);
+  auto rare_series = stats.TfSeries(rare);
+  double max_freq = *std::max_element(freq_series.begin(), freq_series.end());
+  double max_rare =
+      rare_series.empty()
+          ? 0.0
+          : *std::max_element(rare_series.begin(), rare_series.end());
+  EXPECT_GT(max_freq, max_rare);
+  EXPECT_GT(freq_series.size(), rare_series.size());
+}
+
+}  // namespace
+}  // namespace zr::index

@@ -1,0 +1,76 @@
+#include "index/top_k.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/random.h"
+
+namespace zr::index {
+namespace {
+
+TEST(TopKHeapTest, RetainsKGreatest) {
+  TopKHeap<int> heap(3);
+  for (int v : {5, 1, 9, 3, 7, 2, 8}) heap.Push(v);
+  auto top = heap.TakeSortedDescending();
+  EXPECT_EQ(top, (std::vector<int>{9, 8, 7}));
+}
+
+TEST(TopKHeapTest, FewerElementsThanK) {
+  TopKHeap<int> heap(10);
+  heap.Push(2);
+  heap.Push(1);
+  auto top = heap.TakeSortedDescending();
+  EXPECT_EQ(top, (std::vector<int>{2, 1}));
+}
+
+TEST(TopKHeapTest, KZeroKeepsNothing) {
+  TopKHeap<int> heap(0);
+  heap.Push(1);
+  heap.Push(2);
+  EXPECT_EQ(heap.size(), 0u);
+  EXPECT_TRUE(heap.TakeSortedDescending().empty());
+}
+
+TEST(TopKHeapTest, DuplicatesAllowed) {
+  TopKHeap<int> heap(4);
+  for (int v : {5, 5, 5, 1, 5}) heap.Push(v);
+  auto top = heap.TakeSortedDescending();
+  EXPECT_EQ(top, (std::vector<int>{5, 5, 5, 5}));
+}
+
+TEST(TopKHeapTest, CustomComparatorSelectsSmallest) {
+  // With greater<> as "less", the heap keeps the k smallest.
+  TopKHeap<int, std::greater<int>> heap(2);
+  for (int v : {5, 1, 9, 3}) heap.Push(v);
+  auto result = heap.TakeSortedDescending();
+  EXPECT_EQ(result, (std::vector<int>{1, 3}));
+}
+
+TEST(TopKHeapTest, MatchesFullSortOnRandomData) {
+  Rng rng(13);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) values.push_back(rng.NextDouble());
+
+  TopKHeap<double> heap(50);
+  for (double v : values) heap.Push(v);
+  auto top = heap.TakeSortedDescending();
+
+  std::sort(values.begin(), values.end(), std::greater<>());
+  values.resize(50);
+  EXPECT_EQ(top, values);
+}
+
+TEST(TopKHeapTest, ReusableAfterTake) {
+  TopKHeap<int> heap(2);
+  heap.Push(1);
+  (void)heap.TakeSortedDescending();
+  heap.Push(9);
+  heap.Push(4);
+  heap.Push(7);
+  EXPECT_EQ(heap.TakeSortedDescending(), (std::vector<int>{9, 7}));
+}
+
+}  // namespace
+}  // namespace zr::index

@@ -1,0 +1,82 @@
+#include "net/bandwidth.h"
+
+#include <gtest/gtest.h>
+
+#include "net/channel.h"
+
+namespace zr::net {
+namespace {
+
+TEST(LinkModelTest, TransferTimeIsLatencyPlusSerialization) {
+  LinkModel link{1000.0, 0.5};  // 1000 bits/s, 500 ms latency
+  // 125 bytes = 1000 bits -> 1 s + 0.5 s latency.
+  EXPECT_DOUBLE_EQ(link.TransferSeconds(125), 1.5);
+  EXPECT_DOUBLE_EQ(link.TransferSeconds(0), 0.5);
+}
+
+TEST(LinkModelTest, PaperModemNumbers) {
+  // 0.7 KB (5.3 kb within rounding) per query term over 56 kb/s ~ 0.1 s.
+  double seconds = kModem56k.TransferSeconds(700) - kModem56k.latency_seconds;
+  EXPECT_NEAR(seconds, 0.1, 0.01);
+}
+
+TEST(QueriesPerSecondTest, MatchesPaperSection66Arithmetic) {
+  // Paper: ~85 elements * 8 B = 680 B per term; 2.4 terms per query
+  // -> ~1.6 KB per query on the server link; 100 Mb/s serves ~750 q/s
+  // (the paper's number alongside snippet overhead).
+  uint64_t bytes_per_query = static_cast<uint64_t>(85 * 8 * 2.4 + 10 * 250);
+  double qps = QueriesPerSecond(kLan100M, bytes_per_query);
+  EXPECT_GT(qps, 500.0);
+  EXPECT_LT(qps, 5000.0);
+}
+
+TEST(QueriesPerSecondTest, ZeroBytesYieldsZero) {
+  EXPECT_DOUBLE_EQ(QueriesPerSecond(kLan100M, 0), 0.0);
+}
+
+TEST(SnippetModelTest, Top10IsAbout2500Bytes) {
+  SnippetModel snippets;
+  EXPECT_EQ(snippets.ResponseBytes(10), 2500u);  // paper: 2.5 KB
+}
+
+TEST(SearchEngineSizesTest, PaperComparisonConstants) {
+  SearchEngineResponseSizes sizes;
+  EXPECT_EQ(sizes.google_bytes, 15u * 1024);
+  EXPECT_EQ(sizes.altavista_bytes, 37u * 1024);
+  EXPECT_EQ(sizes.yahoo_bytes, 59u * 1024);
+}
+
+TEST(SimChannelTest, AccumulatesTraffic) {
+  SimChannel channel(kModem56k, kLan100M);
+  channel.RecordRequest(100);
+  channel.RecordRequest(50);
+  channel.RecordResponse(2000);
+  EXPECT_EQ(channel.bytes_up(), 150u);
+  EXPECT_EQ(channel.bytes_down(), 2000u);
+  EXPECT_EQ(channel.messages_up(), 2u);
+  EXPECT_EQ(channel.messages_down(), 1u);
+  EXPECT_GT(channel.TotalTransferSeconds(), 0.0);
+}
+
+TEST(SimChannelTest, ResetClearsCounters) {
+  SimChannel channel(kModem56k, kLan100M);
+  channel.RecordRequest(100);
+  channel.Reset();
+  EXPECT_EQ(channel.bytes_up(), 0u);
+  EXPECT_EQ(channel.messages_up(), 0u);
+  EXPECT_DOUBLE_EQ(channel.TotalTransferSeconds(), 0.0);
+}
+
+TEST(SimChannelTest, AsymmetricLinksModelled) {
+  // Downloading 10 KB over the modem downlink dominates; same bytes on the
+  // LAN are negligible.
+  SimChannel modem_down(kLan100M, kModem56k);
+  modem_down.RecordResponse(10240);
+  SimChannel lan_down(kLan100M, kLan100M);
+  lan_down.RecordResponse(10240);
+  EXPECT_GT(modem_down.TotalTransferSeconds(),
+            10 * lan_down.TotalTransferSeconds());
+}
+
+}  // namespace
+}  // namespace zr::net

@@ -1,0 +1,108 @@
+#include "net/messages.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/keys.h"
+
+namespace zr::net {
+namespace {
+
+zerber::EncryptedPostingElement MakeElement(crypto::KeyStore* keys,
+                                            crypto::GroupId group,
+                                            double trs) {
+  auto e = zerber::SealPostingElement(zerber::PostingPayload{1, 2, 0.5},
+                                      group, trs, keys);
+  EXPECT_TRUE(e.ok());
+  return std::move(e).value();
+}
+
+TEST(MessagesTest, QueryRequestRoundTrip) {
+  QueryRequest request{7, 42, 100, 20};
+  auto parsed = ParseQueryRequest(SerializeQueryRequest(request));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, request);
+}
+
+TEST(MessagesTest, QueryRequestRejectsCorruptTag) {
+  std::string wire = SerializeQueryRequest(QueryRequest{1, 2, 3, 4});
+  wire[0] = 99;
+  EXPECT_TRUE(ParseQueryRequest(wire).status().IsCorruption());
+}
+
+TEST(MessagesTest, QueryRequestRejectsTruncation) {
+  std::string wire = SerializeQueryRequest(QueryRequest{1, 2, 300, 400});
+  EXPECT_TRUE(
+      ParseQueryRequest(wire.substr(0, wire.size() - 1)).status().IsCorruption());
+}
+
+TEST(MessagesTest, QueryRequestRejectsTrailingBytes) {
+  std::string wire = SerializeQueryRequest(QueryRequest{1, 2, 3, 4}) + "zz";
+  EXPECT_TRUE(ParseQueryRequest(wire).status().IsCorruption());
+}
+
+TEST(MessagesTest, QueryResponseRoundTrip) {
+  crypto::KeyStore keys("msg-test");
+  ASSERT_TRUE(keys.CreateGroup(1).ok());
+  QueryResponse response;
+  response.exhausted = true;
+  response.elements.push_back(MakeElement(&keys, 1, 0.75));
+  response.elements.push_back(MakeElement(&keys, 1, 0.25));
+
+  auto parsed = ParseQueryResponse(SerializeQueryResponse(response));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->exhausted);
+  ASSERT_EQ(parsed->elements.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed->elements[0].trs, 0.75);
+  EXPECT_EQ(parsed->elements[0].sealed, response.elements[0].sealed);
+  EXPECT_EQ(parsed->elements[1].group, 1u);
+}
+
+TEST(MessagesTest, EmptyQueryResponseRoundTrip) {
+  QueryResponse response;
+  auto parsed = ParseQueryResponse(SerializeQueryResponse(response));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->elements.empty());
+  EXPECT_FALSE(parsed->exhausted);
+}
+
+TEST(MessagesTest, QueryResponseRejectsElementCountMismatch) {
+  crypto::KeyStore keys("msg-test");
+  ASSERT_TRUE(keys.CreateGroup(1).ok());
+  QueryResponse response;
+  response.elements.push_back(MakeElement(&keys, 1, 0.5));
+  std::string wire = SerializeQueryResponse(response);
+  // Truncate mid-element.
+  EXPECT_TRUE(ParseQueryResponse(wire.substr(0, wire.size() - 5))
+                  .status()
+                  .IsCorruption());
+}
+
+TEST(MessagesTest, InsertRequestRoundTrip) {
+  crypto::KeyStore keys("msg-test");
+  ASSERT_TRUE(keys.CreateGroup(3).ok());
+  InsertRequest request;
+  request.user = 11;
+  request.list = 5;
+  request.element = MakeElement(&keys, 3, 0.9);
+
+  auto parsed = ParseInsertRequest(SerializeInsertRequest(request));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->user, 11u);
+  EXPECT_EQ(parsed->list, 5u);
+  EXPECT_EQ(parsed->element.sealed, request.element.sealed);
+}
+
+TEST(MessagesTest, MessageTypesDoNotCrossParse) {
+  std::string query = SerializeQueryRequest(QueryRequest{1, 2, 3, 4});
+  EXPECT_TRUE(ParseInsertRequest(query).status().IsCorruption());
+  EXPECT_TRUE(ParseQueryResponse(query).status().IsCorruption());
+}
+
+TEST(MessagesTest, RequestSizeIsSmall) {
+  // Requests must be tiny compared to responses (the uplink is a modem).
+  std::string wire = SerializeQueryRequest(QueryRequest{1, 100, 1000, 50});
+  EXPECT_LT(wire.size(), 16u);
+}
+
+}  // namespace
+}  // namespace zr::net

@@ -1,0 +1,151 @@
+#include "synth/corpus_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "synth/presets.h"
+#include "util/stats.h"
+
+namespace zr::synth {
+namespace {
+
+CorpusGeneratorOptions SmallOptions() {
+  CorpusGeneratorOptions o;
+  o.num_documents = 200;
+  o.vocabulary_size = 2000;
+  o.num_groups = 4;
+  o.seed = 11;
+  return o;
+}
+
+TEST(CorpusGeneratorTest, GeneratesRequestedDocumentCount) {
+  auto corpus = GenerateCorpus(SmallOptions());
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->NumDocuments(), 200u);
+  EXPECT_GT(corpus->vocabulary().size(), 100u);
+}
+
+TEST(CorpusGeneratorTest, DeterministicForSameSeed) {
+  auto a = GenerateCorpus(SmallOptions());
+  auto b = GenerateCorpus(SmallOptions());
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->NumDocuments(), b->NumDocuments());
+  EXPECT_EQ(a->vocabulary().size(), b->vocabulary().size());
+  EXPECT_EQ(a->TotalPostings(), b->TotalPostings());
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(a->documents()[i].Length(), b->documents()[i].Length());
+  }
+}
+
+TEST(CorpusGeneratorTest, SeedChangesOutput) {
+  auto a = GenerateCorpus(SmallOptions());
+  CorpusGeneratorOptions o = SmallOptions();
+  o.seed = 12;
+  auto b = GenerateCorpus(o);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->TotalPostings(), b->TotalPostings());
+}
+
+TEST(CorpusGeneratorTest, DocumentLengthsRespectBounds) {
+  CorpusGeneratorOptions o = SmallOptions();
+  o.min_doc_length = 30;
+  o.max_doc_length = 100;
+  auto corpus = GenerateCorpus(o);
+  ASSERT_TRUE(corpus.ok());
+  for (const auto& doc : corpus->documents()) {
+    EXPECT_GE(doc.Length(), 30u);
+    EXPECT_LE(doc.Length(), 100u);
+  }
+}
+
+TEST(CorpusGeneratorTest, GroupsAssignedWithinRange) {
+  auto corpus = GenerateCorpus(SmallOptions());
+  ASSERT_TRUE(corpus.ok());
+  std::vector<int> group_counts(4, 0);
+  for (const auto& doc : corpus->documents()) {
+    ASSERT_LT(doc.group(), 4u);
+    ++group_counts[doc.group()];
+  }
+  for (int c : group_counts) EXPECT_GT(c, 0);
+}
+
+TEST(CorpusGeneratorTest, DfDistributionIsHeadHeavy) {
+  // Zipfian term popularity: the most frequent term's df must dwarf the
+  // median term's df (power-law shape of the paper's Figure 4 regime).
+  auto corpus = GenerateCorpus(SmallOptions());
+  ASSERT_TRUE(corpus.ok());
+  std::vector<uint64_t> dfs;
+  for (auto t : corpus->vocabulary().AllTermIds()) {
+    dfs.push_back(corpus->DocumentFrequency(t));
+  }
+  std::sort(dfs.begin(), dfs.end(), std::greater<>());
+  ASSERT_GT(dfs.size(), 100u);
+  EXPECT_GT(dfs[0], 20 * std::max<uint64_t>(dfs[dfs.size() / 2], 1) / 2);
+  EXPECT_GT(dfs[0], dfs[50]);
+}
+
+TEST(CorpusGeneratorTest, ValidationRejectsBadOptions) {
+  CorpusGeneratorOptions o = SmallOptions();
+  o.num_documents = 0;
+  EXPECT_TRUE(GenerateCorpus(o).status().IsInvalidArgument());
+
+  o = SmallOptions();
+  o.vocabulary_size = 0;
+  EXPECT_TRUE(GenerateCorpus(o).status().IsInvalidArgument());
+
+  o = SmallOptions();
+  o.zipf_exponent = 0.0;
+  EXPECT_TRUE(GenerateCorpus(o).status().IsInvalidArgument());
+
+  o = SmallOptions();
+  o.topic_mixture = 1.5;
+  EXPECT_TRUE(GenerateCorpus(o).status().IsInvalidArgument());
+
+  o = SmallOptions();
+  o.min_doc_length = 0;
+  EXPECT_TRUE(GenerateCorpus(o).status().IsInvalidArgument());
+
+  o = SmallOptions();
+  o.min_doc_length = 100;
+  o.max_doc_length = 50;
+  EXPECT_TRUE(GenerateCorpus(o).status().IsInvalidArgument());
+}
+
+TEST(CorpusGeneratorTest, SyntheticTermNaming) {
+  EXPECT_EQ(SyntheticTerm(1), "term1");
+  EXPECT_EQ(SyntheticTerm(987700), "term987700");
+}
+
+TEST(PresetsTest, TinyPresetBuilds) {
+  auto corpus = GenerateCorpus(TinyPreset().corpus);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->NumDocuments(), 300u);
+}
+
+TEST(PresetsTest, StudIpScalesLinearly) {
+  DatasetPreset full = StudIpPreset(1.0);
+  DatasetPreset tenth = StudIpPreset(0.1);
+  EXPECT_EQ(full.corpus.num_documents, 8500u);
+  EXPECT_EQ(full.corpus.vocabulary_size, 570000u);
+  EXPECT_NEAR(static_cast<double>(tenth.corpus.num_documents), 850.0, 1.0);
+  EXPECT_GT(full.r, tenth.r);
+}
+
+TEST(PresetsTest, OdpMatchesPaperScaleAtFull) {
+  DatasetPreset odp = OdpWebPreset(1.0);
+  EXPECT_EQ(odp.corpus.num_documents, 237000u);
+  EXPECT_EQ(odp.corpus.vocabulary_size, 987700u);
+  EXPECT_EQ(odp.corpus.num_groups, 100u);  // 100 ODP topics
+  EXPECT_DOUBLE_EQ(odp.r, 32768.0);        // paper: 32K merged lists
+}
+
+TEST(PresetsTest, TrainingFractionsMatchPaper) {
+  DatasetPreset p = StudIpPreset(0.1);
+  EXPECT_DOUBLE_EQ(p.training_fraction, 0.30);
+  EXPECT_NEAR(p.control_fraction, 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace zr::synth

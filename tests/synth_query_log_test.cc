@@ -1,0 +1,149 @@
+#include "synth/query_log.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "synth/corpus_generator.h"
+#include "util/stats.h"
+
+namespace zr::synth {
+namespace {
+
+text::Corpus MakeCorpus() {
+  CorpusGeneratorOptions o;
+  o.num_documents = 300;
+  o.vocabulary_size = 3000;
+  o.seed = 5;
+  auto corpus = GenerateCorpus(o);
+  EXPECT_TRUE(corpus.ok());
+  return std::move(corpus).value();
+}
+
+QueryLogOptions SmallLog() {
+  QueryLogOptions o;
+  o.num_queries = 20000;
+  o.distinct_query_terms = 500;
+  o.seed = 77;
+  return o;
+}
+
+TEST(QueryLogTest, GeneratesRequestedQueryCount) {
+  text::Corpus corpus = MakeCorpus();
+  auto log = GenerateQueryLog(corpus, SmallLog());
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->queries.size(), 20000u);
+  EXPECT_EQ(log->terms_by_popularity.size(), 500u);
+}
+
+TEST(QueryLogTest, AverageTermsPerQueryNearConfigured) {
+  text::Corpus corpus = MakeCorpus();
+  auto log = GenerateQueryLog(corpus, SmallLog());
+  ASSERT_TRUE(log.ok());
+  double avg = static_cast<double>(log->TotalTermOccurrences()) /
+               static_cast<double>(log->queries.size());
+  EXPECT_NEAR(avg, 2.4, 0.1);  // paper: 2.4 terms on average
+}
+
+TEST(QueryLogTest, EveryQueryHasAtLeastOneTerm) {
+  text::Corpus corpus = MakeCorpus();
+  auto log = GenerateQueryLog(corpus, SmallLog());
+  ASSERT_TRUE(log.ok());
+  for (const Query& q : log->queries) EXPECT_GE(q.size(), 1u);
+}
+
+TEST(QueryLogTest, FrequenciesAreHeadHeavy) {
+  // Figure 10: the most frequent queries constitute nearly the whole
+  // workload. Top-10% of terms must cover the majority of occurrences.
+  text::Corpus corpus = MakeCorpus();
+  auto log = GenerateQueryLog(corpus, SmallLog());
+  ASSERT_TRUE(log.ok());
+  uint64_t total = 0, head = 0;
+  size_t head_n = log->frequency_by_popularity.size() / 10;
+  for (size_t i = 0; i < log->frequency_by_popularity.size(); ++i) {
+    total += log->frequency_by_popularity[i];
+    if (i < head_n) head += log->frequency_by_popularity[i];
+  }
+  EXPECT_GT(static_cast<double>(head) / static_cast<double>(total), 0.5);
+}
+
+TEST(QueryLogTest, FrequencyVectorMatchesQueries) {
+  text::Corpus corpus = MakeCorpus();
+  auto log = GenerateQueryLog(corpus, SmallLog());
+  ASSERT_TRUE(log.ok());
+  uint64_t from_vector = 0;
+  for (uint64_t f : log->frequency_by_popularity) from_vector += f;
+  EXPECT_EQ(from_vector, log->TotalTermOccurrences());
+}
+
+TEST(QueryLogTest, QueryPopularityCorrelatesWithDfButImperfectly) {
+  // Paper Section 5.2: df and query frequency correlate, but some frequent
+  // terms are rarely queried.
+  text::Corpus corpus = MakeCorpus();
+  auto log = GenerateQueryLog(corpus, SmallLog());
+  ASSERT_TRUE(log.ok());
+  std::vector<double> dfs, freqs;
+  for (size_t i = 0; i < log->terms_by_popularity.size(); ++i) {
+    dfs.push_back(static_cast<double>(
+        corpus.DocumentFrequency(log->terms_by_popularity[i])));
+    freqs.push_back(static_cast<double>(log->frequency_by_popularity[i]));
+  }
+  double rho = SpearmanCorrelation(dfs, freqs);
+  EXPECT_GT(rho, 0.25);  // correlated...
+  EXPECT_LT(rho, 0.95);  // ...but not perfectly
+}
+
+TEST(QueryLogTest, PerfectCorrelationWhenNoiseZero) {
+  text::Corpus corpus = MakeCorpus();
+  QueryLogOptions o = SmallLog();
+  o.rank_noise = 0.0;
+  auto log = GenerateQueryLog(corpus, o);
+  ASSERT_TRUE(log.ok());
+  // With zero noise the popularity order IS the df order.
+  for (size_t i = 1; i < log->terms_by_popularity.size(); ++i) {
+    EXPECT_GE(corpus.DocumentFrequency(log->terms_by_popularity[i - 1]),
+              corpus.DocumentFrequency(log->terms_by_popularity[i]));
+  }
+}
+
+TEST(QueryLogTest, DeterministicForSameSeed) {
+  text::Corpus corpus = MakeCorpus();
+  auto a = GenerateQueryLog(corpus, SmallLog());
+  auto b = GenerateQueryLog(corpus, SmallLog());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->queries, b->queries);
+}
+
+TEST(QueryLogTest, ValidationRejectsBadOptions) {
+  text::Corpus corpus = MakeCorpus();
+  QueryLogOptions o = SmallLog();
+  o.num_queries = 0;
+  EXPECT_TRUE(GenerateQueryLog(corpus, o).status().IsInvalidArgument());
+
+  o = SmallLog();
+  o.terms_per_query_mean = 0.5;
+  EXPECT_TRUE(GenerateQueryLog(corpus, o).status().IsInvalidArgument());
+
+  o = SmallLog();
+  o.query_zipf_exponent = -1.0;
+  EXPECT_TRUE(GenerateQueryLog(corpus, o).status().IsInvalidArgument());
+
+  text::Corpus empty;
+  EXPECT_TRUE(GenerateQueryLog(empty, SmallLog()).status().IsInvalidArgument());
+}
+
+TEST(QueryLogTest, DistinctTermsClampedToVocabulary) {
+  text::Corpus corpus;
+  corpus.AddDocumentTokens({"only", "four", "distinct", "terms"}, 1);
+  QueryLogOptions o;
+  o.num_queries = 100;
+  o.distinct_query_terms = 1000;  // more than vocab
+  o.seed = 3;
+  auto log = GenerateQueryLog(corpus, o);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->terms_by_popularity.size(), 4u);
+}
+
+}  // namespace
+}  // namespace zr::synth

@@ -1,0 +1,103 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+#include "text/stopwords.h"
+
+namespace zr::text {
+namespace {
+
+std::vector<std::string> Tok(std::string_view s, TokenizerOptions o = {}) {
+  return Tokenizer(o).Tokenize(s);
+}
+
+TEST(TokenizerTest, SplitsOnNonAlnum) {
+  EXPECT_EQ(Tok("hello world"), (std::vector<std::string>{"hello", "world"}));
+  EXPECT_EQ(Tok("a-b,c;d"), (std::vector<std::string>{}));  // all len-1
+  EXPECT_EQ(Tok("foo--bar..baz"),
+            (std::vector<std::string>{"foo", "bar", "baz"}));
+}
+
+TEST(TokenizerTest, LowercasesAscii) {
+  EXPECT_EQ(Tok("Hello WORLD MiXeD"),
+            (std::vector<std::string>{"hello", "world", "mixed"}));
+}
+
+TEST(TokenizerTest, LowercasingCanBeDisabled) {
+  TokenizerOptions o;
+  o.lowercase = false;
+  EXPECT_EQ(Tok("Hello", o), (std::vector<std::string>{"Hello"}));
+}
+
+TEST(TokenizerTest, MinTokenLengthFilters) {
+  TokenizerOptions o;
+  o.min_token_length = 3;
+  EXPECT_EQ(Tok("an apple is ok", o),
+            (std::vector<std::string>{"apple"}));
+}
+
+TEST(TokenizerTest, MaxTokenLengthFilters) {
+  TokenizerOptions o;
+  o.max_token_length = 5;
+  EXPECT_EQ(Tok("short toolongtoken ok", o),
+            (std::vector<std::string>{"short", "ok"}));
+}
+
+TEST(TokenizerTest, DigitsKeptByDefault) {
+  EXPECT_EQ(Tok("http2 abc123 42"),
+            (std::vector<std::string>{"http2", "abc123", "42"}));
+}
+
+TEST(TokenizerTest, DigitsCanBeDropped) {
+  TokenizerOptions o;
+  o.keep_digits = false;
+  EXPECT_EQ(Tok("http2 42 abc", o),
+            (std::vector<std::string>{"http", "abc"}));
+}
+
+TEST(TokenizerTest, Utf8BytesSurvive) {
+  // German umlauts (the paper's Stud IP corpus is German): "Vergütung".
+  auto tokens = Tok("Verg\xc3\xbctung nicht");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "verg\xc3\xbctung");
+  EXPECT_EQ(tokens[1], "nicht");
+}
+
+TEST(TokenizerTest, StopwordRemoval) {
+  TokenizerOptions o;
+  o.remove_stopwords = true;
+  EXPECT_EQ(Tok("the compound and the process", o),
+            (std::vector<std::string>{"compound", "process"}));
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(Tok("").empty());
+  EXPECT_TRUE(Tok("   \t\n  ").empty());
+  EXPECT_TRUE(Tok("!!!...###").empty());
+}
+
+TEST(TokenizerTest, TokenAtEndOfInputIsFlushed) {
+  EXPECT_EQ(Tok("trailing token"),
+            (std::vector<std::string>{"trailing", "token"}));
+}
+
+TEST(StopwordsTest, KnownMembers) {
+  EXPECT_TRUE(IsStopword("and"));
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("nicht"));  // German, from the paper's Figure 4
+  EXPECT_TRUE(IsStopword("und"));
+  EXPECT_FALSE(IsStopword("imclone"));  // content term from Figure 1
+  EXPECT_FALSE(IsStopword("management"));
+  EXPECT_FALSE(IsStopword(""));
+}
+
+TEST(StopwordsTest, ListIsSortedForBinarySearch) {
+  // Spot-check ordering-sensitive pairs around former bug territory.
+  EXPECT_TRUE(IsStopword("wird"));
+  EXPECT_TRUE(IsStopword("with"));
+  EXPECT_TRUE(IsStopword("will"));
+  EXPECT_GT(StopwordCount(), 50u);
+}
+
+}  // namespace
+}  // namespace zr::text

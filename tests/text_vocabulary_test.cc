@@ -1,0 +1,78 @@
+#include "text/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace zr::text {
+namespace {
+
+TEST(VocabularyTest, InternsAndLooksUp) {
+  Vocabulary v;
+  TermId a = v.GetOrAdd("alpha");
+  TermId b = v.GetOrAdd("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(v.GetOrAdd("alpha"), a);  // idempotent
+  EXPECT_EQ(v.Lookup("alpha"), a);
+  EXPECT_EQ(v.Lookup("gamma"), kInvalidTermId);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(VocabularyTest, IdsAreDenseAndOrdered) {
+  Vocabulary v;
+  EXPECT_EQ(v.GetOrAdd("a"), 0u);
+  EXPECT_EQ(v.GetOrAdd("b"), 1u);
+  EXPECT_EQ(v.GetOrAdd("c"), 2u);
+}
+
+TEST(VocabularyTest, TermOfRoundTrips) {
+  Vocabulary v;
+  TermId id = v.GetOrAdd("reimbursement");
+  auto term = v.TermOf(id);
+  ASSERT_TRUE(term.ok());
+  EXPECT_EQ(*term, "reimbursement");
+}
+
+TEST(VocabularyTest, TermOfOutOfRange) {
+  Vocabulary v;
+  EXPECT_TRUE(v.TermOf(0).status().IsOutOfRange());
+  v.GetOrAdd("x");
+  EXPECT_TRUE(v.TermOf(1).status().IsOutOfRange());
+  EXPECT_TRUE(v.TermOf(kInvalidTermId).status().IsOutOfRange());
+}
+
+TEST(VocabularyTest, DocumentFrequencyAccumulates) {
+  Vocabulary v;
+  TermId a = v.GetOrAdd("a");
+  EXPECT_EQ(v.DocumentFrequency(a), 0u);
+  v.BumpDocumentFrequency(a);
+  v.BumpDocumentFrequency(a);
+  EXPECT_EQ(v.DocumentFrequency(a), 2u);
+  EXPECT_EQ(v.TotalPostings(), 2u);
+}
+
+TEST(VocabularyTest, BumpUnknownIdIsIgnored) {
+  Vocabulary v;
+  v.BumpDocumentFrequency(99);  // no crash, no effect
+  EXPECT_EQ(v.TotalPostings(), 0u);
+  EXPECT_EQ(v.DocumentFrequency(99), 0u);
+}
+
+TEST(VocabularyTest, AllTermIdsEnumerates) {
+  Vocabulary v;
+  v.GetOrAdd("a");
+  v.GetOrAdd("b");
+  v.GetOrAdd("c");
+  auto ids = v.AllTermIds();
+  EXPECT_EQ(ids, (std::vector<TermId>{0, 1, 2}));
+}
+
+TEST(VocabularyTest, HandlesManyTerms) {
+  Vocabulary v;
+  for (int i = 0; i < 10000; ++i) {
+    v.GetOrAdd("term" + std::to_string(i));
+  }
+  EXPECT_EQ(v.size(), 10000u);
+  EXPECT_EQ(v.Lookup("term9999"), 9999u);
+}
+
+}  // namespace
+}  // namespace zr::text

@@ -1,0 +1,184 @@
+#include "util/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace zr {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  for (uint32_t v : {0u, 1u, 0xffu, 0x12345678u, UINT32_MAX}) {
+    std::string buf;
+    PutFixed32(&buf, v);
+    ASSERT_EQ(buf.size(), 4u);
+    ByteReader reader(buf);
+    uint32_t out;
+    ASSERT_TRUE(reader.GetFixed32(&out).ok());
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(reader.ExpectEof().ok());
+  }
+}
+
+TEST(CodingTest, Fixed32IsLittleEndian) {
+  std::string buf;
+  PutFixed32(&buf, 0x01020304u);
+  EXPECT_EQ(static_cast<uint8_t>(buf[0]), 0x04);
+  EXPECT_EQ(static_cast<uint8_t>(buf[1]), 0x03);
+  EXPECT_EQ(static_cast<uint8_t>(buf[2]), 0x02);
+  EXPECT_EQ(static_cast<uint8_t>(buf[3]), 0x01);
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{0xdeadbeefcafebabe},
+                     std::numeric_limits<uint64_t>::max()}) {
+    std::string buf;
+    PutFixed64(&buf, v);
+    ASSERT_EQ(buf.size(), 8u);
+    ByteReader reader(buf);
+    uint64_t out;
+    ASSERT_TRUE(reader.GetFixed64(&out).ok());
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(CodingTest, DoubleRoundTripExactBits) {
+  for (double v : {0.0, -0.0, 1.0, -1.5, 3.141592653589793, 1e-300, 1e300,
+                   std::numeric_limits<double>::infinity()}) {
+    std::string buf;
+    PutDouble(&buf, v);
+    ByteReader reader(buf);
+    double out;
+    ASSERT_TRUE(reader.GetDouble(&out).ok());
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(CodingTest, VarintKnownEncodings) {
+  std::string buf;
+  PutVarint32(&buf, 0);
+  EXPECT_EQ(buf, std::string(1, '\0'));
+  buf.clear();
+  PutVarint32(&buf, 127);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  PutVarint32(&buf, 128);
+  ASSERT_EQ(buf.size(), 2u);
+  EXPECT_EQ(static_cast<uint8_t>(buf[0]), 0x80);
+  EXPECT_EQ(static_cast<uint8_t>(buf[1]), 0x01);
+}
+
+TEST(CodingTest, VarintLengthMatchesEncoding) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{127}, uint64_t{128},
+                     uint64_t{1} << 21, uint64_t{1} << 42,
+                     std::numeric_limits<uint64_t>::max()}) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(static_cast<int>(buf.size()), VarintLength64(v)) << v;
+  }
+  std::string buf;
+  PutVarint32(&buf, UINT32_MAX);
+  EXPECT_EQ(static_cast<int>(buf.size()), VarintLength32(UINT32_MAX));
+}
+
+TEST(CodingTest, VarintRandomRoundTrip) {
+  Rng rng(7);
+  std::string buf;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    // Mix of magnitudes: shift by a random amount to hit all byte lengths.
+    uint64_t v = rng.NextU64() >> rng.Uniform(64);
+    values.push_back(v);
+    PutVarint64(&buf, v);
+  }
+  ByteReader reader(buf);
+  for (uint64_t expected : values) {
+    uint64_t out;
+    ASSERT_TRUE(reader.GetVarint64(&out).ok());
+    EXPECT_EQ(out, expected);
+  }
+  EXPECT_TRUE(reader.ExpectEof().ok());
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(300, 'x'));
+  ByteReader reader(buf);
+  std::string_view a, b, c;
+  ASSERT_TRUE(reader.GetLengthPrefixed(&a).ok());
+  ASSERT_TRUE(reader.GetLengthPrefixed(&b).ok());
+  ASSERT_TRUE(reader.GetLengthPrefixed(&c).ok());
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c, std::string(300, 'x'));
+  EXPECT_TRUE(reader.ExpectEof().ok());
+}
+
+TEST(CodingTest, TruncatedFixedFails) {
+  std::string buf = "abc";  // 3 bytes < 4
+  ByteReader reader(buf);
+  uint32_t v;
+  EXPECT_TRUE(reader.GetFixed32(&v).IsCorruption());
+}
+
+TEST(CodingTest, TruncatedVarintFails) {
+  std::string buf(1, static_cast<char>(0x80));  // continuation, no end
+  ByteReader reader(buf);
+  uint64_t v;
+  EXPECT_TRUE(reader.GetVarint64(&v).IsCorruption());
+}
+
+TEST(CodingTest, OverlongVarintFails) {
+  std::string buf(11, static_cast<char>(0x80));  // > 10 bytes
+  ByteReader reader(buf);
+  uint64_t v;
+  EXPECT_TRUE(reader.GetVarint64(&v).IsCorruption());
+}
+
+TEST(CodingTest, Varint32OverflowFails) {
+  std::string buf;
+  PutVarint64(&buf, uint64_t{UINT32_MAX} + 1);
+  ByteReader reader(buf);
+  uint32_t v;
+  EXPECT_TRUE(reader.GetVarint32(&v).IsCorruption());
+}
+
+TEST(CodingTest, LengthPrefixBeyondBufferFails) {
+  std::string buf;
+  PutVarint64(&buf, 100);  // claims 100 bytes
+  buf += "short";
+  ByteReader reader(buf);
+  std::string_view v;
+  EXPECT_TRUE(reader.GetLengthPrefixed(&v).IsCorruption());
+}
+
+TEST(CodingTest, ExpectEofDetectsTrailingGarbage) {
+  std::string buf;
+  PutFixed32(&buf, 1);
+  buf += "junk";
+  ByteReader reader(buf);
+  uint32_t v;
+  ASSERT_TRUE(reader.GetFixed32(&v).ok());
+  EXPECT_TRUE(reader.ExpectEof().IsCorruption());
+}
+
+TEST(CodingTest, GetRawViewsIntoBuffer) {
+  std::string buf = "abcdef";
+  ByteReader reader(buf);
+  std::string_view head, tail;
+  ASSERT_TRUE(reader.GetRaw(2, &head).ok());
+  ASSERT_TRUE(reader.GetRaw(4, &tail).ok());
+  EXPECT_EQ(head, "ab");
+  EXPECT_EQ(tail, "cdef");
+  EXPECT_EQ(head.data(), buf.data());  // zero-copy
+}
+
+}  // namespace
+}  // namespace zr

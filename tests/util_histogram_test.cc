@@ -1,0 +1,89 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace zr {
+namespace {
+
+TEST(LinearHistogramTest, BucketsCoverRangeEvenly) {
+  LinearHistogram h(0.0, 10.0, 5);
+  auto buckets = h.Buckets();
+  ASSERT_EQ(buckets.size(), 5u);
+  EXPECT_DOUBLE_EQ(buckets[0].lo, 0.0);
+  EXPECT_DOUBLE_EQ(buckets[0].hi, 2.0);
+  EXPECT_DOUBLE_EQ(buckets[4].hi, 10.0);
+}
+
+TEST(LinearHistogramTest, CountsLandInCorrectBuckets) {
+  LinearHistogram h(0.0, 10.0, 5);
+  h.Add(1.0);   // bucket 0
+  h.Add(3.0);   // bucket 1
+  h.Add(3.9);   // bucket 1
+  h.Add(9.99);  // bucket 4
+  auto buckets = h.Buckets();
+  EXPECT_EQ(buckets[0].count, 1u);
+  EXPECT_EQ(buckets[1].count, 2u);
+  EXPECT_EQ(buckets[4].count, 1u);
+  EXPECT_EQ(h.TotalCount(), 4u);
+}
+
+TEST(LinearHistogramTest, OutOfRangeClampsToEdges) {
+  LinearHistogram h(0.0, 10.0, 5);
+  h.Add(-5.0);
+  h.Add(100.0);
+  auto buckets = h.Buckets();
+  EXPECT_EQ(buckets[0].count, 1u);
+  EXPECT_EQ(buckets[4].count, 1u);
+}
+
+TEST(LogHistogramTest, GeometricBucketEdges) {
+  LogHistogram h(1.0, 1000.0, 1);  // 1 bucket per decade
+  auto buckets = h.Buckets();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_NEAR(buckets[0].lo, 1.0, 1e-9);
+  EXPECT_NEAR(buckets[0].hi, 10.0, 1e-9);
+  EXPECT_NEAR(buckets[2].hi, 1000.0, 1e-6);
+}
+
+TEST(LogHistogramTest, PowerLawDataFillsBuckets) {
+  LogHistogram h(1.0, 10000.0, 2);
+  for (int i = 1; i <= 1000; ++i) h.Add(static_cast<double>(i));
+  EXPECT_EQ(h.TotalCount(), 1000u);
+  auto non_empty = h.NonEmptyBuckets();
+  EXPECT_GT(non_empty.size(), 3u);
+  uint64_t total = 0;
+  for (const auto& b : non_empty) total += b.count;
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(LogHistogramTest, IgnoresNonPositiveValues) {
+  LogHistogram h(0.001, 1.0, 4);
+  h.Add(0.0);
+  h.Add(-1.0);
+  h.Add(0.5);
+  EXPECT_EQ(h.TotalCount(), 1u);
+}
+
+TEST(LogHistogramTest, GeometricMidIsBetweenEdges) {
+  LogHistogram h(1.0, 100.0, 1);
+  for (const auto& b : h.Buckets()) {
+    double mid = b.GeometricMid();
+    EXPECT_GT(mid, b.lo);
+    EXPECT_LT(mid, b.hi);
+    EXPECT_NEAR(mid, std::sqrt(b.lo * b.hi), 1e-9);
+  }
+}
+
+TEST(FormatLogLogSeriesTest, OneRowPerBucket) {
+  LogHistogram h(1.0, 100.0, 1);
+  h.Add(2.0);
+  h.Add(20.0);
+  std::string s = FormatLogLogSeries(h.NonEmptyBuckets());
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace zr

@@ -1,0 +1,151 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace zr {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSmallSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.population_variance(), 4.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  Rng rng(1);
+  RunningStats all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Gaussian(3.0, 2.0);
+    all.Add(x);
+    (i < 400 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-8);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.Merge(a);  // copy
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(UniformityVarianceTest, PerfectlyUniformSpacingIsZero) {
+  // Values exactly at i/(n+1) have zero deviation.
+  std::vector<double> v;
+  const int n = 99;
+  for (int i = 1; i <= n; ++i) v.push_back(i / 100.0);
+  EXPECT_NEAR(UniformityVariance(v), 0.0, 1e-18);
+}
+
+TEST(UniformityVarianceTest, ClusteredValuesScoreWorseThanUniform) {
+  std::vector<double> uniform, clustered;
+  for (int i = 1; i <= 100; ++i) uniform.push_back(i / 101.0);
+  for (int i = 0; i < 100; ++i) clustered.push_back(0.5 + i * 1e-4);
+  EXPECT_LT(UniformityVariance(uniform), UniformityVariance(clustered));
+  EXPECT_GT(UniformityVariance(clustered), 0.05);
+}
+
+TEST(UniformityVarianceTest, RandomUniformSampleIsSmall) {
+  Rng rng(2);
+  std::vector<double> v;
+  for (int i = 0; i < 2000; ++i) v.push_back(rng.NextDouble());
+  // Theoretical E[UniformityVariance] for U(0,1) order stats ~ 1/(6n).
+  EXPECT_LT(UniformityVariance(v), 5.0 / 2000.0);
+}
+
+TEST(UniformityVarianceTest, EmptyAndSingleton) {
+  EXPECT_EQ(UniformityVariance({}), 0.0);
+  // Single value at 1/2 matches its expected order statistic exactly.
+  EXPECT_NEAR(UniformityVariance({0.5}), 0.0, 1e-18);
+}
+
+TEST(KolmogorovSmirnovTest, UniformGridHasSmallStatistic) {
+  std::vector<double> v;
+  for (int i = 1; i <= 1000; ++i) v.push_back((i - 0.5) / 1000.0);
+  EXPECT_LT(KolmogorovSmirnovUniform(v), 0.002);
+}
+
+TEST(KolmogorovSmirnovTest, DegenerateSampleHasLargeStatistic) {
+  std::vector<double> v(100, 0.9);
+  EXPECT_GT(KolmogorovSmirnovUniform(v), 0.85);
+}
+
+TEST(PearsonTest, PerfectLinearCorrelation) {
+  std::vector<double> a{1, 2, 3, 4, 5};
+  std::vector<double> b{2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  std::vector<double> c{10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ZeroVarianceGivesZero) {
+  std::vector<double> a{1, 1, 1};
+  std::vector<double> b{1, 2, 3};
+  EXPECT_EQ(PearsonCorrelation(a, b), 0.0);
+}
+
+TEST(SpearmanTest, MonotoneNonlinearIsPerfect) {
+  std::vector<double> a{1, 2, 3, 4, 5};
+  std::vector<double> b{1, 8, 27, 64, 125};  // x^3: nonlinear but monotone
+  EXPECT_NEAR(SpearmanCorrelation(a, b), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, HandlesTies) {
+  std::vector<double> a{1, 2, 2, 3};
+  std::vector<double> b{1, 2, 2, 3};
+  EXPECT_NEAR(SpearmanCorrelation(a, b), 1.0, 1e-12);
+}
+
+TEST(AverageRanksTest, TiesShareAverageRank) {
+  std::vector<double> ranks = AverageRanks({10.0, 20.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(QuantileTest, InterpolatesLinearly) {
+  std::vector<double> v{0.0, 10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(QuantileSorted(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(v, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(v, 0.25), 10.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(v, 0.125), 5.0);
+}
+
+TEST(EntropyTest, UniformAndDegenerate) {
+  EXPECT_NEAR(EntropyBits({1, 1, 1, 1}), 2.0, 1e-12);
+  EXPECT_NEAR(EntropyBits({1, 0, 0, 0}), 0.0, 1e-12);
+  EXPECT_EQ(EntropyBits({0, 0}), 0.0);
+  EXPECT_EQ(EntropyBits({}), 0.0);
+}
+
+}  // namespace
+}  // namespace zr

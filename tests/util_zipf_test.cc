@@ -1,0 +1,93 @@
+#include "util/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace zr {
+namespace {
+
+TEST(ZipfTest, GeneralizedHarmonicKnownValues) {
+  // H_{1,s} == 1 for any s.
+  EXPECT_DOUBLE_EQ(GeneralizedHarmonic(1, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(GeneralizedHarmonic(1, 2.5), 1.0);
+  // H_{3,1} = 1 + 1/2 + 1/3.
+  EXPECT_NEAR(GeneralizedHarmonic(3, 1.0), 1.0 + 0.5 + 1.0 / 3.0, 1e-12);
+  // H_{4,2} = 1 + 1/4 + 1/9 + 1/16.
+  EXPECT_NEAR(GeneralizedHarmonic(4, 2.0), 1.0 + 0.25 + 1.0 / 9 + 1.0 / 16,
+              1e-12);
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfDistribution zipf(1000, 1.1);
+  double total = 0.0;
+  for (uint64_t k = 1; k <= 1000; ++k) total += zipf.Probability(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, ProbabilityIsMonotoneDecreasing) {
+  ZipfDistribution zipf(100, 1.0);
+  for (uint64_t k = 1; k < 100; ++k) {
+    EXPECT_GT(zipf.Probability(k), zipf.Probability(k + 1));
+  }
+}
+
+TEST(ZipfTest, SamplesStayInRange) {
+  ZipfDistribution zipf(50, 1.2);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t k = zipf.Sample(&rng);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 50u);
+  }
+}
+
+TEST(ZipfTest, SingleRankAlwaysSampled) {
+  ZipfDistribution zipf(1, 1.0);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(&rng), 1u);
+}
+
+// Empirical frequencies must match the analytic probabilities.
+class ZipfFrequencyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfFrequencyTest, EmpiricalMatchesAnalytic) {
+  const double s = GetParam();
+  const uint64_t n = 200;
+  ZipfDistribution zipf(n, s);
+  Rng rng(7);
+  const int samples = 200000;
+  std::vector<int> counts(n + 1, 0);
+  for (int i = 0; i < samples; ++i) ++counts[zipf.Sample(&rng)];
+  // Check the head ranks where counts are large enough for tight bounds.
+  for (uint64_t k = 1; k <= 10; ++k) {
+    double expected = zipf.Probability(k);
+    double observed = static_cast<double>(counts[k]) / samples;
+    EXPECT_NEAR(observed, expected, 5e-3 + expected * 0.05)
+        << "s=" << s << " rank=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfFrequencyTest,
+                         ::testing::Values(0.8, 1.0, 1.2, 1.5, 2.0));
+
+TEST(ZipfTest, HigherSkewConcentratesMassOnHead) {
+  Rng rng(9);
+  ZipfDistribution flat(1000, 0.8), steep(1000, 1.6);
+  int flat_head = 0, steep_head = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (flat.Sample(&rng) <= 10) ++flat_head;
+    if (steep.Sample(&rng) <= 10) ++steep_head;
+  }
+  EXPECT_GT(steep_head, flat_head);
+}
+
+TEST(ZipfTest, DeterministicGivenSeed) {
+  ZipfDistribution zipf(500, 1.1);
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(&a), zipf.Sample(&b));
+}
+
+}  // namespace
+}  // namespace zr

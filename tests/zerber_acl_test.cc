@@ -1,0 +1,79 @@
+#include "zerber/acl.h"
+
+#include <gtest/gtest.h>
+
+namespace zr::zerber {
+namespace {
+
+TEST(AclTest, AddGroupOnce) {
+  AccessControl acl;
+  EXPECT_TRUE(acl.AddGroup(1).ok());
+  EXPECT_TRUE(acl.AddGroup(1).IsAlreadyExists());
+  EXPECT_TRUE(acl.HasGroup(1));
+  EXPECT_FALSE(acl.HasGroup(2));
+  EXPECT_EQ(acl.NumGroups(), 1u);
+}
+
+TEST(AclTest, MembershipLifecycle) {
+  AccessControl acl;
+  ASSERT_TRUE(acl.AddGroup(1).ok());
+  EXPECT_FALSE(acl.IsMember(10, 1));
+  EXPECT_TRUE(acl.GrantMembership(10, 1).ok());
+  EXPECT_TRUE(acl.IsMember(10, 1));
+  EXPECT_TRUE(acl.CheckAccess(10, 1).ok());
+  EXPECT_TRUE(acl.RevokeMembership(10, 1).ok());
+  EXPECT_FALSE(acl.IsMember(10, 1));
+  EXPECT_TRUE(acl.CheckAccess(10, 1).IsPermissionDenied());
+}
+
+TEST(AclTest, GrantToUnknownGroupFails) {
+  AccessControl acl;
+  EXPECT_TRUE(acl.GrantMembership(10, 5).IsNotFound());
+}
+
+TEST(AclTest, RevokeNonMemberFails) {
+  AccessControl acl;
+  ASSERT_TRUE(acl.AddGroup(1).ok());
+  EXPECT_TRUE(acl.RevokeMembership(10, 1).IsNotFound());
+}
+
+TEST(AclTest, CheckAccessDistinguishesUnknownGroupFromNonMember) {
+  AccessControl acl;
+  ASSERT_TRUE(acl.AddGroup(1).ok());
+  EXPECT_TRUE(acl.CheckAccess(10, 99).IsNotFound());
+  EXPECT_TRUE(acl.CheckAccess(10, 1).IsPermissionDenied());
+}
+
+TEST(AclTest, GroupsOfListsAllMemberships) {
+  AccessControl acl;
+  for (crypto::GroupId g : {1u, 2u, 3u, 4u}) ASSERT_TRUE(acl.AddGroup(g).ok());
+  ASSERT_TRUE(acl.GrantMembership(10, 1).ok());
+  ASSERT_TRUE(acl.GrantMembership(10, 3).ok());
+  ASSERT_TRUE(acl.GrantMembership(11, 2).ok());
+  EXPECT_EQ(acl.GroupsOf(10), (std::vector<crypto::GroupId>{1, 3}));
+  EXPECT_EQ(acl.GroupsOf(11), (std::vector<crypto::GroupId>{2}));
+  EXPECT_TRUE(acl.GroupsOf(12).empty());
+}
+
+TEST(AclTest, MultipleUsersPerGroup) {
+  AccessControl acl;
+  ASSERT_TRUE(acl.AddGroup(1).ok());
+  ASSERT_TRUE(acl.GrantMembership(10, 1).ok());
+  ASSERT_TRUE(acl.GrantMembership(11, 1).ok());
+  EXPECT_TRUE(acl.IsMember(10, 1));
+  EXPECT_TRUE(acl.IsMember(11, 1));
+  ASSERT_TRUE(acl.RevokeMembership(10, 1).ok());
+  EXPECT_FALSE(acl.IsMember(10, 1));
+  EXPECT_TRUE(acl.IsMember(11, 1));  // unaffected
+}
+
+TEST(AclTest, DoubleGrantIsIdempotent) {
+  AccessControl acl;
+  ASSERT_TRUE(acl.AddGroup(1).ok());
+  EXPECT_TRUE(acl.GrantMembership(10, 1).ok());
+  EXPECT_TRUE(acl.GrantMembership(10, 1).ok());
+  EXPECT_TRUE(acl.IsMember(10, 1));
+}
+
+}  // namespace
+}  // namespace zr::zerber

@@ -1,0 +1,122 @@
+#include "zerber/zerber_client.h"
+
+#include <gtest/gtest.h>
+
+#include "index/inverted_index.h"
+#include "synth/corpus_generator.h"
+#include "zerber/merge_planner.h"
+
+namespace zr::zerber {
+namespace {
+
+// Full plain-Zerber deployment over a small synthetic corpus.
+class ZerberClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    synth::CorpusGeneratorOptions o;
+    o.num_documents = 120;
+    o.vocabulary_size = 800;
+    o.num_groups = 2;
+    o.seed = 31;
+    auto corpus = synth::GenerateCorpus(o);
+    ASSERT_TRUE(corpus.ok());
+    corpus_ = std::make_unique<text::Corpus>(std::move(corpus).value());
+
+    auto plan = PlanBfmMerge(*corpus_, 16.0);
+    ASSERT_TRUE(plan.ok());
+    plan_ = std::make_unique<MergePlan>(std::move(plan).value());
+
+    keys_ = std::make_unique<crypto::KeyStore>("client-test");
+    ASSERT_TRUE(keys_->CreateGroup(0).ok());
+    ASSERT_TRUE(keys_->CreateGroup(1).ok());
+
+    server_ = std::make_unique<IndexServer>(
+        plan_->NumLists(), Placement::kRandomPlacement, 41);
+    ASSERT_TRUE(server_->acl().AddGroup(0).ok());
+    ASSERT_TRUE(server_->acl().AddGroup(1).ok());
+    ASSERT_TRUE(server_->acl().GrantMembership(kUser, 0).ok());
+    ASSERT_TRUE(server_->acl().GrantMembership(kUser, 1).ok());
+
+    client_ = std::make_unique<ZerberClient>(kUser, keys_.get(), plan_.get(),
+                                             server_.get(),
+                                             &corpus_->vocabulary());
+    for (const auto& doc : corpus_->documents()) {
+      ASSERT_TRUE(client_->IndexDocument(doc).ok());
+    }
+  }
+
+  static constexpr UserId kUser = 1;
+  std::unique_ptr<text::Corpus> corpus_;
+  std::unique_ptr<MergePlan> plan_;
+  std::unique_ptr<crypto::KeyStore> keys_;
+  std::unique_ptr<IndexServer> server_;
+  std::unique_ptr<ZerberClient> client_;
+};
+
+TEST_F(ZerberClientTest, IndexUploadsOneElementPerDistinctTerm) {
+  EXPECT_EQ(server_->TotalElements(), corpus_->TotalPostings());
+}
+
+TEST_F(ZerberClientTest, TopKMatchesPlaintextBaseline) {
+  index::InvertedIndex baseline = index::InvertedIndex::Build(
+      *corpus_, index::ScoringModel::kNormalizedTf);
+  // Query a spread of terms: frequent, medium, rare.
+  int checked = 0;
+  for (text::TermId term : corpus_->vocabulary().AllTermIds()) {
+    if (corpus_->DocumentFrequency(term) == 0) continue;
+    if (term % 37 != 0) continue;  // sample for test speed
+    auto expected = baseline.TopK(term, 5);
+    auto got = client_->QueryTopK(term, 5);
+    ASSERT_TRUE(got.ok()) << got.status();
+    ASSERT_EQ(got->results.size(), expected.size()) << "term " << term;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_DOUBLE_EQ(got->results[i].score, expected[i].score)
+          << "term " << term << " rank " << i;
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 3);
+}
+
+TEST_F(ZerberClientTest, PlainZerberDownloadsWholeList) {
+  // The cost Zerber+R eliminates: one request, but the entire merged list.
+  text::TermId term = corpus_->vocabulary().AllTermIds()[0];
+  auto list_id = client_->ListOf(term);
+  ASSERT_TRUE(list_id.ok());
+  auto list = server_->GetList(*list_id);
+  ASSERT_TRUE(list.ok());
+  auto result = client_->QueryTopK(term, 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->requests, 1u);
+  EXPECT_EQ(result->elements_fetched, (*list)->size());
+  EXPECT_GT(result->elements_fetched, 5u);  // far more than k
+}
+
+TEST_F(ZerberClientTest, QueryForUnseenTermYieldsNoResults) {
+  text::TermId bogus = corpus_->vocabulary().GetOrAdd("never-indexed-term");
+  auto result = client_->QueryTopK(bogus, 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->results.empty());
+}
+
+TEST_F(ZerberClientTest, ResultsRankedByScoreDescending) {
+  for (text::TermId term : {corpus_->vocabulary().AllTermIds()[0],
+                            corpus_->vocabulary().AllTermIds()[5]}) {
+    auto result = client_->QueryTopK(term, 10);
+    ASSERT_TRUE(result.ok());
+    for (size_t i = 1; i < result->results.size(); ++i) {
+      EXPECT_GE(result->results[i - 1].score, result->results[i].score);
+    }
+  }
+}
+
+TEST_F(ZerberClientTest, UserWithoutGroupKeysSeesNothingUseful) {
+  // A server-side member of no groups gets zero elements.
+  auto result = server_->Fetch(/*user=*/999, 0, 0, 100);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->elements.empty());
+  EXPECT_TRUE(result->exhausted);
+}
+
+}  // namespace
+}  // namespace zr::zerber

@@ -1,0 +1,79 @@
+#include "zerber/confidentiality.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace zr::zerber {
+namespace {
+
+// postings: a:2, b:1, c:1 -> p_a = 0.5, p_b = p_c = 0.25.
+text::Corpus MakeCorpus() {
+  text::Corpus corpus;
+  corpus.AddDocumentTokens({"a", "b"}, 1);
+  corpus.AddDocumentTokens({"a", "c"}, 1);
+  return corpus;
+}
+
+TEST(ConfidentialityTest, TermProbabilitySumAddsUp) {
+  text::Corpus corpus = MakeCorpus();
+  text::TermId a = corpus.vocabulary().Lookup("a");
+  text::TermId b = corpus.vocabulary().Lookup("b");
+  text::TermId c = corpus.vocabulary().Lookup("c");
+  EXPECT_DOUBLE_EQ(TermProbabilitySum(corpus, {a}), 0.5);
+  EXPECT_DOUBLE_EQ(TermProbabilitySum(corpus, {b, c}), 0.5);
+  EXPECT_DOUBLE_EQ(TermProbabilitySum(corpus, {a, b, c}), 1.0);
+  EXPECT_DOUBLE_EQ(TermProbabilitySum(corpus, {}), 0.0);
+}
+
+TEST(ConfidentialityTest, MaxAmplificationIsInverseSum) {
+  text::Corpus corpus = MakeCorpus();
+  text::TermId a = corpus.vocabulary().Lookup("a");
+  text::TermId b = corpus.vocabulary().Lookup("b");
+  EXPECT_DOUBLE_EQ(MaxAmplification(corpus, {a}), 2.0);
+  EXPECT_DOUBLE_EQ(MaxAmplification(corpus, {b}), 4.0);
+  EXPECT_DOUBLE_EQ(MaxAmplification(corpus, {a, b}), 1.0 / 0.75);
+}
+
+TEST(ConfidentialityTest, EmptyListHasInfiniteAmplification) {
+  text::Corpus corpus = MakeCorpus();
+  EXPECT_TRUE(std::isinf(MaxAmplification(corpus, {})));
+}
+
+TEST(ConfidentialityTest, Definition2Check) {
+  text::Corpus corpus = MakeCorpus();
+  text::TermId a = corpus.vocabulary().Lookup("a");
+  text::TermId b = corpus.vocabulary().Lookup("b");
+  // {b}: sum p = 0.25. r-confidential iff 0.25 >= 1/r, i.e. r >= 4.
+  EXPECT_TRUE(IsListRConfidential(corpus, {b}, 4.0));
+  EXPECT_TRUE(IsListRConfidential(corpus, {b}, 10.0));
+  EXPECT_FALSE(IsListRConfidential(corpus, {b}, 3.9));
+  // {a,b}: sum p = 0.75 >= 1/r for r >= 4/3.
+  EXPECT_TRUE(IsListRConfidential(corpus, {a, b}, 1.34));
+  EXPECT_FALSE(IsListRConfidential(corpus, {a, b}, 1.32));
+}
+
+TEST(ConfidentialityTest, NonPositiveRNeverConfidential) {
+  text::Corpus corpus = MakeCorpus();
+  text::TermId a = corpus.vocabulary().Lookup("a");
+  EXPECT_FALSE(IsListRConfidential(corpus, {a}, 0.0));
+  EXPECT_FALSE(IsListRConfidential(corpus, {a}, -1.0));
+}
+
+TEST(ConfidentialityTest, AmplificationBoundMatchesDefinition1) {
+  // Posterior/prior for any term in a merged list S equals
+  // 1 / sum_{t in S} p_t: verify the identity numerically.
+  text::Corpus corpus = MakeCorpus();
+  text::TermId a = corpus.vocabulary().Lookup("a");
+  text::TermId b = corpus.vocabulary().Lookup("b");
+  double sum = TermProbabilitySum(corpus, {a, b});
+  // P(element is about t | element in S) = p_t / sum; prior = p_t.
+  for (text::TermId t : {a, b}) {
+    double prior = corpus.TermProbability(t);
+    double posterior = prior / sum;
+    EXPECT_NEAR(posterior / prior, MaxAmplification(corpus, {a, b}), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace zr::zerber

@@ -1,0 +1,104 @@
+#include "zerber/document_store.h"
+
+#include <gtest/gtest.h>
+
+namespace zr::zerber {
+namespace {
+
+class DocumentStoreTest : public ::testing::Test {
+ protected:
+  DocumentStoreTest() : keys_("snippet-test"), store_(&acl_) {
+    EXPECT_TRUE(keys_.CreateGroup(1).ok());
+    EXPECT_TRUE(keys_.CreateGroup(2).ok());
+    EXPECT_TRUE(acl_.AddGroup(1).ok());
+    EXPECT_TRUE(acl_.AddGroup(2).ok());
+    EXPECT_TRUE(acl_.GrantMembership(kAlice, 1).ok());
+    EXPECT_TRUE(acl_.GrantMembership(kAlice, 2).ok());
+    EXPECT_TRUE(acl_.GrantMembership(kBob, 1).ok());
+  }
+
+  static constexpr UserId kAlice = 1, kBob = 2;
+  crypto::KeyStore keys_;
+  AccessControl acl_;
+  DocumentStore store_;
+};
+
+TEST_F(DocumentStoreTest, SealOpenRoundTrip) {
+  auto sealed = SealSnippet("Project Alpha milestone report ...", 1, &keys_);
+  ASSERT_TRUE(sealed.ok());
+  auto opened = OpenSnippet(*sealed, keys_);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, "Project Alpha milestone report ...");
+}
+
+TEST_F(DocumentStoreTest, PutGetRemoveLifecycle) {
+  auto sealed = SealSnippet("snippet body", 1, &keys_);
+  ASSERT_TRUE(sealed.ok());
+  ASSERT_TRUE(store_.Put(kAlice, 7, *sealed).ok());
+  EXPECT_EQ(store_.size(), 1u);
+
+  auto got = store_.Get(kAlice, 7);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->group, 1u);
+
+  ASSERT_TRUE(store_.Remove(kAlice, 7).ok());
+  EXPECT_EQ(store_.size(), 0u);
+  EXPECT_TRUE(store_.Get(kAlice, 7).status().IsNotFound());
+}
+
+TEST_F(DocumentStoreTest, AclEnforcedOnAllOperations) {
+  auto group2 = SealSnippet("confidential beta notes", 2, &keys_);
+  ASSERT_TRUE(group2.ok());
+  // Bob is not in group 2.
+  EXPECT_TRUE(store_.Put(kBob, 9, *group2).IsPermissionDenied());
+  ASSERT_TRUE(store_.Put(kAlice, 9, *group2).ok());
+  EXPECT_TRUE(store_.Get(kBob, 9).status().IsPermissionDenied());
+  EXPECT_TRUE(store_.Remove(kBob, 9).IsPermissionDenied());
+  EXPECT_TRUE(store_.Get(kAlice, 9).ok());
+}
+
+TEST_F(DocumentStoreTest, MissingSnippetIsNotFound) {
+  EXPECT_TRUE(store_.Get(kAlice, 42).status().IsNotFound());
+  EXPECT_TRUE(store_.Remove(kAlice, 42).IsNotFound());
+}
+
+TEST_F(DocumentStoreTest, PutReplacesExisting) {
+  auto v1 = SealSnippet("version 1", 1, &keys_);
+  auto v2 = SealSnippet("version 2", 1, &keys_);
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  ASSERT_TRUE(store_.Put(kAlice, 3, *v1).ok());
+  ASSERT_TRUE(store_.Put(kAlice, 3, *v2).ok());
+  EXPECT_EQ(store_.size(), 1u);
+  auto got = store_.Get(kAlice, 3);
+  ASSERT_TRUE(got.ok());
+  auto opened = OpenSnippet(**got, keys_);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, "version 2");
+}
+
+TEST_F(DocumentStoreTest, TamperedSnippetRejectedOnOpen) {
+  auto sealed = SealSnippet("original", 1, &keys_);
+  ASSERT_TRUE(sealed.ok());
+  sealed->sealed[4] ^= 0x20;
+  EXPECT_TRUE(OpenSnippet(*sealed, keys_).status().IsCorruption());
+}
+
+TEST_F(DocumentStoreTest, ForeignKeysCannotOpen) {
+  auto sealed = SealSnippet("secret", 2, &keys_);
+  ASSERT_TRUE(sealed.ok());
+  crypto::KeyStore other("other");
+  ASSERT_TRUE(other.CreateGroup(1).ok());  // has group 1 keys only
+  EXPECT_TRUE(OpenSnippet(*sealed, other).status().IsPermissionDenied());
+}
+
+TEST_F(DocumentStoreTest, WireSizeAccounting) {
+  auto sealed = SealSnippet(std::string(234, 'x'), 1, &keys_);  // ~250 B model
+  ASSERT_TRUE(sealed.ok());
+  ASSERT_TRUE(store_.Put(kAlice, 1, *sealed).ok());
+  EXPECT_EQ(store_.TotalWireSize(), sealed->WireSize());
+  // Paper's snippet model: ~250 B per snippet including envelope.
+  EXPECT_NEAR(static_cast<double>(sealed->WireSize()), 250.0, 10.0);
+}
+
+}  // namespace
+}  // namespace zr::zerber

@@ -1,0 +1,183 @@
+#include "zerber/zerber_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace zr::zerber {
+namespace {
+
+class IndexServerTest : public ::testing::Test {
+ protected:
+  IndexServerTest() : keys_("server-test") {
+    EXPECT_TRUE(keys_.CreateGroup(1).ok());
+    EXPECT_TRUE(keys_.CreateGroup(2).ok());
+  }
+
+  EncryptedPostingElement MakeElement(crypto::GroupId group, double trs,
+                                      text::TermId term = 1,
+                                      text::DocId doc = 1) {
+    auto e = SealPostingElement(PostingPayload{term, doc, 0.5}, group, trs,
+                                &keys_);
+    EXPECT_TRUE(e.ok());
+    return std::move(e).value();
+  }
+
+  IndexServer MakeServer(Placement placement = Placement::kTrsSorted) {
+    IndexServer server(4, placement, 77);
+    EXPECT_TRUE(server.acl().AddGroup(1).ok());
+    EXPECT_TRUE(server.acl().AddGroup(2).ok());
+    EXPECT_TRUE(server.acl().GrantMembership(kAlice, 1).ok());
+    EXPECT_TRUE(server.acl().GrantMembership(kAlice, 2).ok());
+    EXPECT_TRUE(server.acl().GrantMembership(kBob, 1).ok());
+    return server;
+  }
+
+  static constexpr UserId kAlice = 10;
+  static constexpr UserId kBob = 20;
+  crypto::KeyStore keys_;
+};
+
+TEST_F(IndexServerTest, InsertRequiresGroupMembership) {
+  IndexServer server = MakeServer();
+  EXPECT_TRUE(server.Insert(kBob, 0, MakeElement(1, 0.5)).ok());
+  EXPECT_TRUE(
+      server.Insert(kBob, 0, MakeElement(2, 0.5)).status().IsPermissionDenied());
+  EXPECT_EQ(server.TotalElements(), 1u);
+}
+
+TEST_F(IndexServerTest, InsertRejectsInvalidList) {
+  IndexServer server = MakeServer();
+  EXPECT_TRUE(server.Insert(kAlice, 99, MakeElement(1, 0.5)).status().IsOutOfRange());
+}
+
+TEST_F(IndexServerTest, SortedPlacementKeepsTrsDescending) {
+  IndexServer server = MakeServer(Placement::kTrsSorted);
+  for (double trs : {0.3, 0.9, 0.1, 0.7, 0.5}) {
+    ASSERT_TRUE(server.Insert(kAlice, 0, MakeElement(1, trs)).ok());
+  }
+  auto list = server.GetList(0);
+  ASSERT_TRUE(list.ok());
+  const auto& elements = (*list)->elements();
+  ASSERT_EQ(elements.size(), 5u);
+  for (size_t i = 1; i < elements.size(); ++i) {
+    EXPECT_GE(elements[i - 1].trs, elements[i].trs);
+  }
+}
+
+TEST_F(IndexServerTest, FetchReturnsRequestedWindow) {
+  IndexServer server = MakeServer();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        server.Insert(kAlice, 0, MakeElement(1, 1.0 - 0.05 * i)).ok());
+  }
+  auto fetched = server.Fetch(kAlice, 0, 2, 3);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->elements.size(), 3u);
+  EXPECT_FALSE(fetched->exhausted);
+  EXPECT_GT(fetched->wire_bytes, 0u);
+  // Window [2,5): TRS 0.90, 0.85, 0.80.
+  EXPECT_NEAR(fetched->elements[0].trs, 0.90, 1e-12);
+  EXPECT_NEAR(fetched->elements[2].trs, 0.80, 1e-12);
+}
+
+TEST_F(IndexServerTest, FetchClampsAtEndAndReportsExhausted) {
+  IndexServer server = MakeServer();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(server.Insert(kAlice, 0, MakeElement(1, 0.5)).ok());
+  }
+  auto fetched = server.Fetch(kAlice, 0, 3, 100);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->elements.size(), 2u);
+  EXPECT_TRUE(fetched->exhausted);
+
+  auto beyond = server.Fetch(kAlice, 0, 50, 10);
+  ASSERT_TRUE(beyond.ok());
+  EXPECT_TRUE(beyond->elements.empty());
+  EXPECT_TRUE(beyond->exhausted);
+}
+
+TEST_F(IndexServerTest, FetchFiltersInaccessibleGroups) {
+  IndexServer server = MakeServer();
+  // Interleave group-1 and group-2 elements.
+  for (int i = 0; i < 6; ++i) {
+    crypto::GroupId g = (i % 2 == 0) ? 1 : 2;
+    ASSERT_TRUE(
+        server.Insert(kAlice, 0, MakeElement(g, 1.0 - 0.1 * i)).ok());
+  }
+  // Bob is only in group 1: sees 3 elements, positions unaffected by
+  // group-2 entries.
+  auto fetched = server.Fetch(kBob, 0, 0, 10);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->elements.size(), 3u);
+  for (const auto& e : fetched->elements) EXPECT_EQ(e.group, 1u);
+  EXPECT_TRUE(fetched->exhausted);
+
+  // Offset addresses Bob's accessible subsequence.
+  auto offset_fetch = server.Fetch(kBob, 0, 1, 1);
+  ASSERT_TRUE(offset_fetch.ok());
+  ASSERT_EQ(offset_fetch->elements.size(), 1u);
+  EXPECT_NEAR(offset_fetch->elements[0].trs, 0.8, 1e-12);
+  EXPECT_FALSE(offset_fetch->exhausted);  // one more group-1 element remains
+}
+
+TEST_F(IndexServerTest, ExhaustedConsidersOnlyAccessibleRemainder) {
+  IndexServer server = MakeServer();
+  // Bob-accessible element first, then only group-2 elements.
+  ASSERT_TRUE(server.Insert(kAlice, 0, MakeElement(1, 0.9)).ok());
+  ASSERT_TRUE(server.Insert(kAlice, 0, MakeElement(2, 0.5)).ok());
+  ASSERT_TRUE(server.Insert(kAlice, 0, MakeElement(2, 0.4)).ok());
+  auto fetched = server.Fetch(kBob, 0, 0, 1);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->elements.size(), 1u);
+  // Nothing else Bob can see: exhausted despite 2 remaining elements.
+  EXPECT_TRUE(fetched->exhausted);
+}
+
+TEST_F(IndexServerTest, FetchRejectsInvalidList) {
+  IndexServer server = MakeServer();
+  EXPECT_TRUE(server.Fetch(kAlice, 42, 0, 1).status().IsOutOfRange());
+}
+
+TEST_F(IndexServerTest, RandomPlacementScattersElements) {
+  IndexServer server = MakeServer(Placement::kRandomPlacement);
+  // Insert with strictly increasing TRS; random placement must not keep
+  // them sorted (probability of staying sorted is ~1/20!).
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(server.Insert(kAlice, 0, MakeElement(1, 0.05 * i)).ok());
+  }
+  auto list = server.GetList(0);
+  ASSERT_TRUE(list.ok());
+  const auto& elements = (*list)->elements();
+  bool sorted_asc = std::is_sorted(
+      elements.begin(), elements.end(),
+      [](const auto& a, const auto& b) { return a.trs < b.trs; });
+  bool sorted_desc = std::is_sorted(
+      elements.begin(), elements.end(),
+      [](const auto& a, const auto& b) { return a.trs > b.trs; });
+  EXPECT_FALSE(sorted_asc || sorted_desc);
+}
+
+TEST_F(IndexServerTest, StatsAccumulate) {
+  IndexServer server = MakeServer();
+  ASSERT_TRUE(server.Insert(kAlice, 0, MakeElement(1, 0.5)).ok());
+  ASSERT_TRUE(server.Fetch(kAlice, 0, 0, 10).ok());
+  EXPECT_EQ(server.stats().insert_requests, 1u);
+  EXPECT_EQ(server.stats().fetch_requests, 1u);
+  EXPECT_EQ(server.stats().elements_served, 1u);
+  EXPECT_GT(server.stats().bytes_served, 0u);
+  server.ResetStats();
+  EXPECT_EQ(server.stats().fetch_requests, 0u);
+}
+
+TEST_F(IndexServerTest, TotalWireSizeSumsLists) {
+  IndexServer server = MakeServer();
+  EXPECT_EQ(server.TotalWireSize(), 0u);
+  ASSERT_TRUE(server.Insert(kAlice, 0, MakeElement(1, 0.5)).ok());
+  ASSERT_TRUE(server.Insert(kAlice, 1, MakeElement(2, 0.5)).ok());
+  EXPECT_GT(server.TotalWireSize(), 0u);
+  EXPECT_EQ(server.TotalElements(), 2u);
+}
+
+}  // namespace
+}  // namespace zr::zerber

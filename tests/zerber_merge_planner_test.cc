@@ -1,0 +1,162 @@
+#include "zerber/merge_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "synth/corpus_generator.h"
+#include "zerber/confidentiality.h"
+
+namespace zr::zerber {
+namespace {
+
+text::Corpus SyntheticCorpus(uint32_t docs = 400, uint64_t seed = 23) {
+  synth::CorpusGeneratorOptions o;
+  o.num_documents = docs;
+  o.vocabulary_size = 4000;
+  o.seed = seed;
+  auto corpus = synth::GenerateCorpus(o);
+  EXPECT_TRUE(corpus.ok());
+  return std::move(corpus).value();
+}
+
+TEST(MergePlannerTest, BfmPlanValidates) {
+  text::Corpus corpus = SyntheticCorpus();
+  auto plan = PlanBfmMerge(corpus, 64.0);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(ValidateMergePlan(corpus, *plan, 64.0).ok());
+  EXPECT_EQ(plan->strategy, "bfm");
+}
+
+TEST(MergePlannerTest, EveryIndexedTermAssignedExactlyOnce) {
+  text::Corpus corpus = SyntheticCorpus();
+  auto plan = PlanBfmMerge(corpus, 64.0);
+  ASSERT_TRUE(plan.ok());
+  std::set<text::TermId> seen;
+  size_t total = 0;
+  for (const auto& list : plan->lists) {
+    for (text::TermId t : list) {
+      EXPECT_TRUE(seen.insert(t).second) << "term in two lists";
+      ++total;
+    }
+  }
+  size_t indexed = 0;
+  for (text::TermId t : corpus.vocabulary().AllTermIds()) {
+    if (corpus.DocumentFrequency(t) > 0) ++indexed;
+  }
+  EXPECT_EQ(total, indexed);
+}
+
+TEST(MergePlannerTest, NumListsBoundedByR) {
+  // Each list has sum p >= 1/r and probabilities sum to 1, so <= r lists.
+  text::Corpus corpus = SyntheticCorpus();
+  for (double r : {8.0, 32.0, 128.0}) {
+    auto plan = PlanBfmMerge(corpus, r);
+    ASSERT_TRUE(plan.ok());
+    EXPECT_LE(static_cast<double>(plan->NumLists()), r) << "r=" << r;
+    EXPECT_GE(plan->NumLists(), 1u);
+  }
+}
+
+TEST(MergePlannerTest, LargerRGivesMoreLists) {
+  text::Corpus corpus = SyntheticCorpus();
+  auto small = PlanBfmMerge(corpus, 8.0);
+  auto large = PlanBfmMerge(corpus, 256.0);
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_LT(small->NumLists(), large->NumLists());
+}
+
+TEST(MergePlannerTest, BfmGroupsSimilarFrequencies) {
+  // BFM property (Section 5.2): within a list, document frequencies are
+  // consecutive ranks, so the max/min df ratio per list is far smaller than
+  // the corpus-wide ratio.
+  text::Corpus corpus = SyntheticCorpus();
+  auto plan = PlanBfmMerge(corpus, 64.0);
+  ASSERT_TRUE(plan.ok());
+
+  uint64_t global_max = 0, global_min = UINT64_MAX;
+  for (text::TermId t : corpus.vocabulary().AllTermIds()) {
+    uint64_t df = corpus.DocumentFrequency(t);
+    if (df == 0) continue;
+    global_max = std::max(global_max, df);
+    global_min = std::min(global_min, df);
+  }
+  double global_ratio =
+      static_cast<double>(global_max) / static_cast<double>(global_min);
+
+  // Median per-list ratio must be much tighter than the corpus ratio.
+  std::vector<double> ratios;
+  for (const auto& list : plan->lists) {
+    uint64_t mx = 0, mn = UINT64_MAX;
+    for (text::TermId t : list) {
+      uint64_t df = corpus.DocumentFrequency(t);
+      mx = std::max(mx, df);
+      mn = std::min(mn, df);
+    }
+    ratios.push_back(static_cast<double>(mx) / static_cast<double>(mn));
+  }
+  std::sort(ratios.begin(), ratios.end());
+  double median_ratio = ratios[ratios.size() / 2];
+  EXPECT_LT(median_ratio, global_ratio / 4.0);
+}
+
+TEST(MergePlannerTest, RandomPlanAlsoValidatesButMixesFrequencies) {
+  text::Corpus corpus = SyntheticCorpus();
+  auto plan = PlanRandomMerge(corpus, 64.0, 5);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(ValidateMergePlan(corpus, *plan, 64.0).ok());
+  EXPECT_EQ(plan->strategy, "random");
+}
+
+TEST(MergePlannerTest, ListOfFallsBackDeterministically) {
+  text::Corpus corpus = SyntheticCorpus();
+  auto plan = PlanBfmMerge(corpus, 64.0);
+  ASSERT_TRUE(plan.ok());
+  // Unknown term id: assignment derived from the pseudonym, stable.
+  text::TermId unknown = 10'000'000;
+  MergedListId l1 = plan->ListOf(unknown, 1234567);
+  MergedListId l2 = plan->ListOf(unknown, 1234567);
+  EXPECT_EQ(l1, l2);
+  EXPECT_LT(l1, plan->NumLists());
+}
+
+TEST(MergePlannerTest, RejectsBadParameters) {
+  text::Corpus corpus = SyntheticCorpus();
+  EXPECT_TRUE(PlanBfmMerge(corpus, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(PlanBfmMerge(corpus, -2.0).status().IsInvalidArgument());
+  text::Corpus empty;
+  EXPECT_TRUE(PlanBfmMerge(empty, 8.0).status().IsFailedPrecondition());
+}
+
+TEST(MergePlannerTest, TinyRMergesEverythingIntoOneList) {
+  text::Corpus corpus;
+  corpus.AddDocumentTokens({"a", "b", "c"}, 1);
+  auto plan = PlanBfmMerge(corpus, 1.0);  // 1/r = 1: all mass needed
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->NumLists(), 1u);
+  EXPECT_EQ(plan->lists[0].size(), 3u);
+}
+
+// Property sweep: Definition 2 holds for every list across r values and
+// corpus seeds.
+class MergePlanPropertyTest
+    : public ::testing::TestWithParam<std::tuple<double, uint64_t>> {};
+
+TEST_P(MergePlanPropertyTest, AllListsRConfidential) {
+  auto [r, seed] = GetParam();
+  text::Corpus corpus = SyntheticCorpus(300, seed);
+  auto plan = PlanBfmMerge(corpus, r);
+  ASSERT_TRUE(plan.ok());
+  for (const auto& list : plan->lists) {
+    EXPECT_TRUE(IsListRConfidential(corpus, list, r));
+    EXPECT_LE(MaxAmplification(corpus, list), r + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MergePlanPropertyTest,
+    ::testing::Combine(::testing::Values(4.0, 16.0, 64.0, 256.0, 1024.0),
+                       ::testing::Values(1u, 2u, 3u)));
+
+}  // namespace
+}  // namespace zr::zerber

@@ -1,0 +1,149 @@
+#include "zerber/persistence.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace zr::zerber {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  PersistenceTest() : keys_("persist-test") {
+    EXPECT_TRUE(keys_.CreateGroup(1).ok());
+    EXPECT_TRUE(keys_.CreateGroup(2).ok());
+  }
+
+  // A populated server: 3 lists, 2 groups, 2 users, mixed elements.
+  std::unique_ptr<IndexServer> MakeServer() {
+    auto server =
+        std::make_unique<IndexServer>(3, Placement::kTrsSorted, 11);
+    EXPECT_TRUE(server->acl().AddGroup(1).ok());
+    EXPECT_TRUE(server->acl().AddGroup(2).ok());
+    EXPECT_TRUE(server->acl().GrantMembership(7, 1).ok());
+    EXPECT_TRUE(server->acl().GrantMembership(7, 2).ok());
+    EXPECT_TRUE(server->acl().GrantMembership(8, 2).ok());
+    for (int i = 0; i < 20; ++i) {
+      crypto::GroupId group = (i % 3 == 0) ? 2 : 1;
+      auto element = SealPostingElement(
+          PostingPayload{static_cast<text::TermId>(i % 5),
+                         static_cast<text::DocId>(i), 0.01 * i},
+          group, 0.05 * (i % 19), &keys_);
+      EXPECT_TRUE(element.ok());
+      EXPECT_TRUE(
+          server->Insert(7, static_cast<MergedListId>(i % 3), *element).ok());
+    }
+    return server;
+  }
+
+  std::string TempPath(const char* name) {
+    return (std::filesystem::temp_directory_path() / name).string();
+  }
+
+  crypto::KeyStore keys_;
+};
+
+TEST_F(PersistenceTest, SnapshotRoundTripPreservesEverything) {
+  auto server = MakeServer();
+  std::string snapshot = SerializeIndexSnapshot(*server);
+  auto restored = ParseIndexSnapshot(snapshot);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+
+  EXPECT_EQ((*restored)->NumLists(), server->NumLists());
+  EXPECT_EQ((*restored)->TotalElements(), server->TotalElements());
+  EXPECT_EQ((*restored)->TotalWireSize(), server->TotalWireSize());
+  EXPECT_EQ((*restored)->placement(), server->placement());
+
+  // Element-by-element, order preserved.
+  for (size_t l = 0; l < server->NumLists(); ++l) {
+    auto orig = server->GetList(static_cast<MergedListId>(l));
+    auto loaded = (*restored)->GetList(static_cast<MergedListId>(l));
+    ASSERT_TRUE(orig.ok() && loaded.ok());
+    ASSERT_EQ((*loaded)->size(), (*orig)->size());
+    for (size_t i = 0; i < (*orig)->size(); ++i) {
+      EXPECT_EQ((*loaded)->elements()[i].group, (*orig)->elements()[i].group);
+      EXPECT_DOUBLE_EQ((*loaded)->elements()[i].trs,
+                       (*orig)->elements()[i].trs);
+      EXPECT_EQ((*loaded)->elements()[i].sealed,
+                (*orig)->elements()[i].sealed);
+    }
+  }
+
+  // ACL state preserved.
+  EXPECT_TRUE((*restored)->acl().IsMember(7, 1));
+  EXPECT_TRUE((*restored)->acl().IsMember(7, 2));
+  EXPECT_TRUE((*restored)->acl().IsMember(8, 2));
+  EXPECT_FALSE((*restored)->acl().IsMember(8, 1));
+}
+
+TEST_F(PersistenceTest, RestoredServerAnswersFetches) {
+  auto server = MakeServer();
+  auto restored = ParseIndexSnapshot(SerializeIndexSnapshot(*server));
+  ASSERT_TRUE(restored.ok());
+  auto before = server->Fetch(7, 0, 0, 5);
+  auto after = (*restored)->Fetch(7, 0, 0, 5);
+  ASSERT_TRUE(before.ok() && after.ok());
+  ASSERT_EQ(after->elements.size(), before->elements.size());
+  for (size_t i = 0; i < before->elements.size(); ++i) {
+    EXPECT_EQ(after->elements[i].sealed, before->elements[i].sealed);
+  }
+}
+
+TEST_F(PersistenceTest, SaveAndLoadFile) {
+  auto server = MakeServer();
+  std::string path = TempPath("zr_persistence_test.idx");
+  ASSERT_TRUE(SaveIndex(*server, path).ok());
+  auto loaded = LoadIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->TotalElements(), server->TotalElements());
+  std::remove(path.c_str());
+}
+
+TEST_F(PersistenceTest, LoadMissingFileIsNotFound) {
+  EXPECT_TRUE(LoadIndex("/nonexistent/zr.idx").status().IsNotFound());
+}
+
+TEST_F(PersistenceTest, ChecksumDetectsEveryBitFlipInHeader) {
+  auto server = MakeServer();
+  std::string snapshot = SerializeIndexSnapshot(*server);
+  for (size_t byte : {size_t{0}, size_t{8}, snapshot.size() / 2}) {
+    std::string corrupted = snapshot;
+    corrupted[byte] = static_cast<char>(corrupted[byte] ^ 0x01);
+    EXPECT_TRUE(ParseIndexSnapshot(corrupted).status().IsCorruption())
+        << "byte " << byte;
+  }
+}
+
+TEST_F(PersistenceTest, TruncationDetected) {
+  auto server = MakeServer();
+  std::string snapshot = SerializeIndexSnapshot(*server);
+  for (size_t keep : {size_t{0}, size_t{10}, snapshot.size() - 1}) {
+    EXPECT_TRUE(
+        ParseIndexSnapshot(snapshot.substr(0, keep)).status().IsCorruption())
+        << "keep " << keep;
+  }
+}
+
+TEST_F(PersistenceTest, EmptyServerRoundTrips) {
+  IndexServer server(5, Placement::kRandomPlacement, 3);
+  auto restored = ParseIndexSnapshot(SerializeIndexSnapshot(server));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ((*restored)->NumLists(), 5u);
+  EXPECT_EQ((*restored)->TotalElements(), 0u);
+  EXPECT_EQ((*restored)->placement(), Placement::kRandomPlacement);
+}
+
+TEST_F(PersistenceTest, SealedElementsStillOpenAfterRestore) {
+  auto server = MakeServer();
+  auto restored = ParseIndexSnapshot(SerializeIndexSnapshot(*server));
+  ASSERT_TRUE(restored.ok());
+  auto list = (*restored)->GetList(0);
+  ASSERT_TRUE(list.ok());
+  ASSERT_GT((*list)->size(), 0u);
+  auto payload = OpenPostingElement((*list)->elements()[0], keys_);
+  EXPECT_TRUE(payload.ok()) << payload.status();
+}
+
+}  // namespace
+}  // namespace zr::zerber
