@@ -18,6 +18,8 @@
 #include "core/zerber_r_client.h"
 #include "net/bandwidth.h"
 #include "net/channel.h"
+#include "net/service.h"
+#include "net/transport.h"
 #include "synth/corpus_generator.h"
 #include "zerber/merge_planner.h"
 #include "zerber/zerber_client.h"
@@ -86,7 +88,10 @@ int main() {
   auto assigner = core::TrainTrsAssigner(corpus, training, trainer, &keys);
   if (!assigner.ok()) return 1;
 
-  // --- server with per-user ACLs.
+  // --- server with per-user ACLs, exposed through the typed service API.
+  // All client traffic crosses a LoopbackTransport: every request/response
+  // is serialized through the wire format, and the byte counts John's GPRS
+  // session sees below are those of the real messages.
   zerber::IndexServer server(plan->NumLists(),
                              zerber::Placement::kTrsSorted, 31);
   const zerber::UserId kJohn = 1, kDana = 2;
@@ -96,9 +101,13 @@ int main() {
   (void)server.acl().GrantMembership(kJohn, kProjectB);
   (void)server.acl().GrantMembership(kDana, kProjectB);
 
-  core::ZerberRClient john(kJohn, &keys, &*plan, &server,
+  net::IndexService service(&server);
+  net::SimChannel gprs(net::kModem56k, net::kModem56k);
+  net::LoopbackTransport transport(&service, &gprs);
+
+  core::ZerberRClient john(kJohn, &keys, &*plan, &transport,
                            &corpus.vocabulary(), &*assigner);
-  core::ZerberRClient dana(kDana, &keys, &*plan, &server,
+  core::ZerberRClient dana(kDana, &keys, &*plan, &transport,
                            &corpus.vocabulary(), &*assigner);
 
   // John (member of both groups) indexes everything.
@@ -113,11 +122,15 @@ int main() {
               static_cast<unsigned long long>(server.TotalElements()),
               server.NumLists());
 
-  // --- queries: "controller" is a Project-Alpha term.
+  // --- queries: "controller" is a Project-Alpha term. Reset the channel so
+  // the GPRS session below covers only John's query traffic.
+  gprs.Reset();
   text::TermId controller = corpus.vocabulary().Lookup("controller");
   auto johns = john.QueryTopK(controller, 2);
+  if (!johns.ok()) return 1;
+  double john_gprs_seconds = gprs.TotalTransferSeconds();
   auto danas = dana.QueryTopK(controller, 2);
-  if (!johns.ok() || !danas.ok()) return 1;
+  if (!danas.ok()) return 1;
 
   std::printf("query 'controller' top-2 (Project Alpha content):\n");
   std::printf("  John (Alpha+Beta): %zu results\n", johns->results.size());
@@ -128,17 +141,16 @@ int main() {
               "documents server-side\n\n",
               danas->results.size());
 
-  // --- bandwidth: John's PDA on GPRS (Section 2 / 6.6).
-  net::SimChannel gprs(net::kModem56k, net::kModem56k);
-  gprs.RecordRequest(16);  // query request
-  gprs.RecordResponse(johns->trace.bytes_fetched);
+  // --- bandwidth: John's PDA on GPRS (Section 2 / 6.6). The channel was
+  // fed by the loopback transport with the serialized size of every message
+  // of John's query.
   std::printf("John's GPRS session for this query: %llu bytes down, "
               "%.2f s on the 56 kb/s link\n",
               static_cast<unsigned long long>(johns->trace.bytes_fetched),
-              gprs.TotalTransferSeconds());
+              john_gprs_seconds);
 
   // --- what plain Zerber would have cost: the whole merged list.
-  zerber::ZerberClient plain_john(kJohn, &keys, &*plan, &server,
+  zerber::ZerberClient plain_john(kJohn, &keys, &*plan, &transport,
                                   &corpus.vocabulary());
   auto plain = plain_john.QueryTopK(controller, 2);
   if (!plain.ok()) return 1;

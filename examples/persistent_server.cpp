@@ -10,6 +10,8 @@
 #include <filesystem>
 
 #include "core/pipeline.h"
+#include "net/service.h"
+#include "net/transport.h"
 #include "zerber/persistence.h"
 
 int main() {
@@ -57,9 +59,13 @@ int main() {
               static_cast<unsigned long long>((*reloaded)->TotalElements()),
               (*reloaded)->NumLists());
 
-  // A client pointed at the restored server sees identical results.
-  core::ZerberRClient client(p.user, p.keys.get(), &p.plan, reloaded->get(),
-                             &p.corpus.vocabulary(), p.assigner.get());
+  // A client pointed at the restored server (through a fresh service +
+  // transport) sees identical results.
+  net::IndexService restored_service(reloaded->get());
+  net::DirectTransport restored_transport(&restored_service);
+  core::ZerberRClient client(p.user, p.keys.get(), &p.plan,
+                             &restored_transport, &p.corpus.vocabulary(),
+                             p.assigner.get());
   auto after = client.QueryTopK(term, 5);
   if (!after.ok()) return 1;
 

@@ -48,6 +48,9 @@ int main() {
   options.preset.training_fraction = 1.0;  // tiny corpus: train on all docs
   options.sigma = 0.01;                 // RSTF kernel scale
   options.build_query_log = false;
+  // Route the whole protocol through the wire format (serialize + parse
+  // every message) so the byte counts below are real message sizes.
+  options.transport = net::TransportKind::kLoopback;
   auto built = core::BuildPipelineFromCorpus(std::move(corpus), options);
   if (!built.ok()) {
     std::fprintf(stderr, "setup failed: %s\n",
@@ -78,8 +81,9 @@ int main() {
   for (const auto& doc : result->results) {
     std::printf("  doc %u  score %.4f\n", doc.doc_id, doc.score);
   }
-  std::printf("\nprotocol: %llu request(s), %llu elements transferred, "
-              "%llu bytes\n",
+  std::printf("\nprotocol (%s transport): %llu request(s), %llu elements "
+              "transferred, %llu bytes\n",
+              net::TransportKindName(options.transport),
               static_cast<unsigned long long>(result->trace.requests),
               static_cast<unsigned long long>(result->trace.elements_fetched),
               static_cast<unsigned long long>(result->trace.bytes_fetched));

@@ -85,13 +85,21 @@ StatusOr<std::unique_ptr<Pipeline>> Assemble(text::Corpus corpus,
     ZR_RETURN_IF_ERROR(p->server->acl().GrantMembership(p->user, g));
   }
 
-  // 7. Client + encrypted index build.
+  // 7. Service boundary: typed API over the server, client traffic routed
+  // through the configured transport (byte counts land on the channel).
+  p->service = std::make_unique<net::IndexService>(p->server.get());
+  p->channel = std::make_unique<net::SimChannel>(net::kModem56k,
+                                                 net::kModem56k);
+  p->transport = net::MakeTransport(options.transport, p->service.get(),
+                                    p->channel.get());
+
+  // 8. Client + encrypted index build.
   p->client = std::make_unique<ZerberRClient>(
-      p->user, p->keys.get(), &p->plan, p->server.get(),
+      p->user, p->keys.get(), &p->plan, p->transport.get(),
       &p->corpus.vocabulary(), p->assigner.get(), options.protocol);
   ZR_RETURN_IF_ERROR(BuildEncryptedIndex(p->corpus, p->client.get()));
 
-  // 8. Plaintext comparator.
+  // 9. Plaintext comparator.
   if (options.build_baseline_index) {
     p->baseline = index::InvertedIndex::Build(
         p->corpus, index::ScoringModel::kNormalizedTf);

@@ -18,6 +18,9 @@
 #include "core/trs.h"
 #include "core/zerber_r_client.h"
 #include "index/inverted_index.h"
+#include "net/channel.h"
+#include "net/service.h"
+#include "net/transport.h"
 #include "synth/presets.h"
 #include "synth/query_log.h"
 #include "text/corpus.h"
@@ -55,6 +58,12 @@ struct PipelineOptions {
   /// Client protocol parameters (initial response size b, ...).
   ProtocolOptions protocol;
 
+  /// How client traffic reaches the server: kDirect routes typed messages
+  /// in-process (fast; analytic byte accounting); kLoopback serializes
+  /// every exchange through the wire format (real byte accounting,
+  /// exercises encode/decode). Results are identical either way.
+  net::TransportKind transport = net::TransportKind::kDirect;
+
   /// Build the plaintext InvertedIndex comparator too.
   bool build_baseline_index = true;
 
@@ -83,6 +92,14 @@ struct Pipeline {
   std::unique_ptr<crypto::KeyStore> keys;
   std::unique_ptr<TrsAssigner> assigner;
   std::unique_ptr<zerber::IndexServer> server;
+
+  /// Service boundary: the server behind the typed ZerberService API, and
+  /// the transport the client's traffic is routed through. The channel
+  /// accumulates that traffic under the paper's user link model (56 kb/s).
+  std::unique_ptr<net::IndexService> service;
+  std::unique_ptr<net::SimChannel> channel;
+  std::unique_ptr<net::Transport> transport;
+
   std::unique_ptr<ZerberRClient> client;
 
   /// Plaintext comparator (normalized-TF scoring, Equation 4).

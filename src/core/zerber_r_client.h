@@ -33,10 +33,10 @@ class ZerberRClient : public zerber::ZerberClient {
  public:
   /// All pointers must outlive the client.
   ZerberRClient(zerber::UserId user, crypto::KeyStore* keys,
-                const zerber::MergePlan* plan, zerber::IndexServer* server,
+                const zerber::MergePlan* plan, net::ZerberService* service,
                 const text::Vocabulary* vocab, const TrsAssigner* assigner,
                 ProtocolOptions protocol = {})
-      : ZerberClient(user, keys, plan, server, vocab),
+      : ZerberClient(user, keys, plan, service, vocab),
         assigner_(assigner),
         protocol_(protocol) {}
 
@@ -50,10 +50,12 @@ class ZerberRClient : public zerber::ZerberClient {
   /// hits *are* the term's top-k documents.
   StatusOr<TopKResult> QueryTopK(text::TermId term, size_t k);
 
-  /// Multi-term query as a sequence of single-term queries (Section 3.2);
-  /// results are merged client-side by summed raw scores. The paper accepts
-  /// the slight accuracy loss vs TFxIDF as the price of hiding collection
-  /// statistics.
+  /// Multi-term query as a set of single-term queries (Section 3.2) whose
+  /// *initial* requests are batched into a single MultiFetch round trip;
+  /// follow-ups (when a term's initial response lacks k hits) proceed
+  /// per-term. Results are merged client-side by summed raw scores; the
+  /// paper accepts the slight accuracy loss vs TFxIDF as the price of
+  /// hiding collection statistics.
   StatusOr<TopKResult> QueryTopKMulti(const std::vector<text::TermId>& terms,
                                       size_t k);
 
@@ -61,6 +63,30 @@ class ZerberRClient : public zerber::ZerberClient {
   void set_protocol(const ProtocolOptions& protocol) { protocol_ = protocol; }
 
  private:
+  /// Running state of one term's doubling-protocol query.
+  struct TermQuery {
+    text::TermId term = 0;
+    zerber::MergedListId list = 0;
+    size_t initial = 0;        ///< initial response size b for this list
+    size_t offset = 0;         ///< accessible elements consumed so far
+    size_t request_index = 0;  ///< next request's slot in the schedule
+    TopKResult out;
+  };
+
+  /// Resolves the term's list and initial response size.
+  StatusOr<TermQuery> BeginQuery(text::TermId term, size_t k) const;
+
+  /// Folds one response into the query state: decrypts, filters to the
+  /// term, counts trace fields (one request, its elements and bytes).
+  Status AbsorbResponse(TermQuery* q, size_t k,
+                        const net::QueryResponse& response);
+
+  /// True when the query needs no further requests.
+  bool Done(const TermQuery& q, size_t k) const;
+
+  /// Issues Fetch rounds (from the current request_index) until Done.
+  Status RunToCompletion(TermQuery* q, size_t k);
+
   const TrsAssigner* assigner_;
   ProtocolOptions protocol_;
 };

@@ -1,5 +1,7 @@
 #include "net/messages.h"
 
+#include <cassert>
+
 #include "util/coding.h"
 
 namespace zr::net {
@@ -9,6 +11,12 @@ namespace {
 constexpr uint8_t kTagQueryRequest = 1;
 constexpr uint8_t kTagQueryResponse = 2;
 constexpr uint8_t kTagInsertRequest = 3;
+constexpr uint8_t kTagInsertResponse = 4;
+constexpr uint8_t kTagMultiFetchRequest = 5;
+constexpr uint8_t kTagMultiFetchResponse = 6;
+constexpr uint8_t kTagDeleteRequest = 7;
+constexpr uint8_t kTagDeleteResponse = 8;
+constexpr uint8_t kTagErrorResponse = 9;
 
 Status ExpectTag(ByteReader* reader, uint8_t expected) {
   std::string_view tag;
@@ -94,6 +102,220 @@ StatusOr<InsertRequest> ParseInsertRequest(std::string_view data) {
   ZR_ASSIGN_OR_RETURN(request.element, zerber::ParseElement(&rest));
   if (!rest.empty()) return Status::Corruption("trailing bytes in insert");
   return request;
+}
+
+std::string SerializeInsertResponse(const InsertResponse& response) {
+  std::string out;
+  out.push_back(static_cast<char>(kTagInsertResponse));
+  PutVarint64(&out, response.handle);
+  return out;
+}
+
+StatusOr<InsertResponse> ParseInsertResponse(std::string_view data) {
+  ByteReader reader(data);
+  ZR_RETURN_IF_ERROR(ExpectTag(&reader, kTagInsertResponse));
+  InsertResponse response;
+  ZR_RETURN_IF_ERROR(reader.GetVarint64(&response.handle));
+  ZR_RETURN_IF_ERROR(reader.ExpectEof());
+  return response;
+}
+
+std::string SerializeMultiFetchRequest(const MultiFetchRequest& request) {
+  std::string out;
+  out.push_back(static_cast<char>(kTagMultiFetchRequest));
+  PutVarint32(&out, request.user);
+  PutVarint64(&out, request.fetches.size());
+  for (const FetchRange& f : request.fetches) {
+    PutVarint32(&out, f.list);
+    PutVarint64(&out, f.offset);
+    PutVarint64(&out, f.count);
+  }
+  return out;
+}
+
+StatusOr<MultiFetchRequest> ParseMultiFetchRequest(std::string_view data) {
+  ByteReader reader(data);
+  ZR_RETURN_IF_ERROR(ExpectTag(&reader, kTagMultiFetchRequest));
+  MultiFetchRequest request;
+  ZR_RETURN_IF_ERROR(reader.GetVarint32(&request.user));
+  uint64_t n;
+  ZR_RETURN_IF_ERROR(reader.GetVarint64(&n));
+  // Each range takes at least 3 bytes; a count beyond what the remaining
+  // input could hold is corrupt, not a reason to allocate.
+  if (n > reader.remaining() / 3) {
+    return Status::Corruption("fetch count exceeds message size");
+  }
+  request.fetches.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    FetchRange f;
+    ZR_RETURN_IF_ERROR(reader.GetVarint32(&f.list));
+    ZR_RETURN_IF_ERROR(reader.GetVarint64(&f.offset));
+    ZR_RETURN_IF_ERROR(reader.GetVarint64(&f.count));
+    request.fetches.push_back(f);
+  }
+  ZR_RETURN_IF_ERROR(reader.ExpectEof());
+  return request;
+}
+
+std::string SerializeMultiFetchResponse(const MultiFetchResponse& response) {
+  std::string out;
+  out.push_back(static_cast<char>(kTagMultiFetchResponse));
+  PutVarint64(&out, response.responses.size());
+  for (const QueryResponse& r : response.responses) {
+    PutLengthPrefixed(&out, SerializeQueryResponse(r));
+  }
+  return out;
+}
+
+StatusOr<MultiFetchResponse> ParseMultiFetchResponse(std::string_view data) {
+  ByteReader reader(data);
+  ZR_RETURN_IF_ERROR(ExpectTag(&reader, kTagMultiFetchResponse));
+  uint64_t n;
+  ZR_RETURN_IF_ERROR(reader.GetVarint64(&n));
+  if (n > reader.remaining()) {
+    return Status::Corruption("response count exceeds message size");
+  }
+  MultiFetchResponse response;
+  response.responses.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string_view sub;
+    ZR_RETURN_IF_ERROR(reader.GetLengthPrefixed(&sub));
+    ZR_ASSIGN_OR_RETURN(QueryResponse r, ParseQueryResponse(sub));
+    // The nested message's own wire footprint (used by per-list accounting).
+    r.wire_size = sub.size();
+    response.responses.push_back(std::move(r));
+  }
+  ZR_RETURN_IF_ERROR(reader.ExpectEof());
+  return response;
+}
+
+std::string SerializeDeleteRequest(const DeleteRequest& request) {
+  std::string out;
+  out.push_back(static_cast<char>(kTagDeleteRequest));
+  PutVarint32(&out, request.user);
+  PutVarint32(&out, request.list);
+  PutVarint64(&out, request.handle);
+  return out;
+}
+
+StatusOr<DeleteRequest> ParseDeleteRequest(std::string_view data) {
+  ByteReader reader(data);
+  ZR_RETURN_IF_ERROR(ExpectTag(&reader, kTagDeleteRequest));
+  DeleteRequest request;
+  ZR_RETURN_IF_ERROR(reader.GetVarint32(&request.user));
+  ZR_RETURN_IF_ERROR(reader.GetVarint32(&request.list));
+  ZR_RETURN_IF_ERROR(reader.GetVarint64(&request.handle));
+  ZR_RETURN_IF_ERROR(reader.ExpectEof());
+  return request;
+}
+
+std::string SerializeDeleteResponse(const DeleteResponse&) {
+  return std::string(1, static_cast<char>(kTagDeleteResponse));
+}
+
+StatusOr<DeleteResponse> ParseDeleteResponse(std::string_view data) {
+  ByteReader reader(data);
+  ZR_RETURN_IF_ERROR(ExpectTag(&reader, kTagDeleteResponse));
+  ZR_RETURN_IF_ERROR(reader.ExpectEof());
+  return DeleteResponse{};
+}
+
+std::string SerializeErrorResponse(const Status& error) {
+  assert(!error.ok() && "error responses carry non-OK statuses");
+  std::string out;
+  out.push_back(static_cast<char>(kTagErrorResponse));
+  PutVarint32(&out, static_cast<uint32_t>(error.code()));
+  PutLengthPrefixed(&out, error.message());
+  return out;
+}
+
+Status ParseErrorResponse(std::string_view data, Status* decoded) {
+  ByteReader reader(data);
+  ZR_RETURN_IF_ERROR(ExpectTag(&reader, kTagErrorResponse));
+  uint32_t code;
+  ZR_RETURN_IF_ERROR(reader.GetVarint32(&code));
+  if (code == static_cast<uint32_t>(StatusCode::kOk) ||
+      code > static_cast<uint32_t>(StatusCode::kInternal)) {
+    return Status::Corruption("unknown status code in error message");
+  }
+  std::string_view message;
+  ZR_RETURN_IF_ERROR(reader.GetLengthPrefixed(&message));
+  ZR_RETURN_IF_ERROR(reader.ExpectEof());
+  *decoded = Status(static_cast<StatusCode>(code), std::string(message));
+  return Status::OK();
+}
+
+bool IsErrorResponse(std::string_view data) {
+  return !data.empty() && static_cast<uint8_t>(data[0]) == kTagErrorResponse;
+}
+
+namespace {
+size_t ElementsWireSize(
+    const std::vector<zerber::EncryptedPostingElement>& elements) {
+  size_t total = 0;
+  for (const auto& e : elements) total += e.WireSize();
+  return total;
+}
+}  // namespace
+
+size_t WireSizeOfQueryRequest(const QueryRequest& request) {
+  return 1 + static_cast<size_t>(VarintLength32(request.user)) +
+         static_cast<size_t>(VarintLength32(request.list)) +
+         static_cast<size_t>(VarintLength64(request.offset)) +
+         static_cast<size_t>(VarintLength64(request.count));
+}
+
+size_t WireSizeOfQueryResponse(const QueryResponse& response) {
+  return 1 + 1 +
+         static_cast<size_t>(VarintLength64(response.elements.size())) +
+         ElementsWireSize(response.elements);
+}
+
+size_t WireSizeOfInsertRequest(const InsertRequest& request) {
+  return 1 + static_cast<size_t>(VarintLength32(request.user)) +
+         static_cast<size_t>(VarintLength32(request.list)) +
+         request.element.WireSize();
+}
+
+size_t WireSizeOfInsertResponse(const InsertResponse& response) {
+  return 1 + static_cast<size_t>(VarintLength64(response.handle));
+}
+
+size_t WireSizeOfMultiFetchRequest(const MultiFetchRequest& request) {
+  size_t total = 1 + static_cast<size_t>(VarintLength32(request.user)) +
+                 static_cast<size_t>(VarintLength64(request.fetches.size()));
+  for (const FetchRange& f : request.fetches) {
+    total += static_cast<size_t>(VarintLength32(f.list)) +
+             static_cast<size_t>(VarintLength64(f.offset)) +
+             static_cast<size_t>(VarintLength64(f.count));
+  }
+  return total;
+}
+
+size_t WireSizeOfMultiFetchResponse(const MultiFetchResponse& response) {
+  size_t total =
+      1 + static_cast<size_t>(VarintLength64(response.responses.size()));
+  for (const QueryResponse& r : response.responses) {
+    size_t sub = WireSizeOfQueryResponse(r);
+    total += static_cast<size_t>(VarintLength64(sub)) + sub;
+  }
+  return total;
+}
+
+size_t WireSizeOfDeleteRequest(const DeleteRequest& request) {
+  return 1 + static_cast<size_t>(VarintLength32(request.user)) +
+         static_cast<size_t>(VarintLength32(request.list)) +
+         static_cast<size_t>(VarintLength64(request.handle));
+}
+
+size_t WireSizeOfDeleteResponse(const DeleteResponse&) { return 1; }
+
+size_t WireSizeOfErrorResponse(const Status& error) {
+  return 1 +
+         static_cast<size_t>(
+             VarintLength32(static_cast<uint32_t>(error.code()))) +
+         static_cast<size_t>(VarintLength64(error.message().size())) +
+         error.message().size();
 }
 
 }  // namespace zr::net

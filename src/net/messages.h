@@ -1,9 +1,11 @@
 // Wire messages between client and index server.
 //
-// The simulation calls the server in-process, but all requests/responses
-// have a defined wire format so byte accounting (and the Section 6.6
-// bandwidth numbers) reflect real serialized sizes, and so corrupt input
-// handling is testable.
+// Every request/response of the ZerberService API (net/service.h) has a
+// defined wire format, so byte accounting (and the Section 6.6 bandwidth
+// numbers) reflects real serialized sizes and corrupt input handling is
+// testable. LoopbackTransport (net/transport.h) routes each exchange through
+// these serializers; DirectTransport uses the analytic WireSizeOf* functions
+// to account for the same bytes without serializing.
 
 #ifndef ZERBERR_NET_MESSAGES_H_
 #define ZERBERR_NET_MESSAGES_H_
@@ -33,6 +35,10 @@ struct QueryRequest {
 struct QueryResponse {
   std::vector<zerber::EncryptedPostingElement> elements;
   bool exhausted = false;
+
+  /// Serialized size of this message as it crossed the wire. Transport
+  /// accounting only — set by the Transport, never serialized.
+  uint64_t wire_size = 0;
 };
 
 /// Client -> server: insert one sealed element.
@@ -40,6 +46,61 @@ struct InsertRequest {
   uint32_t user = 0;
   uint32_t list = 0;
   zerber::EncryptedPostingElement element;
+};
+
+/// Server -> client: acknowledges an insert with the server-assigned element
+/// handle (the client needs it for later deletion).
+struct InsertResponse {
+  uint64_t handle = 0;
+
+  /// Transport accounting only (see QueryResponse::wire_size).
+  uint64_t wire_size = 0;
+
+  friend bool operator==(const InsertResponse& a, const InsertResponse& b) {
+    return a.handle == b.handle;
+  }
+};
+
+/// One list range of a MultiFetchRequest.
+struct FetchRange {
+  uint32_t list = 0;
+  uint64_t offset = 0;
+  uint64_t count = 0;
+
+  friend bool operator==(const FetchRange&, const FetchRange&) = default;
+};
+
+/// Client -> server: several list fetches in one round trip (the initial
+/// requests of a multi-term query, Section 3.2).
+struct MultiFetchRequest {
+  uint32_t user = 0;
+  std::vector<FetchRange> fetches;
+
+  friend bool operator==(const MultiFetchRequest&,
+                         const MultiFetchRequest&) = default;
+};
+
+/// Server -> client: one QueryResponse per requested range, in order.
+struct MultiFetchResponse {
+  std::vector<QueryResponse> responses;
+
+  /// Transport accounting only (see QueryResponse::wire_size).
+  uint64_t wire_size = 0;
+};
+
+/// Client -> server: delete one element by server handle.
+struct DeleteRequest {
+  uint32_t user = 0;
+  uint32_t list = 0;
+  uint64_t handle = 0;
+
+  friend bool operator==(const DeleteRequest&, const DeleteRequest&) = default;
+};
+
+/// Server -> client: acknowledges a delete.
+struct DeleteResponse {
+  /// Transport accounting only (see QueryResponse::wire_size).
+  uint64_t wire_size = 0;
 };
 
 std::string SerializeQueryRequest(const QueryRequest& request);
@@ -50,6 +111,55 @@ StatusOr<QueryResponse> ParseQueryResponse(std::string_view data);
 
 std::string SerializeInsertRequest(const InsertRequest& request);
 StatusOr<InsertRequest> ParseInsertRequest(std::string_view data);
+
+std::string SerializeInsertResponse(const InsertResponse& response);
+StatusOr<InsertResponse> ParseInsertResponse(std::string_view data);
+
+std::string SerializeMultiFetchRequest(const MultiFetchRequest& request);
+StatusOr<MultiFetchRequest> ParseMultiFetchRequest(std::string_view data);
+
+std::string SerializeMultiFetchResponse(const MultiFetchResponse& response);
+StatusOr<MultiFetchResponse> ParseMultiFetchResponse(std::string_view data);
+
+std::string SerializeDeleteRequest(const DeleteRequest& request);
+StatusOr<DeleteRequest> ParseDeleteRequest(std::string_view data);
+
+std::string SerializeDeleteResponse(const DeleteResponse& response);
+StatusOr<DeleteResponse> ParseDeleteResponse(std::string_view data);
+
+// ---------------------------------------------------------------------------
+// Error-status encoding: a server-side failure crosses the wire as an error
+// message carrying the canonical status code + message, so remote clients
+// observe the same Status an in-process caller would.
+// ---------------------------------------------------------------------------
+
+/// Serializes a non-OK status. Must not be called with an OK status.
+std::string SerializeErrorResponse(const Status& error);
+
+/// Decodes an error message back into the Status it carried (via `*decoded`).
+/// Returns Corruption when `data` is not a well-formed error message or
+/// encodes an unknown code; OK when decoding succeeded.
+Status ParseErrorResponse(std::string_view data, Status* decoded);
+
+/// True when `data` starts with the error-message tag (dispatch helper for
+/// transports: a response wire is either an error or the typed response).
+bool IsErrorResponse(std::string_view data);
+
+// ---------------------------------------------------------------------------
+// Analytic wire sizes: the exact number of bytes Serialize* would produce,
+// computed without serializing. DirectTransport accounts with these;
+// LoopbackTransport asserts they agree with the real serialized sizes.
+// ---------------------------------------------------------------------------
+
+size_t WireSizeOfQueryRequest(const QueryRequest& request);
+size_t WireSizeOfQueryResponse(const QueryResponse& response);
+size_t WireSizeOfInsertRequest(const InsertRequest& request);
+size_t WireSizeOfInsertResponse(const InsertResponse& response);
+size_t WireSizeOfMultiFetchRequest(const MultiFetchRequest& request);
+size_t WireSizeOfMultiFetchResponse(const MultiFetchResponse& response);
+size_t WireSizeOfDeleteRequest(const DeleteRequest& request);
+size_t WireSizeOfDeleteResponse(const DeleteResponse& response);
+size_t WireSizeOfErrorResponse(const Status& error);
 
 }  // namespace zr::net
 

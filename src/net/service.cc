@@ -1,0 +1,48 @@
+#include "net/service.h"
+
+namespace zr::net {
+
+StatusOr<InsertResponse> IndexService::Insert(const InsertRequest& request) {
+  ZR_ASSIGN_OR_RETURN(uint64_t handle,
+                      server_->Insert(request.user, request.list,
+                                      request.element));
+  InsertResponse response;
+  response.handle = handle;
+  return response;
+}
+
+StatusOr<QueryResponse> IndexService::Fetch(const QueryRequest& request) {
+  ZR_ASSIGN_OR_RETURN(
+      zerber::FetchResult fetched,
+      server_->Fetch(request.user, request.list,
+                     static_cast<size_t>(request.offset),
+                     static_cast<size_t>(request.count)));
+  QueryResponse response;
+  response.elements = std::move(fetched.elements);
+  response.exhausted = fetched.exhausted;
+  return response;
+}
+
+StatusOr<MultiFetchResponse> IndexService::MultiFetch(
+    const MultiFetchRequest& request) {
+  MultiFetchResponse response;
+  response.responses.reserve(request.fetches.size());
+  for (const FetchRange& f : request.fetches) {
+    QueryRequest sub;
+    sub.user = request.user;
+    sub.list = f.list;
+    sub.offset = f.offset;
+    sub.count = f.count;
+    ZR_ASSIGN_OR_RETURN(QueryResponse r, Fetch(sub));
+    response.responses.push_back(std::move(r));
+  }
+  return response;
+}
+
+StatusOr<DeleteResponse> IndexService::Delete(const DeleteRequest& request) {
+  ZR_RETURN_IF_ERROR(
+      server_->Delete(request.user, request.list, request.handle));
+  return DeleteResponse{};
+}
+
+}  // namespace zr::net

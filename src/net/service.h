@@ -1,0 +1,66 @@
+// ZerberService: the narrow request/response API crossing the trust
+// boundary between clients and the untrusted index server.
+//
+// Everything a client may ask of the server is one of these typed
+// exchanges; the paper's security and bandwidth claims (Sections 5.2, 6.6)
+// are claims about exactly this surface. Clients never hold an
+// `zerber::IndexServer*` — they speak to a ZerberService, usually through a
+// Transport (net/transport.h), so sharded / async / remote backends are
+// drop-in replacements.
+
+#ifndef ZERBERR_NET_SERVICE_H_
+#define ZERBERR_NET_SERVICE_H_
+
+#include "net/messages.h"
+#include "util/statusor.h"
+#include "zerber/zerber_index.h"
+
+namespace zr::net {
+
+/// The client<->server protocol, one virtual per message exchange.
+///
+/// Implementations: IndexService (the real server), DirectTransport and
+/// LoopbackTransport (client-side stubs forwarding to a backend service).
+class ZerberService {
+ public:
+  virtual ~ZerberService() = default;
+
+  /// Inserts one sealed element; the response acks with the server handle.
+  virtual StatusOr<InsertResponse> Insert(const InsertRequest& request) = 0;
+
+  /// Fetches a range of a merged list (offset/count address the accessible
+  /// subsequence for the requesting user).
+  virtual StatusOr<QueryResponse> Fetch(const QueryRequest& request) = 0;
+
+  /// Several list fetches in one round trip; responses[i] answers
+  /// request.fetches[i]. Fails atomically: any failing range fails the call.
+  virtual StatusOr<MultiFetchResponse> MultiFetch(
+      const MultiFetchRequest& request) = 0;
+
+  /// Deletes one element by server handle.
+  virtual StatusOr<DeleteResponse> Delete(const DeleteRequest& request) = 0;
+};
+
+/// Server-side implementation: adapts zerber::IndexServer to the service
+/// API. Lives next to the server; performs no serialization and no byte
+/// accounting (that is the transport's job).
+class IndexService : public ZerberService {
+ public:
+  /// `server` must outlive the service.
+  explicit IndexService(zerber::IndexServer* server) : server_(server) {}
+
+  StatusOr<InsertResponse> Insert(const InsertRequest& request) override;
+  StatusOr<QueryResponse> Fetch(const QueryRequest& request) override;
+  StatusOr<MultiFetchResponse> MultiFetch(
+      const MultiFetchRequest& request) override;
+  StatusOr<DeleteResponse> Delete(const DeleteRequest& request) override;
+
+  zerber::IndexServer* server() { return server_; }
+
+ private:
+  zerber::IndexServer* server_;
+};
+
+}  // namespace zr::net
+
+#endif  // ZERBERR_NET_SERVICE_H_

@@ -1,0 +1,182 @@
+#include "net/transport.h"
+
+#include <string>
+
+namespace zr::net {
+
+namespace {
+
+Status DriftError(const char* message_type) {
+  return Status::Internal(std::string("wire-size accounting drift in ") +
+                          message_type);
+}
+
+/// Carries a backend failure across the wire as an error message and decodes
+/// it on the client side. Returns the decoded status (== the original), or
+/// the drift/corruption error that prevented the carry. `*down_bytes` is set
+/// to the error message's wire size on a successful carry.
+Status CarryError(const Status& error, uint64_t* down_bytes) {
+  std::string wire = SerializeErrorResponse(error);
+  if (wire.size() != WireSizeOfErrorResponse(error)) {
+    return DriftError("ErrorResponse");
+  }
+  Status decoded;
+  ZR_RETURN_IF_ERROR(ParseErrorResponse(wire, &decoded));
+  *down_bytes = wire.size();
+  return decoded;
+}
+
+}  // namespace
+
+const char* TransportKindName(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kDirect: return "direct";
+    case TransportKind::kLoopback: return "loopback";
+  }
+  return "unknown";
+}
+
+void Transport::Account(uint64_t up, uint64_t down) {
+  ++stats_.exchanges;
+  stats_.bytes_up += up;
+  stats_.bytes_down += down;
+  if (channel_ != nullptr) {
+    channel_->RecordRequest(up);
+    channel_->RecordResponse(down);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DirectTransport: pass-through; accounts the analytic wire sizes.
+// ---------------------------------------------------------------------------
+
+template <typename Request, typename Response>
+StatusOr<Response> DirectTransport::Exchange(
+    const Request& request,
+    StatusOr<Response> (ZerberService::*method)(const Request&),
+    size_t (*request_size)(const Request&),
+    size_t (*response_size)(const Response&)) {
+  auto served = (backend_->*method)(request);
+  if (!served.ok()) {
+    Account(request_size(request), WireSizeOfErrorResponse(served.status()));
+    return served.status();
+  }
+  served->wire_size = response_size(*served);
+  Account(request_size(request), served->wire_size);
+  return served;
+}
+
+StatusOr<InsertResponse> DirectTransport::Insert(const InsertRequest& request) {
+  return Exchange(request, &ZerberService::Insert, WireSizeOfInsertRequest,
+                  WireSizeOfInsertResponse);
+}
+
+StatusOr<QueryResponse> DirectTransport::Fetch(const QueryRequest& request) {
+  return Exchange(request, &ZerberService::Fetch, WireSizeOfQueryRequest,
+                  WireSizeOfQueryResponse);
+}
+
+StatusOr<MultiFetchResponse> DirectTransport::MultiFetch(
+    const MultiFetchRequest& request) {
+  auto response =
+      Exchange(request, &ZerberService::MultiFetch,
+               WireSizeOfMultiFetchRequest, WireSizeOfMultiFetchResponse);
+  if (response.ok()) {
+    // Mirror the loopback parser, which records each nested response's own
+    // wire footprint for per-list accounting.
+    for (QueryResponse& r : response->responses) {
+      r.wire_size = WireSizeOfQueryResponse(r);
+    }
+  }
+  return response;
+}
+
+StatusOr<DeleteResponse> DirectTransport::Delete(const DeleteRequest& request) {
+  return Exchange(request, &ZerberService::Delete, WireSizeOfDeleteRequest,
+                  WireSizeOfDeleteResponse);
+}
+
+// ---------------------------------------------------------------------------
+// LoopbackTransport: every exchange is encoded, decoded server-side,
+// dispatched, and the response (or error status) encoded and decoded back.
+// ---------------------------------------------------------------------------
+
+template <typename Request, typename Response>
+StatusOr<Response> LoopbackTransport::Exchange(
+    const Request& request,
+    StatusOr<Response> (ZerberService::*method)(const Request&),
+    std::string (*serialize_request)(const Request&),
+    StatusOr<Request> (*parse_request)(std::string_view),
+    size_t (*request_size)(const Request&), const char* request_name,
+    std::string (*serialize_response)(const Response&),
+    StatusOr<Response> (*parse_response)(std::string_view),
+    size_t (*response_size)(const Response&), const char* response_name) {
+  std::string wire_request = serialize_request(request);
+  if (wire_request.size() != request_size(request)) {
+    return DriftError(request_name);
+  }
+  ZR_ASSIGN_OR_RETURN(Request server_request, parse_request(wire_request));
+  auto served = (backend_->*method)(server_request);
+  if (!served.ok()) {
+    uint64_t down = 0;
+    Status decoded = CarryError(served.status(), &down);
+    Account(wire_request.size(), down);
+    return decoded;
+  }
+  std::string wire_response = serialize_response(*served);
+  if (wire_response.size() != response_size(*served)) {
+    return DriftError(response_name);
+  }
+  Account(wire_request.size(), wire_response.size());
+  ZR_ASSIGN_OR_RETURN(Response response, parse_response(wire_response));
+  response.wire_size = wire_response.size();
+  return response;
+}
+
+StatusOr<InsertResponse> LoopbackTransport::Insert(
+    const InsertRequest& request) {
+  return Exchange(request, &ZerberService::Insert, SerializeInsertRequest,
+                  ParseInsertRequest, WireSizeOfInsertRequest,
+                  "InsertRequest", SerializeInsertResponse,
+                  ParseInsertResponse, WireSizeOfInsertResponse,
+                  "InsertResponse");
+}
+
+StatusOr<QueryResponse> LoopbackTransport::Fetch(const QueryRequest& request) {
+  return Exchange(request, &ZerberService::Fetch, SerializeQueryRequest,
+                  ParseQueryRequest, WireSizeOfQueryRequest, "QueryRequest",
+                  SerializeQueryResponse, ParseQueryResponse,
+                  WireSizeOfQueryResponse, "QueryResponse");
+}
+
+StatusOr<MultiFetchResponse> LoopbackTransport::MultiFetch(
+    const MultiFetchRequest& request) {
+  return Exchange(request, &ZerberService::MultiFetch,
+                  SerializeMultiFetchRequest, ParseMultiFetchRequest,
+                  WireSizeOfMultiFetchRequest, "MultiFetchRequest",
+                  SerializeMultiFetchResponse, ParseMultiFetchResponse,
+                  WireSizeOfMultiFetchResponse, "MultiFetchResponse");
+}
+
+StatusOr<DeleteResponse> LoopbackTransport::Delete(
+    const DeleteRequest& request) {
+  return Exchange(request, &ZerberService::Delete, SerializeDeleteRequest,
+                  ParseDeleteRequest, WireSizeOfDeleteRequest,
+                  "DeleteRequest", SerializeDeleteResponse,
+                  ParseDeleteResponse, WireSizeOfDeleteResponse,
+                  "DeleteResponse");
+}
+
+std::unique_ptr<Transport> MakeTransport(TransportKind kind,
+                                         ZerberService* backend,
+                                         SimChannel* channel) {
+  switch (kind) {
+    case TransportKind::kDirect:
+      return std::make_unique<DirectTransport>(backend, channel);
+    case TransportKind::kLoopback:
+      return std::make_unique<LoopbackTransport>(backend, channel);
+  }
+  return nullptr;
+}
+
+}  // namespace zr::net

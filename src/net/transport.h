@@ -1,0 +1,136 @@
+// Transports: how typed ZerberService exchanges travel between a client
+// and a backend service.
+//
+// A Transport is itself a ZerberService (a client-side stub), so clients
+// are constructed against `ZerberService&` and never know whether their
+// requests cross a wire. Two implementations:
+//
+//  * DirectTransport — in-process pass-through, zero-copy. Byte accounting
+//    uses the analytic WireSizeOf* functions, so traces report exactly what
+//    a wire transport would transfer without paying for serialization.
+//    Use in benches measuring CPU/protocol behavior.
+//
+//  * LoopbackTransport — serializes every request and response through the
+//    net/messages wire format and parses it back on the other side,
+//    exercising the full encode/decode path (including error-status
+//    encoding and parse failure handling). Byte counts come from the real
+//    serialized messages and are asserted to agree with the analytic sizes.
+//    Use in benches/tests whose numbers must reflect real wire traffic.
+//
+// Both feed an optional SimChannel so transfer-time models see the same
+// byte stream.
+
+#ifndef ZERBERR_NET_TRANSPORT_H_
+#define ZERBERR_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "net/channel.h"
+#include "net/service.h"
+
+namespace zr::net {
+
+/// Which transport a deployment routes its protocol through.
+enum class TransportKind {
+  kDirect,
+  kLoopback,
+};
+
+/// "direct" / "loopback" (for banners and reports).
+const char* TransportKindName(TransportKind kind);
+
+/// Cumulative traffic counters of one transport.
+struct TransportStats {
+  /// Completed request/response exchanges (round trips).
+  uint64_t exchanges = 0;
+
+  /// Bytes client -> server.
+  uint64_t bytes_up = 0;
+
+  /// Bytes server -> client.
+  uint64_t bytes_down = 0;
+};
+
+/// Base: a client-side service stub with byte accounting.
+class Transport : public ZerberService {
+ public:
+  const TransportStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = TransportStats(); }
+
+ protected:
+  /// `backend` must outlive the transport; `channel` may be null.
+  Transport(ZerberService* backend, SimChannel* channel)
+      : backend_(backend), channel_(channel) {}
+
+  /// Records one exchange of `up` request bytes and `down` response bytes.
+  void Account(uint64_t up, uint64_t down);
+
+  ZerberService* backend_;
+  SimChannel* channel_;
+  TransportStats stats_;
+};
+
+/// In-process pass-through with analytic byte accounting.
+class DirectTransport final : public Transport {
+ public:
+  explicit DirectTransport(ZerberService* backend,
+                           SimChannel* channel = nullptr)
+      : Transport(backend, channel) {}
+
+  StatusOr<InsertResponse> Insert(const InsertRequest& request) override;
+  StatusOr<QueryResponse> Fetch(const QueryRequest& request) override;
+  StatusOr<MultiFetchResponse> MultiFetch(
+      const MultiFetchRequest& request) override;
+  StatusOr<DeleteResponse> Delete(const DeleteRequest& request) override;
+
+ private:
+  /// Dispatches to the backend and accounts the analytic message sizes.
+  template <typename Request, typename Response>
+  StatusOr<Response> Exchange(
+      const Request& request,
+      StatusOr<Response> (ZerberService::*method)(const Request&),
+      size_t (*request_size)(const Request&),
+      size_t (*response_size)(const Response&));
+};
+
+/// Serializes every exchange through the wire format; the single source of
+/// truth for byte accounting. Returns Internal if a serialized message's
+/// size ever disagrees with its analytic WireSizeOf* value (accounting
+/// drift) and Corruption if a message fails to parse back.
+class LoopbackTransport final : public Transport {
+ public:
+  explicit LoopbackTransport(ZerberService* backend,
+                             SimChannel* channel = nullptr)
+      : Transport(backend, channel) {}
+
+  StatusOr<InsertResponse> Insert(const InsertRequest& request) override;
+  StatusOr<QueryResponse> Fetch(const QueryRequest& request) override;
+  StatusOr<MultiFetchResponse> MultiFetch(
+      const MultiFetchRequest& request) override;
+  StatusOr<DeleteResponse> Delete(const DeleteRequest& request) override;
+
+ private:
+  /// One loopback exchange: encode the request, decode it server-side,
+  /// dispatch, then encode/decode the response (or the error status),
+  /// accounting real serialized sizes throughout.
+  template <typename Request, typename Response>
+  StatusOr<Response> Exchange(
+      const Request& request,
+      StatusOr<Response> (ZerberService::*method)(const Request&),
+      std::string (*serialize_request)(const Request&),
+      StatusOr<Request> (*parse_request)(std::string_view),
+      size_t (*request_size)(const Request&), const char* request_name,
+      std::string (*serialize_response)(const Response&),
+      StatusOr<Response> (*parse_response)(std::string_view),
+      size_t (*response_size)(const Response&), const char* response_name);
+};
+
+/// Factory used by pipeline/bench configuration.
+std::unique_ptr<Transport> MakeTransport(TransportKind kind,
+                                         ZerberService* backend,
+                                         SimChannel* channel = nullptr);
+
+}  // namespace zr::net
+
+#endif  // ZERBERR_NET_TRANSPORT_H_

@@ -17,7 +17,11 @@ Status ZerberClient::UploadElement(text::TermId term, text::DocId doc,
   ZR_ASSIGN_OR_RETURN(EncryptedPostingElement element,
                       SealPostingElement(payload, group, trs, keys_));
   ZR_ASSIGN_OR_RETURN(MergedListId list, ListOf(term));
-  return server_->Insert(user_, list, std::move(element)).status();
+  net::InsertRequest request;
+  request.user = user_;
+  request.list = list;
+  request.element = std::move(element);
+  return service_->Insert(request).status();
 }
 
 StatusOr<size_t> ZerberClient::RemoveDocument(const text::Document& doc) {
@@ -25,9 +29,11 @@ StatusOr<size_t> ZerberClient::RemoveDocument(const text::Document& doc) {
   for (const auto& [term, tf] : doc.terms()) {
     (void)tf;
     ZR_ASSIGN_OR_RETURN(MergedListId list, ListOf(term));
-    ZR_ASSIGN_OR_RETURN(
-        FetchResult fetched,
-        server_->Fetch(user_, list, 0, std::numeric_limits<size_t>::max()));
+    net::QueryRequest fetch;
+    fetch.user = user_;
+    fetch.list = list;
+    fetch.count = std::numeric_limits<uint64_t>::max();
+    ZR_ASSIGN_OR_RETURN(net::QueryResponse fetched, service_->Fetch(fetch));
     for (const EncryptedPostingElement& element : fetched.elements) {
       auto payload = OpenPostingElement(element, *keys_);
       if (!payload.ok()) {
@@ -35,7 +41,11 @@ StatusOr<size_t> ZerberClient::RemoveDocument(const text::Document& doc) {
         return payload.status();
       }
       if (payload->term != term || payload->doc != doc.id()) continue;
-      ZR_RETURN_IF_ERROR(server_->Delete(user_, list, element.handle));
+      net::DeleteRequest erase;
+      erase.user = user_;
+      erase.list = list;
+      erase.handle = element.handle;
+      ZR_RETURN_IF_ERROR(service_->Delete(erase).status());
       ++removed;
       break;  // one element per (term, doc)
     }
@@ -58,14 +68,16 @@ StatusOr<ClientQueryResult> ZerberClient::QueryTopK(text::TermId term,
   ZR_ASSIGN_OR_RETURN(MergedListId list, ListOf(term));
 
   // Plain Zerber: one request for the entire accessible list.
-  ZR_ASSIGN_OR_RETURN(
-      FetchResult fetched,
-      server_->Fetch(user_, list, 0, std::numeric_limits<size_t>::max()));
+  net::QueryRequest request;
+  request.user = user_;
+  request.list = list;
+  request.count = std::numeric_limits<uint64_t>::max();
+  ZR_ASSIGN_OR_RETURN(net::QueryResponse fetched, service_->Fetch(request));
 
   ClientQueryResult result;
   result.requests = 1;
   result.elements_fetched = fetched.elements.size();
-  result.bytes_fetched = fetched.wire_bytes;
+  result.bytes_fetched = fetched.wire_size;
 
   std::vector<index::ScoredDoc> matches;
   for (const EncryptedPostingElement& element : fetched.elements) {

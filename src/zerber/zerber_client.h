@@ -5,6 +5,10 @@
 // list, decrypts the elements it has keys for, filters them by the queried
 // term and ranks locally. Zerber+R (src/core) replaces exactly this flow
 // with server-side TRS ranking plus the follow-up protocol.
+//
+// Clients speak to the server exclusively through the typed
+// net::ZerberService API — they never touch server internals. Construct them
+// over a net::Transport to get wire-accurate byte accounting.
 
 #ifndef ZERBERR_ZERBER_ZERBER_CLIENT_H_
 #define ZERBERR_ZERBER_ZERBER_CLIENT_H_
@@ -15,11 +19,11 @@
 
 #include "crypto/keys.h"
 #include "index/inverted_index.h"
+#include "net/service.h"
 #include "text/corpus.h"
 #include "util/status.h"
 #include "util/statusor.h"
 #include "zerber/merge_planner.h"
-#include "zerber/zerber_index.h"
 
 namespace zr::zerber {
 
@@ -34,7 +38,7 @@ struct ClientQueryResult {
   /// Posting elements transferred (the paper's total response size TRes).
   uint64_t elements_fetched = 0;
 
-  /// Bytes transferred server -> client.
+  /// Bytes transferred server -> client (serialized response messages).
   uint64_t bytes_fetched = 0;
 };
 
@@ -44,8 +48,9 @@ class ZerberClient {
   /// All pointers must outlive the client. `vocab` supplies term strings for
   /// pseudonym computation (a real client knows its terms directly).
   ZerberClient(UserId user, crypto::KeyStore* keys, const MergePlan* plan,
-               IndexServer* server, const text::Vocabulary* vocab)
-      : user_(user), keys_(keys), plan_(plan), server_(server), vocab_(vocab) {}
+               net::ZerberService* service, const text::Vocabulary* vocab)
+      : user_(user), keys_(keys), plan_(plan), service_(service),
+        vocab_(vocab) {}
 
   /// Builds, seals and uploads one posting element per distinct term of the
   /// document. The raw relevance score (Equation 4) goes inside the sealed
@@ -78,7 +83,7 @@ class ZerberClient {
   UserId user_;
   crypto::KeyStore* keys_;
   const MergePlan* plan_;
-  IndexServer* server_;
+  net::ZerberService* service_;
   const text::Vocabulary* vocab_;
 };
 

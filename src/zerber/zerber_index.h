@@ -31,7 +31,10 @@ struct FetchResult {
   /// has seen the whole (accessible) list.
   bool exhausted = false;
 
-  /// Serialized size of `elements` in bytes (bandwidth accounting).
+  /// Summed element wire sizes (server-side storage/serving accounting,
+  /// Section 6.3). Client-visible transfer accounting instead comes from
+  /// the transport layer, which measures whole response messages; the
+  /// loopback transport asserts the two stay in agreement.
   size_t wire_bytes = 0;
 };
 

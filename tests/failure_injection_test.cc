@@ -112,8 +112,9 @@ TEST(FailureInjectionTest, ClientWithoutServerGroupMembershipSeesNothing) {
   core::Pipeline& p = **pipeline;
 
   // A stranger (user 999, no memberships) with stolen *keys* still gets no
-  // elements from the server: ACL operates independently of crypto.
-  core::ZerberRClient stranger(999, p.keys.get(), &p.plan, p.server.get(),
+  // elements from the server: ACL operates independently of crypto. The
+  // transport is user-agnostic — every request carries its own user id.
+  core::ZerberRClient stranger(999, p.keys.get(), &p.plan, p.transport.get(),
                                &p.corpus.vocabulary(), p.assigner.get());
   text::TermId term = p.corpus.vocabulary().AllTermIds()[0];
   auto result = stranger.QueryTopK(term, 5);

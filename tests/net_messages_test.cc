@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "crypto/keys.h"
+#include "util/random.h"
 
 namespace zr::net {
 namespace {
@@ -102,6 +103,310 @@ TEST(MessagesTest, RequestSizeIsSmall) {
   // Requests must be tiny compared to responses (the uplink is a modem).
   std::string wire = SerializeQueryRequest(QueryRequest{1, 100, 1000, 50});
   EXPECT_LT(wire.size(), 16u);
+}
+
+// ---------------------------------------------------------------------------
+// New message types: InsertResponse, MultiFetch, Delete, error statuses.
+// ---------------------------------------------------------------------------
+
+TEST(MessagesTest, InsertResponseRoundTrip) {
+  InsertResponse response;
+  response.handle = 0xDEADBEEFu;
+  auto parsed = ParseInsertResponse(SerializeInsertResponse(response));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, response);
+}
+
+TEST(MessagesTest, InsertResponseRejectsCorruptInput) {
+  std::string wire = SerializeInsertResponse(InsertResponse{12345, 0});
+  // Garbage prefix.
+  std::string garbage = wire;
+  garbage[0] = 99;
+  EXPECT_TRUE(ParseInsertResponse(garbage).status().IsCorruption());
+  // Truncation at every length.
+  for (size_t n = 0; n < wire.size(); ++n) {
+    EXPECT_FALSE(ParseInsertResponse(wire.substr(0, n)).ok()) << n;
+  }
+  // Trailing bytes.
+  EXPECT_TRUE(ParseInsertResponse(wire + "x").status().IsCorruption());
+}
+
+TEST(MessagesTest, MultiFetchRequestRoundTrip) {
+  MultiFetchRequest request;
+  request.user = 9;
+  request.fetches.push_back(FetchRange{3, 0, 10});
+  request.fetches.push_back(FetchRange{3, 100, 1 << 20});
+  request.fetches.push_back(FetchRange{77, 5, 0});
+  auto parsed = ParseMultiFetchRequest(SerializeMultiFetchRequest(request));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, request);
+}
+
+TEST(MessagesTest, EmptyMultiFetchRequestRoundTrip) {
+  MultiFetchRequest request;
+  request.user = 1;
+  auto parsed = ParseMultiFetchRequest(SerializeMultiFetchRequest(request));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->fetches.empty());
+}
+
+TEST(MessagesTest, MultiFetchRequestRejectsCorruptInput) {
+  MultiFetchRequest request;
+  request.user = 2;
+  request.fetches.push_back(FetchRange{1, 2, 3});
+  std::string wire = SerializeMultiFetchRequest(request);
+  std::string garbage = wire;
+  garbage[0] = 99;
+  EXPECT_TRUE(ParseMultiFetchRequest(garbage).status().IsCorruption());
+  for (size_t n = 0; n < wire.size(); ++n) {
+    EXPECT_FALSE(ParseMultiFetchRequest(wire.substr(0, n)).ok()) << n;
+  }
+  EXPECT_TRUE(ParseMultiFetchRequest(wire + "z").status().IsCorruption());
+}
+
+TEST(MessagesTest, MultiFetchRequestRejectsOverlongCount) {
+  // A fetch count far beyond the message's actual size must be rejected
+  // before any allocation happens.
+  std::string wire;
+  wire.push_back(5);  // MultiFetchRequest tag
+  wire.push_back(1);  // user
+  // varint64 count = 2^40
+  for (char c : {'\x80', '\x80', '\x80', '\x80', '\x80', '\x01'}) {
+    wire.push_back(c);
+  }
+  EXPECT_TRUE(ParseMultiFetchRequest(wire).status().IsCorruption());
+}
+
+TEST(MessagesTest, MultiFetchResponseRoundTrip) {
+  crypto::KeyStore keys("msg-test");
+  ASSERT_TRUE(keys.CreateGroup(1).ok());
+  MultiFetchResponse response;
+  QueryResponse a;
+  a.elements.push_back(MakeElement(&keys, 1, 0.9));
+  a.elements.push_back(MakeElement(&keys, 1, 0.1));
+  QueryResponse b;
+  b.exhausted = true;
+  response.responses.push_back(a);
+  response.responses.push_back(b);
+
+  std::string wire = SerializeMultiFetchResponse(response);
+  auto parsed = ParseMultiFetchResponse(wire);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->responses.size(), 2u);
+  ASSERT_EQ(parsed->responses[0].elements.size(), 2u);
+  EXPECT_EQ(parsed->responses[0].elements[0].sealed, a.elements[0].sealed);
+  EXPECT_FALSE(parsed->responses[0].exhausted);
+  EXPECT_TRUE(parsed->responses[1].exhausted);
+  EXPECT_TRUE(parsed->responses[1].elements.empty());
+  // The parser records each nested response's own wire footprint.
+  EXPECT_EQ(parsed->responses[0].wire_size, WireSizeOfQueryResponse(a));
+  EXPECT_EQ(parsed->responses[1].wire_size, WireSizeOfQueryResponse(b));
+}
+
+TEST(MessagesTest, MultiFetchResponseRejectsCorruptInput) {
+  crypto::KeyStore keys("msg-test");
+  ASSERT_TRUE(keys.CreateGroup(1).ok());
+  MultiFetchResponse response;
+  QueryResponse sub;
+  sub.elements.push_back(MakeElement(&keys, 1, 0.4));
+  response.responses.push_back(sub);
+  std::string wire = SerializeMultiFetchResponse(response);
+  std::string garbage = wire;
+  garbage[0] = 99;
+  EXPECT_TRUE(ParseMultiFetchResponse(garbage).status().IsCorruption());
+  for (size_t n = 0; n < wire.size(); ++n) {
+    EXPECT_FALSE(ParseMultiFetchResponse(wire.substr(0, n)).ok()) << n;
+  }
+  EXPECT_TRUE(ParseMultiFetchResponse(wire + "q").status().IsCorruption());
+}
+
+TEST(MessagesTest, DeleteRequestRoundTrip) {
+  DeleteRequest request{11, 7, 123456789};
+  auto parsed = ParseDeleteRequest(SerializeDeleteRequest(request));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, request);
+}
+
+TEST(MessagesTest, DeleteResponseRoundTrip) {
+  std::string wire = SerializeDeleteResponse(DeleteResponse{});
+  EXPECT_TRUE(ParseDeleteResponse(wire).ok());
+  EXPECT_TRUE(ParseDeleteResponse(wire + "x").status().IsCorruption());
+  EXPECT_FALSE(ParseDeleteResponse("").ok());
+}
+
+TEST(MessagesTest, ErrorResponseCarriesStatusExactly) {
+  Status original = Status::PermissionDenied("user 7 not in group 3");
+  std::string wire = SerializeErrorResponse(original);
+  EXPECT_TRUE(IsErrorResponse(wire));
+  EXPECT_FALSE(IsErrorResponse(SerializeQueryRequest(QueryRequest{})));
+  Status decoded;
+  ASSERT_TRUE(ParseErrorResponse(wire, &decoded).ok());
+  EXPECT_EQ(decoded, original);
+}
+
+TEST(MessagesTest, ErrorResponseRejectsCorruptInput) {
+  std::string wire = SerializeErrorResponse(Status::NotFound("nope"));
+  Status decoded;
+  std::string garbage = wire;
+  garbage[0] = 42;
+  EXPECT_TRUE(ParseErrorResponse(garbage, &decoded).IsCorruption());
+  for (size_t n = 0; n < wire.size(); ++n) {
+    EXPECT_FALSE(ParseErrorResponse(wire.substr(0, n), &decoded).ok()) << n;
+  }
+  // An out-of-range status code is corruption, not a mystery status.
+  std::string bad_code = wire;
+  bad_code[1] = 77;
+  EXPECT_TRUE(ParseErrorResponse(bad_code, &decoded).IsCorruption());
+}
+
+TEST(MessagesTest, NewMessageTypesDoNotCrossParse) {
+  std::string multi = SerializeMultiFetchRequest(MultiFetchRequest{1, {}});
+  std::string insert_ack = SerializeInsertResponse(InsertResponse{5, 0});
+  std::string del = SerializeDeleteRequest(DeleteRequest{1, 2, 3});
+  EXPECT_TRUE(ParseQueryRequest(multi).status().IsCorruption());
+  EXPECT_TRUE(ParseMultiFetchResponse(multi).status().IsCorruption());
+  EXPECT_TRUE(ParseInsertResponse(del).status().IsCorruption());
+  EXPECT_TRUE(ParseDeleteRequest(insert_ack).status().IsCorruption());
+  Status decoded;
+  EXPECT_TRUE(ParseErrorResponse(del, &decoded).IsCorruption());
+}
+
+// ---------------------------------------------------------------------------
+// Property-style round trips: serialize -> parse -> serialize is the
+// identity on the wire form, and the analytic WireSizeOf* functions agree
+// with the real serialized sizes, for randomized instances of every type.
+// ---------------------------------------------------------------------------
+
+TEST(MessagesPropertyTest, RandomizedRoundTripsAndWireSizes) {
+  Rng rng(20090324);
+  crypto::KeyStore keys("property-test");
+  ASSERT_TRUE(keys.CreateGroup(1).ok());
+
+  auto random_query_response = [&](size_t max_elements) {
+    QueryResponse r;
+    r.exhausted = rng.Uniform(2) == 0;
+    size_t n = rng.Uniform(static_cast<uint32_t>(max_elements + 1));
+    for (size_t i = 0; i < n; ++i) {
+      auto e = MakeElement(&keys, 1, static_cast<double>(rng.Uniform(1000)) /
+                                         1000.0);
+      e.handle = rng.NextU64();
+      r.elements.push_back(std::move(e));
+    }
+    return r;
+  };
+
+  for (int trial = 0; trial < 50; ++trial) {
+    {
+      QueryRequest m{rng.NextU32(), rng.NextU32(), rng.NextU64(),
+                     rng.NextU64()};
+      std::string wire = SerializeQueryRequest(m);
+      EXPECT_EQ(wire.size(), WireSizeOfQueryRequest(m));
+      auto parsed = ParseQueryRequest(wire);
+      ASSERT_TRUE(parsed.ok());
+      EXPECT_EQ(SerializeQueryRequest(*parsed), wire);
+    }
+    {
+      QueryResponse m = random_query_response(4);
+      std::string wire = SerializeQueryResponse(m);
+      EXPECT_EQ(wire.size(), WireSizeOfQueryResponse(m));
+      auto parsed = ParseQueryResponse(wire);
+      ASSERT_TRUE(parsed.ok());
+      EXPECT_EQ(SerializeQueryResponse(*parsed), wire);
+    }
+    {
+      InsertRequest m;
+      m.user = rng.NextU32();
+      m.list = rng.NextU32();
+      m.element = MakeElement(&keys, 1, 0.5);
+      m.element.handle = rng.NextU64();
+      std::string wire = SerializeInsertRequest(m);
+      EXPECT_EQ(wire.size(), WireSizeOfInsertRequest(m));
+      auto parsed = ParseInsertRequest(wire);
+      ASSERT_TRUE(parsed.ok());
+      EXPECT_EQ(SerializeInsertRequest(*parsed), wire);
+    }
+    {
+      InsertResponse m{rng.NextU64(), 0};
+      std::string wire = SerializeInsertResponse(m);
+      EXPECT_EQ(wire.size(), WireSizeOfInsertResponse(m));
+      auto parsed = ParseInsertResponse(wire);
+      ASSERT_TRUE(parsed.ok());
+      EXPECT_EQ(SerializeInsertResponse(*parsed), wire);
+    }
+    {
+      MultiFetchRequest m;
+      m.user = rng.NextU32();
+      size_t n = rng.Uniform(5);
+      for (size_t i = 0; i < n; ++i) {
+        m.fetches.push_back(
+            FetchRange{rng.NextU32(), rng.NextU64(), rng.NextU64()});
+      }
+      std::string wire = SerializeMultiFetchRequest(m);
+      EXPECT_EQ(wire.size(), WireSizeOfMultiFetchRequest(m));
+      auto parsed = ParseMultiFetchRequest(wire);
+      ASSERT_TRUE(parsed.ok());
+      EXPECT_EQ(SerializeMultiFetchRequest(*parsed), wire);
+    }
+    {
+      MultiFetchResponse m;
+      size_t n = rng.Uniform(4);
+      for (size_t i = 0; i < n; ++i) {
+        m.responses.push_back(random_query_response(3));
+      }
+      std::string wire = SerializeMultiFetchResponse(m);
+      EXPECT_EQ(wire.size(), WireSizeOfMultiFetchResponse(m));
+      auto parsed = ParseMultiFetchResponse(wire);
+      ASSERT_TRUE(parsed.ok());
+      EXPECT_EQ(SerializeMultiFetchResponse(*parsed), wire);
+    }
+    {
+      DeleteRequest m{rng.NextU32(), rng.NextU32(), rng.NextU64()};
+      std::string wire = SerializeDeleteRequest(m);
+      EXPECT_EQ(wire.size(), WireSizeOfDeleteRequest(m));
+      auto parsed = ParseDeleteRequest(wire);
+      ASSERT_TRUE(parsed.ok());
+      EXPECT_EQ(SerializeDeleteRequest(*parsed), wire);
+    }
+    {
+      DeleteResponse m;
+      std::string wire = SerializeDeleteResponse(m);
+      EXPECT_EQ(wire.size(), WireSizeOfDeleteResponse(m));
+      EXPECT_TRUE(ParseDeleteResponse(wire).ok());
+    }
+    {
+      StatusCode code = static_cast<StatusCode>(1 + rng.Uniform(9));
+      std::string message(rng.Uniform(32), 'e');
+      Status original(code, message);
+      std::string wire = SerializeErrorResponse(original);
+      EXPECT_EQ(wire.size(), WireSizeOfErrorResponse(original));
+      Status decoded;
+      ASSERT_TRUE(ParseErrorResponse(wire, &decoded).ok());
+      EXPECT_EQ(decoded, original);
+      EXPECT_EQ(SerializeErrorResponse(decoded), wire);
+    }
+  }
+}
+
+TEST(MessagesPropertyTest, RandomGarbageNeverParsesAsNewMessages) {
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string junk;
+    size_t len = rng.Uniform(48);
+    for (size_t i = 0; i < len; ++i) {
+      junk.push_back(static_cast<char>(rng.NextU32() & 0xff));
+    }
+    // No randomly-tagged junk may parse as a differently-tagged message.
+    if (!junk.empty()) {
+      junk[0] = 0;  // never a valid tag
+      EXPECT_FALSE(ParseInsertResponse(junk).ok());
+      EXPECT_FALSE(ParseMultiFetchRequest(junk).ok());
+      EXPECT_FALSE(ParseMultiFetchResponse(junk).ok());
+      EXPECT_FALSE(ParseDeleteRequest(junk).ok());
+      EXPECT_FALSE(ParseDeleteResponse(junk).ok());
+      Status decoded;
+      EXPECT_FALSE(ParseErrorResponse(junk, &decoded).ok());
+    }
+  }
 }
 
 }  // namespace

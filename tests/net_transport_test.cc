@@ -1,0 +1,182 @@
+#include "net/transport.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/keys.h"
+
+namespace zr::net {
+namespace {
+
+// Both transports implement the same service contract; loopback must behave
+// observably identically to direct while routing every byte through the
+// wire format.
+class TransportTest : public ::testing::Test {
+ protected:
+  TransportTest()
+      : keys_("transport-test"),
+        server_(/*num_lists=*/2, zerber::Placement::kTrsSorted, 5),
+        service_(&server_),
+        direct_channel_(kModem56k, kModem56k),
+        loopback_channel_(kModem56k, kModem56k),
+        direct_(&service_, &direct_channel_),
+        loopback_(&service_, &loopback_channel_) {
+    EXPECT_TRUE(keys_.CreateGroup(1).ok());
+    EXPECT_TRUE(server_.acl().AddGroup(1).ok());
+    EXPECT_TRUE(server_.acl().GrantMembership(kUser, 1).ok());
+  }
+
+  InsertRequest MakeInsert(uint32_t list, double trs) {
+    auto element = zerber::SealPostingElement(
+        zerber::PostingPayload{3, 4, 0.25}, 1, trs, &keys_);
+    EXPECT_TRUE(element.ok());
+    InsertRequest request;
+    request.user = kUser;
+    request.list = list;
+    request.element = std::move(element).value();
+    return request;
+  }
+
+  static constexpr zerber::UserId kUser = 1;
+  crypto::KeyStore keys_;
+  zerber::IndexServer server_;
+  IndexService service_;
+  SimChannel direct_channel_;
+  SimChannel loopback_channel_;
+  DirectTransport direct_;
+  LoopbackTransport loopback_;
+};
+
+TEST_F(TransportTest, InsertBehavesIdenticallyOverBothTransports) {
+  auto via_direct = direct_.Insert(MakeInsert(0, 0.9));
+  auto via_loopback = loopback_.Insert(MakeInsert(0, 0.8));
+  ASSERT_TRUE(via_direct.ok());
+  ASSERT_TRUE(via_loopback.ok());
+  EXPECT_EQ(server_.TotalElements(), 2u);
+  EXPECT_NE(via_direct->handle, via_loopback->handle);
+  // The ack message is tiny either way, and both account the same bytes.
+  EXPECT_GT(via_direct->wire_size, 0u);
+  EXPECT_EQ(via_direct->wire_size, WireSizeOfInsertResponse(*via_direct));
+}
+
+TEST_F(TransportTest, FetchReturnsIdenticalResponsesAndBytes) {
+  for (double trs : {0.9, 0.6, 0.3}) {
+    ASSERT_TRUE(direct_.Insert(MakeInsert(0, trs)).ok());
+  }
+  direct_.ResetStats();
+  loopback_.ResetStats();
+
+  QueryRequest request;
+  request.user = kUser;
+  request.list = 0;
+  request.count = 10;
+  auto via_direct = direct_.Fetch(request);
+  auto via_loopback = loopback_.Fetch(request);
+  ASSERT_TRUE(via_direct.ok());
+  ASSERT_TRUE(via_loopback.ok());
+
+  ASSERT_EQ(via_direct->elements.size(), via_loopback->elements.size());
+  for (size_t i = 0; i < via_direct->elements.size(); ++i) {
+    EXPECT_EQ(via_direct->elements[i].sealed, via_loopback->elements[i].sealed);
+    EXPECT_EQ(via_direct->elements[i].handle, via_loopback->elements[i].handle);
+  }
+  EXPECT_EQ(via_direct->exhausted, via_loopback->exhausted);
+
+  // Byte accounting: loopback counts real serialized messages; direct's
+  // analytic accounting must agree bit-for-bit.
+  EXPECT_EQ(via_direct->wire_size, via_loopback->wire_size);
+  EXPECT_EQ(via_loopback->wire_size,
+            SerializeQueryResponse(*via_loopback).size());
+  EXPECT_EQ(direct_.stats().exchanges, loopback_.stats().exchanges);
+  EXPECT_EQ(direct_.stats().bytes_up, loopback_.stats().bytes_up);
+  EXPECT_EQ(direct_.stats().bytes_down, loopback_.stats().bytes_down);
+  EXPECT_EQ(loopback_.stats().bytes_up,
+            SerializeQueryRequest(request).size());
+}
+
+TEST_F(TransportTest, MultiFetchReturnsIdenticalResponsesAndBytes) {
+  ASSERT_TRUE(direct_.Insert(MakeInsert(0, 0.9)).ok());
+  ASSERT_TRUE(direct_.Insert(MakeInsert(1, 0.5)).ok());
+  direct_.ResetStats();
+  loopback_.ResetStats();
+
+  MultiFetchRequest request;
+  request.user = kUser;
+  request.fetches.push_back(FetchRange{0, 0, 5});
+  request.fetches.push_back(FetchRange{1, 0, 5});
+  auto via_direct = direct_.MultiFetch(request);
+  auto via_loopback = loopback_.MultiFetch(request);
+  ASSERT_TRUE(via_direct.ok());
+  ASSERT_TRUE(via_loopback.ok());
+
+  ASSERT_EQ(via_direct->responses.size(), 2u);
+  ASSERT_EQ(via_loopback->responses.size(), 2u);
+  EXPECT_EQ(via_direct->wire_size, via_loopback->wire_size);
+  EXPECT_EQ(via_loopback->wire_size,
+            SerializeMultiFetchResponse(*via_loopback).size());
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(via_direct->responses[i].wire_size,
+              via_loopback->responses[i].wire_size);
+  }
+  EXPECT_EQ(direct_.stats().bytes_up, loopback_.stats().bytes_up);
+  EXPECT_EQ(direct_.stats().bytes_down, loopback_.stats().bytes_down);
+}
+
+TEST_F(TransportTest, DeleteBehavesIdenticallyOverBothTransports) {
+  auto inserted = direct_.Insert(MakeInsert(0, 0.7));
+  ASSERT_TRUE(inserted.ok());
+  DeleteRequest request;
+  request.user = kUser;
+  request.list = 0;
+  request.handle = inserted->handle;
+  ASSERT_TRUE(loopback_.Delete(request).ok());
+  EXPECT_EQ(server_.TotalElements(), 0u);
+  // Second delete: the NotFound status must cross the wire intact.
+  auto again = loopback_.Delete(request);
+  EXPECT_TRUE(again.status().IsNotFound());
+}
+
+TEST_F(TransportTest, ServerErrorsCrossTheLoopbackWireIntact) {
+  QueryRequest request;
+  request.user = kUser;
+  request.list = 99;  // no such list
+  request.count = 1;
+  auto via_direct = direct_.Fetch(request);
+  auto via_loopback = loopback_.Fetch(request);
+  ASSERT_FALSE(via_direct.ok());
+  ASSERT_FALSE(via_loopback.ok());
+  // Same code AND same message: the error-status encoding is lossless.
+  EXPECT_EQ(via_loopback.status(), via_direct.status());
+  EXPECT_TRUE(via_loopback.status().IsOutOfRange());
+  // The error response was accounted on both sides, identically.
+  EXPECT_EQ(direct_.stats().bytes_down, loopback_.stats().bytes_down);
+  EXPECT_GT(loopback_.stats().bytes_down, 0u);
+}
+
+TEST_F(TransportTest, ChannelSeesTheSameTrafficAsTheStats) {
+  ASSERT_TRUE(loopback_.Insert(MakeInsert(0, 0.5)).ok());
+  QueryRequest request;
+  request.user = kUser;
+  request.list = 0;
+  request.count = 10;
+  ASSERT_TRUE(loopback_.Fetch(request).ok());
+
+  EXPECT_EQ(loopback_channel_.bytes_up(), loopback_.stats().bytes_up);
+  EXPECT_EQ(loopback_channel_.bytes_down(), loopback_.stats().bytes_down);
+  EXPECT_EQ(loopback_channel_.messages_up(), loopback_.stats().exchanges);
+  EXPECT_EQ(loopback_channel_.messages_down(), loopback_.stats().exchanges);
+  EXPECT_GT(loopback_channel_.TotalTransferSeconds(), 0.0);
+}
+
+TEST_F(TransportTest, MakeTransportBuildsTheRequestedKind) {
+  auto direct = MakeTransport(TransportKind::kDirect, &service_);
+  auto loopback = MakeTransport(TransportKind::kLoopback, &service_);
+  ASSERT_NE(direct, nullptr);
+  ASSERT_NE(loopback, nullptr);
+  EXPECT_NE(dynamic_cast<DirectTransport*>(direct.get()), nullptr);
+  EXPECT_NE(dynamic_cast<LoopbackTransport*>(loopback.get()), nullptr);
+  EXPECT_STREQ(TransportKindName(TransportKind::kDirect), "direct");
+  EXPECT_STREQ(TransportKindName(TransportKind::kLoopback), "loopback");
+}
+
+}  // namespace
+}  // namespace zr::net

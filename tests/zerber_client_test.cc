@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "index/inverted_index.h"
+#include "net/service.h"
+#include "net/transport.h"
 #include "synth/corpus_generator.h"
 #include "zerber/merge_planner.h"
 
@@ -37,8 +39,10 @@ class ZerberClientTest : public ::testing::Test {
     ASSERT_TRUE(server_->acl().GrantMembership(kUser, 0).ok());
     ASSERT_TRUE(server_->acl().GrantMembership(kUser, 1).ok());
 
+    service_ = std::make_unique<net::IndexService>(server_.get());
+    transport_ = std::make_unique<net::DirectTransport>(service_.get());
     client_ = std::make_unique<ZerberClient>(kUser, keys_.get(), plan_.get(),
-                                             server_.get(),
+                                             transport_.get(),
                                              &corpus_->vocabulary());
     for (const auto& doc : corpus_->documents()) {
       ASSERT_TRUE(client_->IndexDocument(doc).ok());
@@ -50,6 +54,8 @@ class ZerberClientTest : public ::testing::Test {
   std::unique_ptr<MergePlan> plan_;
   std::unique_ptr<crypto::KeyStore> keys_;
   std::unique_ptr<IndexServer> server_;
+  std::unique_ptr<net::IndexService> service_;
+  std::unique_ptr<net::DirectTransport> transport_;
   std::unique_ptr<ZerberClient> client_;
 };
 
