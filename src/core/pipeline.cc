@@ -77,29 +77,49 @@ StatusOr<std::unique_ptr<Pipeline>> Assemble(text::Corpus corpus,
         zerber::PlanRandomMerge(p->corpus, options.preset.r, options.seed));
   }
 
-  // 6. Server with ACLs; the experiment user may read every group.
-  p->server = std::make_unique<zerber::IndexServer>(
-      p->plan.NumLists(), options.placement, options.seed ^ 0x0F0F);
-  for (crypto::GroupId g : groups) {
-    ZR_RETURN_IF_ERROR(p->server->acl().AddGroup(g));
-    ZR_RETURN_IF_ERROR(p->server->acl().GrantMembership(p->user, g));
+  // 6. Server with ACLs; the experiment user may read every group. One
+  // IndexServer when unsharded, a ShardedIndexService otherwise.
+  net::ZerberService* backend = nullptr;
+  if (options.num_shards > 1) {
+    zerber::ShardedIndexService::Options sharding;
+    sharding.num_shards = options.num_shards;
+    sharding.num_workers = options.num_shard_workers;
+    sharding.placement = options.placement;
+    sharding.seed = options.seed ^ 0x0F0F;
+    p->sharded = std::make_unique<zerber::ShardedIndexService>(
+        p->plan.NumLists(), sharding);
+    for (crypto::GroupId g : groups) {
+      ZR_RETURN_IF_ERROR(p->sharded->AddGroup(g));
+      ZR_RETURN_IF_ERROR(p->sharded->GrantMembership(p->user, g));
+    }
+    backend = p->sharded.get();
+  } else {
+    p->server = std::make_unique<zerber::IndexServer>(
+        p->plan.NumLists(), options.placement, options.seed ^ 0x0F0F);
+    for (crypto::GroupId g : groups) {
+      ZR_RETURN_IF_ERROR(p->server->acl().AddGroup(g));
+      ZR_RETURN_IF_ERROR(p->server->acl().GrantMembership(p->user, g));
+    }
+    // 7. Service boundary: typed API over the server (the sharded backend
+    // implements ZerberService directly).
+    p->service = std::make_unique<net::IndexService>(p->server.get());
+    backend = p->service.get();
   }
 
-  // 7. Service boundary: typed API over the server, client traffic routed
-  // through the configured transport (byte counts land on the channel).
-  p->service = std::make_unique<net::IndexService>(p->server.get());
+  // 8. Client traffic routed through the configured transport (byte counts
+  // land on the channel).
   p->channel = std::make_unique<net::SimChannel>(net::kModem56k,
                                                  net::kModem56k);
-  p->transport = net::MakeTransport(options.transport, p->service.get(),
+  p->transport = net::MakeTransport(options.transport, backend,
                                     p->channel.get());
 
-  // 8. Client + encrypted index build.
+  // 9. Client + encrypted index build.
   p->client = std::make_unique<ZerberRClient>(
       p->user, p->keys.get(), &p->plan, p->transport.get(),
       &p->corpus.vocabulary(), p->assigner.get(), options.protocol);
   ZR_RETURN_IF_ERROR(BuildEncryptedIndex(p->corpus, p->client.get()));
 
-  // 9. Plaintext comparator.
+  // 10. Plaintext comparator.
   if (options.build_baseline_index) {
     p->baseline = index::InvertedIndex::Build(
         p->corpus, index::ScoringModel::kNormalizedTf);

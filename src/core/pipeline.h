@@ -27,6 +27,7 @@
 #include "util/status.h"
 #include "util/statusor.h"
 #include "zerber/merge_planner.h"
+#include "zerber/sharded_index.h"
 #include "zerber/zerber_index.h"
 
 namespace zr::core {
@@ -64,6 +65,18 @@ struct PipelineOptions {
   /// exercises encode/decode). Results are identical either way.
   net::TransportKind transport = net::TransportKind::kDirect;
 
+  /// Index shards serving the merged lists. 1 (the default) deploys the
+  /// single IndexServer backend (Pipeline::server + Pipeline::service);
+  /// >1 deploys a ShardedIndexService (Pipeline::sharded) — merged lists
+  /// are partitioned round-robin and MultiFetch fans out across shards.
+  /// Both transports, clients and results are identical either way.
+  size_t num_shards = 1;
+
+  /// MultiFetch worker threads of the sharded backend; only meaningful
+  /// when num_shards > 1. ShardedIndexService::kAutoWorkers sizes the pool
+  /// from the hardware.
+  size_t num_shard_workers = zerber::ShardedIndexService::kAutoWorkers;
+
   /// Build the plaintext InvertedIndex comparator too.
   bool build_baseline_index = true;
 
@@ -91,11 +104,17 @@ struct Pipeline {
   zerber::MergePlan plan;
   std::unique_ptr<crypto::KeyStore> keys;
   std::unique_ptr<TrsAssigner> assigner;
+
+  /// Backend (exactly one is set, by options.num_shards): the single
+  /// IndexServer behind an IndexService adapter, or the sharded service.
   std::unique_ptr<zerber::IndexServer> server;
+  std::unique_ptr<zerber::ShardedIndexService> sharded;
 
   /// Service boundary: the server behind the typed ZerberService API, and
   /// the transport the client's traffic is routed through. The channel
   /// accumulates that traffic under the paper's user link model (56 kb/s).
+  /// `service` is null in sharded deployments (ShardedIndexService is
+  /// itself the ZerberService backend).
   std::unique_ptr<net::IndexService> service;
   std::unique_ptr<net::SimChannel> channel;
   std::unique_ptr<net::Transport> transport;

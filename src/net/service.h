@@ -19,8 +19,9 @@ namespace zr::net {
 
 /// The client<->server protocol, one virtual per message exchange.
 ///
-/// Implementations: IndexService (the real server), DirectTransport and
-/// LoopbackTransport (client-side stubs forwarding to a backend service).
+/// Implementations: IndexService (single-server backend),
+/// zerber::ShardedIndexService (thread-safe sharded backend), DirectTransport
+/// and LoopbackTransport (client-side stubs forwarding to a backend service).
 class ZerberService {
  public:
   virtual ~ZerberService() = default;

@@ -6,6 +6,7 @@
 namespace zr::zerber {
 
 void MergedList::Insert(EncryptedPostingElement element, Rng* rng) {
+  ++group_counts_[element.group];
   switch (placement_) {
     case Placement::kRandomPlacement: {
       assert(rng != nullptr && "random placement requires an Rng");
@@ -39,20 +40,36 @@ std::vector<EncryptedPostingElement> MergedList::Range(size_t offset,
 }
 
 const EncryptedPostingElement* MergedList::FindByHandle(uint64_t handle) const {
-  for (const auto& e : elements_) {
-    if (e.handle == handle) return &e;
+  size_t index = IndexOfHandle(handle);
+  return index == kNpos ? nullptr : &elements_[index];
+}
+
+size_t MergedList::IndexOfHandle(uint64_t handle) const {
+  for (size_t i = 0; i < elements_.size(); ++i) {
+    if (elements_[i].handle == handle) return i;
   }
-  return nullptr;
+  return kNpos;
+}
+
+void MergedList::EraseAt(size_t index) {
+  assert(index < elements_.size());
+  auto count = group_counts_.find(elements_[index].group);
+  if (count != group_counts_.end() && --count->second == 0) {
+    group_counts_.erase(count);
+  }
+  elements_.erase(elements_.begin() + static_cast<long>(index));
 }
 
 bool MergedList::EraseByHandle(uint64_t handle) {
-  for (auto it = elements_.begin(); it != elements_.end(); ++it) {
-    if (it->handle == handle) {
-      elements_.erase(it);
-      return true;
-    }
-  }
-  return false;
+  size_t index = IndexOfHandle(handle);
+  if (index == kNpos) return false;
+  EraseAt(index);
+  return true;
+}
+
+size_t MergedList::CountForGroup(crypto::GroupId group) const {
+  auto it = group_counts_.find(group);
+  return it == group_counts_.end() ? 0 : it->second;
 }
 
 size_t MergedList::TotalWireSize() const {

@@ -10,6 +10,7 @@
 #define ZERBERR_ZERBER_MERGED_LIST_H_
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "util/random.h"
@@ -35,11 +36,22 @@ class MergedList {
   /// Appends an element at the tail, preserving a previously persisted
   /// order. Only for snapshot restore (zerber/persistence.h).
   void AppendRestored(EncryptedPostingElement element) {
+    ++group_counts_[element.group];
     elements_.push_back(std::move(element));
   }
 
+  /// "Not found" position of IndexOfHandle.
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+
   /// Finds an element by server handle; nullptr if absent.
   const EncryptedPostingElement* FindByHandle(uint64_t handle) const;
+
+  /// Position of the element with the given handle; kNpos if absent. Lets
+  /// callers inspect-then-erase with a single scan.
+  size_t IndexOfHandle(uint64_t handle) const;
+
+  /// Removes the element at `index` (must be < size()).
+  void EraseAt(size_t index);
 
   /// Removes the element with the given handle. False if absent.
   bool EraseByHandle(uint64_t handle);
@@ -52,6 +64,17 @@ class MergedList {
     return elements_;
   }
 
+  /// Element count per group tag, maintained incrementally on every
+  /// insert/erase. Lets the server answer "how many of this list's elements
+  /// can user u see?" in O(groups present) instead of O(elements) — the
+  /// exhaustion fast path of IndexServer::Fetch.
+  const std::map<crypto::GroupId, size_t>& group_counts() const {
+    return group_counts_;
+  }
+
+  /// Elements carrying `group`'s tag (0 when the group never appears).
+  size_t CountForGroup(crypto::GroupId group) const;
+
   size_t size() const { return elements_.size(); }
   Placement placement() const { return placement_; }
 
@@ -61,6 +84,7 @@ class MergedList {
  private:
   Placement placement_;
   std::vector<EncryptedPostingElement> elements_;
+  std::map<crypto::GroupId, size_t> group_counts_;
 };
 
 }  // namespace zr::zerber

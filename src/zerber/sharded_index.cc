@@ -1,0 +1,277 @@
+#include "zerber/sharded_index.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace zr::zerber {
+
+namespace {
+
+/// Lists owned by shard `s`: global ids congruent to s modulo num_shards.
+size_t ListsOnShard(size_t num_lists, size_t num_shards, size_t s) {
+  if (s >= num_lists) return 0;
+  return (num_lists - s + num_shards - 1) / num_shards;
+}
+
+/// SplitMix64 finalizer. Shard seeds must not be an affine family of the
+/// constant IndexServer uses for its per-stripe streams, or shard s stripe i
+/// and shard s+1 stripe i-1 would collapse to the same seed and draw
+/// identical random-placement sequences — hashing breaks the structure, so
+/// the shards behave like N independently seeded servers.
+uint64_t MixSeed(uint64_t seed) {
+  seed ^= seed >> 30;
+  seed *= 0xBF58476D1CE4E5B9ull;
+  seed ^= seed >> 27;
+  seed *= 0x94D049BB133111EBull;
+  seed ^= seed >> 31;
+  return seed;
+}
+
+}  // namespace
+
+ShardedIndexService::ShardedIndexService(size_t num_lists,
+                                         const Options& options)
+    : num_lists_(num_lists) {
+  size_t num_shards = std::max<size_t>(1, options.num_shards);
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<IndexServer>(
+        ListsOnShard(num_lists, num_shards, s), options.placement,
+        MixSeed(options.seed + 0x9E3779B97F4A7C15ull * (s + 1)),
+        HandleSpace{num_shards, s}));
+  }
+
+  size_t num_workers = options.num_workers;
+  if (num_workers == kAutoWorkers) {
+    size_t hardware = std::thread::hardware_concurrency();
+    if (hardware == 0) hardware = 2;
+    size_t target = std::min(num_shards, hardware);
+    num_workers = target > 0 ? target - 1 : 0;
+  }
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ShardedIndexService::~ShardedIndexService() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ShardedIndexService::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ShardedIndexService::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+}
+
+Status ShardedIndexService::CheckList(MergedListId list) const {
+  if (list >= num_lists_) {
+    return Status::OutOfRange("merged list " + std::to_string(list) +
+                              " does not exist");
+  }
+  return Status::OK();
+}
+
+// Single-exchange requests forward to the owning shard even when the global
+// list id is out of range: a global id >= num_lists always maps to a local
+// id >= that shard's list count (L = s + k*N is valid iff k < the shard's
+// count), so the shard rejects it with OutOfRange — and counts the request,
+// keeping ServerStats totals identical to the single-server backend under
+// the documented offered-load policy.
+
+StatusOr<net::InsertResponse> ShardedIndexService::Insert(
+    const net::InsertRequest& request) {
+  size_t s = ShardOfList(request.list);
+  ZR_ASSIGN_OR_RETURN(uint64_t handle,
+                      shards_[s]->Insert(request.user,
+                                         LocalListId(request.list),
+                                         request.element));
+  net::InsertResponse response;
+  response.handle = handle;
+  return response;
+}
+
+StatusOr<net::QueryResponse> ShardedIndexService::Fetch(
+    const net::QueryRequest& request) {
+  size_t s = ShardOfList(request.list);
+  ZR_ASSIGN_OR_RETURN(
+      FetchResult fetched,
+      shards_[s]->Fetch(request.user, LocalListId(request.list),
+                        static_cast<size_t>(request.offset),
+                        static_cast<size_t>(request.count)));
+  net::QueryResponse response;
+  response.elements = std::move(fetched.elements);
+  response.exhausted = fetched.exhausted;
+  return response;
+}
+
+StatusOr<net::MultiFetchResponse> ShardedIndexService::MultiFetch(
+    const net::MultiFetchRequest& request) {
+  const std::vector<net::FetchRange>& fetches = request.fetches;
+  // Validate every range upfront so the call fails atomically before any
+  // shard does work.
+  for (const net::FetchRange& f : fetches) {
+    ZR_RETURN_IF_ERROR(CheckList(f.list));
+  }
+
+  net::MultiFetchResponse response;
+  response.responses.resize(fetches.size());
+
+  // Group ranges by owning shard; one task per shard with work.
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  for (size_t i = 0; i < fetches.size(); ++i) {
+    by_shard[ShardOfList(fetches[i].list)].push_back(i);
+  }
+  std::vector<size_t> active;
+  for (size_t s = 0; s < by_shard.size(); ++s) {
+    if (!by_shard[s].empty()) active.push_back(s);
+  }
+
+  std::mutex error_mu;
+  size_t first_error_index = static_cast<size_t>(-1);
+  Status first_error = Status::OK();
+
+  auto run_shard = [&](size_t s) {
+    for (size_t idx : by_shard[s]) {
+      const net::FetchRange& f = fetches[idx];
+      auto fetched = shards_[s]->Fetch(request.user, LocalListId(f.list),
+                                       static_cast<size_t>(f.offset),
+                                       static_cast<size_t>(f.count));
+      if (!fetched.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (idx < first_error_index) {
+          first_error_index = idx;
+          first_error = fetched.status();
+        }
+        return;
+      }
+      net::QueryResponse& out = response.responses[idx];
+      out.elements = std::move(fetched->elements);
+      out.exhausted = fetched->exhausted;
+    }
+  };
+
+  if (active.size() <= 1 || workers_.empty()) {
+    for (size_t s : active) run_shard(s);
+  } else {
+    // Fan out: every shard batch but the first goes to the pool; the
+    // calling thread serves the first itself, then waits for the rest.
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    size_t remaining = active.size() - 1;
+    for (size_t i = 1; i < active.size(); ++i) {
+      size_t s = active[i];
+      Enqueue([&, s] {
+        run_shard(s);
+        // Notify *while holding the lock*: done_mu/done_cv live on the
+        // caller's stack, and the caller may destroy them as soon as it
+        // observes remaining == 0 — which it cannot do before this unlock.
+        std::lock_guard<std::mutex> lock(done_mu);
+        --remaining;
+        done_cv.notify_one();
+      });
+    }
+    run_shard(active[0]);
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  }
+
+  if (first_error_index != static_cast<size_t>(-1)) return first_error;
+  return response;
+}
+
+StatusOr<net::DeleteResponse> ShardedIndexService::Delete(
+    const net::DeleteRequest& request) {
+  // Routes by list id alone — no broadcast. A handle whose residue class
+  // disagrees with the list's shard (ShardOfHandle != ShardOfList) cannot
+  // exist there, since shard s only ever assigns handles with h % N == s;
+  // the shard's own lookup reports it NotFound (and counts the request).
+  size_t s = ShardOfList(request.list);
+  ZR_RETURN_IF_ERROR(shards_[s]->Delete(request.user,
+                                        LocalListId(request.list),
+                                        request.handle));
+  return net::DeleteResponse{};
+}
+
+Status ShardedIndexService::AddGroup(crypto::GroupId group) {
+  for (auto& shard : shards_) {
+    ZR_RETURN_IF_ERROR(shard->acl().AddGroup(group));
+  }
+  return Status::OK();
+}
+
+Status ShardedIndexService::GrantMembership(UserId user,
+                                            crypto::GroupId group) {
+  for (auto& shard : shards_) {
+    ZR_RETURN_IF_ERROR(shard->acl().GrantMembership(user, group));
+  }
+  return Status::OK();
+}
+
+Status ShardedIndexService::RevokeMembership(UserId user,
+                                             crypto::GroupId group) {
+  for (auto& shard : shards_) {
+    ZR_RETURN_IF_ERROR(shard->acl().RevokeMembership(user, group));
+  }
+  return Status::OK();
+}
+
+uint64_t ShardedIndexService::TotalElements() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->TotalElements();
+  return total;
+}
+
+uint64_t ShardedIndexService::TotalWireSize() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->TotalWireSize();
+  return total;
+}
+
+ServerStats ShardedIndexService::stats() const {
+  ServerStats total;
+  for (const auto& shard : shards_) {
+    ServerStats s = shard->stats();
+    total.fetch_requests += s.fetch_requests;
+    total.insert_requests += s.insert_requests;
+    total.insert_denied += s.insert_denied;
+    total.delete_requests += s.delete_requests;
+    total.delete_denied += s.delete_denied;
+    total.elements_served += s.elements_served;
+    total.bytes_served += s.bytes_served;
+  }
+  return total;
+}
+
+void ShardedIndexService::ResetStats() {
+  for (auto& shard : shards_) shard->ResetStats();
+}
+
+StatusOr<const MergedList*> ShardedIndexService::GetList(
+    MergedListId list) const {
+  ZR_RETURN_IF_ERROR(CheckList(list));
+  return shards_[ShardOfList(list)]->GetList(LocalListId(list));
+}
+
+}  // namespace zr::zerber

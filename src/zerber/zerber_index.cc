@@ -1,11 +1,23 @@
 #include "zerber/zerber_index.h"
 
+#include <mutex>
+
 namespace zr::zerber {
 
-IndexServer::IndexServer(size_t num_lists, Placement placement, uint64_t seed)
-    : placement_(placement), rng_(seed) {
+IndexServer::IndexServer(size_t num_lists, Placement placement, uint64_t seed,
+                         HandleSpace handles)
+    : placement_(placement), handles_(handles) {
   lists_.reserve(num_lists);
   for (size_t i = 0; i < num_lists; ++i) lists_.emplace_back(placement);
+  stripe_rngs_.reserve(kLockStripes);
+  for (size_t i = 0; i < kLockStripes; ++i) {
+    stripe_rngs_.emplace_back(seed + 0x9E3779B97F4A7C15ull * i);
+  }
+}
+
+uint64_t IndexServer::AssignHandle() {
+  uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  return handles_.offset + seq * handles_.stride;
 }
 
 Status IndexServer::RestoreElements(
@@ -14,10 +26,20 @@ Status IndexServer::RestoreElements(
     return Status::OutOfRange("merged list " + std::to_string(list) +
                               " does not exist");
   }
+  std::unique_lock lock(stripe_locks_[StripeOf(list)]);
   for (auto& element : elements) {
-    // Keep the handle counter ahead of restored handles so post-restore
-    // inserts never collide.
-    if (element.handle >= next_handle_) next_handle_ = element.handle + 1;
+    // Keep the sequence counter ahead of restored handles so post-restore
+    // inserts never collide (handles in this server's residue class map back
+    // to their sequence number; foreign residues round up conservatively).
+    uint64_t past_offset =
+        element.handle >= handles_.offset ? element.handle - handles_.offset
+                                          : 0;
+    uint64_t min_next = past_offset / handles_.stride + 1;
+    uint64_t seen = next_seq_.load(std::memory_order_relaxed);
+    while (seen < min_next &&
+           !next_seq_.compare_exchange_weak(seen, min_next,
+                                            std::memory_order_relaxed)) {
+    }
     lists_[list].AppendRestored(std::move(element));
   }
   return Status::OK();
@@ -25,73 +47,112 @@ Status IndexServer::RestoreElements(
 
 StatusOr<uint64_t> IndexServer::Insert(UserId user, MergedListId list,
                                        EncryptedPostingElement element) {
-  ++stats_.insert_requests;
+  stats_.insert_requests.fetch_add(1, std::memory_order_relaxed);
   if (list >= lists_.size()) {
     return Status::OutOfRange("merged list " + std::to_string(list) +
                               " does not exist");
   }
-  ZR_RETURN_IF_ERROR(acl_.CheckAccess(user, element.group));
-  element.handle = next_handle_++;
+  Status access = acl_.CheckAccess(user, element.group);
+  if (!access.ok()) {
+    // Any CheckAccess failure is an ACL rejection (PermissionDenied for
+    // non-members, NotFound for an unregistered group).
+    stats_.insert_denied.fetch_add(1, std::memory_order_relaxed);
+    return access;
+  }
+  element.handle = AssignHandle();
   uint64_t handle = element.handle;
-  lists_[list].Insert(std::move(element), &rng_);
+  size_t stripe = StripeOf(list);
+  std::unique_lock lock(stripe_locks_[stripe]);
+  lists_[list].Insert(std::move(element), &stripe_rngs_[stripe]);
   return handle;
 }
 
 Status IndexServer::Delete(UserId user, MergedListId list, uint64_t handle) {
+  stats_.delete_requests.fetch_add(1, std::memory_order_relaxed);
   if (list >= lists_.size()) {
     return Status::OutOfRange("merged list " + std::to_string(list) +
                               " does not exist");
   }
-  const EncryptedPostingElement* element = lists_[list].FindByHandle(handle);
-  if (element == nullptr) {
+  std::unique_lock lock(stripe_locks_[StripeOf(list)]);
+  // Single scan: locate once, check the ACL on the element in place, then
+  // erase by position (the stripe writer lock pins the index).
+  size_t index = lists_[list].IndexOfHandle(handle);
+  if (index == MergedList::kNpos) {
     return Status::NotFound("no element with handle " +
                             std::to_string(handle));
   }
-  ZR_RETURN_IF_ERROR(acl_.CheckAccess(user, element->group));
-  lists_[list].EraseByHandle(handle);
+  Status access = acl_.CheckAccess(user, lists_[list].elements()[index].group);
+  if (!access.ok()) {
+    stats_.delete_denied.fetch_add(1, std::memory_order_relaxed);
+    return access;
+  }
+  lists_[list].EraseAt(index);
   return Status::OK();
 }
 
 StatusOr<FetchResult> IndexServer::Fetch(UserId user, MergedListId list,
                                          size_t offset, size_t count) {
-  ++stats_.fetch_requests;
+  stats_.fetch_requests.fetch_add(1, std::memory_order_relaxed);
   if (list >= lists_.size()) {
     return Status::OutOfRange("merged list " + std::to_string(list) +
                               " does not exist");
   }
   FetchResult result;
-  const auto& elements = lists_[list].elements();
-  size_t accessible_seen = 0;
-  size_t i = 0;
-  for (; i < elements.size() && result.elements.size() < count; ++i) {
-    const auto& e = elements[i];
-    if (!acl_.IsMember(user, e.group)) continue;
-    if (accessible_seen++ < offset) continue;
-    result.elements.push_back(e);
-    result.wire_bytes += e.WireSize();
-  }
-  // Exhausted iff no accessible element remains at or beyond position i.
-  result.exhausted = true;
-  for (; i < elements.size(); ++i) {
-    if (acl_.IsMember(user, elements[i].group)) {
-      result.exhausted = false;
-      break;
+  {
+    std::shared_lock lock(stripe_locks_[StripeOf(list)]);
+    const MergedList& merged = lists_[list];
+
+    // Size of the accessible subsequence, from per-group bookkeeping —
+    // O(groups present in the list), independent of list length.
+    size_t accessible_total = 0;
+    for (const auto& [group, group_count] : merged.group_counts()) {
+      if (acl_.IsMember(user, group)) accessible_total += group_count;
     }
+
+    const auto& elements = merged.elements();
+    size_t accessible_seen = 0;
+    for (size_t i = 0;
+         i < elements.size() && result.elements.size() < count; ++i) {
+      const auto& e = elements[i];
+      if (!acl_.IsMember(user, e.group)) continue;
+      if (accessible_seen++ < offset) continue;
+      result.elements.push_back(e);
+      result.wire_bytes += e.WireSize();
+    }
+    // Exhausted iff the window [offset, offset+count) covers the tail of
+    // the accessible subsequence (overflow-safe form of
+    // offset + count >= accessible_total).
+    result.exhausted =
+        offset >= accessible_total || count >= accessible_total - offset;
   }
-  stats_.elements_served += result.elements.size();
-  stats_.bytes_served += result.wire_bytes;
+  stats_.elements_served.fetch_add(result.elements.size(),
+                                   std::memory_order_relaxed);
+  stats_.bytes_served.fetch_add(result.wire_bytes, std::memory_order_relaxed);
   return result;
 }
 
 uint64_t IndexServer::TotalElements() const {
   uint64_t total = 0;
-  for (const auto& l : lists_) total += l.size();
+  // One lock acquisition per stripe, not per list.
+  for (size_t stripe = 0; stripe < kLockStripes && stripe < lists_.size();
+       ++stripe) {
+    std::shared_lock lock(stripe_locks_[stripe]);
+    for (size_t i = stripe; i < lists_.size(); i += kLockStripes) {
+      total += lists_[i].size();
+    }
+  }
   return total;
 }
 
 uint64_t IndexServer::TotalWireSize() const {
   uint64_t total = 0;
-  for (const auto& l : lists_) total += l.TotalWireSize();
+  for (size_t stripe = 0; stripe < kLockStripes && stripe < lists_.size();
+       ++stripe) {
+    std::shared_lock lock(stripe_locks_[stripe]);
+    for (size_t i = stripe; i < lists_.size(); i += kLockStripes) {
+      total += lists_[i].TotalWireSize();
+    }
+  }
   return total;
 }
 
@@ -101,6 +162,31 @@ StatusOr<const MergedList*> IndexServer::GetList(MergedListId list) const {
                               " does not exist");
   }
   return &lists_[list];
+}
+
+ServerStats IndexServer::stats() const {
+  ServerStats snapshot;
+  snapshot.fetch_requests = stats_.fetch_requests.load(std::memory_order_relaxed);
+  snapshot.insert_requests =
+      stats_.insert_requests.load(std::memory_order_relaxed);
+  snapshot.insert_denied = stats_.insert_denied.load(std::memory_order_relaxed);
+  snapshot.delete_requests =
+      stats_.delete_requests.load(std::memory_order_relaxed);
+  snapshot.delete_denied = stats_.delete_denied.load(std::memory_order_relaxed);
+  snapshot.elements_served =
+      stats_.elements_served.load(std::memory_order_relaxed);
+  snapshot.bytes_served = stats_.bytes_served.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void IndexServer::ResetStats() {
+  stats_.fetch_requests.store(0, std::memory_order_relaxed);
+  stats_.insert_requests.store(0, std::memory_order_relaxed);
+  stats_.insert_denied.store(0, std::memory_order_relaxed);
+  stats_.delete_requests.store(0, std::memory_order_relaxed);
+  stats_.delete_denied.store(0, std::memory_order_relaxed);
+  stats_.elements_served.store(0, std::memory_order_relaxed);
+  stats_.bytes_served.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace zr::zerber

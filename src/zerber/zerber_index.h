@@ -5,11 +5,33 @@
 // members of the element's group and filters query responses down to groups
 // the querying user may read. It never sees terms, documents, or raw scores
 // — only group tags, TRS values and ciphertext.
+//
+// Thread-safety contract (changed when sharded serving landed): the request
+// path — Insert, Delete, Fetch — and the aggregate accessors TotalElements /
+// TotalWireSize / stats / ResetStats are safe to call from any number of
+// threads concurrently. Internally each merged list is guarded by one of a
+// fixed set of striped reader-writer locks (fetches on a list proceed in
+// parallel; writes to a list exclude each other), handles come from an
+// atomic counter, and counters are atomic. The *operator / offline* surface
+// is exempt: ACL mutation (acl()), GetList and RestoreElements must only run
+// while no request-path call is in flight (provisioning, snapshot
+// save/restore and adversary inspection all happen at quiescence).
+//
+// Stats counting policy: every arriving request increments its *_requests
+// counter whether or not it succeeds — a rejected request still cost the
+// server an authentication + lookup, and the evaluation harness wants
+// offered load, not goodput. The *_denied counters additionally count the
+// subset the ACL rejected (non-member of a known group, or a group that was
+// never registered), so accepted = requests - denied - non-ACL failures
+// (malformed list ids, and for Delete an unknown handle).
 
 #ifndef ZERBERR_ZERBER_ZERBER_INDEX_H_
 #define ZERBERR_ZERBER_ZERBER_INDEX_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <shared_mutex>
 #include <vector>
 
 #include "util/random.h"
@@ -27,33 +49,58 @@ struct FetchResult {
   /// Accessible elements in list order, at most `count` of them.
   std::vector<EncryptedPostingElement> elements;
 
-  /// True when no accessible elements remain beyond this range — the client
-  /// has seen the whole (accessible) list.
+  /// True when the requested window reaches the end of the accessible
+  /// subsequence for this user: offset + count >= (elements the user may
+  /// see). Edge cases follow from that formula: count == 0 fetches nothing
+  /// and is exhausted iff offset is at or past the end; an offset past the
+  /// end returns no elements and exhausted == true; a user with no
+  /// accessible groups sees an empty, exhausted list.
   bool exhausted = false;
 
   /// Summed element wire sizes (server-side storage/serving accounting,
   /// Section 6.3). Client-visible transfer accounting instead comes from
   /// the transport layer, which measures whole response messages; the
-  /// loopback transport asserts the two stay in agreement.
+  /// loopback transport asserts the two stay in agreement. Always 0 when
+  /// `elements` is empty.
   size_t wire_bytes = 0;
 };
 
-/// Cumulative server-side counters for the evaluation harness.
+/// Cumulative server-side counters for the evaluation harness. See the
+/// counting policy above: *_requests counts every arriving request,
+/// including rejected ones; *_denied counts ACL rejections.
 struct ServerStats {
   uint64_t fetch_requests = 0;
   uint64_t insert_requests = 0;
+  uint64_t insert_denied = 0;
+  uint64_t delete_requests = 0;
+  uint64_t delete_denied = 0;
   uint64_t elements_served = 0;
   uint64_t bytes_served = 0;
 };
 
-/// The index server. One instance per deployment; thread-compatible.
+/// The residue class a server assigns handles from: handle = offset +
+/// seq * stride, seq = 1, 2, ... Sharded deployments give shard s of N the
+/// space {stride = N, offset = s}, so handle % N recovers the owning shard
+/// and handles stay unique across shards without coordination. The default
+/// {1, 0} yields the classic dense sequence 1, 2, 3, ...
+struct HandleSpace {
+  uint64_t stride = 1;
+  uint64_t offset = 0;
+};
+
+/// The index server: one shard's worth of merged lists (a single-server
+/// deployment is the one-shard special case). Request path is thread-safe;
+/// see the contract at the top of this header.
 class IndexServer {
  public:
   /// Creates a server with `num_lists` empty merged lists using the given
-  /// placement discipline. `seed` drives random placement.
-  IndexServer(size_t num_lists, Placement placement, uint64_t seed = 1);
+  /// placement discipline. `seed` drives random placement; `handles`
+  /// selects the handle residue class (sharding).
+  IndexServer(size_t num_lists, Placement placement, uint64_t seed = 1,
+              HandleSpace handles = {});
 
-  /// Access-control registry (server operator API).
+  /// Access-control registry (server operator API). Mutations require
+  /// quiescence — provision groups/memberships before serving traffic.
   AccessControl& acl() { return acl_; }
   const AccessControl& acl() const { return acl_; }
 
@@ -73,7 +120,9 @@ class IndexServer {
   /// Returns up to `count` accessible elements of `list`, skipping the first
   /// `offset` accessible ones. Offset/count address the *accessible*
   /// subsequence for this user, so inaccessible groups neither appear nor
-  /// shift positions. OutOfRange for an invalid list id.
+  /// shift positions. OutOfRange for an invalid list id. Exhaustion is
+  /// answered from the per-group element counts each list maintains
+  /// (O(groups present), not O(remaining list)).
   StatusOr<FetchResult> Fetch(UserId user, MergedListId list, size_t offset,
                               size_t count);
 
@@ -87,27 +136,62 @@ class IndexServer {
   uint64_t TotalWireSize() const;
 
   /// List inspection (tests / adversary simulation — a compromised server
-  /// can read everything it stores; paper Section 6.2).
+  /// can read everything it stores; paper Section 6.2). The returned pointer
+  /// is only stable at quiescence: concurrent writers may reallocate the
+  /// list under it.
   StatusOr<const MergedList*> GetList(MergedListId list) const;
 
   /// Element placement discipline of this server's lists.
   Placement placement() const { return placement_; }
 
+  /// The handle residue class this server assigns from.
+  const HandleSpace& handle_space() const { return handles_; }
+
   /// Appends pre-ordered elements to a list, bypassing ACL checks. Only for
   /// snapshot restore (zerber/persistence.h); OutOfRange on a bad list id.
+  /// Requires quiescence.
   Status RestoreElements(MergedListId list,
                          std::vector<EncryptedPostingElement> elements);
 
-  const ServerStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = ServerStats(); }
+  /// Snapshot of the counters (consistent enough for the harness: each
+  /// counter is read atomically, the set is not a single atomic cut).
+  ServerStats stats() const;
+  void ResetStats();
 
  private:
+  /// Lists are guarded by kLockStripes reader-writer locks; list i maps to
+  /// stripe i % kLockStripes. Striping bounds lock memory independently of
+  /// the (possibly huge) list count while keeping unrelated lists mostly
+  /// uncontended.
+  static constexpr size_t kLockStripes = 16;
+
+  struct AtomicServerStats {
+    std::atomic<uint64_t> fetch_requests{0};
+    std::atomic<uint64_t> insert_requests{0};
+    std::atomic<uint64_t> insert_denied{0};
+    std::atomic<uint64_t> delete_requests{0};
+    std::atomic<uint64_t> delete_denied{0};
+    std::atomic<uint64_t> elements_served{0};
+    std::atomic<uint64_t> bytes_served{0};
+  };
+
+  size_t StripeOf(MergedListId list) const {
+    return static_cast<size_t>(list) % kLockStripes;
+  }
+
+  /// Next handle in this server's residue class.
+  uint64_t AssignHandle();
+
   std::vector<MergedList> lists_;
   AccessControl acl_;
   Placement placement_;
-  Rng rng_;
-  ServerStats stats_;
-  uint64_t next_handle_ = 1;
+  HandleSpace handles_;
+  /// One Rng per stripe, guarded by that stripe's writer lock (random
+  /// placement draws positions while holding it).
+  std::vector<Rng> stripe_rngs_;
+  mutable std::array<std::shared_mutex, kLockStripes> stripe_locks_;
+  AtomicServerStats stats_;
+  std::atomic<uint64_t> next_seq_{1};
 };
 
 }  // namespace zr::zerber

@@ -23,13 +23,15 @@ class IndexServerTest : public ::testing::Test {
     return std::move(e).value();
   }
 
-  IndexServer MakeServer(Placement placement = Placement::kTrsSorted) {
-    IndexServer server(4, placement, 77);
-    EXPECT_TRUE(server.acl().AddGroup(1).ok());
-    EXPECT_TRUE(server.acl().AddGroup(2).ok());
-    EXPECT_TRUE(server.acl().GrantMembership(kAlice, 1).ok());
-    EXPECT_TRUE(server.acl().GrantMembership(kAlice, 2).ok());
-    EXPECT_TRUE(server.acl().GrantMembership(kBob, 1).ok());
+  // By pointer: a thread-safe IndexServer owns mutexes and is immovable.
+  std::unique_ptr<IndexServer> MakeServer(
+      Placement placement = Placement::kTrsSorted) {
+    auto server = std::make_unique<IndexServer>(4, placement, 77);
+    EXPECT_TRUE(server->acl().AddGroup(1).ok());
+    EXPECT_TRUE(server->acl().AddGroup(2).ok());
+    EXPECT_TRUE(server->acl().GrantMembership(kAlice, 1).ok());
+    EXPECT_TRUE(server->acl().GrantMembership(kAlice, 2).ok());
+    EXPECT_TRUE(server->acl().GrantMembership(kBob, 1).ok());
     return server;
   }
 
@@ -39,7 +41,8 @@ class IndexServerTest : public ::testing::Test {
 };
 
 TEST_F(IndexServerTest, InsertRequiresGroupMembership) {
-  IndexServer server = MakeServer();
+  auto server_holder = MakeServer();
+  IndexServer& server = *server_holder;
   EXPECT_TRUE(server.Insert(kBob, 0, MakeElement(1, 0.5)).ok());
   EXPECT_TRUE(
       server.Insert(kBob, 0, MakeElement(2, 0.5)).status().IsPermissionDenied());
@@ -47,12 +50,14 @@ TEST_F(IndexServerTest, InsertRequiresGroupMembership) {
 }
 
 TEST_F(IndexServerTest, InsertRejectsInvalidList) {
-  IndexServer server = MakeServer();
+  auto server_holder = MakeServer();
+  IndexServer& server = *server_holder;
   EXPECT_TRUE(server.Insert(kAlice, 99, MakeElement(1, 0.5)).status().IsOutOfRange());
 }
 
 TEST_F(IndexServerTest, SortedPlacementKeepsTrsDescending) {
-  IndexServer server = MakeServer(Placement::kTrsSorted);
+  auto server_holder = MakeServer(Placement::kTrsSorted);
+  IndexServer& server = *server_holder;
   for (double trs : {0.3, 0.9, 0.1, 0.7, 0.5}) {
     ASSERT_TRUE(server.Insert(kAlice, 0, MakeElement(1, trs)).ok());
   }
@@ -66,7 +71,8 @@ TEST_F(IndexServerTest, SortedPlacementKeepsTrsDescending) {
 }
 
 TEST_F(IndexServerTest, FetchReturnsRequestedWindow) {
-  IndexServer server = MakeServer();
+  auto server_holder = MakeServer();
+  IndexServer& server = *server_holder;
   for (int i = 0; i < 10; ++i) {
     ASSERT_TRUE(
         server.Insert(kAlice, 0, MakeElement(1, 1.0 - 0.05 * i)).ok());
@@ -82,7 +88,8 @@ TEST_F(IndexServerTest, FetchReturnsRequestedWindow) {
 }
 
 TEST_F(IndexServerTest, FetchClampsAtEndAndReportsExhausted) {
-  IndexServer server = MakeServer();
+  auto server_holder = MakeServer();
+  IndexServer& server = *server_holder;
   for (int i = 0; i < 5; ++i) {
     ASSERT_TRUE(server.Insert(kAlice, 0, MakeElement(1, 0.5)).ok());
   }
@@ -98,7 +105,8 @@ TEST_F(IndexServerTest, FetchClampsAtEndAndReportsExhausted) {
 }
 
 TEST_F(IndexServerTest, FetchFiltersInaccessibleGroups) {
-  IndexServer server = MakeServer();
+  auto server_holder = MakeServer();
+  IndexServer& server = *server_holder;
   // Interleave group-1 and group-2 elements.
   for (int i = 0; i < 6; ++i) {
     crypto::GroupId g = (i % 2 == 0) ? 1 : 2;
@@ -122,7 +130,8 @@ TEST_F(IndexServerTest, FetchFiltersInaccessibleGroups) {
 }
 
 TEST_F(IndexServerTest, ExhaustedConsidersOnlyAccessibleRemainder) {
-  IndexServer server = MakeServer();
+  auto server_holder = MakeServer();
+  IndexServer& server = *server_holder;
   // Bob-accessible element first, then only group-2 elements.
   ASSERT_TRUE(server.Insert(kAlice, 0, MakeElement(1, 0.9)).ok());
   ASSERT_TRUE(server.Insert(kAlice, 0, MakeElement(2, 0.5)).ok());
@@ -135,12 +144,14 @@ TEST_F(IndexServerTest, ExhaustedConsidersOnlyAccessibleRemainder) {
 }
 
 TEST_F(IndexServerTest, FetchRejectsInvalidList) {
-  IndexServer server = MakeServer();
+  auto server_holder = MakeServer();
+  IndexServer& server = *server_holder;
   EXPECT_TRUE(server.Fetch(kAlice, 42, 0, 1).status().IsOutOfRange());
 }
 
 TEST_F(IndexServerTest, RandomPlacementScattersElements) {
-  IndexServer server = MakeServer(Placement::kRandomPlacement);
+  auto server_holder = MakeServer(Placement::kRandomPlacement);
+  IndexServer& server = *server_holder;
   // Insert with strictly increasing TRS; random placement must not keep
   // them sorted (probability of staying sorted is ~1/20!).
   for (int i = 0; i < 20; ++i) {
@@ -158,8 +169,132 @@ TEST_F(IndexServerTest, RandomPlacementScattersElements) {
   EXPECT_FALSE(sorted_asc || sorted_desc);
 }
 
+TEST_F(IndexServerTest, FetchCountZeroIsWellDefined) {
+  auto server_holder = MakeServer();
+  IndexServer& server = *server_holder;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(server.Insert(kAlice, 0, MakeElement(1, 0.5)).ok());
+  }
+  // count == 0 fetches nothing; exhausted iff offset is at or past the end
+  // of the accessible subsequence.
+  auto at_start = server.Fetch(kAlice, 0, 0, 0);
+  ASSERT_TRUE(at_start.ok());
+  EXPECT_TRUE(at_start->elements.empty());
+  EXPECT_FALSE(at_start->exhausted);
+  EXPECT_EQ(at_start->wire_bytes, 0u);
+
+  auto at_end = server.Fetch(kAlice, 0, 3, 0);
+  ASSERT_TRUE(at_end.ok());
+  EXPECT_TRUE(at_end->elements.empty());
+  EXPECT_TRUE(at_end->exhausted);
+  EXPECT_EQ(at_end->wire_bytes, 0u);
+
+  // Empty accessible list: always exhausted, even at offset 0 / count 0.
+  auto empty_list = server.Fetch(kAlice, 1, 0, 0);
+  ASSERT_TRUE(empty_list.ok());
+  EXPECT_TRUE(empty_list->exhausted);
+}
+
+TEST_F(IndexServerTest, FetchOffsetPastAccessibleEndIsExhausted) {
+  auto server_holder = MakeServer();
+  IndexServer& server = *server_holder;
+  // 2 elements Bob can see, 3 he cannot.
+  ASSERT_TRUE(server.Insert(kAlice, 0, MakeElement(1, 0.9)).ok());
+  ASSERT_TRUE(server.Insert(kAlice, 0, MakeElement(2, 0.8)).ok());
+  ASSERT_TRUE(server.Insert(kAlice, 0, MakeElement(2, 0.7)).ok());
+  ASSERT_TRUE(server.Insert(kAlice, 0, MakeElement(1, 0.6)).ok());
+  ASSERT_TRUE(server.Insert(kAlice, 0, MakeElement(2, 0.5)).ok());
+  // Offset addresses the accessible subsequence (2 long for Bob); any
+  // offset >= 2 is empty and exhausted, regardless of the 3 foreign
+  // elements.
+  for (size_t offset : {2u, 3u, 50u}) {
+    auto fetched = server.Fetch(kBob, 0, offset, 4);
+    ASSERT_TRUE(fetched.ok()) << "offset " << offset;
+    EXPECT_TRUE(fetched->elements.empty()) << "offset " << offset;
+    EXPECT_TRUE(fetched->exhausted) << "offset " << offset;
+    EXPECT_EQ(fetched->wire_bytes, 0u) << "offset " << offset;
+  }
+}
+
+TEST_F(IndexServerTest, FetchWithNoAccessibleGroupsIsEmptyAndExhausted) {
+  auto server_holder = MakeServer();
+  IndexServer& server = *server_holder;
+  constexpr UserId kCarol = 30;  // no memberships at all
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(server.Insert(kAlice, 0, MakeElement(1, 0.5)).ok());
+  }
+  auto fetched = server.Fetch(kCarol, 0, 0, 10);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_TRUE(fetched->elements.empty());
+  EXPECT_TRUE(fetched->exhausted);
+  EXPECT_EQ(fetched->wire_bytes, 0u);
+}
+
+TEST_F(IndexServerTest, ExhaustionFastPathAgreesWithScan) {
+  auto server_holder = MakeServer();
+  IndexServer& server = *server_holder;
+  // Mixed-group list: 7 Bob-accessible (group 1) among 12 total.
+  for (int i = 0; i < 12; ++i) {
+    crypto::GroupId g = (i % 3 == 2) ? 2 : 1;
+    ASSERT_TRUE(
+        server.Insert(kAlice, 0, MakeElement(g, 1.0 - 0.01 * i)).ok());
+  }
+  auto list = server.GetList(0);
+  ASSERT_TRUE(list.ok());
+
+  for (UserId user : {kAlice, kBob}) {
+    // Reference: the accessible subsequence by brute-force ACL scan.
+    std::vector<EncryptedPostingElement> accessible;
+    for (const auto& e : (*list)->elements()) {
+      if (server.acl().IsMember(user, e.group)) accessible.push_back(e);
+    }
+    for (size_t offset = 0; offset <= accessible.size() + 2; ++offset) {
+      for (size_t count = 0; count <= accessible.size() + 2; ++count) {
+        auto fetched = server.Fetch(user, 0, offset, count);
+        ASSERT_TRUE(fetched.ok());
+        // Elements must be accessible[offset, offset+count) ...
+        size_t begin = std::min(offset, accessible.size());
+        size_t end = std::min(offset + count, accessible.size());
+        ASSERT_EQ(fetched->elements.size(), end - begin)
+            << "offset " << offset << " count " << count;
+        for (size_t i = 0; i < fetched->elements.size(); ++i) {
+          EXPECT_EQ(fetched->elements[i].handle,
+                    accessible[begin + i].handle);
+        }
+        // ... and the O(groups) exhaustion answer must agree with the
+        // full-scan definition: nothing accessible remains past the window.
+        bool scan_exhausted = offset + count >= accessible.size();
+        EXPECT_EQ(fetched->exhausted, scan_exhausted)
+            << "offset " << offset << " count " << count;
+      }
+    }
+  }
+}
+
+TEST_F(IndexServerTest, GroupCountsTrackInsertAndDelete) {
+  auto server_holder = MakeServer();
+  IndexServer& server = *server_holder;
+  auto h1 = server.Insert(kAlice, 0, MakeElement(1, 0.9));
+  auto h2 = server.Insert(kAlice, 0, MakeElement(2, 0.8));
+  auto h3 = server.Insert(kAlice, 0, MakeElement(1, 0.7));
+  ASSERT_TRUE(h1.ok() && h2.ok() && h3.ok());
+  auto list = server.GetList(0);
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ((*list)->CountForGroup(1), 2u);
+  EXPECT_EQ((*list)->CountForGroup(2), 1u);
+  EXPECT_EQ((*list)->CountForGroup(99), 0u);
+
+  ASSERT_TRUE(server.Delete(kAlice, 0, *h2).ok());
+  EXPECT_EQ((*list)->CountForGroup(2), 0u);
+  EXPECT_EQ((*list)->group_counts().size(), 1u);  // emptied groups drop out
+  ASSERT_TRUE(server.Delete(kAlice, 0, *h1).ok());
+  ASSERT_TRUE(server.Delete(kAlice, 0, *h3).ok());
+  EXPECT_TRUE((*list)->group_counts().empty());
+}
+
 TEST_F(IndexServerTest, StatsAccumulate) {
-  IndexServer server = MakeServer();
+  auto server_holder = MakeServer();
+  IndexServer& server = *server_holder;
   ASSERT_TRUE(server.Insert(kAlice, 0, MakeElement(1, 0.5)).ok());
   ASSERT_TRUE(server.Fetch(kAlice, 0, 0, 10).ok());
   EXPECT_EQ(server.stats().insert_requests, 1u);
@@ -170,8 +305,71 @@ TEST_F(IndexServerTest, StatsAccumulate) {
   EXPECT_EQ(server.stats().fetch_requests, 0u);
 }
 
+TEST_F(IndexServerTest, StatsCountDeletesAndDenials) {
+  auto server_holder = MakeServer();
+  IndexServer& server = *server_holder;
+  auto mine = server.Insert(kBob, 0, MakeElement(1, 0.9));
+  auto foreign = server.Insert(kAlice, 0, MakeElement(2, 0.5));
+  ASSERT_TRUE(mine.ok() && foreign.ok());
+  // A denied insert still counts as a request (offered load).
+  ASSERT_TRUE(
+      server.Insert(kBob, 0, MakeElement(2, 0.1)).status().IsPermissionDenied());
+  EXPECT_EQ(server.stats().insert_requests, 3u);
+  EXPECT_EQ(server.stats().insert_denied, 1u);
+
+  ASSERT_TRUE(server.Delete(kBob, 0, *mine).ok());
+  ASSERT_TRUE(server.Delete(kBob, 0, *foreign).IsPermissionDenied());
+  ASSERT_TRUE(server.Delete(kBob, 0, 424242).IsNotFound());
+  ASSERT_TRUE(server.Delete(kBob, 99, 1).IsOutOfRange());
+  EXPECT_EQ(server.stats().delete_requests, 4u);
+  EXPECT_EQ(server.stats().delete_denied, 1u);
+
+  server.ResetStats();
+  EXPECT_EQ(server.stats().delete_requests, 0u);
+  EXPECT_EQ(server.stats().insert_denied, 0u);
+}
+
+TEST_F(IndexServerTest, UnregisteredGroupCountsAsDenied) {
+  // Group 2 exists in the key store but was never registered on this
+  // server: CheckAccess fails with NotFound, which the ACL-rejection
+  // counters must still include.
+  IndexServer server(1, Placement::kTrsSorted, 1);
+  ASSERT_TRUE(server.acl().AddGroup(1).ok());
+  ASSERT_TRUE(server.acl().GrantMembership(kAlice, 1).ok());
+  EXPECT_TRUE(
+      server.Insert(kAlice, 0, MakeElement(2, 0.5)).status().IsNotFound());
+  EXPECT_EQ(server.stats().insert_requests, 1u);
+  EXPECT_EQ(server.stats().insert_denied, 1u);
+}
+
+TEST_F(IndexServerTest, HandleSpaceAssignsResidueClass) {
+  // Shard-style handle space: stride 4, offset 3.
+  IndexServer server(2, Placement::kTrsSorted, 1, HandleSpace{4, 3});
+  ASSERT_TRUE(server.acl().AddGroup(1).ok());
+  ASSERT_TRUE(server.acl().GrantMembership(kAlice, 1).ok());
+  auto h1 = server.Insert(kAlice, 0, MakeElement(1, 0.9));
+  auto h2 = server.Insert(kAlice, 1, MakeElement(1, 0.8));
+  ASSERT_TRUE(h1.ok() && h2.ok());
+  EXPECT_EQ(*h1 % 4, 3u);
+  EXPECT_EQ(*h2 % 4, 3u);
+  EXPECT_EQ(*h2, *h1 + 4);
+  EXPECT_TRUE(server.Delete(kAlice, 0, *h1).ok());
+
+  // Restore keeps the sequence ahead inside the residue class.
+  std::vector<EncryptedPostingElement> restored;
+  EncryptedPostingElement e = MakeElement(1, 0.7);
+  e.handle = 3 + 4 * 50;
+  restored.push_back(e);
+  ASSERT_TRUE(server.RestoreElements(0, std::move(restored)).ok());
+  auto h3 = server.Insert(kAlice, 0, MakeElement(1, 0.6));
+  ASSERT_TRUE(h3.ok());
+  EXPECT_GT(*h3, 3u + 4u * 50u);
+  EXPECT_EQ(*h3 % 4, 3u);
+}
+
 TEST_F(IndexServerTest, TotalWireSizeSumsLists) {
-  IndexServer server = MakeServer();
+  auto server_holder = MakeServer();
+  IndexServer& server = *server_holder;
   EXPECT_EQ(server.TotalWireSize(), 0u);
   ASSERT_TRUE(server.Insert(kAlice, 0, MakeElement(1, 0.5)).ok());
   ASSERT_TRUE(server.Insert(kAlice, 1, MakeElement(2, 0.5)).ok());
