@@ -78,9 +78,28 @@ StatusOr<std::unique_ptr<Pipeline>> Assemble(text::Corpus corpus,
   }
 
   // 6. Server with ACLs; the experiment user may read every group. One
-  // IndexServer when unsharded, a ShardedIndexService otherwise.
+  // IndexServer when unsharded, a ShardedIndexService otherwise; with
+  // data_dir set, a DurableIndexService owning either shape (ACL
+  // provisioning goes through it so the grants are WAL-logged too).
   net::ZerberService* backend = nullptr;
-  if (options.num_shards > 1) {
+  if (!options.data_dir.empty()) {
+    store::DurableOptions durability;
+    durability.data_dir = options.data_dir;
+    durability.sync_mode = options.wal_sync_mode;
+    durability.snapshot_threshold_bytes = options.snapshot_threshold_bytes;
+    durability.num_lists = p->plan.NumLists();
+    durability.placement = options.placement;
+    durability.seed = options.seed ^ 0x0F0F;
+    durability.num_shards = options.num_shards;
+    durability.num_shard_workers = options.num_shard_workers;
+    ZR_ASSIGN_OR_RETURN(p->durable,
+                        store::DurableIndexService::Open(durability));
+    for (crypto::GroupId g : groups) {
+      ZR_RETURN_IF_ERROR(p->durable->AddGroup(g));
+      ZR_RETURN_IF_ERROR(p->durable->GrantMembership(p->user, g));
+    }
+    backend = p->durable.get();
+  } else if (options.num_shards > 1) {
     zerber::ShardedIndexService::Options sharding;
     sharding.num_shards = options.num_shards;
     sharding.num_workers = options.num_shard_workers;

@@ -21,6 +21,8 @@
 #include "net/channel.h"
 #include "net/service.h"
 #include "net/transport.h"
+#include "store/durable_service.h"
+#include "store/wal.h"
 #include "synth/presets.h"
 #include "synth/query_log.h"
 #include "text/corpus.h"
@@ -77,6 +79,21 @@ struct PipelineOptions {
   /// from the hardware.
   size_t num_shard_workers = zerber::ShardedIndexService::kAutoWorkers;
 
+  /// Durable storage engine root. Empty (the default) serves in memory
+  /// only; non-empty wraps the backend (single or sharded) in a
+  /// DurableIndexService (store/durable_service.h): every acked mutation is
+  /// WAL-logged, snapshots rotate at a size threshold, and a crashed
+  /// deployment recovers from the directory. Intended for a fresh directory
+  /// — BuildPipeline re-inserts the corpus; reopen an existing store with
+  /// DurableIndexService::Open directly.
+  std::string data_dir;
+
+  /// When an acked mutation is durable (only with data_dir set).
+  store::WalSyncMode wal_sync_mode = store::WalSyncMode::kGroupCommit;
+
+  /// WAL size triggering background snapshot rotation (with data_dir set).
+  uint64_t snapshot_threshold_bytes = 4ull << 20;
+
   /// Build the plaintext InvertedIndex comparator too.
   bool build_baseline_index = true;
 
@@ -105,10 +122,13 @@ struct Pipeline {
   std::unique_ptr<crypto::KeyStore> keys;
   std::unique_ptr<TrsAssigner> assigner;
 
-  /// Backend (exactly one is set, by options.num_shards): the single
-  /// IndexServer behind an IndexService adapter, or the sharded service.
+  /// Backend (exactly one is set). In-memory deployments set `server`
+  /// (single, behind an IndexService adapter) or `sharded` by
+  /// options.num_shards; durable deployments (options.data_dir non-empty)
+  /// set `durable` instead, which owns the single/sharded backend itself.
   std::unique_ptr<zerber::IndexServer> server;
   std::unique_ptr<zerber::ShardedIndexService> sharded;
+  std::unique_ptr<store::DurableIndexService> durable;
 
   /// Service boundary: the server behind the typed ZerberService API, and
   /// the transport the client's traffic is routed through. The channel

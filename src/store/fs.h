@@ -1,0 +1,46 @@
+// Durable filesystem primitives for the storage engine.
+//
+// Everything in src/store that must survive a power cut funnels through
+// these helpers: WriteFileAtomic publishes a file with the classic
+// tmp-write -> fsync(file) -> rename -> fsync(directory) dance, so a crash
+// at any instant leaves either the old file, or the complete new file —
+// never a published-but-empty one. SyncDirectory makes file creations and
+// renames themselves durable (POSIX only guarantees a rename survives a
+// crash once the containing directory has been fsynced).
+
+#ifndef ZERBERR_STORE_FS_H_
+#define ZERBERR_STORE_FS_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace zr::store {
+
+/// Reads a whole file. NotFound if it does not exist; Internal on IO errors.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Atomically publishes `data` at `path` via `path + ".tmp"` + rename.
+/// With `sync`, the tmp file is fsynced before the rename and the containing
+/// directory after it, so the publication survives a power cut. Without
+/// `sync` the write is atomic against concurrent readers but not against
+/// crashes.
+Status WriteFileAtomic(const std::string& path, std::string_view data,
+                       bool sync);
+
+/// fsyncs a directory so previously performed entry operations (create,
+/// rename, unlink) inside it are durable.
+Status SyncDirectory(const std::string& dir);
+
+/// Writes all of `data` to `fd`, retrying partial writes and EINTR.
+/// `what` names the destination in error messages.
+Status WriteFully(int fd, std::string_view data, const std::string& what);
+
+/// Directory part of `path` ("." when the path has no separator).
+std::string ParentDirectory(const std::string& path);
+
+}  // namespace zr::store
+
+#endif  // ZERBERR_STORE_FS_H_

@@ -1,0 +1,282 @@
+#include "store/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "crypto/sha256.h"
+#include "store/fs.h"
+#include "util/coding.h"
+
+namespace zr::store {
+
+namespace {
+
+constexpr size_t kChecksumSize = 8;
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+void AppendChecksum(std::string* dst, std::string_view frame) {
+  crypto::Sha256Digest digest = crypto::Sha256::Hash(frame);
+  dst->append(reinterpret_cast<const char*>(digest.data()), kChecksumSize);
+}
+
+bool ChecksumMatches(std::string_view frame, std::string_view checksum) {
+  crypto::Sha256Digest digest = crypto::Sha256::Hash(frame);
+  return std::string_view(reinterpret_cast<const char*>(digest.data()),
+                          kChecksumSize) == checksum;
+}
+
+}  // namespace
+
+const char* WalSyncModeName(WalSyncMode mode) {
+  switch (mode) {
+    case WalSyncMode::kNone: return "none";
+    case WalSyncMode::kEveryRecord: return "every-record";
+    case WalSyncMode::kGroupCommit: return "group-commit";
+  }
+  return "unknown";
+}
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  std::string frame;
+  frame.push_back(static_cast<char>(record.type));
+  switch (record.type) {
+    case WalRecord::Type::kInsert:
+      PutVarint32(&frame, record.list);
+      zerber::AppendElement(&frame, record.element);
+      break;
+    case WalRecord::Type::kDelete:
+      PutVarint32(&frame, record.list);
+      PutVarint64(&frame, record.handle);
+      break;
+    case WalRecord::Type::kAddGroup:
+      PutVarint32(&frame, record.group);
+      break;
+    case WalRecord::Type::kGrantMembership:
+    case WalRecord::Type::kRevokeMembership:
+      PutVarint32(&frame, record.user);
+      PutVarint32(&frame, record.group);
+      break;
+  }
+  std::string out;
+  PutVarint64(&out, frame.size());
+  out += frame;
+  AppendChecksum(&out, frame);
+  return out;
+}
+
+StatusOr<WalRecord> DecodeWalFrame(std::string_view frame) {
+  if (frame.empty()) return Status::Corruption("empty WAL frame");
+  WalRecord record;
+  record.type = static_cast<WalRecord::Type>(frame[0]);
+  std::string_view cursor = frame.substr(1);
+  switch (record.type) {
+    case WalRecord::Type::kInsert: {
+      ZR_RETURN_IF_ERROR(GetVarint32Cursor(&cursor, &record.list));
+      ZR_ASSIGN_OR_RETURN(record.element, zerber::ParseElement(&cursor));
+      break;
+    }
+    case WalRecord::Type::kDelete:
+      ZR_RETURN_IF_ERROR(GetVarint32Cursor(&cursor, &record.list));
+      ZR_RETURN_IF_ERROR(GetVarint64Cursor(&cursor, &record.handle));
+      break;
+    case WalRecord::Type::kAddGroup:
+      ZR_RETURN_IF_ERROR(GetVarint32Cursor(&cursor, &record.group));
+      break;
+    case WalRecord::Type::kGrantMembership:
+    case WalRecord::Type::kRevokeMembership:
+      ZR_RETURN_IF_ERROR(GetVarint32Cursor(&cursor, &record.user));
+      ZR_RETURN_IF_ERROR(GetVarint32Cursor(&cursor, &record.group));
+      break;
+    default:
+      return Status::Corruption("unknown WAL record type " +
+                                std::to_string(frame[0]));
+  }
+  if (!cursor.empty()) {
+    return Status::Corruption("trailing bytes in WAL frame");
+  }
+  return record;
+}
+
+StatusOr<WalReadResult> ReadWal(const std::string& path) {
+  StatusOr<std::string> data = ReadWalBytes(path);
+  if (!data.ok()) return data.status();
+  return ScanWal(*data);
+}
+
+StatusOr<std::string> ReadWalBytes(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no WAL at " + path);
+    return Errno("open " + path);
+  }
+  std::string data;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("read " + path);
+    }
+    if (n == 0) break;
+    data.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return data;
+}
+
+WalReadResult ScanWal(std::string_view data) {
+  WalReadResult result;
+  std::string_view cursor = data;
+  while (!cursor.empty()) {
+    std::string_view attempt = cursor;
+    uint64_t frame_len = 0;
+    if (!GetVarint64Cursor(&attempt, &frame_len).ok()) break;  // torn varint
+    // Overflow-safe torn-record check: a corrupt length varint may decode
+    // near 2^64, and frame_len + kChecksumSize must not wrap past it.
+    if (attempt.size() < kChecksumSize ||
+        frame_len > attempt.size() - kChecksumSize) {
+      break;  // torn record
+    }
+    std::string_view frame = attempt.substr(0, frame_len);
+    std::string_view checksum = attempt.substr(frame_len, kChecksumSize);
+    if (!ChecksumMatches(frame, checksum)) break;  // corrupt record
+    StatusOr<WalRecord> record = DecodeWalFrame(frame);
+    if (!record.ok()) break;  // checksummed but structurally invalid
+    cursor = attempt.substr(frame_len + kChecksumSize);
+    result.records.push_back(std::move(*record));
+    result.record_ends.push_back(
+        static_cast<uint64_t>(data.size() - cursor.size()));
+  }
+  result.valid_bytes =
+      result.record_ends.empty() ? 0 : result.record_ends.back();
+  result.clean = result.valid_bytes == data.size();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// WalWriter
+// ---------------------------------------------------------------------------
+
+StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                     WalSyncMode mode) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return Errno("open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Errno("fstat " + path);
+  }
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(path, mode, fd, static_cast<uint64_t>(st.st_size)));
+}
+
+WalWriter::WalWriter(std::string path, WalSyncMode mode, int fd, uint64_t size)
+    : path_(std::move(path)), mode_(mode), fd_(fd), size_(size) {}
+
+WalWriter::~WalWriter() { (void)Close(); }
+
+Status WalWriter::WriteAndMaybeSync(std::string_view data, bool sync) {
+  ZR_RETURN_IF_ERROR(WriteFully(fd_, data, path_));
+  if (sync && ::fsync(fd_) != 0) return Errno("fsync " + path_);
+  return Status::OK();
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  std::string encoded = EncodeWalRecord(record);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!io_error_.ok()) return io_error_;
+  if (closed_) return Status::FailedPrecondition("WAL " + path_ + " closed");
+
+  if (mode_ != WalSyncMode::kGroupCommit) {
+    // Unbatched: write (and for kEveryRecord fsync) under the lock.
+    Status s = WriteAndMaybeSync(encoded, mode_ == WalSyncMode::kEveryRecord);
+    if (!s.ok()) {
+      io_error_ = s;
+      return s;
+    }
+    size_.fetch_add(encoded.size(), std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  // Group commit: enqueue, then either lead a batch commit or wait for a
+  // leader to carry this record's batch to disk.
+  pending_ += encoded;
+  size_.fetch_add(encoded.size(), std::memory_order_relaxed);
+  uint64_t my_seq = ++enqueued_seq_;
+  while (durable_seq_ < my_seq) {
+    if (!io_error_.ok()) return io_error_;
+    if (!commit_in_flight_) {
+      commit_in_flight_ = true;
+      std::string batch;
+      batch.swap(pending_);
+      uint64_t batch_end = enqueued_seq_;
+      lock.unlock();
+      Status s = WriteAndMaybeSync(batch, /*sync=*/true);
+      lock.lock();
+      commit_in_flight_ = false;
+      if (!s.ok()) {
+        io_error_ = s;
+        cv_.notify_all();
+        return s;
+      }
+      durable_seq_ = batch_end;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock);
+    }
+  }
+  return Status::OK();
+}
+
+Status WalWriter::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return io_error_;
+}
+
+Status WalWriter::Sync() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!io_error_.ok()) return io_error_;
+  if (closed_) return Status::OK();
+  // Wait out any in-flight group commit so pending_ is quiesced, then flush
+  // whatever remains and fsync.
+  cv_.wait(lock, [this] { return !commit_in_flight_; });
+  if (!io_error_.ok()) return io_error_;
+  std::string batch;
+  batch.swap(pending_);
+  uint64_t batch_end = enqueued_seq_;
+  Status s = WriteAndMaybeSync(batch, /*sync=*/true);
+  if (!s.ok()) {
+    io_error_ = s;
+    cv_.notify_all();
+    return s;
+  }
+  durable_seq_ = batch_end;
+  cv_.notify_all();
+  return Status::OK();
+}
+
+Status WalWriter::Close() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_) return Status::OK();
+  }
+  Status s = Sync();
+  std::unique_lock<std::mutex> lock(mu_);
+  closed_ = true;
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  return s;
+}
+
+}  // namespace zr::store

@@ -1,10 +1,10 @@
 #include "zerber/persistence.h"
 
-#include <cstdio>
-#include <fstream>
+#include <utility>
 #include <vector>
 
 #include "crypto/sha256.h"
+#include "store/fs.h"
 #include "util/coding.h"
 
 namespace zr::zerber {
@@ -13,6 +13,95 @@ namespace {
 constexpr char kMagic[] = "ZBRIDX01";
 constexpr size_t kMagicSize = 8;
 constexpr size_t kChecksumSize = 32;
+
+/// Fully parsed snapshot contents, validated before any server is mutated.
+struct ParsedSnapshot {
+  Placement placement = Placement::kTrsSorted;
+  std::vector<std::vector<EncryptedPostingElement>> lists;
+  std::vector<std::pair<crypto::GroupId, std::vector<UserId>>> groups;
+};
+
+StatusOr<ParsedSnapshot> ParseSnapshotBody(std::string_view snapshot) {
+  if (snapshot.size() < kMagicSize + 1 + kChecksumSize) {
+    return Status::Corruption("snapshot too short");
+  }
+  if (snapshot.substr(0, kMagicSize) != std::string_view(kMagic, kMagicSize)) {
+    return Status::Corruption("bad snapshot magic");
+  }
+  std::string_view body = snapshot.substr(0, snapshot.size() - kChecksumSize);
+  std::string_view checksum = snapshot.substr(snapshot.size() - kChecksumSize);
+  crypto::Sha256Digest expected = crypto::Sha256::Hash(body);
+  if (std::string_view(reinterpret_cast<const char*>(expected.data()),
+                       kChecksumSize) != checksum) {
+    return Status::Corruption("snapshot checksum mismatch");
+  }
+
+  ParsedSnapshot parsed;
+  uint8_t placement_byte = static_cast<uint8_t>(snapshot[kMagicSize]);
+  if (placement_byte > 1) return Status::Corruption("bad placement byte");
+  parsed.placement = static_cast<Placement>(placement_byte);
+
+  std::string_view cursor = body.substr(kMagicSize + 1);
+  uint64_t num_lists;
+  ZR_RETURN_IF_ERROR(GetVarint64Cursor(&cursor, &num_lists));
+  if (num_lists > (uint64_t{1} << 26)) {
+    return Status::Corruption("implausible list count");
+  }
+
+  parsed.lists.resize(static_cast<size_t>(num_lists));
+  for (uint64_t l = 0; l < num_lists; ++l) {
+    uint64_t count;
+    ZR_RETURN_IF_ERROR(GetVarint64Cursor(&cursor, &count));
+    if (count > cursor.size()) {  // each element is > 1 byte on the wire
+      return Status::Corruption("implausible element count");
+    }
+    std::vector<EncryptedPostingElement>& elements =
+        parsed.lists[static_cast<size_t>(l)];
+    elements.reserve(static_cast<size_t>(count));
+    for (uint64_t i = 0; i < count; ++i) {
+      ZR_ASSIGN_OR_RETURN(EncryptedPostingElement element,
+                          ParseElement(&cursor));
+      elements.push_back(std::move(element));
+    }
+  }
+
+  uint64_t num_groups;
+  ZR_RETURN_IF_ERROR(GetVarint64Cursor(&cursor, &num_groups));
+  parsed.groups.reserve(static_cast<size_t>(num_groups));
+  for (uint64_t g = 0; g < num_groups; ++g) {
+    uint32_t group;
+    ZR_RETURN_IF_ERROR(GetVarint32Cursor(&cursor, &group));
+    uint64_t num_users;
+    ZR_RETURN_IF_ERROR(GetVarint64Cursor(&cursor, &num_users));
+    std::vector<UserId> users;
+    users.reserve(static_cast<size_t>(num_users));
+    for (uint64_t u = 0; u < num_users; ++u) {
+      uint32_t user;
+      ZR_RETURN_IF_ERROR(GetVarint32Cursor(&cursor, &user));
+      users.push_back(user);
+    }
+    parsed.groups.emplace_back(group, std::move(users));
+  }
+  if (!cursor.empty()) {
+    return Status::Corruption("trailing bytes in snapshot");
+  }
+  return parsed;
+}
+
+Status ApplySnapshot(IndexServer* server, ParsedSnapshot parsed) {
+  for (size_t l = 0; l < parsed.lists.size(); ++l) {
+    ZR_RETURN_IF_ERROR(server->RestoreElements(static_cast<MergedListId>(l),
+                                               std::move(parsed.lists[l])));
+  }
+  for (auto& [group, users] : parsed.groups) {
+    ZR_RETURN_IF_ERROR(server->acl().AddGroup(group));
+    for (UserId user : users) {
+      ZR_RETURN_IF_ERROR(server->acl().GrantMembership(user, group));
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 std::string SerializeIndexSnapshot(const IndexServer& server) {
@@ -45,94 +134,41 @@ std::string SerializeIndexSnapshot(const IndexServer& server) {
 }
 
 StatusOr<std::unique_ptr<IndexServer>> ParseIndexSnapshot(
-    std::string_view snapshot, uint64_t rng_seed) {
-  if (snapshot.size() < kMagicSize + 1 + kChecksumSize) {
-    return Status::Corruption("snapshot too short");
-  }
-  if (snapshot.substr(0, kMagicSize) != std::string_view(kMagic, kMagicSize)) {
-    return Status::Corruption("bad snapshot magic");
-  }
-  std::string_view body = snapshot.substr(0, snapshot.size() - kChecksumSize);
-  std::string_view checksum = snapshot.substr(snapshot.size() - kChecksumSize);
-  crypto::Sha256Digest expected = crypto::Sha256::Hash(body);
-  if (std::string_view(reinterpret_cast<const char*>(expected.data()),
-                       kChecksumSize) != checksum) {
-    return Status::Corruption("snapshot checksum mismatch");
-  }
-
-  uint8_t placement_byte = static_cast<uint8_t>(snapshot[kMagicSize]);
-  if (placement_byte > 1) return Status::Corruption("bad placement byte");
-  Placement placement = static_cast<Placement>(placement_byte);
-
-  std::string_view cursor = body.substr(kMagicSize + 1);
-  uint64_t num_lists;
-  ZR_RETURN_IF_ERROR(GetVarint64Cursor(&cursor, &num_lists));
-  if (num_lists > (uint64_t{1} << 26)) {
-    return Status::Corruption("implausible list count");
-  }
-
-  auto server = std::make_unique<IndexServer>(static_cast<size_t>(num_lists),
-                                              placement, rng_seed);
-  for (uint64_t l = 0; l < num_lists; ++l) {
-    uint64_t count;
-    ZR_RETURN_IF_ERROR(GetVarint64Cursor(&cursor, &count));
-    if (count > cursor.size()) {  // each element is > 1 byte on the wire
-      return Status::Corruption("implausible element count");
-    }
-    std::vector<EncryptedPostingElement> elements;
-    elements.reserve(static_cast<size_t>(count));
-    for (uint64_t i = 0; i < count; ++i) {
-      ZR_ASSIGN_OR_RETURN(EncryptedPostingElement element,
-                          ParseElement(&cursor));
-      elements.push_back(std::move(element));
-    }
-    ZR_RETURN_IF_ERROR(server->RestoreElements(static_cast<MergedListId>(l),
-                                               std::move(elements)));
-  }
-
-  uint64_t num_groups;
-  ZR_RETURN_IF_ERROR(GetVarint64Cursor(&cursor, &num_groups));
-  for (uint64_t g = 0; g < num_groups; ++g) {
-    uint32_t group;
-    ZR_RETURN_IF_ERROR(GetVarint32Cursor(&cursor, &group));
-    ZR_RETURN_IF_ERROR(server->acl().AddGroup(group));
-    uint64_t num_users;
-    ZR_RETURN_IF_ERROR(GetVarint64Cursor(&cursor, &num_users));
-    for (uint64_t u = 0; u < num_users; ++u) {
-      uint32_t user;
-      ZR_RETURN_IF_ERROR(GetVarint32Cursor(&cursor, &user));
-      ZR_RETURN_IF_ERROR(server->acl().GrantMembership(user, group));
-    }
-  }
-  if (!cursor.empty()) {
-    return Status::Corruption("trailing bytes in snapshot");
-  }
+    std::string_view snapshot, uint64_t rng_seed, HandleSpace handles) {
+  ZR_ASSIGN_OR_RETURN(ParsedSnapshot parsed, ParseSnapshotBody(snapshot));
+  auto server = std::make_unique<IndexServer>(parsed.lists.size(),
+                                              parsed.placement, rng_seed,
+                                              handles);
+  ZR_RETURN_IF_ERROR(ApplySnapshot(server.get(), std::move(parsed)));
   return server;
 }
 
+Status RestoreSnapshotInto(IndexServer* server, std::string_view snapshot) {
+  ZR_ASSIGN_OR_RETURN(ParsedSnapshot parsed, ParseSnapshotBody(snapshot));
+  if (parsed.placement != server->placement()) {
+    return Status::FailedPrecondition("snapshot placement mismatch");
+  }
+  if (parsed.lists.size() != server->NumLists()) {
+    return Status::FailedPrecondition(
+        "snapshot has " + std::to_string(parsed.lists.size()) +
+        " lists, server has " + std::to_string(server->NumLists()));
+  }
+  if (server->TotalElements() != 0 || server->acl().NumGroups() != 0) {
+    return Status::FailedPrecondition("server is not empty");
+  }
+  return ApplySnapshot(server, std::move(parsed));
+}
+
 Status SaveIndex(const IndexServer& server, const std::string& path) {
-  std::string snapshot = SerializeIndexSnapshot(server);
-  std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::Internal("cannot open " + tmp + " for writing");
-    out.write(snapshot.data(), static_cast<std::streamsize>(snapshot.size()));
-    if (!out) return Status::Internal("short write to " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::Internal("rename " + tmp + " -> " + path + " failed");
-  }
-  return Status::OK();
+  return store::WriteFileAtomic(path, SerializeIndexSnapshot(server),
+                                /*sync=*/true);
 }
 
 StatusOr<std::unique_ptr<IndexServer>> LoadIndex(const std::string& path,
-                                                 uint64_t rng_seed) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open " + path);
-  std::string snapshot((std::istreambuf_iterator<char>(in)),
-                       std::istreambuf_iterator<char>());
-  if (in.bad()) return Status::Internal("read error on " + path);
-  return ParseIndexSnapshot(snapshot, rng_seed);
+                                                 uint64_t rng_seed,
+                                                 HandleSpace handles) {
+  ZR_ASSIGN_OR_RETURN(std::string snapshot, store::ReadFileToString(path));
+  return ParseIndexSnapshot(snapshot, rng_seed, handles);
 }
 
 }  // namespace zr::zerber

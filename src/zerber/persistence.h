@@ -14,6 +14,11 @@
 // The checksum detects torn writes and bit rot; element-level integrity is
 // additionally protected by each element's own HMAC tag (clients verify on
 // decrypt, so even a malicious storage layer cannot forge payloads).
+//
+// A snapshot alone loses every mutation since it was taken; the durable
+// storage engine (store/durable_service.h) pairs each snapshot with a
+// write-ahead log and rotates between them, using the RestoreSnapshotInto
+// entry point below to recover into pre-built (possibly sharded) servers.
 
 #ifndef ZERBERR_ZERBER_PERSISTENCE_H_
 #define ZERBERR_ZERBER_PERSISTENCE_H_
@@ -31,17 +36,31 @@ namespace zr::zerber {
 std::string SerializeIndexSnapshot(const IndexServer& server);
 
 /// Reconstructs a server from a snapshot byte string. Corruption if the
-/// checksum or structure is invalid.
+/// checksum or structure is invalid. `handles` seeds the restored server's
+/// handle residue class (sharded deployments restore shard s of N with
+/// {N, s} so post-restore inserts stay globally unique).
 StatusOr<std::unique_ptr<IndexServer>> ParseIndexSnapshot(
-    std::string_view snapshot, uint64_t rng_seed = 1);
+    std::string_view snapshot, uint64_t rng_seed = 1,
+    HandleSpace handles = {});
 
-/// Writes the snapshot atomically (tmp file + rename). IO failures surface
+/// Restores a snapshot into an existing *empty* server (the durable engine
+/// recovers into shards owned by a ShardedIndexService this way). The
+/// snapshot is fully validated — checksum, structure, matching placement
+/// and list count — before the server is touched, so a Corruption return
+/// leaves `server` unmodified. FailedPrecondition if the server already
+/// holds elements or groups. Requires quiescence.
+Status RestoreSnapshotInto(IndexServer* server, std::string_view snapshot);
+
+/// Writes the snapshot atomically and durably: tmp file + fsync + rename +
+/// directory fsync, so a power cut leaves either the old snapshot or the
+/// complete new one — never a published-but-empty file. IO failures surface
 /// as Internal.
 Status SaveIndex(const IndexServer& server, const std::string& path);
 
 /// Loads a snapshot file written by SaveIndex.
 StatusOr<std::unique_ptr<IndexServer>> LoadIndex(const std::string& path,
-                                                 uint64_t rng_seed = 1);
+                                                 uint64_t rng_seed = 1,
+                                                 HandleSpace handles = {});
 
 }  // namespace zr::zerber
 

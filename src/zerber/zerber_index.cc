@@ -20,6 +20,20 @@ uint64_t IndexServer::AssignHandle() {
   return handles_.offset + seq * handles_.stride;
 }
 
+void IndexServer::NoteRestoredHandle(uint64_t handle) {
+  // Keep the sequence counter ahead of restored handles so post-restore
+  // inserts never collide (handles in this server's residue class map back
+  // to their sequence number; foreign residues round up conservatively).
+  uint64_t past_offset = handle >= handles_.offset ? handle - handles_.offset
+                                                   : 0;
+  uint64_t min_next = past_offset / handles_.stride + 1;
+  uint64_t seen = next_seq_.load(std::memory_order_relaxed);
+  while (seen < min_next &&
+         !next_seq_.compare_exchange_weak(seen, min_next,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
 Status IndexServer::RestoreElements(
     MergedListId list, std::vector<EncryptedPostingElement> elements) {
   if (list >= lists_.size()) {
@@ -28,19 +42,34 @@ Status IndexServer::RestoreElements(
   }
   std::unique_lock lock(stripe_locks_[StripeOf(list)]);
   for (auto& element : elements) {
-    // Keep the sequence counter ahead of restored handles so post-restore
-    // inserts never collide (handles in this server's residue class map back
-    // to their sequence number; foreign residues round up conservatively).
-    uint64_t past_offset =
-        element.handle >= handles_.offset ? element.handle - handles_.offset
-                                          : 0;
-    uint64_t min_next = past_offset / handles_.stride + 1;
-    uint64_t seen = next_seq_.load(std::memory_order_relaxed);
-    while (seen < min_next &&
-           !next_seq_.compare_exchange_weak(seen, min_next,
-                                            std::memory_order_relaxed)) {
-    }
+    NoteRestoredHandle(element.handle);
     lists_[list].AppendRestored(std::move(element));
+  }
+  return Status::OK();
+}
+
+Status IndexServer::ReplayInsert(MergedListId list,
+                                 EncryptedPostingElement element) {
+  if (list >= lists_.size()) {
+    return Status::OutOfRange("merged list " + std::to_string(list) +
+                              " does not exist");
+  }
+  NoteRestoredHandle(element.handle);
+  size_t stripe = StripeOf(list);
+  std::unique_lock lock(stripe_locks_[stripe]);
+  lists_[list].Insert(std::move(element), &stripe_rngs_[stripe]);
+  return Status::OK();
+}
+
+Status IndexServer::ReplayDelete(MergedListId list, uint64_t handle) {
+  if (list >= lists_.size()) {
+    return Status::OutOfRange("merged list " + std::to_string(list) +
+                              " does not exist");
+  }
+  std::unique_lock lock(stripe_locks_[StripeOf(list)]);
+  if (!lists_[list].EraseByHandle(handle)) {
+    return Status::NotFound("no element with handle " +
+                            std::to_string(handle) + " to replay-delete");
   }
   return Status::OK();
 }

@@ -153,6 +153,21 @@ class IndexServer {
   Status RestoreElements(MergedListId list,
                          std::vector<EncryptedPostingElement> elements);
 
+  /// Re-applies a logged insert during WAL replay (store/wal.h): places the
+  /// element per the placement discipline but keeps its logged handle and
+  /// skips ACL checks and stats (the original insert already passed both).
+  /// For kTrsSorted the replayed position is exactly the original one; for
+  /// kRandomPlacement a fresh position is drawn — contents and handles are
+  /// replay-stable, the privacy shuffle is not (and need not be).
+  /// OutOfRange on a bad list id. Requires quiescence.
+  Status ReplayInsert(MergedListId list, EncryptedPostingElement element);
+
+  /// Re-applies a logged delete during WAL replay: removes the element with
+  /// the given handle, skipping ACL checks and stats. NotFound if no such
+  /// handle (a snapshot/WAL pairing bug — replay never legitimately misses).
+  /// Requires quiescence.
+  Status ReplayDelete(MergedListId list, uint64_t handle);
+
   /// Snapshot of the counters (consistent enough for the harness: each
   /// counter is read atomically, the set is not a single atomic cut).
   ServerStats stats() const;
@@ -181,6 +196,10 @@ class IndexServer {
 
   /// Next handle in this server's residue class.
   uint64_t AssignHandle();
+
+  /// Bumps next_seq_ past a restored/replayed handle so post-recovery
+  /// inserts never collide with it.
+  void NoteRestoredHandle(uint64_t handle);
 
   std::vector<MergedList> lists_;
   AccessControl acl_;

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <map>
 
 namespace zr::zerber {
 namespace {
@@ -132,6 +134,83 @@ TEST_F(PersistenceTest, EmptyServerRoundTrips) {
   EXPECT_EQ((*restored)->NumLists(), 5u);
   EXPECT_EQ((*restored)->TotalElements(), 0u);
   EXPECT_EQ((*restored)->placement(), Placement::kRandomPlacement);
+}
+
+// Regression pin: restore must rebuild the per-group element counts each
+// MergedList maintains, or the Fetch exhaustion fast path (answered from
+// group_counts in O(groups)) diverges from the actual accessible
+// subsequence after a snapshot round trip.
+TEST_F(PersistenceTest, RestoreRebuildsGroupCountsExhaustionFastPath) {
+  auto server = MakeServer();
+  auto restored = ParseIndexSnapshot(SerializeIndexSnapshot(*server));
+  ASSERT_TRUE(restored.ok());
+
+  for (size_t l = 0; l < (*restored)->NumLists(); ++l) {
+    auto list = (*restored)->GetList(static_cast<MergedListId>(l));
+    ASSERT_TRUE(list.ok());
+    // group_counts must agree with a full scan of the restored list.
+    std::map<crypto::GroupId, size_t> scanned;
+    for (const auto& element : (*list)->elements()) ++scanned[element.group];
+    EXPECT_EQ((*list)->group_counts(), scanned) << "list " << l;
+
+    // And the fast-path exhaustion bit must match the scan-derived
+    // accessible count at every window position, for users with full
+    // (7), partial (8), and no (99) access.
+    for (UserId user : {UserId{7}, UserId{8}, UserId{99}}) {
+      size_t accessible = 0;
+      for (const auto& element : (*list)->elements()) {
+        if ((*restored)->acl().IsMember(user, element.group)) ++accessible;
+      }
+      for (size_t offset = 0; offset <= accessible + 1; ++offset) {
+        for (size_t count : {size_t{0}, size_t{1}, size_t{100}}) {
+          auto fetched =
+              (*restored)->Fetch(user, static_cast<MergedListId>(l), offset,
+                                 count);
+          ASSERT_TRUE(fetched.ok());
+          bool scan_exhausted =
+              offset >= accessible || count >= accessible - offset;
+          EXPECT_EQ(fetched->exhausted, scan_exhausted)
+              << "list " << l << " user " << user << " offset " << offset
+              << " count " << count;
+        }
+      }
+    }
+  }
+}
+
+// Sharded deployments persist each shard separately; restoring a shard
+// must keep its handle residue class so post-restore inserts stay
+// globally unique (handle % N == shard).
+TEST_F(PersistenceTest, RestoreWithHandleSpacePreservesResidueClass) {
+  HandleSpace space{4, 2};  // shard 2 of 4
+  IndexServer server(2, Placement::kTrsSorted, 11, space);
+  EXPECT_TRUE(server.acl().AddGroup(1).ok());
+  EXPECT_TRUE(server.acl().GrantMembership(7, 1).ok());
+  uint64_t max_handle = 0;
+  for (int i = 0; i < 6; ++i) {
+    auto element = SealPostingElement(
+        PostingPayload{1, static_cast<text::DocId>(i), 0.1}, 1, 0.1 * i,
+        &keys_);
+    ASSERT_TRUE(element.ok());
+    auto handle = server.Insert(7, i % 2, *element);
+    ASSERT_TRUE(handle.ok());
+    EXPECT_EQ(*handle % 4, 2u);
+    max_handle = std::max(max_handle, *handle);
+  }
+
+  auto restored =
+      ParseIndexSnapshot(SerializeIndexSnapshot(server), /*rng_seed=*/1,
+                         space);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ((*restored)->handle_space().stride, 4u);
+  EXPECT_EQ((*restored)->handle_space().offset, 2u);
+  auto element = SealPostingElement(PostingPayload{1, 100, 0.1}, 1, 0.5,
+                                    &keys_);
+  ASSERT_TRUE(element.ok());
+  auto handle = (*restored)->Insert(7, 0, *element);
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(*handle % 4, 2u);       // still in the shard's residue class
+  EXPECT_GT(*handle, max_handle);   // and past every restored handle
 }
 
 TEST_F(PersistenceTest, SealedElementsStillOpenAfterRestore) {
