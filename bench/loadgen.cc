@@ -1,0 +1,318 @@
+// loadgen: drive the serving stack under a realistic mixed workload and
+// emit a machine-readable performance report.
+//
+// The paper evaluates Zerber+R by response size and round trips under a
+// Zipf query workload (Sections 6.5-6.6); this harness extends that to the
+// full serving stack — Zipf top-k queries through both client flows,
+// insert/delete churn, multi-group users — against the single-server and
+// sharded backends, and records per-op-class latency percentiles and
+// throughput into BENCH_loadtest.json. CI's perf-smoke job replays the
+// pinned `ci` spec and fails the build when the numbers regress against
+// the committed baseline (tools/check_perf.py).
+//
+//   ./loadgen --spec=ci                     # the pinned CI gate workload
+//   ./loadgen --spec=default --workers=8    # ad-hoc runs; flags override
+//   ./loadgen --spec=churn                  # 100k-element delete-churn gate
+//
+// Specs:
+//   ci      single-server + 4-shard configs on the tiny synthetic dataset,
+//           plus the churn config below (BENCH_loadtest.json, 3 configs).
+//   churn   insert/delete churn against one 100k-element TRS-sorted merged
+//           list (the workload that was quadratic before MergedList grew a
+//           handle index; the gate checks delete p99 <= 5x insert p99).
+//   default one single-server config, flag-tunable.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "load/driver.h"
+#include "load/load_spec.h"
+#include "load/report.h"
+#include "util/random.h"
+#include "zerber/posting_element.h"
+
+namespace {
+
+using namespace zr;
+
+struct Flags {
+  std::string spec = "default";
+  std::string out = "BENCH_loadtest.json";
+  uint64_t seed = 20260730;
+  size_t workers = 8;
+  uint64_t ops = 0;          // 0 = spec default
+  uint64_t duration_ms = 0;  // 0 = op-count bound
+  double rate = 0.0;         // >0 switches to open loop
+  std::string transport = "direct";
+  size_t shards = 0;  // 0 = spec default; "default" spec only
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--spec", &value)) {
+      flags.spec = value;
+    } else if (ParseFlag(argv[i], "--out", &value)) {
+      flags.out = value;
+    } else if (ParseFlag(argv[i], "--seed", &value)) {
+      flags.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--workers", &value)) {
+      flags.workers = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--ops", &value)) {
+      flags.ops = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--duration-ms", &value)) {
+      flags.duration_ms = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--rate", &value)) {
+      flags.rate = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--transport", &value)) {
+      flags.transport = value;
+    } else if (ParseFlag(argv[i], "--shards", &value)) {
+      flags.shards = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+/// The pinned mixed workload of the CI gate (and the default spec's base).
+load::LoadSpec MixedSpec(const Flags& flags) {
+  load::LoadSpec spec;
+  spec.seed = flags.seed;
+  spec.workers = flags.workers;
+  spec.ops_per_worker = flags.ops != 0 ? flags.ops : 600;
+  spec.duration_ms = flags.duration_ms;
+  if (flags.duration_ms != 0) spec.ops_per_worker = 0;
+  if (flags.rate > 0.0) {
+    spec.mode = load::LoopMode::kOpen;
+    spec.target_rate = flags.rate;
+  }
+  return spec;
+}
+
+net::TransportKind TransportOf(const Flags& flags) {
+  return flags.transport == "loopback" ? net::TransportKind::kLoopback
+                                       : net::TransportKind::kDirect;
+}
+
+std::unique_ptr<core::Pipeline> BuildDeploymentPipeline(const Flags& flags,
+                                                        size_t num_shards) {
+  core::PipelineOptions options;
+  options.preset = synth::TinyPreset();
+  options.sigma = 0.002;
+  options.seed = 20090324;
+  options.num_shards = num_shards;
+  options.transport = TransportOf(flags);
+  options.build_baseline_index = false;
+  options.build_query_log = false;
+  auto pipeline = core::BuildPipeline(options);
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "pipeline build failed: %s\n",
+                 pipeline.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(pipeline).value();
+}
+
+load::LoadReport MustRun(const load::Deployment& deployment,
+                         const load::LoadSpec& spec, const std::string& name) {
+  load::LoadDriver driver(deployment, spec);
+  auto report = driver.Run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "load run '%s' failed: %s\n", name.c_str(),
+                 report.status().ToString().c_str());
+    std::exit(1);
+  }
+  report->name = name;
+  return std::move(report).value();
+}
+
+void PrintSummary(const load::LoadReport& r) {
+  std::printf("%-10s %8.0f ops/s total", r.name.c_str(), r.throughput);
+  for (size_t c = 0; c < load::kNumOpClasses; ++c) {
+    auto cls = static_cast<load::OpClass>(c);
+    const auto& rc = r.op_classes[c];
+    if (rc.attempted == 0) continue;
+    std::printf(" | %s: %.0f/s p99=%.0fus", load::OpClassName(cls),
+                r.ClassThroughput(cls), rc.latency.PercentileNs(99.0) / 1e3);
+  }
+  std::printf("\n");
+}
+
+/// Mixed workload against the single-server backend and a 4-shard backend.
+void RunMixedConfigs(const Flags& flags, std::vector<load::LoadReport>* out) {
+  load::LoadSpec spec = MixedSpec(flags);
+
+  auto single = BuildDeploymentPipeline(flags, /*num_shards=*/1);
+  out->push_back(
+      MustRun(load::DeploymentFromPipeline(single.get()), spec, "single"));
+  PrintSummary(out->back());
+
+  auto sharded = BuildDeploymentPipeline(flags, /*num_shards=*/4);
+  out->push_back(
+      MustRun(load::DeploymentFromPipeline(sharded.get()), spec, "sharded4"));
+  PrintSummary(out->back());
+
+  double single_q =
+      out->at(out->size() - 2).ClassThroughput(load::OpClass::kQueryZerberR);
+  double sharded_q =
+      out->back().ClassThroughput(load::OpClass::kQueryZerberR);
+  std::printf("sharded4/single query throughput: %.2fx\n",
+              single_q > 0.0 ? sharded_q / single_q : 0.0);
+}
+
+/// Insert/delete churn against one preloaded 100k-element TRS-sorted list.
+/// Returns false when the churn gate fails (delete p99 > 5x insert p99 —
+/// the signature of delete lookups having degraded back to O(list) scans).
+/// The gate is a within-run ratio, so it holds on any hardware.
+bool RunChurnConfig(const Flags& flags, size_t preload,
+                    std::vector<load::LoadReport>* out) {
+  // A corpus of one term: BFM folds everything into a single merged list.
+  text::Corpus corpus;
+  for (int d = 0; d < 10; ++d) {
+    corpus.AddDocumentTokens({"churnterm", "churnterm"}, /*group=*/1);
+  }
+  core::PipelineOptions options;
+  options.preset = synth::TinyPreset();
+  options.sigma = 0.002;
+  options.seed = 20090324;
+  options.transport = TransportOf(flags);
+  options.build_baseline_index = false;
+  options.build_query_log = false;
+  auto pipeline = core::BuildPipelineFromCorpus(std::move(corpus), options);
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "churn pipeline build failed: %s\n",
+                 pipeline.status().ToString().c_str());
+    std::exit(1);
+  }
+  core::Pipeline* p = pipeline->get();
+
+  load::LoadSpec spec;
+  spec.seed = flags.seed;
+  spec.workers = 4;
+  spec.ops_per_worker = flags.ops != 0 ? flags.ops : 1000;
+  spec.mix = {0.0, 0.0, 0.5, 0.5};  // pure insert/delete churn
+  spec.num_users = 4;
+  spec.groups_per_user = 1;
+  spec.warmup_inserts = 16;
+
+  // Preload the list to `preload` elements via snapshot-restore (O(1)
+  // appends), seeding the delete pools with every preloaded handle.
+  text::TermId term = p->corpus.vocabulary().Lookup("churnterm");
+  auto term_string = p->corpus.vocabulary().TermOf(term);
+  zerber::MergedListId list =
+      p->plan.ListOf(term, p->keys->TermPseudonym(*term_string));
+  Rng rng(flags.seed ^ 0xC0FFEE);
+  std::vector<zerber::EncryptedPostingElement> elements;
+  elements.reserve(preload);
+  for (size_t i = 0; i < preload; ++i) {
+    // Preloaded TRS values sit in [0, 1e-6): restore appends after the
+    // corpus-built elements (whose trained-RSTF TRS is far larger), so the
+    // whole list keeps the descending-TRS invariant the O(log n) handle
+    // lookups rely on.
+    auto element = zerber::SealPostingElement(
+        zerber::PostingPayload{term, static_cast<text::DocId>(1000 + i),
+                               rng.NextDouble()},
+        /*group=*/1, /*trs=*/rng.NextDouble() * 1e-6, p->keys.get());
+    if (!element.ok()) {
+      std::fprintf(stderr, "seal failed: %s\n",
+                   element.status().ToString().c_str());
+      std::exit(1);
+    }
+    element->handle = 1000000 + i;
+    elements.push_back(std::move(element).value());
+  }
+  // Restored order must honor the kTrsSorted discipline.
+  std::sort(elements.begin(), elements.end(),
+            [](const zerber::EncryptedPostingElement& a,
+               const zerber::EncryptedPostingElement& b) {
+              return a.trs > b.trs;
+            });
+  load::Deployment deployment = load::DeploymentFromPipeline(p);
+  for (const auto& e : elements) {
+    deployment.initial_handles.push_back(load::PreloadedHandle{
+        load::LoadDriver::LoadUserId(e.handle % spec.num_users), list,
+        e.handle});
+  }
+  Status restored = p->server->RestoreElements(list, std::move(elements));
+  if (!restored.ok()) {
+    std::fprintf(stderr, "preload failed: %s\n", restored.ToString().c_str());
+    std::exit(1);
+  }
+
+  out->push_back(MustRun(deployment, spec, "churn100k"));
+  PrintSummary(out->back());
+
+  const auto& ins =
+      out->back().op_classes[static_cast<size_t>(load::OpClass::kInsert)];
+  const auto& del =
+      out->back().op_classes[static_cast<size_t>(load::OpClass::kDelete)];
+  double ratio = ins.latency.PercentileNs(99.0) > 0.0
+                     ? del.latency.PercentileNs(99.0) /
+                           ins.latency.PercentileNs(99.0)
+                     : 0.0;
+  bool gate_ok = ratio <= 5.0;
+  std::printf("churn delete p99 / insert p99: %.2fx (gate: <= 5x) %s\n", ratio,
+              gate_ok ? "PASS" : "FAIL");
+  return gate_ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = ParseFlags(argc, argv);
+
+  std::vector<load::LoadReport> reports;
+  bool gates_ok = true;
+  if (flags.spec == "ci") {
+    RunMixedConfigs(flags, &reports);
+    gates_ok = RunChurnConfig(flags, /*preload=*/100000, &reports);
+  } else if (flags.spec == "churn") {
+    gates_ok = RunChurnConfig(flags, /*preload=*/100000, &reports);
+  } else if (flags.spec == "default") {
+    load::LoadSpec spec = MixedSpec(flags);
+    auto pipeline =
+        BuildDeploymentPipeline(flags, flags.shards == 0 ? 1 : flags.shards);
+    reports.push_back(MustRun(load::DeploymentFromPipeline(pipeline.get()),
+                              spec, "single"));
+    PrintSummary(reports.back());
+  } else {
+    std::fprintf(stderr, "unknown --spec=%s (want ci|churn|default)\n",
+                 flags.spec.c_str());
+    return 2;
+  }
+
+  std::string json = "{\"bench\":\"loadtest\",\"spec\":\"" + flags.spec +
+                     "\",\"configs\":[";
+  for (size_t i = 0; i < reports.size(); ++i) {
+    if (i > 0) json.push_back(',');
+    json += reports[i].ToJson();
+  }
+  json += "]}\n";
+
+  std::ofstream file(flags.out, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s for writing\n", flags.out.c_str());
+    return 1;
+  }
+  file << json;
+  file.close();
+  std::printf("wrote %s (%zu configs)\n", flags.out.c_str(), reports.size());
+  return gates_ok ? 0 : 1;
+}

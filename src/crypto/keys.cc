@@ -50,6 +50,8 @@ double KeyStore::DeterministicUnit(std::string_view term,
   return static_cast<double>(v >> 11) * 0x1.0p-53;
 }
 
-uint64_t KeyStore::NextNonce() { return nonce_salt_ ^ nonce_counter_++; }
+uint64_t KeyStore::NextNonce() {
+  return nonce_salt_ ^ nonce_counter_.fetch_add(1, std::memory_order_relaxed);
+}
 
 }  // namespace zr::crypto

@@ -9,6 +9,7 @@
 #ifndef ZERBERR_CRYPTO_KEYS_H_
 #define ZERBERR_CRYPTO_KEYS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -56,14 +57,16 @@ class KeyStore {
   /// were absent from the RSTF training set (paper Section 5.1.1).
   double DeterministicUnit(std::string_view term, uint64_t context) const;
 
-  /// Fresh unique nonce for sealing (monotonic counter mixed with the seed).
+  /// Fresh unique nonce for sealing (monotonic counter mixed with the
+  /// seed). Safe to call from concurrent sealing threads — the counter is
+  /// atomic, so nonces stay unique under the multi-threaded load driver.
   uint64_t NextNonce();
 
  private:
   std::string directory_key_;
   std::map<GroupId, std::string> master_keys_;
   Drbg drbg_;
-  uint64_t nonce_counter_ = 0;
+  std::atomic<uint64_t> nonce_counter_{0};
   uint64_t nonce_salt_ = 0;
 };
 

@@ -1,0 +1,434 @@
+#include "load/driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "core/pipeline.h"
+#include "core/zerber_r_client.h"
+#include "load/op_generator.h"
+#include "zerber/posting_element.h"
+#include "zerber/zerber_client.h"
+
+namespace zr::load {
+
+namespace {
+
+/// Load users start here; pipelines and tests use small user ids, so the
+/// two populations never collide.
+constexpr zerber::UserId kLoadUserBase = 100000;
+
+/// Synthetic insert doc ids: a private per-worker range far above any
+/// corpus document id.
+constexpr text::DocId kDocBase = 0x40000000u;
+constexpr uint32_t kDocStride = 1u << 22;
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+zerber::ServerStats StatsDelta(const zerber::ServerStats& before,
+                               const zerber::ServerStats& after) {
+  zerber::ServerStats d;
+  d.fetch_requests = after.fetch_requests - before.fetch_requests;
+  d.insert_requests = after.insert_requests - before.insert_requests;
+  d.insert_denied = after.insert_denied - before.insert_denied;
+  d.delete_requests = after.delete_requests - before.delete_requests;
+  d.delete_denied = after.delete_denied - before.delete_denied;
+  d.elements_served = after.elements_served - before.elements_served;
+  d.bytes_served = after.bytes_served - before.bytes_served;
+  d.fetch_latency_ns = after.fetch_latency_ns - before.fetch_latency_ns;
+  d.insert_latency_ns = after.insert_latency_ns - before.insert_latency_ns;
+  d.delete_latency_ns = after.delete_latency_ns - before.delete_latency_ns;
+  return d;
+}
+
+}  // namespace
+
+/// Everything one worker thread owns. Built on the setup thread, then used
+/// exclusively by that worker's thread in each phase.
+struct LoadDriver::WorkerState {
+  size_t index = 0;
+  OpGenerator generator;
+  std::unique_ptr<net::Transport> transport;
+  std::vector<std::unique_ptr<zerber::ZerberClient>> plain_clients;
+  std::vector<std::unique_ptr<core::ZerberRClient>> zr_clients;
+
+  /// Handles this worker may delete (its own inserts + its share of the
+  /// preload).
+  std::vector<PreloadedHandle> pool;
+
+  uint32_t next_doc_seq = 0;
+
+  struct ClassCounters {
+    uint64_t attempted = 0;
+    uint64_t ok = 0;
+    uint64_t errors = 0;
+    uint64_t skipped = 0;
+    uint64_t elements = 0;
+    uint64_t bytes = 0;
+    uint64_t exchanges = 0;
+    LatencyHistogram latency;
+  };
+  std::array<ClassCounters, kNumOpClasses> classes;
+
+  WorkerState(const LoadSpec& spec, size_t worker_index, uint64_t num_terms)
+      : index(worker_index), generator(spec, worker_index, num_terms) {}
+};
+
+zerber::UserId LoadDriver::LoadUserId(size_t index) {
+  return kLoadUserBase + static_cast<zerber::UserId>(index);
+}
+
+LoadDriver::LoadDriver(const Deployment& deployment, const LoadSpec& spec,
+                       NowFn now)
+    : deployment_(deployment), spec_(spec), now_(std::move(now)) {}
+
+LoadDriver::~LoadDriver() = default;
+
+uint64_t LoadDriver::Now() const { return now_ ? now_() : SteadyNowNs(); }
+
+Status LoadDriver::Setup() {
+  ZR_RETURN_IF_ERROR(spec_.Validate());
+  if (deployment_.backend == nullptr || deployment_.keys == nullptr ||
+      deployment_.plan == nullptr || deployment_.corpus == nullptr ||
+      deployment_.assigner == nullptr) {
+    return Status::InvalidArgument("deployment is missing a component");
+  }
+  if (deployment_.groups.empty()) {
+    return Status::InvalidArgument("deployment has no provisioned groups");
+  }
+
+  // Popularity-ordered term table (document frequency descending, term id
+  // ascending for determinism); Zipf rank 1 is the most frequent term.
+  const text::Vocabulary& vocab = deployment_.corpus->vocabulary();
+  std::vector<text::TermId> term_ids;
+  for (text::TermId t : vocab.AllTermIds()) {
+    if (deployment_.corpus->DocumentFrequency(t) > 0) term_ids.push_back(t);
+  }
+  if (term_ids.empty()) {
+    return Status::FailedPrecondition("corpus has no indexed terms");
+  }
+  std::sort(term_ids.begin(), term_ids.end(),
+            [&](text::TermId a, text::TermId b) {
+              uint64_t da = deployment_.corpus->DocumentFrequency(a);
+              uint64_t db = deployment_.corpus->DocumentFrequency(b);
+              if (da != db) return da > db;
+              return a < b;
+            });
+  terms_.reserve(term_ids.size());
+  for (text::TermId t : term_ids) {
+    TermEntry entry;
+    entry.term = t;
+    ZR_ASSIGN_OR_RETURN(entry.term_string, vocab.TermOf(t));
+    entry.list = deployment_.plan->ListOf(
+        t, deployment_.keys->TermPseudonym(entry.term_string));
+    terms_.push_back(std::move(entry));
+  }
+
+  // Load users: overlapping-but-distinct group subsets, so every worker
+  // exercises ACL filtering from a different angle.
+  size_t groups_per_user =
+      std::min(spec_.groups_per_user, deployment_.groups.size());
+  users_.clear();
+  user_groups_.clear();
+  for (size_t i = 0; i < spec_.num_users; ++i) {
+    zerber::UserId user = LoadUserId(i);
+    std::vector<crypto::GroupId> member_of;
+    for (size_t j = 0; j < groups_per_user; ++j) {
+      member_of.push_back(
+          deployment_.groups[(i + j) % deployment_.groups.size()]);
+    }
+    if (deployment_.grant) {
+      for (crypto::GroupId g : member_of) {
+        ZR_RETURN_IF_ERROR(deployment_.grant(user, g));
+      }
+    }
+    users_.push_back(user);
+    user_groups_.push_back(std::move(member_of));
+  }
+
+  // Per-worker state: transport, per-user clients, generator, pool share.
+  core::ProtocolOptions protocol;
+  protocol.initial_response_size = spec_.initial_response_size;
+  workers_.clear();
+  for (size_t w = 0; w < spec_.workers; ++w) {
+    auto state = std::make_unique<WorkerState>(spec_, w, terms_.size());
+    state->transport =
+        net::MakeTransport(deployment_.transport, deployment_.backend);
+    for (size_t u = 0; u < users_.size(); ++u) {
+      state->plain_clients.push_back(std::make_unique<zerber::ZerberClient>(
+          users_[u], deployment_.keys, deployment_.plan,
+          state->transport.get(), &vocab));
+      state->zr_clients.push_back(std::make_unique<core::ZerberRClient>(
+          users_[u], deployment_.keys, deployment_.plan,
+          state->transport.get(), &vocab, deployment_.assigner, protocol));
+    }
+    workers_.push_back(std::move(state));
+  }
+  for (size_t i = 0; i < deployment_.initial_handles.size(); ++i) {
+    workers_[i % workers_.size()]->pool.push_back(
+        deployment_.initial_handles[i]);
+  }
+  return Status::OK();
+}
+
+void LoadDriver::ExecuteOp(WorkerState* w, const Op& op, bool measured) {
+  WorkerState::ClassCounters& c = w->classes[static_cast<size_t>(op.cls)];
+  if (measured) ++c.attempted;
+
+  // Deletes with an empty pool are skipped before any timing: nothing is
+  // sent, so they must not contribute a latency sample.
+  if (op.cls == OpClass::kDelete && w->pool.empty()) {
+    if (measured) ++c.skipped;
+    return;
+  }
+
+  uint64_t start = measured ? Now() : 0;
+  Status status = Status::OK();
+  uint64_t elements = 0, bytes = 0, exchanges = 0;
+
+  switch (op.cls) {
+    case OpClass::kQueryZerberR: {
+      const TermEntry& t = terms_[op.term_rank - 1];
+      auto result = w->zr_clients[op.user_index]->QueryTopK(t.term, spec_.top_k);
+      if (result.ok()) {
+        elements = result->trace.elements_fetched;
+        bytes = result->trace.bytes_fetched;
+        exchanges = result->trace.requests;
+      } else {
+        status = result.status();
+      }
+      break;
+    }
+    case OpClass::kQueryZerber: {
+      const TermEntry& t = terms_[op.term_rank - 1];
+      auto result =
+          w->plain_clients[op.user_index]->QueryTopK(t.term, spec_.top_k);
+      if (result.ok()) {
+        elements = result->elements_fetched;
+        bytes = result->bytes_fetched;
+        exchanges = result->requests;
+      } else {
+        status = result.status();
+      }
+      break;
+    }
+    case OpClass::kInsert: {
+      const TermEntry& t = terms_[op.term_rank - 1];
+      zerber::UserId user = users_[op.user_index];
+      const auto& member_of = user_groups_[op.user_index];
+      crypto::GroupId group = member_of[op.group_slot % member_of.size()];
+      text::DocId doc = kDocBase + static_cast<uint32_t>(w->index) * kDocStride +
+                        w->next_doc_seq++;
+      double trs = deployment_.assigner->Assign(t.term, t.term_string, doc,
+                                                op.score);
+      auto element = zerber::SealPostingElement(
+          zerber::PostingPayload{t.term, doc, op.score}, group, trs,
+          deployment_.keys);
+      if (!element.ok()) {
+        status = element.status();
+        break;
+      }
+      net::InsertRequest request;
+      request.user = user;
+      request.list = t.list;
+      request.element = std::move(element).value();
+      auto response = w->transport->Insert(request);
+      if (response.ok()) {
+        bytes = response->wire_size;
+        exchanges = 1;
+        w->pool.push_back(PreloadedHandle{user, t.list, response->handle});
+      } else {
+        status = response.status();
+      }
+      break;
+    }
+    case OpClass::kDelete: {
+      size_t idx = static_cast<size_t>(op.pool_draw % w->pool.size());
+      PreloadedHandle entry = w->pool[idx];
+      w->pool[idx] = w->pool.back();
+      w->pool.pop_back();
+      net::DeleteRequest request;
+      request.user = entry.user;
+      request.list = entry.list;
+      request.handle = entry.handle;
+      auto response = w->transport->Delete(request);
+      if (response.ok()) {
+        bytes = response->wire_size;
+        exchanges = 1;
+      } else {
+        status = response.status();
+      }
+      break;
+    }
+  }
+
+  if (!measured) return;
+  uint64_t elapsed = Now() - start;
+  c.latency.Add(elapsed);
+  if (status.ok()) {
+    ++c.ok;
+    c.elements += elements;
+    c.bytes += bytes;
+    c.exchanges += exchanges;
+  } else {
+    ++c.errors;
+  }
+}
+
+void LoadDriver::WorkerWarmup(WorkerState* w) {
+  for (size_t i = 0; i < spec_.warmup_inserts; ++i) {
+    Op op = w->generator.NextWarmupInsert();
+    ExecuteOp(w, op, /*measured=*/false);
+  }
+}
+
+void LoadDriver::WorkerMeasured(WorkerState* w, uint64_t start_ns) {
+  // Open loop: each worker serves every workers-th slot of the global
+  // schedule, staggered by its index, so the offered rate across workers is
+  // spec_.target_rate with no shared state.
+  const bool open = spec_.mode == LoopMode::kOpen;
+  const double per_worker_interval_ns =
+      open ? 1e9 * static_cast<double>(spec_.workers) / spec_.target_rate : 0.0;
+  double next_issue =
+      static_cast<double>(start_ns) +
+      per_worker_interval_ns * static_cast<double>(w->index) /
+          static_cast<double>(spec_.workers);
+  const uint64_t deadline_ns =
+      spec_.ops_per_worker == 0 ? start_ns + spec_.duration_ms * 1000000ull : 0;
+
+  for (uint64_t i = 0;; ++i) {
+    if (spec_.ops_per_worker != 0) {
+      if (i >= spec_.ops_per_worker) break;
+    } else if (Now() >= deadline_ns) {
+      break;
+    }
+    if (open) {
+      double behind = next_issue - static_cast<double>(Now());
+      if (behind > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(static_cast<int64_t>(behind)));
+      }
+      next_issue += per_worker_interval_ns;
+    }
+    Op op = w->generator.Next();
+    ExecuteOp(w, op, /*measured=*/true);
+  }
+}
+
+void LoadDriver::RunWorkerPhase(bool measured) {
+  uint64_t start_ns = measured ? Now() : 0;
+  std::vector<std::thread> threads;
+  threads.reserve(workers_.size());
+  for (auto& worker : workers_) {
+    WorkerState* w = worker.get();
+    if (measured) {
+      threads.emplace_back([this, w, start_ns] { WorkerMeasured(w, start_ns); });
+    } else {
+      threads.emplace_back([this, w] { WorkerWarmup(w); });
+    }
+  }
+  for (auto& t : threads) t.join();
+}
+
+StatusOr<LoadReport> LoadDriver::Run() {
+  ZR_RETURN_IF_ERROR(Setup());
+
+  // Phase 1: unmeasured warmup (fills delete pools, touches every code
+  // path once). Transport counters are reset afterwards so the report only
+  // covers the measured window.
+  RunWorkerPhase(/*measured=*/false);
+  for (auto& w : workers_) w->transport->ResetStats();
+  zerber::ServerStats before =
+      deployment_.server_stats ? deployment_.server_stats() : zerber::ServerStats();
+
+  // Phase 2: measured.
+  uint64_t start_ns = Now();
+  RunWorkerPhase(/*measured=*/true);
+  uint64_t end_ns = Now();
+
+  LoadReport report;
+  report.spec = spec_;
+  report.wall_seconds = static_cast<double>(end_ns - start_ns) / 1e9;
+  for (size_t c = 0; c < kNumOpClasses; ++c) {
+    OpClassReport& out = report.op_classes[c];
+    for (auto& w : workers_) {
+      const WorkerState::ClassCounters& in = w->classes[c];
+      out.attempted += in.attempted;
+      out.ok += in.ok;
+      out.errors += in.errors;
+      out.skipped += in.skipped;
+      out.elements += in.elements;
+      out.bytes += in.bytes;
+      out.exchanges += in.exchanges;
+      out.latency.Merge(in.latency);
+    }
+    report.total_ops += out.ok;
+  }
+  report.throughput = report.wall_seconds > 0.0
+                          ? static_cast<double>(report.total_ops) /
+                                report.wall_seconds
+                          : 0.0;
+  for (auto& w : workers_) {
+    const net::TransportStats& t = w->transport->stats();
+    report.transport.exchanges += t.exchanges;
+    report.transport.bytes_up += t.bytes_up;
+    report.transport.bytes_down += t.bytes_down;
+  }
+  zerber::ServerStats after =
+      deployment_.server_stats ? deployment_.server_stats() : zerber::ServerStats();
+  report.server = StatsDelta(before, after);
+  return report;
+}
+
+Deployment DeploymentFromPipeline(core::Pipeline* pipeline) {
+  Deployment d;
+  d.transport = pipeline->options.transport;
+  d.keys = pipeline->keys.get();
+  d.plan = &pipeline->plan;
+  d.corpus = &pipeline->corpus;
+  d.assigner = pipeline->assigner.get();
+
+  std::set<crypto::GroupId> groups;
+  for (const auto& doc : pipeline->corpus.documents()) {
+    groups.insert(doc.group());
+  }
+  d.groups.assign(groups.begin(), groups.end());
+
+  if (pipeline->durable) {
+    store::DurableIndexService* durable = pipeline->durable.get();
+    d.backend = durable;
+    d.grant = [durable](zerber::UserId user, crypto::GroupId group) {
+      return durable->GrantMembership(user, group);
+    };
+    if (durable->sharded() != nullptr) {
+      zerber::ShardedIndexService* sharded = durable->sharded();
+      d.server_stats = [sharded] { return sharded->stats(); };
+    } else {
+      zerber::IndexServer* single = durable->single();
+      d.server_stats = [single] { return single->stats(); };
+    }
+  } else if (pipeline->sharded) {
+    zerber::ShardedIndexService* sharded = pipeline->sharded.get();
+    d.backend = sharded;
+    d.grant = [sharded](zerber::UserId user, crypto::GroupId group) {
+      return sharded->GrantMembership(user, group);
+    };
+    d.server_stats = [sharded] { return sharded->stats(); };
+  } else {
+    zerber::IndexServer* server = pipeline->server.get();
+    d.backend = pipeline->service.get();
+    d.grant = [server](zerber::UserId user, crypto::GroupId group) {
+      return server->acl().GrantMembership(user, group);
+    };
+    d.server_stats = [server] { return server->stats(); };
+  }
+  return d;
+}
+
+}  // namespace zr::load

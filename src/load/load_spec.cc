@@ -1,0 +1,56 @@
+#include "load/load_spec.h"
+
+namespace zr::load {
+
+const char* OpClassName(OpClass c) {
+  switch (c) {
+    case OpClass::kQueryZerberR:
+      return "query_zerber_r";
+    case OpClass::kQueryZerber:
+      return "query_zerber";
+    case OpClass::kInsert:
+      return "insert";
+    case OpClass::kDelete:
+      return "delete";
+  }
+  return "unknown";
+}
+
+const char* LoopModeName(LoopMode mode) {
+  return mode == LoopMode::kClosed ? "closed" : "open";
+}
+
+Status LoadSpec::Validate() const {
+  if (workers == 0) return Status::InvalidArgument("workers must be >= 1");
+  if (ops_per_worker == 0 && duration_ms == 0) {
+    return Status::InvalidArgument(
+        "one of ops_per_worker / duration_ms must be set");
+  }
+  if (ops_per_worker != 0 && duration_ms != 0) {
+    return Status::InvalidArgument(
+        "ops_per_worker and duration_ms are mutually exclusive");
+  }
+  double sum = 0.0;
+  for (double w : mix) {
+    if (w < 0.0) return Status::InvalidArgument("mix weights must be >= 0");
+    sum += w;
+  }
+  if (sum <= 0.0) {
+    return Status::InvalidArgument("mix weights must have a positive sum");
+  }
+  if (mode == LoopMode::kOpen && target_rate <= 0.0) {
+    return Status::InvalidArgument("open loop requires target_rate > 0");
+  }
+  if (zipf_s <= 0.0) return Status::InvalidArgument("zipf_s must be > 0");
+  if (top_k == 0) return Status::InvalidArgument("top_k must be >= 1");
+  if (initial_response_size == 0) {
+    return Status::InvalidArgument("initial_response_size must be >= 1");
+  }
+  if (num_users == 0) return Status::InvalidArgument("num_users must be >= 1");
+  if (groups_per_user == 0) {
+    return Status::InvalidArgument("groups_per_user must be >= 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace zr::load

@@ -1,0 +1,58 @@
+#include "load/op_generator.h"
+
+namespace zr::load {
+
+namespace {
+
+/// Decorrelates worker streams: workers of one run must not replay each
+/// other's choices, while the (spec.seed, worker) pair stays reproducible.
+uint64_t WorkerSeed(uint64_t seed, size_t worker_index) {
+  return seed ^ (0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(worker_index) + 1));
+}
+
+}  // namespace
+
+OpGenerator::OpGenerator(const LoadSpec& spec, size_t worker_index,
+                         uint64_t num_terms)
+    : spec_(spec),
+      rng_(WorkerSeed(spec.seed, worker_index)),
+      term_zipf_(num_terms == 0 ? 1 : num_terms, spec.zipf_s),
+      mix_(spec.mix.begin(), spec.mix.end()) {}
+
+Op OpGenerator::FillInsertFields(Op op) {
+  op.term_rank = term_zipf_.Sample(&rng_);
+  op.group_slot = static_cast<uint32_t>(
+      rng_.Uniform(static_cast<uint64_t>(spec_.groups_per_user)));
+  op.score = rng_.NextDouble();
+  return op;
+}
+
+Op OpGenerator::Next() {
+  Op op;
+  op.cls = static_cast<OpClass>(rng_.WeightedIndex(mix_));
+  op.user_index = static_cast<uint32_t>(
+      rng_.Uniform(static_cast<uint64_t>(spec_.num_users)));
+  switch (op.cls) {
+    case OpClass::kQueryZerberR:
+    case OpClass::kQueryZerber:
+      op.term_rank = term_zipf_.Sample(&rng_);
+      break;
+    case OpClass::kInsert:
+      op = FillInsertFields(op);
+      break;
+    case OpClass::kDelete:
+      op.pool_draw = rng_.NextU64();
+      break;
+  }
+  return op;
+}
+
+Op OpGenerator::NextWarmupInsert() {
+  Op op;
+  op.cls = OpClass::kInsert;
+  op.user_index = static_cast<uint32_t>(
+      rng_.Uniform(static_cast<uint64_t>(spec_.num_users)));
+  return FillInsertFields(op);
+}
+
+}  // namespace zr::load

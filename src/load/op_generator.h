@@ -1,0 +1,73 @@
+// Deterministic per-worker op sequence generation.
+//
+// Separated from the driver so the sequence is testable in isolation: an
+// OpGenerator is a pure function of (LoadSpec, worker index, term-universe
+// size) — two generators with identical inputs emit identical sequences,
+// which is what makes a fixed-seed load run reproducible. The driver maps
+// the abstract choices (term rank, user index, group slot) onto the
+// concrete deployment (term ids via the corpus, user ids, ACL groups).
+
+#ifndef ZERBERR_LOAD_OP_GENERATOR_H_
+#define ZERBERR_LOAD_OP_GENERATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "load/load_spec.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace zr::load {
+
+/// One generated operation: the class plus every random choice its
+/// execution needs, in deployment-independent form.
+struct Op {
+  OpClass cls = OpClass::kQueryZerberR;
+
+  /// Index into the load-user population, in [0, spec.num_users).
+  uint32_t user_index = 0;
+
+  /// 1-based Zipf rank into the popularity-ordered term table (queries and
+  /// inserts).
+  uint64_t term_rank = 1;
+
+  /// Which of the acting user's groups an insert targets, in
+  /// [0, spec.groups_per_user).
+  uint32_t group_slot = 0;
+
+  /// Raw draw a delete op reduces modulo its handle-pool size.
+  uint64_t pool_draw = 0;
+
+  /// Raw relevance score an insert seals into its element, in [0, 1).
+  double score = 0.0;
+
+  friend bool operator==(const Op&, const Op&) = default;
+};
+
+/// Deterministic generator of one worker's op stream.
+class OpGenerator {
+ public:
+  /// `num_terms` is the size of the popularity-ordered term table the
+  /// driver built from the deployment's corpus (>= 1).
+  OpGenerator(const LoadSpec& spec, size_t worker_index, uint64_t num_terms);
+
+  /// Next operation of this worker's stream.
+  Op Next();
+
+  /// Next warmup insert (same field semantics as an Op of class kInsert).
+  /// Warmup draws come from the same stream, before any measured op.
+  Op NextWarmupInsert();
+
+ private:
+  Op FillInsertFields(Op op);
+
+  const LoadSpec spec_;
+  Rng rng_;
+  ZipfDistribution term_zipf_;
+  std::vector<double> mix_;
+};
+
+}  // namespace zr::load
+
+#endif  // ZERBERR_LOAD_OP_GENERATOR_H_

@@ -1,0 +1,156 @@
+#include "load/report.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace zr::load {
+
+namespace {
+
+// Minimal deterministic JSON building: fixed key order, "%.6g" for doubles
+// (shortest stable form at the precision the gate compares), no locale
+// dependence.
+
+void AppendKey(std::string* out, const char* key, bool* first) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  out->push_back('"');
+  out->append(key);
+  out->append("\":");
+}
+
+void AppendU64(std::string* out, const char* key, uint64_t value, bool* first) {
+  AppendKey(out, key, first);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out->append(buf);
+}
+
+void AppendDouble(std::string* out, const char* key, double value,
+                  bool* first) {
+  AppendKey(out, key, first);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out->append(buf);
+}
+
+void AppendString(std::string* out, const char* key, const std::string& value,
+                  bool* first) {
+  AppendKey(out, key, first);
+  out->push_back('"');
+  out->append(value);  // names/specs are identifier-safe; no escaping needed
+  out->push_back('"');
+}
+
+void AppendLatency(std::string* out, const LatencyHistogram& h) {
+  bool first = true;
+  out->push_back('{');
+  AppendU64(out, "count", h.TotalCount(), &first);
+  AppendU64(out, "min_ns", h.MinNs(), &first);
+  AppendDouble(out, "mean_ns", h.MeanNs(), &first);
+  AppendDouble(out, "p50_ns", h.PercentileNs(50.0), &first);
+  AppendDouble(out, "p95_ns", h.PercentileNs(95.0), &first);
+  AppendDouble(out, "p99_ns", h.PercentileNs(99.0), &first);
+  AppendDouble(out, "p999_ns", h.PercentileNs(99.9), &first);
+  AppendU64(out, "max_ns", h.MaxNs(), &first);
+  AppendU64(out, "sum_ns", h.SumNs(), &first);
+  out->push_back('}');
+}
+
+void AppendSpec(std::string* out, const LoadSpec& spec) {
+  bool first = true;
+  out->push_back('{');
+  AppendU64(out, "seed", spec.seed, &first);
+  AppendU64(out, "workers", spec.workers, &first);
+  AppendString(out, "mode", LoopModeName(spec.mode), &first);
+  AppendU64(out, "ops_per_worker", spec.ops_per_worker, &first);
+  AppendU64(out, "duration_ms", spec.duration_ms, &first);
+  AppendDouble(out, "target_rate", spec.target_rate, &first);
+  AppendDouble(out, "zipf_s", spec.zipf_s, &first);
+  AppendU64(out, "top_k", spec.top_k, &first);
+  AppendU64(out, "initial_response_size", spec.initial_response_size, &first);
+  AppendU64(out, "num_users", spec.num_users, &first);
+  AppendU64(out, "groups_per_user", spec.groups_per_user, &first);
+  AppendU64(out, "warmup_inserts", spec.warmup_inserts, &first);
+  AppendKey(out, "mix", &first);
+  out->push_back('{');
+  bool mix_first = true;
+  for (size_t c = 0; c < kNumOpClasses; ++c) {
+    AppendDouble(out, OpClassName(static_cast<OpClass>(c)), spec.mix[c],
+                 &mix_first);
+  }
+  out->push_back('}');
+  out->push_back('}');
+}
+
+}  // namespace
+
+double LoadReport::ClassThroughput(OpClass c) const {
+  if (wall_seconds <= 0.0) return 0.0;
+  return static_cast<double>(op_classes[static_cast<size_t>(c)].ok) /
+         wall_seconds;
+}
+
+std::string LoadReport::ToJson() const {
+  std::string out;
+  out.reserve(2048);
+  bool first = true;
+  out.push_back('{');
+  AppendString(&out, "name", name, &first);
+  AppendKey(&out, "spec", &first);
+  AppendSpec(&out, spec);
+  AppendDouble(&out, "wall_seconds", wall_seconds, &first);
+  AppendU64(&out, "total_ops", total_ops, &first);
+  AppendDouble(&out, "throughput_ops_per_sec", throughput, &first);
+
+  AppendKey(&out, "op_classes", &first);
+  out.push_back('{');
+  bool class_first = true;
+  for (size_t c = 0; c < kNumOpClasses; ++c) {
+    const OpClassReport& r = op_classes[c];
+    AppendKey(&out, OpClassName(static_cast<OpClass>(c)), &class_first);
+    out.push_back('{');
+    bool f = true;
+    AppendU64(&out, "attempted", r.attempted, &f);
+    AppendU64(&out, "ok", r.ok, &f);
+    AppendU64(&out, "errors", r.errors, &f);
+    AppendU64(&out, "skipped", r.skipped, &f);
+    AppendU64(&out, "elements", r.elements, &f);
+    AppendU64(&out, "bytes", r.bytes, &f);
+    AppendU64(&out, "exchanges", r.exchanges, &f);
+    AppendDouble(&out, "throughput_ops_per_sec",
+                 ClassThroughput(static_cast<OpClass>(c)), &f);
+    AppendKey(&out, "latency", &f);
+    AppendLatency(&out, r.latency);
+    out.push_back('}');
+  }
+  out.push_back('}');
+
+  AppendKey(&out, "server", &first);
+  out.push_back('{');
+  bool s = true;
+  AppendU64(&out, "fetch_requests", server.fetch_requests, &s);
+  AppendU64(&out, "insert_requests", server.insert_requests, &s);
+  AppendU64(&out, "insert_denied", server.insert_denied, &s);
+  AppendU64(&out, "delete_requests", server.delete_requests, &s);
+  AppendU64(&out, "delete_denied", server.delete_denied, &s);
+  AppendU64(&out, "elements_served", server.elements_served, &s);
+  AppendU64(&out, "bytes_served", server.bytes_served, &s);
+  AppendU64(&out, "fetch_latency_ns", server.fetch_latency_ns, &s);
+  AppendU64(&out, "insert_latency_ns", server.insert_latency_ns, &s);
+  AppendU64(&out, "delete_latency_ns", server.delete_latency_ns, &s);
+  out.push_back('}');
+
+  AppendKey(&out, "transport", &first);
+  out.push_back('{');
+  bool t = true;
+  AppendU64(&out, "exchanges", transport.exchanges, &t);
+  AppendU64(&out, "bytes_up", transport.bytes_up, &t);
+  AppendU64(&out, "bytes_down", transport.bytes_down, &t);
+  out.push_back('}');
+
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace zr::load

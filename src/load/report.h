@@ -1,0 +1,81 @@
+// LoadReport: machine-readable result of one load run.
+//
+// Everything the perf-regression gate consumes lives here: per-op-class
+// throughput, latency percentiles (from merged per-worker
+// util::LatencyHistogram), error counts, transfer accounting, and the
+// server-side ServerStats snapshot (including the per-op latency sums, so
+// server-side and client-side timings can be cross-checked). JSON
+// serialization is deterministic — fixed key order, fixed float formatting
+// — so a fixed-seed run with a deterministic clock emits byte-identical
+// reports, and diffs of BENCH_loadtest.json are meaningful.
+
+#ifndef ZERBERR_LOAD_REPORT_H_
+#define ZERBERR_LOAD_REPORT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "load/load_spec.h"
+#include "net/transport.h"
+#include "util/histogram.h"
+#include "zerber/zerber_index.h"
+
+namespace zr::load {
+
+/// Accounting of one op class over the whole run.
+struct OpClassReport {
+  /// Measured ops issued / succeeded / failed. A delete drawn while the
+  /// worker's handle pool was empty is counted as skipped (nothing was
+  /// sent), so attempted == ok + errors + skipped.
+  uint64_t attempted = 0;
+  uint64_t ok = 0;
+  uint64_t errors = 0;
+  uint64_t skipped = 0;
+
+  /// Posting elements and bytes transferred server -> client by this class
+  /// (queries; inserts/deletes count their response bytes).
+  uint64_t elements = 0;
+  uint64_t bytes = 0;
+
+  /// Server round trips issued by this class (a Zerber+R query may use
+  /// several).
+  uint64_t exchanges = 0;
+
+  /// Merged client-side latency distribution of every issued op of this
+  /// class (ok and errored — a rejected request still cost a round trip;
+  /// skipped deletes issue nothing and record nothing).
+  LatencyHistogram latency;
+};
+
+/// Result of one load run against one deployment configuration.
+struct LoadReport {
+  /// Configuration label ("single", "sharded4", ...); set by the caller.
+  std::string name;
+
+  /// The spec the run executed (echoed into the JSON).
+  LoadSpec spec;
+
+  /// Measured wall time (driver clock) and totals across classes.
+  double wall_seconds = 0.0;
+  uint64_t total_ops = 0;       ///< ok ops, all classes
+  double throughput = 0.0;      ///< total_ops / wall_seconds
+
+  std::array<OpClassReport, kNumOpClasses> op_classes;
+
+  /// Server-side counter deltas over the measured window.
+  zerber::ServerStats server;
+
+  /// Transport traffic summed over all workers (measured window only).
+  net::TransportStats transport;
+
+  /// Throughput of one class (ok ops / wall_seconds).
+  double ClassThroughput(OpClass c) const;
+
+  /// Deterministic JSON object (no trailing newline).
+  std::string ToJson() const;
+};
+
+}  // namespace zr::load
+
+#endif  // ZERBERR_LOAD_REPORT_H_

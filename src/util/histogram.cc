@@ -80,6 +80,73 @@ std::vector<HistogramBucket> LogHistogram::NonEmptyBuckets() const {
   return out;
 }
 
+LatencyHistogram::LatencyHistogram() : counts_(kNumBuckets, 0) {}
+
+double LatencyHistogram::BucketEdge(size_t i) {
+  return kMinNs * std::pow(10.0, static_cast<double>(i) /
+                                     static_cast<double>(kBucketsPerDecade));
+}
+
+void LatencyHistogram::Add(uint64_t nanos) {
+  if (total_ == 0 || nanos < min_) min_ = nanos;
+  if (nanos > max_) max_ = nanos;
+  ++total_;
+  sum_ += nanos;
+  size_t idx = 0;
+  if (static_cast<double>(nanos) >= kMinNs) {
+    double pos = (std::log10(static_cast<double>(nanos)) - std::log10(kMinNs)) *
+                 static_cast<double>(kBucketsPerDecade);
+    long bucket = static_cast<long>(std::floor(pos));
+    if (bucket < 0) bucket = 0;
+    // Values past the grid saturate into the last bucket; min_/max_ keep the
+    // exact extremes, so tail percentiles clamp back to the true maximum.
+    if (bucket >= static_cast<long>(kNumBuckets)) {
+      bucket = static_cast<long>(kNumBuckets) - 1;
+    }
+    idx = static_cast<size_t>(bucket);
+  }
+  ++counts_[idx];
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.total_ == 0) return;
+  if (total_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  total_ += other.total_;
+  sum_ += other.sum_;
+  for (size_t i = 0; i < kNumBuckets; ++i) counts_[i] += other.counts_[i];
+}
+
+double LatencyHistogram::MeanNs() const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(total_);
+}
+
+double LatencyHistogram::PercentileNs(double p) const {
+  if (total_ == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(total_)));
+  if (rank < 1) rank = 1;
+  // The top rank is the maximum exactly — no bucket-edge approximation (and
+  // the saturating last bucket would otherwise under-report it).
+  if (rank >= total_) return static_cast<double>(max_);
+  uint64_t seen = 0;
+  size_t bucket = kNumBuckets - 1;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      bucket = i;
+      break;
+    }
+  }
+  double value = BucketEdge(bucket + 1);  // conservative: bucket upper edge
+  value = std::min(value, static_cast<double>(max_));
+  value = std::max(value, static_cast<double>(MinNs()));
+  return value;
+}
+
 std::string FormatLogLogSeries(const std::vector<HistogramBucket>& buckets) {
   std::string out;
   char line[64];

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "util/random.h"
@@ -25,6 +26,31 @@ enum class Placement {
 };
 
 /// A merged posting list holding sealed elements of several terms.
+///
+/// Handle lookups no longer scan the list (the scan made sustained
+/// insert/delete churn quadratic); a per-handle index is maintained with
+/// O(1) cost per mutation, with a placement-specific locator:
+///
+///  * kRandomPlacement — handle -> exact position. Kept exact in O(1)
+///    because this discipline's mutations never shift positions: Insert
+///    appends and swaps the newcomer to a uniformly drawn position (one
+///    Fisher-Yates step — positions stay uniformly random), and erase
+///    moves the tail element into the hole. Relative order is not part of
+///    the random-placement contract (see IndexServer::ReplayInsert: the
+///    privacy shuffle is explicitly not replay-stable), only "positions
+///    reveal nothing" is — which swapping preserves. Lookup: O(1).
+///
+///  * kTrsSorted — handle -> TRS sort key. Mid-list insert/erase shifts the
+///    suffix, so exact positions would cost O(suffix) hash rewrites per
+///    mutation (measurably worse than the scan they replace); the sort key
+///    never moves, and lookup binary-searches the TRS-ordered vector to the
+///    tie run and scans it for the handle: O(log n + ties), falling back to
+///    a full scan only if the sorted invariant was broken by an unsorted
+///    restore.
+///
+/// Handles are unique within a list by the server's assignment contract;
+/// lookups for a duplicated handle are unspecified (last write wins)
+/// though element storage itself stays consistent.
 class MergedList {
  public:
   explicit MergedList(Placement placement) : placement_(placement) {}
@@ -35,22 +61,23 @@ class MergedList {
 
   /// Appends an element at the tail, preserving a previously persisted
   /// order. Only for snapshot restore (zerber/persistence.h).
-  void AppendRestored(EncryptedPostingElement element) {
-    ++group_counts_[element.group];
-    elements_.push_back(std::move(element));
-  }
+  void AppendRestored(EncryptedPostingElement element);
 
   /// "Not found" position of IndexOfHandle.
   static constexpr size_t kNpos = static_cast<size_t>(-1);
 
-  /// Finds an element by server handle; nullptr if absent.
+  /// Finds an element by server handle; nullptr if absent. O(1) for random
+  /// placement, O(log n + TRS ties) for sorted lists.
   const EncryptedPostingElement* FindByHandle(uint64_t handle) const;
 
-  /// Position of the element with the given handle; kNpos if absent. Lets
-  /// callers inspect-then-erase with a single scan.
+  /// Position of the element with the given handle; kNpos if absent. Same
+  /// complexity as FindByHandle; lets callers inspect-then-erase without a
+  /// scan.
   size_t IndexOfHandle(uint64_t handle) const;
 
-  /// Removes the element at `index` (must be < size()).
+  /// Removes the element at `index` (must be < size()). Sorted lists shift
+  /// the suffix down; random-placement lists move the tail element into the
+  /// hole (order is not part of that discipline's contract).
   void EraseAt(size_t index);
 
   /// Removes the element with the given handle. False if absent.
@@ -81,10 +108,26 @@ class MergedList {
   /// Sum of wire sizes of all elements (storage accounting, Section 6.3).
   size_t TotalWireSize() const;
 
+  /// Verifies the handle index invariant: one locator per element, and
+  /// IndexOfHandle resolving every element's handle to its linear-scan
+  /// position. O(list log list); tests only.
+  bool CheckHandleIndex() const;
+
  private:
+  /// Records a new element's locator (position or TRS, by placement).
+  void IndexNewElement(const EncryptedPostingElement& element, size_t pos);
+
   Placement placement_;
   std::vector<EncryptedPostingElement> elements_;
   std::map<crypto::GroupId, size_t> group_counts_;
+
+  /// kRandomPlacement: handle -> exact position (maintained in O(1) by the
+  /// swap-based mutations). Empty for sorted lists.
+  std::unordered_map<uint64_t, size_t> handle_pos_;
+
+  /// kTrsSorted: handle -> TRS sort key (never needs maintenance on
+  /// shifts). Empty for random-placement lists.
+  std::unordered_map<uint64_t, double> handle_trs_;
 };
 
 }  // namespace zr::zerber

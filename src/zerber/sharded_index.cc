@@ -260,6 +260,9 @@ ServerStats ShardedIndexService::stats() const {
     total.delete_denied += s.delete_denied;
     total.elements_served += s.elements_served;
     total.bytes_served += s.bytes_served;
+    total.fetch_latency_ns += s.fetch_latency_ns;
+    total.insert_latency_ns += s.insert_latency_ns;
+    total.delete_latency_ns += s.delete_latency_ns;
   }
   return total;
 }

@@ -1,8 +1,33 @@
 #include "zerber/zerber_index.h"
 
+#include <chrono>
 #include <mutex>
 
 namespace zr::zerber {
+
+namespace {
+
+/// Accumulates the enclosing scope's wall time into an atomic nanosecond
+/// counter (the per-op latency sums of ServerStats).
+class LatencyTimer {
+ public:
+  explicit LatencyTimer(std::atomic<uint64_t>* sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~LatencyTimer() {
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    sink_->fetch_add(
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()),
+        std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t>* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
 
 IndexServer::IndexServer(size_t num_lists, Placement placement, uint64_t seed,
                          HandleSpace handles)
@@ -77,6 +102,7 @@ Status IndexServer::ReplayDelete(MergedListId list, uint64_t handle) {
 StatusOr<uint64_t> IndexServer::Insert(UserId user, MergedListId list,
                                        EncryptedPostingElement element) {
   stats_.insert_requests.fetch_add(1, std::memory_order_relaxed);
+  LatencyTimer timer(&stats_.insert_latency_ns);
   if (list >= lists_.size()) {
     return Status::OutOfRange("merged list " + std::to_string(list) +
                               " does not exist");
@@ -98,6 +124,7 @@ StatusOr<uint64_t> IndexServer::Insert(UserId user, MergedListId list,
 
 Status IndexServer::Delete(UserId user, MergedListId list, uint64_t handle) {
   stats_.delete_requests.fetch_add(1, std::memory_order_relaxed);
+  LatencyTimer timer(&stats_.delete_latency_ns);
   if (list >= lists_.size()) {
     return Status::OutOfRange("merged list " + std::to_string(list) +
                               " does not exist");
@@ -122,6 +149,7 @@ Status IndexServer::Delete(UserId user, MergedListId list, uint64_t handle) {
 StatusOr<FetchResult> IndexServer::Fetch(UserId user, MergedListId list,
                                          size_t offset, size_t count) {
   stats_.fetch_requests.fetch_add(1, std::memory_order_relaxed);
+  LatencyTimer timer(&stats_.fetch_latency_ns);
   if (list >= lists_.size()) {
     return Status::OutOfRange("merged list " + std::to_string(list) +
                               " does not exist");
@@ -205,6 +233,12 @@ ServerStats IndexServer::stats() const {
   snapshot.elements_served =
       stats_.elements_served.load(std::memory_order_relaxed);
   snapshot.bytes_served = stats_.bytes_served.load(std::memory_order_relaxed);
+  snapshot.fetch_latency_ns =
+      stats_.fetch_latency_ns.load(std::memory_order_relaxed);
+  snapshot.insert_latency_ns =
+      stats_.insert_latency_ns.load(std::memory_order_relaxed);
+  snapshot.delete_latency_ns =
+      stats_.delete_latency_ns.load(std::memory_order_relaxed);
   return snapshot;
 }
 
@@ -216,6 +250,9 @@ void IndexServer::ResetStats() {
   stats_.delete_denied.store(0, std::memory_order_relaxed);
   stats_.elements_served.store(0, std::memory_order_relaxed);
   stats_.bytes_served.store(0, std::memory_order_relaxed);
+  stats_.fetch_latency_ns.store(0, std::memory_order_relaxed);
+  stats_.insert_latency_ns.store(0, std::memory_order_relaxed);
+  stats_.delete_latency_ns.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace zr::zerber

@@ -68,6 +68,13 @@ struct FetchResult {
 /// Cumulative server-side counters for the evaluation harness. See the
 /// counting policy above: *_requests counts every arriving request,
 /// including rejected ones; *_denied counts ACL rejections.
+///
+/// The *_latency_ns sums accumulate the server-side wall time of every
+/// arriving request of that class (successful or not), measured around the
+/// request body. Dividing by the matching *_requests counter yields the
+/// mean server-side latency; the load harness (src/load) cross-checks these
+/// against its client-side timings — server time is a subset of the client
+/// op, so sum(server latencies) <= sum(client latencies) always.
 struct ServerStats {
   uint64_t fetch_requests = 0;
   uint64_t insert_requests = 0;
@@ -76,6 +83,9 @@ struct ServerStats {
   uint64_t delete_denied = 0;
   uint64_t elements_served = 0;
   uint64_t bytes_served = 0;
+  uint64_t fetch_latency_ns = 0;
+  uint64_t insert_latency_ns = 0;
+  uint64_t delete_latency_ns = 0;
 };
 
 /// The residue class a server assigns handles from: handle = offset +
@@ -188,6 +198,9 @@ class IndexServer {
     std::atomic<uint64_t> delete_denied{0};
     std::atomic<uint64_t> elements_served{0};
     std::atomic<uint64_t> bytes_served{0};
+    std::atomic<uint64_t> fetch_latency_ns{0};
+    std::atomic<uint64_t> insert_latency_ns{0};
+    std::atomic<uint64_t> delete_latency_ns{0};
   };
 
   size_t StripeOf(MergedListId list) const {

@@ -85,5 +85,90 @@ TEST(FormatLogLogSeriesTest, OneRowPerBucket) {
   EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);
 }
 
+TEST(LatencyHistogramTest, EmptyReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_EQ(h.MinNs(), 0u);
+  EXPECT_EQ(h.MaxNs(), 0u);
+  EXPECT_DOUBLE_EQ(h.MeanNs(), 0.0);
+  EXPECT_DOUBLE_EQ(h.PercentileNs(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.PercentileNs(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.PercentileNs(100.0), 0.0);
+}
+
+TEST(LatencyHistogramTest, SingleSampleIsExactAtEveryPercentile) {
+  LatencyHistogram h;
+  h.Add(12345);
+  EXPECT_EQ(h.TotalCount(), 1u);
+  EXPECT_EQ(h.MinNs(), 12345u);
+  EXPECT_EQ(h.MaxNs(), 12345u);
+  EXPECT_DOUBLE_EQ(h.MeanNs(), 12345.0);
+  // The min/max clamp makes every percentile of a one-sample histogram
+  // exact, regardless of which bucket 12345 lands in.
+  for (double p : {0.0, 1.0, 50.0, 95.0, 99.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.PercentileNs(p), 12345.0) << "p=" << p;
+  }
+}
+
+TEST(LatencyHistogramTest, PercentilesBracketTheSampleRange) {
+  LatencyHistogram h;
+  for (uint64_t v = 1000; v <= 100000; v += 1000) h.Add(v);
+  double p50 = h.PercentileNs(50.0);
+  double p99 = h.PercentileNs(99.0);
+  EXPECT_GE(p50, 1000.0);
+  EXPECT_LE(p50, 100000.0);
+  EXPECT_LE(p50, p99);
+  // Bucket width is ~5.9%, so p50 must land near the true median of 50000.
+  EXPECT_NEAR(p50, 50000.0, 50000.0 * 0.07);
+  EXPECT_NEAR(p99, 99000.0, 99000.0 * 0.07);
+}
+
+TEST(LatencyHistogramTest, ValuesBeyondGridSaturateIntoLastBucket) {
+  LatencyHistogram h;
+  // The grid tops out at 10^11 ns; far larger values must still be counted
+  // and keep percentiles clamped to the true maximum.
+  h.Add(5'000'000'000'000ull);  // 5000 seconds, past the last bucket edge
+  h.Add(7'000'000'000'000ull);
+  EXPECT_EQ(h.TotalCount(), 2u);
+  EXPECT_EQ(h.MaxNs(), 7'000'000'000'000ull);
+  EXPECT_DOUBLE_EQ(h.PercentileNs(100.0), 7e12);
+  // Below-grid values clamp into the first bucket symmetrically.
+  LatencyHistogram low;
+  low.Add(3);
+  EXPECT_EQ(low.TotalCount(), 1u);
+  EXPECT_DOUBLE_EQ(low.PercentileNs(50.0), 3.0);
+}
+
+TEST(LatencyHistogramTest, MergeMatchesSingleHistogramOfAllSamples) {
+  LatencyHistogram a, b, all;
+  for (uint64_t v = 100; v < 10000; v += 100) {
+    a.Add(v);
+    all.Add(v);
+  }
+  for (uint64_t v = 50000; v < 500000; v += 5000) {
+    b.Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.TotalCount(), all.TotalCount());
+  EXPECT_EQ(a.MinNs(), all.MinNs());
+  EXPECT_EQ(a.MaxNs(), all.MaxNs());
+  EXPECT_EQ(a.SumNs(), all.SumNs());
+  for (double p : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+    EXPECT_DOUBLE_EQ(a.PercentileNs(p), all.PercentileNs(p)) << "p=" << p;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeWithEmptyIsIdentity) {
+  LatencyHistogram h, empty;
+  h.Add(777);
+  h.Merge(empty);
+  EXPECT_EQ(h.TotalCount(), 1u);
+  EXPECT_DOUBLE_EQ(h.PercentileNs(50.0), 777.0);
+  empty.Merge(h);
+  EXPECT_EQ(empty.TotalCount(), 1u);
+  EXPECT_DOUBLE_EQ(empty.PercentileNs(50.0), 777.0);
+}
+
 }  // namespace
 }  // namespace zr

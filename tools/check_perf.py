@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_loadtest.json.
+
+Compares a freshly measured load report against the committed baseline and
+fails (exit 1) when any op class of any config regresses beyond the
+tolerance: throughput dropping more than --tolerance (default 25%), or p99
+latency rising more than --tolerance. Classes with too few samples for a
+stable p99 (fewer than --min-samples) are gated on throughput only.
+
+--latency-slack-ns adds an absolute allowance on top of the relative p99
+ceiling. On shared CI runners the p99 of cheap op classes is dominated by
+scheduler preemption (a microsecond-scale op that gets descheduled behind a
+30ms neighbor records milliseconds), which flips a purely relative gate on
+noise; the slack absorbs that while throughput — the stable signal —
+remains gated strictly.
+
+Usage:
+    tools/check_perf.py BASELINE CURRENT [--tolerance 0.25]
+        [--min-samples 50] [--latency-slack-ns 0]
+
+Update the committed baseline by re-running `loadgen --spec=ci` on the
+reference machine and committing the regenerated BENCH_loadtest.json (see
+README "Load testing & performance CI").
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_configs(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    configs = {c["name"]: c for c in doc.get("configs", [])}
+    if not configs:
+        sys.exit(f"error: {path} contains no configs")
+    return configs
+
+
+def check_class(config, cls, base, cur, args, failures):
+    tolerance = args.tolerance
+    min_samples = args.min_samples
+    base_tput = base["throughput_ops_per_sec"]
+    cur_tput = cur["throughput_ops_per_sec"]
+    label = f"{config}/{cls}"
+    if base_tput > 0:
+        floor = base_tput * (1.0 - tolerance)
+        status = "ok" if cur_tput >= floor else "FAIL"
+        print(
+            f"  {label:32s} throughput {cur_tput:12.1f} ops/s"
+            f"  (baseline {base_tput:.1f}, floor {floor:.1f}) {status}"
+        )
+        if cur_tput < floor:
+            failures.append(
+                f"{label}: throughput {cur_tput:.1f} ops/s dropped more than "
+                f"{tolerance:.0%} below baseline {base_tput:.1f}"
+            )
+
+    base_p99 = base["latency"]["p99_ns"]
+    cur_p99 = cur["latency"]["p99_ns"]
+    samples = min(base["latency"]["count"], cur["latency"]["count"])
+    if base_p99 > 0 and samples >= min_samples:
+        ceil = base_p99 * (1.0 + tolerance) + args.latency_slack_ns
+        status = "ok" if cur_p99 <= ceil else "FAIL"
+        print(
+            f"  {label:32s} p99 {cur_p99 / 1e3:12.1f} us"
+            f"       (baseline {base_p99 / 1e3:.1f}, ceiling {ceil / 1e3:.1f}) {status}"
+        )
+        if cur_p99 > ceil:
+            failures.append(
+                f"{label}: p99 {cur_p99 / 1e3:.1f}us rose more than "
+                f"{tolerance:.0%} above baseline {base_p99 / 1e3:.1f}us"
+            )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    parser.add_argument("--min-samples", type=int, default=50)
+    parser.add_argument("--latency-slack-ns", type=float, default=0.0)
+    args = parser.parse_args()
+
+    baseline = load_configs(args.baseline)
+    current = load_configs(args.current)
+
+    failures = []
+    for name, base_config in sorted(baseline.items()):
+        cur_config = current.get(name)
+        if cur_config is None:
+            failures.append(f"config '{name}' missing from {args.current}")
+            continue
+        print(f"config {name}:")
+        if base_config.get("spec") != cur_config.get("spec"):
+            failures.append(
+                f"config '{name}': spec differs between baseline and current "
+                "— the workloads are not comparable; regenerate the baseline"
+            )
+            continue
+        for cls, base_cls in base_config["op_classes"].items():
+            cur_cls = cur_config["op_classes"].get(cls)
+            if cur_cls is None:
+                failures.append(f"{name}/{cls}: missing from current report")
+                continue
+            if base_cls["attempted"] == 0:
+                continue  # class not exercised by this config's mix
+            check_class(name, cls, base_cls, cur_cls, args, failures)
+
+    if failures:
+        print("\nPERF REGRESSION:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nperf check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
