@@ -13,6 +13,8 @@
 //   ./loadgen --spec=ci                     # the pinned CI gate workload
 //   ./loadgen --spec=default --workers=8    # ad-hoc runs; flags override
 //   ./loadgen --spec=churn                  # 100k-element delete-churn gate
+//   ./loadgen --spec=ci --transport=tcp --data-dir=/tmp/zr
+//                                           # sharded+durable served over TCP
 //
 // Specs:
 //   ci      single-server + 4-shard configs on the tiny synthetic dataset,
@@ -21,11 +23,20 @@
 //           list (the workload that was quadratic before MergedList grew a
 //           handle index; the gate checks delete p99 <= 5x insert p99).
 //   default one single-server config, flag-tunable.
+//
+// --transport=direct|loopback|tcp selects how workers reach the backend;
+// tcp starts a real net::TcpServer in-process, gives every worker its own
+// socket, and the run fails unless the socket byte counts satisfy the
+// framing identity against the payload (loopback-equivalent) accounting.
+// --data-dir=DIR wraps the mixed-spec backends in the durable storage
+// engine (fresh per-config subdirectories; the churn config stays
+// in-memory — its preload path restores into the single server directly).
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -35,6 +46,7 @@
 #include "load/driver.h"
 #include "load/load_spec.h"
 #include "load/report.h"
+#include "net/tcp.h"
 #include "util/random.h"
 #include "zerber/posting_element.h"
 
@@ -52,6 +64,7 @@ struct Flags {
   double rate = 0.0;         // >0 switches to open loop
   std::string transport = "direct";
   size_t shards = 0;  // 0 = spec default; "default" spec only
+  std::string data_dir;  // non-empty = durable backends (fresh per-config subdirs)
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -83,6 +96,8 @@ Flags ParseFlags(int argc, char** argv) {
       flags.transport = value;
     } else if (ParseFlag(argv[i], "--shards", &value)) {
       flags.shards = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--data-dir", &value)) {
+      flags.data_dir = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       std::exit(2);
@@ -107,12 +122,16 @@ load::LoadSpec MixedSpec(const Flags& flags) {
 }
 
 net::TransportKind TransportOf(const Flags& flags) {
-  return flags.transport == "loopback" ? net::TransportKind::kLoopback
-                                       : net::TransportKind::kDirect;
+  auto kind = net::ParseTransportKind(flags.transport);
+  if (!kind.ok()) {
+    std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+    std::exit(2);
+  }
+  return *kind;
 }
 
-std::unique_ptr<core::Pipeline> BuildDeploymentPipeline(const Flags& flags,
-                                                        size_t num_shards) {
+std::unique_ptr<core::Pipeline> BuildDeploymentPipeline(
+    const Flags& flags, size_t num_shards, const std::string& config_name) {
   core::PipelineOptions options;
   options.preset = synth::TinyPreset();
   options.sigma = 0.002;
@@ -121,6 +140,16 @@ std::unique_ptr<core::Pipeline> BuildDeploymentPipeline(const Flags& flags,
   options.transport = TransportOf(flags);
   options.build_baseline_index = false;
   options.build_query_log = false;
+  if (!flags.data_dir.empty()) {
+    // BuildPipeline expects a fresh store (it re-inserts the corpus);
+    // each config gets its own scrubbed subdirectory.
+    std::filesystem::path dir =
+        std::filesystem::path(flags.data_dir) / config_name;
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    std::filesystem::create_directories(dir, ec);
+    options.data_dir = dir.string();
+  }
   auto pipeline = core::BuildPipeline(options);
   if (!pipeline.ok()) {
     std::fprintf(stderr, "pipeline build failed: %s\n",
@@ -128,6 +157,46 @@ std::unique_ptr<core::Pipeline> BuildDeploymentPipeline(const Flags& flags,
     std::exit(1);
   }
   return std::move(pipeline).value();
+}
+
+/// The framing identity every clean tcp run must satisfy: the socket
+/// moved exactly the payload bytes (drift-checked per message against
+/// the analytic WireSizeOf* sizes — LoopbackTransport's accounting) plus
+/// one 4-byte frame header per message. Non-tcp runs pass trivially.
+/// Runs with op errors or reconnects are exempt: a frame is counted when
+/// it crosses the socket, but its payload is only accounted once the
+/// whole exchange completes, so an interrupted exchange legitimately
+/// breaks the identity — the real signal there is the error itself,
+/// already visible in the report's error counters.
+bool CheckTcpAccounting(const load::LoadReport& r) {
+  if (r.transport_kind != "tcp") return true;
+  uint64_t errors = 0;
+  for (const auto& op_class : r.op_classes) errors += op_class.errors;
+  if (errors > 0 || r.socket.reconnects > 0) {
+    std::printf(
+        "%-10s tcp accounting: skipped (%llu op error(s), %llu "
+        "reconnect(s) — identity only holds for completed exchanges)\n",
+        r.name.c_str(), static_cast<unsigned long long>(errors),
+        static_cast<unsigned long long>(r.socket.reconnects));
+    return true;
+  }
+  uint64_t expect_up =
+      r.transport.bytes_up + net::kFrameHeaderBytes * r.socket.frames_up;
+  uint64_t expect_down =
+      r.transport.bytes_down + net::kFrameHeaderBytes * r.socket.frames_down;
+  bool ok =
+      r.socket.bytes_up == expect_up && r.socket.bytes_down == expect_down;
+  std::printf(
+      "%-10s tcp accounting: socket up %llu (payload %llu + frames %llu*4), "
+      "down %llu (payload %llu + frames %llu*4) %s\n",
+      r.name.c_str(), static_cast<unsigned long long>(r.socket.bytes_up),
+      static_cast<unsigned long long>(r.transport.bytes_up),
+      static_cast<unsigned long long>(r.socket.frames_up),
+      static_cast<unsigned long long>(r.socket.bytes_down),
+      static_cast<unsigned long long>(r.transport.bytes_down),
+      static_cast<unsigned long long>(r.socket.frames_down),
+      ok ? "PASS" : "FAIL");
+  return ok;
 }
 
 load::LoadReport MustRun(const load::Deployment& deployment,
@@ -156,18 +225,22 @@ void PrintSummary(const load::LoadReport& r) {
 }
 
 /// Mixed workload against the single-server backend and a 4-shard backend.
-void RunMixedConfigs(const Flags& flags, std::vector<load::LoadReport>* out) {
+/// Returns false when a tcp run violates the framing accounting identity.
+bool RunMixedConfigs(const Flags& flags, std::vector<load::LoadReport>* out) {
   load::LoadSpec spec = MixedSpec(flags);
+  bool accounting_ok = true;
 
-  auto single = BuildDeploymentPipeline(flags, /*num_shards=*/1);
+  auto single = BuildDeploymentPipeline(flags, /*num_shards=*/1, "single");
   out->push_back(
       MustRun(load::DeploymentFromPipeline(single.get()), spec, "single"));
   PrintSummary(out->back());
+  accounting_ok = CheckTcpAccounting(out->back()) && accounting_ok;
 
-  auto sharded = BuildDeploymentPipeline(flags, /*num_shards=*/4);
+  auto sharded = BuildDeploymentPipeline(flags, /*num_shards=*/4, "sharded4");
   out->push_back(
       MustRun(load::DeploymentFromPipeline(sharded.get()), spec, "sharded4"));
   PrintSummary(out->back());
+  accounting_ok = CheckTcpAccounting(out->back()) && accounting_ok;
 
   double single_q =
       out->at(out->size() - 2).ClassThroughput(load::OpClass::kQueryZerberR);
@@ -175,6 +248,7 @@ void RunMixedConfigs(const Flags& flags, std::vector<load::LoadReport>* out) {
       out->back().ClassThroughput(load::OpClass::kQueryZerberR);
   std::printf("sharded4/single query throughput: %.2fx\n",
               single_q > 0.0 ? sharded_q / single_q : 0.0);
+  return accounting_ok;
 }
 
 /// Insert/delete churn against one preloaded 100k-element TRS-sorted list.
@@ -258,6 +332,7 @@ bool RunChurnConfig(const Flags& flags, size_t preload,
 
   out->push_back(MustRun(deployment, spec, "churn100k"));
   PrintSummary(out->back());
+  bool accounting_ok = CheckTcpAccounting(out->back());
 
   const auto& ins =
       out->back().op_classes[static_cast<size_t>(load::OpClass::kInsert)];
@@ -270,7 +345,7 @@ bool RunChurnConfig(const Flags& flags, size_t preload,
   bool gate_ok = ratio <= 5.0;
   std::printf("churn delete p99 / insert p99: %.2fx (gate: <= 5x) %s\n", ratio,
               gate_ok ? "PASS" : "FAIL");
-  return gate_ok;
+  return gate_ok && accounting_ok;
 }
 
 }  // namespace
@@ -281,17 +356,18 @@ int main(int argc, char** argv) {
   std::vector<load::LoadReport> reports;
   bool gates_ok = true;
   if (flags.spec == "ci") {
-    RunMixedConfigs(flags, &reports);
-    gates_ok = RunChurnConfig(flags, /*preload=*/100000, &reports);
+    gates_ok = RunMixedConfigs(flags, &reports);
+    gates_ok = RunChurnConfig(flags, /*preload=*/100000, &reports) && gates_ok;
   } else if (flags.spec == "churn") {
     gates_ok = RunChurnConfig(flags, /*preload=*/100000, &reports);
   } else if (flags.spec == "default") {
     load::LoadSpec spec = MixedSpec(flags);
-    auto pipeline =
-        BuildDeploymentPipeline(flags, flags.shards == 0 ? 1 : flags.shards);
+    auto pipeline = BuildDeploymentPipeline(
+        flags, flags.shards == 0 ? 1 : flags.shards, "single");
     reports.push_back(MustRun(load::DeploymentFromPipeline(pipeline.get()),
                               spec, "single"));
     PrintSummary(reports.back());
+    gates_ok = CheckTcpAccounting(reports.back());
   } else {
     std::fprintf(stderr, "unknown --spec=%s (want ci|churn|default)\n",
                  flags.spec.c_str());

@@ -1,0 +1,78 @@
+// TCP client: query a remote Zerber+R server over a real socket.
+//
+// Builds a *client-only* pipeline (PipelineOptions::connect_addr): the
+// same preset + seed as examples/tcp_server.cpp deterministically derive
+// the same vocabulary, keystore, merge plan and TRS assigner, so this
+// process can seal, address and decrypt against the remote index without
+// ever holding it. Run the server first:
+//
+//   ./build/tcp_server 127.0.0.1:7777 &
+//   ./build/tcp_client 127.0.0.1:7777
+//
+// Usage: tcp_client [connect_addr] [top_k]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/pipeline.h"
+#include "net/tcp.h"
+
+int main(int argc, char** argv) {
+  using namespace zr;
+
+  core::PipelineOptions options;
+  options.preset = synth::TinyPreset();
+  options.sigma = 0.002;
+  options.seed = 20090324;  // must match the server's seed
+  options.transport = net::TransportKind::kTcp;
+  options.connect_addr = argc > 1 ? argv[1] : "127.0.0.1:7777";
+  options.build_baseline_index = false;
+  options.build_query_log = false;
+  size_t top_k = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5;
+
+  auto built = core::BuildPipeline(options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "client setup failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  core::Pipeline& p = **built;
+  auto* transport = static_cast<net::TcpTransport*>(p.transport.get());
+
+  // Query the five most frequent terms of the shared synthetic corpus.
+  size_t queried = 0;
+  for (text::TermId term : p.corpus.vocabulary().AllTermIds()) {
+    if (p.corpus.DocumentFrequency(term) < 3) continue;
+    auto term_string = p.corpus.vocabulary().TermOf(term);
+    auto result = p.client->QueryTopK(term, top_k);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("top-%zu for '%s': ", top_k,
+                term_string.ok() ? term_string->c_str() : "?");
+    for (const auto& doc : result->results) {
+      std::printf("doc %u (%.4f)  ", doc.doc_id, doc.score);
+    }
+    std::printf("[%llu round trip(s), %llu bytes]\n",
+                static_cast<unsigned long long>(result->trace.requests),
+                static_cast<unsigned long long>(result->trace.bytes_fetched));
+    if (++queried == 5) break;
+  }
+
+  const net::TcpSocketStats& socket = transport->socket_stats();
+  const net::TransportStats& stats = transport->stats();
+  std::printf(
+      "\nsocket traffic: %llu bytes up / %llu bytes down over %llu+%llu "
+      "frames (payload %llu/%llu — the 4-byte frame headers are the only "
+      "overhead)\n",
+      static_cast<unsigned long long>(socket.bytes_up),
+      static_cast<unsigned long long>(socket.bytes_down),
+      static_cast<unsigned long long>(socket.frames_up),
+      static_cast<unsigned long long>(socket.frames_down),
+      static_cast<unsigned long long>(stats.bytes_up),
+      static_cast<unsigned long long>(stats.bytes_down));
+  return 0;
+}

@@ -1,0 +1,72 @@
+// TCP server: stand up a full Zerber+R deployment behind a real socket.
+//
+// Builds the standard synthetic deployment (corpus, RSTF training, BFM
+// merge, keys, encrypted index — optionally sharded and/or durable) and
+// serves it with net::TcpServer until stdin closes. Pair it with
+// examples/tcp_client.cpp, which derives the identical client-side
+// artifacts from the same preset + seed and queries over the wire:
+//
+//   ./build/tcp_server 127.0.0.1:7777 &
+//   ./build/tcp_client 127.0.0.1:7777
+//
+// Usage: tcp_server [listen_addr] [num_shards] [data_dir]
+//   listen_addr  default 127.0.0.1:7777 (port 0 = ephemeral, printed)
+//   num_shards   default 1
+//   data_dir     non-empty wraps the backend in the durable storage engine
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "core/pipeline.h"
+
+int main(int argc, char** argv) {
+  using namespace zr;
+
+  core::PipelineOptions options;
+  options.preset = synth::TinyPreset();
+  options.sigma = 0.002;
+  options.seed = 20090324;  // the client derives matching keys from this
+  options.transport = net::TransportKind::kTcp;
+  options.listen_addr = argc > 1 ? argv[1] : "127.0.0.1:7777";
+  options.num_shards = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+  options.build_baseline_index = false;
+  options.build_query_log = false;
+  if (argc > 3) options.data_dir = argv[3];
+
+  std::printf("building deployment (%zu shard(s)%s)...\n", options.num_shards,
+              options.data_dir.empty() ? "" : ", durable");
+  auto built = core::BuildPipeline(options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  core::Pipeline& p = **built;
+
+  std::printf("serving on %s — press Enter to stop\n",
+              p.tcp_server->address().c_str());
+  std::fflush(stdout);
+  // SIGTTIN ignored: reading the terminal from a backgrounded job then
+  // fails instead of stopping the process. Any stdin failure/EOF (run
+  // with `&`, nohup, CI) means "no operator console" — keep serving
+  // until killed rather than exiting with the index.
+  std::signal(SIGTTIN, SIG_IGN);
+  if (std::getchar() == EOF) {
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(60));
+  }
+
+  net::TcpServerStats stats = p.tcp_server->stats();
+  std::printf(
+      "served %llu frames over %llu connection(s): %llu bytes in, "
+      "%llu bytes out, %llu protocol error(s)\n",
+      static_cast<unsigned long long>(stats.frames_served),
+      static_cast<unsigned long long>(stats.connections_accepted),
+      static_cast<unsigned long long>(stats.bytes_read),
+      static_cast<unsigned long long>(stats.bytes_written),
+      static_cast<unsigned long long>(stats.protocol_errors));
+  return 0;
+}

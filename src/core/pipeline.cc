@@ -12,6 +12,15 @@ namespace {
 
 StatusOr<std::unique_ptr<Pipeline>> Assemble(text::Corpus corpus,
                                              const PipelineOptions& options) {
+  if (!options.connect_addr.empty() &&
+      options.transport != net::TransportKind::kTcp) {
+    return Status::InvalidArgument(
+        "connect_addr requires transport = kTcp");
+  }
+  // Client-only deployments talk to a remote server that already holds
+  // the index; everything server-side is skipped.
+  const bool client_only = !options.connect_addr.empty();
+
   auto p = std::make_unique<Pipeline>();
   p->options = options;
   p->corpus = std::move(corpus);
@@ -82,7 +91,9 @@ StatusOr<std::unique_ptr<Pipeline>> Assemble(text::Corpus corpus,
   // data_dir set, a DurableIndexService owning either shape (ACL
   // provisioning goes through it so the grants are WAL-logged too).
   net::ZerberService* backend = nullptr;
-  if (!options.data_dir.empty()) {
+  if (client_only) {
+    // No backend: the remote server owns the index and its ACLs.
+  } else if (!options.data_dir.empty()) {
     store::DurableOptions durability;
     durability.data_dir = options.data_dir;
     durability.sync_mode = options.wal_sync_mode;
@@ -126,17 +137,34 @@ StatusOr<std::unique_ptr<Pipeline>> Assemble(text::Corpus corpus,
   }
 
   // 8. Client traffic routed through the configured transport (byte counts
-  // land on the channel).
+  // land on the channel). kTcp serves the backend just built over a real
+  // socket and connects the client transport to it.
   p->channel = std::make_unique<net::SimChannel>(net::kModem56k,
                                                  net::kModem56k);
-  p->transport = net::MakeTransport(options.transport, backend,
-                                    p->channel.get());
+  if (options.transport == net::TransportKind::kTcp) {
+    std::string connect_addr = options.connect_addr;
+    if (!client_only) {
+      net::TcpServer::Options tcp;
+      tcp.listen_addr = options.listen_addr;
+      ZR_ASSIGN_OR_RETURN(p->tcp_server,
+                          net::TcpServer::Start(backend, std::move(tcp)));
+      connect_addr = p->tcp_server->address();
+    }
+    p->transport = std::make_unique<net::TcpTransport>(std::move(connect_addr),
+                                                       p->channel.get());
+  } else {
+    p->transport = net::MakeTransport(options.transport, backend,
+                                      p->channel.get());
+  }
 
-  // 9. Client + encrypted index build.
+  // 9. Client + encrypted index build (a client-only pipeline queries the
+  // remote server's existing index instead of building one).
   p->client = std::make_unique<ZerberRClient>(
       p->user, p->keys.get(), &p->plan, p->transport.get(),
       &p->corpus.vocabulary(), p->assigner.get(), options.protocol);
-  ZR_RETURN_IF_ERROR(BuildEncryptedIndex(p->corpus, p->client.get()));
+  if (!client_only) {
+    ZR_RETURN_IF_ERROR(BuildEncryptedIndex(p->corpus, p->client.get()));
+  }
 
   // 10. Plaintext comparator.
   if (options.build_baseline_index) {

@@ -20,6 +20,7 @@
 #include "index/inverted_index.h"
 #include "net/channel.h"
 #include "net/service.h"
+#include "net/tcp.h"
 #include "net/transport.h"
 #include "store/durable_service.h"
 #include "store/wal.h"
@@ -64,8 +65,23 @@ struct PipelineOptions {
   /// How client traffic reaches the server: kDirect routes typed messages
   /// in-process (fast; analytic byte accounting); kLoopback serializes
   /// every exchange through the wire format (real byte accounting,
-  /// exercises encode/decode). Results are identical either way.
+  /// exercises encode/decode); kTcp starts a net::TcpServer over the
+  /// built backend and routes every exchange through a real socket.
+  /// Results are identical in all three cases.
   net::TransportKind transport = net::TransportKind::kDirect;
+
+  /// Where the in-process TcpServer binds (transport = kTcp only). Port 0
+  /// picks an ephemeral port; read the actual one from
+  /// Pipeline::tcp_server->address().
+  std::string listen_addr = "127.0.0.1:0";
+
+  /// Non-empty (with transport = kTcp) builds a *client-only* pipeline
+  /// against an already-running remote server at this "host:port": no
+  /// backend is constructed and the corpus is not inserted — keys, merge
+  /// plan and TRS assigner are derived deterministically from the preset
+  /// and seed, so they match a server deployment built from the same
+  /// options (see examples/tcp_server.cpp + examples/tcp_client.cpp).
+  std::string connect_addr;
 
   /// Index shards serving the merged lists. 1 (the default) deploys the
   /// single IndexServer backend (Pipeline::server + Pipeline::service);
@@ -134,8 +150,13 @@ struct Pipeline {
   /// the transport the client's traffic is routed through. The channel
   /// accumulates that traffic under the paper's user link model (56 kb/s).
   /// `service` is null in sharded deployments (ShardedIndexService is
-  /// itself the ZerberService backend).
+  /// itself the ZerberService backend). `tcp_server` is set only when
+  /// options.transport == kTcp with no connect_addr: the deployment's
+  /// backend served over a real socket (declared before channel/transport
+  /// so the client side tears down first, then the server, then the
+  /// backend it dispatches into).
   std::unique_ptr<net::IndexService> service;
+  std::unique_ptr<net::TcpServer> tcp_server;
   std::unique_ptr<net::SimChannel> channel;
   std::unique_ptr<net::Transport> transport;
 

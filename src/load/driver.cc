@@ -8,6 +8,7 @@
 #include "core/pipeline.h"
 #include "core/zerber_r_client.h"
 #include "load/op_generator.h"
+#include "net/tcp.h"
 #include "zerber/posting_element.h"
 #include "zerber/zerber_client.h"
 
@@ -99,6 +100,11 @@ Status LoadDriver::Setup() {
       deployment_.assigner == nullptr) {
     return Status::InvalidArgument("deployment is missing a component");
   }
+  if (deployment_.transport == net::TransportKind::kTcp &&
+      deployment_.connect_addr.empty()) {
+    return Status::InvalidArgument(
+        "tcp transport needs deployment.connect_addr");
+  }
   if (deployment_.groups.empty()) {
     return Status::InvalidArgument("deployment has no provisioned groups");
   }
@@ -159,7 +165,8 @@ Status LoadDriver::Setup() {
   for (size_t w = 0; w < spec_.workers; ++w) {
     auto state = std::make_unique<WorkerState>(spec_, w, terms_.size());
     state->transport =
-        net::MakeTransport(deployment_.transport, deployment_.backend);
+        net::MakeTransport(deployment_.transport, deployment_.backend,
+                           /*channel=*/nullptr, deployment_.connect_addr);
     for (size_t u = 0; u < users_.size(); ++u) {
       state->plain_clients.push_back(std::make_unique<zerber::ZerberClient>(
           users_[u], deployment_.keys, deployment_.plan,
@@ -374,11 +381,21 @@ StatusOr<LoadReport> LoadDriver::Run() {
                           ? static_cast<double>(report.total_ops) /
                                 report.wall_seconds
                           : 0.0;
+  report.transport_kind = net::TransportKindName(deployment_.transport);
   for (auto& w : workers_) {
     const net::TransportStats& t = w->transport->stats();
     report.transport.exchanges += t.exchanges;
     report.transport.bytes_up += t.bytes_up;
     report.transport.bytes_down += t.bytes_down;
+    if (deployment_.transport == net::TransportKind::kTcp) {
+      const net::TcpSocketStats& s =
+          static_cast<net::TcpTransport*>(w->transport.get())->socket_stats();
+      report.socket.bytes_up += s.bytes_up;
+      report.socket.bytes_down += s.bytes_down;
+      report.socket.frames_up += s.frames_up;
+      report.socket.frames_down += s.frames_down;
+      report.socket.reconnects += s.reconnects;
+    }
   }
   zerber::ServerStats after =
       deployment_.server_stats ? deployment_.server_stats() : zerber::ServerStats();
@@ -389,6 +406,11 @@ StatusOr<LoadReport> LoadDriver::Run() {
 Deployment DeploymentFromPipeline(core::Pipeline* pipeline) {
   Deployment d;
   d.transport = pipeline->options.transport;
+  if (pipeline->tcp_server != nullptr) {
+    d.connect_addr = pipeline->tcp_server->address();
+  } else {
+    d.connect_addr = pipeline->options.connect_addr;
+  }
   d.keys = pipeline->keys.get();
   d.plan = &pipeline->plan;
   d.corpus = &pipeline->corpus;

@@ -58,6 +58,11 @@ struct Deployment {
   /// Transport each worker routes its traffic through.
   net::TransportKind transport = net::TransportKind::kDirect;
 
+  /// "host:port" each worker's TcpTransport connects to (required when
+  /// transport == kTcp; each worker owns its own connection).
+  /// DeploymentFromPipeline fills it from the pipeline's TcpServer.
+  std::string connect_addr;
+
   /// Client-side artifacts of the deployment.
   crypto::KeyStore* keys = nullptr;
   const zerber::MergePlan* plan = nullptr;

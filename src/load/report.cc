@@ -141,12 +141,23 @@ std::string LoadReport::ToJson() const {
   AppendU64(&out, "delete_latency_ns", server.delete_latency_ns, &s);
   out.push_back('}');
 
+  AppendString(&out, "transport_kind", transport_kind, &first);
   AppendKey(&out, "transport", &first);
   out.push_back('{');
   bool t = true;
   AppendU64(&out, "exchanges", transport.exchanges, &t);
   AppendU64(&out, "bytes_up", transport.bytes_up, &t);
   AppendU64(&out, "bytes_down", transport.bytes_down, &t);
+  out.push_back('}');
+
+  AppendKey(&out, "socket", &first);
+  out.push_back('{');
+  bool sk = true;
+  AppendU64(&out, "bytes_up", socket.bytes_up, &sk);
+  AppendU64(&out, "bytes_down", socket.bytes_down, &sk);
+  AppendU64(&out, "frames_up", socket.frames_up, &sk);
+  AppendU64(&out, "frames_down", socket.frames_down, &sk);
+  AppendU64(&out, "reconnects", socket.reconnects, &sk);
   out.push_back('}');
 
   out.push_back('}');

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "load/load_spec.h"
+#include "net/tcp.h"
 #include "net/transport.h"
 #include "util/histogram.h"
 #include "zerber/zerber_index.h"
@@ -66,8 +67,20 @@ struct LoadReport {
   /// Server-side counter deltas over the measured window.
   zerber::ServerStats server;
 
+  /// Which transport the workers routed traffic through
+  /// ("direct"/"loopback"/"tcp"); echoed into the JSON.
+  std::string transport_kind;
+
   /// Transport traffic summed over all workers (measured window only).
+  /// bytes_up/bytes_down are message *payload* bytes under every
+  /// transport, so the three kinds are directly comparable.
   net::TransportStats transport;
+
+  /// Real socket traffic (frame headers included) summed over all
+  /// workers; zero unless the transport is tcp. The framing identity
+  /// socket bytes == payload bytes + kFrameHeaderBytes * frames
+  /// is asserted by loadgen after every tcp run.
+  net::TcpSocketStats socket;
 
   /// Throughput of one class (ok ops / wall_seconds).
   double ClassThroughput(OpClass c) const;

@@ -7,16 +7,25 @@
 namespace zr::net {
 
 namespace {
-// Message type tags guard against cross-parsing.
-constexpr uint8_t kTagQueryRequest = 1;
-constexpr uint8_t kTagQueryResponse = 2;
-constexpr uint8_t kTagInsertRequest = 3;
-constexpr uint8_t kTagInsertResponse = 4;
-constexpr uint8_t kTagMultiFetchRequest = 5;
-constexpr uint8_t kTagMultiFetchResponse = 6;
-constexpr uint8_t kTagDeleteRequest = 7;
-constexpr uint8_t kTagDeleteResponse = 8;
-constexpr uint8_t kTagErrorResponse = 9;
+// Message type tags (MessageTag in the header) guard against cross-parsing.
+constexpr uint8_t kTagQueryRequest =
+    static_cast<uint8_t>(MessageTag::kQueryRequest);
+constexpr uint8_t kTagQueryResponse =
+    static_cast<uint8_t>(MessageTag::kQueryResponse);
+constexpr uint8_t kTagInsertRequest =
+    static_cast<uint8_t>(MessageTag::kInsertRequest);
+constexpr uint8_t kTagInsertResponse =
+    static_cast<uint8_t>(MessageTag::kInsertResponse);
+constexpr uint8_t kTagMultiFetchRequest =
+    static_cast<uint8_t>(MessageTag::kMultiFetchRequest);
+constexpr uint8_t kTagMultiFetchResponse =
+    static_cast<uint8_t>(MessageTag::kMultiFetchResponse);
+constexpr uint8_t kTagDeleteRequest =
+    static_cast<uint8_t>(MessageTag::kDeleteRequest);
+constexpr uint8_t kTagDeleteResponse =
+    static_cast<uint8_t>(MessageTag::kDeleteResponse);
+constexpr uint8_t kTagErrorResponse =
+    static_cast<uint8_t>(MessageTag::kErrorResponse);
 
 Status ExpectTag(ByteReader* reader, uint8_t expected) {
   std::string_view tag;
@@ -27,6 +36,15 @@ Status ExpectTag(ByteReader* reader, uint8_t expected) {
   return Status::OK();
 }
 }  // namespace
+
+MessageTag TagOf(std::string_view message) {
+  if (message.empty()) return MessageTag::kInvalid;
+  uint8_t tag = static_cast<uint8_t>(message[0]);
+  if (tag == 0 || tag > static_cast<uint8_t>(MessageTag::kErrorResponse)) {
+    return MessageTag::kInvalid;
+  }
+  return static_cast<MessageTag>(tag);
+}
 
 std::string SerializeQueryRequest(const QueryRequest& request) {
   std::string out;

@@ -5,7 +5,17 @@
 // numbers) reflects real serialized sizes and corrupt input handling is
 // testable. LoopbackTransport (net/transport.h) routes each exchange through
 // these serializers; DirectTransport uses the analytic WireSizeOf* functions
-// to account for the same bytes without serializing.
+// to account for the same bytes without serializing; TcpTransport /
+// TcpServer (net/tcp.h) move the same serializations across a socket in
+// length-prefixed frames.
+//
+// Threading: every function here is a pure function of its arguments —
+// safe from any thread, no shared state. Ownership: Serialize* returns
+// bytes by value; Parse* copies out of its input view, so the input
+// buffer may be discarded as soon as the call returns. Parsers never
+// trust input: any malformed byte sequence comes back as a Corruption
+// status, never UB (asserted by the corruption tests in
+// tests/net_messages_test.cc).
 
 #ifndef ZERBERR_NET_MESSAGES_H_
 #define ZERBERR_NET_MESSAGES_H_
@@ -20,6 +30,27 @@
 #include "zerber/posting_element.h"
 
 namespace zr::net {
+
+/// First byte of every serialized message. Serialized messages are
+/// self-describing: parsers reject a payload whose tag is not theirs
+/// (guarding against cross-parsing), and frame-based transports
+/// (net/tcp.h) dispatch a received payload on this byte alone.
+enum class MessageTag : uint8_t {
+  kInvalid = 0,
+  kQueryRequest = 1,
+  kQueryResponse = 2,
+  kInsertRequest = 3,
+  kInsertResponse = 4,
+  kMultiFetchRequest = 5,
+  kMultiFetchResponse = 6,
+  kDeleteRequest = 7,
+  kDeleteResponse = 8,
+  kErrorResponse = 9,
+};
+
+/// The tag of a serialized message (kInvalid for an empty payload or an
+/// out-of-range first byte).
+MessageTag TagOf(std::string_view message);
 
 /// Client -> server: fetch a range of a merged posting list.
 struct QueryRequest {

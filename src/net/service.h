@@ -20,8 +20,21 @@ namespace zr::net {
 /// The client<->server protocol, one virtual per message exchange.
 ///
 /// Implementations: IndexService (single-server backend),
-/// zerber::ShardedIndexService (thread-safe sharded backend), DirectTransport
-/// and LoopbackTransport (client-side stubs forwarding to a backend service).
+/// zerber::ShardedIndexService (thread-safe sharded backend),
+/// store::DurableIndexService (WAL-backed decorator over either), and the
+/// client-side stubs DirectTransport / LoopbackTransport / TcpTransport
+/// forwarding to a backend service (net/transport.h, net/tcp.h).
+///
+/// Threading: the request path of every *server-side* implementation
+/// (Insert/Fetch/MultiFetch/Delete) is safe from any number of threads —
+/// net::TcpServer and multi-worker drivers rely on this. Client-side
+/// transport stubs are single-threaded (one per client thread).
+///
+/// Ownership: implementations borrow the objects they adapt (IndexService
+/// borrows its IndexServer) unless documented otherwise
+/// (DurableIndexService owns its backend); callers keep requests alive
+/// only for the duration of the call, and responses are returned by
+/// value.
 class ZerberService {
  public:
   virtual ~ZerberService() = default;
@@ -44,7 +57,9 @@ class ZerberService {
 
 /// Server-side implementation: adapts zerber::IndexServer to the service
 /// API. Lives next to the server; performs no serialization and no byte
-/// accounting (that is the transport's job).
+/// accounting (that is the transport's job). Thread-safe on the request
+/// path (IndexServer is); `server` is borrowed and must outlive the
+/// service.
 class IndexService : public ZerberService {
  public:
   /// `server` must outlive the service.

@@ -1,0 +1,983 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "net/messages.h"
+#include "util/coding.h"
+
+namespace zr::net {
+
+namespace {
+
+Status ErrnoStatus(const char* what, int err) {
+  return Status::Internal(std::string("tcp: ") + what + ": " +
+                          std::strerror(err));
+}
+
+Status TcpDriftError(const char* message_type) {
+  return Status::Internal(std::string("wire-size accounting drift in ") +
+                          message_type);
+}
+
+/// Parses "host:port" (numeric IPv4 + decimal port) into a sockaddr_in.
+Status ParseAddr(const std::string& addr, sockaddr_in* out) {
+  size_t colon = addr.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == addr.size()) {
+    return Status::InvalidArgument("tcp: address must be host:port, got '" +
+                                   addr + "'");
+  }
+  std::string host = addr.substr(0, colon);
+  char* end = nullptr;
+  unsigned long port = std::strtoul(addr.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || port > 65535) {
+    return Status::InvalidArgument("tcp: bad port in '" + addr + "'");
+  }
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &out->sin_addr) != 1) {
+    return Status::InvalidArgument("tcp: bad IPv4 host in '" + addr + "'");
+  }
+  return Status::OK();
+}
+
+std::string FormatAddr(const sockaddr_in& sa) {
+  char buf[INET_ADDRSTRLEN] = {0};
+  inet_ntop(AF_INET, &sa.sin_addr, buf, sizeof(buf));
+  return std::string(buf) + ":" + std::to_string(ntohs(sa.sin_port));
+}
+
+// Frame headers are the shared little-endian codec (util/coding.h), not a
+// private byte-order implementation.
+uint32_t DecodeFrameLength(const char* p) {
+  uint32_t length = 0;
+  ByteReader reader(std::string_view(p, kFrameHeaderBytes));
+  (void)reader.GetFixed32(&length);  // 4 bytes are present by construction
+  return length;
+}
+
+void AppendFrameHeader(std::string* out, uint32_t length) {
+  PutFixed32(out, length);
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+// ---------------------------------------------------------------------------
+// Poller: the readiness-notification seam of the server's event loop.
+// EpollPoller is the Linux production path; PollPoller is the portable
+// fallback and is forced in tests so both stay correct.
+// ---------------------------------------------------------------------------
+
+class Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool hangup = false;
+  };
+
+  virtual ~Poller() = default;
+  virtual Status Add(int fd) = 0;  ///< registers with read interest only
+  virtual Status Update(int fd, bool want_read, bool want_write) = 0;
+  virtual void Remove(int fd) = 0;
+
+  /// Blocks until at least one fd is ready; fills `*events`. Retries
+  /// EINTR internally.
+  virtual Status Wait(std::vector<Event>* events) = 0;
+};
+
+#ifdef __linux__
+class EpollPoller final : public Poller {
+ public:
+  static StatusOr<std::unique_ptr<EpollPoller>> Create() {
+    int fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("epoll_create1", errno);
+    auto poller = std::unique_ptr<EpollPoller>(new EpollPoller());
+    poller->epoll_fd_ = fd;
+    return poller;
+  }
+
+  ~EpollPoller() override {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  }
+
+  Status Add(int fd) override {
+    return Control(EPOLL_CTL_ADD, fd, /*want_read=*/true,
+                   /*want_write=*/false);
+  }
+  Status Update(int fd, bool want_read, bool want_write) override {
+    return Control(EPOLL_CTL_MOD, fd, want_read, want_write);
+  }
+  void Remove(int fd) override {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+
+  Status Wait(std::vector<Event>* events) override {
+    events->clear();
+    epoll_event raw[64];
+    int n;
+    do {
+      n = ::epoll_wait(epoll_fd_, raw, 64, -1);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) return ErrnoStatus("epoll_wait", errno);
+    events->reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      Event e;
+      e.fd = raw[i].data.fd;
+      e.readable = (raw[i].events & (EPOLLIN | EPOLLERR)) != 0;
+      e.writable = (raw[i].events & EPOLLOUT) != 0;
+      e.hangup = (raw[i].events & (EPOLLHUP | EPOLLRDHUP)) != 0;
+      events->push_back(e);
+    }
+    return Status::OK();
+  }
+
+ private:
+  EpollPoller() = default;
+
+  Status Control(int op, int fd, bool want_read, bool want_write) {
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = (want_read ? EPOLLIN | EPOLLRDHUP : 0u) |
+                (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, op, fd, &ev) != 0) {
+      return ErrnoStatus("epoll_ctl", errno);
+    }
+    return Status::OK();
+  }
+
+  int epoll_fd_ = -1;
+};
+#endif  // __linux__
+
+class PollPoller final : public Poller {
+ public:
+  Status Add(int fd) override {
+    pollfd p;
+    p.fd = fd;
+    p.events = POLLIN;
+    p.revents = 0;
+    index_[fd] = fds_.size();
+    fds_.push_back(p);
+    return Status::OK();
+  }
+
+  Status Update(int fd, bool want_read, bool want_write) override {
+    auto it = index_.find(fd);
+    if (it == index_.end()) return Status::Internal("tcp: poll update of unknown fd");
+    fds_[it->second].events = static_cast<short>(
+        (want_read ? POLLIN : 0) | (want_write ? POLLOUT : 0));
+    return Status::OK();
+  }
+
+  void Remove(int fd) override {
+    auto it = index_.find(fd);
+    if (it == index_.end()) return;
+    size_t pos = it->second;
+    index_.erase(it);
+    if (pos + 1 != fds_.size()) {
+      fds_[pos] = fds_.back();
+      index_[fds_[pos].fd] = pos;
+    }
+    fds_.pop_back();
+  }
+
+  Status Wait(std::vector<Event>* events) override {
+    events->clear();
+    int n;
+    do {
+      n = ::poll(fds_.data(), fds_.size(), -1);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) return ErrnoStatus("poll", errno);
+    for (const pollfd& p : fds_) {
+      if (p.revents == 0) continue;
+      Event e;
+      e.fd = p.fd;
+      e.readable = (p.revents & (POLLIN | POLLERR)) != 0;
+      e.writable = (p.revents & POLLOUT) != 0;
+      e.hangup = (p.revents & POLLHUP) != 0;
+      events->push_back(e);
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::vector<pollfd> fds_;
+  std::unordered_map<int, size_t> index_;
+};
+
+StatusOr<std::unique_ptr<Poller>> MakePoller(bool force_poll) {
+#ifdef __linux__
+  if (!force_poll) {
+    ZR_ASSIGN_OR_RETURN(std::unique_ptr<EpollPoller> epoll,
+                        EpollPoller::Create());
+    return std::unique_ptr<Poller>(std::move(epoll));
+  }
+#else
+  (void)force_poll;
+#endif
+  return std::unique_ptr<Poller>(new PollPoller());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TcpServer
+// ---------------------------------------------------------------------------
+
+class TcpServer::Impl {
+ public:
+  Impl(ZerberService* backend, Options options)
+      : backend_(backend), options_(std::move(options)) {}
+
+  ~Impl() {
+    Stop();
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (wake_read_ >= 0) ::close(wake_read_);
+    if (wake_write_ >= 0) ::close(wake_write_);
+    for (auto& [fd, session] : sessions_) {
+      (void)session;
+      ::close(fd);
+    }
+    sessions_.clear();
+  }
+
+  Status Init() {
+    // The frame length field is a u32; a larger configured limit could
+    // truncate a response length silently.
+    options_.max_frame_payload =
+        std::min<size_t>(options_.max_frame_payload, UINT32_MAX);
+    sockaddr_in sa;
+    ZR_RETURN_IF_ERROR(ParseAddr(options_.listen_addr, &sa));
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0);
+    if (listen_fd_ < 0) return ErrnoStatus("socket", errno);
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      return ErrnoStatus("bind", errno);
+    }
+    if (::listen(listen_fd_, 128) != 0) return ErrnoStatus("listen", errno);
+
+    sockaddr_in bound;
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &bound_len) != 0) {
+      return ErrnoStatus("getsockname", errno);
+    }
+    address_ = FormatAddr(bound);
+
+    int pipe_fds[2];
+    if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+      return ErrnoStatus("pipe2", errno);
+    }
+    wake_read_ = pipe_fds[0];
+    wake_write_ = pipe_fds[1];
+
+    ZR_ASSIGN_OR_RETURN(poller_, MakePoller(options_.force_poll));
+    ZR_RETURN_IF_ERROR(poller_->Add(listen_fd_));
+    ZR_RETURN_IF_ERROR(poller_->Add(wake_read_));
+
+    thread_ = std::thread([this] { Run(); });
+    return Status::OK();
+  }
+
+  void Stop() {
+    if (!stop_.exchange(true)) Wake();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  void DisconnectAll() {
+    disconnect_all_.store(true);
+    Wake();
+  }
+
+  TcpServerStats stats() const {
+    TcpServerStats s;
+    s.connections_accepted = accepted_.load();
+    s.connections_closed = closed_.load();
+    s.frames_served = frames_served_.load();
+    s.protocol_errors = protocol_errors_.load();
+    s.bytes_read = bytes_read_.load();
+    s.bytes_written = bytes_written_.load();
+    return s;
+  }
+
+  size_t open_sessions() const { return open_.load(); }
+  const std::string& address() const { return address_; }
+
+ private:
+  /// One accepted connection. `in` buffers unparsed input (in_pos marks
+  /// the consumed prefix); `out` buffers unwritten responses.
+  struct Session {
+    std::string in;
+    size_t in_pos = 0;
+    std::string out;
+    size_t out_pos = 0;
+    bool want_read = true;         ///< read interest currently armed
+    bool want_write = false;       ///< write interest currently armed
+    bool paused = false;           ///< reads suspended by backpressure
+    bool saw_eof = false;          ///< peer half-closed its send side
+    bool close_after_flush = false;
+    bool dead = false;
+
+    size_t backlog() const { return out.size() - out_pos; }
+  };
+
+  /// (Re)arms the poller with the session's current interest: reads stay
+  /// off while backpressure has the session paused, writes are on only
+  /// while output is pending.
+  void UpdateInterest(int fd, Session* s) {
+    bool want_read = !s->paused && !s->saw_eof;
+    bool want_write = s->backlog() > 0;
+    if (want_read == s->want_read && want_write == s->want_write) return;
+    s->want_read = want_read;
+    s->want_write = want_write;
+    (void)poller_->Update(fd, want_read, want_write);
+  }
+
+  void Wake() {
+    char byte = 1;
+    ssize_t ignored = ::write(wake_write_, &byte, 1);
+    (void)ignored;  // pipe full == a wakeup is already pending
+  }
+
+  void Run() {
+    std::vector<Poller::Event> events;
+    std::vector<int> dead_fds;
+    while (!stop_.load()) {
+      if (!poller_->Wait(&events).ok()) break;
+      if (stop_.load()) break;
+      dead_fds.clear();
+      for (const Poller::Event& event : events) {
+        if (event.fd == wake_read_) {
+          DrainWakePipe();
+          continue;
+        }
+        if (event.fd == listen_fd_) {
+          AcceptAll();
+          continue;
+        }
+        auto it = sessions_.find(event.fd);
+        if (it == sessions_.end() || it->second.dead) continue;
+        Session* s = &it->second;
+        if (event.readable || event.hangup) {
+          HandleReadable(event.fd, s);
+        } else if (event.writable) {
+          Pump(event.fd, s);
+        }
+        if (s->dead) dead_fds.push_back(event.fd);
+      }
+      // Closes are deferred to the end of the batch so a recycled fd can
+      // never alias a stale event within the same batch.
+      for (int fd : dead_fds) CloseSession(fd);
+      if (disconnect_all_.exchange(false)) {
+        std::vector<int> fds;
+        fds.reserve(sessions_.size());
+        for (const auto& [fd, session] : sessions_) {
+          (void)session;
+          fds.push_back(fd);
+        }
+        for (int fd : fds) CloseSession(fd);
+      }
+    }
+  }
+
+  void DrainWakePipe() {
+    char buf[256];
+    while (::read(wake_read_, buf, sizeof(buf)) > 0) {
+    }
+  }
+
+  void AcceptAll() {
+    for (;;) {
+      int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                         SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EMFILE || errno == ENFILE) {
+          // Out of fds: the listener stays level-triggered-readable, so
+          // returning immediately would busy-spin the loop. A bounded
+          // sleep paces retries while existing sessions keep being
+          // served on subsequent iterations.
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        break;  // EAGAIN (drained) or a transient accept error
+      }
+      SetNoDelay(fd);
+      if (!poller_->Add(fd).ok()) {
+        ::close(fd);
+        continue;
+      }
+      sessions_.emplace(fd, Session());
+      accepted_.fetch_add(1);
+      open_.fetch_add(1);
+    }
+  }
+
+  void CloseSession(int fd) {
+    auto it = sessions_.find(fd);
+    if (it == sessions_.end()) return;
+    poller_->Remove(fd);
+    ::close(fd);
+    sessions_.erase(it);
+    closed_.fetch_add(1);
+    open_.fetch_sub(1);
+  }
+
+  void HandleReadable(int fd, Session* s) {
+    char buf[64 * 1024];
+    for (;;) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n > 0) {
+        s->in.append(buf, static_cast<size_t>(n));
+        bytes_read_.fetch_add(static_cast<uint64_t>(n));
+        if (static_cast<size_t>(n) < sizeof(buf)) break;
+        continue;
+      }
+      if (n == 0) {
+        // Peer half-closed. Complete frames already buffered (a
+        // pipelining client may batch requests and shutdown its send
+        // side) are still served; Pump decides below whether the close
+        // was clean or tore a frame.
+        s->saw_eof = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      s->dead = true;
+      return;
+    }
+    Pump(fd, s);
+  }
+
+  /// True when a complete undispatched frame is buffered.
+  bool HasCompleteFrame(const Session& s) const {
+    if (s.in.size() - s.in_pos < kFrameHeaderBytes) return false;
+    uint32_t length = DecodeFrameLength(s.in.data() + s.in_pos);
+    // An oversized announcement counts as actionable: dispatch rejects it.
+    if (length > options_.max_frame_payload) return true;
+    return s.in.size() - s.in_pos >= kFrameHeaderBytes + length;
+  }
+
+  /// Dispatches buffered frames while the output backlog allows it.
+  /// Returns true when at least one frame was consumed.
+  bool ParseAvailableFrames(Session* s) {
+    bool progress = false;
+    while (!s->close_after_flush &&
+           s->backlog() <= options_.max_session_backlog &&
+           s->in.size() - s->in_pos >= kFrameHeaderBytes) {
+      uint32_t length = DecodeFrameLength(s->in.data() + s->in_pos);
+      if (length > options_.max_frame_payload) {
+        protocol_errors_.fetch_add(1);
+        AppendResponse(s, SerializeErrorResponse(Status::InvalidArgument(
+                              "tcp: frame payload exceeds limit")));
+        s->close_after_flush = true;
+        progress = true;
+        break;
+      }
+      if (s->in.size() - s->in_pos < kFrameHeaderBytes + length) break;
+      std::string_view payload(s->in.data() + s->in_pos + kFrameHeaderBytes,
+                               length);
+      Dispatch(s, payload);
+      s->in_pos += kFrameHeaderBytes + length;
+      progress = true;
+    }
+    if (s->in_pos == s->in.size()) {
+      s->in.clear();
+      s->in_pos = 0;
+    } else if (s->in_pos > (64u << 10)) {
+      s->in.erase(0, s->in_pos);
+      s->in_pos = 0;
+    }
+    return progress;
+  }
+
+  /// Drives one session as far as it can go right now: dispatch buffered
+  /// frames (bounded by the output backlog — backpressure), flush output,
+  /// repeat while flushing freed room for more dispatching, then settle
+  /// the session's poller interest and EOF fate.
+  void Pump(int fd, Session* s) {
+    for (;;) {
+      bool progress = ParseAvailableFrames(s);
+      FlushOutput(fd, s);
+      if (s->dead) return;
+      if (!progress) break;
+    }
+    // Backpressure: above the limit reads stay off until the backlog
+    // drains (the kernel buffer then fills and the peer's sends block —
+    // memory stays bounded end to end).
+    s->paused = s->backlog() > options_.max_session_backlog;
+    if (s->saw_eof && !s->close_after_flush && !HasCompleteFrame(*s)) {
+      if (s->in.size() != s->in_pos) {
+        // The peer's close tore a frame (torn length prefix or
+        // truncated payload).
+        protocol_errors_.fetch_add(1);
+        s->dead = true;
+        return;
+      }
+      // Clean half-close on a frame boundary: deliver what is pending,
+      // then close.
+      s->close_after_flush = true;
+      if (s->backlog() == 0) {
+        s->dead = true;
+        return;
+      }
+    }
+    UpdateInterest(fd, s);
+  }
+
+  template <typename Request, typename Response>
+  std::string Serve(std::string_view payload,
+                    StatusOr<Request> (*parse)(std::string_view),
+                    StatusOr<Response> (ZerberService::*method)(const Request&),
+                    std::string (*serialize)(const Response&), bool* parsed_ok) {
+    auto parsed = parse(payload);
+    if (!parsed.ok()) {
+      *parsed_ok = false;
+      return SerializeErrorResponse(parsed.status());
+    }
+    *parsed_ok = true;
+    auto served = (backend_->*method)(*parsed);
+    if (!served.ok()) return SerializeErrorResponse(served.status());
+    return serialize(*served);
+  }
+
+  void Dispatch(Session* s, std::string_view payload) {
+    bool parsed_ok = false;
+    std::string response;
+    switch (TagOf(payload)) {
+      case MessageTag::kQueryRequest:
+        response = Serve(payload, ParseQueryRequest, &ZerberService::Fetch,
+                         SerializeQueryResponse, &parsed_ok);
+        break;
+      case MessageTag::kInsertRequest:
+        response = Serve(payload, ParseInsertRequest, &ZerberService::Insert,
+                         SerializeInsertResponse, &parsed_ok);
+        break;
+      case MessageTag::kMultiFetchRequest:
+        response = Serve(payload, ParseMultiFetchRequest,
+                         &ZerberService::MultiFetch,
+                         SerializeMultiFetchResponse, &parsed_ok);
+        break;
+      case MessageTag::kDeleteRequest:
+        response = Serve(payload, ParseDeleteRequest, &ZerberService::Delete,
+                         SerializeDeleteResponse, &parsed_ok);
+        break;
+      default:
+        response = SerializeErrorResponse(
+            Status::InvalidArgument("tcp: unknown message tag"));
+        break;
+    }
+    if (parsed_ok) {
+      frames_served_.fetch_add(1);
+    } else {
+      // An unparseable or non-request frame means the peer is not a
+      // well-behaved client; answer with the error and drop it.
+      protocol_errors_.fetch_add(1);
+      s->close_after_flush = true;
+    }
+    if (response.size() > options_.max_frame_payload) {
+      // The client would reject (and tear its session down on) a frame
+      // above the limit; tell it why instead of transmitting megabytes
+      // it cannot accept. Mirrors the client-side send check.
+      response = SerializeErrorResponse(Status::InvalidArgument(
+          "tcp: response exceeds frame payload limit"));
+    }
+    AppendResponse(s, response);
+  }
+
+  void AppendResponse(Session* s, std::string_view payload) {
+    AppendFrameHeader(&s->out, static_cast<uint32_t>(payload.size()));
+    s->out.append(payload.data(), payload.size());
+  }
+
+  /// Writes as much pending output as the socket accepts. Poller interest
+  /// is settled afterwards by Pump's UpdateInterest.
+  void FlushOutput(int fd, Session* s) {
+    while (s->out_pos < s->out.size()) {
+      // MSG_NOSIGNAL: a peer that vanished mid-response must surface as
+      // EPIPE, not kill the process.
+      ssize_t n = ::send(fd, s->out.data() + s->out_pos,
+                         s->out.size() - s->out_pos, MSG_NOSIGNAL);
+      if (n > 0) {
+        s->out_pos += static_cast<size_t>(n);
+        bytes_written_.fetch_add(static_cast<uint64_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      s->dead = true;
+      return;
+    }
+    s->out.clear();
+    s->out_pos = 0;
+    if (s->close_after_flush) s->dead = true;
+  }
+
+  ZerberService* backend_;
+  Options options_;
+  std::string address_;
+
+  int listen_fd_ = -1;
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+  std::unique_ptr<Poller> poller_;
+  std::unordered_map<int, Session> sessions_;
+  std::thread thread_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> disconnect_all_{false};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> closed_{0};
+  std::atomic<uint64_t> frames_served_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<size_t> open_{0};
+};
+
+TcpServer::TcpServer(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {
+  address_ = impl_->address();
+}
+
+TcpServer::~TcpServer() { Stop(); }
+
+StatusOr<std::unique_ptr<TcpServer>> TcpServer::Start(ZerberService* backend,
+                                                      Options options) {
+  if (backend == nullptr) {
+    return Status::InvalidArgument("tcp: server needs a backend");
+  }
+  auto impl = std::make_unique<Impl>(backend, std::move(options));
+  ZR_RETURN_IF_ERROR(impl->Init());
+  return std::unique_ptr<TcpServer>(new TcpServer(std::move(impl)));
+}
+
+StatusOr<std::unique_ptr<TcpServer>> TcpServer::Start(ZerberService* backend) {
+  return Start(backend, Options());
+}
+
+void TcpServer::Stop() { impl_->Stop(); }
+void TcpServer::DisconnectAll() { impl_->DisconnectAll(); }
+TcpServerStats TcpServer::stats() const { return impl_->stats(); }
+size_t TcpServer::open_sessions() const { return impl_->open_sessions(); }
+
+// ---------------------------------------------------------------------------
+// TcpSession
+// ---------------------------------------------------------------------------
+
+TcpSession::TcpSession(std::string connect_addr)
+    : TcpSession(std::move(connect_addr), Options()) {}
+
+TcpSession::TcpSession(std::string connect_addr, Options options)
+    : connect_addr_(std::move(connect_addr)), options_(options) {
+  // u32 length field (see TcpServer::Impl::Init).
+  options_.max_frame_payload =
+      std::min<size_t>(options_.max_frame_payload, UINT32_MAX);
+}
+
+TcpSession::~TcpSession() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void TcpSession::MarkBroken() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void TcpSession::Disconnect() { MarkBroken(); }
+
+Status TcpSession::Connect() {
+  if (fd_ >= 0) return Status::OK();
+  sockaddr_in sa;
+  ZR_RETURN_IF_ERROR(ParseAddr(connect_addr_, &sa));
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return ErrnoStatus("socket", errno);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    int err = errno;
+    ::close(fd);
+    return ErrnoStatus("connect", err);
+  }
+  SetNoDelay(fd);
+  if (options_.recv_timeout_ms > 0) {
+    timeval tv;
+    tv.tv_sec = static_cast<time_t>(options_.recv_timeout_ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((options_.recv_timeout_ms % 1000) *
+                                          1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  fd_ = fd;
+  if (ever_connected_) ++socket_stats_.reconnects;
+  ever_connected_ = true;
+  return Status::OK();
+}
+
+Status TcpSession::SendFrame(std::string_view payload) {
+  if (payload.size() > options_.max_frame_payload) {
+    return Status::InvalidArgument("tcp: request exceeds frame payload limit");
+  }
+  ZR_RETURN_IF_ERROR(Connect());
+  std::string header;
+  AppendFrameHeader(&header, static_cast<uint32_t>(payload.size()));
+  // One gathered sendmsg instead of a joined copy or two sends: no
+  // payload copy for megabyte frames, and with TCP_NODELAY the header
+  // never goes out as its own segment. MSG_NOSIGNAL: a dead connection
+  // is an error status (and a reconnect opportunity), not a SIGPIPE.
+  iovec iov[2];
+  iov[0] = {header.data(), header.size()};
+  iov[1] = {const_cast<char*>(payload.data()), payload.size()};
+  msghdr msg;
+  std::memset(&msg, 0, sizeof(msg));
+  msg.msg_iov = iov;
+  msg.msg_iovlen = payload.empty() ? 1 : 2;
+  size_t remaining = header.size() + payload.size();
+  while (remaining > 0) {
+    ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      MarkBroken();
+      return ErrnoStatus("write", err);
+    }
+    remaining -= static_cast<size_t>(n);
+    size_t advance = static_cast<size_t>(n);
+    while (advance > 0 && msg.msg_iovlen > 0) {
+      if (advance >= msg.msg_iov[0].iov_len) {
+        advance -= msg.msg_iov[0].iov_len;
+        ++msg.msg_iov;
+        --msg.msg_iovlen;
+      } else {
+        msg.msg_iov[0].iov_base =
+            static_cast<char*>(msg.msg_iov[0].iov_base) + advance;
+        msg.msg_iov[0].iov_len -= advance;
+        advance = 0;
+      }
+    }
+  }
+  socket_stats_.bytes_up += kFrameHeaderBytes + payload.size();
+  ++socket_stats_.frames_up;
+  return Status::OK();
+}
+
+Status TcpSession::RecvFrame(std::string* payload) {
+  if (fd_ < 0) return Status::Internal("tcp: receive on a broken session");
+  auto read_exactly = [this](char* dst, size_t size) -> Status {
+    size_t done = 0;
+    while (done < size) {
+      ssize_t n = ::read(fd_, dst + done, size - done);
+      if (n > 0) {
+        done += static_cast<size_t>(n);
+        continue;
+      }
+      if (n == 0) {
+        MarkBroken();
+        return Status::Internal("tcp: peer closed the connection");
+      }
+      if (errno == EINTR) continue;
+      int err = errno;
+      MarkBroken();
+      if (err == EAGAIN || err == EWOULDBLOCK) {
+        return Status::Internal("tcp: receive timed out");
+      }
+      return ErrnoStatus("read", err);
+    }
+    return Status::OK();
+  };
+
+  char header[kFrameHeaderBytes];
+  ZR_RETURN_IF_ERROR(read_exactly(header, kFrameHeaderBytes));
+  uint32_t length = DecodeFrameLength(header);
+  if (length > options_.max_frame_payload) {
+    MarkBroken();
+    return Status::Corruption("tcp: response frame exceeds payload limit");
+  }
+  payload->resize(length);
+  if (length > 0) ZR_RETURN_IF_ERROR(read_exactly(payload->data(), length));
+  socket_stats_.bytes_down += kFrameHeaderBytes + length;
+  ++socket_stats_.frames_down;
+  return Status::OK();
+}
+
+Status TcpSession::Call(std::string_view request, std::string* response) {
+  ZR_RETURN_IF_ERROR(SendFrame(request));
+  return RecvFrame(response);
+}
+
+// ---------------------------------------------------------------------------
+// TcpTransport
+// ---------------------------------------------------------------------------
+
+TcpTransport::TcpTransport(std::string connect_addr, SimChannel* channel,
+                           TcpSession::Options options)
+    : Transport(/*backend=*/nullptr, channel),
+      session_(std::move(connect_addr), options) {}
+
+void TcpTransport::ResetStats() {
+  Transport::ResetStats();
+  session_.ResetSocketStats();
+}
+
+Status TcpTransport::ExchangeFrames(const std::string& request_wire,
+                                    std::string* response_wire) {
+  Status sent = session_.SendFrame(request_wire);
+  if (!sent.ok()) {
+    if (sent.IsInvalidArgument()) return sent;  // oversized; not a dead link
+    // The connection died before anything of this request reached the
+    // server (a failed send never delivers a partial frame the server
+    // would act on), so one reconnect-and-resend is safe for every
+    // message type.
+    ZR_RETURN_IF_ERROR(session_.Connect());
+    ZR_RETURN_IF_ERROR(session_.SendFrame(request_wire));
+  }
+  return session_.RecvFrame(response_wire);
+}
+
+template <typename Request, typename Response>
+StatusOr<Response> TcpTransport::Exchange(
+    const Request& request, std::string (*serialize_request)(const Request&),
+    size_t (*request_size)(const Request&), const char* request_name,
+    StatusOr<Response> (*parse_response)(std::string_view)) {
+  std::string wire_request = serialize_request(request);
+  if (wire_request.size() != request_size(request)) {
+    return TcpDriftError(request_name);
+  }
+  std::string wire_response;
+  ZR_RETURN_IF_ERROR(ExchangeFrames(wire_request, &wire_response));
+  if (IsErrorResponse(wire_response)) {
+    Status decoded;
+    ZR_RETURN_IF_ERROR(ParseErrorResponse(wire_response, &decoded));
+    Account(wire_request.size(), wire_response.size());
+    return decoded;
+  }
+  ZR_ASSIGN_OR_RETURN(Response response, parse_response(wire_response));
+  response.wire_size = wire_response.size();
+  Account(wire_request.size(), wire_response.size());
+  return response;
+}
+
+StatusOr<InsertResponse> TcpTransport::Insert(const InsertRequest& request) {
+  return Exchange(request, SerializeInsertRequest, WireSizeOfInsertRequest,
+                  "InsertRequest", ParseInsertResponse);
+}
+
+StatusOr<QueryResponse> TcpTransport::Fetch(const QueryRequest& request) {
+  return Exchange(request, SerializeQueryRequest, WireSizeOfQueryRequest,
+                  "QueryRequest", ParseQueryResponse);
+}
+
+StatusOr<DeleteResponse> TcpTransport::Delete(const DeleteRequest& request) {
+  return Exchange(request, SerializeDeleteRequest, WireSizeOfDeleteRequest,
+                  "DeleteRequest", ParseDeleteResponse);
+}
+
+StatusOr<MultiFetchResponse> TcpTransport::MultiFetch(
+    const MultiFetchRequest& request) {
+  if (pipelined_multifetch_ && request.fetches.size() > 1) {
+    return MultiFetchPipelined(request);
+  }
+  return Exchange(request, SerializeMultiFetchRequest,
+                  WireSizeOfMultiFetchRequest, "MultiFetchRequest",
+                  ParseMultiFetchResponse);
+}
+
+StatusOr<MultiFetchResponse> TcpTransport::MultiFetchPipelined(
+    const MultiFetchRequest& request) {
+  // All request frames go out before any response is read; the server
+  // answers in order, so response i matches fetches[i]. Fetches are pure
+  // reads, so when the pipeline send fails midway the whole batch is
+  // resent once over a fresh connection.
+  std::vector<std::string> wires;
+  wires.reserve(request.fetches.size());
+  for (const FetchRange& f : request.fetches) {
+    QueryRequest q;
+    q.user = request.user;
+    q.list = f.list;
+    q.offset = f.offset;
+    q.count = f.count;
+    wires.push_back(SerializeQueryRequest(q));
+    if (wires.back().size() != WireSizeOfQueryRequest(q)) {
+      return TcpDriftError("QueryRequest");
+    }
+  }
+  auto send_all = [&]() -> Status {
+    for (const std::string& wire : wires) {
+      ZR_RETURN_IF_ERROR(session_.SendFrame(wire));
+    }
+    return Status::OK();
+  };
+  Status sent = send_all();
+  if (!sent.ok()) {
+    if (sent.IsInvalidArgument()) return sent;
+    ZR_RETURN_IF_ERROR(session_.Connect());
+    ZR_RETURN_IF_ERROR(send_all());
+  }
+
+  MultiFetchResponse response;
+  response.responses.reserve(wires.size());
+  Status first_error = Status::OK();
+  for (size_t i = 0; i < wires.size(); ++i) {
+    std::string wire_response;
+    ZR_RETURN_IF_ERROR(session_.RecvFrame(&wire_response));
+    if (!first_error.ok()) continue;  // drain to keep the stream aligned
+    if (IsErrorResponse(wire_response)) {
+      Status decoded;
+      Status parsed = ParseErrorResponse(wire_response, &decoded);
+      if (!parsed.ok()) {
+        // Undecodable response with more pipelined responses in flight:
+        // the stream position can't be trusted any longer — returning
+        // here without dropping the connection would hand the leftover
+        // frames to the *next* RPC as its answers.
+        session_.Disconnect();
+        return parsed;
+      }
+      Account(wires[i].size(), wire_response.size());
+      first_error = decoded;  // MultiFetch fails atomically
+      continue;
+    }
+    auto r = ParseQueryResponse(wire_response);
+    if (!r.ok()) {
+      session_.Disconnect();  // same stream-desync hazard as above
+      return r.status();
+    }
+    r->wire_size = wire_response.size();
+    Account(wires[i].size(), wire_response.size());
+    response.wire_size += wire_response.size();
+    response.responses.push_back(std::move(r).value());
+  }
+  if (!first_error.ok()) return first_error;
+  return response;
+}
+
+}  // namespace zr::net

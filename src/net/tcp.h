@@ -1,0 +1,299 @@
+// Real TCP transport for the ZerberService protocol.
+//
+// The third TransportKind: typed wire messages (net/messages.h) framed over
+// a TCP socket, so every backend in the repo — single IndexService,
+// ShardedIndexService, DurableIndexService — can be served as an actual
+// remote process instead of an in-process stub.
+//
+// Framing: every message (request or response) travels as one frame of
+//
+//     [u32 LE payload length][payload]
+//
+// where the payload is exactly the net/messages serialization (whose first
+// byte is the message-type tag, so frames are self-describing and the
+// server dispatches on the payload alone). Frame overhead is therefore
+// exactly kFrameHeaderBytes per message in each direction, which lets
+// byte accounting be cross-checked against LoopbackTransport's to the
+// byte: socket_bytes == payload_bytes + kFrameHeaderBytes * frames.
+//
+// Three pieces:
+//
+//  * TcpServer — single-threaded event loop (epoll on Linux, poll()
+//    fallback elsewhere or when Options::force_poll is set) accepting any
+//    number of client connections, decoding request frames, dispatching
+//    them onto a ZerberService backend, and writing response frames.
+//    Backend failures cross the wire as encoded error messages, exactly
+//    like LoopbackTransport carries them.
+//
+//  * TcpSession — a client-side connection: blocking socket, frame
+//    send/receive, and explicit pipelining support (write several request
+//    frames before reading any response; TCP preserves order, the server
+//    answers in order).
+//
+//  * TcpTransport — the client-side Transport (ZerberService stub) over a
+//    TcpSession: serializes each request, drift-checks it against the
+//    analytic WireSizeOf* size, exchanges frames, and reconnects once on a
+//    dead connection. Byte accounting (Transport::stats()) records payload
+//    bytes — the same quantity Direct/Loopback account — while
+//    socket_stats() records the real socket bytes including frame headers.
+//
+// Threading: TcpServer is internally threaded (it owns its event-loop
+// thread); Start/Stop/stats/address are safe from any thread. The backend
+// is invoked only from the event-loop thread, but must itself be
+// thread-safe if anything else touches it concurrently. TcpSession and
+// TcpTransport are single-threaded — one instance per client thread (the
+// load driver gives each worker its own transport).
+
+#ifndef ZERBERR_NET_TCP_H_
+#define ZERBERR_NET_TCP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/channel.h"
+#include "net/transport.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace zr::net {
+
+/// Bytes of framing per message in each direction (the u32 length prefix).
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+/// Default ceiling on a frame payload. Large enough for any response over
+/// the repo's corpora; small enough that a corrupt or hostile length
+/// prefix cannot make either side allocate unbounded memory.
+inline constexpr size_t kDefaultMaxFramePayload = 64u << 20;
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Cumulative counters of one TcpServer (all atomically maintained; safe to
+/// read from any thread while the server runs).
+struct TcpServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t frames_served = 0;     ///< request frames decoded and dispatched
+  uint64_t protocol_errors = 0;   ///< oversized/torn/unparseable input
+  uint64_t bytes_read = 0;        ///< socket bytes read (incl. headers)
+  uint64_t bytes_written = 0;     ///< socket bytes written (incl. headers)
+};
+
+/// Socket server for the ZerberService protocol.
+///
+/// Ownership: the backend is borrowed and must outlive the server. The
+/// server owns its listening socket, all accepted sessions, and its
+/// event-loop thread; the destructor stops the loop, joins the thread and
+/// closes every socket.
+class TcpServer {
+ public:
+  struct Options {
+    /// "host:port" to bind; port 0 picks an ephemeral port (read the
+    /// actual one back from address()). Host must be a numeric IPv4
+    /// address.
+    std::string listen_addr = "127.0.0.1:0";
+
+    /// Frames whose payload exceeds this are answered with an
+    /// InvalidArgument error frame and the connection is closed.
+    size_t max_frame_payload = kDefaultMaxFramePayload;
+
+    /// Backpressure high-water mark: while a session's unflushed output
+    /// exceeds this, the server stops reading (and dispatching) that
+    /// session until the backlog drains, so a client that pipelines
+    /// requests without consuming responses cannot grow server memory
+    /// without bound. One response may overshoot the mark (it is checked
+    /// before dispatch), so worst-case buffered output per session is
+    /// max_session_backlog + max_frame_payload.
+    size_t max_session_backlog = kDefaultMaxFramePayload;
+
+    /// Force the portable poll() loop even where epoll is available
+    /// (exercised in tests so both loops stay correct).
+    bool force_poll = false;
+  };
+
+  /// Binds, listens and starts the event-loop thread. On success the
+  /// server is accepting connections before Start returns.
+  static StatusOr<std::unique_ptr<TcpServer>> Start(ZerberService* backend,
+                                                    Options options);
+  static StatusOr<std::unique_ptr<TcpServer>> Start(ZerberService* backend);
+
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// The bound address as "host:port" with the actual port (useful with
+  /// an ephemeral listen port).
+  const std::string& address() const { return address_; }
+
+  /// Stops the event loop, closes every session and joins the thread.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+  /// Closes every currently open session (the listener stays up). Clients
+  /// observe a peer disconnect; used by tests and operational drains.
+  void DisconnectAll();
+
+  /// Point-in-time snapshot of the counters.
+  TcpServerStats stats() const;
+
+  /// Currently open sessions (gauge).
+  size_t open_sessions() const;
+
+ private:
+  class Impl;
+  explicit TcpServer(std::unique_ptr<Impl> impl);
+
+  std::unique_ptr<Impl> impl_;
+  std::string address_;
+};
+
+// ---------------------------------------------------------------------------
+// Client session
+// ---------------------------------------------------------------------------
+
+/// Real socket traffic of a client session/transport, frame headers
+/// included. payload bytes == socket bytes - kFrameHeaderBytes * frames
+/// (only complete frames are counted, so the identity is exact).
+struct TcpSocketStats {
+  uint64_t bytes_up = 0;    ///< socket bytes written (headers included)
+  uint64_t bytes_down = 0;  ///< socket bytes read (headers included)
+  uint64_t frames_up = 0;   ///< complete request frames written
+  uint64_t frames_down = 0; ///< complete response frames read
+  uint64_t reconnects = 0;  ///< successful reconnections after an error
+};
+
+/// One client connection: connect, framed send/receive, pipelining.
+///
+/// Threading: single-threaded; not locked. Ownership: owns its socket fd.
+class TcpSession {
+ public:
+  struct Options {
+    size_t max_frame_payload = kDefaultMaxFramePayload;
+
+    /// Receive timeout; a server that stops responding surfaces an error
+    /// instead of hanging the client forever. 0 disables.
+    uint64_t recv_timeout_ms = 30000;
+  };
+
+  explicit TcpSession(std::string connect_addr);
+  TcpSession(std::string connect_addr, Options options);
+  ~TcpSession();
+
+  TcpSession(const TcpSession&) = delete;
+  TcpSession& operator=(const TcpSession&) = delete;
+
+  /// Connects if not connected (called implicitly by SendFrame). After an
+  /// IO error the session is `broken()` until the next Connect.
+  Status Connect();
+
+  /// True when a previous IO operation failed; the next SendFrame will
+  /// reconnect first.
+  bool broken() const { return fd_ < 0; }
+
+  /// Writes one frame (header + payload), handling partial writes.
+  Status SendFrame(std::string_view payload);
+
+  /// Reads one complete frame payload, handling partial reads. A peer
+  /// disconnect or timeout breaks the session and returns an error.
+  Status RecvFrame(std::string* payload);
+
+  /// Drops the connection (the next SendFrame reconnects). Used when the
+  /// stream position can no longer be trusted — e.g. a response that
+  /// fails to parse while more pipelined responses are in flight.
+  void Disconnect();
+
+  /// One round trip: SendFrame then RecvFrame.
+  Status Call(std::string_view request, std::string* response);
+
+  const TcpSocketStats& socket_stats() const { return socket_stats_; }
+  void ResetSocketStats() { socket_stats_ = TcpSocketStats(); }
+
+  const std::string& connect_addr() const { return connect_addr_; }
+
+ private:
+  void MarkBroken();
+
+  std::string connect_addr_;
+  Options options_;
+  int fd_ = -1;
+  bool ever_connected_ = false;
+  TcpSocketStats socket_stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Client transport
+// ---------------------------------------------------------------------------
+
+/// Client-side Transport over a TcpSession.
+///
+/// Byte accounting: Transport::stats() records message payload bytes (the
+/// identical quantity DirectTransport computes analytically and
+/// LoopbackTransport measures by serializing — asserted per message via
+/// the WireSizeOf* drift check); socket_stats() additionally records the
+/// real socket traffic including the 4-byte frame headers.
+///
+/// Reconnect-on-error: when the connection is found dead while *sending*
+/// a request (server restarted, idle disconnect), the transport
+/// reconnects once and resends — nothing reached the server, so the retry
+/// is safe for every message type. A failure after the request was sent
+/// (disconnect mid-response, timeout) is surfaced to the caller as an
+/// Internal "tcp:" error — the server may or may not have applied the
+/// request, and only the caller can decide whether a retry is idempotent.
+/// The session reconnects on the next call.
+///
+/// Threading: single-threaded, like every Transport; one per client
+/// thread.
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(std::string connect_addr, SimChannel* channel = nullptr,
+                        TcpSession::Options options = TcpSession::Options());
+
+  StatusOr<InsertResponse> Insert(const InsertRequest& request) override;
+  StatusOr<QueryResponse> Fetch(const QueryRequest& request) override;
+  StatusOr<MultiFetchResponse> MultiFetch(
+      const MultiFetchRequest& request) override;
+  StatusOr<DeleteResponse> Delete(const DeleteRequest& request) override;
+
+  /// When enabled, MultiFetch is issued as one pipelined Fetch frame per
+  /// range — all requests written before any response is read — instead
+  /// of a single MultiFetch message. Results are identical (asserted in
+  /// tests); accounting then counts one exchange per range. Off by
+  /// default so byte accounting stays message-for-message comparable with
+  /// Direct/Loopback.
+  void set_pipelined_multifetch(bool on) { pipelined_multifetch_ = on; }
+
+  const TcpSocketStats& socket_stats() const { return session_.socket_stats(); }
+
+  /// Resets both payload accounting and socket counters.
+  void ResetStats() override;
+
+  TcpSession& session() { return session_; }
+
+ private:
+  /// One framed exchange with send-side reconnect. `*response_wire` holds
+  /// the raw response payload on success.
+  Status ExchangeFrames(const std::string& request_wire,
+                        std::string* response_wire);
+
+  template <typename Request, typename Response>
+  StatusOr<Response> Exchange(const Request& request,
+                              std::string (*serialize_request)(const Request&),
+                              size_t (*request_size)(const Request&),
+                              const char* request_name,
+                              StatusOr<Response> (*parse_response)(
+                                  std::string_view));
+
+  StatusOr<MultiFetchResponse> MultiFetchPipelined(
+      const MultiFetchRequest& request);
+
+  TcpSession session_;
+  bool pipelined_multifetch_ = false;
+};
+
+}  // namespace zr::net
+
+#endif  // ZERBERR_NET_TCP_H_

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "net/tcp.h"
+
 namespace zr::net {
 
 namespace {
@@ -32,8 +34,17 @@ const char* TransportKindName(TransportKind kind) {
   switch (kind) {
     case TransportKind::kDirect: return "direct";
     case TransportKind::kLoopback: return "loopback";
+    case TransportKind::kTcp: return "tcp";
   }
   return "unknown";
+}
+
+StatusOr<TransportKind> ParseTransportKind(std::string_view name) {
+  if (name == "direct") return TransportKind::kDirect;
+  if (name == "loopback") return TransportKind::kLoopback;
+  if (name == "tcp") return TransportKind::kTcp;
+  return Status::InvalidArgument("unknown transport '" + std::string(name) +
+                                 "' (want direct|loopback|tcp)");
 }
 
 void Transport::Account(uint64_t up, uint64_t down) {
@@ -184,12 +195,16 @@ StatusOr<DeleteResponse> LoopbackTransport::Delete(
 
 std::unique_ptr<Transport> MakeTransport(TransportKind kind,
                                          ZerberService* backend,
-                                         SimChannel* channel) {
+                                         SimChannel* channel,
+                                         const std::string& connect_addr) {
   switch (kind) {
     case TransportKind::kDirect:
       return std::make_unique<DirectTransport>(backend, channel);
     case TransportKind::kLoopback:
       return std::make_unique<LoopbackTransport>(backend, channel);
+    case TransportKind::kTcp:
+      if (connect_addr.empty()) return nullptr;
+      return std::make_unique<TcpTransport>(connect_addr, channel);
   }
   return nullptr;
 }

@@ -25,6 +25,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <string_view>
 
 #include "net/channel.h"
 #include "net/service.h"
@@ -35,10 +37,14 @@ namespace zr::net {
 enum class TransportKind {
   kDirect,
   kLoopback,
+  kTcp,
 };
 
-/// "direct" / "loopback" (for banners and reports).
+/// "direct" / "loopback" / "tcp" (for banners, flags and reports).
 const char* TransportKindName(TransportKind kind);
+
+/// Inverse of TransportKindName; Status on an unknown name.
+StatusOr<TransportKind> ParseTransportKind(std::string_view name);
 
 /// Cumulative traffic counters of one transport.
 struct TransportStats {
@@ -53,13 +59,21 @@ struct TransportStats {
 };
 
 /// Base: a client-side service stub with byte accounting.
+///
+/// Threading: a Transport is single-threaded — concurrent callers each own
+/// their own instance (the load driver builds one per worker). Ownership:
+/// `backend` and `channel` are borrowed and must outlive the transport.
 class Transport : public ZerberService {
  public:
   const TransportStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = TransportStats(); }
+
+  /// Clears the counters (TcpTransport also clears its socket counters).
+  virtual void ResetStats() { stats_ = TransportStats(); }
 
  protected:
   /// `backend` must outlive the transport; `channel` may be null.
+  /// TcpTransport passes a null backend — its backend lives across a
+  /// socket.
   Transport(ZerberService* backend, SimChannel* channel)
       : backend_(backend), channel_(channel) {}
 
@@ -126,10 +140,14 @@ class LoopbackTransport final : public Transport {
       size_t (*response_size)(const Response&), const char* response_name);
 };
 
-/// Factory used by pipeline/bench configuration.
+/// Factory used by pipeline/bench/load configuration. kDirect/kLoopback
+/// wrap `backend` in-process; kTcp ignores `backend` and connects a
+/// TcpTransport (net/tcp.h) to `connect_addr` ("host:port") — null is
+/// returned when kTcp is requested without an address.
 std::unique_ptr<Transport> MakeTransport(TransportKind kind,
                                          ZerberService* backend,
-                                         SimChannel* channel = nullptr);
+                                         SimChannel* channel = nullptr,
+                                         const std::string& connect_addr = {});
 
 }  // namespace zr::net
 

@@ -1,0 +1,676 @@
+// TCP transport + server: framing edge cases and protocol behavior.
+//
+// Covers the contracts net/tcp.h documents: request/response exchanges for
+// every message type with error statuses crossing the wire intact, byte
+// accounting identical to LoopbackTransport's plus exactly 4 bytes of
+// framing per message, partial reads/writes, torn length prefixes and
+// truncated payloads (server frees the session), oversized-frame
+// rejection, peer disconnect mid-call (client surfaces a transport
+// error), reconnect-on-error, pipelining, the poll() fallback loop, and
+// concurrent clients.
+
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "net/messages.h"
+#include "net/transport.h"
+
+namespace zr::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// Raw-socket helpers for byte-level misbehavior no well-formed client
+// can produce.
+// ---------------------------------------------------------------------------
+
+int RawConnect(const std::string& addr) {
+  size_t colon = addr.rfind(':');
+  sockaddr_in sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sin_family = AF_INET;
+  sa.sin_port =
+      htons(static_cast<uint16_t>(std::stoul(addr.substr(colon + 1))));
+  EXPECT_EQ(inet_pton(AF_INET, addr.substr(0, colon).c_str(), &sa.sin_addr), 1);
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)), 0);
+  return fd;
+}
+
+void RawSendAll(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+    ASSERT_GT(n, 0);
+    sent += static_cast<size_t>(n);
+  }
+}
+
+std::string FrameHeader(uint32_t length) {
+  std::string header(4, '\0');
+  header[0] = static_cast<char>(length & 0xff);
+  header[1] = static_cast<char>((length >> 8) & 0xff);
+  header[2] = static_cast<char>((length >> 16) & 0xff);
+  header[3] = static_cast<char>((length >> 24) & 0xff);
+  return header;
+}
+
+/// Reads one whole frame payload from a raw socket (blocking).
+std::string RawRecvFrame(int fd) {
+  auto read_exactly = [fd](size_t size) {
+    std::string out(size, '\0');
+    size_t done = 0;
+    while (done < size) {
+      ssize_t n = ::read(fd, out.data() + done, size - done);
+      EXPECT_GT(n, 0) << "peer closed or errored mid-frame";
+      if (n <= 0) return std::string();
+      done += static_cast<size_t>(n);
+    }
+    return out;
+  };
+  std::string header = read_exactly(4);
+  if (header.size() != 4) return std::string();
+  uint32_t length = static_cast<uint8_t>(header[0]) |
+                    static_cast<uint32_t>(static_cast<uint8_t>(header[1])) << 8 |
+                    static_cast<uint32_t>(static_cast<uint8_t>(header[2])) << 16 |
+                    static_cast<uint32_t>(static_cast<uint8_t>(header[3])) << 24;
+  return read_exactly(length);
+}
+
+/// Spins until `predicate` holds (the event loop runs on its own thread).
+template <typename Predicate>
+bool WaitFor(Predicate predicate, std::chrono::milliseconds limit = 2000ms) {
+  auto deadline = std::chrono::steady_clock::now() + limit;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return predicate();
+}
+
+// ---------------------------------------------------------------------------
+// Fixture: a real TcpServer over a tiny IndexService backend.
+// ---------------------------------------------------------------------------
+
+class TcpTest : public ::testing::Test {
+ protected:
+  TcpTest()
+      : keys_("tcp-test"),
+        server_(/*num_lists=*/2, zerber::Placement::kTrsSorted, 5),
+        service_(&server_) {
+    EXPECT_TRUE(keys_.CreateGroup(1).ok());
+    EXPECT_TRUE(server_.acl().AddGroup(1).ok());
+    EXPECT_TRUE(server_.acl().GrantMembership(kUser, 1).ok());
+    auto started = TcpServer::Start(&service_);
+    EXPECT_TRUE(started.ok()) << started.status();
+    tcp_server_ = std::move(started).value();
+  }
+
+  InsertRequest MakeInsert(uint32_t list, double trs) {
+    auto element = zerber::SealPostingElement(
+        zerber::PostingPayload{3, 4, 0.25}, 1, trs, &keys_);
+    EXPECT_TRUE(element.ok());
+    InsertRequest request;
+    request.user = kUser;
+    request.list = list;
+    request.element = std::move(element).value();
+    return request;
+  }
+
+  QueryRequest MakeFetch(uint32_t list, uint64_t count = 10) {
+    QueryRequest request;
+    request.user = kUser;
+    request.list = list;
+    request.count = count;
+    return request;
+  }
+
+  static constexpr zerber::UserId kUser = 1;
+  crypto::KeyStore keys_;
+  zerber::IndexServer server_;
+  IndexService service_;
+  std::unique_ptr<TcpServer> tcp_server_;
+};
+
+TEST_F(TcpTest, ServesAllFourMessageTypes) {
+  TcpTransport tcp(tcp_server_->address());
+
+  auto inserted = tcp.Insert(MakeInsert(0, 0.9));
+  ASSERT_TRUE(inserted.ok()) << inserted.status();
+  ASSERT_TRUE(tcp.Insert(MakeInsert(1, 0.5)).ok());
+  EXPECT_EQ(server_.TotalElements(), 2u);
+
+  auto fetched = tcp.Fetch(MakeFetch(0));
+  ASSERT_TRUE(fetched.ok()) << fetched.status();
+  EXPECT_EQ(fetched->elements.size(), 1u);
+  EXPECT_TRUE(fetched->exhausted);
+
+  MultiFetchRequest multi;
+  multi.user = kUser;
+  multi.fetches.push_back(FetchRange{0, 0, 5});
+  multi.fetches.push_back(FetchRange{1, 0, 5});
+  auto multi_fetched = tcp.MultiFetch(multi);
+  ASSERT_TRUE(multi_fetched.ok()) << multi_fetched.status();
+  ASSERT_EQ(multi_fetched->responses.size(), 2u);
+  EXPECT_EQ(multi_fetched->responses[0].elements.size(), 1u);
+  EXPECT_EQ(multi_fetched->responses[1].elements.size(), 1u);
+
+  DeleteRequest del;
+  del.user = kUser;
+  del.list = 0;
+  del.handle = inserted->handle;
+  ASSERT_TRUE(tcp.Delete(del).ok());
+  EXPECT_EQ(server_.TotalElements(), 1u);
+
+  EXPECT_EQ(tcp_server_->stats().frames_served, 5u);
+  EXPECT_EQ(tcp_server_->stats().protocol_errors, 0u);
+}
+
+TEST_F(TcpTest, ServerErrorsCrossTheWireIntact) {
+  // The same status (code AND message) an in-process caller would see.
+  DirectTransport direct(&service_);
+  TcpTransport tcp(tcp_server_->address());
+
+  auto via_direct = direct.Fetch(MakeFetch(99));
+  auto via_tcp = tcp.Fetch(MakeFetch(99));
+  ASSERT_FALSE(via_direct.ok());
+  ASSERT_FALSE(via_tcp.ok());
+  EXPECT_EQ(via_tcp.status(), via_direct.status());
+  EXPECT_TRUE(via_tcp.status().IsOutOfRange());
+
+  DeleteRequest del;
+  del.user = kUser;
+  del.list = 0;
+  del.handle = 424242;
+  EXPECT_TRUE(tcp.Delete(del).status().IsNotFound());
+}
+
+TEST_F(TcpTest, AccountingMatchesLoopbackPlusExactFraming) {
+  LoopbackTransport loopback(&service_);
+  TcpTransport tcp(tcp_server_->address());
+
+  // Identical op sequence over both transports (inserts go to distinct
+  // lists so both observe the same index states on their fetches).
+  ASSERT_TRUE(loopback.Insert(MakeInsert(0, 0.9)).ok());
+  ASSERT_TRUE(tcp.Insert(MakeInsert(1, 0.9)).ok());
+  ASSERT_TRUE(loopback.Fetch(MakeFetch(0)).ok());
+  ASSERT_TRUE(tcp.Fetch(MakeFetch(1)).ok());
+  ASSERT_FALSE(loopback.Fetch(MakeFetch(99)).ok());
+  ASSERT_FALSE(tcp.Fetch(MakeFetch(99)).ok());
+
+  // Payload accounting identical, message for message.
+  EXPECT_EQ(tcp.stats().exchanges, loopback.stats().exchanges);
+  EXPECT_EQ(tcp.stats().bytes_up, loopback.stats().bytes_up);
+  EXPECT_EQ(tcp.stats().bytes_down, loopback.stats().bytes_down);
+
+  // Socket bytes exceed payload bytes by exactly 4 per frame.
+  const TcpSocketStats& socket = tcp.socket_stats();
+  EXPECT_EQ(socket.frames_up, tcp.stats().exchanges);
+  EXPECT_EQ(socket.frames_down, tcp.stats().exchanges);
+  EXPECT_EQ(socket.bytes_up,
+            tcp.stats().bytes_up + kFrameHeaderBytes * socket.frames_up);
+  EXPECT_EQ(socket.bytes_down,
+            tcp.stats().bytes_down + kFrameHeaderBytes * socket.frames_down);
+
+  // ResetStats clears both layers.
+  tcp.ResetStats();
+  EXPECT_EQ(tcp.stats().exchanges, 0u);
+  EXPECT_EQ(tcp.socket_stats().bytes_up, 0u);
+}
+
+TEST_F(TcpTest, PollFallbackLoopServesIdentically) {
+  TcpServer::Options options;
+  options.force_poll = true;
+  auto poll_server = TcpServer::Start(&service_, std::move(options));
+  ASSERT_TRUE(poll_server.ok()) << poll_server.status();
+
+  TcpTransport tcp((*poll_server)->address());
+  ASSERT_TRUE(tcp.Insert(MakeInsert(0, 0.7)).ok());
+  auto fetched = tcp.Fetch(MakeFetch(0));
+  ASSERT_TRUE(fetched.ok()) << fetched.status();
+  EXPECT_EQ(fetched->elements.size(), 1u);
+  EXPECT_EQ((*poll_server)->stats().frames_served, 2u);
+}
+
+TEST_F(TcpTest, PartialWritesAreReassembledByTheServer) {
+  ASSERT_TRUE(TcpTransport(tcp_server_->address()).Insert(MakeInsert(0, 0.9)).ok());
+
+  // The same fetch a transport would send, dribbled one byte at a time
+  // across separate write() calls: the server must buffer and reassemble.
+  std::string payload = SerializeQueryRequest(MakeFetch(0));
+  std::string frame = FrameHeader(static_cast<uint32_t>(payload.size())) + payload;
+  int fd = RawConnect(tcp_server_->address());
+  for (char byte : frame) {
+    RawSendAll(fd, std::string_view(&byte, 1));
+    std::this_thread::sleep_for(1ms);
+  }
+  std::string response = RawRecvFrame(fd);
+  ASSERT_FALSE(response.empty());
+  EXPECT_FALSE(IsErrorResponse(response));
+  auto parsed = ParseQueryResponse(response);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->elements.size(), 1u);
+  ::close(fd);
+}
+
+TEST_F(TcpTest, TornLengthPrefixFreesTheSession) {
+  int fd = RawConnect(tcp_server_->address());
+  ASSERT_TRUE(WaitFor([&] { return tcp_server_->open_sessions() == 1u; }));
+  RawSendAll(fd, std::string_view("\x08\x00", 2));  // 2 of 4 length bytes
+  ::close(fd);
+  EXPECT_TRUE(WaitFor([&] { return tcp_server_->open_sessions() == 0u; }));
+  EXPECT_EQ(tcp_server_->stats().protocol_errors, 1u);
+  EXPECT_EQ(tcp_server_->stats().frames_served, 0u);
+}
+
+TEST_F(TcpTest, TruncatedPayloadFreesTheSession) {
+  // A MultiFetch whose header promises more bytes than ever arrive.
+  MultiFetchRequest multi;
+  multi.user = kUser;
+  multi.fetches.push_back(FetchRange{0, 0, 5});
+  std::string payload = SerializeMultiFetchRequest(multi);
+  int fd = RawConnect(tcp_server_->address());
+  RawSendAll(fd, FrameHeader(static_cast<uint32_t>(payload.size()) + 64));
+  RawSendAll(fd, payload);  // 64 bytes short of the promised length
+  ::close(fd);
+  EXPECT_TRUE(
+      WaitFor([&] { return tcp_server_->stats().protocol_errors == 1u; }));
+  EXPECT_TRUE(WaitFor([&] { return tcp_server_->open_sessions() == 0u; }));
+  EXPECT_EQ(tcp_server_->stats().frames_served, 0u);
+}
+
+TEST_F(TcpTest, OversizedFrameIsRejectedAndTheConnectionClosed) {
+  TcpServer::Options options;
+  options.max_frame_payload = 1024;
+  auto small_server = TcpServer::Start(&service_, std::move(options));
+  ASSERT_TRUE(small_server.ok());
+
+  // Raw client: a hostile length prefix must be answered with an error
+  // frame — without the server allocating the claimed 256 MiB.
+  int fd = RawConnect((*small_server)->address());
+  RawSendAll(fd, FrameHeader(256u << 20));
+  std::string response = RawRecvFrame(fd);
+  ASSERT_FALSE(response.empty());
+  ASSERT_TRUE(IsErrorResponse(response));
+  Status carried;
+  ASSERT_TRUE(ParseErrorResponse(response, &carried).ok());
+  EXPECT_TRUE(carried.IsInvalidArgument());
+  char byte;
+  EXPECT_LE(::read(fd, &byte, 1), 0) << "server must close after rejecting";
+  ::close(fd);
+  EXPECT_EQ((*small_server)->stats().protocol_errors, 1u);
+
+  // Well-formed transport against the same server: an insert above the
+  // limit is refused client-side before anything is sent.
+  TcpSession::Options session_options;
+  session_options.max_frame_payload = 16;  // below any insert's wire size
+  TcpTransport tcp((*small_server)->address(), nullptr, session_options);
+  EXPECT_TRUE(tcp.Insert(MakeInsert(0, 0.9)).status().IsInvalidArgument());
+  EXPECT_EQ(tcp.socket_stats().frames_up, 0u);
+}
+
+TEST_F(TcpTest, OversizedResponseIsReplacedWithAnErrorFrame) {
+  // The request fits the limit but its response would not: the server
+  // must answer with a (small) error frame instead of shipping a frame
+  // the client is obliged to reject — and the session stays usable.
+  TcpServer::Options options;
+  options.max_frame_payload = 256;
+  auto server = TcpServer::Start(&service_, std::move(options));
+  ASSERT_TRUE(server.ok());
+
+  TcpTransport tcp((*server)->address());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(tcp.Insert(MakeInsert(0, 0.9 - 0.05 * i)).ok());
+  }
+  auto big = tcp.Fetch(MakeFetch(0, 10));  // 10 sealed elements > 256 bytes
+  ASSERT_FALSE(big.ok());
+  EXPECT_TRUE(big.status().IsInvalidArgument()) << big.status();
+  auto small = tcp.Fetch(MakeFetch(0, 1));  // one element fits
+  EXPECT_TRUE(small.ok()) << small.status();
+}
+
+TEST_F(TcpTest, UnparseableMidPipelineResponseBreaksTheSession) {
+  // A fake server that answers pipelined fetches with well-framed
+  // garbage: the client must drop the connection (the stream position is
+  // untrustworthy) rather than leave stale frames for the next RPC.
+  int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)), 0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+  socklen_t len = sizeof(sa);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&sa), &len), 0);
+  std::string addr = "127.0.0.1:" + std::to_string(ntohs(sa.sin_port));
+
+  std::thread fake_server([listener] {
+    int fd = ::accept(listener, nullptr, nullptr);
+    ASSERT_GE(fd, 0);
+    char buf[4096];
+    ssize_t n = ::read(fd, buf, sizeof(buf));  // the pipelined requests
+    ASSERT_GT(n, 0);
+    // Two frames: QueryResponse tag followed by garbage, twice.
+    std::string junk = std::string("\x02", 1) + "garbage";
+    std::string frames;
+    for (int i = 0; i < 2; ++i) {
+      frames += FrameHeader(static_cast<uint32_t>(junk.size())) + junk;
+    }
+    (void)::write(fd, frames.data(), frames.size());
+    char drain[64];
+    (void)::read(fd, drain, sizeof(drain));  // wait for the client close
+    ::close(fd);
+  });
+
+  TcpTransport tcp(addr);
+  tcp.set_pipelined_multifetch(true);
+  MultiFetchRequest multi;
+  multi.user = kUser;
+  multi.fetches.push_back(FetchRange{0, 0, 5});
+  multi.fetches.push_back(FetchRange{1, 0, 5});
+  auto result = tcp.MultiFetch(multi);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption()) << result.status();
+  EXPECT_TRUE(tcp.session().broken())
+      << "stale pipelined frames must not survive into the next RPC";
+  fake_server.join();
+  ::close(listener);
+}
+
+TEST_F(TcpTest, UnknownTagIsAnsweredWithAnErrorAndClosed) {
+  int fd = RawConnect(tcp_server_->address());
+  RawSendAll(fd, FrameHeader(3));
+  RawSendAll(fd, "\x7f\x01\x02");  // no such message tag
+  std::string response = RawRecvFrame(fd);
+  ASSERT_TRUE(IsErrorResponse(response));
+  EXPECT_TRUE(WaitFor([&] { return tcp_server_->open_sessions() == 0u; }));
+  EXPECT_EQ(tcp_server_->stats().protocol_errors, 1u);
+  ::close(fd);
+}
+
+TEST_F(TcpTest, PeerDisconnectMidMultiFetchSurfacesATransportError) {
+  // A fake server that accepts, reads the request, answers with half a
+  // response frame and hangs up: the client must surface a transport
+  // error, not hang and not fabricate a response.
+  int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)), 0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+  socklen_t len = sizeof(sa);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&sa), &len), 0);
+  std::string addr = "127.0.0.1:" + std::to_string(ntohs(sa.sin_port));
+
+  std::thread fake_server([listener] {
+    int fd = ::accept(listener, nullptr, nullptr);
+    ASSERT_GE(fd, 0);
+    char buf[4096];
+    ssize_t n = ::read(fd, buf, sizeof(buf));  // the MultiFetch request
+    ASSERT_GT(n, 0);
+    std::string torn = FrameHeader(100) + std::string(10, 'x');
+    (void)::write(fd, torn.data(), torn.size());  // 10 of 100 payload bytes
+    ::close(fd);
+  });
+
+  TcpTransport tcp(addr);
+  MultiFetchRequest multi;
+  multi.user = kUser;
+  multi.fetches.push_back(FetchRange{0, 0, 5});
+  multi.fetches.push_back(FetchRange{1, 0, 5});
+  auto result = tcp.MultiFetch(multi);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInternal()) << result.status();
+  EXPECT_TRUE(tcp.session().broken());
+  fake_server.join();
+  ::close(listener);
+}
+
+TEST_F(TcpTest, ClientDisconnectMidMultiFetchFreesTheServerSession) {
+  // Half a MultiFetch frame, then the *client* dies: the server must
+  // free the session (and count the torn input) instead of leaking it.
+  MultiFetchRequest multi;
+  multi.user = kUser;
+  multi.fetches.push_back(FetchRange{0, 0, 5});
+  multi.fetches.push_back(FetchRange{1, 0, 5});
+  std::string payload = SerializeMultiFetchRequest(multi);
+  std::string frame =
+      FrameHeader(static_cast<uint32_t>(payload.size())) + payload;
+  int fd = RawConnect(tcp_server_->address());
+  RawSendAll(fd, std::string_view(frame).substr(0, frame.size() / 2));
+  ASSERT_TRUE(WaitFor([&] { return tcp_server_->open_sessions() == 1u; }));
+  ::close(fd);
+  EXPECT_TRUE(WaitFor([&] { return tcp_server_->open_sessions() == 0u; }));
+  EXPECT_EQ(tcp_server_->stats().protocol_errors, 1u);
+  EXPECT_EQ(tcp_server_->stats().frames_served, 0u);
+}
+
+TEST_F(TcpTest, ReconnectsAfterTheServerDropsTheConnection) {
+  TcpTransport tcp(tcp_server_->address());
+  ASSERT_TRUE(tcp.Insert(MakeInsert(0, 0.9)).ok());
+
+  tcp_server_->DisconnectAll();
+  ASSERT_TRUE(WaitFor([&] { return tcp_server_->open_sessions() == 0u; }));
+
+  // The next call may surface one transport error (the request can enter
+  // the kernel buffer of the dead connection before the RST arrives) but
+  // the one after must have reconnected; a fetch is idempotent to retry.
+  auto first = tcp.Fetch(MakeFetch(0));
+  if (!first.ok()) {
+    auto second = tcp.Fetch(MakeFetch(0));
+    ASSERT_TRUE(second.ok()) << second.status();
+  }
+  EXPECT_GE(tcp.socket_stats().reconnects, 1u);
+  EXPECT_EQ(server_.TotalElements(), 1u);
+}
+
+TEST_F(TcpTest, PipelinedSessionAnswersInOrder) {
+  TcpTransport setup(tcp_server_->address());
+  ASSERT_TRUE(setup.Insert(MakeInsert(0, 0.9)).ok());
+  ASSERT_TRUE(setup.Insert(MakeInsert(1, 0.5)).ok());
+
+  // Raw pipelining on the session: three requests written back-to-back,
+  // responses arrive complete and in request order.
+  TcpSession session(tcp_server_->address());
+  std::vector<std::string> requests = {
+      SerializeQueryRequest(MakeFetch(0)),
+      SerializeQueryRequest(MakeFetch(1)),
+      SerializeQueryRequest(MakeFetch(0)),
+  };
+  for (const std::string& request : requests) {
+    ASSERT_TRUE(session.SendFrame(request).ok());
+  }
+  std::vector<QueryResponse> responses;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    std::string wire;
+    ASSERT_TRUE(session.RecvFrame(&wire).ok());
+    auto parsed = ParseQueryResponse(wire);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    responses.push_back(std::move(parsed).value());
+  }
+  ASSERT_EQ(responses.size(), 3u);
+  // Responses 0 and 2 asked the same list and must agree; 1 asked the
+  // other list (different element).
+  ASSERT_EQ(responses[0].elements.size(), 1u);
+  ASSERT_EQ(responses[1].elements.size(), 1u);
+  EXPECT_EQ(responses[0].elements[0].handle, responses[2].elements[0].handle);
+  EXPECT_NE(responses[0].elements[0].handle, responses[1].elements[0].handle);
+}
+
+TEST_F(TcpTest, PipelinedMultiFetchMatchesSingleMessageMultiFetch) {
+  TcpTransport setup(tcp_server_->address());
+  for (double trs : {0.9, 0.6, 0.3}) {
+    ASSERT_TRUE(setup.Insert(MakeInsert(0, trs)).ok());
+    ASSERT_TRUE(setup.Insert(MakeInsert(1, trs / 2)).ok());
+  }
+
+  MultiFetchRequest multi;
+  multi.user = kUser;
+  multi.fetches.push_back(FetchRange{0, 0, 5});
+  multi.fetches.push_back(FetchRange{1, 1, 2});
+  multi.fetches.push_back(FetchRange{0, 2, 5});
+
+  TcpTransport single(tcp_server_->address());
+  TcpTransport pipelined(tcp_server_->address());
+  pipelined.set_pipelined_multifetch(true);
+
+  auto a = single.MultiFetch(multi);
+  auto b = pipelined.MultiFetch(multi);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  ASSERT_EQ(a->responses.size(), b->responses.size());
+  for (size_t i = 0; i < a->responses.size(); ++i) {
+    ASSERT_EQ(a->responses[i].elements.size(), b->responses[i].elements.size());
+    EXPECT_EQ(a->responses[i].exhausted, b->responses[i].exhausted);
+    for (size_t j = 0; j < a->responses[i].elements.size(); ++j) {
+      EXPECT_EQ(a->responses[i].elements[j].sealed,
+                b->responses[i].elements[j].sealed);
+      EXPECT_EQ(a->responses[i].elements[j].handle,
+                b->responses[i].elements[j].handle);
+    }
+  }
+  // Pipelined mode counts one exchange per range.
+  EXPECT_EQ(single.stats().exchanges, 1u);
+  EXPECT_EQ(pipelined.stats().exchanges, 3u);
+
+  // Atomic failure: one bad range fails the whole call in both modes,
+  // with the identical decoded status.
+  multi.fetches.push_back(FetchRange{99, 0, 1});
+  auto bad_single = single.MultiFetch(multi);
+  auto bad_pipelined = pipelined.MultiFetch(multi);
+  ASSERT_FALSE(bad_single.ok());
+  ASSERT_FALSE(bad_pipelined.ok());
+  EXPECT_EQ(bad_pipelined.status(), bad_single.status());
+  // The pipelined session drained every in-flight response and stays
+  // usable for the next call.
+  auto after = pipelined.Fetch(MakeFetch(0));
+  EXPECT_TRUE(after.ok()) << after.status();
+}
+
+TEST_F(TcpTest, HalfCloseAfterPipelinedBatchStillGetsEveryResponse) {
+  // A batch client writes all its requests, shuts down its send side,
+  // and only then reads: every response must still arrive (buffered
+  // complete frames are served after EOF), the close is clean — no
+  // protocol error — and the server closes once the responses are out.
+  ASSERT_TRUE(TcpTransport(tcp_server_->address()).Insert(MakeInsert(0, 0.9)).ok());
+
+  std::string batch;
+  constexpr size_t kRequests = 3;
+  for (size_t i = 0; i < kRequests; ++i) {
+    std::string payload = SerializeQueryRequest(MakeFetch(0));
+    batch += FrameHeader(static_cast<uint32_t>(payload.size())) + payload;
+  }
+  int fd = RawConnect(tcp_server_->address());
+  RawSendAll(fd, batch);
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+  for (size_t i = 0; i < kRequests; ++i) {
+    std::string response = RawRecvFrame(fd);
+    ASSERT_FALSE(response.empty()) << "response " << i << " lost after EOF";
+    EXPECT_FALSE(IsErrorResponse(response));
+  }
+  char byte;
+  EXPECT_LE(::read(fd, &byte, 1), 0) << "server closes after the batch";
+  ::close(fd);
+  EXPECT_TRUE(WaitFor([&] { return tcp_server_->open_sessions() == 0u; }));
+  EXPECT_EQ(tcp_server_->stats().protocol_errors, 0u);
+  EXPECT_EQ(tcp_server_->stats().frames_served, kRequests + 1);  // +setup insert
+}
+
+TEST_F(TcpTest, BackpressurePausesAndResumesWithoutLosingResponses) {
+  // A one-byte backlog limit forces the server to pause reads after
+  // every dispatched response; a pipelined burst must still come back
+  // complete and in order once the client drains.
+  TcpServer::Options options;
+  options.max_session_backlog = 1;
+  auto server = TcpServer::Start(&service_, std::move(options));
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(TcpTransport((*server)->address()).Insert(MakeInsert(0, 0.9)).ok());
+
+  TcpSession session((*server)->address());
+  constexpr size_t kRequests = 16;
+  std::string payload = SerializeQueryRequest(MakeFetch(0));
+  for (size_t i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(session.SendFrame(payload).ok());
+  }
+  for (size_t i = 0; i < kRequests; ++i) {
+    std::string wire;
+    ASSERT_TRUE(session.RecvFrame(&wire).ok()) << "response " << i;
+    auto parsed = ParseQueryResponse(wire);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_EQ(parsed->elements.size(), 1u) << "response " << i;
+  }
+  EXPECT_EQ((*server)->stats().frames_served, kRequests + 1);
+  EXPECT_EQ((*server)->stats().protocol_errors, 0u);
+}
+
+TEST_F(TcpTest, ConcurrentClientsEachWithTheirOwnConnection) {
+  constexpr size_t kThreads = 4;
+  constexpr size_t kOpsPerThread = 50;
+  std::vector<std::thread> threads;
+  std::atomic<size_t> failures{0};
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      TcpTransport tcp(tcp_server_->address());
+      for (size_t i = 0; i < kOpsPerThread; ++i) {
+        auto inserted =
+            tcp.Insert(MakeInsert(static_cast<uint32_t>((t + i) % 2), 0.5));
+        if (!inserted.ok()) ++failures;
+        auto fetched = tcp.Fetch(MakeFetch(static_cast<uint32_t>(i % 2), 3));
+        if (!fetched.ok()) ++failures;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(server_.TotalElements(), kThreads * kOpsPerThread);
+  EXPECT_EQ(tcp_server_->stats().frames_served, 2 * kThreads * kOpsPerThread);
+  EXPECT_TRUE(WaitFor([&] { return tcp_server_->open_sessions() == 0u; }));
+}
+
+TEST_F(TcpTest, MakeTransportBuildsTcpFromAnAddress) {
+  auto tcp = MakeTransport(TransportKind::kTcp, nullptr, nullptr,
+                           tcp_server_->address());
+  ASSERT_NE(tcp, nullptr);
+  EXPECT_NE(dynamic_cast<TcpTransport*>(tcp.get()), nullptr);
+  EXPECT_EQ(MakeTransport(TransportKind::kTcp, &service_), nullptr)
+      << "kTcp without an address cannot be built";
+  EXPECT_STREQ(TransportKindName(TransportKind::kTcp), "tcp");
+  auto parsed = ParseTransportKind("tcp");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, TransportKind::kTcp);
+  EXPECT_FALSE(ParseTransportKind("quic").ok());
+}
+
+TEST_F(TcpTest, StartRejectsBadAddressesAndNullBackends) {
+  TcpServer::Options options;
+  options.listen_addr = "not-an-address";
+  EXPECT_TRUE(TcpServer::Start(&service_, std::move(options))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(TcpServer::Start(nullptr).status().IsInvalidArgument());
+
+  TcpTransport unreachable("127.0.0.1:1");  // reserved port, nothing listens
+  EXPECT_TRUE(unreachable.Fetch(MakeFetch(0)).status().IsInternal());
+}
+
+}  // namespace
+}  // namespace zr::net

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Docs link gate: fail on dead relative links in markdown files.
+
+Scans the given markdown files/directories for inline links and images
+(`[text](target)`), resolves each relative target against the containing
+file's directory, and exits 1 listing every target that does not exist.
+External links (http/https/mailto), pure in-page anchors (#...) and
+absolute paths are skipped; an anchor suffix on a relative link
+(FILE.md#section) is stripped before the existence check (anchor
+validity itself is not checked).
+
+Usage:
+    tools/check_links.py README.md docs [more files or dirs...]
+"""
+
+import pathlib
+import re
+import sys
+
+# Inline markdown links/images. Deliberately simple: no reference-style
+# links in this repo, and nested parentheses in URLs don't occur.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#", "/")
+
+
+def md_files(arg):
+    path = pathlib.Path(arg)
+    if path.is_dir():
+        return sorted(path.rglob("*.md"))
+    return [path]
+
+
+def main():
+    args = sys.argv[1:] or ["README.md", "docs"]
+    dead = []
+    checked = 0
+    for arg in args:
+        for md in md_files(arg):
+            if not md.exists():
+                dead.append(f"{md}: file itself does not exist")
+                continue
+            text = md.read_text(encoding="utf-8")
+            for match in LINK_RE.finditer(text):
+                target = match.group(1)
+                if target.startswith(SKIP_PREFIXES):
+                    continue
+                relative = target.split("#", 1)[0]
+                if not relative:
+                    continue
+                checked += 1
+                if not (md.parent / relative).exists():
+                    line = text.count("\n", 0, match.start()) + 1
+                    dead.append(f"{md}:{line}: dead link -> {target}")
+    if dead:
+        print("DEAD LINKS:", file=sys.stderr)
+        for entry in dead:
+            print(f"  {entry}", file=sys.stderr)
+        return 1
+    print(f"link check passed ({checked} relative links)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
