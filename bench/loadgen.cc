@@ -17,11 +17,17 @@
 //                                           # sharded+durable served over TCP
 //
 // Specs:
-//   ci      single-server + 4-shard configs on the tiny synthetic dataset,
-//           plus the churn config below (BENCH_loadtest.json, 3 configs).
+//   ci      single-server + 4-shard + 4-process-cluster configs on the tiny
+//           synthetic dataset, plus the churn config below
+//           (BENCH_loadtest.json, 4 configs).
 //   churn   insert/delete churn against one 100k-element TRS-sorted merged
 //           list (the workload that was quadratic before MergedList grew a
 //           handle index; the gate checks delete p99 <= 5x insert p99).
+//   cluster          the cluster config alone (spawns 4 shard servers;
+//                    --shard-server points at the binary when loadgen does
+//                    not sit next to it in the build tree).
+//   cluster-failover cluster config with one shard SIGKILLed and restarted
+//                    mid-window; gates on the shard rejoining the router.
 //   default one single-server config, flag-tunable.
 //
 // --transport=direct|loopback|tcp selects how workers reach the backend;
@@ -33,6 +39,7 @@
 // in-memory — its preload path restores into the single server directly).
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,8 +47,11 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "cluster/process.h"
+#include "cluster/router.h"
 #include "core/pipeline.h"
 #include "load/driver.h"
 #include "load/load_spec.h"
@@ -65,6 +75,8 @@ struct Flags {
   std::string transport = "direct";
   size_t shards = 0;  // 0 = spec default; "default" spec only
   std::string data_dir;  // non-empty = durable backends (fresh per-config subdirs)
+  std::string shard_server;  // shard-server binary for cluster configs
+  std::string argv0;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -76,6 +88,7 @@ bool ParseFlag(const char* arg, const char* name, std::string* out) {
 
 Flags ParseFlags(int argc, char** argv) {
   Flags flags;
+  flags.argv0 = argc > 0 ? argv[0] : "loadgen";
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (ParseFlag(argv[i], "--spec", &value)) {
@@ -98,6 +111,8 @@ Flags ParseFlags(int argc, char** argv) {
       flags.shards = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--data-dir", &value)) {
       flags.data_dir = value;
+    } else if (ParseFlag(argv[i], "--shard-server", &value)) {
+      flags.shard_server = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       std::exit(2);
@@ -222,6 +237,135 @@ void PrintSummary(const load::LoadReport& r) {
                 r.ClassThroughput(cls), rc.latency.PercentileNs(99.0) / 1e3);
   }
   std::printf("\n");
+}
+
+/// The shard-server binary for cluster configs: --shard-server flag, then
+/// $ZR_SHARD_SERVER (cluster::ShardServerBinary), then next to loadgen.
+std::string ResolveShardServer(const Flags& flags) {
+  if (!flags.shard_server.empty()) return flags.shard_server;
+  const char* env = std::getenv("ZR_SHARD_SERVER");
+  if (env != nullptr && env[0] != '\0') return env;
+  std::filesystem::path self(flags.argv0);
+  return (self.parent_path() / "shard_server").string();
+}
+
+/// Mixed workload routed by a cluster::RouterService over 4 real
+/// shard-server processes. The client side is always a Direct transport
+/// into the router (--transport is ignored here): the measured wire is the
+/// router->shard TCP hop, which exists regardless of how clients reach the
+/// router. With kill_one_shard, one shard is SIGKILLed mid-window and
+/// restarted on its old port; the run must complete — retries, breaker
+/// trips and the rejoin show up in the report's "cluster" counters.
+bool RunClusterConfig(const Flags& flags, bool kill_one_shard,
+                      std::vector<load::LoadReport>* out) {
+  constexpr size_t kShards = 4;
+  const std::string binary = ResolveShardServer(flags);
+  const std::string name = kill_one_shard ? "cluster4-failover" : "cluster4";
+  std::filesystem::path root =
+      flags.data_dir.empty()
+          ? std::filesystem::temp_directory_path() / "zr-loadgen-cluster"
+          : std::filesystem::path(flags.data_dir);
+  root /= name;
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);
+  std::filesystem::create_directories(root, ec);
+
+  std::vector<std::unique_ptr<cluster::ShardProcess>> procs(kShards);
+  std::vector<std::vector<std::string>> shard_args(kShards);
+
+  core::PipelineOptions options;
+  options.preset = synth::TinyPreset();
+  options.sigma = 0.002;
+  options.seed = 20090324;
+  options.transport = net::TransportKind::kDirect;
+  options.build_baseline_index = false;
+  options.build_query_log = false;
+  options.shard_launcher = [&](size_t num_lists, uint64_t backend_seed)
+      -> StatusOr<std::vector<std::string>> {
+    std::vector<std::string> addrs;
+    for (size_t s = 0; s < kShards; ++s) {
+      shard_args[s] = {
+          "--shard=" + std::to_string(s),
+          "--shards=" + std::to_string(kShards),
+          "--lists=" + std::to_string(num_lists),
+          "--seed=" + std::to_string(backend_seed),
+          "--data-dir=" + (root / ("s" + std::to_string(s))).string(),
+          "--sync=group-commit",
+          "--listen=127.0.0.1:0",
+      };
+      ZR_ASSIGN_OR_RETURN(procs[s],
+                          cluster::ShardProcess::Start(binary, shard_args[s]));
+      // Pin the ephemeral port it bound: a restart must come back on the
+      // same address for the router to find it (SO_REUSEADDR on listen).
+      shard_args[s].back() = "--listen=" + procs[s]->addr();
+      addrs.push_back(procs[s]->addr());
+    }
+    return addrs;
+  };
+
+  auto pipeline = core::BuildPipeline(options);
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "cluster pipeline build failed: %s\n",
+                 pipeline.status().ToString().c_str());
+    std::exit(1);
+  }
+  core::Pipeline* p = pipeline->get();
+
+  load::LoadSpec spec = MixedSpec(flags);
+  std::thread chaos;
+  if (kill_one_shard) {
+    // Duration-bound so the kill and restart land inside the measured
+    // window whatever the throughput.
+    spec.duration_ms = flags.duration_ms != 0 ? flags.duration_ms : 3000;
+    spec.ops_per_worker = 0;
+    const size_t victim = kShards - 1;
+    uint64_t window_ms = spec.duration_ms;
+    chaos = std::thread([&procs, &shard_args, binary, victim, window_ms] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(window_ms / 4));
+      if (Status killed = procs[victim]->Kill(); !killed.ok()) {
+        std::fprintf(stderr, "chaos kill failed: %s\n",
+                     killed.ToString().c_str());
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(window_ms / 4));
+      auto restarted =
+          cluster::ShardProcess::Start(binary, shard_args[victim]);
+      if (!restarted.ok()) {
+        std::fprintf(stderr, "chaos restart failed: %s\n",
+                     restarted.status().ToString().c_str());
+        return;
+      }
+      procs[victim] = std::move(restarted).value();
+    });
+  }
+
+  out->push_back(MustRun(load::DeploymentFromPipeline(p), spec, name));
+  if (chaos.joinable()) chaos.join();
+  PrintSummary(out->back());
+
+  const cluster::RouterStats& rs = out->back().cluster;
+  std::printf(
+      "%-10s router: %llu attempts, %llu retries, %llu transport errors, "
+      "%llu unavailable, %llu breaker open(s), %llu rejoin(s)\n",
+      name.c_str(), static_cast<unsigned long long>(rs.attempts),
+      static_cast<unsigned long long>(rs.retries),
+      static_cast<unsigned long long>(rs.transport_errors),
+      static_cast<unsigned long long>(rs.unavailable),
+      static_cast<unsigned long long>(rs.breaker_opens),
+      static_cast<unsigned long long>(rs.rejoins));
+
+  bool gate_ok = true;
+  if (kill_one_shard) {
+    // Survival gate: the run completed (MustRun exits otherwise) and the
+    // restarted shard actually rejoined the router.
+    gate_ok = rs.rejoins >= 1;
+    std::printf("%-10s failover gate: %s\n", name.c_str(),
+                gate_ok ? "PASS (shard rejoined)" : "FAIL (no rejoin)");
+  }
+  for (auto& proc : procs) {
+    if (proc && proc->running()) (void)proc->Terminate();
+  }
+  return gate_ok;
 }
 
 /// Mixed workload against the single-server backend and a 4-shard backend.
@@ -357,7 +501,13 @@ int main(int argc, char** argv) {
   bool gates_ok = true;
   if (flags.spec == "ci") {
     gates_ok = RunMixedConfigs(flags, &reports);
+    gates_ok = RunClusterConfig(flags, /*kill_one_shard=*/false, &reports) &&
+               gates_ok;
     gates_ok = RunChurnConfig(flags, /*preload=*/100000, &reports) && gates_ok;
+  } else if (flags.spec == "cluster") {
+    gates_ok = RunClusterConfig(flags, /*kill_one_shard=*/false, &reports);
+  } else if (flags.spec == "cluster-failover") {
+    gates_ok = RunClusterConfig(flags, /*kill_one_shard=*/true, &reports);
   } else if (flags.spec == "churn") {
     gates_ok = RunChurnConfig(flags, /*preload=*/100000, &reports);
   } else if (flags.spec == "default") {
@@ -369,7 +519,9 @@ int main(int argc, char** argv) {
     PrintSummary(reports.back());
     gates_ok = CheckTcpAccounting(reports.back());
   } else {
-    std::fprintf(stderr, "unknown --spec=%s (want ci|churn|default)\n",
+    std::fprintf(stderr,
+                 "unknown --spec=%s (want "
+                 "ci|churn|cluster|cluster-failover|default)\n",
                  flags.spec.c_str());
     return 2;
   }

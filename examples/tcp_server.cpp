@@ -14,14 +14,32 @@
 //   num_shards   default 1
 //   data_dir     non-empty wraps the backend in the durable storage engine
 
-#include <chrono>
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
-#include <thread>
 
 #include "core/pipeline.h"
+
+namespace {
+
+// Self-pipe: SIGINT/SIGTERM wake the main thread's poll() so shutdown runs
+// outside the handler (only write(2) is async-signal-safe).
+int g_signal_pipe[2] = {-1, -1};
+
+void OnShutdownSignal(int /*signo*/) {
+  char byte = 1;
+  ssize_t ignored = ::write(g_signal_pipe[1], &byte, 1);
+  (void)ignored;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace zr;
@@ -47,19 +65,64 @@ int main(int argc, char** argv) {
   }
   core::Pipeline& p = **built;
 
-  std::printf("serving on %s — press Enter to stop\n",
+  std::printf("serving on %s — press Enter or SIGINT/SIGTERM to stop\n",
               p.tcp_server->address().c_str());
   std::fflush(stdout);
   // SIGTTIN ignored: reading the terminal from a backgrounded job then
   // fails instead of stopping the process. Any stdin failure/EOF (run
   // with `&`, nohup, CI) means "no operator console" — keep serving
-  // until killed rather than exiting with the index.
+  // until signaled rather than exiting with the index.
   std::signal(SIGTTIN, SIG_IGN);
-  if (std::getchar() == EOF) {
-    for (;;) std::this_thread::sleep_for(std::chrono::seconds(60));
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = OnShutdownSignal;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  // Wait for Enter on stdin OR a shutdown signal, whichever first. Stdin
+  // EOF/error drops it from the poll set (console-less deployment).
+  bool watch_stdin = true;
+  for (bool stopped = false; !stopped;) {
+    pollfd fds[2];
+    fds[0].fd = g_signal_pipe[0];
+    fds[0].events = POLLIN;
+    fds[0].revents = 0;
+    fds[1].fd = STDIN_FILENO;
+    fds[1].events = POLLIN;
+    fds[1].revents = 0;
+    int n = ::poll(fds, watch_stdin ? 2 : 1, -1);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) break;
+    if (fds[0].revents != 0) stopped = true;
+    if (watch_stdin && fds[1].revents != 0) {
+      char buf[64];
+      ssize_t r = ::read(STDIN_FILENO, buf, sizeof(buf));
+      if (r > 0 && memchr(buf, '\n', static_cast<size_t>(r)) != nullptr) {
+        stopped = true;
+      } else if (r <= 0) {
+        watch_stdin = false;  // no operator console; signals still stop us
+      }
+    }
   }
 
+  // Graceful drain: disconnect every session, stop the loop, then make the
+  // durable store's WAL durable before exiting (matters for kNone sync).
+  p.tcp_server->DisconnectAll();
   net::TcpServerStats stats = p.tcp_server->stats();
+  p.tcp_server->Stop();
+  if (p.durable != nullptr) {
+    Status flushed = p.durable->Flush();
+    if (!flushed.ok()) {
+      std::fprintf(stderr, "wal flush failed: %s\n",
+                   flushed.ToString().c_str());
+      return 1;
+    }
+  }
   std::printf(
       "served %llu frames over %llu connection(s): %llu bytes in, "
       "%llu bytes out, %llu protocol error(s)\n",

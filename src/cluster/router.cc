@@ -1,0 +1,295 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace zr::cluster {
+
+RouterService::RouterService(size_t num_lists, const Options& options)
+    : num_lists_(num_lists) {
+  size_t num_shards = std::max<size_t>(1, options.shard_addrs.size());
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    ShardClientOptions client = options.client;
+    client.addr = s < options.shard_addrs.size() ? options.shard_addrs[s]
+                                                 : std::string();
+    client.expected_server_id = s;
+    // Decorrelate the jitter streams so shards never retry in lockstep.
+    client.retry_backoff.seed = zerber::MixSeed(
+        options.client.retry_backoff.seed + 0x9E3779B97F4A7C15ull * (s + 1));
+    client.breaker_backoff.seed = zerber::MixSeed(
+        options.client.breaker_backoff.seed + 0x517CC1B727220A95ull * (s + 1));
+    shards_.push_back(std::make_unique<ShardClient>(std::move(client)));
+  }
+
+  size_t num_workers = options.num_workers;
+  if (num_workers == kAutoWorkers) {
+    size_t hardware = std::thread::hardware_concurrency();
+    if (hardware == 0) hardware = 2;
+    size_t target = std::min(num_shards, hardware);
+    num_workers = target > 0 ? target - 1 : 0;
+  }
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+RouterService::~RouterService() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void RouterService::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void RouterService::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+}
+
+Status RouterService::CheckList(zerber::MergedListId list) const {
+  if (list >= num_lists_) {
+    return Status::OutOfRange("merged list " + std::to_string(list) +
+                              " does not exist");
+  }
+  return Status::OK();
+}
+
+StatusOr<net::InsertResponse> RouterService::Insert(
+    const net::InsertRequest& request) {
+  // Out-of-range global ids forward to the owning shard like
+  // ShardedIndexService: the local id is then out of the shard's range, so
+  // the shard rejects (and counts) the request itself.
+  net::InsertRequest local = request;
+  local.list = LocalListId(request.list);
+  ZR_ASSIGN_OR_RETURN(net::InsertResponse response,
+                      shards_[ShardOfList(request.list)]->Insert(local));
+  response.wire_size = 0;  // backend semantics: accounting is the
+                           // client-side transport's job
+  return response;
+}
+
+StatusOr<net::QueryResponse> RouterService::Fetch(
+    const net::QueryRequest& request) {
+  net::QueryRequest local = request;
+  local.list = LocalListId(request.list);
+  ZR_ASSIGN_OR_RETURN(net::QueryResponse response,
+                      shards_[ShardOfList(request.list)]->Fetch(local));
+  response.wire_size = 0;
+  return response;
+}
+
+StatusOr<net::MultiFetchResponse> RouterService::MultiFetch(
+    const net::MultiFetchRequest& request) {
+  const std::vector<net::FetchRange>& fetches = request.fetches;
+  // Validate every range upfront so the call fails atomically before any
+  // shard does work (identical to ShardedIndexService).
+  for (const net::FetchRange& f : fetches) {
+    ZR_RETURN_IF_ERROR(CheckList(f.list));
+  }
+
+  net::MultiFetchResponse response;
+  response.responses.resize(fetches.size());
+
+  // Group ranges by owning shard; one sub-MultiFetch per shard with work.
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  for (size_t i = 0; i < fetches.size(); ++i) {
+    by_shard[ShardOfList(fetches[i].list)].push_back(i);
+  }
+  std::vector<size_t> active;
+  for (size_t s = 0; s < by_shard.size(); ++s) {
+    if (!by_shard[s].empty()) active.push_back(s);
+  }
+
+  // On multiple failing shards, surface the error of the shard whose batch
+  // starts earliest in the request (ranges group in order, so this is the
+  // error an in-order serial execution would have hit first).
+  std::mutex error_mu;
+  size_t first_error_index = static_cast<size_t>(-1);
+  Status first_error = Status::OK();
+
+  auto run_shard = [&](size_t s) {
+    net::MultiFetchRequest sub;
+    sub.user = request.user;
+    sub.fetches.reserve(by_shard[s].size());
+    for (size_t idx : by_shard[s]) {
+      net::FetchRange local = fetches[idx];
+      local.list = LocalListId(local.list);
+      sub.fetches.push_back(local);
+    }
+    auto fetched = shards_[s]->MultiFetch(sub);
+    if (!fetched.ok() ||
+        fetched->responses.size() != by_shard[s].size()) {
+      Status failure = fetched.ok()
+                           ? Status::Internal("shard " + std::to_string(s) +
+                                              ": short multifetch response")
+                           : fetched.status();
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (by_shard[s].front() < first_error_index) {
+        first_error_index = by_shard[s].front();
+        first_error = failure;
+      }
+      return;
+    }
+    for (size_t i = 0; i < by_shard[s].size(); ++i) {
+      net::QueryResponse& out = response.responses[by_shard[s][i]];
+      out = std::move(fetched->responses[i]);
+      out.wire_size = 0;  // shard-hop accounting is not the client's
+    }
+  };
+
+  if (active.size() <= 1 || workers_.empty()) {
+    for (size_t s : active) run_shard(s);
+  } else {
+    // Fan out: every shard batch but the first goes to the pool; the
+    // calling thread serves the first itself, then waits for the rest.
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    size_t remaining = active.size() - 1;
+    for (size_t i = 1; i < active.size(); ++i) {
+      size_t s = active[i];
+      Enqueue([&, s] {
+        run_shard(s);
+        // Notify *while holding the lock*: done_mu/done_cv live on the
+        // caller's stack, and the caller may destroy them as soon as it
+        // observes remaining == 0 — which it cannot do before this unlock.
+        std::lock_guard<std::mutex> lock(done_mu);
+        --remaining;
+        done_cv.notify_one();
+      });
+    }
+    run_shard(active[0]);
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  }
+
+  if (first_error_index != static_cast<size_t>(-1)) return first_error;
+  return response;
+}
+
+StatusOr<net::DeleteResponse> RouterService::Delete(
+    const net::DeleteRequest& request) {
+  // Routes by list id alone, like ShardedIndexService: a handle whose
+  // residue disagrees with the list's shard cannot exist there, and the
+  // shard reports it NotFound itself.
+  net::DeleteRequest local = request;
+  local.list = LocalListId(request.list);
+  ZR_ASSIGN_OR_RETURN(net::DeleteResponse response,
+                      shards_[ShardOfList(request.list)]->Delete(local));
+  response.wire_size = 0;
+  return response;
+}
+
+Status RouterService::AddGroup(crypto::GroupId group) {
+  net::AclRequest acl;
+  acl.op = net::AclRequest::Op::kAddGroup;
+  acl.group = group;
+  for (auto& shard : shards_) ZR_RETURN_IF_ERROR(shard->Acl(acl));
+  return Status::OK();
+}
+
+Status RouterService::GrantMembership(zerber::UserId user,
+                                      crypto::GroupId group) {
+  net::AclRequest acl;
+  acl.op = net::AclRequest::Op::kGrant;
+  acl.user = user;
+  acl.group = group;
+  for (auto& shard : shards_) ZR_RETURN_IF_ERROR(shard->Acl(acl));
+  return Status::OK();
+}
+
+Status RouterService::RevokeMembership(zerber::UserId user,
+                                       crypto::GroupId group) {
+  net::AclRequest acl;
+  acl.op = net::AclRequest::Op::kRevoke;
+  acl.user = user;
+  acl.group = group;
+  for (auto& shard : shards_) ZR_RETURN_IF_ERROR(shard->Acl(acl));
+  return Status::OK();
+}
+
+zerber::ServerStats RouterService::stats() {
+  zerber::ServerStats total;
+  for (auto& shard : shards_) {
+    auto scraped = shard->Stats();
+    if (!scraped.ok()) continue;  // unreachable shard contributes zeros
+    total.fetch_requests += scraped->fetch_requests;
+    total.insert_requests += scraped->insert_requests;
+    total.insert_denied += scraped->insert_denied;
+    total.delete_requests += scraped->delete_requests;
+    total.delete_denied += scraped->delete_denied;
+    total.elements_served += scraped->elements_served;
+    total.bytes_served += scraped->bytes_served;
+    total.fetch_latency_ns += scraped->fetch_latency_ns;
+    total.insert_latency_ns += scraped->insert_latency_ns;
+    total.delete_latency_ns += scraped->delete_latency_ns;
+  }
+  return total;
+}
+
+RouterStats RouterService::router_stats() const {
+  RouterStats total;
+  for (const auto& shard : shards_) {
+    ShardClientStats s = shard->stats();
+    total.attempts += s.attempts;
+    total.transport_errors += s.transport_errors;
+    total.retries += s.retries;
+    total.unavailable += s.unavailable;
+    total.probes += s.probes;
+    total.probe_failures += s.probe_failures;
+    total.breaker_opens += s.breaker_opens;
+    total.rejoins += s.rejoins;
+  }
+  return total;
+}
+
+std::vector<ShardClientStats> RouterService::shard_stats() const {
+  std::vector<ShardClientStats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) out.push_back(shard->stats());
+  return out;
+}
+
+Status RouterService::WaitForShard(size_t s, uint64_t timeout_ms) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  Status last = Status::OK();
+  for (;;) {
+    last = shards_[s]->Probe();
+    if (last.ok()) return Status::OK();
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return Status::Unavailable("shard " + std::to_string(s) + " (" +
+                             shards_[s]->addr() + ") not up after " +
+                             std::to_string(timeout_ms) +
+                             "ms: " + last.message());
+}
+
+Status RouterService::WaitForAll(uint64_t timeout_ms) {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    ZR_RETURN_IF_ERROR(WaitForShard(s, timeout_ms));
+  }
+  return Status::OK();
+}
+
+}  // namespace zr::cluster

@@ -1,0 +1,267 @@
+#include "cluster/shard_client.h"
+
+#include <thread>
+#include <utility>
+
+namespace zr::cluster {
+
+ShardClient::ShardClient(ShardClientOptions options)
+    : options_(std::move(options)), breaker_backoff_(options_.breaker_backoff) {
+  if (options_.max_attempts == 0) options_.max_attempts = 1;
+  if (options_.breaker_threshold == 0) options_.breaker_threshold = 1;
+  session_options_.max_frame_payload = options_.max_frame_payload;
+  session_options_.recv_timeout_ms = options_.recv_timeout_ms;
+  session_options_.connect_timeout_ms = options_.connect_timeout_ms;
+}
+
+std::unique_ptr<net::TcpSession> ShardClient::Checkout() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!pool_.empty()) {
+      std::unique_ptr<net::TcpSession> session = std::move(pool_.back());
+      pool_.pop_back();
+      return session;
+    }
+  }
+  return std::make_unique<net::TcpSession>(options_.addr, session_options_);
+}
+
+void ShardClient::Return(std::unique_ptr<net::TcpSession> session) {
+  if (session->broken()) return;  // discard; the next checkout reconnects
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pool_.size() < options_.pool_size) pool_.push_back(std::move(session));
+}
+
+void ShardClient::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++consecutive_failures_;
+  if (breaker_ == Breaker::kClosed &&
+      consecutive_failures_ >= options_.breaker_threshold) {
+    breaker_ = Breaker::kOpen;
+    ++stats_.breaker_opens;
+    open_window_ms_ = breaker_backoff_.NextDelayMs();
+    opened_at_ = std::chrono::steady_clock::now();
+  } else if (breaker_ == Breaker::kOpen) {
+    // Already open (a failed half-open probe): escalate the window.
+    open_window_ms_ = breaker_backoff_.NextDelayMs();
+    opened_at_ = std::chrono::steady_clock::now();
+  }
+  // A broken connection may have poisoned its pooled siblings (server
+  // restart kills them all); drop them so retries reconnect fresh.
+  pool_.clear();
+}
+
+void ShardClient::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  if (breaker_ == Breaker::kOpen) {
+    breaker_ = Breaker::kClosed;
+    ++stats_.rejoins;
+    breaker_backoff_.Reset();
+  }
+}
+
+bool ShardClient::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return breaker_ == Breaker::kClosed;
+}
+
+ShardClientStats ShardClient::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Status ShardClient::Admit() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (breaker_ == Breaker::kClosed) return Status::OK();
+    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - opened_at_)
+                       .count();
+    if (elapsed >= 0 &&
+        static_cast<uint64_t>(elapsed) < open_window_ms_) {
+      return Status::Unavailable("shard " + options_.addr +
+                                 ": circuit breaker open");
+    }
+  }
+  // Open window elapsed: half-open. One probe decides (racing callers may
+  // both probe; harmless).
+  Status probed = Probe();
+  if (!probed.ok()) {
+    return Status::Unavailable("shard " + options_.addr +
+                               ": health probe failed: " + probed.message());
+  }
+  return Status::OK();
+}
+
+Status ShardClient::ProbeOn(net::TcpSession* session) {
+  net::PingRequest ping;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ping.token = ++probe_token_;
+  }
+  std::string wire;
+  ZR_RETURN_IF_ERROR(session->Call(net::SerializePingRequest(ping), &wire));
+  ZR_ASSIGN_OR_RETURN(net::PingResponse pong,
+                      Decode(wire, net::ParsePingResponse));
+  if (pong.token != ping.token) {
+    return Status::Internal("shard " + options_.addr +
+                            ": probe token mismatch");
+  }
+  if (pong.server_id != options_.expected_server_id) {
+    return Status::Internal(
+        "shard " + options_.addr + ": expected server id " +
+        std::to_string(options_.expected_server_id) + ", got " +
+        std::to_string(pong.server_id));
+  }
+  return Status::OK();
+}
+
+Status ShardClient::Probe() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.probes;
+  }
+  std::unique_ptr<net::TcpSession> session = Checkout();
+  Status probed = ProbeOn(session.get());
+  if (probed.ok()) {
+    RecordSuccess();
+    Return(std::move(session));
+    return Status::OK();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.probe_failures;
+  }
+  RecordFailure();
+  return probed;
+}
+
+Status ShardClient::Exchange(const std::string& request_wire, bool idempotent,
+                             std::string* response_wire) {
+  Backoff retry(options_.retry_backoff);
+  Status last = Status::OK();
+  for (size_t attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.retries;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(retry.NextDelayMs()));
+    }
+    Status admitted = Admit();
+    if (!admitted.ok()) {
+      // Fail fast: the breaker is open (or the half-open probe failed);
+      // in-op retries would only stack more sleeps onto a dead shard.
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.unavailable;
+      return admitted;
+    }
+    std::unique_ptr<net::TcpSession> session = Checkout();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.attempts;
+    }
+    Status sent = session->SendFrame(request_wire);
+    if (!sent.ok()) {
+      if (sent.IsInvalidArgument()) return sent;  // oversized, not a dead link
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.transport_errors;
+      }
+      RecordFailure();
+      last = sent;
+      continue;  // nothing reached the server — safe for every op
+    }
+    Status received = session->RecvFrame(response_wire);
+    if (!received.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.transport_errors;
+      }
+      RecordFailure();
+      if (!idempotent) {
+        // The request was sent; the shard may or may not have applied it.
+        // Surface the transport error rather than risk a double apply.
+        return received;
+      }
+      last = received;
+      continue;
+    }
+    RecordSuccess();
+    Return(std::move(session));
+    return Status::OK();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.unavailable;
+  }
+  return Status::Unavailable("shard " + options_.addr + ": unavailable after " +
+                             std::to_string(options_.max_attempts) +
+                             " attempts: " + last.message());
+}
+
+template <typename Response>
+StatusOr<Response> ShardClient::Decode(
+    std::string_view wire, StatusOr<Response> (*parse)(std::string_view)) {
+  if (net::IsErrorResponse(wire)) {
+    Status decoded;
+    ZR_RETURN_IF_ERROR(net::ParseErrorResponse(wire, &decoded));
+    return decoded;
+  }
+  return parse(wire);
+}
+
+StatusOr<net::InsertResponse> ShardClient::Insert(
+    const net::InsertRequest& request) {
+  std::string wire;
+  ZR_RETURN_IF_ERROR(Exchange(net::SerializeInsertRequest(request),
+                              /*idempotent=*/false, &wire));
+  return Decode(wire, net::ParseInsertResponse);
+}
+
+StatusOr<net::QueryResponse> ShardClient::Fetch(
+    const net::QueryRequest& request) {
+  std::string wire;
+  ZR_RETURN_IF_ERROR(Exchange(net::SerializeQueryRequest(request),
+                              /*idempotent=*/true, &wire));
+  return Decode(wire, net::ParseQueryResponse);
+}
+
+StatusOr<net::MultiFetchResponse> ShardClient::MultiFetch(
+    const net::MultiFetchRequest& request) {
+  std::string wire;
+  ZR_RETURN_IF_ERROR(Exchange(net::SerializeMultiFetchRequest(request),
+                              /*idempotent=*/true, &wire));
+  return Decode(wire, net::ParseMultiFetchResponse);
+}
+
+StatusOr<net::DeleteResponse> ShardClient::Delete(
+    const net::DeleteRequest& request) {
+  std::string wire;
+  ZR_RETURN_IF_ERROR(Exchange(net::SerializeDeleteRequest(request),
+                              /*idempotent=*/false, &wire));
+  return Decode(wire, net::ParseDeleteResponse);
+}
+
+Status ShardClient::Acl(const net::AclRequest& request) {
+  // Idempotent by contract: the shard server applies ACL mutations
+  // idempotently (a re-sent grant is a no-op), so receive failures retry.
+  std::string wire;
+  ZR_RETURN_IF_ERROR(Exchange(net::SerializeAclRequest(request),
+                              /*idempotent=*/true, &wire));
+  ZR_ASSIGN_OR_RETURN(net::AclResponse ack,
+                      Decode(wire, net::ParseAclResponse));
+  (void)ack;
+  return Status::OK();
+}
+
+StatusOr<net::StatsResponse> ShardClient::Stats() {
+  std::string wire;
+  ZR_RETURN_IF_ERROR(Exchange(net::SerializeStatsRequest(net::StatsRequest{}),
+                              /*idempotent=*/true, &wire));
+  return Decode(wire, net::ParseStatsResponse);
+}
+
+}  // namespace zr::cluster

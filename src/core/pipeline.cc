@@ -20,6 +20,15 @@ StatusOr<std::unique_ptr<Pipeline>> Assemble(text::Corpus corpus,
   // Client-only deployments talk to a remote server that already holds
   // the index; everything server-side is skipped.
   const bool client_only = !options.connect_addr.empty();
+  // Cluster deployments route over remote shard-server processes.
+  const bool cluster_mode =
+      !options.shard_addrs.empty() || options.shard_launcher != nullptr;
+  if (cluster_mode &&
+      (client_only || !options.data_dir.empty() || options.num_shards > 1)) {
+    return Status::InvalidArgument(
+        "cluster deployment (shard_addrs/shard_launcher) is mutually "
+        "exclusive with connect_addr, data_dir and num_shards > 1");
+  }
 
   auto p = std::make_unique<Pipeline>();
   p->options = options;
@@ -93,6 +102,34 @@ StatusOr<std::unique_ptr<Pipeline>> Assemble(text::Corpus corpus,
   net::ZerberService* backend = nullptr;
   if (client_only) {
     // No backend: the remote server owns the index and its ACLs.
+  } else if (cluster_mode) {
+    std::vector<std::string> addrs = options.shard_addrs;
+    if (addrs.empty()) {
+      // The launcher gets exactly what the shard-server flags need: the
+      // global list count (known only now that the plan exists) and the
+      // backend seed each shard derives its ShardSeed stream from.
+      ZR_ASSIGN_OR_RETURN(
+          addrs, options.shard_launcher(p->plan.NumLists(),
+                                        options.seed ^ 0x0F0F));
+    }
+    cluster::RouterService::Options routing;
+    routing.shard_addrs = std::move(addrs);
+    routing.num_workers =
+        options.num_shard_workers == zerber::ShardedIndexService::kAutoWorkers
+            ? cluster::RouterService::kAutoWorkers
+            : options.num_shard_workers;
+    routing.client = options.cluster_client;
+    p->router = std::make_unique<cluster::RouterService>(p->plan.NumLists(),
+                                                         routing);
+    // Every shard must answer a health probe before provisioning: the ACL
+    // broadcast below is the first traffic, and a shard still recovering
+    // its WAL would burn the retry budget.
+    ZR_RETURN_IF_ERROR(p->router->WaitForAll(15000));
+    for (crypto::GroupId g : groups) {
+      ZR_RETURN_IF_ERROR(p->router->AddGroup(g));
+      ZR_RETURN_IF_ERROR(p->router->GrantMembership(p->user, g));
+    }
+    backend = p->router.get();
   } else if (!options.data_dir.empty()) {
     store::DurableOptions durability;
     durability.data_dir = options.data_dir;

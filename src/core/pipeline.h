@@ -9,10 +9,13 @@
 #ifndef ZERBERR_CORE_PIPELINE_H_
 #define ZERBERR_CORE_PIPELINE_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "cluster/router.h"
 #include "core/query_protocol.h"
 #include "core/sigma_selection.h"
 #include "core/trs.h"
@@ -95,6 +98,29 @@ struct PipelineOptions {
   /// from the hardware.
   size_t num_shard_workers = zerber::ShardedIndexService::kAutoWorkers;
 
+  /// Cluster deployment: non-empty serves the index over already-running
+  /// shard-server processes (tools/shard_server.cc) at these "host:port"
+  /// addresses — shard s at index s, started with --shards=N --shard=s,
+  /// --lists = the merge plan's list count and --seed = this pipeline's
+  /// backend seed (options.seed ^ 0x0F0F). The pipeline deploys a
+  /// cluster::RouterService (Pipeline::router) as the backend; the routing
+  /// math guarantees results identical to num_shards = N in-process.
+  /// Mutually exclusive with num_shards > 1, data_dir and connect_addr.
+  std::vector<std::string> shard_addrs;
+
+  /// Alternative to shard_addrs when the shard servers cannot be started
+  /// before the pipeline (their --lists flag needs the merge plan's list
+  /// count, which only exists mid-build): invoked once the plan is ready,
+  /// with the values the shard-server flags need; returns the addresses
+  /// the processes bound. The callee owns the processes' lifetime.
+  std::function<StatusOr<std::vector<std::string>>(
+      size_t num_lists, uint64_t backend_seed)>
+      shard_launcher;
+
+  /// Fault-handling template of the router's per-shard clients (retries,
+  /// deadlines, circuit breaker) in cluster deployments.
+  cluster::ShardClientOptions cluster_client;
+
   /// Durable storage engine root. Empty (the default) serves in memory
   /// only; non-empty wraps the backend (single or sharded) in a
   /// DurableIndexService (store/durable_service.h): every acked mutation is
@@ -145,6 +171,10 @@ struct Pipeline {
   std::unique_ptr<zerber::IndexServer> server;
   std::unique_ptr<zerber::ShardedIndexService> sharded;
   std::unique_ptr<store::DurableIndexService> durable;
+
+  /// Cluster deployments (options.shard_addrs / shard_launcher) set this
+  /// instead: the shard-router backend over the remote shard servers.
+  std::unique_ptr<cluster::RouterService> router;
 
   /// Service boundary: the server behind the typed ZerberService API, and
   /// the transport the client's traffic is routed through. The channel

@@ -48,6 +48,20 @@ zerber::ServerStats StatsDelta(const zerber::ServerStats& before,
   return d;
 }
 
+cluster::RouterStats RouterStatsDelta(const cluster::RouterStats& before,
+                                      const cluster::RouterStats& after) {
+  cluster::RouterStats d;
+  d.attempts = after.attempts - before.attempts;
+  d.transport_errors = after.transport_errors - before.transport_errors;
+  d.retries = after.retries - before.retries;
+  d.unavailable = after.unavailable - before.unavailable;
+  d.probes = after.probes - before.probes;
+  d.probe_failures = after.probe_failures - before.probe_failures;
+  d.breaker_opens = after.breaker_opens - before.breaker_opens;
+  d.rejoins = after.rejoins - before.rejoins;
+  return d;
+}
+
 }  // namespace
 
 /// Everything one worker thread owns. Built on the setup thread, then used
@@ -353,6 +367,9 @@ StatusOr<LoadReport> LoadDriver::Run() {
   for (auto& w : workers_) w->transport->ResetStats();
   zerber::ServerStats before =
       deployment_.server_stats ? deployment_.server_stats() : zerber::ServerStats();
+  cluster::RouterStats router_before = deployment_.router_stats
+                                           ? deployment_.router_stats()
+                                           : cluster::RouterStats();
 
   // Phase 2: measured.
   uint64_t start_ns = Now();
@@ -400,6 +417,10 @@ StatusOr<LoadReport> LoadDriver::Run() {
   zerber::ServerStats after =
       deployment_.server_stats ? deployment_.server_stats() : zerber::ServerStats();
   report.server = StatsDelta(before, after);
+  if (deployment_.router_stats) {
+    report.cluster =
+        RouterStatsDelta(router_before, deployment_.router_stats());
+  }
   return report;
 }
 
@@ -422,7 +443,15 @@ Deployment DeploymentFromPipeline(core::Pipeline* pipeline) {
   }
   d.groups.assign(groups.begin(), groups.end());
 
-  if (pipeline->durable) {
+  if (pipeline->router) {
+    cluster::RouterService* router = pipeline->router.get();
+    d.backend = router;
+    d.grant = [router](zerber::UserId user, crypto::GroupId group) {
+      return router->GrantMembership(user, group);
+    };
+    d.server_stats = [router] { return router->stats(); };
+    d.router_stats = [router] { return router->router_stats(); };
+  } else if (pipeline->durable) {
     store::DurableIndexService* durable = pipeline->durable.get();
     d.backend = durable;
     d.grant = [durable](zerber::UserId user, crypto::GroupId group) {

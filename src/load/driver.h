@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/router.h"
 #include "core/trs.h"
 #include "crypto/keys.h"
 #include "load/load_spec.h"
@@ -79,6 +80,10 @@ struct Deployment {
   /// Snapshot of the backend's server-side counters (for the before/after
   /// delta in the report). Null reports zeros.
   std::function<zerber::ServerStats()> server_stats;
+
+  /// Snapshot of the shard-router's fault-handling counters (cluster
+  /// deployments; before/after delta in the report). Null reports zeros.
+  std::function<cluster::RouterStats()> router_stats;
 
   /// Handles of preloaded elements, distributed round-robin across the
   /// workers' delete pools.

@@ -160,6 +160,19 @@ std::string LoadReport::ToJson() const {
   AppendU64(&out, "reconnects", socket.reconnects, &sk);
   out.push_back('}');
 
+  AppendKey(&out, "cluster", &first);
+  out.push_back('{');
+  bool cl = true;
+  AppendU64(&out, "attempts", cluster.attempts, &cl);
+  AppendU64(&out, "transport_errors", cluster.transport_errors, &cl);
+  AppendU64(&out, "retries", cluster.retries, &cl);
+  AppendU64(&out, "unavailable", cluster.unavailable, &cl);
+  AppendU64(&out, "probes", cluster.probes, &cl);
+  AppendU64(&out, "probe_failures", cluster.probe_failures, &cl);
+  AppendU64(&out, "breaker_opens", cluster.breaker_opens, &cl);
+  AppendU64(&out, "rejoins", cluster.rejoins, &cl);
+  out.push_back('}');
+
   out.push_back('}');
   return out;
 }

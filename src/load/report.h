@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 
+#include "cluster/router.h"
 #include "load/load_spec.h"
 #include "net/tcp.h"
 #include "net/transport.h"
@@ -81,6 +82,11 @@ struct LoadReport {
   /// socket bytes == payload bytes + kFrameHeaderBytes * frames
   /// is asserted by loadgen after every tcp run.
   net::TcpSocketStats socket;
+
+  /// Shard-router fault-handling counters over the measured window
+  /// (retries, unavailable fast-fails, breaker opens, rejoins); all zero
+  /// unless the deployment routes over a cluster::RouterService.
+  cluster::RouterStats cluster;
 
   /// Throughput of one class (ok ops / wall_seconds).
   double ClassThroughput(OpClass c) const;

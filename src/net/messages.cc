@@ -26,6 +26,18 @@ constexpr uint8_t kTagDeleteResponse =
     static_cast<uint8_t>(MessageTag::kDeleteResponse);
 constexpr uint8_t kTagErrorResponse =
     static_cast<uint8_t>(MessageTag::kErrorResponse);
+constexpr uint8_t kTagPingRequest =
+    static_cast<uint8_t>(MessageTag::kPingRequest);
+constexpr uint8_t kTagPingResponse =
+    static_cast<uint8_t>(MessageTag::kPingResponse);
+constexpr uint8_t kTagStatsRequest =
+    static_cast<uint8_t>(MessageTag::kStatsRequest);
+constexpr uint8_t kTagStatsResponse =
+    static_cast<uint8_t>(MessageTag::kStatsResponse);
+constexpr uint8_t kTagAclRequest =
+    static_cast<uint8_t>(MessageTag::kAclRequest);
+constexpr uint8_t kTagAclResponse =
+    static_cast<uint8_t>(MessageTag::kAclResponse);
 
 Status ExpectTag(ByteReader* reader, uint8_t expected) {
   std::string_view tag;
@@ -40,7 +52,7 @@ Status ExpectTag(ByteReader* reader, uint8_t expected) {
 MessageTag TagOf(std::string_view message) {
   if (message.empty()) return MessageTag::kInvalid;
   uint8_t tag = static_cast<uint8_t>(message[0]);
-  if (tag == 0 || tag > static_cast<uint8_t>(MessageTag::kErrorResponse)) {
+  if (tag == 0 || tag > static_cast<uint8_t>(MessageTag::kAclResponse)) {
     return MessageTag::kInvalid;
   }
   return static_cast<MessageTag>(tag);
@@ -238,6 +250,123 @@ StatusOr<DeleteResponse> ParseDeleteResponse(std::string_view data) {
   return DeleteResponse{};
 }
 
+std::string SerializePingRequest(const PingRequest& request) {
+  std::string out;
+  out.push_back(static_cast<char>(kTagPingRequest));
+  PutVarint64(&out, request.token);
+  return out;
+}
+
+StatusOr<PingRequest> ParsePingRequest(std::string_view data) {
+  ByteReader reader(data);
+  ZR_RETURN_IF_ERROR(ExpectTag(&reader, kTagPingRequest));
+  PingRequest request;
+  ZR_RETURN_IF_ERROR(reader.GetVarint64(&request.token));
+  ZR_RETURN_IF_ERROR(reader.ExpectEof());
+  return request;
+}
+
+std::string SerializePingResponse(const PingResponse& response) {
+  std::string out;
+  out.push_back(static_cast<char>(kTagPingResponse));
+  PutVarint64(&out, response.token);
+  PutVarint64(&out, response.server_id);
+  return out;
+}
+
+StatusOr<PingResponse> ParsePingResponse(std::string_view data) {
+  ByteReader reader(data);
+  ZR_RETURN_IF_ERROR(ExpectTag(&reader, kTagPingResponse));
+  PingResponse response;
+  ZR_RETURN_IF_ERROR(reader.GetVarint64(&response.token));
+  ZR_RETURN_IF_ERROR(reader.GetVarint64(&response.server_id));
+  ZR_RETURN_IF_ERROR(reader.ExpectEof());
+  return response;
+}
+
+std::string SerializeStatsRequest(const StatsRequest&) {
+  return std::string(1, static_cast<char>(kTagStatsRequest));
+}
+
+StatusOr<StatsRequest> ParseStatsRequest(std::string_view data) {
+  ByteReader reader(data);
+  ZR_RETURN_IF_ERROR(ExpectTag(&reader, kTagStatsRequest));
+  ZR_RETURN_IF_ERROR(reader.ExpectEof());
+  return StatsRequest{};
+}
+
+std::string SerializeStatsResponse(const StatsResponse& response) {
+  std::string out;
+  out.push_back(static_cast<char>(kTagStatsResponse));
+  PutVarint64(&out, response.fetch_requests);
+  PutVarint64(&out, response.insert_requests);
+  PutVarint64(&out, response.insert_denied);
+  PutVarint64(&out, response.delete_requests);
+  PutVarint64(&out, response.delete_denied);
+  PutVarint64(&out, response.elements_served);
+  PutVarint64(&out, response.bytes_served);
+  PutVarint64(&out, response.fetch_latency_ns);
+  PutVarint64(&out, response.insert_latency_ns);
+  PutVarint64(&out, response.delete_latency_ns);
+  return out;
+}
+
+StatusOr<StatsResponse> ParseStatsResponse(std::string_view data) {
+  ByteReader reader(data);
+  ZR_RETURN_IF_ERROR(ExpectTag(&reader, kTagStatsResponse));
+  StatsResponse response;
+  ZR_RETURN_IF_ERROR(reader.GetVarint64(&response.fetch_requests));
+  ZR_RETURN_IF_ERROR(reader.GetVarint64(&response.insert_requests));
+  ZR_RETURN_IF_ERROR(reader.GetVarint64(&response.insert_denied));
+  ZR_RETURN_IF_ERROR(reader.GetVarint64(&response.delete_requests));
+  ZR_RETURN_IF_ERROR(reader.GetVarint64(&response.delete_denied));
+  ZR_RETURN_IF_ERROR(reader.GetVarint64(&response.elements_served));
+  ZR_RETURN_IF_ERROR(reader.GetVarint64(&response.bytes_served));
+  ZR_RETURN_IF_ERROR(reader.GetVarint64(&response.fetch_latency_ns));
+  ZR_RETURN_IF_ERROR(reader.GetVarint64(&response.insert_latency_ns));
+  ZR_RETURN_IF_ERROR(reader.GetVarint64(&response.delete_latency_ns));
+  ZR_RETURN_IF_ERROR(reader.ExpectEof());
+  return response;
+}
+
+std::string SerializeAclRequest(const AclRequest& request) {
+  std::string out;
+  out.push_back(static_cast<char>(kTagAclRequest));
+  out.push_back(static_cast<char>(request.op));
+  PutVarint32(&out, request.user);
+  PutVarint32(&out, request.group);
+  return out;
+}
+
+StatusOr<AclRequest> ParseAclRequest(std::string_view data) {
+  ByteReader reader(data);
+  ZR_RETURN_IF_ERROR(ExpectTag(&reader, kTagAclRequest));
+  std::string_view op;
+  ZR_RETURN_IF_ERROR(reader.GetRaw(1, &op));
+  uint8_t op_byte = static_cast<uint8_t>(op[0]);
+  if (op_byte < static_cast<uint8_t>(AclRequest::Op::kAddGroup) ||
+      op_byte > static_cast<uint8_t>(AclRequest::Op::kRevoke)) {
+    return Status::Corruption("unknown ACL op");
+  }
+  AclRequest request;
+  request.op = static_cast<AclRequest::Op>(op_byte);
+  ZR_RETURN_IF_ERROR(reader.GetVarint32(&request.user));
+  ZR_RETURN_IF_ERROR(reader.GetVarint32(&request.group));
+  ZR_RETURN_IF_ERROR(reader.ExpectEof());
+  return request;
+}
+
+std::string SerializeAclResponse(const AclResponse&) {
+  return std::string(1, static_cast<char>(kTagAclResponse));
+}
+
+StatusOr<AclResponse> ParseAclResponse(std::string_view data) {
+  ByteReader reader(data);
+  ZR_RETURN_IF_ERROR(ExpectTag(&reader, kTagAclResponse));
+  ZR_RETURN_IF_ERROR(reader.ExpectEof());
+  return AclResponse{};
+}
+
 std::string SerializeErrorResponse(const Status& error) {
   assert(!error.ok() && "error responses carry non-OK statuses");
   std::string out;
@@ -253,7 +382,7 @@ Status ParseErrorResponse(std::string_view data, Status* decoded) {
   uint32_t code;
   ZR_RETURN_IF_ERROR(reader.GetVarint32(&code));
   if (code == static_cast<uint32_t>(StatusCode::kOk) ||
-      code > static_cast<uint32_t>(StatusCode::kInternal)) {
+      code > static_cast<uint32_t>(StatusCode::kUnavailable)) {
     return Status::Corruption("unknown status code in error message");
   }
   std::string_view message;
@@ -335,5 +464,36 @@ size_t WireSizeOfErrorResponse(const Status& error) {
          static_cast<size_t>(VarintLength64(error.message().size())) +
          error.message().size();
 }
+
+size_t WireSizeOfPingRequest(const PingRequest& request) {
+  return 1 + static_cast<size_t>(VarintLength64(request.token));
+}
+
+size_t WireSizeOfPingResponse(const PingResponse& response) {
+  return 1 + static_cast<size_t>(VarintLength64(response.token)) +
+         static_cast<size_t>(VarintLength64(response.server_id));
+}
+
+size_t WireSizeOfStatsRequest(const StatsRequest&) { return 1; }
+
+size_t WireSizeOfStatsResponse(const StatsResponse& response) {
+  return 1 + static_cast<size_t>(VarintLength64(response.fetch_requests)) +
+         static_cast<size_t>(VarintLength64(response.insert_requests)) +
+         static_cast<size_t>(VarintLength64(response.insert_denied)) +
+         static_cast<size_t>(VarintLength64(response.delete_requests)) +
+         static_cast<size_t>(VarintLength64(response.delete_denied)) +
+         static_cast<size_t>(VarintLength64(response.elements_served)) +
+         static_cast<size_t>(VarintLength64(response.bytes_served)) +
+         static_cast<size_t>(VarintLength64(response.fetch_latency_ns)) +
+         static_cast<size_t>(VarintLength64(response.insert_latency_ns)) +
+         static_cast<size_t>(VarintLength64(response.delete_latency_ns));
+}
+
+size_t WireSizeOfAclRequest(const AclRequest& request) {
+  return 1 + 1 + static_cast<size_t>(VarintLength32(request.user)) +
+         static_cast<size_t>(VarintLength32(request.group));
+}
+
+size_t WireSizeOfAclResponse(const AclResponse&) { return 1; }
 
 }  // namespace zr::net

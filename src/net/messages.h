@@ -46,6 +46,13 @@ enum class MessageTag : uint8_t {
   kDeleteRequest = 7,
   kDeleteResponse = 8,
   kErrorResponse = 9,
+  // Control plane (cluster health probes, operator ACL, stats scrape).
+  kPingRequest = 10,
+  kPingResponse = 11,
+  kStatsRequest = 12,
+  kStatsResponse = 13,
+  kAclRequest = 14,
+  kAclResponse = 15,
 };
 
 /// The tag of a serialized message (kInvalid for an empty payload or an
@@ -134,6 +141,63 @@ struct DeleteResponse {
   uint64_t wire_size = 0;
 };
 
+/// Client -> server: liveness / identity probe. The router uses the echoed
+/// token to pair responses and `server_id` to verify it reconnected to the
+/// shard it thinks it did (a restarted process on a recycled port).
+struct PingRequest {
+  uint64_t token = 0;
+
+  friend bool operator==(const PingRequest&, const PingRequest&) = default;
+};
+
+/// Server -> client: echoes the probe token plus the server's identity.
+struct PingResponse {
+  uint64_t token = 0;
+  uint64_t server_id = 0;
+
+  friend bool operator==(const PingResponse&, const PingResponse&) = default;
+};
+
+/// Client -> server: request a snapshot of the server's counters.
+struct StatsRequest {
+  friend bool operator==(const StatsRequest&, const StatsRequest&) = default;
+};
+
+/// Server -> client: ServerStats counters (zerber/zerber_index.h) flattened
+/// onto the wire, so a router can aggregate accounting across remote shards
+/// exactly like ShardedIndexService::stats() does in process.
+struct StatsResponse {
+  uint64_t fetch_requests = 0;
+  uint64_t insert_requests = 0;
+  uint64_t insert_denied = 0;
+  uint64_t delete_requests = 0;
+  uint64_t delete_denied = 0;
+  uint64_t elements_served = 0;
+  uint64_t bytes_served = 0;
+  uint64_t fetch_latency_ns = 0;
+  uint64_t insert_latency_ns = 0;
+  uint64_t delete_latency_ns = 0;
+
+  friend bool operator==(const StatsResponse&, const StatsResponse&) = default;
+};
+
+/// Operator ACL mutation applied to one server (the router broadcasts one
+/// per shard). `user` is ignored for kAddGroup.
+struct AclRequest {
+  enum class Op : uint8_t { kAddGroup = 1, kGrant = 2, kRevoke = 3 };
+
+  Op op = Op::kAddGroup;
+  uint32_t user = 0;
+  uint32_t group = 0;
+
+  friend bool operator==(const AclRequest&, const AclRequest&) = default;
+};
+
+/// Server -> client: acknowledges an ACL mutation.
+struct AclResponse {
+  friend bool operator==(const AclResponse&, const AclResponse&) = default;
+};
+
 std::string SerializeQueryRequest(const QueryRequest& request);
 StatusOr<QueryRequest> ParseQueryRequest(std::string_view data);
 
@@ -157,6 +221,24 @@ StatusOr<DeleteRequest> ParseDeleteRequest(std::string_view data);
 
 std::string SerializeDeleteResponse(const DeleteResponse& response);
 StatusOr<DeleteResponse> ParseDeleteResponse(std::string_view data);
+
+std::string SerializePingRequest(const PingRequest& request);
+StatusOr<PingRequest> ParsePingRequest(std::string_view data);
+
+std::string SerializePingResponse(const PingResponse& response);
+StatusOr<PingResponse> ParsePingResponse(std::string_view data);
+
+std::string SerializeStatsRequest(const StatsRequest& request);
+StatusOr<StatsRequest> ParseStatsRequest(std::string_view data);
+
+std::string SerializeStatsResponse(const StatsResponse& response);
+StatusOr<StatsResponse> ParseStatsResponse(std::string_view data);
+
+std::string SerializeAclRequest(const AclRequest& request);
+StatusOr<AclRequest> ParseAclRequest(std::string_view data);
+
+std::string SerializeAclResponse(const AclResponse& response);
+StatusOr<AclResponse> ParseAclResponse(std::string_view data);
 
 // ---------------------------------------------------------------------------
 // Error-status encoding: a server-side failure crosses the wire as an error
@@ -191,6 +273,12 @@ size_t WireSizeOfMultiFetchResponse(const MultiFetchResponse& response);
 size_t WireSizeOfDeleteRequest(const DeleteRequest& request);
 size_t WireSizeOfDeleteResponse(const DeleteResponse& response);
 size_t WireSizeOfErrorResponse(const Status& error);
+size_t WireSizeOfPingRequest(const PingRequest& request);
+size_t WireSizeOfPingResponse(const PingResponse& response);
+size_t WireSizeOfStatsRequest(const StatsRequest& request);
+size_t WireSizeOfStatsResponse(const StatsResponse& response);
+size_t WireSizeOfAclRequest(const AclRequest& request);
+size_t WireSizeOfAclResponse(const AclResponse& response);
 
 }  // namespace zr::net
 

@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <thread>
@@ -590,6 +591,49 @@ class TcpServer::Impl {
         response = Serve(payload, ParseDeleteRequest, &ZerberService::Delete,
                          SerializeDeleteResponse, &parsed_ok);
         break;
+      case MessageTag::kPingRequest: {
+        auto parsed = ParsePingRequest(payload);
+        if (parsed.ok()) {
+          parsed_ok = true;
+          PingResponse pong;
+          pong.token = parsed->token;
+          pong.server_id = options_.server_id;
+          response = SerializePingResponse(pong);
+        } else {
+          response = SerializeErrorResponse(parsed.status());
+        }
+        break;
+      }
+      case MessageTag::kStatsRequest: {
+        auto parsed = ParseStatsRequest(payload);
+        if (parsed.ok()) {
+          parsed_ok = true;
+          response = options_.stats_source
+                         ? SerializeStatsResponse(options_.stats_source())
+                         : SerializeErrorResponse(Status::Unimplemented(
+                               "tcp: server exports no stats"));
+        } else {
+          response = SerializeErrorResponse(parsed.status());
+        }
+        break;
+      }
+      case MessageTag::kAclRequest: {
+        auto parsed = ParseAclRequest(payload);
+        if (parsed.ok()) {
+          parsed_ok = true;
+          if (!options_.acl_handler) {
+            response = SerializeErrorResponse(
+                Status::Unimplemented("tcp: server accepts no ACL changes"));
+          } else {
+            Status applied = options_.acl_handler(*parsed);
+            response = applied.ok() ? SerializeAclResponse(AclResponse{})
+                                    : SerializeErrorResponse(applied);
+          }
+        } else {
+          response = SerializeErrorResponse(parsed.status());
+        }
+        break;
+      }
       default:
         response = SerializeErrorResponse(
             Status::InvalidArgument("tcp: unknown message tag"));
@@ -721,14 +765,79 @@ Status TcpSession::Connect() {
   ZR_RETURN_IF_ERROR(ParseAddr(connect_addr_, &sa));
   int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return ErrnoStatus("socket", errno);
-  int rc;
-  do {
-    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
-  } while (rc != 0 && errno == EINTR);
-  if (rc != 0) {
-    int err = errno;
-    ::close(fd);
-    return ErrnoStatus("connect", err);
+  if (options_.connect_timeout_ms > 0) {
+    // Non-blocking connect + poll: a blackholed address (no RST, no SYN-ACK)
+    // fails after the deadline instead of the kernel's minutes-long SYN
+    // retransmit budget.
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+      int err = errno;
+      ::close(fd);
+      return ErrnoStatus("fcntl", err);
+    }
+    int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+    if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
+      // EINTR on a non-blocking connect means the attempt proceeds
+      // asynchronously, exactly like EINPROGRESS.
+      int err = errno;
+      ::close(fd);
+      return ErrnoStatus("connect", err);
+    }
+    if (rc != 0) {
+      auto deadline = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(options_.connect_timeout_ms);
+      pollfd p;
+      p.fd = fd;
+      p.events = POLLOUT;
+      for (;;) {
+        auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - std::chrono::steady_clock::now())
+                        .count();
+        if (left <= 0) {
+          ::close(fd);
+          return Status::Internal("tcp: connect timed out");
+        }
+        p.revents = 0;
+        int pn = ::poll(&p, 1, static_cast<int>(left));
+        if (pn < 0 && errno == EINTR) continue;
+        if (pn < 0) {
+          int err = errno;
+          ::close(fd);
+          return ErrnoStatus("poll", err);
+        }
+        if (pn == 0) {
+          ::close(fd);
+          return Status::Internal("tcp: connect timed out");
+        }
+        break;
+      }
+      int so_error = 0;
+      socklen_t so_len = sizeof(so_error);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &so_len) != 0) {
+        int err = errno;
+        ::close(fd);
+        return ErrnoStatus("getsockopt", err);
+      }
+      if (so_error != 0) {
+        ::close(fd);
+        return ErrnoStatus("connect", so_error);
+      }
+    }
+    if (::fcntl(fd, F_SETFL, flags) != 0) {  // restore blocking mode
+      int err = errno;
+      ::close(fd);
+      return ErrnoStatus("fcntl", err);
+    }
+  } else {
+    int rc;
+    do {
+      rc = ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      int err = errno;
+      ::close(fd);
+      return ErrnoStatus("connect", err);
+    }
   }
   SetNoDelay(fd);
   if (options_.recv_timeout_ms > 0) {

@@ -48,6 +48,7 @@
 #define ZERBERR_NET_TCP_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -112,6 +113,21 @@ class TcpServer {
     /// Force the portable poll() loop even where epoll is available
     /// (exercised in tests so both loops stay correct).
     bool force_poll = false;
+
+    /// Identity echoed in every PingResponse. A router probing a shard
+    /// after reconnect verifies this to detect a different server on a
+    /// recycled address.
+    uint64_t server_id = 0;
+
+    /// Counters returned for a StatsRequest frame. When unset, stats
+    /// requests are answered with an Unimplemented error frame.
+    std::function<StatsResponse()> stats_source;
+
+    /// Handler for operator AclRequest frames. When unset, ACL requests
+    /// are answered with an Unimplemented error frame. Invoked on the
+    /// event-loop thread, serialized with every other dispatch — which is
+    /// exactly the quiescence the backend's ACL surface requires.
+    std::function<Status(const AclRequest&)> acl_handler;
   };
 
   /// Binds, listens and starts the event-loop thread. On success the
@@ -177,6 +193,11 @@ class TcpSession {
     /// Receive timeout; a server that stops responding surfaces an error
     /// instead of hanging the client forever. 0 disables.
     uint64_t recv_timeout_ms = 30000;
+
+    /// Connect timeout (non-blocking connect + poll); a blackholed or
+    /// dead address fails fast instead of hanging for the kernel's SYN
+    /// retransmit budget (minutes). 0 keeps the blocking connect(2).
+    uint64_t connect_timeout_ms = 0;
   };
 
   explicit TcpSession(std::string connect_addr);

@@ -8,6 +8,7 @@
 
 #include "store/fs.h"
 #include "zerber/persistence.h"
+#include "zerber/routing.h"
 
 namespace zr::store {
 
@@ -92,8 +93,27 @@ StatusOr<std::unique_ptr<DurableIndexService>> DurableIndexService::Open(
       std::unique_ptr<DurableIndexService>(new DurableIndexService(options));
 
   // Backend + partition skeletons.
+  if (options.cluster_shards > 1 && options.num_shards > 1) {
+    return Status::InvalidArgument(
+        "cluster_shards and num_shards are mutually exclusive");
+  }
+  if (options.cluster_shard >= std::max<size_t>(1, options.cluster_shards)) {
+    return Status::InvalidArgument("cluster_shard out of range");
+  }
   size_t num_partitions = std::max<size_t>(1, options.num_shards);
-  if (options.num_shards > 1) {
+  if (options.cluster_shards > 1) {
+    // One shard of a cluster: a single partition in the shard's cluster
+    // coordinates (local list count, derived seed, handle residue class).
+    service->single_ = std::make_unique<zerber::IndexServer>(
+        zerber::ListsOnShard(options.num_lists, options.cluster_shards,
+                             options.cluster_shard),
+        options.placement,
+        zerber::ShardSeed(options.seed, options.cluster_shard),
+        zerber::HandleSpace{options.cluster_shards, options.cluster_shard});
+    service->single_service_ =
+        std::make_unique<net::IndexService>(service->single_.get());
+    service->backend_ = service->single_service_.get();
+  } else if (options.num_shards > 1) {
     zerber::ShardedIndexService::Options sharding;
     sharding.num_shards = options.num_shards;
     sharding.num_workers = options.num_shard_workers;

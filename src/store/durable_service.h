@@ -87,11 +87,25 @@ struct DurableOptions {
   uint64_t snapshot_threshold_bytes = 4ull << 20;
 
   /// Backend shape (mirrors PipelineOptions / ShardedIndexService::Options).
+  /// `num_lists` is always the GLOBAL list count, also in cluster-shard
+  /// scope (the shard derives its local count from it).
   size_t num_lists = 0;
   zerber::Placement placement = zerber::Placement::kTrsSorted;
   uint64_t seed = 1;
   size_t num_shards = 1;
   size_t num_shard_workers = zerber::ShardedIndexService::kAutoWorkers;
+
+  /// Cluster-shard scope (tools/shard_server.cc): when cluster_shards > 1
+  /// this store is shard `cluster_shard` of a cluster_shards-wide cluster —
+  /// a single partition whose IndexServer owns the local lists
+  /// ListsOnShard(num_lists, N, s), draws its placement stream from
+  /// ShardSeed(seed, s) and assigns handles from the residue class
+  /// {h : h % N == s} (zerber/routing.h), so N such processes are
+  /// byte-identical to one in-process ShardedIndexService with the same
+  /// seed. Requests then use shard-local list ids (cluster::RouterService
+  /// translates). Mutually exclusive with num_shards > 1.
+  size_t cluster_shards = 1;
+  size_t cluster_shard = 0;
 };
 
 /// A ZerberService that makes its backend durable. Construct via Open();

@@ -1,0 +1,39 @@
+#include "util/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zr {
+
+Backoff::Backoff() : Backoff(Options()) {}
+
+Backoff::Backoff(const Options& options)
+    : options_(options), rng_(options.seed) {
+  if (options_.base_delay_ms == 0) options_.base_delay_ms = 1;
+  if (options_.max_delay_ms < options_.base_delay_ms) {
+    options_.max_delay_ms = options_.base_delay_ms;
+  }
+  options_.multiplier = std::max(1.0, options_.multiplier);
+  options_.jitter = std::clamp(options_.jitter, 0.0, 1.0);
+}
+
+uint64_t Backoff::BaseDelayMs(uint64_t attempt) const {
+  double delay = static_cast<double>(options_.base_delay_ms) *
+                 std::pow(options_.multiplier, static_cast<double>(attempt));
+  double cap = static_cast<double>(options_.max_delay_ms);
+  if (!(delay < cap)) delay = cap;  // also catches overflow-to-inf
+  return static_cast<uint64_t>(delay);
+}
+
+uint64_t Backoff::NextDelayMs() {
+  uint64_t base = BaseDelayMs(attempt_++);
+  if (options_.jitter <= 0.0) return base;
+  double scale = 1.0 - options_.jitter * rng_.NextDouble();
+  uint64_t jittered =
+      static_cast<uint64_t>(static_cast<double>(base) * scale);
+  return std::max<uint64_t>(1, jittered);
+}
+
+void Backoff::Reset() { attempt_ = 0; }
+
+}  // namespace zr

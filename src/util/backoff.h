@@ -1,0 +1,63 @@
+// Exponential backoff with deterministic jitter.
+//
+// Retry loops (cluster::ShardClient, circuit-breaker open windows) need
+// delays that grow geometrically but do not synchronise across callers — a
+// router whose four shard clients all retry on the same 100ms boundary
+// hammers a recovering shard in lockstep. Jitter is drawn from util::Rng so
+// tests with a fixed seed see reproducible delay sequences.
+
+#ifndef ZERBERR_UTIL_BACKOFF_H_
+#define ZERBERR_UTIL_BACKOFF_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace zr {
+
+/// Computes a sequence of retry delays: base * multiplier^attempt, capped at
+/// max, with each delay scaled by a uniform factor in [1 - jitter, 1].
+/// Jitter pulls delays *down* only, so `max_delay_ms` is a hard ceiling.
+class Backoff {
+ public:
+  struct Options {
+    /// Delay before the first retry (attempt 0), in milliseconds.
+    uint64_t base_delay_ms = 10;
+
+    /// Hard ceiling on any single delay, in milliseconds.
+    uint64_t max_delay_ms = 2000;
+
+    /// Geometric growth factor between consecutive attempts.
+    double multiplier = 2.0;
+
+    /// Fraction of the delay randomised away, in [0, 1]. 0 = deterministic.
+    double jitter = 0.25;
+
+    /// Seed for the jitter stream (deterministic per Backoff instance).
+    uint64_t seed = 1;
+  };
+
+  Backoff();
+  explicit Backoff(const Options& options);
+
+  /// Delay for the next retry, advancing the attempt counter.
+  uint64_t NextDelayMs();
+
+  /// Delay `NextDelayMs` would return for attempt `attempt` before jitter.
+  uint64_t BaseDelayMs(uint64_t attempt) const;
+
+  /// Retries taken so far (calls to NextDelayMs since construction/Reset).
+  uint64_t attempts() const { return attempt_; }
+
+  /// Rewinds to attempt 0 (e.g. after a success closes the breaker).
+  void Reset();
+
+ private:
+  Options options_;
+  Rng rng_;
+  uint64_t attempt_ = 0;
+};
+
+}  // namespace zr
+
+#endif  // ZERBERR_UTIL_BACKOFF_H_

@@ -26,6 +26,7 @@ enum class StatusCode : int {
   kOutOfRange = 7,
   kUnimplemented = 8,
   kInternal = 9,
+  kUnavailable = 10,
 };
 
 /// Human-readable name of a status code ("OK", "InvalidArgument", ...).
@@ -41,6 +42,7 @@ inline std::string_view StatusCodeToString(StatusCode code) {
     case StatusCode::kOutOfRange: return "OutOfRange";
     case StatusCode::kUnimplemented: return "Unimplemented";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kUnavailable: return "Unavailable";
   }
   return "Unknown";
 }
@@ -85,6 +87,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  /// A backend that is temporarily unreachable (dead shard, open circuit
+  /// breaker, exhausted retries). Retryable by construction: the request
+  /// was never applied.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -106,6 +114,7 @@ class Status {
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const {

@@ -3,31 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "zerber/routing.h"
+
 namespace zr::zerber {
-
-namespace {
-
-/// Lists owned by shard `s`: global ids congruent to s modulo num_shards.
-size_t ListsOnShard(size_t num_lists, size_t num_shards, size_t s) {
-  if (s >= num_lists) return 0;
-  return (num_lists - s + num_shards - 1) / num_shards;
-}
-
-/// SplitMix64 finalizer. Shard seeds must not be an affine family of the
-/// constant IndexServer uses for its per-stripe streams, or shard s stripe i
-/// and shard s+1 stripe i-1 would collapse to the same seed and draw
-/// identical random-placement sequences — hashing breaks the structure, so
-/// the shards behave like N independently seeded servers.
-uint64_t MixSeed(uint64_t seed) {
-  seed ^= seed >> 30;
-  seed *= 0xBF58476D1CE4E5B9ull;
-  seed ^= seed >> 27;
-  seed *= 0x94D049BB133111EBull;
-  seed ^= seed >> 31;
-  return seed;
-}
-
-}  // namespace
 
 ShardedIndexService::ShardedIndexService(size_t num_lists,
                                          const Options& options)
@@ -37,8 +15,7 @@ ShardedIndexService::ShardedIndexService(size_t num_lists,
   for (size_t s = 0; s < num_shards; ++s) {
     shards_.push_back(std::make_unique<IndexServer>(
         ListsOnShard(num_lists, num_shards, s), options.placement,
-        MixSeed(options.seed + 0x9E3779B97F4A7C15ull * (s + 1)),
-        HandleSpace{num_shards, s}));
+        ShardSeed(options.seed, s), HandleSpace{num_shards, s}));
   }
 
   size_t num_workers = options.num_workers;

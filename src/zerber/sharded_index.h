@@ -37,6 +37,7 @@
 #include "net/service.h"
 #include "util/status.h"
 #include "util/statusor.h"
+#include "zerber/routing.h"
 #include "zerber/zerber_index.h"
 
 namespace zr::zerber {
@@ -86,14 +87,17 @@ class ShardedIndexService : public net::ZerberService {
   StatusOr<net::DeleteResponse> Delete(const net::DeleteRequest& request)
       override;
 
-  /// Routing (deterministic, stateless).
+  /// Routing (deterministic, stateless; shared with cluster::RouterService
+  /// via zerber/routing.h).
   size_t num_shards() const { return shards_.size(); }
-  size_t ShardOfList(MergedListId list) const { return list % shards_.size(); }
+  size_t ShardOfList(MergedListId list) const {
+    return zerber::ShardOfList(list, shards_.size());
+  }
   size_t ShardOfHandle(uint64_t handle) const {
-    return handle % shards_.size();
+    return zerber::ShardOfHandle(handle, shards_.size());
   }
   MergedListId LocalListId(MergedListId list) const {
-    return list / static_cast<MergedListId>(shards_.size());
+    return zerber::LocalListId(list, shards_.size());
   }
 
   /// Number of global merged lists.

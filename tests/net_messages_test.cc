@@ -387,6 +387,49 @@ TEST(MessagesPropertyTest, RandomizedRoundTripsAndWireSizes) {
   }
 }
 
+TEST(MessagesTest, ControlPlaneRoundTrips) {
+  PingRequest ping{0xDEADBEEFCAFEF00Dull};
+  auto ping_decoded = ParsePingRequest(SerializePingRequest(ping));
+  ASSERT_TRUE(ping_decoded.ok());
+  EXPECT_EQ(*ping_decoded, ping);
+  EXPECT_EQ(SerializePingRequest(ping).size(), WireSizeOfPingRequest(ping));
+
+  PingResponse pong{0xDEADBEEFCAFEF00Dull, 3};
+  auto pong_decoded = ParsePingResponse(SerializePingResponse(pong));
+  ASSERT_TRUE(pong_decoded.ok());
+  EXPECT_EQ(*pong_decoded, pong);
+
+  StatsRequest stats_request;
+  auto sreq = ParseStatsRequest(SerializeStatsRequest(stats_request));
+  ASSERT_TRUE(sreq.ok());
+
+  StatsResponse stats{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto stats_decoded = ParseStatsResponse(SerializeStatsResponse(stats));
+  ASSERT_TRUE(stats_decoded.ok());
+  EXPECT_EQ(*stats_decoded, stats);
+  EXPECT_EQ(SerializeStatsResponse(stats).size(),
+            WireSizeOfStatsResponse(stats));
+
+  AclRequest acl;
+  acl.op = AclRequest::Op::kGrant;
+  acl.user = 42;
+  acl.group = 7;
+  auto acl_decoded = ParseAclRequest(SerializeAclRequest(acl));
+  ASSERT_TRUE(acl_decoded.ok());
+  EXPECT_EQ(*acl_decoded, acl);
+
+  AclResponse ack;
+  EXPECT_TRUE(ParseAclResponse(SerializeAclResponse(ack)).ok());
+}
+
+TEST(MessagesTest, AclRequestRejectsUnknownOp) {
+  AclRequest acl;
+  acl.op = AclRequest::Op::kRevoke;
+  std::string wire = SerializeAclRequest(acl);
+  wire[1] = 9;  // op byte out of [1, 3]
+  EXPECT_TRUE(ParseAclRequest(wire).status().IsCorruption());
+}
+
 TEST(MessagesPropertyTest, RandomGarbageNeverParsesAsNewMessages) {
   Rng rng(77);
   for (int trial = 0; trial < 200; ++trial) {

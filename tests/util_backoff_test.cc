@@ -1,0 +1,117 @@
+#include "util/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace zr {
+namespace {
+
+TEST(BackoffTest, BaseDelaysGrowGeometricallyAndCap) {
+  Backoff::Options options;
+  options.base_delay_ms = 10;
+  options.max_delay_ms = 200;
+  options.multiplier = 2.0;
+  options.jitter = 0.0;
+  Backoff backoff(options);
+
+  EXPECT_EQ(backoff.BaseDelayMs(0), 10u);
+  EXPECT_EQ(backoff.BaseDelayMs(1), 20u);
+  EXPECT_EQ(backoff.BaseDelayMs(2), 40u);
+  EXPECT_EQ(backoff.BaseDelayMs(3), 80u);
+  EXPECT_EQ(backoff.BaseDelayMs(4), 160u);
+  EXPECT_EQ(backoff.BaseDelayMs(5), 200u);   // capped
+  EXPECT_EQ(backoff.BaseDelayMs(50), 200u);  // stays capped, no overflow
+}
+
+TEST(BackoffTest, NextDelayWithoutJitterIsTheBaseSchedule) {
+  Backoff::Options options;
+  options.base_delay_ms = 5;
+  options.max_delay_ms = 40;
+  options.multiplier = 2.0;
+  options.jitter = 0.0;
+  Backoff backoff(options);
+
+  EXPECT_EQ(backoff.NextDelayMs(), 5u);
+  EXPECT_EQ(backoff.NextDelayMs(), 10u);
+  EXPECT_EQ(backoff.NextDelayMs(), 20u);
+  EXPECT_EQ(backoff.NextDelayMs(), 40u);
+  EXPECT_EQ(backoff.NextDelayMs(), 40u);
+  EXPECT_EQ(backoff.attempts(), 5u);
+}
+
+TEST(BackoffTest, JitterOnlyPullsDelaysDown) {
+  // max_delay_ms must be a hard ceiling even with jitter: a retry storm
+  // synchronizing on an *upward* excursion is exactly what jitter exists
+  // to prevent.
+  Backoff::Options options;
+  options.base_delay_ms = 100;
+  options.max_delay_ms = 1000;
+  options.multiplier = 2.0;
+  options.jitter = 0.25;
+  options.seed = 7;
+  Backoff backoff(options);
+
+  for (int i = 0; i < 32; ++i) {
+    uint64_t base = backoff.BaseDelayMs(backoff.attempts());
+    uint64_t delay = backoff.NextDelayMs();
+    EXPECT_LE(delay, base);
+    EXPECT_GE(delay, base - base / 4);  // within [1-jitter, 1] * base
+    EXPECT_GE(delay, 1u);
+  }
+}
+
+TEST(BackoffTest, SameSeedSameSchedule) {
+  Backoff::Options options;
+  options.jitter = 0.5;
+  options.seed = 1234;
+  Backoff a(options);
+  Backoff b(options);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.NextDelayMs(), b.NextDelayMs());
+}
+
+TEST(BackoffTest, DifferentSeedsDecorrelate) {
+  Backoff::Options options;
+  options.base_delay_ms = 1000;
+  options.max_delay_ms = 100000;
+  options.jitter = 0.5;
+  options.seed = 1;
+  Backoff a(options);
+  options.seed = 2;
+  Backoff b(options);
+  bool differed = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.NextDelayMs() != b.NextDelayMs()) differed = true;
+  }
+  EXPECT_TRUE(differed);
+}
+
+TEST(BackoffTest, ResetRestartsTheSchedule) {
+  Backoff::Options options;
+  options.base_delay_ms = 10;
+  options.max_delay_ms = 1000;
+  options.jitter = 0.0;
+  Backoff backoff(options);
+  EXPECT_EQ(backoff.NextDelayMs(), 10u);
+  EXPECT_EQ(backoff.NextDelayMs(), 20u);
+  backoff.Reset();
+  EXPECT_EQ(backoff.attempts(), 0u);
+  EXPECT_EQ(backoff.NextDelayMs(), 10u);
+}
+
+TEST(BackoffTest, DegenerateOptionsAreClamped) {
+  Backoff::Options options;
+  options.base_delay_ms = 0;    // clamped to 1
+  options.max_delay_ms = 0;     // clamped to base
+  options.multiplier = 0.5;     // clamped to 1
+  options.jitter = 2.0;         // clamped to 1
+  Backoff backoff(options);
+  for (int i = 0; i < 8; ++i) {
+    uint64_t delay = backoff.NextDelayMs();
+    EXPECT_GE(delay, 1u);  // a zero delay would busy-spin the retry loop
+    EXPECT_LE(delay, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace zr

@@ -1,0 +1,238 @@
+// shard_server: one cluster shard as a standalone process.
+//
+// Serves shard --shard of a --shards-wide cluster over TCP: a
+// store::DurableIndexService opened in cluster-shard scope (WAL + snapshot
+// rotation + crash recovery for exactly this shard's slice of the index)
+// behind a net::TcpServer. cluster::RouterService fans a logical index out
+// over N of these processes; the routing math (zerber/routing.h) guarantees
+// the ensemble is byte-identical to one in-process ShardedIndexService
+// built from the same seed.
+//
+// Readiness protocol: once serving, prints "listening on <host:port>" on
+// stdout (flushed) — cluster::ShardProcess::Start blocks on that line, so
+// --listen 127.0.0.1:0 (ephemeral port) works without races.
+//
+// Shutdown: SIGINT/SIGTERM drain gracefully — stop accepting, disconnect
+// every session, flush the WAL, print final stats, exit 0. SIGKILL is the
+// crash case the WAL exists for: restart with the same flags and recovery
+// replays the acked prefix.
+//
+// Usage:
+//   shard_server --shard=0 --shards=4 --lists=64 --data-dir=/tmp/s0
+//                [--listen=127.0.0.1:0] [--seed=1] [--placement=trs-sorted]
+//                [--sync=group-commit] [--snapshot-threshold=4194304]
+//
+// --seed is the BACKEND seed (what ShardedIndexService::Options::seed would
+// receive); the per-shard stream is derived internally via ShardSeed.
+
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/messages.h"
+#include "net/tcp.h"
+#include "store/durable_service.h"
+#include "zerber/zerber_index.h"
+
+namespace {
+
+// Self-pipe carrying shutdown signals to the main thread. write(2) is
+// async-signal-safe; everything else happens outside the handler.
+int g_signal_pipe[2] = {-1, -1};
+
+void OnShutdownSignal(int /*signo*/) {
+  char byte = 1;
+  ssize_t ignored = ::write(g_signal_pipe[1], &byte, 1);
+  (void)ignored;
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --shard=S --shards=N --lists=L --data-dir=DIR\n"
+      "          [--listen=HOST:PORT] [--seed=U64] "
+      "[--placement=trs-sorted|random]\n"
+      "          [--sync=none|every-record|group-commit] "
+      "[--snapshot-threshold=BYTES]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace zr;
+
+  store::DurableOptions options;
+  options.num_shards = 1;
+  std::string listen_addr = "127.0.0.1:0";
+  std::string shard = "0";
+  std::string shards = "1";
+  std::string lists;
+  std::string seed = "1";
+  std::string placement = "trs-sorted";
+  std::string sync = "group-commit";
+  std::string threshold;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--shard", &shard)) {
+    } else if (ParseFlag(argv[i], "--shards", &shards)) {
+    } else if (ParseFlag(argv[i], "--lists", &lists)) {
+    } else if (ParseFlag(argv[i], "--listen", &listen_addr)) {
+    } else if (ParseFlag(argv[i], "--data-dir", &options.data_dir)) {
+    } else if (ParseFlag(argv[i], "--seed", &seed)) {
+    } else if (ParseFlag(argv[i], "--placement", &placement)) {
+    } else if (ParseFlag(argv[i], "--sync", &sync)) {
+    } else if (ParseFlag(argv[i], "--snapshot-threshold", &threshold)) {
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return Usage(argv[0]);
+    }
+  }
+
+  if (lists.empty() || options.data_dir.empty()) return Usage(argv[0]);
+  options.cluster_shard = std::strtoull(shard.c_str(), nullptr, 10);
+  options.cluster_shards = std::strtoull(shards.c_str(), nullptr, 10);
+  if (options.cluster_shards < 1) options.cluster_shards = 1;
+  options.num_lists = std::strtoull(lists.c_str(), nullptr, 10);
+  options.seed = std::strtoull(seed.c_str(), nullptr, 10);
+  if (!threshold.empty()) {
+    options.snapshot_threshold_bytes =
+        std::strtoull(threshold.c_str(), nullptr, 10);
+  }
+
+  if (placement == "trs-sorted") {
+    options.placement = zerber::Placement::kTrsSorted;
+  } else if (placement == "random") {
+    options.placement = zerber::Placement::kRandomPlacement;
+  } else {
+    std::fprintf(stderr, "bad --placement: %s\n", placement.c_str());
+    return Usage(argv[0]);
+  }
+
+  if (sync == "none") {
+    options.sync_mode = store::WalSyncMode::kNone;
+  } else if (sync == "every-record") {
+    options.sync_mode = store::WalSyncMode::kEveryRecord;
+  } else if (sync == "group-commit") {
+    options.sync_mode = store::WalSyncMode::kGroupCommit;
+  } else {
+    std::fprintf(stderr, "bad --sync: %s\n", sync.c_str());
+    return Usage(argv[0]);
+  }
+
+  // Install the shutdown plumbing before serving: a supervisor may SIGTERM
+  // us at any point after the readiness line.
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = OnShutdownSignal;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);  // broken client sockets surface as EPIPE
+
+  auto opened = store::DurableIndexService::Open(options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  store::DurableIndexService& service = **opened;
+
+  net::TcpServer::Options server_options;
+  server_options.listen_addr = listen_addr;
+  server_options.server_id = options.cluster_shard;
+  server_options.stats_source = [&service] {
+    zerber::ServerStats s = service.partition(0).stats();
+    net::StatsResponse out;
+    out.fetch_requests = s.fetch_requests;
+    out.insert_requests = s.insert_requests;
+    out.insert_denied = s.insert_denied;
+    out.delete_requests = s.delete_requests;
+    out.delete_denied = s.delete_denied;
+    out.elements_served = s.elements_served;
+    out.bytes_served = s.bytes_served;
+    out.fetch_latency_ns = s.fetch_latency_ns;
+    out.insert_latency_ns = s.insert_latency_ns;
+    out.delete_latency_ns = s.delete_latency_ns;
+    return out;
+  };
+  // Runs on the event-loop thread, serialized with every request dispatch —
+  // the quiescence the ACL surface requires. Idempotent (the durable
+  // service re-applies convergently), so the router may retry it.
+  server_options.acl_handler = [&service](const net::AclRequest& acl) {
+    switch (acl.op) {
+      case net::AclRequest::Op::kAddGroup:
+        return service.AddGroup(acl.group);
+      case net::AclRequest::Op::kGrant:
+        return service.GrantMembership(acl.user, acl.group);
+      case net::AclRequest::Op::kRevoke:
+        return service.RevokeMembership(acl.user, acl.group);
+    }
+    return Status::InvalidArgument("shard_server: unknown ACL op");
+  };
+
+  auto started = net::TcpServer::Start(&service, std::move(server_options));
+  if (!started.ok()) {
+    std::fprintf(stderr, "listen failed: %s\n",
+                 started.status().ToString().c_str());
+    return 1;
+  }
+  net::TcpServer& server = **started;
+
+  // The readiness line ShardProcess::Start waits for. Flush: stdout is a
+  // pipe (block-buffered) when supervised.
+  std::printf("listening on %s\n", server.address().c_str());
+  std::fflush(stdout);
+
+  // Park until SIGINT/SIGTERM.
+  for (;;) {
+    pollfd p;
+    p.fd = g_signal_pipe[0];
+    p.events = POLLIN;
+    p.revents = 0;
+    int n = ::poll(&p, 1, -1);
+    if (n < 0 && errno == EINTR) continue;
+    if (n > 0) break;
+  }
+
+  // Graceful drain: no new frames, drop every session, then make the WAL
+  // durable before exiting (matters for --sync=none).
+  server.DisconnectAll();
+  server.Stop();
+  Status flushed = service.Flush();
+  if (!flushed.ok()) {
+    std::fprintf(stderr, "wal flush failed: %s\n",
+                 flushed.ToString().c_str());
+    return 1;
+  }
+
+  net::TcpServerStats stats = server.stats();
+  std::printf("shard %llu shutdown: %llu frames over %llu connection(s), "
+              "%llu bytes in, %llu bytes out\n",
+              static_cast<unsigned long long>(options.cluster_shard),
+              static_cast<unsigned long long>(stats.frames_served),
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.bytes_read),
+              static_cast<unsigned long long>(stats.bytes_written));
+  std::fflush(stdout);
+  return 0;
+}
