@@ -51,8 +51,10 @@ Row Measure(const zr::synth::DatasetPreset& base, double fraction) {
                             : static_cast<double>(covered) /
                                   static_cast<double>(total);
 
-  // Global TRS uniformity.
+  // Global TRS uniformity. Offline inspection of a single-threaded bench
+  // pipeline: quiescent by construction.
   std::vector<double> all_trs;
+  zr::QuiescenceLock quiesced(p->server->quiescence());
   for (size_t l = 0; l < p->server->NumLists(); ++l) {
     auto list = p->server->GetList(static_cast<uint32_t>(l));
     for (const auto& e : (*list)->elements()) all_trs.push_back(e.trs);

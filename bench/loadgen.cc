@@ -468,6 +468,8 @@ bool RunChurnConfig(const Flags& flags, size_t preload,
         load::LoadDriver::LoadUserId(e.handle % spec.num_users), list,
         e.handle});
   }
+  // Preload happens before the load phase starts any worker thread.
+  zr::QuiescenceLock quiesced(p->server->quiescence());
   Status restored = p->server->RestoreElements(list, std::move(elements));
   if (!restored.ok()) {
     std::fprintf(stderr, "preload failed: %s\n", restored.ToString().c_str());

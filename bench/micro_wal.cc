@@ -133,6 +133,8 @@ void BM_RecoverFromLog(benchmark::State& state) {
       break;
     }
     zerber::IndexServer server(64, zerber::Placement::kTrsSorted, 1);
+    // Single-threaded replay benchmark: the server is trivially quiescent.
+    zr::QuiescenceLock quiesced(server.quiescence());
     for (auto& record : scanned->records) {
       if (!server.ReplayInsert(record.list, std::move(record.element)).ok()) {
         state.SkipWithError("replay failed");

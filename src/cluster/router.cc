@@ -37,10 +37,10 @@ RouterService::RouterService(size_t num_lists, const Options& options)
 
 RouterService::~RouterService() {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     stopping_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -48,8 +48,8 @@ void RouterService::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(queue_mu_);
+      while (!stopping_ && queue_.empty()) queue_cv_.Wait(queue_mu_);
       if (queue_.empty()) return;  // stopping, queue drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -60,10 +60,10 @@ void RouterService::WorkerLoop() {
 
 void RouterService::Enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     queue_.push_back(std::move(task));
   }
-  queue_cv_.notify_one();
+  queue_cv_.NotifyOne();
 }
 
 Status RouterService::CheckList(zerber::MergedListId list) const {
@@ -123,7 +123,7 @@ StatusOr<net::MultiFetchResponse> RouterService::MultiFetch(
   // On multiple failing shards, surface the error of the shard whose batch
   // starts earliest in the request (ranges group in order, so this is the
   // error an in-order serial execution would have hit first).
-  std::mutex error_mu;
+  Mutex error_mu;
   size_t first_error_index = static_cast<size_t>(-1);
   Status first_error = Status::OK();
 
@@ -143,7 +143,7 @@ StatusOr<net::MultiFetchResponse> RouterService::MultiFetch(
                            ? Status::Internal("shard " + std::to_string(s) +
                                               ": short multifetch response")
                            : fetched.status();
-      std::lock_guard<std::mutex> lock(error_mu);
+      MutexLock lock(error_mu);
       if (by_shard[s].front() < first_error_index) {
         first_error_index = by_shard[s].front();
         first_error = failure;
@@ -162,8 +162,8 @@ StatusOr<net::MultiFetchResponse> RouterService::MultiFetch(
   } else {
     // Fan out: every shard batch but the first goes to the pool; the
     // calling thread serves the first itself, then waits for the rest.
-    std::mutex done_mu;
-    std::condition_variable done_cv;
+    Mutex done_mu;
+    CondVar done_cv;
     size_t remaining = active.size() - 1;
     for (size_t i = 1; i < active.size(); ++i) {
       size_t s = active[i];
@@ -172,14 +172,14 @@ StatusOr<net::MultiFetchResponse> RouterService::MultiFetch(
         // Notify *while holding the lock*: done_mu/done_cv live on the
         // caller's stack, and the caller may destroy them as soon as it
         // observes remaining == 0 — which it cannot do before this unlock.
-        std::lock_guard<std::mutex> lock(done_mu);
+        MutexLock lock(done_mu);
         --remaining;
-        done_cv.notify_one();
+        done_cv.NotifyOne();
       });
     }
     run_shard(active[0]);
-    std::unique_lock<std::mutex> lock(done_mu);
-    done_cv.wait(lock, [&] { return remaining == 0; });
+    MutexLock lock(done_mu);
+    while (remaining != 0) done_cv.Wait(done_mu);
   }
 
   if (first_error_index != static_cast<size_t>(-1)) return first_error;

@@ -33,20 +33,20 @@
 #ifndef ZERBERR_CLUSTER_ROUTER_H_
 #define ZERBERR_CLUSTER_ROUTER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "cluster/shard_client.h"
 #include "net/service.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/statusor.h"
+#include "util/thread_annotations.h"
 #include "zerber/routing.h"
 #include "zerber/zerber_index.h"
 
@@ -155,10 +155,10 @@ class RouterService : public net::ZerberService {
   std::vector<std::unique_ptr<ShardClient>> shards_;
 
   std::vector<std::thread> workers_;
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  Mutex queue_mu_;
+  CondVar queue_cv_;
+  std::deque<std::function<void()>> queue_ ZR_GUARDED_BY(queue_mu_);
+  bool stopping_ ZR_GUARDED_BY(queue_mu_) = false;
 };
 
 }  // namespace zr::cluster

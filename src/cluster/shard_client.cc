@@ -16,7 +16,7 @@ ShardClient::ShardClient(ShardClientOptions options)
 
 std::unique_ptr<net::TcpSession> ShardClient::Checkout() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!pool_.empty()) {
       std::unique_ptr<net::TcpSession> session = std::move(pool_.back());
       pool_.pop_back();
@@ -28,12 +28,12 @@ std::unique_ptr<net::TcpSession> ShardClient::Checkout() {
 
 void ShardClient::Return(std::unique_ptr<net::TcpSession> session) {
   if (session->broken()) return;  // discard; the next checkout reconnects
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (pool_.size() < options_.pool_size) pool_.push_back(std::move(session));
 }
 
 void ShardClient::RecordFailure() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++consecutive_failures_;
   if (breaker_ == Breaker::kClosed &&
       consecutive_failures_ >= options_.breaker_threshold) {
@@ -52,7 +52,7 @@ void ShardClient::RecordFailure() {
 }
 
 void ShardClient::RecordSuccess() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   consecutive_failures_ = 0;
   if (breaker_ == Breaker::kOpen) {
     breaker_ = Breaker::kClosed;
@@ -62,18 +62,18 @@ void ShardClient::RecordSuccess() {
 }
 
 bool ShardClient::available() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return breaker_ == Breaker::kClosed;
 }
 
 ShardClientStats ShardClient::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 Status ShardClient::Admit() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (breaker_ == Breaker::kClosed) return Status::OK();
     auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
                        std::chrono::steady_clock::now() - opened_at_)
@@ -97,7 +97,7 @@ Status ShardClient::Admit() {
 Status ShardClient::ProbeOn(net::TcpSession* session) {
   net::PingRequest ping;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ping.token = ++probe_token_;
   }
   std::string wire;
@@ -119,7 +119,7 @@ Status ShardClient::ProbeOn(net::TcpSession* session) {
 
 Status ShardClient::Probe() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.probes;
   }
   std::unique_ptr<net::TcpSession> session = Checkout();
@@ -130,7 +130,7 @@ Status ShardClient::Probe() {
     return Status::OK();
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.probe_failures;
   }
   RecordFailure();
@@ -144,7 +144,7 @@ Status ShardClient::Exchange(const std::string& request_wire, bool idempotent,
   for (size_t attempt = 0; attempt < options_.max_attempts; ++attempt) {
     if (attempt > 0) {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ++stats_.retries;
       }
       std::this_thread::sleep_for(
@@ -154,20 +154,20 @@ Status ShardClient::Exchange(const std::string& request_wire, bool idempotent,
     if (!admitted.ok()) {
       // Fail fast: the breaker is open (or the half-open probe failed);
       // in-op retries would only stack more sleeps onto a dead shard.
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.unavailable;
       return admitted;
     }
     std::unique_ptr<net::TcpSession> session = Checkout();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.attempts;
     }
     Status sent = session->SendFrame(request_wire);
     if (!sent.ok()) {
       if (sent.IsInvalidArgument()) return sent;  // oversized, not a dead link
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ++stats_.transport_errors;
       }
       RecordFailure();
@@ -177,7 +177,7 @@ Status ShardClient::Exchange(const std::string& request_wire, bool idempotent,
     Status received = session->RecvFrame(response_wire);
     if (!received.ok()) {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ++stats_.transport_errors;
       }
       RecordFailure();
@@ -194,7 +194,7 @@ Status ShardClient::Exchange(const std::string& request_wire, bool idempotent,
     return Status::OK();
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.unavailable;
   }
   return Status::Unavailable("shard " + options_.addr + ": unavailable after " +

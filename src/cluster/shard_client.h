@@ -35,15 +35,16 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "net/messages.h"
 #include "net/tcp.h"
 #include "util/backoff.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/statusor.h"
+#include "util/thread_annotations.h"
 
 namespace zr::cluster {
 
@@ -161,15 +162,17 @@ class ShardClient {
   ShardClientOptions options_;
   net::TcpSession::Options session_options_;
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<net::TcpSession>> pool_;
-  Backoff breaker_backoff_;
-  Breaker breaker_ = Breaker::kClosed;
-  uint64_t open_window_ms_ = 0;
-  std::chrono::steady_clock::time_point opened_at_;
-  size_t consecutive_failures_ = 0;
-  uint64_t probe_token_ = 0;
-  ShardClientStats stats_;
+  // Pool checkout/return and breaker state share one lock; no lock is ever
+  // held across socket IO (sessions leave the pool while in use).
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<net::TcpSession>> pool_ ZR_GUARDED_BY(mu_);
+  Backoff breaker_backoff_ ZR_GUARDED_BY(mu_);
+  Breaker breaker_ ZR_GUARDED_BY(mu_) = Breaker::kClosed;
+  uint64_t open_window_ms_ ZR_GUARDED_BY(mu_) = 0;
+  std::chrono::steady_clock::time_point opened_at_ ZR_GUARDED_BY(mu_);
+  size_t consecutive_failures_ ZR_GUARDED_BY(mu_) = 0;
+  uint64_t probe_token_ ZR_GUARDED_BY(mu_) = 0;
+  ShardClientStats stats_ ZR_GUARDED_BY(mu_);
 };
 
 }  // namespace zr::cluster

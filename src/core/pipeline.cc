@@ -163,9 +163,14 @@ StatusOr<std::unique_ptr<Pipeline>> Assemble(text::Corpus corpus,
   } else {
     p->server = std::make_unique<zerber::IndexServer>(
         p->plan.NumLists(), options.placement, options.seed ^ 0x0F0F);
-    for (crypto::GroupId g : groups) {
-      ZR_RETURN_IF_ERROR(p->server->acl().AddGroup(g));
-      ZR_RETURN_IF_ERROR(p->server->acl().GrantMembership(p->user, g));
+    {
+      // Provisioning before the pipeline serves anything: quiescent by
+      // construction.
+      QuiescenceLock quiesced(p->server->quiescence());
+      for (crypto::GroupId g : groups) {
+        ZR_RETURN_IF_ERROR(p->server->acl().AddGroup(g));
+        ZR_RETURN_IF_ERROR(p->server->acl().GrantMembership(p->user, g));
+      }
     }
     // 7. Service boundary: typed API over the server (the sharded backend
     // implements ZerberService directly).

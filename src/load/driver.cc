@@ -475,6 +475,9 @@ Deployment DeploymentFromPipeline(core::Pipeline* pipeline) {
     zerber::IndexServer* server = pipeline->server.get();
     d.backend = pipeline->service.get();
     d.grant = [server](zerber::UserId user, crypto::GroupId group) {
+      // Grants run in the driver's setup/churn phases with no request in
+      // flight against this backend (the workload serializes them).
+      QuiescenceLock quiesced(server->quiescence());
       return server->acl().GrantMembership(user, group);
     };
     d.server_stats = [server] { return server->stats(); };

@@ -169,13 +169,14 @@ StatusOr<std::unique_ptr<DurableIndexService>> DurableIndexService::Open(
 DurableIndexService::~DurableIndexService() {
   if (rotator_.joinable()) {
     {
-      std::lock_guard<std::mutex> lock(rot_mu_);
+      MutexLock lock(rot_mu_);
       stopping_ = true;
     }
-    rot_cv_.notify_all();
+    rot_cv_.NotifyAll();
     rotator_.join();
   }
   for (const auto& partition : partitions_) {
+    WriterMutexLock gate(partition->gate);
     if (partition->wal) (void)partition->wal->Close();
   }
 }
@@ -190,6 +191,11 @@ uint32_t DurableIndexService::LocalList(zerber::MergedListId list) const {
 
 Status DurableIndexService::RecoverPartition(size_t p) {
   Partition& partition = *partitions_[p];
+  // Recovery runs before Open() returns: nothing serves this partition yet
+  // (Open recovers partitions on dedicated threads, one per partition), so
+  // the replay loop below legitimately owns the server's quiescence.
+  zerber::IndexServer& server = *partition.server;
+  QuiescenceLock quiesced(server.quiescence());
 
   // 1. Newest snapshot generation that validates becomes the base state.
   //    Validation happens before any mutation (RestoreSnapshotInto parses
@@ -238,25 +244,22 @@ Status DurableIndexService::RecoverPartition(size_t p) {
     for (WalRecord& record : scan.records) {
       switch (record.type) {
         case WalRecord::Type::kInsert:
-          ZR_RETURN_IF_ERROR(partition.server->ReplayInsert(
-              record.list, std::move(record.element)));
+          ZR_RETURN_IF_ERROR(
+              server.ReplayInsert(record.list, std::move(record.element)));
           break;
         case WalRecord::Type::kDelete:
-          ZR_RETURN_IF_ERROR(
-              partition.server->ReplayDelete(record.list, record.handle));
+          ZR_RETURN_IF_ERROR(server.ReplayDelete(record.list, record.handle));
           break;
         case WalRecord::Type::kAddGroup:
-          ZR_RETURN_IF_ERROR(partition.server->acl().AddGroup(record.group));
+          ZR_RETURN_IF_ERROR(server.acl().AddGroup(record.group));
           break;
         case WalRecord::Type::kGrantMembership:
           ZR_RETURN_IF_ERROR(
-              partition.server->acl().GrantMembership(record.user,
-                                                      record.group));
+              server.acl().GrantMembership(record.user, record.group));
           break;
         case WalRecord::Type::kRevokeMembership:
           ZR_RETURN_IF_ERROR(
-              partition.server->acl().RevokeMembership(record.user,
-                                                       record.group));
+              server.acl().RevokeMembership(record.user, record.group));
           break;
       }
       ++replayed;
@@ -277,6 +280,7 @@ Status DurableIndexService::RecoverPartition(size_t p) {
   }
   if (restored && base_is_newest && base_wal_exists && chain_clean &&
       replayed == 0 && no_later_wal) {
+    WriterMutexLock gate(partition.gate);
     ZR_ASSIGN_OR_RETURN(partition.wal,
                         WalWriter::Open(WalPath(partition.dir, base_epoch),
                                         options_.sync_mode));
@@ -287,7 +291,7 @@ Status DurableIndexService::RecoverPartition(size_t p) {
 
 Status DurableIndexService::RotatePartition(size_t p) {
   Partition& partition = *partitions_[p];
-  std::unique_lock gate(partition.gate);
+  WriterMutexLock gate(partition.gate);
   // Clearing pending inside the gate: a concurrent scheduler either sees
   // the flag still set (skips) or queues a fresh rotation that runs after
   // this one — never a lost trigger.
@@ -349,18 +353,18 @@ void DurableIndexService::ScheduleRotation(size_t p) {
     return;  // already queued
   }
   {
-    std::lock_guard<std::mutex> lock(rot_mu_);
+    MutexLock lock(rot_mu_);
     rot_queue_.push_back(p);
   }
-  rot_cv_.notify_one();
+  rot_cv_.NotifyOne();
 }
 
 void DurableIndexService::RotatorLoop() {
   for (;;) {
     size_t p;
     {
-      std::unique_lock<std::mutex> lock(rot_mu_);
-      rot_cv_.wait(lock, [this] { return stopping_ || !rot_queue_.empty(); });
+      MutexLock lock(rot_mu_);
+      while (!stopping_ && rot_queue_.empty()) rot_cv_.Wait(rot_mu_);
       if (rot_queue_.empty()) return;  // stopping, queue drained
       p = rot_queue_.front();
       rot_queue_.pop_front();
@@ -373,7 +377,7 @@ void DurableIndexService::RotatorLoop() {
 
 uint64_t DurableIndexService::wal_bytes(size_t p) const {
   Partition& partition = *partitions_[p];
-  std::shared_lock gate(partition.gate);
+  ReaderMutexLock gate(partition.gate);
   return partition.wal ? partition.wal->SizeBytes() : 0;
 }
 
@@ -385,7 +389,7 @@ Status DurableIndexService::RotateNow(size_t p) { return RotatePartition(p); }
 
 Status DurableIndexService::Flush() {
   for (const auto& partition : partitions_) {
-    std::shared_lock gate(partition->gate);
+    ReaderMutexLock gate(partition->gate);
     if (partition->wal) ZR_RETURN_IF_ERROR(partition->wal->Sync());
   }
   return Status::OK();
@@ -396,7 +400,7 @@ StatusOr<net::InsertResponse> DurableIndexService::Insert(
   size_t p = PartitionOfList(request.list) % partitions_.size();
   Partition& partition = *partitions_[p];
   {
-    std::shared_lock gate(partition.gate);
+    ReaderMutexLock gate(partition.gate);
     ZR_ASSIGN_OR_RETURN(net::InsertResponse response,
                         backend_->Insert(request));
     WalRecord record;
@@ -409,14 +413,22 @@ StatusOr<net::InsertResponse> DurableIndexService::Insert(
       // The insert is unacked; scrub it from the live index so serving
       // matches what recovery will reconstruct. (Deletes cannot be undone
       // this way — see the fail-stop note in the header.)
-      (void)partition.server->ReplayDelete(record.list, response.handle);
+      //
+      // ReplayDelete is quiescent-only by contract, but the scrub is sound
+      // mid-traffic: it locks the owning stripe internally, and the handle
+      // it removes was never acked to any client, so no concurrent request
+      // can legitimately name it. AssertHeld documents (and silences) this
+      // deliberate exception rather than widening the replay contract.
+      zerber::IndexServer& server = *partition.server;
+      server.quiescence().AssertHeld();
+      (void)server.ReplayDelete(record.list, response.handle);
       return logged;
     }
     // Read the WAL size under the gate (rotation swaps the WAL out under
     // the exclusive side); queue the rotation after releasing it.
     bool rotate =
         partition.wal->SizeBytes() >= options_.snapshot_threshold_bytes;
-    gate.unlock();
+    gate.Unlock();
     if (rotate) ScheduleRotation(p);
     return response;
   }
@@ -437,7 +449,7 @@ StatusOr<net::DeleteResponse> DurableIndexService::Delete(
   size_t p = PartitionOfList(request.list) % partitions_.size();
   Partition& partition = *partitions_[p];
   {
-    std::shared_lock gate(partition.gate);
+    ReaderMutexLock gate(partition.gate);
     ZR_ASSIGN_OR_RETURN(net::DeleteResponse response,
                         backend_->Delete(request));
     WalRecord record;
@@ -447,7 +459,7 @@ StatusOr<net::DeleteResponse> DurableIndexService::Delete(
     ZR_RETURN_IF_ERROR(partition.wal->Append(record));
     bool rotate =
         partition.wal->SizeBytes() >= options_.snapshot_threshold_bytes;
-    gate.unlock();
+    gate.Unlock();
     if (rotate) ScheduleRotation(p);
     return response;
   }
@@ -460,14 +472,21 @@ StatusOr<net::DeleteResponse> DurableIndexService::Delete(
 // crash or IO error interrupts it mid-way, re-issuing the same call after
 // recovery converges every shard (the durable ones skip, the rest apply).
 
+// Each iteration claims the partition server's quiescence capability: the
+// operator API's documented contract (no requests in flight) is what makes
+// the claim true, and the exclusive gate additionally fences any straggling
+// writer on this partition.
+
 Status DurableIndexService::AddGroup(crypto::GroupId group) {
   WalRecord record;
   record.type = WalRecord::Type::kAddGroup;
   record.group = group;
   for (const auto& partition : partitions_) {
-    std::unique_lock gate(partition->gate);
-    if (partition->server->acl().HasGroup(group)) continue;
-    ZR_RETURN_IF_ERROR(partition->server->acl().AddGroup(group));
+    zerber::IndexServer& server = *partition->server;
+    WriterMutexLock gate(partition->gate);
+    QuiescenceLock quiesced(server.quiescence());
+    if (server.acl().HasGroup(group)) continue;
+    ZR_RETURN_IF_ERROR(server.acl().AddGroup(group));
     ZR_RETURN_IF_ERROR(partition->wal->Append(record));
   }
   return Status::OK();
@@ -480,10 +499,11 @@ Status DurableIndexService::GrantMembership(zerber::UserId user,
   record.user = user;
   record.group = group;
   for (const auto& partition : partitions_) {
-    std::unique_lock gate(partition->gate);
-    if (partition->server->acl().IsMember(user, group)) continue;
-    ZR_RETURN_IF_ERROR(
-        partition->server->acl().GrantMembership(user, group));
+    zerber::IndexServer& server = *partition->server;
+    WriterMutexLock gate(partition->gate);
+    QuiescenceLock quiesced(server.quiescence());
+    if (server.acl().IsMember(user, group)) continue;
+    ZR_RETURN_IF_ERROR(server.acl().GrantMembership(user, group));
     ZR_RETURN_IF_ERROR(partition->wal->Append(record));
   }
   return Status::OK();
@@ -496,13 +516,14 @@ Status DurableIndexService::RevokeMembership(zerber::UserId user,
   record.user = user;
   record.group = group;
   for (const auto& partition : partitions_) {
-    std::unique_lock gate(partition->gate);
-    if (!partition->server->acl().HasGroup(group)) {
+    zerber::IndexServer& server = *partition->server;
+    WriterMutexLock gate(partition->gate);
+    QuiescenceLock quiesced(server.quiescence());
+    if (!server.acl().HasGroup(group)) {
       return Status::NotFound("group " + std::to_string(group) + " unknown");
     }
-    if (!partition->server->acl().IsMember(user, group)) continue;
-    ZR_RETURN_IF_ERROR(
-        partition->server->acl().RevokeMembership(user, group));
+    if (!server.acl().IsMember(user, group)) continue;
+    ZR_RETURN_IF_ERROR(server.acl().RevokeMembership(user, group));
     ZR_RETURN_IF_ERROR(partition->wal->Append(record));
   }
   return Status::OK();

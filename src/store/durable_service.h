@@ -53,20 +53,19 @@
 #define ZERBERR_STORE_DURABLE_SERVICE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "net/service.h"
 #include "store/wal.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/statusor.h"
+#include "util/thread_annotations.h"
 #include "zerber/sharded_index.h"
 #include "zerber/zerber_index.h"
 
@@ -178,14 +177,21 @@ class DurableIndexService : public net::ZerberService {
  private:
   struct Partition {
     std::string dir;
-    zerber::IndexServer* server = nullptr;  // borrowed from the backend
-    std::unique_ptr<WalWriter> wal;
-    std::atomic<uint64_t> epoch{0};
+    /// Borrowed from the backend; set once in Open before any concurrency
+    /// exists, immutable after (hence not gate-guarded).
+    zerber::IndexServer* server = nullptr;
 
     /// Writers (Insert/Delete and the backend call they wrap) hold this
     /// shared; rotation holds it unique, so a snapshot serializes a
     /// write-quiesced partition while fetches keep flowing.
-    std::shared_mutex gate;
+    SharedMutex gate;
+
+    /// The WAL pointer itself is read under a shared gate (writers append
+    /// through it) and swapped only under the unique gate (rotation) —
+    /// exactly GUARDED_BY's read-shared / write-exclusive rule.
+    std::unique_ptr<WalWriter> wal ZR_GUARDED_BY(gate);
+
+    std::atomic<uint64_t> epoch{0};
 
     /// Set while a rotation for this partition sits in the queue.
     std::atomic<bool> rotation_pending{false};
@@ -220,10 +226,10 @@ class DurableIndexService : public net::ZerberService {
   std::vector<std::unique_ptr<Partition>> partitions_;
 
   std::thread rotator_;
-  std::mutex rot_mu_;
-  std::condition_variable rot_cv_;
-  std::deque<size_t> rot_queue_;
-  bool stopping_ = false;
+  Mutex rot_mu_;
+  CondVar rot_cv_;
+  std::deque<size_t> rot_queue_ ZR_GUARDED_BY(rot_mu_);
+  bool stopping_ ZR_GUARDED_BY(rot_mu_) = false;
 };
 
 }  // namespace zr::store

@@ -192,7 +192,7 @@ Status WalWriter::WriteAndMaybeSync(std::string_view data, bool sync) {
 Status WalWriter::Append(const WalRecord& record) {
   std::string encoded = EncodeWalRecord(record);
 
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!io_error_.ok()) return io_error_;
   if (closed_) return Status::FailedPrecondition("WAL " + path_ + " closed");
 
@@ -219,36 +219,36 @@ Status WalWriter::Append(const WalRecord& record) {
       std::string batch;
       batch.swap(pending_);
       uint64_t batch_end = enqueued_seq_;
-      lock.unlock();
+      lock.Unlock();
       Status s = WriteAndMaybeSync(batch, /*sync=*/true);
-      lock.lock();
+      lock.Relock();
       commit_in_flight_ = false;
       if (!s.ok()) {
         io_error_ = s;
-        cv_.notify_all();
+        cv_.NotifyAll();
         return s;
       }
       durable_seq_ = batch_end;
-      cv_.notify_all();
+      cv_.NotifyAll();
     } else {
-      cv_.wait(lock);
+      cv_.Wait(mu_);
     }
   }
   return Status::OK();
 }
 
 Status WalWriter::status() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return io_error_;
 }
 
 Status WalWriter::Sync() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!io_error_.ok()) return io_error_;
   if (closed_) return Status::OK();
   // Wait out any in-flight group commit so pending_ is quiesced, then flush
   // whatever remains and fsync.
-  cv_.wait(lock, [this] { return !commit_in_flight_; });
+  while (commit_in_flight_) cv_.Wait(mu_);
   if (!io_error_.ok()) return io_error_;
   std::string batch;
   batch.swap(pending_);
@@ -256,22 +256,38 @@ Status WalWriter::Sync() {
   Status s = WriteAndMaybeSync(batch, /*sync=*/true);
   if (!s.ok()) {
     io_error_ = s;
-    cv_.notify_all();
+    cv_.NotifyAll();
     return s;
   }
   durable_seq_ = batch_end;
-  cv_.notify_all();
+  cv_.NotifyAll();
   return Status::OK();
 }
 
 Status WalWriter::Close() {
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (closed_) return Status::OK();
+  // One critical section end to end. The previous implementation released
+  // mu_ between its final Sync() and closing fd_, so a new Append could
+  // become a group-commit leader and write to fd_ (unlocked, by design)
+  // while Close was closing it — a race the thread-safety annotations
+  // surfaced. Now Close waits out any leader, flushes, and closes without
+  // ever dropping the lock; late Appends see closed_ and fail cleanly.
+  MutexLock lock(mu_);
+  if (closed_) return Status::OK();
+  while (commit_in_flight_) cv_.Wait(mu_);
+  Status s = io_error_;
+  if (s.ok()) {
+    std::string batch;
+    batch.swap(pending_);
+    uint64_t batch_end = enqueued_seq_;
+    s = WriteAndMaybeSync(batch, /*sync=*/true);
+    if (s.ok()) {
+      durable_seq_ = batch_end;
+    } else {
+      io_error_ = s;
+    }
   }
-  Status s = Sync();
-  std::unique_lock<std::mutex> lock(mu_);
   closed_ = true;
+  cv_.NotifyAll();
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;

@@ -33,15 +33,15 @@
 #define ZERBERR_STORE_WAL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/statusor.h"
+#include "util/thread_annotations.h"
 #include "zerber/posting_element.h"
 
 namespace zr::store {
@@ -156,17 +156,21 @@ class WalWriter {
 
   const std::string path_;
   const WalSyncMode mode_;
+  // Not ZR_GUARDED_BY(mu_): the group-commit leader writes to fd_ with mu_
+  // deliberately dropped (that is the whole point of group commit). Safe
+  // because commit_in_flight_ serializes leaders and Close waits for
+  // !commit_in_flight_ before closing the descriptor.
   int fd_;
   std::atomic<uint64_t> size_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::string pending_;          // serialized records awaiting commit
-  uint64_t enqueued_seq_ = 0;    // records enqueued
-  uint64_t durable_seq_ = 0;     // records committed (per sync mode)
-  bool commit_in_flight_ = false;
-  Status io_error_;              // sticky
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::string pending_ ZR_GUARDED_BY(mu_);    // records awaiting commit
+  uint64_t enqueued_seq_ ZR_GUARDED_BY(mu_) = 0;  // records enqueued
+  uint64_t durable_seq_ ZR_GUARDED_BY(mu_) = 0;   // records committed
+  bool commit_in_flight_ ZR_GUARDED_BY(mu_) = false;
+  Status io_error_ ZR_GUARDED_BY(mu_);        // sticky
+  bool closed_ ZR_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace zr::store

@@ -1,0 +1,216 @@
+// Annotated lock wrappers for clang -Wthread-safety.
+//
+// Thin, zero-overhead wrappers over std::mutex / std::shared_mutex /
+// std::condition_variable carrying the ZR_* capability annotations from
+// util/thread_annotations.h, plus scoped RAII guards (MutexLock,
+// ReaderMutexLock) the analysis understands. Everything in src/ locks
+// through these — the grep gate in CI forbids raw std::mutex /
+// std::shared_mutex outside util/ — so the clang legs prove at compile
+// time that every ZR_GUARDED_BY member is only touched under its lock.
+//
+// Two deliberate design points:
+//
+//   * CondVar::Wait takes the Mutex explicitly and there is NO predicate
+//     overload. Predicate lambdas passed into std::condition_variable::wait
+//     are analyzed as unannotated functions, so guarded reads inside them
+//     would need warnings suppressed; explicit `while (!pred) cv.Wait(mu);`
+//     loops keep the analysis exact.
+//
+//   * MutexLock supports Unlock()/Relock() because the WAL group-commit
+//     leader and the durable-service insert path drop the lock mid-scope by
+//     design; the annotations track the capability through both.
+//
+// `Quiescence` is a capability with no runtime state: zerber::IndexServer
+// tags its quiescent-only APIs (acl mutation, GetList, Restore/Replay)
+// ZR_REQUIRES(quiescence), and callers must hold a QuiescenceLock — an
+// explicit, compiler-checked acknowledgement that they own exclusivity by
+// protocol (single-threaded setup, recovery before serving, a held
+// rotation gate). Misuse fails to compile under clang instead of racing
+// under load.
+
+#ifndef ZERBERR_UTIL_MUTEX_H_
+#define ZERBERR_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+namespace zr {
+
+/// Exclusive mutex (annotated std::mutex).
+class ZR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ZR_ACQUIRE() { mu_.lock(); }
+  void Unlock() ZR_RELEASE() { mu_.unlock(); }
+  bool TryLock() ZR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Injects the capability into the analysis without locking; only for
+  /// protocols the analysis cannot see. Document every use.
+  void AssertHeld() const ZR_ASSERT_CAPABILITY(this) {}
+
+  /// The wrapped mutex, for CondVar's adopt/release dance only.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Reader/writer mutex (annotated std::shared_mutex).
+class ZR_CAPABILITY("mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ZR_ACQUIRE() { mu_.lock(); }
+  void Unlock() ZR_RELEASE() { mu_.unlock(); }
+  void LockShared() ZR_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() ZR_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Condition variable bound to Mutex. Wait releases and reacquires the
+/// caller's lock; use an explicit `while (!condition) cv.Wait(mu);` loop
+/// (no predicate overload — see the file comment).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) ZR_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // caller still owns the re-acquired mutex
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Scoped exclusive lock over Mutex, with mid-scope Unlock/Relock for the
+/// drop-the-lock-around-IO pattern.
+class ZR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ZR_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+
+  ~MutexLock() ZR_RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() ZR_RELEASE() {
+    held_ = false;
+    mu_.Unlock();
+  }
+
+  void Relock() ZR_ACQUIRE() {
+    mu_.Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// Scoped exclusive (writer) lock over SharedMutex.
+class ZR_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ZR_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+
+  ~WriterMutexLock() ZR_RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+  void Unlock() ZR_RELEASE() {
+    held_ = false;
+    mu_.Unlock();
+  }
+
+ private:
+  SharedMutex& mu_;
+  bool held_ = true;
+};
+
+/// Scoped shared (reader) lock over SharedMutex, with early Unlock for the
+/// hold-only-while-copying pattern.
+class ZR_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ZR_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+
+  ~ReaderMutexLock() ZR_RELEASE() {
+    if (held_) mu_.UnlockShared();
+  }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+  void Unlock() ZR_RELEASE() {
+    held_ = false;
+    mu_.UnlockShared();
+  }
+
+ private:
+  SharedMutex& mu_;
+  bool held_ = true;
+};
+
+/// A capability with no runtime state: "this object is externally
+/// quiesced — no concurrent operations are in flight". Acquire/Release
+/// compile to nothing; the value is that quiescent-only APIs annotated
+/// ZR_REQUIRES(quiescence) cannot be called under clang without a
+/// QuiescenceLock at the call site, turning a comment-only contract into a
+/// compile error.
+class ZR_CAPABILITY("quiescence") Quiescence {
+ public:
+  Quiescence() = default;
+  Quiescence(const Quiescence&) = delete;
+  Quiescence& operator=(const Quiescence&) = delete;
+
+  void Acquire() ZR_ACQUIRE() {}
+  void Release() ZR_RELEASE() {}
+
+  /// For code paths that own quiescence structurally (e.g. a replay loop
+  /// on a partition whose gate is held exclusively). Document every use.
+  void AssertHeld() const ZR_ASSERT_CAPABILITY(this) {}
+};
+
+/// Scoped claim of a Quiescence capability. Constructing one is the
+/// caller's signed statement that nothing else touches the object for the
+/// guard's lifetime.
+class ZR_SCOPED_CAPABILITY QuiescenceLock {
+ public:
+  explicit QuiescenceLock(Quiescence& q) ZR_ACQUIRE(q) : q_(q) { q_.Acquire(); }
+  ~QuiescenceLock() ZR_RELEASE() { q_.Release(); }
+
+  QuiescenceLock(const QuiescenceLock&) = delete;
+  QuiescenceLock& operator=(const QuiescenceLock&) = delete;
+
+ private:
+  Quiescence& q_;
+};
+
+}  // namespace zr
+
+#endif  // ZERBERR_UTIL_MUTEX_H_

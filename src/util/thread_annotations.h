@@ -1,0 +1,91 @@
+// Clang thread-safety-analysis attribute macros (no-ops elsewhere).
+//
+// These turn the repo's locking discipline — which TSan can only check on
+// the schedules it happens to run — into a compile-time property: the clang
+// CI legs build with -Wthread-safety -Werror, so an unguarded access to a
+// ZR_GUARDED_BY member, a call to a ZR_REQUIRES function without its
+// capability, or an unbalanced acquire/release fails the build. GCC and
+// other compilers see empty macros, so the annotations cost nothing
+// outside clang.
+//
+// The negative-compile suite (tests/compile_fail/, run as ctest targets
+// that skip on non-clang toolchains) proves the forbidden patterns really
+// do fail to build.
+//
+// Capabilities here are not only mutexes: util/mutex.h defines a
+// `Quiescence` capability with no runtime state at all, used to make the
+// "operator surface requires external quiescence" contracts of
+// zerber::IndexServer enforceable by the compiler.
+
+#ifndef ZERBERR_UTIL_THREAD_ANNOTATIONS_H_
+#define ZERBERR_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define ZR_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define ZR_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+/// Marks a class as a capability (lock-like object). The string is the
+/// capability kind used in diagnostics ("mutex", "quiescence", ...).
+#define ZR_CAPABILITY(x) ZR_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability.
+#define ZR_SCOPED_CAPABILITY ZR_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define ZR_GUARDED_BY(x) ZR_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define ZR_PT_GUARDED_BY(x) ZR_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Function requires the capability held exclusively on entry.
+#define ZR_REQUIRES(...) \
+  ZR_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Function requires the capability held at least shared on entry.
+#define ZR_REQUIRES_SHARED(...) \
+  ZR_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability exclusively (and did not hold it).
+#define ZR_ACQUIRE(...) \
+  ZR_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// Function acquires the capability shared.
+#define ZR_ACQUIRE_SHARED(...) \
+  ZR_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (exclusive or shared).
+#define ZR_RELEASE(...) \
+  ZR_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// Function releases a shared hold of the capability.
+#define ZR_RELEASE_SHARED(...) \
+  ZR_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+/// Function tries to acquire the capability; first argument is the return
+/// value meaning success.
+#define ZR_TRY_ACQUIRE(...) \
+  ZR_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called while holding the capability (deadlock
+/// prevention for non-reentrant locks).
+#define ZR_EXCLUDES(...) \
+  ZR_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Assertion that the calling thread already holds the capability; injects
+/// it into the analysis state (the escape hatch for protocols the analysis
+/// cannot see, e.g. a fail-stopped partition — document every use).
+#define ZR_ASSERT_CAPABILITY(x) \
+  ZR_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// Accessor returning a reference to the given capability (lets callers
+/// lock a private member through the accessor).
+#define ZR_RETURN_CAPABILITY(x) ZR_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Turns the analysis off for one function. Last resort; document why.
+#define ZR_NO_THREAD_SAFETY_ANALYSIS \
+  ZR_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // ZERBERR_UTIL_THREAD_ANNOTATIONS_H_

@@ -52,7 +52,7 @@ StatusOr<SealedSnippet> SealSnippet(std::string_view snippet_text,
                                    snippet_text));
   SealedSnippet snippet;
   snippet.group = group;
-  snippet.sealed = std::move(sealed);
+  snippet.sealed = SealedBytes::Adopt(std::move(sealed));
   return snippet;
 }
 

@@ -20,13 +20,14 @@
 #include "util/status.h"
 #include "util/statusor.h"
 #include "zerber/acl.h"
+#include "zerber/posting_element.h"
 
 namespace zr::zerber {
 
 /// A sealed snippet as stored server-side.
 struct SealedSnippet {
   crypto::GroupId group = 0;
-  std::string sealed;
+  SealedBytes sealed;
 
   /// Bytes this snippet occupies on the wire.
   size_t WireSize() const;

@@ -89,14 +89,18 @@ StatusOr<ParsedSnapshot> ParseSnapshotBody(std::string_view snapshot) {
 }
 
 Status ApplySnapshot(IndexServer* server, ParsedSnapshot parsed) {
+  // Restore mutates lists and ACL wholesale; the persistence API is
+  // quiescent-only by contract, so claim the capability for the caller.
+  IndexServer& target = *server;
+  QuiescenceLock quiesced(target.quiescence());
   for (size_t l = 0; l < parsed.lists.size(); ++l) {
-    ZR_RETURN_IF_ERROR(server->RestoreElements(static_cast<MergedListId>(l),
-                                               std::move(parsed.lists[l])));
+    ZR_RETURN_IF_ERROR(target.RestoreElements(static_cast<MergedListId>(l),
+                                              std::move(parsed.lists[l])));
   }
   for (auto& [group, users] : parsed.groups) {
-    ZR_RETURN_IF_ERROR(server->acl().AddGroup(group));
+    ZR_RETURN_IF_ERROR(target.acl().AddGroup(group));
     for (UserId user : users) {
-      ZR_RETURN_IF_ERROR(server->acl().GrantMembership(user, group));
+      ZR_RETURN_IF_ERROR(target.acl().GrantMembership(user, group));
     }
   }
   return Status::OK();
@@ -105,6 +109,10 @@ Status ApplySnapshot(IndexServer* server, ParsedSnapshot parsed) {
 }  // namespace
 
 std::string SerializeIndexSnapshot(const IndexServer& server) {
+  // Snapshotting walks raw list pointers (GetList) and the ACL; valid only
+  // with the server externally quiesced (rotation holds the partition gate
+  // exclusively, offline savers are single-threaded by construction).
+  QuiescenceLock quiesced(server.quiescence());
   std::string out;
   out.append(kMagic, kMagicSize);
   out.push_back(static_cast<char>(server.placement()));
@@ -153,8 +161,11 @@ Status RestoreSnapshotInto(IndexServer* server, std::string_view snapshot) {
         "snapshot has " + std::to_string(parsed.lists.size()) +
         " lists, server has " + std::to_string(server->NumLists()));
   }
-  if (server->TotalElements() != 0 || server->acl().NumGroups() != 0) {
-    return Status::FailedPrecondition("server is not empty");
+  {
+    QuiescenceLock quiesced(server->quiescence());
+    if (server->TotalElements() != 0 || server->acl().NumGroups() != 0) {
+      return Status::FailedPrecondition("server is not empty");
+    }
   }
   return ApplySnapshot(server, std::move(parsed));
 }

@@ -40,7 +40,7 @@ StatusOr<EncryptedPostingElement> SealPostingElement(
   EncryptedPostingElement element;
   element.group = group;
   element.trs = trs;
-  element.sealed = std::move(sealed);
+  element.sealed = SealedBytes::Adopt(std::move(sealed));
   return element;
 }
 
@@ -71,7 +71,7 @@ StatusOr<EncryptedPostingElement> ParseElement(std::string_view* data) {
   ZR_RETURN_IF_ERROR(reader.GetDouble(&element.trs));
   std::string_view sealed;
   ZR_RETURN_IF_ERROR(reader.GetLengthPrefixed(&sealed));
-  element.sealed.assign(sealed);
+  element.sealed = SealedBytes::Adopt(sealed);
   *data = data->substr(data->size() - reader.remaining());
   return element;
 }

@@ -34,6 +34,47 @@ struct PostingPayload {
   friend bool operator==(const PostingPayload&, const PostingPayload&) = default;
 };
 
+/// Ciphertext produced by crypto::Seal, as a distinct type.
+///
+/// The confidential boundary of the system: anything crossing to the
+/// untrusted server — frame encoders in net/, WAL appends in store/ — must
+/// be sealed. Keeping sealed bytes in their own type makes that boundary
+/// checkable: a raw std::string (potential plaintext) cannot be assigned
+/// into a sealed slot; it must come out of crypto::Seal or be explicitly
+/// adopted at a deserialization boundary. tools/check_sealed.py audits both
+/// the Adopt call sites and the raw flows this type cannot see.
+class SealedBytes {
+ public:
+  SealedBytes() = default;
+
+  /// Wraps bytes that are already ciphertext: crypto::Seal output, or bytes
+  /// read back from a frame/WAL that themselves came from Seal. Every call
+  /// site is a trust assertion; tools/check_sealed.py allowlists the files
+  /// that may make it.
+  static SealedBytes Adopt(std::string bytes) {
+    return SealedBytes(std::move(bytes));
+  }
+  static SealedBytes Adopt(std::string_view bytes) {
+    return SealedBytes(std::string(bytes));
+  }
+
+  /// Reading sealed bytes is unrestricted — they are ciphertext.
+  operator std::string_view() const { return bytes_; }
+  std::string_view view() const { return bytes_; }
+  size_t size() const { return bytes_.size(); }
+  bool empty() const { return bytes_.empty(); }
+
+  /// Mutable byte access (tamper-injection tests flip ciphertext bits).
+  char& operator[](size_t i) { return bytes_[i]; }
+  char operator[](size_t i) const { return bytes_[i]; }
+
+  friend bool operator==(const SealedBytes&, const SealedBytes&) = default;
+
+ private:
+  explicit SealedBytes(std::string bytes) : bytes_(std::move(bytes)) {}
+  std::string bytes_;
+};
+
 /// A posting element as stored on the (untrusted) index server.
 struct EncryptedPostingElement {
   /// Owning collaboration group (server-visible; drives ACL filtering).
@@ -49,7 +90,7 @@ struct EncryptedPostingElement {
   double trs = 0.0;
 
   /// Seal(enc_key, mac_key, nonce, serialized PostingPayload).
-  std::string sealed;
+  SealedBytes sealed;
 
   /// Serialized wire size in bytes.
   size_t WireSize() const;

@@ -33,10 +33,10 @@ ShardedIndexService::ShardedIndexService(size_t num_lists,
 
 ShardedIndexService::~ShardedIndexService() {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     stopping_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -44,8 +44,8 @@ void ShardedIndexService::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(queue_mu_);
+      while (!stopping_ && queue_.empty()) queue_cv_.Wait(queue_mu_);
       if (queue_.empty()) return;  // stopping, queue drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -56,10 +56,10 @@ void ShardedIndexService::WorkerLoop() {
 
 void ShardedIndexService::Enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     queue_.push_back(std::move(task));
   }
-  queue_cv_.notify_one();
+  queue_cv_.NotifyOne();
 }
 
 Status ShardedIndexService::CheckList(MergedListId list) const {
@@ -125,7 +125,7 @@ StatusOr<net::MultiFetchResponse> ShardedIndexService::MultiFetch(
     if (!by_shard[s].empty()) active.push_back(s);
   }
 
-  std::mutex error_mu;
+  Mutex error_mu;
   size_t first_error_index = static_cast<size_t>(-1);
   Status first_error = Status::OK();
 
@@ -136,7 +136,7 @@ StatusOr<net::MultiFetchResponse> ShardedIndexService::MultiFetch(
                                        static_cast<size_t>(f.offset),
                                        static_cast<size_t>(f.count));
       if (!fetched.ok()) {
-        std::lock_guard<std::mutex> lock(error_mu);
+        MutexLock lock(error_mu);
         if (idx < first_error_index) {
           first_error_index = idx;
           first_error = fetched.status();
@@ -154,8 +154,8 @@ StatusOr<net::MultiFetchResponse> ShardedIndexService::MultiFetch(
   } else {
     // Fan out: every shard batch but the first goes to the pool; the
     // calling thread serves the first itself, then waits for the rest.
-    std::mutex done_mu;
-    std::condition_variable done_cv;
+    Mutex done_mu;
+    CondVar done_cv;
     size_t remaining = active.size() - 1;
     for (size_t i = 1; i < active.size(); ++i) {
       size_t s = active[i];
@@ -164,14 +164,14 @@ StatusOr<net::MultiFetchResponse> ShardedIndexService::MultiFetch(
         // Notify *while holding the lock*: done_mu/done_cv live on the
         // caller's stack, and the caller may destroy them as soon as it
         // observes remaining == 0 — which it cannot do before this unlock.
-        std::lock_guard<std::mutex> lock(done_mu);
+        MutexLock lock(done_mu);
         --remaining;
-        done_cv.notify_one();
+        done_cv.NotifyOne();
       });
     }
     run_shard(active[0]);
-    std::unique_lock<std::mutex> lock(done_mu);
-    done_cv.wait(lock, [&] { return remaining == 0; });
+    MutexLock lock(done_mu);
+    while (remaining != 0) done_cv.Wait(done_mu);
   }
 
   if (first_error_index != static_cast<size_t>(-1)) return first_error;
@@ -191,25 +191,35 @@ StatusOr<net::DeleteResponse> ShardedIndexService::Delete(
   return net::DeleteResponse{};
 }
 
+// The ACL broadcasts carry their own "Requires quiescence" contract (the
+// whole service must be idle, not just one shard), so each claims the
+// per-shard quiescence capability it is forwarding under.
+
 Status ShardedIndexService::AddGroup(crypto::GroupId group) {
-  for (auto& shard : shards_) {
-    ZR_RETURN_IF_ERROR(shard->acl().AddGroup(group));
+  for (auto& shard_ptr : shards_) {
+    IndexServer& shard = *shard_ptr;
+    QuiescenceLock quiesced(shard.quiescence());
+    ZR_RETURN_IF_ERROR(shard.acl().AddGroup(group));
   }
   return Status::OK();
 }
 
 Status ShardedIndexService::GrantMembership(UserId user,
                                             crypto::GroupId group) {
-  for (auto& shard : shards_) {
-    ZR_RETURN_IF_ERROR(shard->acl().GrantMembership(user, group));
+  for (auto& shard_ptr : shards_) {
+    IndexServer& shard = *shard_ptr;
+    QuiescenceLock quiesced(shard.quiescence());
+    ZR_RETURN_IF_ERROR(shard.acl().GrantMembership(user, group));
   }
   return Status::OK();
 }
 
 Status ShardedIndexService::RevokeMembership(UserId user,
                                              crypto::GroupId group) {
-  for (auto& shard : shards_) {
-    ZR_RETURN_IF_ERROR(shard->acl().RevokeMembership(user, group));
+  for (auto& shard_ptr : shards_) {
+    IndexServer& shard = *shard_ptr;
+    QuiescenceLock quiesced(shard.quiescence());
+    ZR_RETURN_IF_ERROR(shard.acl().RevokeMembership(user, group));
   }
   return Status::OK();
 }
@@ -251,7 +261,11 @@ void ShardedIndexService::ResetStats() {
 StatusOr<const MergedList*> ShardedIndexService::GetList(
     MergedListId list) const {
   ZR_RETURN_IF_ERROR(CheckList(list));
-  return shards_[ShardOfList(list)]->GetList(LocalListId(list));
+  // Quiescent-only by contract (see the declaration); claim the owning
+  // shard's capability on the caller's behalf.
+  const IndexServer& shard = *shards_[ShardOfList(list)];
+  QuiescenceLock quiesced(shard.quiescence());
+  return shard.GetList(LocalListId(list));
 }
 
 }  // namespace zr::zerber

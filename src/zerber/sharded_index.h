@@ -25,18 +25,18 @@
 #ifndef ZERBERR_ZERBER_SHARDED_INDEX_H_
 #define ZERBERR_ZERBER_SHARDED_INDEX_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "net/service.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/statusor.h"
+#include "util/thread_annotations.h"
 #include "zerber/routing.h"
 #include "zerber/zerber_index.h"
 
@@ -140,10 +140,10 @@ class ShardedIndexService : public net::ZerberService {
   std::vector<std::unique_ptr<IndexServer>> shards_;
 
   std::vector<std::thread> workers_;
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  Mutex queue_mu_;
+  CondVar queue_cv_;
+  std::deque<std::function<void()>> queue_ ZR_GUARDED_BY(queue_mu_);
+  bool stopping_ ZR_GUARDED_BY(queue_mu_) = false;
 };
 
 }  // namespace zr::zerber

@@ -1,7 +1,6 @@
 #include "zerber/zerber_index.h"
 
 #include <chrono>
-#include <mutex>
 
 namespace zr::zerber {
 
@@ -65,7 +64,7 @@ Status IndexServer::RestoreElements(
     return Status::OutOfRange("merged list " + std::to_string(list) +
                               " does not exist");
   }
-  std::unique_lock lock(stripe_locks_[StripeOf(list)]);
+  WriterMutexLock lock(stripe_locks_[StripeOf(list)]);
   for (auto& element : elements) {
     NoteRestoredHandle(element.handle);
     lists_[list].AppendRestored(std::move(element));
@@ -81,7 +80,7 @@ Status IndexServer::ReplayInsert(MergedListId list,
   }
   NoteRestoredHandle(element.handle);
   size_t stripe = StripeOf(list);
-  std::unique_lock lock(stripe_locks_[stripe]);
+  WriterMutexLock lock(stripe_locks_[stripe]);
   lists_[list].Insert(std::move(element), &stripe_rngs_[stripe]);
   return Status::OK();
 }
@@ -91,7 +90,7 @@ Status IndexServer::ReplayDelete(MergedListId list, uint64_t handle) {
     return Status::OutOfRange("merged list " + std::to_string(list) +
                               " does not exist");
   }
-  std::unique_lock lock(stripe_locks_[StripeOf(list)]);
+  WriterMutexLock lock(stripe_locks_[StripeOf(list)]);
   if (!lists_[list].EraseByHandle(handle)) {
     return Status::NotFound("no element with handle " +
                             std::to_string(handle) + " to replay-delete");
@@ -117,7 +116,7 @@ StatusOr<uint64_t> IndexServer::Insert(UserId user, MergedListId list,
   element.handle = AssignHandle();
   uint64_t handle = element.handle;
   size_t stripe = StripeOf(list);
-  std::unique_lock lock(stripe_locks_[stripe]);
+  WriterMutexLock lock(stripe_locks_[stripe]);
   lists_[list].Insert(std::move(element), &stripe_rngs_[stripe]);
   return handle;
 }
@@ -129,7 +128,7 @@ Status IndexServer::Delete(UserId user, MergedListId list, uint64_t handle) {
     return Status::OutOfRange("merged list " + std::to_string(list) +
                               " does not exist");
   }
-  std::unique_lock lock(stripe_locks_[StripeOf(list)]);
+  WriterMutexLock lock(stripe_locks_[StripeOf(list)]);
   // Single scan: locate once, check the ACL on the element in place, then
   // erase by position (the stripe writer lock pins the index).
   size_t index = lists_[list].IndexOfHandle(handle);
@@ -156,7 +155,7 @@ StatusOr<FetchResult> IndexServer::Fetch(UserId user, MergedListId list,
   }
   FetchResult result;
   {
-    std::shared_lock lock(stripe_locks_[StripeOf(list)]);
+    ReaderMutexLock lock(stripe_locks_[StripeOf(list)]);
     const MergedList& merged = lists_[list];
 
     // Size of the accessible subsequence, from per-group bookkeeping —
@@ -193,7 +192,7 @@ uint64_t IndexServer::TotalElements() const {
   // One lock acquisition per stripe, not per list.
   for (size_t stripe = 0; stripe < kLockStripes && stripe < lists_.size();
        ++stripe) {
-    std::shared_lock lock(stripe_locks_[stripe]);
+    ReaderMutexLock lock(stripe_locks_[stripe]);
     for (size_t i = stripe; i < lists_.size(); i += kLockStripes) {
       total += lists_[i].size();
     }
@@ -205,7 +204,7 @@ uint64_t IndexServer::TotalWireSize() const {
   uint64_t total = 0;
   for (size_t stripe = 0; stripe < kLockStripes && stripe < lists_.size();
        ++stripe) {
-    std::shared_lock lock(stripe_locks_[stripe]);
+    ReaderMutexLock lock(stripe_locks_[stripe]);
     for (size_t i = stripe; i < lists_.size(); i += kLockStripes) {
       total += lists_[i].TotalWireSize();
     }

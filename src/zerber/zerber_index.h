@@ -31,12 +31,13 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <shared_mutex>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/statusor.h"
+#include "util/thread_annotations.h"
 #include "zerber/acl.h"
 #include "zerber/merge_planner.h"
 #include "zerber/merged_list.h"
@@ -109,10 +110,22 @@ class IndexServer {
   IndexServer(size_t num_lists, Placement placement, uint64_t seed = 1,
               HandleSpace handles = {});
 
-  /// Access-control registry (server operator API). Mutations require
-  /// quiescence — provision groups/memberships before serving traffic.
-  AccessControl& acl() { return acl_; }
-  const AccessControl& acl() const { return acl_; }
+  /// The external-quiescence capability of this server. Quiescent-only
+  /// APIs below are ZR_REQUIRES(quiescence()): under clang, calling them
+  /// without holding a QuiescenceLock on this capability fails to compile.
+  /// Acquiring it is the caller's statement — checked by protocol, not at
+  /// runtime — that no request-path call is in flight for the guard's
+  /// lifetime (provisioning before serving, recovery replay, snapshot
+  /// save/restore, post-shutdown inspection).
+  Quiescence& quiescence() const ZR_RETURN_CAPABILITY(quiescence_) {
+    return quiescence_;
+  }
+
+  /// Access-control registry (server operator API). Requires quiescence —
+  /// provision groups/memberships before serving traffic, and inspect the
+  /// registry only once traffic has drained.
+  AccessControl& acl() ZR_REQUIRES(quiescence_) { return acl_; }
+  const AccessControl& acl() const ZR_REQUIRES(quiescence_) { return acl_; }
 
   /// Inserts a sealed element into a merged list on behalf of `user`.
   /// PermissionDenied unless the user is a member of the element's group;
@@ -149,7 +162,8 @@ class IndexServer {
   /// can read everything it stores; paper Section 6.2). The returned pointer
   /// is only stable at quiescence: concurrent writers may reallocate the
   /// list under it.
-  StatusOr<const MergedList*> GetList(MergedListId list) const;
+  StatusOr<const MergedList*> GetList(MergedListId list) const
+      ZR_REQUIRES(quiescence_);
 
   /// Element placement discipline of this server's lists.
   Placement placement() const { return placement_; }
@@ -161,7 +175,8 @@ class IndexServer {
   /// snapshot restore (zerber/persistence.h); OutOfRange on a bad list id.
   /// Requires quiescence.
   Status RestoreElements(MergedListId list,
-                         std::vector<EncryptedPostingElement> elements);
+                         std::vector<EncryptedPostingElement> elements)
+      ZR_REQUIRES(quiescence_);
 
   /// Re-applies a logged insert during WAL replay (store/wal.h): places the
   /// element per the placement discipline but keeps its logged handle and
@@ -170,13 +185,15 @@ class IndexServer {
   /// kRandomPlacement a fresh position is drawn — contents and handles are
   /// replay-stable, the privacy shuffle is not (and need not be).
   /// OutOfRange on a bad list id. Requires quiescence.
-  Status ReplayInsert(MergedListId list, EncryptedPostingElement element);
+  Status ReplayInsert(MergedListId list, EncryptedPostingElement element)
+      ZR_REQUIRES(quiescence_);
 
   /// Re-applies a logged delete during WAL replay: removes the element with
   /// the given handle, skipping ACL checks and stats. NotFound if no such
   /// handle (a snapshot/WAL pairing bug — replay never legitimately misses).
   /// Requires quiescence.
-  Status ReplayDelete(MergedListId list, uint64_t handle);
+  Status ReplayDelete(MergedListId list, uint64_t handle)
+      ZR_REQUIRES(quiescence_);
 
   /// Snapshot of the counters (consistent enough for the harness: each
   /// counter is read atomically, the set is not a single atomic cut).
@@ -214,16 +231,24 @@ class IndexServer {
   /// inserts never collide with it.
   void NoteRestoredHandle(uint64_t handle);
 
+  /// lists_[i] and stripe_rngs_[StripeOf(i)] are guarded by
+  /// stripe_locks_[StripeOf(i)] — an indexed relation ZR_GUARDED_BY cannot
+  /// express (it names one capability, not a family), so the discipline is
+  /// enforced here by construction: every access in zerber_index.cc goes
+  /// through a Writer/ReaderMutexLock on the owning stripe, and TSan covers
+  /// the residue.
   std::vector<MergedList> lists_;
   AccessControl acl_;
   Placement placement_;
   HandleSpace handles_;
-  /// One Rng per stripe, guarded by that stripe's writer lock (random
-  /// placement draws positions while holding it).
+  /// One Rng per stripe (random placement draws positions while holding
+  /// that stripe's writer lock).
   std::vector<Rng> stripe_rngs_;
-  mutable std::array<std::shared_mutex, kLockStripes> stripe_locks_;
+  mutable std::array<SharedMutex, kLockStripes> stripe_locks_;
   AtomicServerStats stats_;
   std::atomic<uint64_t> next_seq_{1};
+  /// No runtime state; see quiescence().
+  mutable Quiescence quiescence_;
 };
 
 }  // namespace zr::zerber

@@ -159,7 +159,9 @@ TEST_F(ClusterIntegrationTest, KilledShardRejoinsIdenticalToANeverCrashedRun) {
     zerber::MergedListId list = rng.Uniform(static_cast<uint32_t>(num_lists));
     if (rng.Uniform(10) < 7 || live.empty()) {
       auto sealed = zerber::SealPostingElement(
-          zerber::PostingPayload{/*term=*/1, /*doc=*/5000 + op, 0.5},
+          zerber::PostingPayload{/*term=*/1,
+                                 /*doc=*/static_cast<text::DocId>(5000 + op),
+                                 0.5},
           /*group=*/1, /*trs=*/rng.NextDouble(), cluster_->keys.get());
       ASSERT_TRUE(sealed.ok());
       net::InsertRequest request;

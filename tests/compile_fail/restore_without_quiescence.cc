@@ -1,0 +1,26 @@
+// Negative-compile: IndexServer's quiescent-only surface (RestoreElements,
+// acl(), GetList, Replay*) must not be callable without claiming the
+// server's quiescence capability. The capability has no runtime state —
+// QuiescenceLock compiles to nothing — but clang's -Wthread-safety makes
+// forgetting it a build break instead of a data race.
+//
+// requires-clang
+// expect-error: requires holding
+
+#include <utility>
+#include <vector>
+
+#include "zerber/zerber_index.h"
+
+int main() {
+  zr::zerber::IndexServer server(1, zr::zerber::Placement::kTrsSorted, 1);
+  std::vector<zr::zerber::EncryptedPostingElement> elements;
+#ifndef ZR_SANITY_ONLY
+  // BAD: restore into a server nothing proves is quiescent.
+  (void)server.RestoreElements(0, std::move(elements));
+#else
+  zr::QuiescenceLock quiesced(server.quiescence());
+  (void)server.RestoreElements(0, std::move(elements));
+#endif
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Negative-compile: writing a ZR_GUARDED_BY member without holding its
+// mutex must be rejected by clang's -Wthread-safety (fatal under -Werror).
+// This is the core invariant the util/mutex.h wrappers exist to enforce;
+// if this snippet ever compiles, the annotation gate is dead.
+//
+// requires-clang
+// expect-error: requires holding
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct Counter {
+  zr::Mutex mu;
+  int value ZR_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+#ifndef ZR_SANITY_ONLY
+  c.value = 7;  // BAD: no MutexLock held.
+#else
+  zr::MutexLock lock(c.mu);
+  c.value = 7;
+#endif
+  return 0;
+}

@@ -73,8 +73,11 @@ TEST(PipelineTest, RandomPlacementAblationBuilds) {
 TEST(PipelineTest, UserBelongsToEveryCorpusGroup) {
   auto p = BuildPipeline(FastOptions());
   ASSERT_TRUE(p.ok());
+  zerber::IndexServer& server = *(*p)->server;
+  // Single-threaded inspection of a built pipeline: quiescent.
+  QuiescenceLock quiesced(server.quiescence());
   for (const auto& doc : (*p)->corpus.documents()) {
-    EXPECT_TRUE((*p)->server->acl().IsMember((*p)->user, doc.group()));
+    EXPECT_TRUE(server.acl().IsMember((*p)->user, doc.group()));
   }
 }
 

@@ -64,6 +64,8 @@ TEST(FailureInjectionTest, ServerRejectsForeignGroupInsertsUnderChurn) {
   ASSERT_TRUE(keys.CreateGroup(1).ok());
   ASSERT_TRUE(keys.CreateGroup(2).ok());
   zerber::IndexServer server(2, zerber::Placement::kTrsSorted, 3);
+  // Single-threaded test: the server is trivially quiescent throughout.
+  QuiescenceLock quiesced(server.quiescence());
   ASSERT_TRUE(server.acl().AddGroup(1).ok());
   ASSERT_TRUE(server.acl().AddGroup(2).ok());
   ASSERT_TRUE(server.acl().GrantMembership(1, 1).ok());
@@ -136,7 +138,10 @@ TEST(FailureInjectionTest, CorruptedServerElementSurfacesAsError) {
   // Maliciously re-insert a tampered copy of a stored element via a user
   // that *is* a member (the server cannot detect tampering — it has no
   // keys — but the client must).
-  auto list = p.server->GetList(0);
+  zerber::IndexServer& server = *p.server;
+  // Single-threaded inspection of a built pipeline: quiescent.
+  QuiescenceLock quiesced(server.quiescence());
+  auto list = server.GetList(0);
   ASSERT_TRUE(list.ok());
   ASSERT_GT((*list)->size(), 0u);
   zerber::EncryptedPostingElement tampered = (*list)->elements()[0];

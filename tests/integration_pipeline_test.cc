@@ -58,8 +58,11 @@ TEST_F(PipelineIntegrationTest, ServerSideTrsValuesAreGloballyUniform) {
   // Section 6.2: after transformation, TRS values across the whole index
   // carry no term-specific structure; the pooled distribution is ~U(0,1).
   std::vector<double> all_trs;
-  for (size_t l = 0; l < pipeline_->server->NumLists(); ++l) {
-    auto list = pipeline_->server->GetList(static_cast<uint32_t>(l));
+  zerber::IndexServer& server = *pipeline_->server;
+  // Single-threaded inspection of a built pipeline: quiescent.
+  QuiescenceLock quiesced(server.quiescence());
+  for (size_t l = 0; l < server.NumLists(); ++l) {
+    auto list = server.GetList(static_cast<uint32_t>(l));
     ASSERT_TRUE(list.ok());
     for (const auto& e : (*list)->elements()) all_trs.push_back(e.trs);
   }

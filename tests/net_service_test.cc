@@ -18,6 +18,8 @@ class IndexServiceTest : public ::testing::Test {
         service_(&server_) {
     EXPECT_TRUE(keys_.CreateGroup(1).ok());
     EXPECT_TRUE(keys_.CreateGroup(2).ok());
+    // Fixture setup before any traffic: quiescent by construction.
+    QuiescenceLock quiesced(server_.quiescence());
     EXPECT_TRUE(server_.acl().AddGroup(1).ok());
     EXPECT_TRUE(server_.acl().AddGroup(2).ok());
     EXPECT_TRUE(server_.acl().GrantMembership(kUser, 1).ok());

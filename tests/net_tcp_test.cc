@@ -115,8 +115,12 @@ class TcpTest : public ::testing::Test {
         server_(/*num_lists=*/2, zerber::Placement::kTrsSorted, 5),
         service_(&server_) {
     EXPECT_TRUE(keys_.CreateGroup(1).ok());
-    EXPECT_TRUE(server_.acl().AddGroup(1).ok());
-    EXPECT_TRUE(server_.acl().GrantMembership(kUser, 1).ok());
+    {
+      // ACL provisioning before the server starts: quiescent by construction.
+      QuiescenceLock quiesced(server_.quiescence());
+      EXPECT_TRUE(server_.acl().AddGroup(1).ok());
+      EXPECT_TRUE(server_.acl().GrantMembership(kUser, 1).ok());
+    }
     auto started = TcpServer::Start(&service_);
     EXPECT_TRUE(started.ok()) << started.status();
     tcp_server_ = std::move(started).value();

@@ -21,6 +21,8 @@ class TransportTest : public ::testing::Test {
         direct_(&service_, &direct_channel_),
         loopback_(&service_, &loopback_channel_) {
     EXPECT_TRUE(keys_.CreateGroup(1).ok());
+    // Fixture setup before any traffic: quiescent by construction.
+    QuiescenceLock quiesced(server_.quiescence());
     EXPECT_TRUE(server_.acl().AddGroup(1).ok());
     EXPECT_TRUE(server_.acl().GrantMembership(kUser, 1).ok());
   }

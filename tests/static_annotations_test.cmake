@@ -1,0 +1,79 @@
+# Negative-compile harness for the static analysis gates.
+#
+# Invoked once per snippet by ctest (wired in CMakeLists.txt):
+#
+#   cmake -DCOMPILER=<cxx> -DCOMPILER_ID=<id> -DSOURCE=<snippet.cc>
+#         -DINCLUDE_DIR=<repo>/src -P tests/static_annotations_test.cmake
+#
+# Each snippet under tests/compile_fail/ carries magic comments:
+#
+#   // requires-clang         the forbidden pattern is only diagnosable by
+#                             clang's -Wthread-safety; on other compilers the
+#                             script prints the skip marker matched by the
+#                             test's SKIP_REGULAR_EXPRESSION property.
+#   // expect-error: <text>   pass-2 diagnostics must contain <text>.
+#
+# Two passes per snippet:
+#
+#   1. sanity (-DZR_SANITY_ONLY): the snippet's corrected variant must
+#      COMPILE. This proves a pass-2 failure comes from the forbidden
+#      pattern, not from a broken include path or a stale API.
+#   2. fail (no define): the forbidden variant must NOT compile, and the
+#      diagnostics must contain the expect-error text.
+
+foreach(required COMPILER COMPILER_ID SOURCE INCLUDE_DIR)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR "missing -D${required}=... (see header comment)")
+  endif()
+endforeach()
+
+file(READ "${SOURCE}" snippet)
+
+string(FIND "${snippet}" "// requires-clang" requires_clang)
+if(requires_clang GREATER -1 AND NOT COMPILER_ID MATCHES "Clang")
+  message(STATUS "ZR_SKIP_COMPILE_FAIL_TEST: ${SOURCE} needs clang's "
+                 "-Wthread-safety; compiler is ${COMPILER_ID}")
+  return()
+endif()
+
+string(REGEX MATCH "// expect-error: ([^\n]+)" _ "${snippet}")
+if(NOT CMAKE_MATCH_1)
+  message(FATAL_ERROR "no '// expect-error: <text>' comment in ${SOURCE}")
+endif()
+string(STRIP "${CMAKE_MATCH_1}" expected)
+
+# Mirror the CI build type's warning posture so pass 2 fails the same way
+# a real build would.
+set(flags -std=c++20 -fsyntax-only -Wall -Wextra -Werror "-I${INCLUDE_DIR}")
+if(COMPILER_ID MATCHES "Clang")
+  list(APPEND flags -Wthread-safety)
+endif()
+
+execute_process(
+  COMMAND "${COMPILER}" ${flags} -DZR_SANITY_ONLY "${SOURCE}"
+  RESULT_VARIABLE sanity_result
+  OUTPUT_VARIABLE sanity_out
+  ERROR_VARIABLE sanity_err)
+if(NOT sanity_result EQUAL 0)
+  message(FATAL_ERROR "sanity variant of ${SOURCE} must compile; the "
+                      "harness (not the gate) is broken:\n${sanity_err}")
+endif()
+
+execute_process(
+  COMMAND "${COMPILER}" ${flags} "${SOURCE}"
+  RESULT_VARIABLE fail_result
+  OUTPUT_VARIABLE fail_out
+  ERROR_VARIABLE fail_err)
+if(fail_result EQUAL 0)
+  message(FATAL_ERROR "forbidden variant of ${SOURCE} compiled cleanly — "
+                      "the static gate it pins is no longer enforced")
+endif()
+
+string(FIND "${fail_err}" "${expected}" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "diagnostics for ${SOURCE} lack expected text "
+                      "'${expected}'; it failed for the wrong "
+                      "reason:\n${fail_err}")
+endif()
+
+message(STATUS "ok: ${SOURCE} rejected with the expected diagnostic")

@@ -57,6 +57,8 @@ struct Model {
 /// Asserts one recovered partition server matches the model exactly.
 void ExpectPartitionMatchesModel(zerber::IndexServer& server,
                                  const Model& model, const std::string& what) {
+  // Recovered partitions are inspected single-threaded: quiescent.
+  QuiescenceLock quiesced(server.quiescence());
   uint64_t model_elements = 0;
   for (size_t l = 0; l < server.NumLists(); ++l) {
     auto list = server.GetList(static_cast<uint32_t>(l));

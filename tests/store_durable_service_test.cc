@@ -57,9 +57,15 @@ class DurableServiceTest : public ::testing::Test {
                                                size_t num_lists) {
     std::vector<std::set<uint64_t>> alive(num_lists);
     for (size_t l = 0; l < num_lists; ++l) {
-      auto list = service.sharded()
-                      ? service.sharded()->GetList(static_cast<uint32_t>(l))
-                      : service.single()->GetList(static_cast<uint32_t>(l));
+      StatusOr<const zerber::MergedList*> list = Status::Internal("unset");
+      if (service.sharded()) {
+        list = service.sharded()->GetList(static_cast<uint32_t>(l));
+      } else {
+        zerber::IndexServer& server = *service.single();
+        // Single-threaded inspection between acked mutations: quiescent.
+        QuiescenceLock quiesced(server.quiescence());
+        list = server.GetList(static_cast<uint32_t>(l));
+      }
       EXPECT_TRUE(list.ok());
       for (const auto& element : (*list)->elements()) {
         alive[l].insert(element.handle);
@@ -116,9 +122,13 @@ TEST_F(DurableServiceTest, MutationsAndAclSurviveReopen) {
   EXPECT_EQ(AliveHandles(**reopened, 4), expected);
   zerber::IndexServer& server = (*reopened)->partition(0);
   EXPECT_EQ(server.TotalElements(), 11u);
-  EXPECT_TRUE(server.acl().IsMember(7, 1));
-  EXPECT_TRUE(server.acl().IsMember(7, 2));
-  EXPECT_FALSE(server.acl().IsMember(8, 2));  // revoked before the restart
+  {
+    // Recovered partition inspected single-threaded: quiescent.
+    QuiescenceLock quiesced(server.quiescence());
+    EXPECT_TRUE(server.acl().IsMember(7, 1));
+    EXPECT_TRUE(server.acl().IsMember(7, 2));
+    EXPECT_FALSE(server.acl().IsMember(8, 2));  // revoked before the restart
+  }
 
   // Fetch through the recovered service: user 8 sees nothing (revoked).
   net::QueryRequest fetch;
@@ -224,7 +234,12 @@ TEST_F(DurableServiceTest, FallbackToPreviousGenerationIsLossless) {
   ASSERT_TRUE(reopened.ok()) << reopened.status();
   EXPECT_EQ(AliveHandles(**reopened, 4), expected);
   EXPECT_EQ((*reopened)->partition(0).TotalElements(), 5u);
-  EXPECT_TRUE((*reopened)->partition(0).acl().IsMember(7, 1));
+  {
+    zerber::IndexServer& server = (*reopened)->partition(0);
+    // Recovered partition inspected single-threaded: quiescent.
+    QuiescenceLock quiesced(server.quiescence());
+    EXPECT_TRUE(server.acl().IsMember(7, 1));
+  }
   // And the store rotated past every stale epoch on disk.
   EXPECT_GT((*reopened)->epoch(0), 2u);
 }
@@ -304,8 +319,11 @@ TEST_F(DurableServiceTest, ShardedStoreKeepsOnePairPerShardAndRecovers) {
   EXPECT_EQ(AliveHandles(**reopened, kLists), expected);
   // Every shard's ACL replica recovered (membership enforced shard-locally).
   for (size_t s = 0; s < kShards; ++s) {
-    EXPECT_TRUE((*reopened)->partition(s).acl().IsMember(7, 1));
-    EXPECT_TRUE((*reopened)->partition(s).acl().IsMember(7, 2));
+    zerber::IndexServer& server = (*reopened)->partition(s);
+    // Recovered partitions inspected single-threaded: quiescent.
+    QuiescenceLock quiesced(server.quiescence());
+    EXPECT_TRUE(server.acl().IsMember(7, 1));
+    EXPECT_TRUE(server.acl().IsMember(7, 2));
   }
 }
 

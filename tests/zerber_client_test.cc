@@ -34,10 +34,15 @@ class ZerberClientTest : public ::testing::Test {
 
     server_ = std::make_unique<IndexServer>(
         plan_->NumLists(), Placement::kRandomPlacement, 41);
-    ASSERT_TRUE(server_->acl().AddGroup(0).ok());
-    ASSERT_TRUE(server_->acl().AddGroup(1).ok());
-    ASSERT_TRUE(server_->acl().GrantMembership(kUser, 0).ok());
-    ASSERT_TRUE(server_->acl().GrantMembership(kUser, 1).ok());
+    {
+      // Fixture provisioning before any traffic: quiescent by construction.
+      IndexServer& server = *server_;
+      QuiescenceLock quiesced(server.quiescence());
+      ASSERT_TRUE(server.acl().AddGroup(0).ok());
+      ASSERT_TRUE(server.acl().AddGroup(1).ok());
+      ASSERT_TRUE(server.acl().GrantMembership(kUser, 0).ok());
+      ASSERT_TRUE(server.acl().GrantMembership(kUser, 1).ok());
+    }
 
     service_ = std::make_unique<net::IndexService>(server_.get());
     transport_ = std::make_unique<net::DirectTransport>(service_.get());
@@ -89,7 +94,10 @@ TEST_F(ZerberClientTest, PlainZerberDownloadsWholeList) {
   text::TermId term = corpus_->vocabulary().AllTermIds()[0];
   auto list_id = client_->ListOf(term);
   ASSERT_TRUE(list_id.ok());
-  auto list = server_->GetList(*list_id);
+  IndexServer& server = *server_;
+  // Single-threaded test: the server is quiescent between requests.
+  QuiescenceLock quiesced(server.quiescence());
+  auto list = server.GetList(*list_id);
   ASSERT_TRUE(list.ok());
   auto result = client_->QueryTopK(term, 5);
   ASSERT_TRUE(result.ok());

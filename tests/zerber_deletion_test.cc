@@ -24,6 +24,8 @@ class DeletionTest : public ::testing::Test {
 
 TEST_F(DeletionTest, HandlesAreUniqueAndMonotone) {
   IndexServer server(2, Placement::kTrsSorted, 1);
+  // Single-threaded test: the server is trivially quiescent throughout.
+  QuiescenceLock quiesced(server.quiescence());
   ASSERT_TRUE(server.acl().AddGroup(1).ok());
   ASSERT_TRUE(server.acl().GrantMembership(1, 1).ok());
   auto h1 = server.Insert(1, 0, MakeElement(1, 0.5));
@@ -36,6 +38,8 @@ TEST_F(DeletionTest, HandlesAreUniqueAndMonotone) {
 
 TEST_F(DeletionTest, DeleteRemovesExactlyTheElement) {
   IndexServer server(1, Placement::kTrsSorted, 1);
+  // Single-threaded test: the server is trivially quiescent throughout.
+  QuiescenceLock quiesced(server.quiescence());
   ASSERT_TRUE(server.acl().AddGroup(1).ok());
   ASSERT_TRUE(server.acl().GrantMembership(1, 1).ok());
   auto h1 = server.Insert(1, 0, MakeElement(1, 0.9));
@@ -54,6 +58,8 @@ TEST_F(DeletionTest, DeleteRemovesExactlyTheElement) {
 
 TEST_F(DeletionTest, DeleteChecksGroupMembership) {
   IndexServer server(1, Placement::kTrsSorted, 1);
+  // Single-threaded test: the server is trivially quiescent throughout.
+  QuiescenceLock quiesced(server.quiescence());
   ASSERT_TRUE(server.acl().AddGroup(1).ok());
   ASSERT_TRUE(server.acl().AddGroup(2).ok());
   ASSERT_TRUE(server.acl().GrantMembership(1, 1).ok());
@@ -68,6 +74,8 @@ TEST_F(DeletionTest, DeleteChecksGroupMembership) {
 
 TEST_F(DeletionTest, DeleteUnknownHandleIsNotFound) {
   IndexServer server(1, Placement::kTrsSorted, 1);
+  // Single-threaded test: the server is trivially quiescent throughout.
+  QuiescenceLock quiesced(server.quiescence());
   ASSERT_TRUE(server.acl().AddGroup(1).ok());
   EXPECT_TRUE(server.Delete(1, 0, 12345).IsNotFound());
   EXPECT_TRUE(server.Delete(1, 9, 1).IsOutOfRange());

@@ -26,13 +26,16 @@ class IndexServerTest : public ::testing::Test {
   // By pointer: a thread-safe IndexServer owns mutexes and is immovable.
   std::unique_ptr<IndexServer> MakeServer(
       Placement placement = Placement::kTrsSorted) {
-    auto server = std::make_unique<IndexServer>(4, placement, 77);
-    EXPECT_TRUE(server->acl().AddGroup(1).ok());
-    EXPECT_TRUE(server->acl().AddGroup(2).ok());
-    EXPECT_TRUE(server->acl().GrantMembership(kAlice, 1).ok());
-    EXPECT_TRUE(server->acl().GrantMembership(kAlice, 2).ok());
-    EXPECT_TRUE(server->acl().GrantMembership(kBob, 1).ok());
-    return server;
+    auto server_holder = std::make_unique<IndexServer>(4, placement, 77);
+    // Provisioning before the test issues any traffic: quiescent.
+    IndexServer& server = *server_holder;
+    QuiescenceLock quiesced(server.quiescence());
+    EXPECT_TRUE(server.acl().AddGroup(1).ok());
+    EXPECT_TRUE(server.acl().AddGroup(2).ok());
+    EXPECT_TRUE(server.acl().GrantMembership(kAlice, 1).ok());
+    EXPECT_TRUE(server.acl().GrantMembership(kAlice, 2).ok());
+    EXPECT_TRUE(server.acl().GrantMembership(kBob, 1).ok());
+    return server_holder;
   }
 
   static constexpr UserId kAlice = 10;
@@ -61,6 +64,8 @@ TEST_F(IndexServerTest, SortedPlacementKeepsTrsDescending) {
   for (double trs : {0.3, 0.9, 0.1, 0.7, 0.5}) {
     ASSERT_TRUE(server.Insert(kAlice, 0, MakeElement(1, trs)).ok());
   }
+  // Single-threaded test: quiescent once the inserts above returned.
+  QuiescenceLock quiesced(server.quiescence());
   auto list = server.GetList(0);
   ASSERT_TRUE(list.ok());
   const auto& elements = (*list)->elements();
@@ -157,6 +162,8 @@ TEST_F(IndexServerTest, RandomPlacementScattersElements) {
   for (int i = 0; i < 20; ++i) {
     ASSERT_TRUE(server.Insert(kAlice, 0, MakeElement(1, 0.05 * i)).ok());
   }
+  // Single-threaded test: quiescent once the inserts above returned.
+  QuiescenceLock quiesced(server.quiescence());
   auto list = server.GetList(0);
   ASSERT_TRUE(list.ok());
   const auto& elements = (*list)->elements();
@@ -239,6 +246,8 @@ TEST_F(IndexServerTest, ExhaustionFastPathAgreesWithScan) {
     ASSERT_TRUE(
         server.Insert(kAlice, 0, MakeElement(g, 1.0 - 0.01 * i)).ok());
   }
+  // Single-threaded test: quiescent once the inserts above returned.
+  QuiescenceLock quiesced(server.quiescence());
   auto list = server.GetList(0);
   ASSERT_TRUE(list.ok());
 
@@ -278,6 +287,8 @@ TEST_F(IndexServerTest, GroupCountsTrackInsertAndDelete) {
   auto h2 = server.Insert(kAlice, 0, MakeElement(2, 0.8));
   auto h3 = server.Insert(kAlice, 0, MakeElement(1, 0.7));
   ASSERT_TRUE(h1.ok() && h2.ok() && h3.ok());
+  // Single-threaded test: quiescent once the inserts above returned.
+  QuiescenceLock quiesced(server.quiescence());
   auto list = server.GetList(0);
   ASSERT_TRUE(list.ok());
   EXPECT_EQ((*list)->CountForGroup(1), 2u);
@@ -334,6 +345,8 @@ TEST_F(IndexServerTest, UnregisteredGroupCountsAsDenied) {
   // server: CheckAccess fails with NotFound, which the ACL-rejection
   // counters must still include.
   IndexServer server(1, Placement::kTrsSorted, 1);
+  // Single-threaded test: the server is trivially quiescent throughout.
+  QuiescenceLock quiesced(server.quiescence());
   ASSERT_TRUE(server.acl().AddGroup(1).ok());
   ASSERT_TRUE(server.acl().GrantMembership(kAlice, 1).ok());
   EXPECT_TRUE(
@@ -345,6 +358,8 @@ TEST_F(IndexServerTest, UnregisteredGroupCountsAsDenied) {
 TEST_F(IndexServerTest, HandleSpaceAssignsResidueClass) {
   // Shard-style handle space: stride 4, offset 3.
   IndexServer server(2, Placement::kTrsSorted, 1, HandleSpace{4, 3});
+  // Single-threaded test: the server is trivially quiescent throughout.
+  QuiescenceLock quiesced(server.quiescence());
   ASSERT_TRUE(server.acl().AddGroup(1).ok());
   ASSERT_TRUE(server.acl().GrantMembership(kAlice, 1).ok());
   auto h1 = server.Insert(kAlice, 0, MakeElement(1, 0.9));

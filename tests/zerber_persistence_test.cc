@@ -21,6 +21,8 @@ class PersistenceTest : public ::testing::Test {
   std::unique_ptr<IndexServer> MakeServer() {
     auto server =
         std::make_unique<IndexServer>(3, Placement::kTrsSorted, 11);
+    // Provisioning before the test issues any traffic: quiescent.
+    QuiescenceLock quiesced(server->quiescence());
     EXPECT_TRUE(server->acl().AddGroup(1).ok());
     EXPECT_TRUE(server->acl().AddGroup(2).ok());
     EXPECT_TRUE(server->acl().GrantMembership(7, 1).ok());
@@ -52,6 +54,9 @@ TEST_F(PersistenceTest, SnapshotRoundTripPreservesEverything) {
   auto restored = ParseIndexSnapshot(snapshot);
   ASSERT_TRUE(restored.ok()) << restored.status();
 
+  // Both servers sit idle in a single-threaded test: quiescent.
+  QuiescenceLock orig_quiesced(server->quiescence());
+  QuiescenceLock loaded_quiesced((*restored)->quiescence());
   EXPECT_EQ((*restored)->NumLists(), server->NumLists());
   EXPECT_EQ((*restored)->TotalElements(), server->TotalElements());
   EXPECT_EQ((*restored)->TotalWireSize(), server->TotalWireSize());
@@ -145,6 +150,8 @@ TEST_F(PersistenceTest, RestoreRebuildsGroupCountsExhaustionFastPath) {
   auto restored = ParseIndexSnapshot(SerializeIndexSnapshot(*server));
   ASSERT_TRUE(restored.ok());
 
+  // The restored server sits idle in a single-threaded test: quiescent.
+  QuiescenceLock quiesced((*restored)->quiescence());
   for (size_t l = 0; l < (*restored)->NumLists(); ++l) {
     auto list = (*restored)->GetList(static_cast<MergedListId>(l));
     ASSERT_TRUE(list.ok());
@@ -184,6 +191,8 @@ TEST_F(PersistenceTest, RestoreRebuildsGroupCountsExhaustionFastPath) {
 TEST_F(PersistenceTest, RestoreWithHandleSpacePreservesResidueClass) {
   HandleSpace space{4, 2};  // shard 2 of 4
   IndexServer server(2, Placement::kTrsSorted, 11, space);
+  // Single-threaded test: the server is trivially quiescent throughout.
+  QuiescenceLock quiesced(server.quiescence());
   EXPECT_TRUE(server.acl().AddGroup(1).ok());
   EXPECT_TRUE(server.acl().GrantMembership(7, 1).ok());
   uint64_t max_handle = 0;
@@ -217,6 +226,8 @@ TEST_F(PersistenceTest, SealedElementsStillOpenAfterRestore) {
   auto server = MakeServer();
   auto restored = ParseIndexSnapshot(SerializeIndexSnapshot(*server));
   ASSERT_TRUE(restored.ok());
+  // The restored server sits idle in a single-threaded test: quiescent.
+  QuiescenceLock quiesced((*restored)->quiescence());
   auto list = (*restored)->GetList(0);
   ASSERT_TRUE(list.ok());
   ASSERT_GT((*list)->size(), 0u);

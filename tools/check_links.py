@@ -13,9 +13,12 @@ Usage:
     tools/check_links.py README.md docs [more files or dirs...]
 """
 
+from __future__ import annotations
+
 import pathlib
 import re
 import sys
+from typing import List
 
 # Inline markdown links/images. Deliberately simple: no reference-style
 # links in this repo, and nested parentheses in URLs don't occur.
@@ -24,16 +27,16 @@ LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 SKIP_PREFIXES = ("http://", "https://", "mailto:", "#", "/")
 
 
-def md_files(arg):
+def md_files(arg: str) -> List[pathlib.Path]:
     path = pathlib.Path(arg)
     if path.is_dir():
         return sorted(path.rglob("*.md"))
     return [path]
 
 
-def main():
+def main() -> int:
     args = sys.argv[1:] or ["README.md", "docs"]
-    dead = []
+    dead: List[str] = []
     checked = 0
     for arg in args:
         for md in md_files(arg):

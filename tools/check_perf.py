@@ -23,12 +23,15 @@ reference machine and committing the regenerated BENCH_loadtest.json (see
 README "Load testing & performance CI").
 """
 
+from __future__ import annotations
+
 import argparse
 import json
 import sys
+from typing import Any, Dict, List
 
 
-def load_configs(path):
+def load_configs(path: str) -> Dict[str, Any]:
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
     configs = {c["name"]: c for c in doc.get("configs", [])}
@@ -37,7 +40,9 @@ def load_configs(path):
     return configs
 
 
-def check_class(config, cls, base, cur, args, failures):
+def check_class(config: str, cls: str, base: Dict[str, Any],
+                cur: Dict[str, Any], args: argparse.Namespace,
+                failures: List[str]) -> None:
     tolerance = args.tolerance
     min_samples = args.min_samples
     base_tput = base["throughput_ops_per_sec"]
@@ -73,7 +78,7 @@ def check_class(config, cls, base, cur, args, failures):
             )
 
 
-def main():
+def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
     parser.add_argument("current")
@@ -85,7 +90,7 @@ def main():
     baseline = load_configs(args.baseline)
     current = load_configs(args.current)
 
-    failures = []
+    failures: List[str] = []
     for name, base_config in sorted(baseline.items()):
         cur_config = current.get(name)
         if cur_config is None:

@@ -1,0 +1,33 @@
+// Fixture: a well-behaved boundary encoder. Sealed bytes move through the
+// frame writer whole, metadata strings are boundary-safe, and none of the
+// plaintext vocabulary appears. The self-test expects ZERO findings here —
+// it pins the scanner's false-positive rate, not just its recall.
+//
+// Mentioning PostingPayload or SerializePayload in this comment is fine:
+// the scanner strips comments and string literals before matching.
+
+#include <string>
+
+namespace zr {
+
+struct Element {
+  std::string sealed;  // ciphertext slot; stands in for zerber::SealedBytes
+};
+
+void PutLengthPrefixed(std::string* out, const std::string& bytes);
+
+// Sealed bytes cross the boundary whole — this is the blessed shape.
+void EncodeElementFrame(std::string* out, const Element& element) {
+  PutLengthPrefixed(out, element.sealed);
+}
+
+// Metadata (a status tag the server may see) through a sink is fine: the
+// taint rule only fires for locals derived from plaintext sources.
+void EncodeAck(std::string* out) {
+  std::string status = "ok";
+  out->append(status);
+  const char* note = "SerializePayload";  // string literal: stripped
+  (void)note;
+}
+
+}  // namespace zr

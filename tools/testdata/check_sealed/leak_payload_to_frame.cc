@@ -1,0 +1,23 @@
+// Fixture: the classic leak — serialize the plaintext posting payload and
+// write it straight into a wire frame. In the real codebase payloads are
+// sealed in src/zerber/posting_element.cc before any encoder sees them;
+// an encoder that touches the payload type at all is already wrong.
+
+#include <string>
+
+namespace zr {
+
+struct PostingPayload {  // expect-finding: plaintext-type-at-boundary
+  unsigned term;
+  unsigned doc;
+};
+
+std::string SerializePayload(const PostingPayload& payload);  // expect-finding: plaintext-type-at-boundary
+void PutLengthPrefixed(std::string* out, const std::string& bytes);
+
+void EncodeInsertFrame(std::string* out, const PostingPayload& payload) {  // expect-finding: plaintext-type-at-boundary
+  std::string bytes = SerializePayload(payload);  // expect-finding: plaintext-type-at-boundary
+  PutLengthPrefixed(out, bytes);  // expect-finding: tainted-flow
+}
+
+}  // namespace zr
