@@ -76,6 +76,22 @@ struct Flags {
   size_t shards = 0;  // 0 = spec default; "default" spec only
   std::string data_dir;  // non-empty = durable backends (fresh per-config subdirs)
   std::string shard_server;  // shard-server binary for cluster configs
+
+  /// Trace 1-in-N measured ops (LoadSpec::trace_sample). The sentinel
+  /// keeps "flag not given" distinguishable from an explicit 0: the
+  /// cluster config defaults to sampling (so the CI run always produces a
+  /// live end-to-end trace), every other config to off.
+  static constexpr uint64_t kTraceSampleUnset = ~0ull;
+  uint64_t trace_sample = kTraceSampleUnset;
+
+  uint64_t slow_op_ns = 0;  ///< slow-op log threshold (0 = disabled)
+
+  /// Path of the zerber_stats binary. Non-empty: the cluster4 config runs
+  /// it against the live shard servers after the measured window (before
+  /// teardown) and gates on its exit status — the CI proof that the
+  /// scrape plane answers with parseable, non-empty exposition text.
+  std::string zerber_stats;
+  std::string scrape_out = "BENCH_scrape.prom";
   std::string argv0;
 };
 
@@ -113,6 +129,14 @@ Flags ParseFlags(int argc, char** argv) {
       flags.data_dir = value;
     } else if (ParseFlag(argv[i], "--shard-server", &value)) {
       flags.shard_server = value;
+    } else if (ParseFlag(argv[i], "--trace-sample", &value)) {
+      flags.trace_sample = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--slow-op-ns", &value)) {
+      flags.slow_op_ns = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--zerber-stats", &value)) {
+      flags.zerber_stats = value;
+    } else if (ParseFlag(argv[i], "--scrape-out", &value)) {
+      flags.scrape_out = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       std::exit(2);
@@ -133,6 +157,10 @@ load::LoadSpec MixedSpec(const Flags& flags) {
     spec.mode = load::LoopMode::kOpen;
     spec.target_rate = flags.rate;
   }
+  if (flags.trace_sample != Flags::kTraceSampleUnset) {
+    spec.trace_sample = flags.trace_sample;
+  }
+  spec.slow_op_threshold_ns = flags.slow_op_ns;
   return spec;
 }
 
@@ -195,21 +223,29 @@ bool CheckTcpAccounting(const load::LoadReport& r) {
         static_cast<unsigned long long>(r.socket.reconnects));
     return true;
   }
-  uint64_t expect_up =
-      r.transport.bytes_up + net::kFrameHeaderBytes * r.socket.frames_up;
-  uint64_t expect_down =
-      r.transport.bytes_down + net::kFrameHeaderBytes * r.socket.frames_down;
+  // Traced frames additionally carry their extension bytes, tracked
+  // separately by the session — the identity stays exact under sampling:
+  // socket == payload + 4 * frames + ext. Untraced runs have ext == 0 and
+  // reduce to the original identity.
+  uint64_t expect_up = r.transport.bytes_up +
+                       net::kFrameHeaderBytes * r.socket.frames_up +
+                       r.socket.ext_bytes_up;
+  uint64_t expect_down = r.transport.bytes_down +
+                         net::kFrameHeaderBytes * r.socket.frames_down +
+                         r.socket.ext_bytes_down;
   bool ok =
       r.socket.bytes_up == expect_up && r.socket.bytes_down == expect_down;
   std::printf(
-      "%-10s tcp accounting: socket up %llu (payload %llu + frames %llu*4), "
-      "down %llu (payload %llu + frames %llu*4) %s\n",
+      "%-10s tcp accounting: socket up %llu (payload %llu + frames %llu*4 "
+      "+ ext %llu), down %llu (payload %llu + frames %llu*4 + ext %llu) %s\n",
       r.name.c_str(), static_cast<unsigned long long>(r.socket.bytes_up),
       static_cast<unsigned long long>(r.transport.bytes_up),
       static_cast<unsigned long long>(r.socket.frames_up),
+      static_cast<unsigned long long>(r.socket.ext_bytes_up),
       static_cast<unsigned long long>(r.socket.bytes_down),
       static_cast<unsigned long long>(r.transport.bytes_down),
       static_cast<unsigned long long>(r.socket.frames_down),
+      static_cast<unsigned long long>(r.socket.ext_bytes_down),
       ok ? "PASS" : "FAIL");
   return ok;
 }
@@ -293,6 +329,13 @@ bool RunClusterConfig(const Flags& flags, bool kill_one_shard,
           "--sync=group-commit",
           "--listen=127.0.0.1:0",
       };
+      if (flags.slow_op_ns > 0) {
+        // Arm the server-side slow-op log with the same threshold the
+        // client side uses ("--listen" must stay last: the restart path
+        // rewrites shard_args[s].back() with the pinned port).
+        shard_args[s].insert(shard_args[s].end() - 1,
+                             "--slow-op-ns=" + std::to_string(flags.slow_op_ns));
+      }
       ZR_ASSIGN_OR_RETURN(procs[s],
                           cluster::ShardProcess::Start(binary, shard_args[s]));
       // Pin the ephemeral port it bound: a restart must come back on the
@@ -312,6 +355,10 @@ bool RunClusterConfig(const Flags& flags, bool kill_one_shard,
   core::Pipeline* p = pipeline->get();
 
   load::LoadSpec spec = MixedSpec(flags);
+  // The cluster config samples traces by default (1 op in 64): the CI run
+  // must demonstrate a live end-to-end trace — client seal/op, router
+  // fanout, shard serve, WAL append — in the report's "obs" block.
+  if (flags.trace_sample == Flags::kTraceSampleUnset) spec.trace_sample = 64;
   std::thread chaos;
   if (kill_one_shard) {
     // Duration-bound so the kill and restart land inside the measured
@@ -354,6 +401,16 @@ bool RunClusterConfig(const Flags& flags, bool kill_one_shard,
       static_cast<unsigned long long>(rs.breaker_opens),
       static_cast<unsigned long long>(rs.rejoins));
 
+  const load::ObsReport& ob = out->back().obs;
+  std::printf(
+      "%-10s obs: %llu trace(s), %llu complete, %llu span(s), %llu "
+      "dropped, %llu slow op(s)\n",
+      name.c_str(), static_cast<unsigned long long>(ob.traces),
+      static_cast<unsigned long long>(ob.complete_traces),
+      static_cast<unsigned long long>(ob.spans),
+      static_cast<unsigned long long>(ob.dropped_spans),
+      static_cast<unsigned long long>(ob.slow_ops));
+
   bool gate_ok = true;
   if (kill_one_shard) {
     // Survival gate: the run completed (MustRun exits otherwise) and the
@@ -361,6 +418,34 @@ bool RunClusterConfig(const Flags& flags, bool kill_one_shard,
     gate_ok = rs.rejoins >= 1;
     std::printf("%-10s failover gate: %s\n", name.c_str(),
                 gate_ok ? "PASS (shard rejoined)" : "FAIL (no rejoin)");
+  } else {
+    if (spec.trace_sample > 0) {
+      // Trace gate: sampling was on, so at least one sampled mutation must
+      // have produced a complete client -> router -> shard -> WAL trace.
+      bool trace_ok = ob.complete_traces >= 1;
+      std::printf("%-10s trace gate: %s\n", name.c_str(),
+                  trace_ok ? "PASS (complete end-to-end trace)"
+                           : "FAIL (no complete trace)");
+      gate_ok = gate_ok && trace_ok;
+    }
+    if (!flags.zerber_stats.empty()) {
+      // Scrape gate: run the real CLI against the still-live shards;
+      // zerber_stats exits non-zero unless every shard returned a
+      // non-empty, parseable registry dump.
+      std::string addrs;
+      for (size_t s = 0; s < procs.size(); ++s) {
+        if (s > 0) addrs.push_back(',');
+        addrs += procs[s]->addr();
+      }
+      std::string command = flags.zerber_stats + " --addrs=" + addrs +
+                            " --format=prom --out=" + flags.scrape_out;
+      int rc = std::system(command.c_str());
+      bool scrape_ok = rc == 0;
+      std::printf("%-10s scrape gate (%s -> %s): %s\n", name.c_str(),
+                  flags.zerber_stats.c_str(), flags.scrape_out.c_str(),
+                  scrape_ok ? "PASS" : "FAIL");
+      gate_ok = gate_ok && scrape_ok;
+    }
   }
   for (auto& proc : procs) {
     if (proc && proc->running()) (void)proc->Terminate();

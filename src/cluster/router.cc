@@ -3,7 +3,38 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace zr::cluster {
+
+namespace {
+
+/// Records a kRouterFanout span around one shard hop when the calling
+/// thread carries an active trace (no-op otherwise). Span detail is the
+/// shard index — a topology coordinate, never index content.
+class FanoutSpan {
+ public:
+  explicit FanoutSpan(size_t shard)
+      : traced_(obs::CurrentTrace().active()),
+        shard_(shard),
+        start_(traced_ ? obs::MonotonicNowNs() : 0) {}
+
+  FanoutSpan(const FanoutSpan&) = delete;
+  FanoutSpan& operator=(const FanoutSpan&) = delete;
+
+  ~FanoutSpan() {
+    if (!traced_) return;
+    obs::RecordSpan(obs::Stage::kRouterFanout,
+                    obs::MonotonicNowNs() - start_, shard_);
+  }
+
+ private:
+  bool traced_;
+  uint64_t shard_;
+  uint64_t start_;
+};
+
+}  // namespace
 
 RouterService::RouterService(size_t num_lists, const Options& options)
     : num_lists_(num_lists) {
@@ -33,6 +64,41 @@ RouterService::RouterService(size_t num_lists, const Options& options)
   for (size_t i = 0; i < num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+
+  // The router's fault-handling counters on the scrape plane: the
+  // aggregate under zr_router_*, plus the per-shard breakdown the
+  // aggregate hides (which shard is retrying, whose breaker opened).
+  metrics_collector_ = obs::Registry::Global().RegisterCollector(
+      [this](std::vector<obs::Sample>* out) {
+        RouterStats total = router_stats();
+        out->push_back({"zr_router_attempts_total", "", total.attempts});
+        out->push_back(
+            {"zr_router_transport_errors_total", "", total.transport_errors});
+        out->push_back({"zr_router_retries_total", "", total.retries});
+        out->push_back({"zr_router_unavailable_total", "", total.unavailable});
+        out->push_back({"zr_router_probes_total", "", total.probes});
+        out->push_back(
+            {"zr_router_probe_failures_total", "", total.probe_failures});
+        out->push_back(
+            {"zr_router_breaker_opens_total", "", total.breaker_opens});
+        out->push_back({"zr_router_rejoins_total", "", total.rejoins});
+        std::vector<ShardClientStats> per_shard = shard_stats();
+        for (size_t s = 0; s < per_shard.size(); ++s) {
+          std::string labels = "shard=\"" + std::to_string(s) + "\"";
+          out->push_back({"zr_shard_client_attempts_total", labels,
+                          per_shard[s].attempts});
+          out->push_back({"zr_shard_client_transport_errors_total", labels,
+                          per_shard[s].transport_errors});
+          out->push_back(
+              {"zr_shard_client_retries_total", labels, per_shard[s].retries});
+          out->push_back({"zr_shard_client_unavailable_total", labels,
+                          per_shard[s].unavailable});
+          out->push_back({"zr_shard_client_breaker_opens_total", labels,
+                          per_shard[s].breaker_opens});
+          out->push_back(
+              {"zr_shard_client_rejoins_total", labels, per_shard[s].rejoins});
+        }
+      });
 }
 
 RouterService::~RouterService() {
@@ -81,8 +147,10 @@ StatusOr<net::InsertResponse> RouterService::Insert(
   // the shard rejects (and counts) the request itself.
   net::InsertRequest local = request;
   local.list = LocalListId(request.list);
+  size_t shard = ShardOfList(request.list);
+  FanoutSpan span(shard);
   ZR_ASSIGN_OR_RETURN(net::InsertResponse response,
-                      shards_[ShardOfList(request.list)]->Insert(local));
+                      shards_[shard]->Insert(local));
   response.wire_size = 0;  // backend semantics: accounting is the
                            // client-side transport's job
   return response;
@@ -92,8 +160,10 @@ StatusOr<net::QueryResponse> RouterService::Fetch(
     const net::QueryRequest& request) {
   net::QueryRequest local = request;
   local.list = LocalListId(request.list);
+  size_t shard = ShardOfList(request.list);
+  FanoutSpan span(shard);
   ZR_ASSIGN_OR_RETURN(net::QueryResponse response,
-                      shards_[ShardOfList(request.list)]->Fetch(local));
+                      shards_[shard]->Fetch(local));
   response.wire_size = 0;
   return response;
 }
@@ -127,7 +197,14 @@ StatusOr<net::MultiFetchResponse> RouterService::MultiFetch(
   size_t first_error_index = static_cast<size_t>(-1);
   Status first_error = Status::OK();
 
+  // Capture the caller's trace context by value: shard batches handed to
+  // the worker pool run on threads with no trace of their own, so each
+  // closure re-installs the context before its shard hop (the trace then
+  // crosses the wire from the worker thread too, and its fanout/transport
+  // spans land on the caller's trace id).
+  const obs::TraceContext trace = obs::CurrentTrace();
   auto run_shard = [&](size_t s) {
+    obs::ScopedTrace propagate(trace);
     net::MultiFetchRequest sub;
     sub.user = request.user;
     sub.fetches.reserve(by_shard[s].size());
@@ -136,6 +213,7 @@ StatusOr<net::MultiFetchResponse> RouterService::MultiFetch(
       local.list = LocalListId(local.list);
       sub.fetches.push_back(local);
     }
+    FanoutSpan span(s);
     auto fetched = shards_[s]->MultiFetch(sub);
     if (!fetched.ok() ||
         fetched->responses.size() != by_shard[s].size()) {
@@ -193,8 +271,10 @@ StatusOr<net::DeleteResponse> RouterService::Delete(
   // shard reports it NotFound itself.
   net::DeleteRequest local = request;
   local.list = LocalListId(request.list);
+  size_t shard = ShardOfList(request.list);
+  FanoutSpan span(shard);
   ZR_ASSIGN_OR_RETURN(net::DeleteResponse response,
-                      shards_[ShardOfList(request.list)]->Delete(local));
+                      shards_[shard]->Delete(local));
   response.wire_size = 0;
   return response;
 }

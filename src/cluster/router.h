@@ -43,6 +43,7 @@
 
 #include "cluster/shard_client.h"
 #include "net/service.h"
+#include "obs/registry.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/statusor.h"
@@ -159,6 +160,10 @@ class RouterService : public net::ZerberService {
   CondVar queue_cv_;
   std::deque<std::function<void()>> queue_ ZR_GUARDED_BY(queue_mu_);
   bool stopping_ ZR_GUARDED_BY(queue_mu_) = false;
+  /// Publishes RouterStats and per-shard ShardClientStats through the
+  /// process metrics registry. LAST member: unregistered before anything
+  /// else is torn down, and RemoveCollector blocks out in-flight scrapes.
+  obs::CollectorHandle metrics_collector_;
 };
 
 }  // namespace zr::cluster

@@ -3,6 +3,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace zr::cluster {
 
 ShardClient::ShardClient(ShardClientOptions options)
@@ -163,6 +165,12 @@ Status ShardClient::Exchange(const std::string& request_wire, bool idempotent,
       MutexLock lock(mu_);
       ++stats_.attempts;
     }
+    // When the calling thread carries a trace, SendFrame attaches the
+    // context to the request frame and RecvFrame harvests the server's
+    // span report; time the hop here so the trace attributes wire time
+    // per attempt (only the successful attempt is recorded).
+    const bool traced = obs::CurrentTrace().active();
+    const uint64_t hop_start = traced ? obs::MonotonicNowNs() : 0;
     Status sent = session->SendFrame(request_wire);
     if (!sent.ok()) {
       if (sent.IsInvalidArgument()) return sent;  // oversized, not a dead link
@@ -188,6 +196,17 @@ Status ShardClient::Exchange(const std::string& request_wire, bool idempotent,
       }
       last = received;
       continue;
+    }
+    if (traced) {
+      obs::RecordSpan(obs::Stage::kTransport,
+                      obs::MonotonicNowNs() - hop_start,
+                      static_cast<uint64_t>(net::TagOf(request_wire)));
+      // Re-record the server-side spans that rode back on the response
+      // frame, so the client's tracer holds the complete cross-process
+      // trace (RecordSpan stamps the current trace id).
+      for (const obs::SpanRecord& span : session->response_spans()) {
+        obs::RecordSpan(span.stage, span.duration_ns, span.detail);
+      }
     }
     RecordSuccess();
     Return(std::move(session));

@@ -5,10 +5,15 @@
 #include <set>
 #include <thread>
 
+#include <map>
+
 #include "core/pipeline.h"
 #include "core/zerber_r_client.h"
 #include "load/op_generator.h"
 #include "net/tcp.h"
+#include "obs/registry.h"
+#include "obs/slow_op_log.h"
+#include "obs/trace.h"
 #include "zerber/posting_element.h"
 #include "zerber/zerber_client.h"
 
@@ -46,6 +51,54 @@ zerber::ServerStats StatsDelta(const zerber::ServerStats& before,
   d.insert_latency_ns = after.insert_latency_ns - before.insert_latency_ns;
   d.delete_latency_ns = after.delete_latency_ns - before.delete_latency_ns;
   return d;
+}
+
+/// Folds the drained tracer + slow-op rings into the report's "obs" block.
+/// Deterministically all-zero when nothing was sampled.
+ObsReport BuildObsReport(const std::vector<obs::SpanRecord>& spans,
+                         const std::vector<obs::SlowOp>& slow_ops,
+                         uint64_t dropped) {
+  ObsReport out;
+  out.spans = spans.size();
+  out.dropped_spans = dropped;
+  out.slow_ops = slow_ops.size();
+
+  // Presence bits per trace id for the completeness test: a complete trace
+  // crossed every tier — client op, router fanout, shard serve, WAL append.
+  std::map<uint64_t, uint8_t> traces;
+  for (const obs::SpanRecord& span : spans) {
+    size_t idx = static_cast<size_t>(span.stage);
+    if (idx < 1 || idx > obs::kNumStages) continue;
+    ObsStageReport& stage = out.stages[idx - 1];
+    ++stage.count;
+    stage.total_ns += span.duration_ns;
+    stage.max_ns = std::max(stage.max_ns, span.duration_ns);
+    uint8_t bit = 0;
+    switch (span.stage) {
+      case obs::Stage::kClientOp: bit = 1; break;
+      case obs::Stage::kRouterFanout: bit = 2; break;
+      case obs::Stage::kShardServe: bit = 4; break;
+      case obs::Stage::kWalAppend: bit = 8; break;
+      default: break;
+    }
+    traces[span.trace_id] |= bit;
+  }
+  out.traces = traces.size();
+  for (const auto& [id, mask] : traces) {
+    if (mask != 15) continue;
+    ++out.complete_traces;
+    // std::map iterates ids ascending, so the first complete trace is the
+    // smallest id — a deterministic choice of example.
+    if (out.example_trace_id == 0) out.example_trace_id = id;
+  }
+  if (out.example_trace_id != 0) {
+    for (const obs::SpanRecord& span : spans) {
+      if (span.trace_id == out.example_trace_id) {
+        out.example_spans.push_back(span);
+      }
+    }
+  }
+  return out;
 }
 
 cluster::RouterStats RouterStatsDelta(const cluster::RouterStats& before,
@@ -248,9 +301,17 @@ void LoadDriver::ExecuteOp(WorkerState* w, const Op& op, bool measured) {
                         w->next_doc_seq++;
       double trs = deployment_.assigner->Assign(t.term, t.term_string, doc,
                                                 op.score);
+      // Client-side sealing is the one stage that happens before any wire
+      // traffic; a sampled op attributes it separately from the transport.
+      const bool traced = obs::CurrentTrace().active();
+      const uint64_t seal_start = traced ? obs::MonotonicNowNs() : 0;
       auto element = zerber::SealPostingElement(
           zerber::PostingPayload{t.term, doc, op.score}, group, trs,
           deployment_.keys);
+      if (traced) {
+        obs::RecordSpan(obs::Stage::kClientSeal,
+                        obs::MonotonicNowNs() - seal_start, t.list);
+      }
       if (!element.ok()) {
         status = element.status();
         break;
@@ -338,7 +399,22 @@ void LoadDriver::WorkerMeasured(WorkerState* w, uint64_t start_ns) {
       next_issue += per_worker_interval_ns;
     }
     Op op = w->generator.Next();
-    ExecuteOp(w, op, /*measured=*/true);
+    // Trace sampling: op i of this worker runs under a deterministic trace
+    // id when selected. The op stream (w->generator) is untouched either
+    // way — sampling changes what is observed, never what is issued.
+    if (spec_.trace_sample > 0 && i % spec_.trace_sample == 0) {
+      obs::TraceContext ctx;
+      ctx.trace_id = obs::DeriveTraceId(spec_.seed, w->index, i);
+      ctx.span_id = 1;
+      obs::ScopedTrace traced(ctx);
+      const uint64_t op_start = obs::MonotonicNowNs();
+      ExecuteOp(w, op, /*measured=*/true);
+      obs::RecordSpan(obs::Stage::kClientOp,
+                      obs::MonotonicNowNs() - op_start,
+                      static_cast<uint64_t>(op.cls));
+    } else {
+      ExecuteOp(w, op, /*measured=*/true);
+    }
   }
 }
 
@@ -365,6 +441,15 @@ StatusOr<LoadReport> LoadDriver::Run() {
   // covers the measured window.
   RunWorkerPhase(/*measured=*/false);
   for (auto& w : workers_) w->transport->ResetStats();
+
+  // Observability window: arm the slow-op log per the spec (0 disables),
+  // and drain any residue a previous run in this process left in the
+  // global tracer / slow-op rings so the report covers only this window.
+  obs::SlowOpLog::Global().set_threshold_ns(spec_.slow_op_threshold_ns);
+  (void)obs::Tracer::Global().Drain();
+  (void)obs::SlowOpLog::Global().Drain();
+  const uint64_t dropped_before = obs::Tracer::Global().dropped();
+
   zerber::ServerStats before =
       deployment_.server_stats ? deployment_.server_stats() : zerber::ServerStats();
   cluster::RouterStats router_before = deployment_.router_stats
@@ -411,6 +496,8 @@ StatusOr<LoadReport> LoadDriver::Run() {
       report.socket.bytes_down += s.bytes_down;
       report.socket.frames_up += s.frames_up;
       report.socket.frames_down += s.frames_down;
+      report.socket.ext_bytes_up += s.ext_bytes_up;
+      report.socket.ext_bytes_down += s.ext_bytes_down;
       report.socket.reconnects += s.reconnects;
     }
   }
@@ -421,6 +508,22 @@ StatusOr<LoadReport> LoadDriver::Run() {
     report.cluster =
         RouterStatsDelta(router_before, deployment_.router_stats());
   }
+
+  report.obs =
+      BuildObsReport(obs::Tracer::Global().Drain(),
+                     obs::SlowOpLog::Global().Drain(),
+                     obs::Tracer::Global().dropped() - dropped_before);
+
+  // The harness's own transfer accounting on the scrape plane: the load
+  // side of TransportStats becomes gauges, so a scrape of this process
+  // sees client traffic next to the server counters.
+  obs::Registry& registry = obs::Registry::Global();
+  registry.GetGauge("zr_load_transport_exchanges")
+      ->Set(report.transport.exchanges);
+  registry.GetGauge("zr_load_transport_bytes_up")
+      ->Set(report.transport.bytes_up);
+  registry.GetGauge("zr_load_transport_bytes_down")
+      ->Set(report.transport.bytes_down);
   return report;
 }
 

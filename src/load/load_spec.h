@@ -90,6 +90,22 @@ struct LoadSpec {
   /// delete ops have handles to draw from the moment measurement begins.
   size_t warmup_inserts = 32;
 
+  /// Trace 1 in every trace_sample measured ops per worker (0 disables
+  /// tracing). A sampled op runs under a deterministic trace id
+  /// (obs::DeriveTraceId of seed/worker/op-index); its spans — client
+  /// seal, transport, router fanout, shard serve, WAL append — are drained
+  /// into the report's "obs" block. Observability overlay only: the op
+  /// stream is identical for every value, and the knob is deliberately NOT
+  /// echoed into the report's "spec" JSON so perf baselines compare across
+  /// sampling settings.
+  uint64_t trace_sample = 0;
+
+  /// Slow-op log threshold in nanoseconds applied to this process's
+  /// obs::SlowOpLog for the measured phase (0 leaves the log disabled).
+  /// Same overlay rule as trace_sample: not part of the workload, not
+  /// echoed into the spec JSON.
+  uint64_t slow_op_threshold_ns = 0;
+
   /// Validates the invariants above.
   Status Validate() const;
 };

@@ -157,6 +157,8 @@ std::string LoadReport::ToJson() const {
   AppendU64(&out, "bytes_down", socket.bytes_down, &sk);
   AppendU64(&out, "frames_up", socket.frames_up, &sk);
   AppendU64(&out, "frames_down", socket.frames_down, &sk);
+  AppendU64(&out, "ext_bytes_up", socket.ext_bytes_up, &sk);
+  AppendU64(&out, "ext_bytes_down", socket.ext_bytes_down, &sk);
   AppendU64(&out, "reconnects", socket.reconnects, &sk);
   out.push_back('}');
 
@@ -171,6 +173,49 @@ std::string LoadReport::ToJson() const {
   AppendU64(&out, "probe_failures", cluster.probe_failures, &cl);
   AppendU64(&out, "breaker_opens", cluster.breaker_opens, &cl);
   AppendU64(&out, "rejoins", cluster.rejoins, &cl);
+  out.push_back('}');
+
+  AppendKey(&out, "obs", &first);
+  out.push_back('{');
+  bool ob = true;
+  AppendU64(&out, "traces", obs.traces, &ob);
+  AppendU64(&out, "complete_traces", obs.complete_traces, &ob);
+  AppendU64(&out, "spans", obs.spans, &ob);
+  AppendU64(&out, "dropped_spans", obs.dropped_spans, &ob);
+  AppendU64(&out, "slow_ops", obs.slow_ops, &ob);
+  AppendKey(&out, "stages", &ob);
+  out.push_back('{');
+  bool st = true;
+  for (size_t s = 0; s < zr::obs::kNumStages; ++s) {
+    const ObsStageReport& stage = obs.stages[s];
+    AppendKey(&out, zr::obs::StageName(static_cast<zr::obs::Stage>(s + 1)),
+              &st);
+    out.push_back('{');
+    bool sf = true;
+    AppendU64(&out, "count", stage.count, &sf);
+    AppendU64(&out, "total_ns", stage.total_ns, &sf);
+    AppendU64(&out, "max_ns", stage.max_ns, &sf);
+    out.push_back('}');
+  }
+  out.push_back('}');
+  AppendKey(&out, "example_trace", &ob);
+  out.push_back('{');
+  bool ex = true;
+  AppendU64(&out, "trace_id", obs.example_trace_id, &ex);
+  AppendKey(&out, "spans", &ex);
+  out.push_back('[');
+  for (size_t i = 0; i < obs.example_spans.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    const zr::obs::SpanRecord& span = obs.example_spans[i];
+    out.push_back('{');
+    bool sp = true;
+    AppendString(&out, "stage", zr::obs::StageName(span.stage), &sp);
+    AppendU64(&out, "duration_ns", span.duration_ns, &sp);
+    AppendU64(&out, "detail", span.detail, &sp);
+    out.push_back('}');
+  }
+  out.push_back(']');
+  out.push_back('}');
   out.push_back('}');
 
   out.push_back('}');

@@ -15,15 +15,51 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "cluster/router.h"
 #include "load/load_spec.h"
 #include "net/tcp.h"
 #include "net/transport.h"
+#include "obs/trace.h"
 #include "util/histogram.h"
 #include "zerber/zerber_index.h"
 
 namespace zr::load {
+
+/// Aggregate of one trace stage over every sampled op (the report's "obs"
+/// block).
+struct ObsStageReport {
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t max_ns = 0;
+};
+
+/// Stage-level latency attribution drained from the process tracer and
+/// slow-op log after the measured phase. All-zero (and byte-stable in the
+/// JSON) when LoadSpec::trace_sample == 0.
+struct ObsReport {
+  uint64_t traces = 0;  ///< distinct trace ids drained
+
+  /// Traces carrying the full client -> router -> shard -> WAL chain
+  /// (kClientOp + kRouterFanout + kShardServe + kWalAppend spans). Only a
+  /// cluster deployment's traced mutations can be complete by this
+  /// definition; other deployments report 0.
+  uint64_t complete_traces = 0;
+
+  uint64_t spans = 0;          ///< span records drained
+  uint64_t dropped_spans = 0;  ///< tracer ring overflow (sampling too hot)
+  uint64_t slow_ops = 0;       ///< slow-op log entries over the threshold
+
+  /// Per-stage aggregates, indexed by obs::Stage value - 1.
+  std::array<ObsStageReport, obs::kNumStages> stages;
+
+  /// One complete trace (smallest trace id, for determinism of choice)
+  /// dumped span-by-span, so the report shows a real end-to-end timing
+  /// decomposition. Empty when complete_traces == 0.
+  uint64_t example_trace_id = 0;
+  std::vector<obs::SpanRecord> example_spans;
+};
 
 /// Accounting of one op class over the whole run.
 struct OpClassReport {
@@ -87,6 +123,10 @@ struct LoadReport {
   /// (retries, unavailable fast-fails, breaker opens, rejoins); all zero
   /// unless the deployment routes over a cluster::RouterService.
   cluster::RouterStats cluster;
+
+  /// Stage-level trace attribution of the sampled ops (trace_sample > 0);
+  /// all-zero otherwise.
+  ObsReport obs;
 
   /// Throughput of one class (ok ops / wall_seconds).
   double ClassThroughput(OpClass c) const;

@@ -34,6 +34,10 @@ constexpr uint8_t kTagStatsRequest =
     static_cast<uint8_t>(MessageTag::kStatsRequest);
 constexpr uint8_t kTagStatsResponse =
     static_cast<uint8_t>(MessageTag::kStatsResponse);
+
+// StatsResponse tail version marker (the registry-dump extension). Any
+// other value after the fixed fields is rejected as corruption.
+constexpr uint8_t kStatsResponseV2 = 2;
 constexpr uint8_t kTagAclRequest =
     static_cast<uint8_t>(MessageTag::kAclRequest);
 constexpr uint8_t kTagAclResponse =
@@ -308,6 +312,12 @@ std::string SerializeStatsResponse(const StatsResponse& response) {
   PutVarint64(&out, response.fetch_latency_ns);
   PutVarint64(&out, response.insert_latency_ns);
   PutVarint64(&out, response.delete_latency_ns);
+  // Versioned tail: v1 ends here; a registry dump appends a version byte
+  // and the length-prefixed text (see the struct comment in messages.h).
+  if (!response.registry_text.empty()) {
+    out.push_back(static_cast<char>(kStatsResponseV2));
+    PutLengthPrefixed(&out, response.registry_text);
+  }
   return out;
 }
 
@@ -325,6 +335,15 @@ StatusOr<StatsResponse> ParseStatsResponse(std::string_view data) {
   ZR_RETURN_IF_ERROR(reader.GetVarint64(&response.fetch_latency_ns));
   ZR_RETURN_IF_ERROR(reader.GetVarint64(&response.insert_latency_ns));
   ZR_RETURN_IF_ERROR(reader.GetVarint64(&response.delete_latency_ns));
+  if (reader.empty()) return response;  // v1: fixed fields only
+  std::string_view version;
+  ZR_RETURN_IF_ERROR(reader.GetRaw(1, &version));
+  if (static_cast<uint8_t>(version[0]) != kStatsResponseV2) {
+    return Status::Corruption("unknown StatsResponse version");
+  }
+  std::string_view registry_text;
+  ZR_RETURN_IF_ERROR(reader.GetLengthPrefixed(&registry_text));
+  response.registry_text.assign(registry_text);
   ZR_RETURN_IF_ERROR(reader.ExpectEof());
   return response;
 }
@@ -486,7 +505,13 @@ size_t WireSizeOfStatsResponse(const StatsResponse& response) {
          static_cast<size_t>(VarintLength64(response.bytes_served)) +
          static_cast<size_t>(VarintLength64(response.fetch_latency_ns)) +
          static_cast<size_t>(VarintLength64(response.insert_latency_ns)) +
-         static_cast<size_t>(VarintLength64(response.delete_latency_ns));
+         static_cast<size_t>(VarintLength64(response.delete_latency_ns)) +
+         (response.registry_text.empty()
+              ? 0
+              : 1 +
+                    static_cast<size_t>(VarintLength32(static_cast<uint32_t>(
+                        response.registry_text.size()))) +
+                    response.registry_text.size());
 }
 
 size_t WireSizeOfAclRequest(const AclRequest& request) {

@@ -178,6 +178,14 @@ struct StatsResponse {
   uint64_t insert_latency_ns = 0;
   uint64_t delete_latency_ns = 0;
 
+  /// v2 extension: the server's full metrics registry in Prometheus text
+  /// exposition format (the scrape plane; see src/obs/registry.h). Metric
+  /// names and numbers only — never terms or plaintext (the
+  /// sealed-telemetry invariant). Encoding is versioned: an empty dump
+  /// serializes as the original fixed-field (v1) message, so v1 parsers
+  /// keep decoding dump-free responses and the v2 parser accepts both.
+  std::string registry_text;
+
   friend bool operator==(const StatsResponse&, const StatsResponse&) = default;
 };
 

@@ -19,11 +19,13 @@
 #include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
 #include "net/messages.h"
+#include "obs/registry.h"
 #include "util/coding.h"
 
 namespace zr::net {
@@ -79,6 +81,88 @@ uint32_t DecodeFrameLength(const char* p) {
 
 void AppendFrameHeader(std::string* out, uint32_t length) {
   PutFixed32(out, length);
+}
+
+// ---------------------------------------------------------------------------
+// Frame extension codec (tracing — see the framing comment in tcp.h).
+// ---------------------------------------------------------------------------
+
+std::string EncodeTraceContextExt(const obs::TraceContext& ctx) {
+  std::string ext;
+  ext.push_back(static_cast<char>(kFrameExtTraceContext));
+  PutFixed64(&ext, ctx.trace_id);
+  PutFixed64(&ext, ctx.span_id);
+  return ext;
+}
+
+std::string EncodeSpanReportExt(const std::vector<obs::SpanRecord>& spans) {
+  size_t count = std::min(spans.size(), kMaxSpansPerFrame);
+  std::string ext;
+  ext.push_back(static_cast<char>(kFrameExtSpanReport));
+  ext.push_back(static_cast<char>(count));
+  for (size_t i = 0; i < count; ++i) {
+    ext.push_back(static_cast<char>(spans[i].stage));
+    PutVarint64(&ext, spans[i].duration_ns);
+    PutVarint64(&ext, spans[i].detail);
+  }
+  return ext;
+}
+
+/// Appends the header + extension block of a flagged frame. Returns false
+/// when the extension cannot be expressed (block too large or the combined
+/// length overflowing the 31-bit field) — the caller then frames plainly.
+bool AppendExtendedFrameHeader(std::string* out, std::string_view ext,
+                               size_t payload_size) {
+  uint64_t total = 1 + ext.size() + payload_size;
+  if (ext.size() > 255 || total > kFrameLengthMask) return false;
+  PutFixed32(out, kFrameFlagExtension | static_cast<uint32_t>(total));
+  out->push_back(static_cast<char>(ext.size()));
+  out->append(ext);
+  return true;
+}
+
+/// Strips the extension block off a flagged frame body and decodes what
+/// the receiving side cares about: the trace context (server side, `ctx`
+/// non-null) or the span report (client side, `spans` non-null). Unknown
+/// extension types are skipped for forward compatibility. Returns false on
+/// a torn/oversized/malformed extension — receivers treat that exactly
+/// like a corrupt length prefix.
+bool ConsumeFrameExtension(std::string_view* body, obs::TraceContext* ctx,
+                           std::vector<obs::SpanRecord>* spans) {
+  if (body->empty()) return false;  // flagged frame too short for ext_len
+  uint8_t ext_len = static_cast<uint8_t>((*body)[0]);
+  if (1u + ext_len > body->size()) return false;  // torn extension
+  std::string_view ext = body->substr(1, ext_len);
+  body->remove_prefix(1u + ext_len);
+  if (ext.empty()) return true;  // flagged but empty: no context attached
+  uint8_t type = static_cast<uint8_t>(ext[0]);
+  if (type == kFrameExtTraceContext && ctx != nullptr) {
+    if (ext.size() != kTraceContextExtBytes) return false;
+    ByteReader reader(ext.substr(1));
+    (void)reader.GetFixed64(&ctx->trace_id);
+    (void)reader.GetFixed64(&ctx->span_id);
+    return true;
+  }
+  if (type == kFrameExtSpanReport && spans != nullptr) {
+    if (ext.size() < 2) return false;
+    size_t count = static_cast<uint8_t>(ext[1]);
+    if (count > kMaxSpansPerFrame) return false;
+    ByteReader reader(ext.substr(2));
+    for (size_t i = 0; i < count; ++i) {
+      std::string_view stage_byte;
+      obs::SpanRecord span;
+      if (!reader.GetRaw(1, &stage_byte).ok() ||
+          !obs::IsValidStageByte(static_cast<uint8_t>(stage_byte[0])) ||
+          !reader.GetVarint64(&span.duration_ns).ok() ||
+          !reader.GetVarint64(&span.detail).ok()) {
+        return false;
+      }
+      span.stage = static_cast<obs::Stage>(stage_byte[0]);
+      spans->push_back(span);
+    }
+    return reader.ExpectEof().ok();
+  }
+  return true;
 }
 
 void SetNoDelay(int fd) {
@@ -269,10 +353,10 @@ class TcpServer::Impl {
   }
 
   Status Init() {
-    // The frame length field is a u32; a larger configured limit could
-    // truncate a response length silently.
+    // The length value is 31 bits (the top bit flags a frame extension);
+    // a larger configured limit could truncate a response length silently.
     options_.max_frame_payload =
-        std::min<size_t>(options_.max_frame_payload, UINT32_MAX);
+        std::min<size_t>(options_.max_frame_payload, kFrameLengthMask);
     sockaddr_in sa;
     ZR_RETURN_IF_ERROR(ParseAddr(options_.listen_addr, &sa));
 
@@ -304,6 +388,26 @@ class TcpServer::Impl {
     ZR_ASSIGN_OR_RETURN(poller_, MakePoller(options_.force_poll));
     ZR_RETURN_IF_ERROR(poller_->Add(listen_fd_));
     ZR_RETURN_IF_ERROR(poller_->Add(wake_read_));
+
+    // Publish the server's counters through the process metrics registry
+    // (the scrape plane); the handle unregisters on Impl destruction,
+    // after Stop() has joined the event loop.
+    metrics_collector_ = obs::Registry::Global().RegisterCollector(
+        [this](std::vector<obs::Sample>* out) {
+          std::string labels = "addr=\"" + address_ + "\"";
+          TcpServerStats s = stats();
+          out->push_back(
+              {"zr_tcp_connections_accepted_total", labels,
+               s.connections_accepted});
+          out->push_back(
+              {"zr_tcp_connections_closed_total", labels, s.connections_closed});
+          out->push_back({"zr_tcp_frames_served_total", labels, s.frames_served});
+          out->push_back(
+              {"zr_tcp_protocol_errors_total", labels, s.protocol_errors});
+          out->push_back({"zr_tcp_bytes_read_total", labels, s.bytes_read});
+          out->push_back({"zr_tcp_bytes_written_total", labels, s.bytes_written});
+          out->push_back({"zr_tcp_open_sessions", labels, open_.load()});
+        });
 
     thread_ = std::thread([this] { Run(); });
     return Status::OK();
@@ -478,12 +582,19 @@ class TcpServer::Impl {
     Pump(fd, s);
   }
 
+  /// Frame-length ceiling for one announcement: flagged frames may carry
+  /// up to kMaxFrameExtOverhead extension bytes on top of the payload.
+  size_t FrameLengthLimit(bool flagged) const {
+    return options_.max_frame_payload + (flagged ? kMaxFrameExtOverhead : 0);
+  }
+
   /// True when a complete undispatched frame is buffered.
   bool HasCompleteFrame(const Session& s) const {
     if (s.in.size() - s.in_pos < kFrameHeaderBytes) return false;
-    uint32_t length = DecodeFrameLength(s.in.data() + s.in_pos);
+    uint32_t raw = DecodeFrameLength(s.in.data() + s.in_pos);
+    uint32_t length = raw & kFrameLengthMask;
     // An oversized announcement counts as actionable: dispatch rejects it.
-    if (length > options_.max_frame_payload) return true;
+    if (length > FrameLengthLimit(raw & kFrameFlagExtension)) return true;
     return s.in.size() - s.in_pos >= kFrameHeaderBytes + length;
   }
 
@@ -494,8 +605,10 @@ class TcpServer::Impl {
     while (!s->close_after_flush &&
            s->backlog() <= options_.max_session_backlog &&
            s->in.size() - s->in_pos >= kFrameHeaderBytes) {
-      uint32_t length = DecodeFrameLength(s->in.data() + s->in_pos);
-      if (length > options_.max_frame_payload) {
+      uint32_t raw = DecodeFrameLength(s->in.data() + s->in_pos);
+      uint32_t length = raw & kFrameLengthMask;
+      bool flagged = (raw & kFrameFlagExtension) != 0;
+      if (length > FrameLengthLimit(flagged)) {
         protocol_errors_.fetch_add(1);
         AppendResponse(s, SerializeErrorResponse(Status::InvalidArgument(
                               "tcp: frame payload exceeds limit")));
@@ -506,7 +619,23 @@ class TcpServer::Impl {
       if (s->in.size() - s->in_pos < kFrameHeaderBytes + length) break;
       std::string_view payload(s->in.data() + s->in_pos + kFrameHeaderBytes,
                                length);
-      Dispatch(s, payload);
+      obs::TraceContext ctx;
+      bool frame_ok = true;
+      if (flagged) {
+        // Strips the extension block; a torn or malformed one is a
+        // protocol error, handled exactly like an oversized frame.
+        frame_ok = ConsumeFrameExtension(&payload, &ctx, nullptr) &&
+                   payload.size() <= options_.max_frame_payload;
+      }
+      if (!frame_ok) {
+        protocol_errors_.fetch_add(1);
+        AppendResponse(s, SerializeErrorResponse(Status::InvalidArgument(
+                              "tcp: malformed frame extension")));
+        s->close_after_flush = true;
+        progress = true;
+        break;
+      }
+      Dispatch(s, payload, ctx);
       s->in_pos += kFrameHeaderBytes + length;
       progress = true;
     }
@@ -570,8 +699,23 @@ class TcpServer::Impl {
     return serialize(*served);
   }
 
-  void Dispatch(Session* s, std::string_view payload) {
+  void Dispatch(Session* s, std::string_view payload,
+                const obs::TraceContext& ctx) {
     bool parsed_ok = false;
+    // A traced request: serve under its trace context with a span sink
+    // installed, so every stage the dispatch passes through (index serve,
+    // WAL append, ...) collects here instead of this process's tracer —
+    // the spans ride back to the requesting process in the response
+    // frame's extension.
+    obs::SpanCollector collected;
+    std::optional<obs::ScopedTrace> scoped_trace;
+    std::optional<obs::ScopedSpanSink> scoped_sink;
+    uint64_t serve_start = 0;
+    if (ctx.active()) {
+      scoped_trace.emplace(ctx);
+      scoped_sink.emplace(&collected);
+      serve_start = obs::MonotonicNowNs();
+    }
     std::string response;
     switch (TagOf(payload)) {
       case MessageTag::kQueryRequest:
@@ -654,11 +798,31 @@ class TcpServer::Impl {
       response = SerializeErrorResponse(Status::InvalidArgument(
           "tcp: response exceeds frame payload limit"));
     }
-    AppendResponse(s, response);
+    if (ctx.active()) {
+      collected.Add({ctx.trace_id, obs::Stage::kShardServe,
+                     obs::MonotonicNowNs() - serve_start,
+                     static_cast<uint64_t>(TagOf(payload))});
+      AppendResponseWithSpans(s, response, collected.spans());
+    } else {
+      AppendResponse(s, response);
+    }
   }
 
   void AppendResponse(Session* s, std::string_view payload) {
     AppendFrameHeader(&s->out, static_cast<uint32_t>(payload.size()));
+    s->out.append(payload.data(), payload.size());
+  }
+
+  /// Frames a response to a traced request: the collected spans travel in
+  /// the extension block. Falls back to plain framing when the extension
+  /// cannot be expressed.
+  void AppendResponseWithSpans(Session* s, std::string_view payload,
+                               const std::vector<obs::SpanRecord>& spans) {
+    std::string ext = EncodeSpanReportExt(spans);
+    if (!AppendExtendedFrameHeader(&s->out, ext, payload.size())) {
+      AppendResponse(s, payload);
+      return;
+    }
     s->out.append(payload.data(), payload.size());
   }
 
@@ -705,6 +869,10 @@ class TcpServer::Impl {
   std::atomic<uint64_t> bytes_read_{0};
   std::atomic<uint64_t> bytes_written_{0};
   std::atomic<size_t> open_{0};
+
+  // Last member: unregistered first on destruction, and RemoveCollector
+  // blocks out in-flight scrapes, so a scrape can never read a dead Impl.
+  obs::CollectorHandle metrics_collector_;
 };
 
 TcpServer::TcpServer(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {
@@ -741,9 +909,9 @@ TcpSession::TcpSession(std::string connect_addr)
 
 TcpSession::TcpSession(std::string connect_addr, Options options)
     : connect_addr_(std::move(connect_addr)), options_(options) {
-  // u32 length field (see TcpServer::Impl::Init).
+  // 31-bit length field (see TcpServer::Impl::Init).
   options_.max_frame_payload =
-      std::min<size_t>(options_.max_frame_payload, UINT32_MAX);
+      std::min<size_t>(options_.max_frame_payload, kFrameLengthMask);
 }
 
 TcpSession::~TcpSession() {
@@ -858,8 +1026,21 @@ Status TcpSession::SendFrame(std::string_view payload) {
     return Status::InvalidArgument("tcp: request exceeds frame payload limit");
   }
   ZR_RETURN_IF_ERROR(Connect());
+  // An active trace context rides along as a frame extension. `header`
+  // then carries the flagged length, the ext_len byte and the extension
+  // block, so the gathered send below needs no other change. Untraced
+  // sends build exactly the 4 plain header bytes — byte-identical to the
+  // extension-less protocol.
   std::string header;
-  AppendFrameHeader(&header, static_cast<uint32_t>(payload.size()));
+  obs::TraceContext ctx = obs::CurrentTrace();
+  bool extended = false;
+  if (ctx.active()) {
+    extended = AppendExtendedFrameHeader(&header, EncodeTraceContextExt(ctx),
+                                         payload.size());
+  }
+  if (!extended) {
+    AppendFrameHeader(&header, static_cast<uint32_t>(payload.size()));
+  }
   // One gathered sendmsg instead of a joined copy or two sends: no
   // payload copy for megabyte frames, and with TCP_NODELAY the header
   // never goes out as its own segment. MSG_NOSIGNAL: a dead connection
@@ -895,7 +1076,8 @@ Status TcpSession::SendFrame(std::string_view payload) {
       }
     }
   }
-  socket_stats_.bytes_up += kFrameHeaderBytes + payload.size();
+  socket_stats_.bytes_up += header.size() + payload.size();
+  socket_stats_.ext_bytes_up += header.size() - kFrameHeaderBytes;
   ++socket_stats_.frames_up;
   return Status::OK();
 }
@@ -927,8 +1109,12 @@ Status TcpSession::RecvFrame(std::string* payload) {
 
   char header[kFrameHeaderBytes];
   ZR_RETURN_IF_ERROR(read_exactly(header, kFrameHeaderBytes));
-  uint32_t length = DecodeFrameLength(header);
-  if (length > options_.max_frame_payload) {
+  uint32_t raw = DecodeFrameLength(header);
+  uint32_t length = raw & kFrameLengthMask;
+  bool flagged = (raw & kFrameFlagExtension) != 0;
+  size_t limit = options_.max_frame_payload +
+                 (flagged ? kMaxFrameExtOverhead : 0);
+  if (length > limit) {
     MarkBroken();
     return Status::Corruption("tcp: response frame exceeds payload limit");
   }
@@ -936,6 +1122,20 @@ Status TcpSession::RecvFrame(std::string* payload) {
   if (length > 0) ZR_RETURN_IF_ERROR(read_exactly(payload->data(), length));
   socket_stats_.bytes_down += kFrameHeaderBytes + length;
   ++socket_stats_.frames_down;
+  response_spans_.clear();
+  if (flagged) {
+    // A span report from the server (response to a traced request): strip
+    // it off the payload and expose it via response_spans(). A torn or
+    // malformed extension is as fatal as a corrupt length prefix.
+    std::string_view body(*payload);
+    if (!ConsumeFrameExtension(&body, nullptr, &response_spans_) ||
+        body.size() > options_.max_frame_payload) {
+      MarkBroken();
+      return Status::Corruption("tcp: malformed response frame extension");
+    }
+    socket_stats_.ext_bytes_down += length - body.size();
+    payload->erase(0, length - body.size());
+  }
   return Status::OK();
 }
 
@@ -983,7 +1183,18 @@ StatusOr<Response> TcpTransport::Exchange(
     return TcpDriftError(request_name);
   }
   std::string wire_response;
+  bool traced = obs::CurrentTrace().active();
+  uint64_t start = traced ? obs::MonotonicNowNs() : 0;
   ZR_RETURN_IF_ERROR(ExchangeFrames(wire_request, &wire_response));
+  if (traced) {
+    obs::RecordSpan(obs::Stage::kTransport, obs::MonotonicNowNs() - start,
+                    static_cast<uint64_t>(TagOf(wire_request)));
+    // Server-side spans from the response extension enter this process's
+    // tracer under the same trace id.
+    for (const obs::SpanRecord& span : session_.response_spans()) {
+      obs::RecordSpan(span.stage, span.duration_ns, span.detail);
+    }
+  }
   if (IsErrorResponse(wire_response)) {
     Status decoded;
     ZR_RETURN_IF_ERROR(ParseErrorResponse(wire_response, &decoded));

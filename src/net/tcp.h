@@ -16,6 +16,26 @@
 // byte accounting be cross-checked against LoopbackTransport's to the
 // byte: socket_bytes == payload_bytes + kFrameHeaderBytes * frames.
 //
+// Optional frame extension (tracing): when the sender has an active
+// obs::TraceContext, it sets the top bit of the length field and prepends
+// an extension block to the frame body:
+//
+//     [u32 LE: kFrameFlagExtension | (1 + ext_len + payload_len)]
+//     [u8 ext_len][ext bytes][payload]
+//
+// Requests carry the trace context (kFrameExtTraceContext: two fixed64
+// ids); responses to traced requests carry the spans the server collected
+// while dispatching (kFrameExtSpanReport), which the client records into
+// its own process tracer under the originating trace id. Untraced frames
+// never set the flag and are byte-identical to the plain framing above
+// (asserted in net_tcp_test.cc), so the top bit costs nothing until a
+// trace passes through. Extension bytes are accounted separately
+// (TcpSocketStats::ext_bytes_*), keeping the payload identity exact:
+// socket_bytes == payload_bytes + kFrameHeaderBytes * frames + ext_bytes.
+// A torn or oversized extension (ext_len overrunning the frame) is a
+// protocol error: the receiver rejects the frame and drops the
+// connection, exactly like an oversized length announcement.
+//
 // Three pieces:
 //
 //  * TcpServer — single-threaded event loop (epoll on Linux, poll()
@@ -55,6 +75,7 @@
 
 #include "net/channel.h"
 #include "net/transport.h"
+#include "obs/trace.h"
 #include "util/status.h"
 #include "util/statusor.h"
 
@@ -67,6 +88,28 @@ inline constexpr size_t kFrameHeaderBytes = 4;
 /// the repo's corpora; small enough that a corrupt or hostile length
 /// prefix cannot make either side allocate unbounded memory.
 inline constexpr size_t kDefaultMaxFramePayload = 64u << 20;
+
+/// Top bit of the frame length field: the frame body starts with an
+/// extension block (see the file comment). The length value proper is
+/// therefore 31 bits, and configured payload limits clamp to
+/// kFrameLengthMask.
+inline constexpr uint32_t kFrameFlagExtension = 0x80000000u;
+inline constexpr uint32_t kFrameLengthMask = 0x7FFFFFFFu;
+
+/// Extension block types (first byte of a non-empty extension).
+inline constexpr uint8_t kFrameExtTraceContext = 1;  ///< requests: 2× fixed64
+inline constexpr uint8_t kFrameExtSpanReport = 2;    ///< responses: span list
+
+/// Size of an encoded trace-context extension (type + trace id + span id).
+inline constexpr size_t kTraceContextExtBytes = 17;
+
+/// Ceiling on spans returned per response frame (the u8 count and the u8
+/// ext_len both bound it; 8 comfortably covers one dispatch's stages).
+inline constexpr size_t kMaxSpansPerFrame = 8;
+
+/// Worst-case extension overhead per frame: the ext_len byte plus a
+/// maximal (255-byte) extension block.
+inline constexpr size_t kMaxFrameExtOverhead = 256;
 
 // ---------------------------------------------------------------------------
 // Server
@@ -172,14 +215,17 @@ class TcpServer {
 // ---------------------------------------------------------------------------
 
 /// Real socket traffic of a client session/transport, frame headers
-/// included. payload bytes == socket bytes - kFrameHeaderBytes * frames
-/// (only complete frames are counted, so the identity is exact).
+/// included. payload bytes == socket bytes - kFrameHeaderBytes * frames -
+/// ext bytes (only complete frames are counted, so the identity is exact;
+/// ext bytes are zero unless tracing put extensions on the wire).
 struct TcpSocketStats {
   uint64_t bytes_up = 0;    ///< socket bytes written (headers included)
   uint64_t bytes_down = 0;  ///< socket bytes read (headers included)
   uint64_t frames_up = 0;   ///< complete request frames written
   uint64_t frames_down = 0; ///< complete response frames read
   uint64_t reconnects = 0;  ///< successful reconnections after an error
+  uint64_t ext_bytes_up = 0;    ///< frame-extension bytes written (tracing)
+  uint64_t ext_bytes_down = 0;  ///< frame-extension bytes read (tracing)
 };
 
 /// One client connection: connect, framed send/receive, pipelining.
@@ -219,8 +265,17 @@ class TcpSession {
   Status SendFrame(std::string_view payload);
 
   /// Reads one complete frame payload, handling partial reads. A peer
-  /// disconnect or timeout breaks the session and returns an error.
+  /// disconnect or timeout breaks the session and returns an error. When
+  /// the frame carries a span-report extension (the response to a traced
+  /// request), the spans are exposed via response_spans() until the next
+  /// RecvFrame.
   Status RecvFrame(std::string* payload);
+
+  /// Spans decoded from the last received frame's extension (empty for
+  /// plain frames). Trace ids are zero — the caller owns the context.
+  const std::vector<obs::SpanRecord>& response_spans() const {
+    return response_spans_;
+  }
 
   /// Drops the connection (the next SendFrame reconnects). Used when the
   /// stream position can no longer be trusted — e.g. a response that
@@ -243,6 +298,7 @@ class TcpSession {
   int fd_ = -1;
   bool ever_connected_ = false;
   TcpSocketStats socket_stats_;
+  std::vector<obs::SpanRecord> response_spans_;
 };
 
 // ---------------------------------------------------------------------------

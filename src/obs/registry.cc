@@ -1,0 +1,127 @@
+#include "obs/registry.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace zr::obs {
+
+CollectorHandle& CollectorHandle::operator=(CollectorHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+void CollectorHandle::Release() {
+  if (registry_ != nullptr) {
+    registry_->RemoveCollector(id_);
+    registry_ = nullptr;
+    id_ = 0;
+  }
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+namespace {
+
+template <typename T>
+T* GetOrCreate(std::map<std::string, std::unique_ptr<T>, std::less<>>* map,
+               std::string_view name) {
+  auto it = map->find(name);
+  if (it == map->end()) {
+    it = map->emplace(std::string(name), std::make_unique<T>()).first;
+  }
+  return it->second.get();
+}
+
+void AppendMetricLine(std::string* out, std::string_view name,
+                      std::string_view labels, uint64_t value) {
+  out->append(name);
+  if (!labels.empty()) {
+    out->push_back('{');
+    out->append(labels);
+    out->push_back('}');
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", value);
+  out->append(buf);
+}
+
+}  // namespace
+
+Counter* Registry::GetCounter(std::string_view name) {
+  MutexLock lock(mu_);
+  return GetOrCreate(&counters_, name);
+}
+
+Gauge* Registry::GetGauge(std::string_view name) {
+  MutexLock lock(mu_);
+  return GetOrCreate(&gauges_, name);
+}
+
+Histogram* Registry::GetHistogram(std::string_view name) {
+  MutexLock lock(mu_);
+  return GetOrCreate(&histograms_, name);
+}
+
+CollectorHandle Registry::RegisterCollector(Collector fn) {
+  MutexLock lock(mu_);
+  uint64_t id = next_collector_id_++;
+  collectors_.emplace(id, std::move(fn));
+  return CollectorHandle(this, id);
+}
+
+void Registry::RemoveCollector(uint64_t id) {
+  MutexLock lock(mu_);
+  collectors_.erase(id);
+}
+
+std::vector<Sample> Registry::CollectSamples() const {
+  std::vector<Sample> samples;
+  MutexLock lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    samples.push_back({name, "", counter->Value()});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    samples.push_back({name, "", gauge->Value()});
+  }
+  for (const auto& [id, collector] : collectors_) {
+    collector(&samples);
+  }
+  return samples;
+}
+
+std::string Registry::RenderPrometheus() const {
+  std::string out;
+  for (const Sample& s : CollectSamples()) {
+    AppendMetricLine(&out, s.name, s.labels, s.value);
+  }
+  MutexLock lock(mu_);
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot snap = histogram->Snapshot();
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < snap.buckets.size(); ++i) {
+      if (snap.buckets[i] == 0) continue;  // sparse: the grid has 360 cells
+      cumulative += snap.buckets[i];
+      char le[48];
+      std::snprintf(le, sizeof(le), "le=\"%.6g\"",
+                    LatencyHistogram::BucketEdge(i + 1));
+      AppendMetricLine(&out, name + "_bucket", le, cumulative);
+    }
+    AppendMetricLine(&out, name + "_bucket", "le=\"+Inf\"", snap.count);
+    AppendMetricLine(&out, name + "_sum", "", snap.sum_ns);
+    AppendMetricLine(&out, name + "_count", "", snap.count);
+    AppendMetricLine(&out, name + "_min", "", snap.min_ns);
+    AppendMetricLine(&out, name + "_max", "", snap.max_ns);
+  }
+  return out;
+}
+
+}  // namespace zr::obs

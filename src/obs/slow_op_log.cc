@@ -1,0 +1,46 @@
+#include "obs/slow_op_log.h"
+
+#include "obs/registry.h"
+
+namespace zr::obs {
+
+SlowOpLog& SlowOpLog::Global() {
+  static SlowOpLog* log = new SlowOpLog();
+  return *log;
+}
+
+void SlowOpLog::MaybeRecord(SlowOp op) {
+  uint64_t threshold = threshold_ns_.load(std::memory_order_relaxed);
+  if (threshold == 0 || op.latency_ns < threshold) return;
+  if (op.trace_id == 0) op.trace_id = CurrentTrace().trace_id;
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  static Counter* slow_ops =
+      Registry::Global().GetCounter("zr_slow_ops_total");
+  slow_ops->Add(1);
+  MutexLock lock(mu_);
+  if (ring_.size() < kCapacity && !wrapped_) {
+    ring_.push_back(op);
+    return;
+  }
+  wrapped_ = true;
+  ring_[next_] = op;
+  next_ = (next_ + 1) % ring_.size();
+}
+
+std::vector<SlowOp> SlowOpLog::Drain() {
+  MutexLock lock(mu_);
+  std::vector<SlowOp> out;
+  if (wrapped_) {
+    out.reserve(ring_.size());
+    out.insert(out.end(), ring_.begin() + static_cast<long>(next_), ring_.end());
+    out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<long>(next_));
+  } else {
+    out = std::move(ring_);
+  }
+  ring_.clear();
+  next_ = 0;
+  wrapped_ = false;
+  return out;
+}
+
+}  // namespace zr::obs

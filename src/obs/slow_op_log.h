@@ -1,0 +1,77 @@
+// Ring-buffered slow-operation log.
+//
+// Any instrumented site may offer a completed operation via MaybeRecord;
+// entries at or above the configured threshold are kept in a bounded ring
+// and counted in the registry (`zr_slow_ops_total`). Entries carry numeric
+// ids only — stage, list id, handle, latency, trace id — never terms or
+// plaintext (sealed-telemetry invariant, linted by tools/check_sealed.py).
+// Threshold 0 disables the log entirely; the fast path is then one
+// relaxed atomic load.
+
+#ifndef ZERBERR_OBS_SLOW_OP_LOG_H_
+#define ZERBERR_OBS_SLOW_OP_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/mutex.h"
+
+namespace zr::obs {
+
+struct SlowOp {
+  Stage stage = Stage::kClientOp;
+  uint64_t list = 0;
+  uint64_t handle = 0;
+  uint64_t latency_ns = 0;
+  uint64_t trace_id = 0;  // 0 when the op was not traced
+
+  friend bool operator==(const SlowOp&, const SlowOp&) = default;
+};
+
+class SlowOpLog {
+ public:
+  static constexpr size_t kCapacity = 1024;
+
+  /// The process-wide log (shard servers and the load driver share it
+  /// within their own processes).
+  static SlowOpLog& Global();
+
+  SlowOpLog() = default;
+  SlowOpLog(const SlowOpLog&) = delete;
+  SlowOpLog& operator=(const SlowOpLog&) = delete;
+
+  /// Ops with latency >= threshold are recorded; 0 disables.
+  void set_threshold_ns(uint64_t ns) {
+    threshold_ns_.store(ns, std::memory_order_relaxed);
+  }
+  uint64_t threshold_ns() const {
+    return threshold_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Records `op` if the log is enabled and op.latency_ns clears the
+  /// threshold. The trace id is taken from the caller's current trace
+  /// context when op.trace_id is 0.
+  void MaybeRecord(SlowOp op);
+
+  /// Slowest-retained entries in record order; clears the ring.
+  std::vector<SlowOp> Drain();
+
+  /// Entries recorded since process start (including overwritten ones).
+  uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> threshold_ns_{0};
+  std::atomic<uint64_t> recorded_{0};
+  mutable Mutex mu_;
+  std::vector<SlowOp> ring_ ZR_GUARDED_BY(mu_);
+  size_t next_ ZR_GUARDED_BY(mu_) = 0;
+  bool wrapped_ ZR_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace zr::obs
+
+#endif  // ZERBERR_OBS_SLOW_OP_LOG_H_

@@ -6,6 +6,9 @@
 #include <filesystem>
 #include <utility>
 
+#include "obs/registry.h"
+#include "obs/slow_op_log.h"
+#include "obs/trace.h"
 #include "store/fs.h"
 #include "zerber/persistence.h"
 #include "zerber/routing.h"
@@ -15,6 +18,25 @@ namespace zr::store {
 namespace fs = std::filesystem;
 
 namespace {
+
+/// Appends `record` to `wal`, timing the append into the always-on
+/// zr_wal_append_latency_ns registry histogram and — when the calling
+/// thread carries an active trace — a kWalAppend span whose detail is the
+/// (numeric, local) list id. Telemetry stays sealed: list ids and
+/// durations only, never record contents.
+Status TimedWalAppend(WalWriter* wal, const WalRecord& record) {
+  static obs::Histogram* latency =
+      obs::Registry::Global().GetHistogram("zr_wal_append_latency_ns");
+  uint64_t start = obs::MonotonicNowNs();
+  Status logged = wal->Append(record);
+  uint64_t elapsed = obs::MonotonicNowNs() - start;
+  latency->Record(elapsed);
+  obs::RecordSpan(obs::Stage::kWalAppend, elapsed, record.list);
+  obs::SlowOpLog::Global().MaybeRecord({obs::Stage::kWalAppend, record.list,
+                                        record.handle, elapsed,
+                                        /*trace_id=*/0});
+  return logged;
+}
 
 /// Parses "<prefix><decimal epoch><suffix>"; false when `name` is not of
 /// that shape.
@@ -408,7 +430,7 @@ StatusOr<net::InsertResponse> DurableIndexService::Insert(
     record.list = LocalList(request.list);
     record.element = request.element;
     record.element.handle = response.handle;
-    Status logged = partition.wal->Append(record);
+    Status logged = TimedWalAppend(partition.wal.get(), record);
     if (!logged.ok()) {
       // The insert is unacked; scrub it from the live index so serving
       // matches what recovery will reconstruct. (Deletes cannot be undone
@@ -456,7 +478,7 @@ StatusOr<net::DeleteResponse> DurableIndexService::Delete(
     record.type = WalRecord::Type::kDelete;
     record.list = LocalList(request.list);
     record.handle = request.handle;
-    ZR_RETURN_IF_ERROR(partition.wal->Append(record));
+    ZR_RETURN_IF_ERROR(TimedWalAppend(partition.wal.get(), record));
     bool rotate =
         partition.wal->SizeBytes() >= options_.snapshot_threshold_bytes;
     gate.Unlock();

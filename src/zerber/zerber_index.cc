@@ -2,29 +2,70 @@
 
 #include <chrono>
 
+#include "obs/slow_op_log.h"
+
 namespace zr::zerber {
 
 namespace {
 
 /// Accumulates the enclosing scope's wall time into an atomic nanosecond
-/// counter (the per-op latency sums of ServerStats).
-class LatencyTimer {
+/// counter (the per-op latency sums of ServerStats) AND — with the same
+/// measured value, so the two stay equal to the nanosecond — into the
+/// registry latency histogram, whose side-tracked SumNs therefore carries
+/// the legacy sum losslessly. The same measurement also feeds the tracing
+/// span (when a trace is active) and the slow-op log (when enabled); both
+/// record only numeric ids (list, handle), never terms.
+class OpTimer {
  public:
-  explicit LatencyTimer(std::atomic<uint64_t>* sink)
-      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
-  ~LatencyTimer() {
-    auto elapsed = std::chrono::steady_clock::now() - start_;
-    sink_->fetch_add(
-        static_cast<uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-                .count()),
-        std::memory_order_relaxed);
+  OpTimer(std::atomic<uint64_t>* sink, obs::Histogram* histogram,
+          uint64_t list, uint64_t handle = 0)
+      : sink_(sink),
+        histogram_(histogram),
+        list_(list),
+        handle_(handle),
+        start_(std::chrono::steady_clock::now()) {}
+
+  void set_handle(uint64_t handle) { handle_ = handle; }
+
+  ~OpTimer() {
+    uint64_t elapsed = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+    sink_->fetch_add(elapsed, std::memory_order_relaxed);
+    histogram_->Record(elapsed);
+    obs::RecordSpan(obs::Stage::kIndexServe, elapsed, list_);
+    obs::SlowOpLog::Global().MaybeRecord(
+        {obs::Stage::kIndexServe, list_, handle_, elapsed, /*trace_id=*/0});
   }
 
  private:
   std::atomic<uint64_t>* sink_;
+  obs::Histogram* histogram_;
+  uint64_t list_;
+  uint64_t handle_;
   std::chrono::steady_clock::time_point start_;
 };
+
+// Registered once, shared by every IndexServer in the process (each
+// shard-server process hosts exactly one, so scrapes stay per-shard).
+obs::Histogram* FetchLatencyHistogram() {
+  static obs::Histogram* h =
+      obs::Registry::Global().GetHistogram("zr_index_fetch_latency_ns");
+  return h;
+}
+
+obs::Histogram* InsertLatencyHistogram() {
+  static obs::Histogram* h =
+      obs::Registry::Global().GetHistogram("zr_index_insert_latency_ns");
+  return h;
+}
+
+obs::Histogram* DeleteLatencyHistogram() {
+  static obs::Histogram* h =
+      obs::Registry::Global().GetHistogram("zr_index_delete_latency_ns");
+  return h;
+}
 
 }  // namespace
 
@@ -37,6 +78,35 @@ IndexServer::IndexServer(size_t num_lists, Placement placement, uint64_t seed,
   for (size_t i = 0; i < kLockStripes; ++i) {
     stripe_rngs_.emplace_back(seed + 0x9E3779B97F4A7C15ull * i);
   }
+  // ServerStats through the one metrics interface: in-process deployments
+  // may register several servers (the shard label keeps them apart;
+  // readers sum duplicate series), shard-server processes exactly one.
+  metrics_collector_ = obs::Registry::Global().RegisterCollector(
+      [this](std::vector<obs::Sample>* out) {
+        std::string labels =
+            "shard=\"" + std::to_string(handles_.offset) + "\"";
+        ServerStats s = stats();
+        out->push_back(
+            {"zr_server_fetch_requests_total", labels, s.fetch_requests});
+        out->push_back(
+            {"zr_server_insert_requests_total", labels, s.insert_requests});
+        out->push_back(
+            {"zr_server_insert_denied_total", labels, s.insert_denied});
+        out->push_back(
+            {"zr_server_delete_requests_total", labels, s.delete_requests});
+        out->push_back(
+            {"zr_server_delete_denied_total", labels, s.delete_denied});
+        out->push_back(
+            {"zr_server_elements_served_total", labels, s.elements_served});
+        out->push_back(
+            {"zr_server_bytes_served_total", labels, s.bytes_served});
+        out->push_back(
+            {"zr_server_fetch_latency_ns_total", labels, s.fetch_latency_ns});
+        out->push_back(
+            {"zr_server_insert_latency_ns_total", labels, s.insert_latency_ns});
+        out->push_back(
+            {"zr_server_delete_latency_ns_total", labels, s.delete_latency_ns});
+      });
 }
 
 uint64_t IndexServer::AssignHandle() {
@@ -101,7 +171,7 @@ Status IndexServer::ReplayDelete(MergedListId list, uint64_t handle) {
 StatusOr<uint64_t> IndexServer::Insert(UserId user, MergedListId list,
                                        EncryptedPostingElement element) {
   stats_.insert_requests.fetch_add(1, std::memory_order_relaxed);
-  LatencyTimer timer(&stats_.insert_latency_ns);
+  OpTimer timer(&stats_.insert_latency_ns, InsertLatencyHistogram(), list);
   if (list >= lists_.size()) {
     return Status::OutOfRange("merged list " + std::to_string(list) +
                               " does not exist");
@@ -115,6 +185,7 @@ StatusOr<uint64_t> IndexServer::Insert(UserId user, MergedListId list,
   }
   element.handle = AssignHandle();
   uint64_t handle = element.handle;
+  timer.set_handle(handle);
   size_t stripe = StripeOf(list);
   WriterMutexLock lock(stripe_locks_[stripe]);
   lists_[list].Insert(std::move(element), &stripe_rngs_[stripe]);
@@ -123,7 +194,8 @@ StatusOr<uint64_t> IndexServer::Insert(UserId user, MergedListId list,
 
 Status IndexServer::Delete(UserId user, MergedListId list, uint64_t handle) {
   stats_.delete_requests.fetch_add(1, std::memory_order_relaxed);
-  LatencyTimer timer(&stats_.delete_latency_ns);
+  OpTimer timer(&stats_.delete_latency_ns, DeleteLatencyHistogram(), list,
+                handle);
   if (list >= lists_.size()) {
     return Status::OutOfRange("merged list " + std::to_string(list) +
                               " does not exist");
@@ -148,7 +220,7 @@ Status IndexServer::Delete(UserId user, MergedListId list, uint64_t handle) {
 StatusOr<FetchResult> IndexServer::Fetch(UserId user, MergedListId list,
                                          size_t offset, size_t count) {
   stats_.fetch_requests.fetch_add(1, std::memory_order_relaxed);
-  LatencyTimer timer(&stats_.fetch_latency_ns);
+  OpTimer timer(&stats_.fetch_latency_ns, FetchLatencyHistogram(), list);
   if (list >= lists_.size()) {
     return Status::OutOfRange("merged list " + std::to_string(list) +
                               " does not exist");

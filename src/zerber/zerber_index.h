@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/registry.h"
 #include "util/mutex.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -249,6 +250,11 @@ class IndexServer {
   std::atomic<uint64_t> next_seq_{1};
   /// No runtime state; see quiescence().
   mutable Quiescence quiescence_;
+  /// Publishes the ServerStats counters through the process metrics
+  /// registry (obs/registry.h). LAST member: destroyed first, and
+  /// RemoveCollector blocks out in-flight scrapes, so a scrape can never
+  /// observe a partially-destroyed server.
+  obs::CollectorHandle metrics_collector_;
 };
 
 }  // namespace zr::zerber

@@ -153,6 +153,66 @@ TEST_F(LoadDriverDeterminismTest, DifferentSeedsProduceDifferentTraffic) {
   EXPECT_NE(r1.transport.bytes_down, r2.transport.bytes_down);
 }
 
+TEST_F(LoadDriverDeterminismTest, TraceSamplingOffLeavesReportByteIdentical) {
+  // trace_sample is an observability overlay, not part of the workload:
+  // with sampling off (the default), a fixed-seed report must stay
+  // byte-identical to one produced by a binary that never heard of
+  // tracing — the "obs" block is all-zero and byte-stable, and the spec
+  // JSON deliberately omits the knob (the perf gate compares specs).
+  auto p1 = BuildTinyPipeline();
+  auto p2 = BuildTinyPipeline();
+  LoadSpec off = SingleWorkerSpec();
+  ASSERT_EQ(off.trace_sample, 0u);
+  LoadSpec also_off = SingleWorkerSpec();
+  also_off.slow_op_threshold_ns = 0;  // explicit zero == default
+  LoadReport r1 = MustRun(p1.get(), off);
+  LoadReport r2 = MustRun(p2.get(), also_off);
+  r1.server.fetch_latency_ns = r2.server.fetch_latency_ns = 0;
+  r1.server.insert_latency_ns = r2.server.insert_latency_ns = 0;
+  r1.server.delete_latency_ns = r2.server.delete_latency_ns = 0;
+  EXPECT_EQ(r1.ToJson(), r2.ToJson());
+  EXPECT_EQ(r1.obs.traces, 0u);
+  EXPECT_EQ(r1.obs.spans, 0u);
+  EXPECT_EQ(r1.ToJson().find("trace_sample"), std::string::npos)
+      << "overlay knobs must not enter the spec JSON";
+}
+
+TEST_F(LoadDriverDeterminismTest, TraceSamplingDoesNotPerturbTheOpStream) {
+  // Sampling 1-in-N ops adds spans to the report but must not change what
+  // the workload did: op counts, bytes, elements, and server counters are
+  // identical with sampling on and off.
+  auto p1 = BuildTinyPipeline();
+  auto p2 = BuildTinyPipeline();
+  LoadSpec off = SingleWorkerSpec();
+  LoadSpec on = SingleWorkerSpec();
+  on.trace_sample = 8;
+  LoadReport r_off = MustRun(p1.get(), off);
+  LoadReport r_on = MustRun(p2.get(), on);
+
+  for (size_t c = 0; c < kNumOpClasses; ++c) {
+    EXPECT_EQ(r_on.op_classes[c].attempted, r_off.op_classes[c].attempted);
+    EXPECT_EQ(r_on.op_classes[c].ok, r_off.op_classes[c].ok);
+    EXPECT_EQ(r_on.op_classes[c].bytes, r_off.op_classes[c].bytes);
+    EXPECT_EQ(r_on.op_classes[c].elements, r_off.op_classes[c].elements);
+  }
+  EXPECT_EQ(r_on.transport.bytes_up, r_off.transport.bytes_up);
+  EXPECT_EQ(r_on.transport.bytes_down, r_off.transport.bytes_down);
+  EXPECT_EQ(r_on.server.insert_requests, r_off.server.insert_requests);
+
+  // ...but the sampled ops were traced: 150 ops at 1-in-8 -> 19 traces
+  // (op indices 0, 8, ..., 144), each with at least a client_op span.
+  EXPECT_EQ(r_on.obs.traces, 19u);
+  EXPECT_GE(r_on.obs.spans, r_on.obs.traces);
+  const ObsStageReport& client_op =
+      r_on.obs.stages[static_cast<size_t>(obs::Stage::kClientOp) - 1];
+  EXPECT_EQ(client_op.count, 19u);
+  EXPECT_EQ(r_off.obs.traces, 0u);
+
+  // In-process deployment: no router/shard/WAL stages, so no trace can be
+  // "complete" by the cluster definition.
+  EXPECT_EQ(r_on.obs.complete_traces, 0u);
+}
+
 TEST_F(LoadDriverDeterminismTest, ReportInternalConsistency) {
   auto p = BuildTinyPipeline();
   LoadReport r = MustRun(p.get(), SingleWorkerSpec());

@@ -403,7 +403,7 @@ TEST(MessagesTest, ControlPlaneRoundTrips) {
   auto sreq = ParseStatsRequest(SerializeStatsRequest(stats_request));
   ASSERT_TRUE(sreq.ok());
 
-  StatsResponse stats{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  StatsResponse stats{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, ""};
   auto stats_decoded = ParseStatsResponse(SerializeStatsResponse(stats));
   ASSERT_TRUE(stats_decoded.ok());
   EXPECT_EQ(*stats_decoded, stats);
@@ -420,6 +420,65 @@ TEST(MessagesTest, ControlPlaneRoundTrips) {
 
   AclResponse ack;
   EXPECT_TRUE(ParseAclResponse(SerializeAclResponse(ack)).ok());
+}
+
+TEST(MessagesTest, StatsResponseV2CarriesRegistryDump) {
+  StatsResponse stats{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, ""};
+  stats.registry_text =
+      "# TYPE zr_tcp_frames_served_total counter\n"
+      "zr_tcp_frames_served_total 42\n";
+  std::string wire = SerializeStatsResponse(stats);
+  EXPECT_EQ(wire.size(), WireSizeOfStatsResponse(stats));
+  auto decoded = ParseStatsResponse(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, stats);
+  EXPECT_EQ(decoded->registry_text, stats.registry_text);
+}
+
+TEST(MessagesTest, StatsResponseEmptyDumpSerializesAsV1) {
+  // The v2 tail only appears when there is a dump: a dump-free response is
+  // byte-identical to the pre-versioning (v1) encoding, so old parsers that
+  // stop after the ten fixed fields keep working.
+  StatsResponse stats{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, ""};
+  std::string wire = SerializeStatsResponse(stats);
+
+  StatsResponse with_dump = stats;
+  with_dump.registry_text = "zr_x_total 1\n";
+  std::string v2_wire = SerializeStatsResponse(with_dump);
+
+  // v1 encoding is a strict prefix of the v2 encoding of the same fields.
+  ASSERT_LT(wire.size(), v2_wire.size());
+  EXPECT_EQ(v2_wire.compare(0, wire.size(), wire), 0);
+
+  // A v1 wire image (no tail at all) still parses, with an empty dump.
+  auto decoded = ParseStatsResponse(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->registry_text.empty());
+  EXPECT_EQ(*decoded, stats);
+}
+
+TEST(MessagesTest, StatsResponseRejectsUnknownVersionAndTruncatedTail) {
+  StatsResponse stats;
+  stats.registry_text = "zr_x_total 1\n";
+  std::string wire = SerializeStatsResponse(stats);
+
+  // Locate the version byte: it follows the ten fixed varints (all zero
+  // here, one byte each) and the tag byte.
+  const size_t version_at = 1 + 10;
+  ASSERT_LT(version_at, wire.size());
+
+  std::string bad_version = wire;
+  bad_version[version_at] = 9;  // no such version
+  EXPECT_TRUE(ParseStatsResponse(bad_version).status().IsCorruption());
+
+  // Truncating the length-prefixed dump mid-way must fail cleanly, not
+  // return a partial dump.
+  std::string truncated = wire.substr(0, wire.size() - 4);
+  EXPECT_FALSE(ParseStatsResponse(truncated).ok());
+
+  // Trailing junk after the dump is rejected too.
+  std::string padded = wire + "junk";
+  EXPECT_FALSE(ParseStatsResponse(padded).ok());
 }
 
 TEST(MessagesTest, AclRequestRejectsUnknownOp) {

@@ -28,6 +28,7 @@
 #include "crypto/keys.h"
 #include "net/messages.h"
 #include "net/transport.h"
+#include "obs/trace.h"
 
 namespace zr::net {
 namespace {
@@ -648,6 +649,144 @@ TEST_F(TcpTest, ConcurrentClientsEachWithTheirOwnConnection) {
   EXPECT_EQ(server_.TotalElements(), kThreads * kOpsPerThread);
   EXPECT_EQ(tcp_server_->stats().frames_served, 2 * kThreads * kOpsPerThread);
   EXPECT_TRUE(WaitFor([&] { return tcp_server_->open_sessions() == 0u; }));
+}
+
+TEST_F(TcpTest, UntracedFramesAreByteIdenticalToPlainFraming) {
+  // The tracing frame extension must cost nothing until a trace passes
+  // through: with no active trace context, the bytes a session puts on
+  // the wire are exactly [u32 LE length][payload] — top bit clear, no
+  // extension block — indistinguishable from the pre-extension protocol.
+  ASSERT_FALSE(obs::CurrentTrace().active());
+
+  int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)), 0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+  socklen_t len = sizeof(sa);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&sa), &len), 0);
+  std::string addr = "127.0.0.1:" + std::to_string(ntohs(sa.sin_port));
+
+  const std::string payload = SerializeQueryRequest(MakeFetch(0));
+  const std::string expected =
+      FrameHeader(static_cast<uint32_t>(payload.size())) + payload;
+
+  std::string captured;
+  std::thread fake_server([listener, &captured, want = expected.size()] {
+    int fd = ::accept(listener, nullptr, nullptr);
+    ASSERT_GE(fd, 0);
+    captured.resize(want);
+    size_t done = 0;
+    while (done < want) {
+      ssize_t n = ::read(fd, captured.data() + done, want - done);
+      ASSERT_GT(n, 0);
+      done += static_cast<size_t>(n);
+    }
+    // Reply with a plain (extension-less) frame so RecvFrame completes.
+    std::string response = SerializeQueryResponse(QueryResponse{});
+    std::string frame =
+        FrameHeader(static_cast<uint32_t>(response.size())) + response;
+    (void)::write(fd, frame.data(), frame.size());
+    ::close(fd);
+  });
+
+  TcpSession session(addr);
+  ASSERT_TRUE(session.SendFrame(payload).ok());
+  std::string response;
+  ASSERT_TRUE(session.RecvFrame(&response).ok());
+  fake_server.join();
+  ::close(listener);
+
+  EXPECT_EQ(captured, expected);  // byte-identical, top bit clear
+  EXPECT_TRUE(session.response_spans().empty());
+  const TcpSocketStats& socket = session.socket_stats();
+  EXPECT_EQ(socket.ext_bytes_up, 0u);
+  EXPECT_EQ(socket.ext_bytes_down, 0u);
+  EXPECT_EQ(socket.bytes_up, payload.size() + kFrameHeaderBytes);
+}
+
+TEST_F(TcpTest, TracedExchangeCarriesSpansWithExactByteAccounting) {
+  TcpTransport setup(tcp_server_->address());
+  ASSERT_TRUE(setup.Insert(MakeInsert(0, 0.9)).ok());
+
+  TcpTransport tcp(tcp_server_->address());
+  {
+    obs::ScopedTrace traced(obs::TraceContext{0xABCDEF, 1});
+    auto fetched = tcp.Fetch(MakeFetch(0));
+    ASSERT_TRUE(fetched.ok()) << fetched.status();
+    EXPECT_EQ(fetched->elements.size(), 1u);
+  }
+
+  // The response to a traced request carried the server's dispatch spans.
+  const std::vector<obs::SpanRecord>& spans = tcp.session().response_spans();
+  ASSERT_FALSE(spans.empty());
+  bool saw_shard_serve = false, saw_index_serve = false;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.stage == obs::Stage::kShardServe) saw_shard_serve = true;
+    if (span.stage == obs::Stage::kIndexServe) saw_index_serve = true;
+    EXPECT_EQ(span.trace_id, 0u);  // ids are the caller's, not the wire's
+  }
+  EXPECT_TRUE(saw_shard_serve);
+  EXPECT_TRUE(saw_index_serve);
+
+  // Extension bytes are accounted separately and keep the payload
+  // identity exact: socket == payload + header * frames + ext.
+  const TcpSocketStats& socket = tcp.socket_stats();
+  EXPECT_EQ(socket.ext_bytes_up, 1 + kTraceContextExtBytes);
+  EXPECT_GT(socket.ext_bytes_down, 0u);
+  EXPECT_EQ(socket.bytes_up, tcp.stats().bytes_up +
+                                 kFrameHeaderBytes * socket.frames_up +
+                                 socket.ext_bytes_up);
+  EXPECT_EQ(socket.bytes_down, tcp.stats().bytes_down +
+                                   kFrameHeaderBytes * socket.frames_down +
+                                   socket.ext_bytes_down);
+
+  // An untraced call on the same session adds no extension bytes.
+  const uint64_t ext_up_before = socket.ext_bytes_up;
+  ASSERT_TRUE(tcp.Fetch(MakeFetch(0)).ok());
+  EXPECT_EQ(tcp.socket_stats().ext_bytes_up, ext_up_before);
+  EXPECT_TRUE(tcp.session().response_spans().empty());
+}
+
+TEST_F(TcpTest, TornFrameExtensionIsAProtocolError) {
+  // A flagged frame whose ext_len byte overruns the announced frame
+  // length must be rejected like a corrupt length prefix — session freed,
+  // no dispatch — and the server must keep serving other clients.
+  std::string payload = SerializeQueryRequest(MakeFetch(0));
+  int fd = RawConnect(tcp_server_->address());
+  // Announced body: ext_len byte + 2 ext bytes + payload; actual ext_len
+  // claims 200 bytes that are not there.
+  uint32_t announced = static_cast<uint32_t>(1 + 2 + payload.size());
+  RawSendAll(fd, FrameHeader(kFrameFlagExtension | announced));
+  RawSendAll(fd, std::string(1, static_cast<char>(200)));
+  RawSendAll(fd, std::string(2, '\x01'));
+  RawSendAll(fd, payload);
+  EXPECT_TRUE(
+      WaitFor([&] { return tcp_server_->stats().protocol_errors == 1u; }));
+  EXPECT_TRUE(WaitFor([&] { return tcp_server_->open_sessions() == 0u; }));
+  EXPECT_EQ(tcp_server_->stats().frames_served, 0u);
+  ::close(fd);
+
+  // An oversized flagged announcement (beyond payload limit plus the
+  // extension overhead ceiling) is rejected up front, allocation-free.
+  TcpServer::Options options;
+  options.max_frame_payload = 1024;
+  auto small_server = TcpServer::Start(&service_, std::move(options));
+  ASSERT_TRUE(small_server.ok());
+  int fd2 = RawConnect((*small_server)->address());
+  RawSendAll(fd2, FrameHeader(kFrameFlagExtension |
+                              (1024u + kMaxFrameExtOverhead + 1)));
+  std::string response = RawRecvFrame(fd2);
+  ASSERT_TRUE(IsErrorResponse(response));
+  ::close(fd2);
+  EXPECT_EQ((*small_server)->stats().protocol_errors, 1u);
+
+  // The original server still serves well-formed traffic.
+  TcpTransport tcp(tcp_server_->address());
+  ASSERT_TRUE(tcp.Insert(MakeInsert(0, 0.9)).ok());
 }
 
 TEST_F(TcpTest, MakeTransportBuildsTcpFromAnAddress) {

@@ -1,0 +1,228 @@
+#include "obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/histogram.h"
+#include "util/random.h"
+
+namespace zr::obs {
+namespace {
+
+TEST(ObsRegistryTest, SameNameReturnsSameInstrument) {
+  Registry registry;
+  Counter* a = registry.GetCounter("zr_test_total");
+  Counter* b = registry.GetCounter("zr_test_total");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  EXPECT_EQ(b->Value(), 3u);
+
+  Gauge* g = registry.GetGauge("zr_test_gauge");
+  EXPECT_EQ(g, registry.GetGauge("zr_test_gauge"));
+  g->Set(7);
+  g->Add(-2);
+  EXPECT_EQ(g->Value(), 5u);
+
+  Histogram* h = registry.GetHistogram("zr_test_latency_ns");
+  EXPECT_EQ(h, registry.GetHistogram("zr_test_latency_ns"));
+
+  // The three namespaces are disjoint: a counter and a gauge may share a
+  // name without aliasing.
+  EXPECT_NE(static_cast<void*>(registry.GetCounter("zr_shared")),
+            static_cast<void*>(registry.GetGauge("zr_shared")));
+}
+
+TEST(ObsRegistryTest, HistogramMatchesLatencyHistogramExactly) {
+  // The registry histogram must be a lossless stand-in for the
+  // single-writer util::LatencyHistogram the load driver uses: same
+  // bucket grid, same exact sum/min/max, same percentile semantics.
+  Registry registry;
+  Histogram* h = registry.GetHistogram("zr_test_latency_ns");
+  LatencyHistogram reference;
+
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    // Span the full grid: sub-minimum, mid-range, and huge samples.
+    uint64_t nanos = rng.NextU64() % (uint64_t{1} << (1 + rng.Uniform(40)));
+    h->Record(nanos);
+    reference.Add(nanos);
+  }
+
+  HistogramSnapshot snap = h->Snapshot();
+  EXPECT_EQ(snap.count, reference.TotalCount());
+  EXPECT_EQ(snap.sum_ns, reference.SumNs());
+  EXPECT_EQ(snap.min_ns, reference.MinNs());
+  EXPECT_EQ(snap.max_ns, reference.MaxNs());
+  EXPECT_DOUBLE_EQ(snap.MeanNs(), reference.MeanNs());
+  for (double p : {50.0, 95.0, 99.0, 99.9}) {
+    EXPECT_DOUBLE_EQ(snap.PercentileNs(p), reference.PercentileNs(p))
+        << "p" << p;
+  }
+}
+
+TEST(ObsRegistryTest, BucketIndexSharesLatencyHistogramGrid) {
+  // Spot-check the factored-out bucket math against the documented grid:
+  // everything below kMinNs lands in bucket 0, and each bucket's count in
+  // a snapshot matches a LatencyHistogram fed the same values.
+  EXPECT_EQ(LatencyBucketIndex(0), 0u);
+  EXPECT_EQ(LatencyBucketIndex(99), 0u);
+  Registry registry;
+  Histogram* h = registry.GetHistogram("zr_grid_ns");
+  std::array<uint64_t, LatencyHistogram::kNumBuckets> expected{};
+  for (uint64_t nanos : {uint64_t{0}, uint64_t{100}, uint64_t{101},
+                         uint64_t{999}, uint64_t{12345}, uint64_t{999999999},
+                         ~uint64_t{0}}) {
+    h->Record(nanos);
+    size_t index = LatencyBucketIndex(nanos);
+    ASSERT_LT(index, expected.size());
+    // The bucket's lower edge must not exceed the sample (except the
+    // catch-all first bucket below kMinNs).
+    if (index > 0 && index + 1 < LatencyHistogram::kNumBuckets) {
+      EXPECT_LE(LatencyHistogram::BucketEdge(index),
+                static_cast<double>(nanos));
+      EXPECT_GT(LatencyHistogram::BucketEdge(index + 1),
+                static_cast<double>(nanos));
+    }
+    expected[index]++;
+  }
+  HistogramSnapshot snap = h->Snapshot();
+  EXPECT_EQ(snap.buckets, expected);
+  uint64_t snap_total = 0;
+  for (uint64_t c : snap.buckets) snap_total += c;
+  EXPECT_EQ(snap_total, snap.count);
+}
+
+TEST(ObsRegistryTest, CollectorLifecycle) {
+  Registry registry;
+  std::atomic<uint64_t> source{11};
+  {
+    CollectorHandle handle =
+        registry.RegisterCollector([&source](std::vector<Sample>* out) {
+          out->push_back({"zr_collected_total", "shard=\"0\"",
+                          source.load(std::memory_order_relaxed)});
+        });
+    std::vector<Sample> samples = registry.CollectSamples();
+    ASSERT_EQ(samples.size(), 1u);
+    EXPECT_EQ(samples[0].name, "zr_collected_total");
+    EXPECT_EQ(samples[0].labels, "shard=\"0\"");
+    EXPECT_EQ(samples[0].value, 11u);
+
+    source.store(12);
+    EXPECT_EQ(registry.CollectSamples()[0].value, 12u);
+  }
+  // Handle destroyed: the collector must be gone (its captured state may
+  // no longer exist after the owning component's teardown).
+  EXPECT_TRUE(registry.CollectSamples().empty());
+
+  // Moved-from handles do not double-unregister.
+  CollectorHandle a = registry.RegisterCollector(
+      [](std::vector<Sample>* out) { out->push_back({"zr_a", "", 1}); });
+  CollectorHandle b = std::move(a);
+  EXPECT_EQ(registry.CollectSamples().size(), 1u);
+  b.Release();
+  b.Release();  // idempotent
+  EXPECT_TRUE(registry.CollectSamples().empty());
+}
+
+TEST(ObsRegistryTest, RenderPrometheusFormat) {
+  Registry registry;
+  registry.GetCounter("zr_frames_total")->Add(7);
+  registry.GetGauge("zr_inflight")->Set(3);
+  Histogram* h = registry.GetHistogram("zr_latency_ns");
+  h->Record(150);
+  h->Record(2500);
+  CollectorHandle handle = registry.RegisterCollector(
+      [](std::vector<Sample>* out) {
+        out->push_back({"zr_shard_attempts_total", "shard=\"2\"", 9});
+      });
+
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("zr_frames_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("zr_inflight 3\n"), std::string::npos);
+  EXPECT_NE(text.find("zr_shard_attempts_total{shard=\"2\"} 9\n"),
+            std::string::npos);
+  // Histograms render cumulative buckets plus exact aggregates.
+  EXPECT_NE(text.find("zr_latency_ns_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("zr_latency_ns_count 2\n"), std::string::npos);
+  EXPECT_NE(text.find("zr_latency_ns_sum 2650\n"), std::string::npos);
+  // Every line is `name value` or `name{labels} value` — parseable by the
+  // scrape CLI's strict parser. No terms, no plaintext payloads.
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    std::string line = text.substr(pos, eol - pos);
+    if (line.empty() || line[0] == '#') {
+      pos = eol + 1;
+      continue;
+    }
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_EQ(line.compare(0, 3, "zr_"), 0) << line;
+    pos = eol + 1;
+  }
+}
+
+TEST(ObsRegistryTest, ConcurrentWritersAndScrapes) {
+  // TSan coverage of the documented concurrency contract: N instrumented
+  // writer threads hammer counters/gauges/histograms (lock-free path) and
+  // register-on-first-use races, while a scraper thread renders the full
+  // registry and a collector reads shared state.
+  Registry registry;
+  std::atomic<uint64_t> collected_source{0};
+  CollectorHandle handle =
+      registry.RegisterCollector([&collected_source](std::vector<Sample>* out) {
+        out->push_back({"zr_src_total", "",
+                        collected_source.load(std::memory_order_relaxed)});
+      });
+
+  constexpr int kWriters = 4;
+  constexpr int kOpsPerWriter = 20000;
+  std::atomic<bool> stop{false};
+
+  std::thread scraper([&registry, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::string text = registry.RenderPrometheus();
+      EXPECT_FALSE(text.empty());
+      std::vector<Sample> samples = registry.CollectSamples();
+      EXPECT_FALSE(samples.empty());
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&registry, &collected_source, w] {
+      Counter* counter = registry.GetCounter("zr_writes_total");
+      Histogram* histogram = registry.GetHistogram("zr_write_latency_ns");
+      Gauge* gauge = registry.GetGauge("zr_write_gauge");
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        counter->Add(1);
+        histogram->Record(static_cast<uint64_t>(100 + (i % 1000) * w));
+        gauge->Set(static_cast<uint64_t>(i));
+        collected_source.fetch_add(1, std::memory_order_relaxed);
+        if (i % 4096 == 0) {
+          // Re-registration race: must return the same stable pointer.
+          EXPECT_EQ(registry.GetCounter("zr_writes_total"), counter);
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  scraper.join();
+
+  EXPECT_EQ(registry.GetCounter("zr_writes_total")->Value(),
+            static_cast<uint64_t>(kWriters) * kOpsPerWriter);
+  HistogramSnapshot snap =
+      registry.GetHistogram("zr_write_latency_ns")->Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kWriters) * kOpsPerWriter);
+}
+
+}  // namespace
+}  // namespace zr::obs

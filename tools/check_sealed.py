@@ -52,13 +52,24 @@ import sys
 from typing import Iterable, List, NamedTuple, Optional, Sequence
 
 # Boundary TUs relative to the repo root: everything these encode crosses
-# to the untrusted server (wire frames) or to disk it controls (WAL).
+# to the untrusted server (wire frames) or to disk it controls (WAL) — or,
+# for the obs/ TUs and the scrape CLI, is observable telemetry the sealed
+# model says may carry numeric ids only, never terms or plaintext.
 BOUNDARY_FILES = (
     "src/net/messages.h",
     "src/net/messages.cc",
     "src/store/wal.h",
     "src/store/wal.cc",
+    "src/obs/metrics.h",
+    "src/obs/metrics.cc",
+    "src/obs/registry.h",
+    "src/obs/registry.cc",
+    "src/obs/trace.h",
+    "src/obs/trace.cc",
+    "src/obs/slow_op_log.h",
+    "src/obs/slow_op_log.cc",
     "tools/shard_server.cc",
+    "tools/zerber_stats.cc",
 )
 
 # Files allowed to call SealedBytes::Adopt: the seal/open implementations

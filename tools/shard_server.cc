@@ -37,6 +37,8 @@
 
 #include "net/messages.h"
 #include "net/tcp.h"
+#include "obs/registry.h"
+#include "obs/slow_op_log.h"
 #include "store/durable_service.h"
 #include "zerber/zerber_index.h"
 
@@ -66,7 +68,8 @@ int Usage(const char* argv0) {
       "          [--listen=HOST:PORT] [--seed=U64] "
       "[--placement=trs-sorted|random]\n"
       "          [--sync=none|every-record|group-commit] "
-      "[--snapshot-threshold=BYTES]\n",
+      "[--snapshot-threshold=BYTES]\n"
+      "          [--slow-op-ns=NANOS]\n",
       argv0);
   return 2;
 }
@@ -86,6 +89,7 @@ int main(int argc, char** argv) {
   std::string placement = "trs-sorted";
   std::string sync = "group-commit";
   std::string threshold;
+  std::string slow_op_ns;
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -98,6 +102,7 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "--placement", &placement)) {
     } else if (ParseFlag(argv[i], "--sync", &sync)) {
     } else if (ParseFlag(argv[i], "--snapshot-threshold", &threshold)) {
+    } else if (ParseFlag(argv[i], "--slow-op-ns", &slow_op_ns)) {
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return Usage(argv[0]);
@@ -113,6 +118,13 @@ int main(int argc, char** argv) {
   if (!threshold.empty()) {
     options.snapshot_threshold_bytes =
         std::strtoull(threshold.c_str(), nullptr, 10);
+  }
+  if (!slow_op_ns.empty()) {
+    // Arm the slow-op ring: ops at or above the threshold are recorded
+    // (list ids, handles, latencies — never terms) and surface as the
+    // zr_slow_ops_total counter on the scrape plane.
+    obs::SlowOpLog::Global().set_threshold_ns(
+        std::strtoull(slow_op_ns.c_str(), nullptr, 10));
   }
 
   if (placement == "trs-sorted") {
@@ -173,6 +185,11 @@ int main(int argc, char** argv) {
     out.fetch_latency_ns = s.fetch_latency_ns;
     out.insert_latency_ns = s.insert_latency_ns;
     out.delete_latency_ns = s.delete_latency_ns;
+    // v2 scrape plane: the whole metrics registry (index histograms, WAL
+    // append latency, TCP counters, slow-op count) rides along in
+    // Prometheus text form. Metric names and numbers only — the
+    // sealed-telemetry invariant holds on this path by construction.
+    out.registry_text = obs::Registry::Global().RenderPrometheus();
     return out;
   };
   // Runs on the event-loop thread, serialized with every request dispatch —
