@@ -18,8 +18,8 @@
 //
 // Specs:
 //   ci      single-server + 4-shard + 4-process-cluster configs on the tiny
-//           synthetic dataset, plus the churn config below
-//           (BENCH_loadtest.json, 4 configs).
+//           synthetic dataset, plus the churn and hiconn configs below
+//           (BENCH_loadtest.json, 6 configs).
 //   churn   insert/delete churn against one 100k-element TRS-sorted merged
 //           list (the workload that was quadratic before MergedList grew a
 //           handle index; the gate checks delete p99 <= 5x insert p99).
@@ -28,6 +28,13 @@
 //                    not sit next to it in the build tree).
 //   cluster-failover cluster config with one shard SIGKILLed and restarted
 //                    mid-window; gates on the shard rejoining the router.
+//   hiconn  high-connection-count TCP serving: >= 1000 concurrent
+//           sessions (--hiconn-sessions) pipelining fetches against the
+//           same backend served once by a single-loop and once by a
+//           4-loop TcpServer ("hiconn1"/"hiconn4" configs); gates on the
+//           multi-loop server beating the single-loop one (strictly, on
+//           multi-core hardware) and on the framing identity. Also part
+//           of the ci spec.
 //   default one single-server config, flag-tunable.
 //
 // --transport=direct|loopback|tcp selects how workers reach the backend;
@@ -38,7 +45,10 @@
 // engine (fresh per-config subdirectories; the churn config stays
 // in-memory — its preload path restores into the single server directly).
 
+#include <sys/resource.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -56,6 +66,7 @@
 #include "load/driver.h"
 #include "load/load_spec.h"
 #include "load/report.h"
+#include "net/messages.h"
 #include "net/tcp.h"
 #include "util/random.h"
 #include "zerber/posting_element.h"
@@ -74,6 +85,8 @@ struct Flags {
   double rate = 0.0;         // >0 switches to open loop
   std::string transport = "direct";
   size_t shards = 0;  // 0 = spec default; "default" spec only
+  size_t loops = 0;   // event loops of tcp-served configs; 0 = spec default
+  size_t hiconn_sessions = 1024;  // concurrent sessions of the hiconn spec
   std::string data_dir;  // non-empty = durable backends (fresh per-config subdirs)
   std::string shard_server;  // shard-server binary for cluster configs
 
@@ -125,6 +138,10 @@ Flags ParseFlags(int argc, char** argv) {
       flags.transport = value;
     } else if (ParseFlag(argv[i], "--shards", &value)) {
       flags.shards = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--loops", &value)) {
+      flags.loops = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--hiconn-sessions", &value)) {
+      flags.hiconn_sessions = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--data-dir", &value)) {
       flags.data_dir = value;
     } else if (ParseFlag(argv[i], "--shard-server", &value)) {
@@ -181,6 +198,7 @@ std::unique_ptr<core::Pipeline> BuildDeploymentPipeline(
   options.seed = 20090324;
   options.num_shards = num_shards;
   options.transport = TransportOf(flags);
+  if (flags.loops != 0) options.num_server_loops = flags.loops;
   options.build_baseline_index = false;
   options.build_query_log = false;
   if (!flags.data_dir.empty()) {
@@ -453,6 +471,228 @@ bool RunClusterConfig(const Flags& flags, bool kill_one_shard,
   return gate_ok;
 }
 
+/// Raises RLIMIT_NOFILE's soft limit toward the hard limit when `needed`
+/// descriptors would not fit (a 1000-session hiconn run holds both ends of
+/// every connection in one process).
+void EnsureFdBudget(size_t needed) {
+  struct rlimit limit;
+  if (getrlimit(RLIMIT_NOFILE, &limit) != 0) return;
+  if (limit.rlim_cur != RLIM_INFINITY && limit.rlim_cur < needed) {
+    rlim_t want = needed;
+    if (limit.rlim_max != RLIM_INFINITY && want > limit.rlim_max) {
+      want = limit.rlim_max;
+    }
+    limit.rlim_cur = want;
+    if (setrlimit(RLIMIT_NOFILE, &limit) != 0) {
+      std::fprintf(stderr,
+                   "warning: could not raise RLIMIT_NOFILE to %llu; "
+                   "hiconn connects may fail\n",
+                   static_cast<unsigned long long>(want));
+    }
+  }
+}
+
+/// One hiconn measurement: `num_sessions` concurrent TcpSessions spread
+/// over `threads` client threads, all pipelining plain fetch frames
+/// against one tcp-served single-server backend running `num_loops` event
+/// loops. Connections are established and warmed before the clock starts,
+/// so the measured window is steady-state serving. The report records the
+/// traffic under the plain-Zerber query class (one whole-list fetch
+/// exchange per op).
+load::LoadReport RunHiconnOnce(const Flags& flags, size_t num_loops,
+                               const std::string& name) {
+  core::PipelineOptions options;
+  options.preset = synth::TinyPreset();
+  options.sigma = 0.002;
+  options.seed = 20090324;
+  options.transport = net::TransportKind::kTcp;
+  options.num_server_loops = num_loops;
+  options.build_baseline_index = false;
+  options.build_query_log = false;
+  auto pipeline = core::BuildPipeline(options);
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "hiconn pipeline build failed: %s\n",
+                 pipeline.status().ToString().c_str());
+    std::exit(1);
+  }
+  core::Pipeline* p = pipeline->get();
+  const std::string addr = p->tcp_server->address();
+  const uint32_t num_lists = static_cast<uint32_t>(p->plan.NumLists());
+  const uint32_t user = p->user;
+
+  const size_t threads = flags.workers != 0 ? flags.workers : 8;
+  const size_t per_thread = (flags.hiconn_sessions + threads - 1) / threads;
+  const size_t num_sessions = per_thread * threads;
+  const uint64_t rounds = flags.ops != 0 ? flags.ops : 40;
+  // Both ends of every session live in this process, plus slack for the
+  // pipeline's own sockets, wake pipes and stdio.
+  EnsureFdBudget(2 * num_sessions + 256);
+
+  struct Totals {
+    uint64_t ok = 0;
+    uint64_t errors = 0;
+    uint64_t payload_up = 0;
+    uint64_t payload_down = 0;
+    net::TcpSocketStats socket;
+  };
+  std::vector<Totals> totals(threads);
+  std::atomic<size_t> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pool;
+  for (size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      Totals& mine = totals[t];
+      std::vector<std::unique_ptr<net::TcpSession>> conns;
+      conns.reserve(per_thread);
+      for (size_t i = 0; i < per_thread; ++i) {
+        auto conn = std::make_unique<net::TcpSession>(addr);
+        // Establish + warm the connection outside the measured window,
+        // then zero its socket counters so the framing identity below
+        // covers exactly the measured traffic.
+        net::QueryRequest warm{user, static_cast<uint32_t>(i) % num_lists,
+                               /*offset=*/0, /*count=*/1};
+        std::string response;
+        if (!conn->Call(net::SerializeQueryRequest(warm), &response).ok()) {
+          ++mine.errors;
+        }
+        conn->ResetSocketStats();
+        conns.push_back(std::move(conn));
+      }
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+
+      // Pipelined rounds: a send sweep across every session keeps
+      // `per_thread` fetches in flight per client thread, then a receive
+      // sweep drains them in order.
+      for (uint64_t round = 0; round < rounds; ++round) {
+        for (size_t i = 0; i < conns.size(); ++i) {
+          net::QueryRequest fetch{
+              user,
+              static_cast<uint32_t>((t * per_thread + i + round) % num_lists),
+              /*offset=*/0, /*count=*/4};
+          std::string wire = net::SerializeQueryRequest(fetch);
+          mine.payload_up += wire.size();
+          if (!conns[i]->SendFrame(wire).ok()) ++mine.errors;
+        }
+        for (auto& conn : conns) {
+          std::string response;
+          if (conn->RecvFrame(&response).ok()) {
+            ++mine.ok;
+            mine.payload_down += response.size();
+          } else {
+            ++mine.errors;
+          }
+        }
+      }
+      for (const auto& conn : conns) {
+        const net::TcpSocketStats& s = conn->socket_stats();
+        mine.socket.bytes_up += s.bytes_up;
+        mine.socket.bytes_down += s.bytes_down;
+        mine.socket.frames_up += s.frames_up;
+        mine.socket.frames_down += s.frames_down;
+        mine.socket.ext_bytes_up += s.ext_bytes_up;
+        mine.socket.ext_bytes_down += s.ext_bytes_down;
+        mine.socket.reconnects += s.reconnects;
+      }
+    });
+  }
+  while (ready.load() < threads) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& thread : pool) thread.join();
+  double wall = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+
+  load::LoadReport report;
+  report.name = name;
+  report.spec.seed = flags.seed;
+  report.spec.workers = threads;
+  report.spec.ops_per_worker = rounds * per_thread;
+  report.spec.mix = {0.0, 1.0, 0.0, 0.0};  // plain-Zerber fetches only
+  report.spec.num_users = 1;
+  report.spec.groups_per_user = 1;
+  report.spec.warmup_inserts = 0;
+  report.wall_seconds = wall;
+  report.transport_kind = "tcp";
+  auto& fetch_class =
+      report.op_classes[static_cast<size_t>(load::OpClass::kQueryZerber)];
+  for (const Totals& t : totals) {
+    fetch_class.ok += t.ok;
+    fetch_class.errors += t.errors;
+    report.transport.bytes_up += t.payload_up;
+    report.transport.bytes_down += t.payload_down;
+    report.socket.bytes_up += t.socket.bytes_up;
+    report.socket.bytes_down += t.socket.bytes_down;
+    report.socket.frames_up += t.socket.frames_up;
+    report.socket.frames_down += t.socket.frames_down;
+    report.socket.ext_bytes_up += t.socket.ext_bytes_up;
+    report.socket.ext_bytes_down += t.socket.ext_bytes_down;
+    report.socket.reconnects += t.socket.reconnects;
+  }
+  fetch_class.attempted = fetch_class.ok + fetch_class.errors;
+  fetch_class.exchanges = fetch_class.attempted;
+  fetch_class.bytes = report.transport.bytes_down;
+  report.total_ops = fetch_class.ok;
+  report.throughput = wall > 0.0 ? fetch_class.ok / wall : 0.0;
+  report.transport.exchanges = fetch_class.attempted;
+
+  const net::TcpServerStats server_stats = p->tcp_server->stats();
+  std::printf("%-10s %8.0f fetches/s over %zu sessions x %zu loop(s)",
+              name.c_str(), report.throughput, num_sessions, num_loops);
+  std::vector<net::TcpServerStats> shards = p->tcp_server->per_loop_stats();
+  std::printf(" | loop frames:");
+  for (const net::TcpServerStats& shard : shards) {
+    std::printf(" %llu", static_cast<unsigned long long>(shard.frames_served));
+  }
+  std::printf(" | protocol errors: %llu\n",
+              static_cast<unsigned long long>(server_stats.protocol_errors));
+  return report;
+}
+
+/// The hiconn spec: the same >= 1000-session fetch workload against a
+/// single-loop and a 4-loop server. Returns false when the multi-loop
+/// server fails to beat the single-loop one (strict on multi-core
+/// hardware; within-tolerance on a single hardware thread, where a
+/// parallel speedup is physically impossible) or when either run errors
+/// or breaks the framing identity.
+bool RunHiconnConfig(const Flags& flags, std::vector<load::LoadReport>* out) {
+  constexpr size_t kMultiLoops = 4;
+  out->push_back(RunHiconnOnce(flags, /*num_loops=*/1, "hiconn1"));
+  bool ok = CheckTcpAccounting(out->back());
+  const load::LoadReport& single = out->back();
+  out->push_back(RunHiconnOnce(flags, kMultiLoops, "hiconn4"));
+  ok = CheckTcpAccounting(out->back()) && ok;
+  const load::LoadReport& multi = out->back();
+
+  for (const load::LoadReport* r : {&single, &multi}) {
+    uint64_t errors =
+        r->op_classes[static_cast<size_t>(load::OpClass::kQueryZerber)].errors;
+    if (errors > 0) {
+      std::printf("%-10s hiconn gate: FAIL (%llu op error(s))\n",
+                  r->name.c_str(), static_cast<unsigned long long>(errors));
+      ok = false;
+    }
+  }
+
+  double ratio = single.throughput > 0.0
+                     ? multi.throughput / single.throughput
+                     : 0.0;
+  const bool parallel_hw = std::thread::hardware_concurrency() > 1;
+  bool scaling_ok = parallel_hw ? multi.throughput > single.throughput
+                                : ratio >= 0.75;
+  std::printf(
+      "hiconn loops=%zu/loops=1 throughput: %.2fx (gate: %s) %s\n",
+      kMultiLoops, ratio,
+      parallel_hw ? "> 1.0x"
+                  : ">= 0.75x — single hardware thread, no parallel speedup "
+                    "possible",
+      scaling_ok ? "PASS" : "FAIL");
+  return scaling_ok && ok;
+}
+
 /// Mixed workload against the single-server backend and a 4-shard backend.
 /// Returns false when a tcp run violates the framing accounting identity.
 bool RunMixedConfigs(const Flags& flags, std::vector<load::LoadReport>* out) {
@@ -591,6 +831,9 @@ int main(int argc, char** argv) {
     gates_ok = RunClusterConfig(flags, /*kill_one_shard=*/false, &reports) &&
                gates_ok;
     gates_ok = RunChurnConfig(flags, /*preload=*/100000, &reports) && gates_ok;
+    gates_ok = RunHiconnConfig(flags, &reports) && gates_ok;
+  } else if (flags.spec == "hiconn") {
+    gates_ok = RunHiconnConfig(flags, &reports);
   } else if (flags.spec == "cluster") {
     gates_ok = RunClusterConfig(flags, /*kill_one_shard=*/false, &reports);
   } else if (flags.spec == "cluster-failover") {
@@ -608,7 +851,7 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr,
                  "unknown --spec=%s (want "
-                 "ci|churn|cluster|cluster-failover|default)\n",
+                 "ci|churn|cluster|cluster-failover|hiconn|default)\n",
                  flags.spec.c_str());
     return 2;
   }

@@ -9,7 +9,8 @@
 //   ./build/tcp_server 127.0.0.1:7777 &
 //   ./build/tcp_client 127.0.0.1:7777
 //
-// Usage: tcp_server [listen_addr] [num_shards] [data_dir]
+// Usage: tcp_server [--loops=N] [listen_addr] [num_shards] [data_dir]
+//   --loops=N    event-loop threads serving the socket (default 1)
 //   listen_addr  default 127.0.0.1:7777 (port 0 = ephemeral, printed)
 //   num_shards   default 1
 //   data_dir     non-empty wraps the backend in the durable storage engine
@@ -44,12 +45,27 @@ void OnShutdownSignal(int /*signo*/) {
 int main(int argc, char** argv) {
   using namespace zr;
 
+  // --loops=N may appear anywhere; positional args keep their old order.
+  size_t num_loops = 1;
+  {
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--loops=", 8) == 0) {
+        num_loops = std::strtoull(argv[i] + 8, nullptr, 10);
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    argc = out;
+  }
+
   core::PipelineOptions options;
   options.preset = synth::TinyPreset();
   options.sigma = 0.002;
   options.seed = 20090324;  // the client derives matching keys from this
   options.transport = net::TransportKind::kTcp;
   options.listen_addr = argc > 1 ? argv[1] : "127.0.0.1:7777";
+  options.num_server_loops = num_loops;
   options.num_shards = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
   options.build_baseline_index = false;
   options.build_query_log = false;
@@ -65,8 +81,9 @@ int main(int argc, char** argv) {
   }
   core::Pipeline& p = **built;
 
-  std::printf("serving on %s — press Enter or SIGINT/SIGTERM to stop\n",
-              p.tcp_server->address().c_str());
+  std::printf("serving on %s (%zu loop(s)) — press Enter or SIGINT/SIGTERM "
+              "to stop\n",
+              p.tcp_server->address().c_str(), p.tcp_server->num_loops());
   std::fflush(stdout);
   // SIGTTIN ignored: reading the terminal from a backgrounded job then
   // fails instead of stopping the process. Any stdin failure/EOF (run

@@ -12,8 +12,7 @@ ShardClient::ShardClient(ShardClientOptions options)
   if (options_.max_attempts == 0) options_.max_attempts = 1;
   if (options_.breaker_threshold == 0) options_.breaker_threshold = 1;
   session_options_.max_frame_payload = options_.max_frame_payload;
-  session_options_.recv_timeout_ms = options_.recv_timeout_ms;
-  session_options_.connect_timeout_ms = options_.connect_timeout_ms;
+  session_options_.deadlines = options_.deadlines;
 }
 
 std::unique_ptr<net::TcpSession> ShardClient::Checkout() {

@@ -16,9 +16,11 @@
 //    (escalating via Backoff) the next call half-opens: a Ping probe that
 //    verifies the echoed server_id closes the breaker (a rejoin) or
 //    re-opens it with a longer window.
-//  * per-request deadlines — connect_timeout_ms bounds connection
-//    establishment, recv_timeout_ms bounds each response wait, so a dead or
-//    wedged shard costs bounded time per attempt.
+//  * per-request deadlines — one net::Deadlines budget (shared with
+//    TcpSession, so there is exactly one timeout convention):
+//    deadlines.connect_ms bounds connection establishment,
+//    deadlines.recv_ms bounds each response wait, so a dead or wedged
+//    shard costs bounded time per attempt.
 //
 // Typed errors decoded from the shard's error frames (NotFound, OutOfRange,
 // PermissionDenied, ...) pass through untouched: the shard answered, so they
@@ -60,11 +62,12 @@ struct ShardClientOptions {
   /// the pool is empty, so this bounds memory, not concurrency.
   size_t pool_size = 2;
 
-  /// Connection-establishment deadline (TcpSession::Options).
-  uint64_t connect_timeout_ms = 1000;
-
-  /// Per-response deadline; bounds each attempt on a wedged shard.
-  uint64_t recv_timeout_ms = 5000;
+  /// Timeout budget for every session the client opens (the same
+  /// Deadlines struct TcpSession::Options carries — no second timeout
+  /// convention). Tighter than the session defaults: a router probes and
+  /// fails over, so it wants dead shards detected in about a second.
+  net::Deadlines deadlines = net::Deadlines::Of(/*connect_ms=*/1000,
+                                                /*recv_ms=*/5000);
 
   /// Total attempts per operation (first try + retries).
   size_t max_attempts = 3;

@@ -186,8 +186,8 @@ StatusOr<std::unique_ptr<Pipeline>> Assemble(text::Corpus corpus,
   if (options.transport == net::TransportKind::kTcp) {
     std::string connect_addr = options.connect_addr;
     if (!client_only) {
-      net::TcpServer::Options tcp;
-      tcp.listen_addr = options.listen_addr;
+      net::ServerConfig tcp = net::ServerConfig::At(options.listen_addr)
+                                  .WithLoops(options.num_server_loops);
       ZR_ASSIGN_OR_RETURN(p->tcp_server,
                           net::TcpServer::Start(backend, std::move(tcp)));
       connect_addr = p->tcp_server->address();

@@ -78,6 +78,10 @@ struct PipelineOptions {
   /// Pipeline::tcp_server->address().
   std::string listen_addr = "127.0.0.1:0";
 
+  /// Event-loop threads of the in-process TcpServer (transport = kTcp
+  /// only; see net::ServerConfig::WithLoops).
+  size_t num_server_loops = 1;
+
   /// Non-empty (with transport = kTcp) builds a *client-only* pipeline
   /// against an already-running remote server at this "host:port": no
   /// backend is constructed and the corpus is not inserted — keys, merge

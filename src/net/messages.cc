@@ -275,6 +275,7 @@ std::string SerializePingResponse(const PingResponse& response) {
   out.push_back(static_cast<char>(kTagPingResponse));
   PutVarint64(&out, response.token);
   PutVarint64(&out, response.server_id);
+  PutVarint64(&out, response.loop_id);
   return out;
 }
 
@@ -284,6 +285,7 @@ StatusOr<PingResponse> ParsePingResponse(std::string_view data) {
   PingResponse response;
   ZR_RETURN_IF_ERROR(reader.GetVarint64(&response.token));
   ZR_RETURN_IF_ERROR(reader.GetVarint64(&response.server_id));
+  ZR_RETURN_IF_ERROR(reader.GetVarint64(&response.loop_id));
   ZR_RETURN_IF_ERROR(reader.ExpectEof());
   return response;
 }
@@ -490,7 +492,8 @@ size_t WireSizeOfPingRequest(const PingRequest& request) {
 
 size_t WireSizeOfPingResponse(const PingResponse& response) {
   return 1 + static_cast<size_t>(VarintLength64(response.token)) +
-         static_cast<size_t>(VarintLength64(response.server_id));
+         static_cast<size_t>(VarintLength64(response.server_id)) +
+         static_cast<size_t>(VarintLength64(response.loop_id));
 }
 
 size_t WireSizeOfStatsRequest(const StatsRequest&) { return 1; }

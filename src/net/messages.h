@@ -151,9 +151,14 @@ struct PingRequest {
 };
 
 /// Server -> client: echoes the probe token plus the server's identity.
+/// `loop_id` names the event loop the serving session is pinned to (0 on a
+/// single-loop server) — a client pinging the same connection repeatedly
+/// must see the same loop every time, which is how tests witness session
+/// pinning.
 struct PingResponse {
   uint64_t token = 0;
   uint64_t server_id = 0;
+  uint64_t loop_id = 0;
 
   friend bool operator==(const PingResponse&, const PingResponse&) = default;
 };

@@ -27,6 +27,7 @@
 #include "net/messages.h"
 #include "obs/registry.h"
 #include "util/coding.h"
+#include "util/mutex.h"
 
 namespace zr::net {
 
@@ -332,114 +333,315 @@ StatusOr<std::unique_ptr<Poller>> MakePoller(bool force_poll) {
 }  // namespace
 
 // ---------------------------------------------------------------------------
+// ServerConfig
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// True where SO_REUSEPORT load-balances accepts across sockets (Linux).
+/// Elsewhere AcceptMode::kAuto and kReusePort degrade to hand-off.
+#if defined(__linux__) && defined(SO_REUSEPORT)
+inline constexpr bool kReusePortBalances = true;
+#else
+inline constexpr bool kReusePortBalances = false;
+#endif
+
+/// Opens a non-blocking listening socket on `sa`. On failure the fd is
+/// closed before the status returns.
+StatusOr<int> OpenListenSocket(const sockaddr_in& sa, bool reuse_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return ErrnoStatus("socket", errno);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+#ifdef SO_REUSEPORT
+  if (reuse_port) {
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+  }
+#else
+  (void)reuse_port;
+#endif
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+    int err = errno;
+    ::close(fd);
+    return ErrnoStatus("bind", err);
+  }
+  if (::listen(fd, 128) != 0) {
+    int err = errno;
+    ::close(fd);
+    return ErrnoStatus("listen", err);
+  }
+  return fd;
+}
+
+}  // namespace
+
+ServerConfig ServerConfig::Local(uint16_t port) {
+  ServerConfig config;
+  config.listen_addr_ = "127.0.0.1:" + std::to_string(port);
+  return config;
+}
+
+ServerConfig ServerConfig::At(std::string listen_addr) {
+  ServerConfig config;
+  config.listen_addr_ = std::move(listen_addr);
+  return config;
+}
+
+ServerConfig& ServerConfig::WithLoops(size_t num_loops) {
+  num_loops_ = num_loops;
+  return *this;
+}
+
+ServerConfig& ServerConfig::WithAcceptMode(AcceptMode mode) {
+  accept_mode_ = mode;
+  return *this;
+}
+
+ServerConfig& ServerConfig::WithMaxFramePayload(size_t bytes) {
+  max_frame_payload_ = bytes;
+  return *this;
+}
+
+ServerConfig& ServerConfig::WithMaxSessionBacklog(size_t bytes) {
+  max_session_backlog_ = bytes;
+  return *this;
+}
+
+ServerConfig& ServerConfig::WithPollOnly(bool force_poll) {
+  force_poll_ = force_poll;
+  return *this;
+}
+
+ServerConfig& ServerConfig::WithServerId(uint64_t id) {
+  server_id_ = id;
+  return *this;
+}
+
+ServerConfig& ServerConfig::WithStatsSource(
+    std::function<StatsResponse()> source) {
+  stats_source_ = std::move(source);
+  return *this;
+}
+
+ServerConfig& ServerConfig::WithAclHandler(
+    std::function<Status(const AclRequest&)> handler) {
+  acl_handler_ = std::move(handler);
+  return *this;
+}
+
+Status ServerConfig::Validate() const {
+  sockaddr_in sa;
+  ZR_RETURN_IF_ERROR(ParseAddr(listen_addr_, &sa));
+  if (num_loops_ == 0) {
+    return Status::InvalidArgument("tcp: config needs at least one loop");
+  }
+  if (num_loops_ > kMaxEventLoops) {
+    return Status::InvalidArgument(
+        "tcp: config asks for " + std::to_string(num_loops_) +
+        " loops; the ceiling is " + std::to_string(kMaxEventLoops));
+  }
+  if (max_frame_payload_ == 0) {
+    return Status::InvalidArgument(
+        "tcp: a zero frame payload ceiling can never admit a request");
+  }
+  if (max_session_backlog_ < max_frame_payload_) {
+    return Status::InvalidArgument(
+        "tcp: session backlog (" + std::to_string(max_session_backlog_) +
+        ") below the frame payload ceiling (" +
+        std::to_string(max_frame_payload_) +
+        ") could stall a session on its own response");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
 // TcpServer
 // ---------------------------------------------------------------------------
 
 class TcpServer::Impl {
  public:
-  Impl(ZerberService* backend, Options options)
-      : backend_(backend), options_(std::move(options)) {}
+  Impl(ZerberService* backend, ServerConfig config)
+      : backend_(backend), config_(std::move(config)) {}
 
   ~Impl() {
     Stop();
-    if (listen_fd_ >= 0) ::close(listen_fd_);
-    if (wake_read_ >= 0) ::close(wake_read_);
-    if (wake_write_ >= 0) ::close(wake_write_);
-    for (auto& [fd, session] : sessions_) {
-      (void)session;
-      ::close(fd);
-    }
-    sessions_.clear();
+    // Members then unwind in reverse declaration order: the metrics
+    // collector handle (last member) unregisters first — and
+    // RemoveCollector blocks out in-flight scrapes — so a scrape can
+    // never read a dying loop's stats shard.
   }
 
   Status Init() {
+    ZR_RETURN_IF_ERROR(config_.Validate());
     // The length value is 31 bits (the top bit flags a frame extension);
     // a larger configured limit could truncate a response length silently.
-    options_.max_frame_payload =
-        std::min<size_t>(options_.max_frame_payload, kFrameLengthMask);
+    max_frame_payload_ =
+        std::min<size_t>(config_.max_frame_payload(), kFrameLengthMask);
+    max_session_backlog_ = config_.max_session_backlog();
+
     sockaddr_in sa;
-    ZR_RETURN_IF_ERROR(ParseAddr(options_.listen_addr, &sa));
+    ZR_RETURN_IF_ERROR(ParseAddr(config_.listen_addr(), &sa));
 
-    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
-                          0);
-    if (listen_fd_ < 0) return ErrnoStatus("socket", errno);
-    int one = 1;
-    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
-      return ErrnoStatus("bind", errno);
+    const size_t n = config_.num_loops();
+    bool reuse_port = false;
+    if (n > 1) {
+      switch (config_.accept_mode()) {
+        case AcceptMode::kAuto:
+        case AcceptMode::kReusePort:
+          reuse_port = kReusePortBalances;
+          break;
+        case AcceptMode::kHandOff:
+          reuse_port = false;
+          break;
+      }
     }
-    if (::listen(listen_fd_, 128) != 0) return ErrnoStatus("listen", errno);
 
-    sockaddr_in bound;
-    socklen_t bound_len = sizeof(bound);
-    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                      &bound_len) != 0) {
-      return ErrnoStatus("getsockname", errno);
+    loops_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      loops_.push_back(std::make_unique<EventLoop>(this, i));
     }
-    address_ = FormatAddr(bound);
 
-    int pipe_fds[2];
-    if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
-      return ErrnoStatus("pipe2", errno);
+    if (reuse_port) {
+      // One listening socket per loop, all on the same address. The first
+      // bind resolves an ephemeral port; the others bind the resolved
+      // address, so --listen host:0 works with any loop count.
+      sockaddr_in bound = sa;
+      for (size_t i = 0; i < n; ++i) {
+        ZR_ASSIGN_OR_RETURN(int fd, OpenListenSocket(i == 0 ? sa : bound,
+                                                     /*reuse_port=*/true));
+        loops_[i]->set_listen_fd(fd);
+        if (i == 0) {
+          socklen_t bound_len = sizeof(bound);
+          if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound),
+                            &bound_len) != 0) {
+            return ErrnoStatus("getsockname", errno);
+          }
+          address_ = FormatAddr(bound);
+        }
+      }
+    } else {
+      // One listening socket, owned by loop 0. With more than one loop,
+      // loop 0 is the acceptor and deals fds round-robin into the other
+      // loops' inboxes (hand-off mode).
+      ZR_ASSIGN_OR_RETURN(int fd, OpenListenSocket(sa, /*reuse_port=*/false));
+      loops_[0]->set_listen_fd(fd);
+      sockaddr_in bound;
+      socklen_t bound_len = sizeof(bound);
+      if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+          0) {
+        return ErrnoStatus("getsockname", errno);
+      }
+      address_ = FormatAddr(bound);
+      hand_off_ = n > 1;
     }
-    wake_read_ = pipe_fds[0];
-    wake_write_ = pipe_fds[1];
 
-    ZR_ASSIGN_OR_RETURN(poller_, MakePoller(options_.force_poll));
-    ZR_RETURN_IF_ERROR(poller_->Add(listen_fd_));
-    ZR_RETURN_IF_ERROR(poller_->Add(wake_read_));
+    for (auto& loop : loops_) {
+      ZR_RETURN_IF_ERROR(loop->Init(config_.force_poll()));
+    }
 
     // Publish the server's counters through the process metrics registry
-    // (the scrape plane); the handle unregisters on Impl destruction,
-    // after Stop() has joined the event loop.
+    // (the scrape plane). The merged series keep their PR 8 names and
+    // labels; a multi-loop server additionally exposes one zr_tcp_loop_*
+    // shard per loop so an operator can see skew (see docs/OPERATIONS.md).
     metrics_collector_ = obs::Registry::Global().RegisterCollector(
         [this](std::vector<obs::Sample>* out) {
           std::string labels = "addr=\"" + address_ + "\"";
           TcpServerStats s = stats();
+          out->push_back({"zr_tcp_connections_accepted_total", labels,
+                          s.connections_accepted});
+          out->push_back({"zr_tcp_connections_closed_total", labels,
+                          s.connections_closed});
           out->push_back(
-              {"zr_tcp_connections_accepted_total", labels,
-               s.connections_accepted});
-          out->push_back(
-              {"zr_tcp_connections_closed_total", labels, s.connections_closed});
-          out->push_back({"zr_tcp_frames_served_total", labels, s.frames_served});
+              {"zr_tcp_frames_served_total", labels, s.frames_served});
           out->push_back(
               {"zr_tcp_protocol_errors_total", labels, s.protocol_errors});
           out->push_back({"zr_tcp_bytes_read_total", labels, s.bytes_read});
-          out->push_back({"zr_tcp_bytes_written_total", labels, s.bytes_written});
-          out->push_back({"zr_tcp_open_sessions", labels, open_.load()});
+          out->push_back(
+              {"zr_tcp_bytes_written_total", labels, s.bytes_written});
+          out->push_back({"zr_tcp_open_sessions", labels, open_sessions()});
+          if (loops_.size() > 1) {
+            for (size_t i = 0; i < loops_.size(); ++i) {
+              std::string loop_labels =
+                  labels + ",loop=\"" + std::to_string(i) + "\"";
+              TcpServerStats shard = loops_[i]->shard_stats();
+              out->push_back({"zr_tcp_loop_connections_accepted_total",
+                              loop_labels, shard.connections_accepted});
+              out->push_back({"zr_tcp_loop_frames_served_total", loop_labels,
+                              shard.frames_served});
+              out->push_back({"zr_tcp_loop_bytes_read_total", loop_labels,
+                              shard.bytes_read});
+              out->push_back({"zr_tcp_loop_bytes_written_total", loop_labels,
+                              shard.bytes_written});
+              out->push_back({"zr_tcp_loop_open_sessions", loop_labels,
+                              loops_[i]->open()});
+            }
+          }
         });
 
-    thread_ = std::thread([this] { Run(); });
+    // Threads start last: every failure before this point unwinds with no
+    // loop running (sockets close in the EventLoop destructors).
+    for (auto& loop : loops_) loop->StartThread();
     return Status::OK();
   }
 
   void Stop() {
-    if (!stop_.exchange(true)) Wake();
-    if (thread_.joinable()) thread_.join();
+    if (!stop_.exchange(true)) {
+      for (auto& loop : loops_) loop->Wake();
+    }
+    for (auto& loop : loops_) loop->Join();
   }
 
+  /// Fan-out barrier: every loop is asked to drain, then the caller
+  /// blocks until each live loop has closed its sessions (a loop that
+  /// already exited has closed them on its way out).
   void DisconnectAll() {
-    disconnect_all_.store(true);
-    Wake();
+    std::vector<uint64_t> targets(loops_.size());
+    for (size_t i = 0; i < loops_.size(); ++i) {
+      targets[i] = loops_[i]->RequestDrain();
+    }
+    MutexLock lock(drain_mu_);
+    for (size_t i = 0; i < loops_.size(); ++i) {
+      while (!loops_[i]->DrainReached(targets[i]) && !loops_[i]->stopped()) {
+        drain_cv_.Wait(drain_mu_);
+      }
+    }
   }
 
   TcpServerStats stats() const {
-    TcpServerStats s;
-    s.connections_accepted = accepted_.load();
-    s.connections_closed = closed_.load();
-    s.frames_served = frames_served_.load();
-    s.protocol_errors = protocol_errors_.load();
-    s.bytes_read = bytes_read_.load();
-    s.bytes_written = bytes_written_.load();
-    return s;
+    TcpServerStats merged;
+    for (const auto& loop : loops_) {
+      TcpServerStats s = loop->shard_stats();
+      merged.connections_accepted += s.connections_accepted;
+      merged.connections_closed += s.connections_closed;
+      merged.frames_served += s.frames_served;
+      merged.protocol_errors += s.protocol_errors;
+      merged.bytes_read += s.bytes_read;
+      merged.bytes_written += s.bytes_written;
+    }
+    return merged;
   }
 
-  size_t open_sessions() const { return open_.load(); }
+  std::vector<TcpServerStats> per_loop_stats() const {
+    std::vector<TcpServerStats> shards;
+    shards.reserve(loops_.size());
+    for (const auto& loop : loops_) shards.push_back(loop->shard_stats());
+    return shards;
+  }
+
+  size_t num_loops() const { return loops_.size(); }
+
+  size_t open_sessions() const {
+    size_t open = 0;
+    for (const auto& loop : loops_) open += loop->open();
+    return open;
+  }
+
   const std::string& address() const { return address_; }
 
  private:
   /// One accepted connection. `in` buffers unparsed input (in_pos marks
-  /// the consumed prefix); `out` buffers unwritten responses.
+  /// the consumed prefix); `out` buffers unwritten responses. Owned by
+  /// exactly one EventLoop; never visible to another thread.
   struct Session {
     std::string in;
     size_t in_pos = 0;
@@ -455,420 +657,615 @@ class TcpServer::Impl {
     size_t backlog() const { return out.size() - out_pos; }
   };
 
-  /// (Re)arms the poller with the session's current interest: reads stay
-  /// off while backpressure has the session paused, writes are on only
-  /// while output is pending.
-  void UpdateInterest(int fd, Session* s) {
-    bool want_read = !s->paused && !s->saw_eof;
-    bool want_write = s->backlog() > 0;
-    if (want_read == s->want_read && want_write == s->want_write) return;
-    s->want_read = want_read;
-    s->want_write = want_write;
-    (void)poller_->Update(fd, want_read, want_write);
-  }
+  /// One event-loop thread: a poller, a wake pipe, and the sessions
+  /// pinned to it. All session state — buffers, the deferred-close batch,
+  /// backpressure bookkeeping — is loop-owned and only ever touched from
+  /// Run()'s thread; the cross-thread surfaces are exactly the annotated
+  /// inbox, the drain/stop counters (atomics) and the stats shard.
+  class EventLoop {
+   public:
+    EventLoop(Impl* impl, size_t loop_id) : impl_(impl), loop_id_(loop_id) {}
 
-  void Wake() {
-    char byte = 1;
-    ssize_t ignored = ::write(wake_write_, &byte, 1);
-    (void)ignored;  // pipe full == a wakeup is already pending
-  }
-
-  void Run() {
-    std::vector<Poller::Event> events;
-    std::vector<int> dead_fds;
-    while (!stop_.load()) {
-      if (!poller_->Wait(&events).ok()) break;
-      if (stop_.load()) break;
-      dead_fds.clear();
-      for (const Poller::Event& event : events) {
-        if (event.fd == wake_read_) {
-          DrainWakePipe();
-          continue;
-        }
-        if (event.fd == listen_fd_) {
-          AcceptAll();
-          continue;
-        }
-        auto it = sessions_.find(event.fd);
-        if (it == sessions_.end() || it->second.dead) continue;
-        Session* s = &it->second;
-        if (event.readable || event.hangup) {
-          HandleReadable(event.fd, s);
-        } else if (event.writable) {
-          Pump(event.fd, s);
-        }
-        if (s->dead) dead_fds.push_back(event.fd);
+    ~EventLoop() {
+      if (listen_fd_ >= 0) ::close(listen_fd_);
+      if (wake_read_ >= 0) ::close(wake_read_);
+      if (wake_write_ >= 0) ::close(wake_write_);
+      for (auto& [fd, session] : sessions_) {
+        (void)session;
+        ::close(fd);
       }
-      // Closes are deferred to the end of the batch so a recycled fd can
-      // never alias a stale event within the same batch.
-      for (int fd : dead_fds) CloseSession(fd);
-      if (disconnect_all_.exchange(false)) {
-        std::vector<int> fds;
-        fds.reserve(sessions_.size());
-        for (const auto& [fd, session] : sessions_) {
-          (void)session;
-          fds.push_back(fd);
+      sessions_.clear();
+      // Handed-off connections the loop never got to adopt.
+      MutexLock lock(inbox_mu_);
+      for (int fd : inbox_) ::close(fd);
+      inbox_.clear();
+    }
+
+    /// Hands the loop its listening socket (ownership included). Only
+    /// before Init.
+    void set_listen_fd(int fd) { listen_fd_ = fd; }
+
+    Status Init(bool force_poll) {
+      int pipe_fds[2];
+      if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+        return ErrnoStatus("pipe2", errno);
+      }
+      wake_read_ = pipe_fds[0];
+      wake_write_ = pipe_fds[1];
+      ZR_ASSIGN_OR_RETURN(poller_, MakePoller(force_poll));
+      ZR_RETURN_IF_ERROR(poller_->Add(wake_read_));
+      if (listen_fd_ >= 0) ZR_RETURN_IF_ERROR(poller_->Add(listen_fd_));
+      return Status::OK();
+    }
+
+    void StartThread() {
+      thread_ = std::thread([this] { Run(); });
+    }
+
+    void Join() {
+      if (thread_.joinable()) thread_.join();
+    }
+
+    void Wake() {
+      char byte = 1;
+      ssize_t ignored = ::write(wake_write_, &byte, 1);
+      (void)ignored;  // pipe full == a wakeup is already pending
+    }
+
+    /// Acceptor-side hand-off: queues a freshly accepted fd for this loop
+    /// to adopt. Ownership transfers with the call.
+    void Deliver(int fd) {
+      {
+        MutexLock lock(inbox_mu_);
+        inbox_.push_back(fd);
+      }
+      Wake();
+    }
+
+    /// Asks the loop to close every session it owns; returns the drain
+    /// generation to pass to DrainReached.
+    uint64_t RequestDrain() {
+      uint64_t target = drain_seq_.fetch_add(1) + 1;
+      Wake();
+      return target;
+    }
+
+    bool DrainReached(uint64_t target) const {
+      return drain_done_.load() >= target;
+    }
+
+    bool stopped() const { return stopped_.load(); }
+
+    TcpServerStats shard_stats() const {
+      TcpServerStats s;
+      s.connections_accepted = accepted_.load();
+      s.connections_closed = closed_.load();
+      s.frames_served = frames_served_.load();
+      s.protocol_errors = protocol_errors_.load();
+      s.bytes_read = bytes_read_.load();
+      s.bytes_written = bytes_written_.load();
+      return s;
+    }
+
+    size_t open() const { return open_.load(); }
+
+   private:
+    void Run() {
+      std::vector<Poller::Event> events;
+      std::vector<int> dead_fds;
+      while (!impl_->stop_.load()) {
+        if (!poller_->Wait(&events).ok()) break;
+        if (impl_->stop_.load()) break;
+        dead_fds.clear();
+        for (const Poller::Event& event : events) {
+          if (event.fd == wake_read_) {
+            DrainWakePipe();
+            continue;
+          }
+          if (event.fd == listen_fd_) {
+            AcceptAll();
+            continue;
+          }
+          auto it = sessions_.find(event.fd);
+          if (it == sessions_.end() || it->second.dead) continue;
+          Session* s = &it->second;
+          if (event.readable || event.hangup) {
+            HandleReadable(event.fd, s);
+          } else if (event.writable) {
+            Pump(event.fd, s);
+          }
+          if (s->dead) dead_fds.push_back(event.fd);
         }
-        for (int fd : fds) CloseSession(fd);
+        // Closes are deferred to the end of the batch so a recycled fd
+        // can never alias a stale event within the same batch. The batch
+        // is loop-owned: only this loop's events can name these fds, so
+        // no other loop can recycle into it either.
+        for (int fd : dead_fds) CloseSession(fd);
+        // Adopt handed-off connections after the close batch: an adopted
+        // fd number is live from here on and must not meet a stale event.
+        AdoptInbox();
+        uint64_t drain_target = drain_seq_.load();
+        if (drain_done_.load() < drain_target) {
+          std::vector<int> fds;
+          fds.reserve(sessions_.size());
+          for (const auto& [fd, session] : sessions_) {
+            (void)session;
+            fds.push_back(fd);
+          }
+          for (int fd : fds) CloseSession(fd);
+          PublishDrain(drain_target);
+        }
+      }
+      MarkStopped();
+    }
+
+    void DrainWakePipe() {
+      char buf[256];
+      while (::read(wake_read_, buf, sizeof(buf)) > 0) {
       }
     }
-  }
 
-  void DrainWakePipe() {
-    char buf[256];
-    while (::read(wake_read_, buf, sizeof(buf)) > 0) {
-    }
-  }
-
-  void AcceptAll() {
-    for (;;) {
-      int fd = ::accept4(listen_fd_, nullptr, nullptr,
-                         SOCK_NONBLOCK | SOCK_CLOEXEC);
-      if (fd < 0) {
-        if (errno == EINTR) continue;
-        if (errno == EMFILE || errno == ENFILE) {
-          // Out of fds: the listener stays level-triggered-readable, so
-          // returning immediately would busy-spin the loop. A bounded
-          // sleep paces retries while existing sessions keep being
-          // served on subsequent iterations.
-          std::this_thread::sleep_for(std::chrono::milliseconds(10));
-        }
-        break;  // EAGAIN (drained) or a transient accept error
+    /// Publishes a completed drain and pokes the DisconnectAll barrier.
+    /// The store happens under the barrier mutex so a waiter can never
+    /// miss the notify.
+    void PublishDrain(uint64_t target) {
+      {
+        MutexLock lock(impl_->drain_mu_);
+        drain_done_.store(target);
       }
-      SetNoDelay(fd);
+      impl_->drain_cv_.NotifyAll();
+    }
+
+    /// Marks the loop as exited so DisconnectAll stops waiting on it.
+    void MarkStopped() {
+      {
+        MutexLock lock(impl_->drain_mu_);
+        stopped_.store(true);
+      }
+      impl_->drain_cv_.NotifyAll();
+    }
+
+    void AcceptAll() {
+      for (;;) {
+        int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+          if (errno == EINTR) continue;
+          if (errno == EMFILE || errno == ENFILE) {
+            // Out of fds: the listener stays level-triggered-readable, so
+            // returning immediately would busy-spin the loop. A bounded
+            // sleep paces retries while existing sessions keep being
+            // served on subsequent iterations.
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          }
+          break;  // EAGAIN (drained) or a transient accept error
+        }
+        SetNoDelay(fd);
+        if (impl_->hand_off_) {
+          EventLoop* target = impl_->NextLoop();
+          if (target != this) {
+            target->Deliver(fd);
+            continue;
+          }
+        }
+        InstallSession(fd);
+      }
+    }
+
+    /// Installs an accepted (or adopted) connection into this loop. The
+    /// owning loop counts the accept, so per-loop stats reflect session
+    /// placement in every accept mode.
+    void InstallSession(int fd) {
       if (!poller_->Add(fd).ok()) {
         ::close(fd);
-        continue;
+        return;
       }
       sessions_.emplace(fd, Session());
       accepted_.fetch_add(1);
       open_.fetch_add(1);
     }
-  }
 
-  void CloseSession(int fd) {
-    auto it = sessions_.find(fd);
-    if (it == sessions_.end()) return;
-    poller_->Remove(fd);
-    ::close(fd);
-    sessions_.erase(it);
-    closed_.fetch_add(1);
-    open_.fetch_sub(1);
-  }
-
-  void HandleReadable(int fd, Session* s) {
-    char buf[64 * 1024];
-    for (;;) {
-      ssize_t n = ::read(fd, buf, sizeof(buf));
-      if (n > 0) {
-        s->in.append(buf, static_cast<size_t>(n));
-        bytes_read_.fetch_add(static_cast<uint64_t>(n));
-        if (static_cast<size_t>(n) < sizeof(buf)) break;
-        continue;
+    void AdoptInbox() {
+      std::vector<int> adopted;
+      {
+        MutexLock lock(inbox_mu_);
+        adopted.swap(inbox_);
       }
-      if (n == 0) {
-        // Peer half-closed. Complete frames already buffered (a
-        // pipelining client may batch requests and shutdown its send
-        // side) are still served; Pump decides below whether the close
-        // was clean or tore a frame.
-        s->saw_eof = true;
-        break;
-      }
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      s->dead = true;
-      return;
+      for (int fd : adopted) InstallSession(fd);
     }
-    Pump(fd, s);
-  }
 
-  /// Frame-length ceiling for one announcement: flagged frames may carry
-  /// up to kMaxFrameExtOverhead extension bytes on top of the payload.
-  size_t FrameLengthLimit(bool flagged) const {
-    return options_.max_frame_payload + (flagged ? kMaxFrameExtOverhead : 0);
-  }
+    void CloseSession(int fd) {
+      auto it = sessions_.find(fd);
+      if (it == sessions_.end()) return;
+      poller_->Remove(fd);
+      ::close(fd);
+      sessions_.erase(it);
+      closed_.fetch_add(1);
+      open_.fetch_sub(1);
+    }
 
-  /// True when a complete undispatched frame is buffered.
-  bool HasCompleteFrame(const Session& s) const {
-    if (s.in.size() - s.in_pos < kFrameHeaderBytes) return false;
-    uint32_t raw = DecodeFrameLength(s.in.data() + s.in_pos);
-    uint32_t length = raw & kFrameLengthMask;
-    // An oversized announcement counts as actionable: dispatch rejects it.
-    if (length > FrameLengthLimit(raw & kFrameFlagExtension)) return true;
-    return s.in.size() - s.in_pos >= kFrameHeaderBytes + length;
-  }
+    /// (Re)arms the poller with the session's current interest: reads
+    /// stay off while backpressure has the session paused, writes are on
+    /// only while output is pending.
+    void UpdateInterest(int fd, Session* s) {
+      bool want_read = !s->paused && !s->saw_eof;
+      bool want_write = s->backlog() > 0;
+      if (want_read == s->want_read && want_write == s->want_write) return;
+      s->want_read = want_read;
+      s->want_write = want_write;
+      (void)poller_->Update(fd, want_read, want_write);
+    }
 
-  /// Dispatches buffered frames while the output backlog allows it.
-  /// Returns true when at least one frame was consumed.
-  bool ParseAvailableFrames(Session* s) {
-    bool progress = false;
-    while (!s->close_after_flush &&
-           s->backlog() <= options_.max_session_backlog &&
-           s->in.size() - s->in_pos >= kFrameHeaderBytes) {
-      uint32_t raw = DecodeFrameLength(s->in.data() + s->in_pos);
+    void HandleReadable(int fd, Session* s) {
+      char buf[64 * 1024];
+      for (;;) {
+        ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n > 0) {
+          s->in.append(buf, static_cast<size_t>(n));
+          bytes_read_.fetch_add(static_cast<uint64_t>(n));
+          if (static_cast<size_t>(n) < sizeof(buf)) break;
+          continue;
+        }
+        if (n == 0) {
+          // Peer half-closed. Complete frames already buffered (a
+          // pipelining client may batch requests and shutdown its send
+          // side) are still served; Pump decides below whether the close
+          // was clean or tore a frame.
+          s->saw_eof = true;
+          break;
+        }
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        s->dead = true;
+        return;
+      }
+      Pump(fd, s);
+    }
+
+    /// Frame-length ceiling for one announcement: flagged frames may
+    /// carry up to kMaxFrameExtOverhead extension bytes on top of the
+    /// payload.
+    size_t FrameLengthLimit(bool flagged) const {
+      return impl_->max_frame_payload_ +
+             (flagged ? kMaxFrameExtOverhead : 0);
+    }
+
+    /// True when a complete undispatched frame is buffered.
+    bool HasCompleteFrame(const Session& s) const {
+      if (s.in.size() - s.in_pos < kFrameHeaderBytes) return false;
+      uint32_t raw = DecodeFrameLength(s.in.data() + s.in_pos);
       uint32_t length = raw & kFrameLengthMask;
-      bool flagged = (raw & kFrameFlagExtension) != 0;
-      if (length > FrameLengthLimit(flagged)) {
-        protocol_errors_.fetch_add(1);
-        AppendResponse(s, SerializeErrorResponse(Status::InvalidArgument(
-                              "tcp: frame payload exceeds limit")));
-        s->close_after_flush = true;
+      // An oversized announcement counts as actionable: dispatch rejects
+      // it.
+      if (length > FrameLengthLimit(raw & kFrameFlagExtension)) return true;
+      return s.in.size() - s.in_pos >= kFrameHeaderBytes + length;
+    }
+
+    /// Dispatches buffered frames while the output backlog allows it.
+    /// Returns true when at least one frame was consumed.
+    bool ParseAvailableFrames(Session* s) {
+      bool progress = false;
+      while (!s->close_after_flush &&
+             s->backlog() <= impl_->max_session_backlog_ &&
+             s->in.size() - s->in_pos >= kFrameHeaderBytes) {
+        uint32_t raw = DecodeFrameLength(s->in.data() + s->in_pos);
+        uint32_t length = raw & kFrameLengthMask;
+        bool flagged = (raw & kFrameFlagExtension) != 0;
+        if (length > FrameLengthLimit(flagged)) {
+          protocol_errors_.fetch_add(1);
+          AppendResponse(s, SerializeErrorResponse(Status::InvalidArgument(
+                                "tcp: frame payload exceeds limit")));
+          s->close_after_flush = true;
+          progress = true;
+          break;
+        }
+        if (s->in.size() - s->in_pos < kFrameHeaderBytes + length) break;
+        std::string_view payload(s->in.data() + s->in_pos + kFrameHeaderBytes,
+                                 length);
+        obs::TraceContext ctx;
+        bool frame_ok = true;
+        if (flagged) {
+          // Strips the extension block; a torn or malformed one is a
+          // protocol error, handled exactly like an oversized frame.
+          frame_ok = ConsumeFrameExtension(&payload, &ctx, nullptr) &&
+                     payload.size() <= impl_->max_frame_payload_;
+        }
+        if (!frame_ok) {
+          protocol_errors_.fetch_add(1);
+          AppendResponse(s, SerializeErrorResponse(Status::InvalidArgument(
+                                "tcp: malformed frame extension")));
+          s->close_after_flush = true;
+          progress = true;
+          break;
+        }
+        Dispatch(s, payload, ctx);
+        s->in_pos += kFrameHeaderBytes + length;
         progress = true;
-        break;
       }
-      if (s->in.size() - s->in_pos < kFrameHeaderBytes + length) break;
-      std::string_view payload(s->in.data() + s->in_pos + kFrameHeaderBytes,
-                               length);
-      obs::TraceContext ctx;
-      bool frame_ok = true;
-      if (flagged) {
-        // Strips the extension block; a torn or malformed one is a
-        // protocol error, handled exactly like an oversized frame.
-        frame_ok = ConsumeFrameExtension(&payload, &ctx, nullptr) &&
-                   payload.size() <= options_.max_frame_payload;
+      if (s->in_pos == s->in.size()) {
+        s->in.clear();
+        s->in_pos = 0;
+      } else if (s->in_pos > (64u << 10)) {
+        s->in.erase(0, s->in_pos);
+        s->in_pos = 0;
       }
-      if (!frame_ok) {
-        protocol_errors_.fetch_add(1);
-        AppendResponse(s, SerializeErrorResponse(Status::InvalidArgument(
-                              "tcp: malformed frame extension")));
+      return progress;
+    }
+
+    /// Drives one session as far as it can go right now: dispatch
+    /// buffered frames (bounded by the output backlog — backpressure),
+    /// flush output, repeat while flushing freed room for more
+    /// dispatching, then settle the session's poller interest and EOF
+    /// fate.
+    void Pump(int fd, Session* s) {
+      for (;;) {
+        bool progress = ParseAvailableFrames(s);
+        FlushOutput(fd, s);
+        if (s->dead) return;
+        if (!progress) break;
+      }
+      // Backpressure: above the limit reads stay off until the backlog
+      // drains (the kernel buffer then fills and the peer's sends block —
+      // memory stays bounded end to end). Per-session and so per-loop:
+      // one pipelining firehose pauses only itself.
+      s->paused = s->backlog() > impl_->max_session_backlog_;
+      if (s->saw_eof && !s->close_after_flush && !HasCompleteFrame(*s)) {
+        if (s->in.size() != s->in_pos) {
+          // The peer's close tore a frame (torn length prefix or
+          // truncated payload).
+          protocol_errors_.fetch_add(1);
+          s->dead = true;
+          return;
+        }
+        // Clean half-close on a frame boundary: deliver what is pending,
+        // then close.
         s->close_after_flush = true;
-        progress = true;
-        break;
+        if (s->backlog() == 0) {
+          s->dead = true;
+          return;
+        }
       }
-      Dispatch(s, payload, ctx);
-      s->in_pos += kFrameHeaderBytes + length;
-      progress = true;
+      UpdateInterest(fd, s);
     }
-    if (s->in_pos == s->in.size()) {
-      s->in.clear();
-      s->in_pos = 0;
-    } else if (s->in_pos > (64u << 10)) {
-      s->in.erase(0, s->in_pos);
-      s->in_pos = 0;
-    }
-    return progress;
-  }
 
-  /// Drives one session as far as it can go right now: dispatch buffered
-  /// frames (bounded by the output backlog — backpressure), flush output,
-  /// repeat while flushing freed room for more dispatching, then settle
-  /// the session's poller interest and EOF fate.
-  void Pump(int fd, Session* s) {
-    for (;;) {
-      bool progress = ParseAvailableFrames(s);
-      FlushOutput(fd, s);
-      if (s->dead) return;
-      if (!progress) break;
-    }
-    // Backpressure: above the limit reads stay off until the backlog
-    // drains (the kernel buffer then fills and the peer's sends block —
-    // memory stays bounded end to end).
-    s->paused = s->backlog() > options_.max_session_backlog;
-    if (s->saw_eof && !s->close_after_flush && !HasCompleteFrame(*s)) {
-      if (s->in.size() != s->in_pos) {
-        // The peer's close tore a frame (torn length prefix or
-        // truncated payload).
-        protocol_errors_.fetch_add(1);
-        s->dead = true;
-        return;
+    template <typename Request, typename Response>
+    std::string Serve(std::string_view payload,
+                      StatusOr<Request> (*parse)(std::string_view),
+                      StatusOr<Response> (ZerberService::*method)(
+                          const Request&),
+                      std::string (*serialize)(const Response&),
+                      bool* parsed_ok) {
+      auto parsed = parse(payload);
+      if (!parsed.ok()) {
+        *parsed_ok = false;
+        return SerializeErrorResponse(parsed.status());
       }
-      // Clean half-close on a frame boundary: deliver what is pending,
-      // then close.
-      s->close_after_flush = true;
-      if (s->backlog() == 0) {
-        s->dead = true;
-        return;
-      }
+      *parsed_ok = true;
+      auto served = (impl_->backend_->*method)(*parsed);
+      if (!served.ok()) return SerializeErrorResponse(served.status());
+      return serialize(*served);
     }
-    UpdateInterest(fd, s);
-  }
 
-  template <typename Request, typename Response>
-  std::string Serve(std::string_view payload,
-                    StatusOr<Request> (*parse)(std::string_view),
-                    StatusOr<Response> (ZerberService::*method)(const Request&),
-                    std::string (*serialize)(const Response&), bool* parsed_ok) {
-    auto parsed = parse(payload);
-    if (!parsed.ok()) {
-      *parsed_ok = false;
-      return SerializeErrorResponse(parsed.status());
-    }
-    *parsed_ok = true;
-    auto served = (backend_->*method)(*parsed);
-    if (!served.ok()) return SerializeErrorResponse(served.status());
-    return serialize(*served);
-  }
-
-  void Dispatch(Session* s, std::string_view payload,
-                const obs::TraceContext& ctx) {
-    bool parsed_ok = false;
-    // A traced request: serve under its trace context with a span sink
-    // installed, so every stage the dispatch passes through (index serve,
-    // WAL append, ...) collects here instead of this process's tracer —
-    // the spans ride back to the requesting process in the response
-    // frame's extension.
-    obs::SpanCollector collected;
-    std::optional<obs::ScopedTrace> scoped_trace;
-    std::optional<obs::ScopedSpanSink> scoped_sink;
-    uint64_t serve_start = 0;
-    if (ctx.active()) {
-      scoped_trace.emplace(ctx);
-      scoped_sink.emplace(&collected);
-      serve_start = obs::MonotonicNowNs();
-    }
-    std::string response;
-    switch (TagOf(payload)) {
-      case MessageTag::kQueryRequest:
-        response = Serve(payload, ParseQueryRequest, &ZerberService::Fetch,
-                         SerializeQueryResponse, &parsed_ok);
-        break;
-      case MessageTag::kInsertRequest:
-        response = Serve(payload, ParseInsertRequest, &ZerberService::Insert,
-                         SerializeInsertResponse, &parsed_ok);
-        break;
-      case MessageTag::kMultiFetchRequest:
-        response = Serve(payload, ParseMultiFetchRequest,
-                         &ZerberService::MultiFetch,
-                         SerializeMultiFetchResponse, &parsed_ok);
-        break;
-      case MessageTag::kDeleteRequest:
-        response = Serve(payload, ParseDeleteRequest, &ZerberService::Delete,
-                         SerializeDeleteResponse, &parsed_ok);
-        break;
-      case MessageTag::kPingRequest: {
-        auto parsed = ParsePingRequest(payload);
-        if (parsed.ok()) {
-          parsed_ok = true;
+    /// The dispatch switch proper: parses the payload, invokes the
+    /// backend, serializes the answer. Runs under the server-wide
+    /// dispatch gate (reader for regular traffic, writer for ACL frames
+    /// — see Dispatch).
+    std::string ServeFrame(std::string_view payload, bool* parsed_ok) {
+      switch (TagOf(payload)) {
+        case MessageTag::kQueryRequest:
+          return Serve(payload, ParseQueryRequest, &ZerberService::Fetch,
+                       SerializeQueryResponse, parsed_ok);
+        case MessageTag::kInsertRequest:
+          return Serve(payload, ParseInsertRequest, &ZerberService::Insert,
+                       SerializeInsertResponse, parsed_ok);
+        case MessageTag::kMultiFetchRequest:
+          return Serve(payload, ParseMultiFetchRequest,
+                       &ZerberService::MultiFetch,
+                       SerializeMultiFetchResponse, parsed_ok);
+        case MessageTag::kDeleteRequest:
+          return Serve(payload, ParseDeleteRequest, &ZerberService::Delete,
+                       SerializeDeleteResponse, parsed_ok);
+        case MessageTag::kPingRequest: {
+          auto parsed = ParsePingRequest(payload);
+          if (!parsed.ok()) return SerializeErrorResponse(parsed.status());
+          *parsed_ok = true;
           PingResponse pong;
           pong.token = parsed->token;
-          pong.server_id = options_.server_id;
-          response = SerializePingResponse(pong);
-        } else {
-          response = SerializeErrorResponse(parsed.status());
+          pong.server_id = impl_->config_.server_id();
+          // The owning loop's id: the session-pinning witness (a client
+          // pinging the same connection sees the same loop every time).
+          pong.loop_id = loop_id_;
+          return SerializePingResponse(pong);
         }
-        break;
-      }
-      case MessageTag::kStatsRequest: {
-        auto parsed = ParseStatsRequest(payload);
-        if (parsed.ok()) {
-          parsed_ok = true;
-          response = options_.stats_source
-                         ? SerializeStatsResponse(options_.stats_source())
-                         : SerializeErrorResponse(Status::Unimplemented(
-                               "tcp: server exports no stats"));
-        } else {
-          response = SerializeErrorResponse(parsed.status());
+        case MessageTag::kStatsRequest: {
+          auto parsed = ParseStatsRequest(payload);
+          if (!parsed.ok()) return SerializeErrorResponse(parsed.status());
+          *parsed_ok = true;
+          const auto& source = impl_->config_.stats_source();
+          return source ? SerializeStatsResponse(source())
+                        : SerializeErrorResponse(Status::Unimplemented(
+                              "tcp: server exports no stats"));
         }
-        break;
-      }
-      case MessageTag::kAclRequest: {
-        auto parsed = ParseAclRequest(payload);
-        if (parsed.ok()) {
-          parsed_ok = true;
-          if (!options_.acl_handler) {
-            response = SerializeErrorResponse(
+        case MessageTag::kAclRequest: {
+          auto parsed = ParseAclRequest(payload);
+          if (!parsed.ok()) return SerializeErrorResponse(parsed.status());
+          *parsed_ok = true;
+          const auto& handler = impl_->config_.acl_handler();
+          if (!handler) {
+            return SerializeErrorResponse(
                 Status::Unimplemented("tcp: server accepts no ACL changes"));
-          } else {
-            Status applied = options_.acl_handler(*parsed);
-            response = applied.ok() ? SerializeAclResponse(AclResponse{})
-                                    : SerializeErrorResponse(applied);
           }
-        } else {
-          response = SerializeErrorResponse(parsed.status());
+          Status applied = handler(*parsed);
+          return applied.ok() ? SerializeAclResponse(AclResponse{})
+                              : SerializeErrorResponse(applied);
         }
-        break;
+        default:
+          return SerializeErrorResponse(
+              Status::InvalidArgument("tcp: unknown message tag"));
       }
-      default:
-        response = SerializeErrorResponse(
-            Status::InvalidArgument("tcp: unknown message tag"));
-        break;
     }
-    if (parsed_ok) {
-      frames_served_.fetch_add(1);
-    } else {
-      // An unparseable or non-request frame means the peer is not a
-      // well-behaved client; answer with the error and drop it.
-      protocol_errors_.fetch_add(1);
-      s->close_after_flush = true;
-    }
-    if (response.size() > options_.max_frame_payload) {
-      // The client would reject (and tear its session down on) a frame
-      // above the limit; tell it why instead of transmitting megabytes
-      // it cannot accept. Mirrors the client-side send check.
-      response = SerializeErrorResponse(Status::InvalidArgument(
-          "tcp: response exceeds frame payload limit"));
-    }
-    if (ctx.active()) {
-      collected.Add({ctx.trace_id, obs::Stage::kShardServe,
-                     obs::MonotonicNowNs() - serve_start,
-                     static_cast<uint64_t>(TagOf(payload))});
-      AppendResponseWithSpans(s, response, collected.spans());
-    } else {
-      AppendResponse(s, response);
-    }
-  }
 
-  void AppendResponse(Session* s, std::string_view payload) {
-    AppendFrameHeader(&s->out, static_cast<uint32_t>(payload.size()));
-    s->out.append(payload.data(), payload.size());
-  }
-
-  /// Frames a response to a traced request: the collected spans travel in
-  /// the extension block. Falls back to plain framing when the extension
-  /// cannot be expressed.
-  void AppendResponseWithSpans(Session* s, std::string_view payload,
-                               const std::vector<obs::SpanRecord>& spans) {
-    std::string ext = EncodeSpanReportExt(spans);
-    if (!AppendExtendedFrameHeader(&s->out, ext, payload.size())) {
-      AppendResponse(s, payload);
-      return;
-    }
-    s->out.append(payload.data(), payload.size());
-  }
-
-  /// Writes as much pending output as the socket accepts. Poller interest
-  /// is settled afterwards by Pump's UpdateInterest.
-  void FlushOutput(int fd, Session* s) {
-    while (s->out_pos < s->out.size()) {
-      // MSG_NOSIGNAL: a peer that vanished mid-response must surface as
-      // EPIPE, not kill the process.
-      ssize_t n = ::send(fd, s->out.data() + s->out_pos,
-                         s->out.size() - s->out_pos, MSG_NOSIGNAL);
-      if (n > 0) {
-        s->out_pos += static_cast<size_t>(n);
-        bytes_written_.fetch_add(static_cast<uint64_t>(n));
-        continue;
+    void Dispatch(Session* s, std::string_view payload,
+                  const obs::TraceContext& ctx) {
+      bool parsed_ok = false;
+      // A traced request: serve under its trace context with a span sink
+      // installed, so every stage the dispatch passes through (index
+      // serve, WAL append, ...) collects here instead of this process's
+      // tracer — the spans ride back to the requesting process in the
+      // response frame's extension.
+      obs::SpanCollector collected;
+      std::optional<obs::ScopedTrace> scoped_trace;
+      std::optional<obs::ScopedSpanSink> scoped_sink;
+      uint64_t serve_start = 0;
+      if (ctx.active()) {
+        scoped_trace.emplace(ctx);
+        scoped_sink.emplace(&collected);
+        serve_start = obs::MonotonicNowNs();
       }
-      if (n < 0 && errno == EINTR) continue;
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
-      s->dead = true;
-      return;
+      std::string response;
+      if (TagOf(payload) == MessageTag::kAclRequest) {
+        // One loop used to serialize ACL mutations against all traffic
+        // for free; N loops must buy that quiescence explicitly. The
+        // writer side empties every loop's read-locked dispatches before
+        // the ACL handler runs, and admits none until it returns.
+        WriterMutexLock gate(impl_->dispatch_gate_);
+        response = ServeFrame(payload, &parsed_ok);
+      } else {
+        ReaderMutexLock gate(impl_->dispatch_gate_);
+        response = ServeFrame(payload, &parsed_ok);
+      }
+      if (parsed_ok) {
+        frames_served_.fetch_add(1);
+      } else {
+        // An unparseable or non-request frame means the peer is not a
+        // well-behaved client; answer with the error and drop it.
+        protocol_errors_.fetch_add(1);
+        s->close_after_flush = true;
+      }
+      if (response.size() > impl_->max_frame_payload_) {
+        // The client would reject (and tear its session down on) a frame
+        // above the limit; tell it why instead of transmitting megabytes
+        // it cannot accept. Mirrors the client-side send check.
+        response = SerializeErrorResponse(Status::InvalidArgument(
+            "tcp: response exceeds frame payload limit"));
+      }
+      if (ctx.active()) {
+        collected.Add({ctx.trace_id, obs::Stage::kShardServe,
+                       obs::MonotonicNowNs() - serve_start,
+                       static_cast<uint64_t>(TagOf(payload))});
+        AppendResponseWithSpans(s, response, collected.spans());
+      } else {
+        AppendResponse(s, response);
+      }
     }
-    s->out.clear();
-    s->out_pos = 0;
-    if (s->close_after_flush) s->dead = true;
+
+    void AppendResponse(Session* s, std::string_view payload) {
+      AppendFrameHeader(&s->out, static_cast<uint32_t>(payload.size()));
+      s->out.append(payload.data(), payload.size());
+    }
+
+    /// Frames a response to a traced request: the collected spans travel
+    /// in the extension block. Falls back to plain framing when the
+    /// extension cannot be expressed.
+    void AppendResponseWithSpans(Session* s, std::string_view payload,
+                                 const std::vector<obs::SpanRecord>& spans) {
+      std::string ext = EncodeSpanReportExt(spans);
+      if (!AppendExtendedFrameHeader(&s->out, ext, payload.size())) {
+        AppendResponse(s, payload);
+        return;
+      }
+      s->out.append(payload.data(), payload.size());
+    }
+
+    /// Writes as much pending output as the socket accepts. Poller
+    /// interest is settled afterwards by Pump's UpdateInterest.
+    void FlushOutput(int fd, Session* s) {
+      while (s->out_pos < s->out.size()) {
+        // MSG_NOSIGNAL: a peer that vanished mid-response must surface as
+        // EPIPE, not kill the process.
+        ssize_t n = ::send(fd, s->out.data() + s->out_pos,
+                           s->out.size() - s->out_pos, MSG_NOSIGNAL);
+        if (n > 0) {
+          s->out_pos += static_cast<size_t>(n);
+          bytes_written_.fetch_add(static_cast<uint64_t>(n));
+          continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+        s->dead = true;
+        return;
+      }
+      s->out.clear();
+      s->out_pos = 0;
+      if (s->close_after_flush) s->dead = true;
+    }
+
+    Impl* const impl_;
+    const size_t loop_id_;
+
+    // --- Loop-owned state: touched only from Run()'s thread (the
+    // listen/wake fds are set before the thread starts and read-only
+    // after). Sessions are pinned here for life, so nothing below ever
+    // needs a lock.
+    int listen_fd_ = -1;
+    int wake_read_ = -1;
+    int wake_write_ = -1;
+    std::unique_ptr<Poller> poller_;
+    std::unordered_map<int, Session> sessions_;
+    std::thread thread_;
+
+    // --- Cross-thread: the acceptor's hand-off inbox. Fds parked here
+    // are owned by the loop from Deliver on (closed by the destructor if
+    // never adopted).
+    mutable Mutex inbox_mu_;
+    std::vector<int> inbox_ ZR_GUARDED_BY(inbox_mu_);
+
+    // --- Cross-thread: drain barrier generations (DisconnectAll) and the
+    // exit flag. Atomics; the stores pair with impl_->drain_mu_ +
+    // drain_cv_ purely for wakeup, not for data protection.
+    std::atomic<uint64_t> drain_seq_{0};
+    std::atomic<uint64_t> drain_done_{0};
+    std::atomic<bool> stopped_{false};
+
+    // --- Cross-thread: this loop's stats shard (merged by Impl::stats).
+    std::atomic<uint64_t> accepted_{0};
+    std::atomic<uint64_t> closed_{0};
+    std::atomic<uint64_t> frames_served_{0};
+    std::atomic<uint64_t> protocol_errors_{0};
+    std::atomic<uint64_t> bytes_read_{0};
+    std::atomic<uint64_t> bytes_written_{0};
+    std::atomic<size_t> open_{0};
+  };
+
+  /// Round-robin loop choice for hand-off accepts (only the acceptor
+  /// thread calls this, but an atomic keeps it self-contained).
+  EventLoop* NextLoop() {
+    size_t i = next_loop_.fetch_add(1) % loops_.size();
+    return loops_[i].get();
   }
 
   ZerberService* backend_;
-  Options options_;
+  ServerConfig config_;
   std::string address_;
+  size_t max_frame_payload_ = kDefaultMaxFramePayload;
+  size_t max_session_backlog_ = kDefaultMaxFramePayload;
+  bool hand_off_ = false;
 
-  int listen_fd_ = -1;
-  int wake_read_ = -1;
-  int wake_write_ = -1;
-  std::unique_ptr<Poller> poller_;
-  std::unordered_map<int, Session> sessions_;
-  std::thread thread_;
-
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::atomic<size_t> next_loop_{0};
   std::atomic<bool> stop_{false};
-  std::atomic<bool> disconnect_all_{false};
-  std::atomic<uint64_t> accepted_{0};
-  std::atomic<uint64_t> closed_{0};
-  std::atomic<uint64_t> frames_served_{0};
-  std::atomic<uint64_t> protocol_errors_{0};
-  std::atomic<uint64_t> bytes_read_{0};
-  std::atomic<uint64_t> bytes_written_{0};
-  std::atomic<size_t> open_{0};
+
+  /// The quiescence gate: every dispatch holds it shared; an ACL frame
+  /// holds it exclusively, so the durable backend's "requires quiescence"
+  /// ACL surface sees the same no-concurrent-requests world one loop gave
+  /// it. Uncontended shared acquisition is nanoseconds against a dispatch
+  /// that parses, serves and serializes.
+  SharedMutex dispatch_gate_;
+
+  /// DisconnectAll's barrier: waiters sleep here; loops notify after
+  /// publishing drain progress or exiting.
+  Mutex drain_mu_;
+  CondVar drain_cv_;
 
   // Last member: unregistered first on destruction, and RemoveCollector
   // blocks out in-flight scrapes, so a scrape can never read a dead Impl.
@@ -882,22 +1279,26 @@ TcpServer::TcpServer(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {
 TcpServer::~TcpServer() { Stop(); }
 
 StatusOr<std::unique_ptr<TcpServer>> TcpServer::Start(ZerberService* backend,
-                                                      Options options) {
+                                                      ServerConfig config) {
   if (backend == nullptr) {
     return Status::InvalidArgument("tcp: server needs a backend");
   }
-  auto impl = std::make_unique<Impl>(backend, std::move(options));
+  auto impl = std::make_unique<Impl>(backend, std::move(config));
   ZR_RETURN_IF_ERROR(impl->Init());
   return std::unique_ptr<TcpServer>(new TcpServer(std::move(impl)));
 }
 
 StatusOr<std::unique_ptr<TcpServer>> TcpServer::Start(ZerberService* backend) {
-  return Start(backend, Options());
+  return Start(backend, ServerConfig());
 }
 
 void TcpServer::Stop() { impl_->Stop(); }
 void TcpServer::DisconnectAll() { impl_->DisconnectAll(); }
 TcpServerStats TcpServer::stats() const { return impl_->stats(); }
+std::vector<TcpServerStats> TcpServer::per_loop_stats() const {
+  return impl_->per_loop_stats();
+}
+size_t TcpServer::num_loops() const { return impl_->num_loops(); }
 size_t TcpServer::open_sessions() const { return impl_->open_sessions(); }
 
 // ---------------------------------------------------------------------------
@@ -933,7 +1334,7 @@ Status TcpSession::Connect() {
   ZR_RETURN_IF_ERROR(ParseAddr(connect_addr_, &sa));
   int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return ErrnoStatus("socket", errno);
-  if (options_.connect_timeout_ms > 0) {
+  if (options_.deadlines.connect_ms > 0) {
     // Non-blocking connect + poll: a blackholed address (no RST, no SYN-ACK)
     // fails after the deadline instead of the kernel's minutes-long SYN
     // retransmit budget.
@@ -953,7 +1354,7 @@ Status TcpSession::Connect() {
     }
     if (rc != 0) {
       auto deadline = std::chrono::steady_clock::now() +
-                      std::chrono::milliseconds(options_.connect_timeout_ms);
+                      std::chrono::milliseconds(options_.deadlines.connect_ms);
       pollfd p;
       p.fd = fd;
       p.events = POLLOUT;
@@ -1008,10 +1409,10 @@ Status TcpSession::Connect() {
     }
   }
   SetNoDelay(fd);
-  if (options_.recv_timeout_ms > 0) {
+  if (options_.deadlines.recv_ms > 0) {
     timeval tv;
-    tv.tv_sec = static_cast<time_t>(options_.recv_timeout_ms / 1000);
-    tv.tv_usec = static_cast<suseconds_t>((options_.recv_timeout_ms % 1000) *
+    tv.tv_sec = static_cast<time_t>(options_.deadlines.recv_ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((options_.deadlines.recv_ms % 1000) *
                                           1000);
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   }

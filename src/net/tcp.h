@@ -38,12 +38,14 @@
 //
 // Three pieces:
 //
-//  * TcpServer — single-threaded event loop (epoll on Linux, poll()
-//    fallback elsewhere or when Options::force_poll is set) accepting any
-//    number of client connections, decoding request frames, dispatching
-//    them onto a ZerberService backend, and writing response frames.
-//    Backend failures cross the wire as encoded error messages, exactly
-//    like LoopbackTransport carries them.
+//  * TcpServer — N event-loop threads (epoll on Linux, poll() fallback
+//    elsewhere or when ServerConfig::WithPollOnly is set), each loop
+//    owning its own poller and session table. Incoming connections are
+//    spread across the loops (AcceptMode below); a session is pinned to
+//    one loop for its whole life, so all of its IO, parsing, dispatch and
+//    teardown happen on that one thread. Backend failures cross the wire
+//    as encoded error messages, exactly like LoopbackTransport carries
+//    them.
 //
 //  * TcpSession — a client-side connection: blocking socket, frame
 //    send/receive, and explicit pipelining support (write several request
@@ -57,12 +59,27 @@
 //    bytes — the same quantity Direct/Loopback account — while
 //    socket_stats() records the real socket bytes including frame headers.
 //
-// Threading: TcpServer is internally threaded (it owns its event-loop
-// thread); Start/Stop/stats/address are safe from any thread. The backend
-// is invoked only from the event-loop thread, but must itself be
-// thread-safe if anything else touches it concurrently. TcpSession and
-// TcpTransport are single-threaded — one instance per client thread (the
-// load driver gives each worker its own transport).
+// Threading model of the server:
+//
+//   * Per-loop (owned by exactly one event-loop thread, never locked):
+//     poller, session table, per-session buffers, the deferred-close
+//     batch, and the backpressure bookkeeping. Sessions never migrate
+//     between loops, so none of this state is ever visible to another
+//     thread.
+//   * Cross-thread (annotated, checked by the -Wthread-safety build):
+//     the hand-off inbox each loop exposes to the acceptor, the
+//     drain barrier behind DisconnectAll, and the per-loop stats shards
+//     (plain atomics, merged at scrape time).
+//   * Dispatch onto the backend happens on the owning loop's thread. The
+//     backends are internally thread-safe; operator ACL frames
+//     additionally take a server-wide writer lock so they run with no
+//     other dispatch in flight on ANY loop — the quiescence the durable
+//     backend's ACL surface requires, which a single loop used to provide
+//     for free by serializing everything.
+//
+// Start/Stop/stats/address/DisconnectAll are safe from any thread.
+// TcpSession and TcpTransport are single-threaded — one instance per
+// client thread (the load driver gives each worker its own transport).
 
 #ifndef ZERBERR_NET_TCP_H_
 #define ZERBERR_NET_TCP_H_
@@ -111,12 +128,46 @@ inline constexpr size_t kMaxSpansPerFrame = 8;
 /// maximal (255-byte) extension block.
 inline constexpr size_t kMaxFrameExtOverhead = 256;
 
+/// Ceiling on ServerConfig::WithLoops — beyond this a "number of loops"
+/// is almost certainly a units mistake, and per-loop listen sockets /
+/// wake pipes stop being cheap.
+inline constexpr size_t kMaxEventLoops = 64;
+
+// ---------------------------------------------------------------------------
+// Deadlines
+// ---------------------------------------------------------------------------
+
+/// Client-side timeout budget, shared by every layer that opens sessions
+/// (TcpSession, TcpTransport, cluster::ShardClient) so deadlines are
+/// expressed in exactly one convention instead of being re-derived
+/// per call site.
+struct Deadlines {
+  /// Connect timeout (non-blocking connect + poll): a blackholed or dead
+  /// address fails fast instead of hanging for the kernel's SYN
+  /// retransmit budget (minutes). 0 keeps the blocking connect(2).
+  uint64_t connect_ms = 5000;
+
+  /// Receive timeout: a server that stops responding surfaces an error
+  /// instead of hanging the client forever. 0 disables.
+  uint64_t recv_ms = 30000;
+
+  static constexpr Deadlines Of(uint64_t connect_ms, uint64_t recv_ms) {
+    return Deadlines{connect_ms, recv_ms};
+  }
+
+  /// No deadlines at all: blocking connect, unbounded receive. For tests
+  /// that must not race a timer.
+  static constexpr Deadlines None() { return Deadlines{0, 0}; }
+};
+
 // ---------------------------------------------------------------------------
 // Server
 // ---------------------------------------------------------------------------
 
-/// Cumulative counters of one TcpServer (all atomically maintained; safe to
-/// read from any thread while the server runs).
+/// Cumulative counters of one TcpServer. Maintained as per-loop shards of
+/// relaxed atomics; TcpServer::stats() merges the shards, per_loop_stats()
+/// exposes them individually. Safe to read from any thread while the
+/// server runs.
 struct TcpServerStats {
   uint64_t connections_accepted = 0;
   uint64_t connections_closed = 0;
@@ -126,57 +177,126 @@ struct TcpServerStats {
   uint64_t bytes_written = 0;     ///< socket bytes written (incl. headers)
 };
 
+/// How a multi-loop server spreads incoming connections across its loops.
+/// Irrelevant when num_loops == 1 (the single loop owns the listener).
+enum class AcceptMode {
+  /// SO_REUSEPORT where the platform load-balances it (Linux), hand-off
+  /// elsewhere. The default.
+  kAuto,
+  /// One listening socket per loop, all bound to the same address with
+  /// SO_REUSEPORT; the kernel picks the loop per connection. No
+  /// cross-thread hand-off at all.
+  kReusePort,
+  /// Loop 0 owns the single listening socket and deals accepted fds to
+  /// the loops round-robin through their wake pipes. Portable; also the
+  /// deterministic-placement mode tests use.
+  kHandOff,
+};
+
+/// Validated construction surface of TcpServer (replaces the old plain
+/// Options struct). Build one with a named constructor, chain WithX
+/// setters, and hand it to TcpServer::Start — which runs Validate() and
+/// refuses nonsense (zero loops, zero frame ceiling, a backlog smaller
+/// than one frame, an unparseable address) before touching a socket.
+class ServerConfig {
+ public:
+  /// Loopback on an ephemeral port, one loop — the config every test
+  /// started from under the old API.
+  ServerConfig() = default;
+
+  /// Loopback ("127.0.0.1") on `port`; 0 picks an ephemeral port (read
+  /// the actual one back from TcpServer::address()).
+  static ServerConfig Local(uint16_t port = 0);
+
+  /// Explicit "host:port" listen address (numeric IPv4).
+  static ServerConfig At(std::string listen_addr);
+
+  /// Number of event-loop threads. Each accepted session is pinned to one
+  /// loop for its lifetime.
+  ServerConfig& WithLoops(size_t num_loops);
+
+  ServerConfig& WithAcceptMode(AcceptMode mode);
+
+  /// Frames whose payload exceeds this are answered with an
+  /// InvalidArgument error frame and the connection is closed.
+  ServerConfig& WithMaxFramePayload(size_t bytes);
+
+  /// Backpressure high-water mark: while a session's unflushed output
+  /// exceeds this, its loop stops reading (and dispatching) that session
+  /// until the backlog drains, so a client that pipelines requests
+  /// without consuming responses cannot grow server memory without bound.
+  /// One response may overshoot the mark (it is checked before dispatch),
+  /// so worst-case buffered output per session is
+  /// max_session_backlog + max_frame_payload. Must be at least
+  /// max_frame_payload (Validate enforces it): a smaller backlog could
+  /// never admit the response it is supposed to buffer.
+  ServerConfig& WithMaxSessionBacklog(size_t bytes);
+
+  /// Force the portable poll() loop even where epoll is available
+  /// (exercised in tests so both loops stay correct).
+  ServerConfig& WithPollOnly(bool force_poll = true);
+
+  /// Identity echoed in every PingResponse. A router probing a shard
+  /// after reconnect verifies this to detect a different server on a
+  /// recycled address.
+  ServerConfig& WithServerId(uint64_t id);
+
+  /// Counters returned for a StatsRequest frame. When unset, stats
+  /// requests are answered with an Unimplemented error frame.
+  ServerConfig& WithStatsSource(std::function<StatsResponse()> source);
+
+  /// Handler for operator AclRequest frames. When unset, ACL requests are
+  /// answered with an Unimplemented error frame. Invoked on the owning
+  /// loop's thread under the server-wide writer dispatch gate — no other
+  /// frame is being dispatched on any loop while it runs, which is
+  /// exactly the quiescence the backend's ACL surface requires.
+  ServerConfig& WithAclHandler(std::function<Status(const AclRequest&)> handler);
+
+  /// Rejects configurations that cannot serve: zero or absurdly many
+  /// loops, a zero frame ceiling, a session backlog below the frame
+  /// ceiling, or a listen address that does not parse. Start() calls this
+  /// first; call it yourself to fail at construction time.
+  Status Validate() const;
+
+  const std::string& listen_addr() const { return listen_addr_; }
+  size_t num_loops() const { return num_loops_; }
+  AcceptMode accept_mode() const { return accept_mode_; }
+  size_t max_frame_payload() const { return max_frame_payload_; }
+  size_t max_session_backlog() const { return max_session_backlog_; }
+  bool force_poll() const { return force_poll_; }
+  uint64_t server_id() const { return server_id_; }
+  const std::function<StatsResponse()>& stats_source() const {
+    return stats_source_;
+  }
+  const std::function<Status(const AclRequest&)>& acl_handler() const {
+    return acl_handler_;
+  }
+
+ private:
+  std::string listen_addr_ = "127.0.0.1:0";
+  size_t num_loops_ = 1;
+  AcceptMode accept_mode_ = AcceptMode::kAuto;
+  size_t max_frame_payload_ = kDefaultMaxFramePayload;
+  size_t max_session_backlog_ = kDefaultMaxFramePayload;
+  bool force_poll_ = false;
+  uint64_t server_id_ = 0;
+  std::function<StatsResponse()> stats_source_;
+  std::function<Status(const AclRequest&)> acl_handler_;
+};
+
 /// Socket server for the ZerberService protocol.
 ///
 /// Ownership: the backend is borrowed and must outlive the server. The
-/// server owns its listening socket, all accepted sessions, and its
-/// event-loop thread; the destructor stops the loop, joins the thread and
-/// closes every socket.
+/// server owns its listening socket(s), all accepted sessions, and its
+/// event-loop threads; the destructor stops the loops, joins the threads
+/// and closes every socket.
 class TcpServer {
  public:
-  struct Options {
-    /// "host:port" to bind; port 0 picks an ephemeral port (read the
-    /// actual one back from address()). Host must be a numeric IPv4
-    /// address.
-    std::string listen_addr = "127.0.0.1:0";
-
-    /// Frames whose payload exceeds this are answered with an
-    /// InvalidArgument error frame and the connection is closed.
-    size_t max_frame_payload = kDefaultMaxFramePayload;
-
-    /// Backpressure high-water mark: while a session's unflushed output
-    /// exceeds this, the server stops reading (and dispatching) that
-    /// session until the backlog drains, so a client that pipelines
-    /// requests without consuming responses cannot grow server memory
-    /// without bound. One response may overshoot the mark (it is checked
-    /// before dispatch), so worst-case buffered output per session is
-    /// max_session_backlog + max_frame_payload.
-    size_t max_session_backlog = kDefaultMaxFramePayload;
-
-    /// Force the portable poll() loop even where epoll is available
-    /// (exercised in tests so both loops stay correct).
-    bool force_poll = false;
-
-    /// Identity echoed in every PingResponse. A router probing a shard
-    /// after reconnect verifies this to detect a different server on a
-    /// recycled address.
-    uint64_t server_id = 0;
-
-    /// Counters returned for a StatsRequest frame. When unset, stats
-    /// requests are answered with an Unimplemented error frame.
-    std::function<StatsResponse()> stats_source;
-
-    /// Handler for operator AclRequest frames. When unset, ACL requests
-    /// are answered with an Unimplemented error frame. Invoked on the
-    /// event-loop thread, serialized with every other dispatch — which is
-    /// exactly the quiescence the backend's ACL surface requires.
-    std::function<Status(const AclRequest&)> acl_handler;
-  };
-
-  /// Binds, listens and starts the event-loop thread. On success the
-  /// server is accepting connections before Start returns.
+  /// Validates the config, binds, listens and starts the event-loop
+  /// threads. On success the server is accepting connections before Start
+  /// returns.
   static StatusOr<std::unique_ptr<TcpServer>> Start(ZerberService* backend,
-                                                    Options options);
+                                                    ServerConfig config);
   static StatusOr<std::unique_ptr<TcpServer>> Start(ZerberService* backend);
 
   ~TcpServer();
@@ -188,18 +308,27 @@ class TcpServer {
   /// an ephemeral listen port).
   const std::string& address() const { return address_; }
 
-  /// Stops the event loop, closes every session and joins the thread.
+  /// Stops every event loop, closes every session and joins the threads.
   /// Idempotent; also run by the destructor.
   void Stop();
 
-  /// Closes every currently open session (the listener stays up). Clients
+  /// Closes every currently open session (the listeners stay up). A
+  /// fan-out barrier: each loop is asked to drain and DisconnectAll
+  /// returns only once every loop has closed its sessions. Clients
   /// observe a peer disconnect; used by tests and operational drains.
   void DisconnectAll();
 
-  /// Point-in-time snapshot of the counters.
+  /// Point-in-time snapshot of the counters, merged across loops.
   TcpServerStats stats() const;
 
-  /// Currently open sessions (gauge).
+  /// One stats shard per event loop, index == loop id (the id a
+  /// PingResponse echoes).
+  std::vector<TcpServerStats> per_loop_stats() const;
+
+  /// Number of event loops serving.
+  size_t num_loops() const;
+
+  /// Currently open sessions across all loops (gauge).
   size_t open_sessions() const;
 
  private:
@@ -236,14 +365,10 @@ class TcpSession {
   struct Options {
     size_t max_frame_payload = kDefaultMaxFramePayload;
 
-    /// Receive timeout; a server that stops responding surfaces an error
-    /// instead of hanging the client forever. 0 disables.
-    uint64_t recv_timeout_ms = 30000;
-
-    /// Connect timeout (non-blocking connect + poll); a blackholed or
-    /// dead address fails fast instead of hanging for the kernel's SYN
-    /// retransmit budget (minutes). 0 keeps the blocking connect(2).
-    uint64_t connect_timeout_ms = 0;
+    /// Connect/receive timeout budget. The default fails a dead address
+    /// in 5s and an unresponsive server in 30s; Deadlines::None()
+    /// restores fully blocking IO.
+    Deadlines deadlines;
   };
 
   explicit TcpSession(std::string connect_addr);

@@ -79,8 +79,8 @@ class ClusterFailoverTest : public ::testing::Test {
     options.shard_addrs = addrs;
     // Tight fault-handling so the matrix runs in test time: two attempts,
     // ~5ms backoff, breaker after two consecutive transport failures.
-    options.client.connect_timeout_ms = 200;
-    options.client.recv_timeout_ms = 2000;
+    options.client.deadlines = net::Deadlines::Of(/*connect_ms=*/200,
+                                                  /*recv_ms=*/2000);
     options.client.max_attempts = 2;
     options.client.retry_backoff = {/*base_delay_ms=*/5, /*max_delay_ms=*/20,
                                     /*multiplier=*/2.0, /*jitter=*/0.0,

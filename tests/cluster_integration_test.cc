@@ -64,8 +64,8 @@ class ClusterIntegrationTest : public ::testing::Test {
     core::PipelineOptions options = BaseOptions();
     // Keep retries snappy so the outage window costs test seconds, not
     // minutes, while staying generous enough for a loaded CI machine.
-    options.cluster_client.connect_timeout_ms = 300;
-    options.cluster_client.recv_timeout_ms = 5000;
+    options.cluster_client.deadlines =
+        net::Deadlines::Of(/*connect_ms=*/300, /*recv_ms=*/5000);
     options.cluster_client.max_attempts = 2;
     options.cluster_client.retry_backoff = {/*base_delay_ms=*/5,
                                             /*max_delay_ms=*/50,

@@ -213,6 +213,89 @@ TEST_F(LoadDriverDeterminismTest, TraceSamplingDoesNotPerturbTheOpStream) {
   EXPECT_EQ(r_on.obs.complete_traces, 0u);
 }
 
+TEST_F(LoadDriverDeterminismTest, MultiLoopTcpServingIsByteIdenticalToSingleLoop) {
+  // The event-loop count is a server-side scaling knob, not a protocol
+  // participant: the same fixed-seed workload driven over a 4-loop
+  // TcpServer must produce the very same report — every op count, every
+  // payload byte, every frame — as over a single-loop server. Only the
+  // real-clock server latency sums are exempt.
+  auto build = [](size_t loops) {
+    core::PipelineOptions options;
+    options.preset = synth::TinyPreset();
+    options.sigma = 0.004;
+    options.seed = 424242;
+    options.build_baseline_index = false;
+    options.build_query_log = false;
+    options.transport = net::TransportKind::kTcp;
+    options.num_server_loops = loops;
+    auto pipeline = core::BuildPipeline(options);
+    EXPECT_TRUE(pipeline.ok()) << pipeline.status();
+    return std::move(pipeline).value();
+  };
+  auto p_single = build(1);
+  auto p_multi = build(4);
+  ASSERT_EQ(p_single->tcp_server->num_loops(), 1u);
+  ASSERT_EQ(p_multi->tcp_server->num_loops(), 4u);
+
+  LoadReport r1 = MustRun(p_single.get(), SingleWorkerSpec());
+  LoadReport r4 = MustRun(p_multi.get(), SingleWorkerSpec());
+  r1.server.fetch_latency_ns = r4.server.fetch_latency_ns = 0;
+  r1.server.insert_latency_ns = r4.server.insert_latency_ns = 0;
+  r1.server.delete_latency_ns = r4.server.delete_latency_ns = 0;
+  EXPECT_EQ(r1.ToJson(), r4.ToJson());
+
+  // Framing identity in both deployments: the socket carried exactly the
+  // payload bytes plus 4 bytes of length prefix per frame (plus any
+  // extension bytes, which payload accounting excludes).
+  for (const LoadReport* r : {&r1, &r4}) {
+    EXPECT_GT(r->socket.frames_up, 0u);
+    EXPECT_EQ(r->socket.bytes_up,
+              r->transport.bytes_up + 4 * r->socket.frames_up +
+                  r->socket.ext_bytes_up);
+    EXPECT_EQ(r->socket.bytes_down,
+              r->transport.bytes_down + 4 * r->socket.frames_down +
+                  r->socket.ext_bytes_down);
+    EXPECT_EQ(r->socket.reconnects, 0u);
+  }
+}
+
+TEST_F(LoadDriverDeterminismTest, MultiLoopAccountingStaysExactUnderConcurrentWorkers) {
+  // Four workers, each with its own connection, against a 4-loop server:
+  // interleaving is real, so reports are not byte-comparable across runs —
+  // but the accounting identities must hold exactly anyway.
+  core::PipelineOptions options;
+  options.preset = synth::TinyPreset();
+  options.sigma = 0.004;
+  options.seed = 424242;
+  options.build_baseline_index = false;
+  options.build_query_log = false;
+  options.transport = net::TransportKind::kTcp;
+  options.num_server_loops = 4;
+  auto pipeline = core::BuildPipeline(options);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status();
+
+  LoadSpec spec = SingleWorkerSpec();
+  spec.workers = 4;
+  ASSERT_EQ((*pipeline)->tcp_server->num_loops(), 4u);
+  LoadReport r = MustRun(pipeline->get(), spec);
+
+  uint64_t attempted = 0, exchanges = 0;
+  for (size_t c = 0; c < kNumOpClasses; ++c) {
+    attempted += r.op_classes[c].attempted;
+    exchanges += r.op_classes[c].exchanges;
+  }
+  EXPECT_EQ(attempted, 4u * 150u);
+  EXPECT_EQ(exchanges, r.transport.exchanges);
+  EXPECT_EQ(r.socket.bytes_up,
+            r.transport.bytes_up + 4 * r.socket.frames_up +
+                r.socket.ext_bytes_up);
+  EXPECT_EQ(r.socket.bytes_down,
+            r.transport.bytes_down + 4 * r.socket.frames_down +
+                r.socket.ext_bytes_down);
+  EXPECT_EQ(r.socket.reconnects, 0u);
+  EXPECT_EQ((*pipeline)->tcp_server->stats().protocol_errors, 0u);
+}
+
 TEST_F(LoadDriverDeterminismTest, ReportInternalConsistency) {
   auto p = BuildTinyPipeline();
   LoadReport r = MustRun(p.get(), SingleWorkerSpec());

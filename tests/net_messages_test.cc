@@ -394,10 +394,12 @@ TEST(MessagesTest, ControlPlaneRoundTrips) {
   EXPECT_EQ(*ping_decoded, ping);
   EXPECT_EQ(SerializePingRequest(ping).size(), WireSizeOfPingRequest(ping));
 
-  PingResponse pong{0xDEADBEEFCAFEF00Dull, 3};
+  PingResponse pong{0xDEADBEEFCAFEF00Dull, 3, 7};
   auto pong_decoded = ParsePingResponse(SerializePingResponse(pong));
   ASSERT_TRUE(pong_decoded.ok());
   EXPECT_EQ(*pong_decoded, pong);
+  EXPECT_EQ(pong_decoded->loop_id, 7u);
+  EXPECT_EQ(SerializePingResponse(pong).size(), WireSizeOfPingResponse(pong));
 
   StatsRequest stats_request;
   auto sreq = ParseStatsRequest(SerializeStatsRequest(stats_request));

@@ -21,6 +21,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -240,9 +241,8 @@ TEST_F(TcpTest, AccountingMatchesLoopbackPlusExactFraming) {
 }
 
 TEST_F(TcpTest, PollFallbackLoopServesIdentically) {
-  TcpServer::Options options;
-  options.force_poll = true;
-  auto poll_server = TcpServer::Start(&service_, std::move(options));
+  auto poll_server =
+      TcpServer::Start(&service_, ServerConfig().WithPollOnly());
   ASSERT_TRUE(poll_server.ok()) << poll_server.status();
 
   TcpTransport tcp((*poll_server)->address());
@@ -301,9 +301,8 @@ TEST_F(TcpTest, TruncatedPayloadFreesTheSession) {
 }
 
 TEST_F(TcpTest, OversizedFrameIsRejectedAndTheConnectionClosed) {
-  TcpServer::Options options;
-  options.max_frame_payload = 1024;
-  auto small_server = TcpServer::Start(&service_, std::move(options));
+  auto small_server =
+      TcpServer::Start(&service_, ServerConfig().WithMaxFramePayload(1024));
   ASSERT_TRUE(small_server.ok());
 
   // Raw client: a hostile length prefix must be answered with an error
@@ -334,9 +333,8 @@ TEST_F(TcpTest, OversizedResponseIsReplacedWithAnErrorFrame) {
   // The request fits the limit but its response would not: the server
   // must answer with a (small) error frame instead of shipping a frame
   // the client is obliged to reject — and the session stays usable.
-  TcpServer::Options options;
-  options.max_frame_payload = 256;
-  auto server = TcpServer::Start(&service_, std::move(options));
+  auto server =
+      TcpServer::Start(&service_, ServerConfig().WithMaxFramePayload(256));
   ASSERT_TRUE(server.ok());
 
   TcpTransport tcp((*server)->address());
@@ -601,12 +599,14 @@ TEST_F(TcpTest, HalfCloseAfterPipelinedBatchStillGetsEveryResponse) {
 }
 
 TEST_F(TcpTest, BackpressurePausesAndResumesWithoutLosingResponses) {
-  // A one-byte backlog limit forces the server to pause reads after
-  // every dispatched response; a pipelined burst must still come back
-  // complete and in order once the client drains.
-  TcpServer::Options options;
-  options.max_session_backlog = 1;
-  auto server = TcpServer::Start(&service_, std::move(options));
+  // A backlog limit of one frame forces the server to pause reads after
+  // a few dispatched responses pile up unread; a pipelined burst must
+  // still come back complete and in order once the client drains.
+  // (Validate rejects a backlog below the frame ceiling, so the tightest
+  // legal backpressure point is backlog == max_frame_payload.)
+  auto server = TcpServer::Start(&service_, ServerConfig()
+                                                .WithMaxFramePayload(1024)
+                                                .WithMaxSessionBacklog(1024));
   ASSERT_TRUE(server.ok());
   ASSERT_TRUE(TcpTransport((*server)->address()).Insert(MakeInsert(0, 0.9)).ok());
 
@@ -772,9 +772,8 @@ TEST_F(TcpTest, TornFrameExtensionIsAProtocolError) {
 
   // An oversized flagged announcement (beyond payload limit plus the
   // extension overhead ceiling) is rejected up front, allocation-free.
-  TcpServer::Options options;
-  options.max_frame_payload = 1024;
-  auto small_server = TcpServer::Start(&service_, std::move(options));
+  auto small_server =
+      TcpServer::Start(&service_, ServerConfig().WithMaxFramePayload(1024));
   ASSERT_TRUE(small_server.ok());
   int fd2 = RawConnect((*small_server)->address());
   RawSendAll(fd2, FrameHeader(kFrameFlagExtension |
@@ -804,9 +803,7 @@ TEST_F(TcpTest, MakeTransportBuildsTcpFromAnAddress) {
 }
 
 TEST_F(TcpTest, StartRejectsBadAddressesAndNullBackends) {
-  TcpServer::Options options;
-  options.listen_addr = "not-an-address";
-  EXPECT_TRUE(TcpServer::Start(&service_, std::move(options))
+  EXPECT_TRUE(TcpServer::Start(&service_, ServerConfig::At("not-an-address"))
                   .status()
                   .IsInvalidArgument());
   EXPECT_TRUE(TcpServer::Start(nullptr).status().IsInvalidArgument());
@@ -823,7 +820,7 @@ TEST_F(TcpTest, ConnectTimeoutBoundsABlackholedConnect) {
   // EHOSTUNREACH / ECONNREFUSED). Either way the bounded connect must
   // return an error in bounded time, not hang.
   TcpSession::Options options;
-  options.connect_timeout_ms = 250;
+  options.deadlines.connect_ms = 250;
   TcpSession session("10.255.255.1:9", options);
 
   auto start = std::chrono::steady_clock::now();
@@ -848,7 +845,7 @@ TEST_F(TcpTest, ConnectTimeoutLeavesAWorkingSessionWhenTheServerIsUp) {
   // The non-blocking connect path must produce a session every bit as
   // functional as the blocking one.
   TcpSession::Options options;
-  options.connect_timeout_ms = 2000;
+  options.deadlines.connect_ms = 2000;
   TcpSession session(tcp_server_->address(), options);
   ASSERT_TRUE(session.Connect().ok());
 
@@ -858,6 +855,280 @@ TEST_F(TcpTest, ConnectTimeoutLeavesAWorkingSessionWhenTheServerIsUp) {
   ASSERT_TRUE(session.RecvFrame(&wire).ok());
   auto response = ParseQueryResponse(wire);
   ASSERT_TRUE(response.ok()) << response.status();
+}
+
+// ---------------------------------------------------------------------------
+// Multi-loop serving: N event loops behind one address.
+// ---------------------------------------------------------------------------
+
+/// One ping round trip over `session`; returns the loop id the serving
+/// loop stamped into the response (the session-pinning witness).
+uint64_t PingLoopId(TcpSession* session, uint64_t token = 42) {
+  std::string wire;
+  EXPECT_TRUE(session->Call(SerializePingRequest(PingRequest{token}), &wire)
+                  .ok());
+  auto pong = ParsePingResponse(wire);
+  EXPECT_TRUE(pong.ok()) << pong.status();
+  if (!pong.ok()) return ~0ull;
+  EXPECT_EQ(pong->token, token);
+  return pong->loop_id;
+}
+
+TEST_F(TcpTest, ServerConfigValidateRejectsNonsense) {
+  EXPECT_TRUE(ServerConfig().Validate().ok());
+  EXPECT_TRUE(ServerConfig::Local().Validate().ok());
+  EXPECT_TRUE(ServerConfig().WithLoops(kMaxEventLoops).Validate().ok());
+
+  EXPECT_TRUE(ServerConfig().WithLoops(0).Validate().IsInvalidArgument());
+  EXPECT_TRUE(ServerConfig()
+                  .WithLoops(kMaxEventLoops + 1)
+                  .Validate()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      ServerConfig().WithMaxFramePayload(0).Validate().IsInvalidArgument());
+  // A backlog below one frame could never admit the response it is meant
+  // to buffer.
+  EXPECT_TRUE(ServerConfig()
+                  .WithMaxFramePayload(1024)
+                  .WithMaxSessionBacklog(1023)
+                  .Validate()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ServerConfig::At("not-an-address").Validate().IsInvalidArgument());
+  EXPECT_TRUE(ServerConfig::At("127.0.0.1:99999").Validate()
+                  .IsInvalidArgument());
+
+  // Start() refuses an invalid config before touching a socket.
+  EXPECT_TRUE(TcpServer::Start(&service_, ServerConfig().WithLoops(0))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(TcpTest, MultiLoopServesConcurrentClientsInBothAcceptModes) {
+  for (AcceptMode mode : {AcceptMode::kAuto, AcceptMode::kHandOff}) {
+    SCOPED_TRACE(mode == AcceptMode::kAuto ? "auto" : "hand-off");
+    constexpr size_t kLoops = 4;
+    auto started = TcpServer::Start(
+        &service_, ServerConfig().WithLoops(kLoops).WithAcceptMode(mode));
+    ASSERT_TRUE(started.ok()) << started.status();
+    TcpServer& server = **started;
+    EXPECT_EQ(server.num_loops(), kLoops);
+
+    constexpr size_t kThreads = 8;
+    constexpr size_t kOpsPerThread = 25;
+    std::vector<std::thread> threads;
+    std::atomic<size_t> failures{0};
+    for (size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        TcpTransport tcp(server.address());
+        for (size_t i = 0; i < kOpsPerThread; ++i) {
+          if (!tcp.Insert(MakeInsert(static_cast<uint32_t>((t + i) % 2), 0.5))
+                   .ok()) {
+            ++failures;
+          }
+          if (!tcp.Fetch(MakeFetch(static_cast<uint32_t>(i % 2), 3)).ok()) {
+            ++failures;
+          }
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    EXPECT_EQ(failures.load(), 0u);
+    EXPECT_EQ(server.stats().frames_served, 2 * kThreads * kOpsPerThread);
+    EXPECT_EQ(server.stats().protocol_errors, 0u);
+    EXPECT_TRUE(WaitFor([&] { return server.open_sessions() == 0u; }));
+
+    // The merged counters are exactly the sum of the per-loop shards.
+    std::vector<TcpServerStats> shards = server.per_loop_stats();
+    ASSERT_EQ(shards.size(), kLoops);
+    TcpServerStats sum;
+    for (const TcpServerStats& shard : shards) {
+      sum.connections_accepted += shard.connections_accepted;
+      sum.connections_closed += shard.connections_closed;
+      sum.frames_served += shard.frames_served;
+      sum.protocol_errors += shard.protocol_errors;
+      sum.bytes_read += shard.bytes_read;
+      sum.bytes_written += shard.bytes_written;
+    }
+    TcpServerStats merged = server.stats();
+    EXPECT_EQ(sum.frames_served, merged.frames_served);
+    EXPECT_EQ(sum.connections_accepted, merged.connections_accepted);
+    EXPECT_EQ(sum.bytes_read, merged.bytes_read);
+    EXPECT_EQ(sum.bytes_written, merged.bytes_written);
+    EXPECT_EQ(merged.connections_accepted, kThreads);
+
+    // Hand-off deals connections round-robin: 8 connections over 4 loops
+    // must land 2 on each. (Kernel placement under SO_REUSEPORT is its
+    // own policy, so kAuto asserts nothing about spread.)
+    if (mode == AcceptMode::kHandOff) {
+      for (const TcpServerStats& shard : shards) {
+        EXPECT_EQ(shard.connections_accepted, kThreads / kLoops);
+      }
+    }
+  }
+}
+
+TEST_F(TcpTest, SessionsArePinnedToOneLoopForLife) {
+  // The single-loop fixture server stamps loop 0 into every pong.
+  {
+    TcpSession session(tcp_server_->address());
+    EXPECT_EQ(PingLoopId(&session), 0u);
+  }
+
+  // Hand-off placement is deterministic (round-robin in accept order), so
+  // 8 sequential connections over 4 loops cover every loop exactly twice.
+  constexpr size_t kLoops = 4;
+  constexpr size_t kSessions = 8;
+  auto started = TcpServer::Start(&service_,
+                                  ServerConfig().WithLoops(kLoops).WithAcceptMode(
+                                      AcceptMode::kHandOff));
+  ASSERT_TRUE(started.ok()) << started.status();
+  TcpServer& server = **started;
+
+  std::vector<std::unique_ptr<TcpSession>> sessions;
+  std::vector<uint64_t> loop_of(kSessions);
+  std::vector<size_t> per_loop(kLoops, 0);
+  for (size_t i = 0; i < kSessions; ++i) {
+    sessions.push_back(std::make_unique<TcpSession>(server.address()));
+    loop_of[i] = PingLoopId(sessions.back().get(), /*token=*/i);
+    ASSERT_LT(loop_of[i], kLoops);
+    ++per_loop[loop_of[i]];
+  }
+  for (size_t loop = 0; loop < kLoops; ++loop) {
+    EXPECT_EQ(per_loop[loop], kSessions / kLoops) << "loop " << loop;
+  }
+
+  // Pinned for life: repeated pings on one session, interleaved with
+  // traffic on every other session, always answer from the same loop.
+  for (int round = 0; round < 5; ++round) {
+    for (size_t i = 0; i < kSessions; ++i) {
+      EXPECT_EQ(PingLoopId(sessions[i].get(), /*token=*/round), loop_of[i])
+          << "session " << i << " migrated in round " << round;
+    }
+  }
+  EXPECT_EQ(server.stats().frames_served, kSessions * 6);
+}
+
+TEST_F(TcpTest, KillingOneLoopsClientsFreesOnlyThatLoopsSessions) {
+  constexpr size_t kLoops = 4;
+  constexpr size_t kSessions = 8;  // 2 per loop under hand-off round-robin
+  auto started = TcpServer::Start(&service_,
+                                  ServerConfig().WithLoops(kLoops).WithAcceptMode(
+                                      AcceptMode::kHandOff));
+  ASSERT_TRUE(started.ok()) << started.status();
+  TcpServer& server = **started;
+
+  std::vector<std::unique_ptr<TcpSession>> sessions;
+  std::vector<uint64_t> loop_of(kSessions);
+  for (size_t i = 0; i < kSessions; ++i) {
+    sessions.push_back(std::make_unique<TcpSession>(server.address()));
+    loop_of[i] = PingLoopId(sessions.back().get(), /*token=*/i);
+  }
+  ASSERT_TRUE(WaitFor([&] { return server.open_sessions() == kSessions; }));
+
+  // Drop every client of one loop (a partition losing its callers); the
+  // victim loop must reap exactly its own sessions and no other loop may
+  // close anything.
+  const uint64_t victim = loop_of[0];
+  size_t dropped = 0;
+  for (size_t i = 0; i < kSessions; ++i) {
+    if (loop_of[i] == victim) {
+      sessions[i]->Disconnect();
+      ++dropped;
+    }
+  }
+  EXPECT_EQ(dropped, kSessions / kLoops);
+  EXPECT_TRUE(WaitFor([&] {
+    return server.open_sessions() == kSessions - dropped;
+  }));
+  std::vector<TcpServerStats> shards = server.per_loop_stats();
+  for (size_t loop = 0; loop < kLoops; ++loop) {
+    EXPECT_EQ(shards[loop].connections_closed,
+              loop == victim ? dropped : 0u)
+        << "loop " << loop;
+  }
+
+  // Survivors keep serving from their unchanged loops.
+  for (size_t i = 0; i < kSessions; ++i) {
+    if (loop_of[i] == victim) continue;
+    EXPECT_EQ(PingLoopId(sessions[i].get(), /*token=*/100 + i), loop_of[i]);
+  }
+}
+
+TEST_F(TcpTest, DisconnectAllIsAFanOutBarrierAcrossLoops) {
+  constexpr size_t kLoops = 4;
+  constexpr size_t kSessions = 8;
+  auto started = TcpServer::Start(&service_,
+                                  ServerConfig().WithLoops(kLoops).WithAcceptMode(
+                                      AcceptMode::kHandOff));
+  ASSERT_TRUE(started.ok()) << started.status();
+  TcpServer& server = **started;
+
+  std::vector<std::unique_ptr<TcpSession>> sessions;
+  for (size_t i = 0; i < kSessions; ++i) {
+    sessions.push_back(std::make_unique<TcpSession>(server.address()));
+    PingLoopId(sessions.back().get(), /*token=*/i);  // installed for sure
+  }
+  ASSERT_EQ(server.open_sessions(), kSessions);
+
+  // The barrier: when DisconnectAll returns, every loop has drained — no
+  // WaitFor, the postcondition holds immediately.
+  server.DisconnectAll();
+  EXPECT_EQ(server.open_sessions(), 0u);
+  TcpServerStats merged = server.stats();
+  EXPECT_EQ(merged.connections_closed, kSessions);
+
+  // The listeners stayed up: fresh connections are served afterwards.
+  TcpSession fresh(server.address());
+  EXPECT_LT(PingLoopId(&fresh, /*token=*/7), kLoops);
+}
+
+TEST_F(TcpTest, AclDispatchQuiescesEveryLoop) {
+  // ACL frames dispatch under the server-wide writer gate, excluding every
+  // loop's regular reader-side dispatches. This test drives regular
+  // traffic on all loops while ACL frames interleave: everything must
+  // succeed and nothing may deadlock against the gate. (TSan runs this
+  // suite, so a gate ordering bug surfaces as a reported race/deadlock.)
+  constexpr size_t kLoops = 4;
+  std::atomic<int> acl_calls{0};
+  auto started = TcpServer::Start(
+      &service_,
+      ServerConfig()
+          .WithLoops(kLoops)
+          .WithAcceptMode(AcceptMode::kHandOff)
+          .WithAclHandler([&acl_calls](const AclRequest&) {
+            ++acl_calls;
+            return Status::OK();
+          }));
+  ASSERT_TRUE(started.ok()) << started.status();
+  TcpServer& server = **started;
+
+  // Regular traffic on every loop while ACL frames interleave: all must
+  // succeed, none may deadlock against the writer gate.
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kLoops; ++t) {
+    threads.emplace_back([&] {
+      TcpTransport tcp(server.address());
+      for (int i = 0; i < 20; ++i) {
+        if (!tcp.Fetch(MakeFetch(0, 1)).ok()) ++failures;
+      }
+    });
+  }
+  {
+    TcpSession acl_session(server.address());
+    for (int i = 0; i < 10; ++i) {
+      AclRequest acl;
+      acl.op = AclRequest::Op::kAddGroup;
+      acl.group = 5;
+      std::string wire;
+      ASSERT_TRUE(
+          acl_session.Call(SerializeAclRequest(acl), &wire).ok());
+      EXPECT_FALSE(IsErrorResponse(wire));
+    }
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(acl_calls.load(), 10);
 }
 
 }  // namespace

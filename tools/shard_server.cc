@@ -69,7 +69,7 @@ int Usage(const char* argv0) {
       "[--placement=trs-sorted|random]\n"
       "          [--sync=none|every-record|group-commit] "
       "[--snapshot-threshold=BYTES]\n"
-      "          [--slow-op-ns=NANOS]\n",
+      "          [--slow-op-ns=NANOS] [--loops=N]\n",
       argv0);
   return 2;
 }
@@ -90,6 +90,7 @@ int main(int argc, char** argv) {
   std::string sync = "group-commit";
   std::string threshold;
   std::string slow_op_ns;
+  std::string loops = "1";
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -103,6 +104,7 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "--sync", &sync)) {
     } else if (ParseFlag(argv[i], "--snapshot-threshold", &threshold)) {
     } else if (ParseFlag(argv[i], "--slow-op-ns", &slow_op_ns)) {
+    } else if (ParseFlag(argv[i], "--loops", &loops)) {
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return Usage(argv[0]);
@@ -169,10 +171,16 @@ int main(int argc, char** argv) {
   }
   store::DurableIndexService& service = **opened;
 
-  net::TcpServer::Options server_options;
-  server_options.listen_addr = listen_addr;
-  server_options.server_id = options.cluster_shard;
-  server_options.stats_source = [&service] {
+  // --loops=N: event-loop threads of the serving socket layer. One loop
+  // reproduces the historical single-threaded server; a busy shard scales
+  // with cores (sizing guidance in docs/OPERATIONS.md). ServerConfig
+  // validates before any socket is touched, so a bad flag fails here with
+  // a typed status instead of a half-started server.
+  net::ServerConfig server_config =
+      net::ServerConfig::At(listen_addr)
+          .WithLoops(std::strtoull(loops.c_str(), nullptr, 10))
+          .WithServerId(options.cluster_shard);
+  server_config.WithStatsSource([&service] {
     zerber::ServerStats s = service.partition(0).stats();
     net::StatsResponse out;
     out.fetch_requests = s.fetch_requests;
@@ -191,11 +199,12 @@ int main(int argc, char** argv) {
     // sealed-telemetry invariant holds on this path by construction.
     out.registry_text = obs::Registry::Global().RenderPrometheus();
     return out;
-  };
-  // Runs on the event-loop thread, serialized with every request dispatch —
-  // the quiescence the ACL surface requires. Idempotent (the durable
-  // service re-applies convergently), so the router may retry it.
-  server_options.acl_handler = [&service](const net::AclRequest& acl) {
+  });
+  // Runs on the owning loop's thread under the server-wide writer dispatch
+  // gate — no other frame is in flight on any loop, the quiescence the ACL
+  // surface requires. Idempotent (the durable service re-applies
+  // convergently), so the router may retry it.
+  server_config.WithAclHandler([&service](const net::AclRequest& acl) {
     switch (acl.op) {
       case net::AclRequest::Op::kAddGroup:
         return service.AddGroup(acl.group);
@@ -205,9 +214,9 @@ int main(int argc, char** argv) {
         return service.RevokeMembership(acl.user, acl.group);
     }
     return Status::InvalidArgument("shard_server: unknown ACL op");
-  };
+  });
 
-  auto started = net::TcpServer::Start(&service, std::move(server_options));
+  auto started = net::TcpServer::Start(&service, std::move(server_config));
   if (!started.ok()) {
     std::fprintf(stderr, "listen failed: %s\n",
                  started.status().ToString().c_str());

@@ -122,8 +122,8 @@ bool ParsePromText(const std::string& text, std::vector<PromLine>* out,
 /// least its TCP counters registered.
 StatusOr<std::string> Scrape(const std::string& addr) {
   net::TcpSession::Options options;
-  options.connect_timeout_ms = 5000;
-  options.recv_timeout_ms = 5000;
+  options.deadlines = net::Deadlines::Of(/*connect_ms=*/5000,
+                                         /*recv_ms=*/5000);
   net::TcpSession session(addr, options);
   ZR_RETURN_IF_ERROR(session.SendFrame(
       net::SerializeStatsRequest(net::StatsRequest{})));
@@ -146,8 +146,8 @@ StatusOr<std::string> Scrape(const std::string& addr) {
 /// one frame before the scrape (the selftest's counters are then non-zero).
 Status Ping(const std::string& addr, uint64_t token) {
   net::TcpSession::Options options;
-  options.connect_timeout_ms = 5000;
-  options.recv_timeout_ms = 5000;
+  options.deadlines = net::Deadlines::Of(/*connect_ms=*/5000,
+                                         /*recv_ms=*/5000);
   net::TcpSession session(addr, options);
   net::PingRequest ping;
   ping.token = token;
