@@ -60,6 +60,7 @@
 #include <thread>
 #include <vector>
 
+#include "attack/harness.h"
 #include "cluster/process.h"
 #include "cluster/router.h"
 #include "core/pipeline.h"
@@ -106,6 +107,12 @@ struct Flags {
   std::string zerber_stats;
   std::string scrape_out = "BENCH_scrape.prom";
   std::string argv0;
+
+  /// --attack: run the adversarial traffic sweep (src/attack/) instead of
+  /// a load spec and write the deterministic privacy report that
+  /// tools/check_privacy.py gates against the committed baseline.
+  bool attack = false;
+  std::string attack_out = "BENCH_privacy.json";
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -154,6 +161,10 @@ Flags ParseFlags(int argc, char** argv) {
       flags.zerber_stats = value;
     } else if (ParseFlag(argv[i], "--scrape-out", &value)) {
       flags.scrape_out = value;
+    } else if (std::strcmp(argv[i], "--attack") == 0) {
+      flags.attack = true;
+    } else if (ParseFlag(argv[i], "--attack-out", &value)) {
+      flags.attack_out = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       std::exit(2);
@@ -819,10 +830,51 @@ bool RunChurnConfig(const Flags& flags, size_t preload,
   return gate_ok && accounting_ok;
 }
 
+/// The adversarial traffic sweep: capture every scenario's wire traffic,
+/// run the query-recovery attack, write the deterministic privacy report.
+/// The pass/fail judgment lives in tools/check_privacy.py (fresh vs
+/// committed baseline); here only "the attack ran and observed traffic"
+/// is enforced.
+int RunAttackBench(const Flags& flags) {
+  auto report = attack::RunAttackSweep(attack::DefaultScenarios());
+  if (!report.ok()) {
+    std::fprintf(stderr, "attack sweep failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  bool ok = true;
+  for (const attack::ScenarioResult& r : report->configs) {
+    std::printf(
+        "%-24s lists=%5zu observed=%5zu queries=%6llu acc=%.3f prior=%.3f "
+        "amp=%6.2f balanced=%.4f\n",
+        r.name.c_str(), r.plan_lists, r.observed_lists,
+        static_cast<unsigned long long>(r.observed_queries),
+        r.recovery.accuracy, r.recovery.prior_accuracy,
+        r.recovery.amplification, r.recovery.balanced_accuracy);
+    if (r.observed_queries == 0 || r.observed_lists == 0) {
+      std::printf("%-24s attack gate: FAIL (tap observed no query traffic)\n",
+                  r.name.c_str());
+      ok = false;
+    }
+  }
+  std::ofstream file(flags.attack_out, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s for writing\n",
+                 flags.attack_out.c_str());
+    return 1;
+  }
+  file << report->ToJson() << "\n";
+  file.close();
+  std::printf("wrote %s (%zu configs)\n", flags.attack_out.c_str(),
+              report->configs.size());
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags = ParseFlags(argc, argv);
+  if (flags.attack) return RunAttackBench(flags);
 
   std::vector<load::LoadReport> reports;
   bool gates_ok = true;

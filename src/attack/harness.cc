@@ -1,0 +1,295 @@
+#include "attack/harness.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "attack/trace_log.h"
+#include "core/pipeline.h"
+#include "load/driver.h"
+#include "load/op_generator.h"
+
+namespace zr::attack {
+
+namespace {
+
+/// 1/r below any per-term probability: BFM never merges, one list per term.
+constexpr double kNaiveR = 1e12;
+
+// Deterministic JSON building, same conventions as load/report.cc (fixed
+// key order, "%.6g" doubles, no locale dependence).
+
+void AppendKey(std::string* out, const char* key, bool* first) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  out->push_back('"');
+  out->append(key);
+  out->append("\":");
+}
+
+void AppendU64(std::string* out, const char* key, uint64_t value, bool* first) {
+  AppendKey(out, key, first);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out->append(buf);
+}
+
+void AppendDouble(std::string* out, const char* key, double value,
+                  bool* first) {
+  AppendKey(out, key, first);
+  // Infinite amplification (prior accuracy 0) must not emit bare "inf":
+  // that is not JSON. 1e99 is the documented sentinel.
+  if (!std::isfinite(value)) value = 1e99;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out->append(buf);
+}
+
+void AppendString(std::string* out, const char* key, const std::string& value,
+                  bool* first) {
+  AppendKey(out, key, first);
+  out->push_back('"');
+  out->append(value);  // scenario/preset names are identifier-safe
+  out->push_back('"');
+}
+
+std::string SigmaTag(double sigma) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", sigma);
+  return buf;
+}
+
+/// The counter clocks of the determinism tests: strictly increasing,
+/// shared safely across threads, independent of wall time.
+std::function<uint64_t()> CounterClock() {
+  auto counter = std::make_shared<std::atomic<uint64_t>>(0);
+  return [counter] { return counter->fetch_add(1000) + 1000; };
+}
+
+/// The query-only single-worker workload every scenario drives.
+load::LoadSpec ScenarioSpec(const ScenarioConfig& config) {
+  load::LoadSpec spec;
+  spec.seed = config.load_seed;
+  spec.workers = 1;  // one stream: the capture totals are exact per worker
+  spec.ops_per_worker = config.ops;
+  spec.warmup_inserts = 0;  // nothing crosses the wire before measurement
+  spec.mix = {1.0, 0.0, 0.0, 0.0};  // Zerber+R queries only
+  spec.num_users = 4;
+  spec.groups_per_user = 2;
+  spec.top_k = 10;
+  spec.terms_per_query_mean = config.terms_per_query_mean;
+  return spec;
+}
+
+}  // namespace
+
+StatusOr<ScenarioResult> RunScenario(const ScenarioConfig& config,
+                                     const AuxKnowledge* aux) {
+  core::PipelineOptions options;
+  options.preset = config.preset;
+  if (config.naive) options.preset.r = kNaiveR;
+  options.sigma = config.sigma;
+  options.seed = config.pipeline_seed;
+  options.transport = net::TransportKind::kTcp;
+  options.num_server_loops = 1;
+  options.build_baseline_index = false;
+  options.build_query_log = false;
+  ZR_ASSIGN_OR_RETURN(std::unique_ptr<core::Pipeline> pipeline,
+                      core::BuildPipeline(options));
+
+  TraceLog trace(CounterClock());
+  load::LoadSpec spec = ScenarioSpec(config);
+  load::Deployment deployment = load::DeploymentFromPipeline(pipeline.get());
+  deployment.wire_tap = &trace;
+  load::LoadDriver driver(deployment, spec, CounterClock());
+  ZR_ASSIGN_OR_RETURN(load::LoadReport report, driver.Run());
+
+  // Framing identity: the tap observed exactly the bytes the socket
+  // counters accounted, or the capture cannot be trusted.
+  TraceLog::Totals totals = trace.totals();
+  if (totals.bytes_up != report.socket.bytes_up ||
+      totals.bytes_down != report.socket.bytes_down ||
+      totals.frames_up != report.socket.frames_up ||
+      totals.frames_down != report.socket.frames_down) {
+    return Status::Internal("wire tap diverged from socket accounting");
+  }
+
+  // The attack itself: auxiliary knowledge (shared across a sweep's
+  // scenarios of one preset) + the capture, nothing else.
+  AuxKnowledge local_aux;
+  if (aux == nullptr) {
+    ZR_ASSIGN_OR_RETURN(local_aux,
+                        BuildAuxKnowledge(synth::AuxiliaryPreset(config.preset)));
+    aux = &local_aux;
+  }
+  RecoveryResult recovered = RunQueryRecovery(trace.Records(), *aux);
+
+  // Ground truth by replay: the op stream is a pure function of
+  // (spec, worker, num_terms), so regenerating it — against the driver's
+  // own term-table construction — yields the true term of every observed
+  // query without ever consulting the capture.
+  const text::Vocabulary& vocab = pipeline->corpus.vocabulary();
+  std::vector<text::TermId> term_ids;
+  for (text::TermId t : vocab.AllTermIds()) {
+    if (pipeline->corpus.DocumentFrequency(t) > 0) term_ids.push_back(t);
+  }
+  std::sort(term_ids.begin(), term_ids.end(),
+            [&](text::TermId a, text::TermId b) {
+              uint64_t da = pipeline->corpus.DocumentFrequency(a);
+              uint64_t db = pipeline->corpus.DocumentFrequency(b);
+              if (da != db) return da > db;
+              return a < b;
+            });
+  struct Entry {
+    text::TermId term = 0;
+    zerber::MergedListId list = 0;
+  };
+  std::vector<Entry> terms;
+  terms.reserve(term_ids.size());
+  for (text::TermId t : term_ids) {
+    ZR_ASSIGN_OR_RETURN(std::string term_string, vocab.TermOf(t));
+    terms.push_back(Entry{
+        t, pipeline->plan.ListOf(t, pipeline->keys->TermPseudonym(term_string))});
+  }
+
+  load::OpGenerator generator(spec, /*worker_index=*/0, terms.size());
+  std::vector<std::pair<text::TermId, text::TermId>> pairs;
+  std::set<text::TermId> distinct_truth;
+  for (uint64_t i = 0; i < config.ops; ++i) {
+    load::Op op = generator.Next();
+    if (op.cls != load::OpClass::kQueryZerberR) continue;  // mix: queries only
+    std::vector<uint64_t> ranks;
+    ranks.reserve(1 + op.extra_term_ranks.size());
+    ranks.push_back(op.term_rank);
+    ranks.insert(ranks.end(), op.extra_term_ranks.begin(),
+                 op.extra_term_ranks.end());
+    for (uint64_t rank : ranks) {
+      const Entry& entry = terms[rank - 1];
+      distinct_truth.insert(entry.term);
+      text::TermId guess = text::kInvalidTermId;
+      auto it = recovered.guess_by_list.find(entry.list);
+      if (it != recovered.guess_by_list.end()) {
+        // A guessed string absent from the indexed vocabulary stays
+        // kInvalidTermId: a wrong guess, never a crash.
+        guess = vocab.Lookup(it->second);
+      }
+      pairs.emplace_back(entry.term, guess);
+    }
+  }
+
+  ScenarioResult result;
+  result.name = config.name;
+  result.preset = config.preset.name;
+  result.sigma = config.sigma;
+  result.naive = config.naive;
+  result.ops = config.ops;
+  result.plan_lists = pipeline->plan.NumLists();
+  result.observed_frames = recovered.observed_frames;
+  result.observed_queries = recovered.observed_queries;
+  result.observed_lists = recovered.observed_lists;
+  result.recovery = core::ScoreRecovery(pairs, vocab.Lookup(aux->prior_guess),
+                                        distinct_truth.size());
+  return result;
+}
+
+std::vector<ScenarioConfig> DefaultScenarios() {
+  std::vector<ScenarioConfig> out;
+  std::vector<synth::DatasetPreset> presets;
+  presets.push_back(synth::TinyPreset());
+  presets.push_back(synth::StudIpPreset(0.02));
+  for (const synth::DatasetPreset& preset : presets) {
+    for (double sigma : {0.002, 0.01}) {
+      for (bool naive : {true, false}) {
+        ScenarioConfig config;
+        config.preset = preset;
+        config.sigma = sigma;
+        config.naive = naive;
+        config.name = preset.name + (naive ? "-naive" : "-bfm") + "-sigma" +
+                      SigmaTag(sigma);
+        out.push_back(std::move(config));
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<AttackReport> RunAttackSweep(
+    const std::vector<ScenarioConfig>& configs) {
+  AttackReport report;
+  report.configs.reserve(configs.size());
+  // Auxiliary knowledge depends only on the preset; derive it once per
+  // preset name (the expensive part of a scenario after the pipeline).
+  std::map<std::string, AuxKnowledge> aux_by_preset;
+  for (const ScenarioConfig& config : configs) {
+    auto it = aux_by_preset.find(config.preset.name);
+    if (it == aux_by_preset.end()) {
+      ZR_ASSIGN_OR_RETURN(
+          AuxKnowledge aux,
+          BuildAuxKnowledge(synth::AuxiliaryPreset(config.preset)));
+      it = aux_by_preset.emplace(config.preset.name, std::move(aux)).first;
+    }
+    ZR_ASSIGN_OR_RETURN(ScenarioResult result,
+                        RunScenario(config, &it->second));
+    report.configs.push_back(std::move(result));
+  }
+  return report;
+}
+
+std::string AttackReport::ToJson() const {
+  std::string out;
+  out.reserve(2048);
+  bool first = true;
+  out.push_back('{');
+  AppendString(&out, "bench", "privacy", &first);
+  AppendKey(&out, "configs", &first);
+  out.push_back('[');
+  for (size_t i = 0; i < configs.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    const ScenarioResult& r = configs[i];
+    out.push_back('{');
+    bool f = true;
+    AppendString(&out, "name", r.name, &f);
+    AppendString(&out, "preset", r.preset, &f);
+    AppendDouble(&out, "sigma", r.sigma, &f);
+    AppendString(&out, "merge", r.naive ? "naive" : "bfm", &f);
+    AppendU64(&out, "ops", r.ops, &f);
+    AppendU64(&out, "plan_lists", r.plan_lists, &f);
+    AppendKey(&out, "observed", &f);
+    {
+      out.push_back('{');
+      bool o = true;
+      AppendU64(&out, "frames", r.observed_frames, &o);
+      AppendU64(&out, "queries", r.observed_queries, &o);
+      AppendU64(&out, "lists", r.observed_lists, &o);
+      out.push_back('}');
+    }
+    AppendKey(&out, "recovery", &f);
+    {
+      out.push_back('{');
+      bool a = true;
+      AppendDouble(&out, "accuracy", r.recovery.accuracy, &a);
+      AppendDouble(&out, "prior_accuracy", r.recovery.prior_accuracy, &a);
+      AppendDouble(&out, "amplification", r.recovery.amplification, &a);
+      AppendDouble(&out, "balanced_accuracy", r.recovery.balanced_accuracy,
+                   &a);
+      AppendDouble(&out, "balanced_amplification",
+                   r.recovery.balanced_amplification, &a);
+      AppendU64(&out, "num_terms", r.recovery.num_terms, &a);
+      AppendU64(&out, "num_elements", r.recovery.num_elements, &a);
+      out.push_back('}');
+    }
+    out.push_back('}');
+  }
+  out.push_back(']');
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace zr::attack

@@ -1,0 +1,108 @@
+// End-to-end adversarial traffic scenarios and the privacy benchmark.
+//
+// One scenario = one full deployment (pipeline + TcpServer + load driver)
+// with a TraceLog tapped into every worker session, one query-recovery
+// attack over the capture, and one core::AttackOutcome scored against the
+// replayed ground truth. The sweep runs scenarios across presets, sigma
+// values and merge configurations and serializes them into the committed
+// BENCH_privacy.json that tools/check_privacy.py gates in CI:
+//
+//  * "naive" — the preset with r pushed to ~infinity, so BFM degenerates
+//    to one singleton list per term. Per-term traffic is fully exposed;
+//    the attack must beat the blind prior by a wide margin here or it has
+//    no teeth (the gate sanity-fails otherwise).
+//  * "bfm" (hardened) — the preset's own r with BFM merging, the paper's
+//    Zerber+R configuration. Recovery amplification must stay within the
+//    committed baseline plus slack.
+//
+// Everything is deterministic (fixed seeds, injected counter clocks, no
+// timestamps in the JSON), so two runs of the same binary produce
+// byte-identical reports — asserted in tests/attack_recovery_test.cc.
+
+#ifndef ZERBERR_ATTACK_HARNESS_H_
+#define ZERBERR_ATTACK_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/recovery.h"
+#include "core/adversary.h"
+#include "synth/presets.h"
+#include "util/statusor.h"
+
+namespace zr::attack {
+
+/// One attack scenario: deployment knobs + workload shape.
+struct ScenarioConfig {
+  /// Report key, e.g. "tiny-bfm-sigma0.002".
+  std::string name;
+
+  /// Indexed dataset. The auxiliary knowledge is always derived from it
+  /// via synth::AuxiliaryPreset (reseeded, never the indexed documents).
+  synth::DatasetPreset preset;
+
+  /// RSTF kernel scale of the deployment.
+  double sigma = 0.004;
+
+  /// True overrides the preset's r with ~infinity: singleton per-term
+  /// lists, the unprotected configuration the attack must crack.
+  bool naive = false;
+
+  /// Measured query ops (single worker, queries only).
+  uint64_t ops = 400;
+
+  /// Mean terms per query (paper's log: 2.4) — the co-occurrence signal.
+  double terms_per_query_mean = 2.4;
+
+  uint64_t pipeline_seed = 424242;
+  uint64_t load_seed = 99;
+};
+
+/// One scenario's measured outcome.
+struct ScenarioResult {
+  std::string name;
+  std::string preset;
+  double sigma = 0.0;
+  bool naive = false;
+  uint64_t ops = 0;
+
+  /// Merged lists of the deployment's plan (naive: one per term).
+  size_t plan_lists = 0;
+
+  /// What the tap saw.
+  uint64_t observed_frames = 0;
+  uint64_t observed_queries = 0;
+  size_t observed_lists = 0;
+
+  /// The attack scored against replayed ground truth, with the same metric
+  /// definitions as the score-distribution attack (core::ScoreRecovery).
+  core::AttackOutcome recovery;
+};
+
+/// The privacy benchmark report.
+struct AttackReport {
+  std::vector<ScenarioResult> configs;
+
+  /// Deterministic JSON (fixed key order, "%.6g" doubles, no timestamps).
+  /// A non-finite amplification (prior accuracy 0) serializes as 1e99 so
+  /// the output stays valid JSON.
+  std::string ToJson() const;
+};
+
+/// Runs one scenario end to end. `aux` lets a sweep share the attacker
+/// knowledge across scenarios of one preset; null derives it on the fly.
+StatusOr<ScenarioResult> RunScenario(const ScenarioConfig& config,
+                                     const AuxKnowledge* aux = nullptr);
+
+/// The committed BENCH_privacy.json grid: {tiny, studip(0.02)} x
+/// {naive, bfm} x sigma {0.002, 0.01}.
+std::vector<ScenarioConfig> DefaultScenarios();
+
+/// Runs every scenario (auxiliary knowledge computed once per preset).
+StatusOr<AttackReport> RunAttackSweep(
+    const std::vector<ScenarioConfig>& configs);
+
+}  // namespace zr::attack
+
+#endif  // ZERBERR_ATTACK_HARNESS_H_

@@ -1,0 +1,300 @@
+#include "attack/recovery.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+
+#include "synth/corpus_generator.h"
+#include "synth/query_log.h"
+
+namespace zr::attack {
+
+namespace {
+
+/// Ordered pair key for co-occurrence maps.
+std::pair<std::string, std::string> TermPair(const std::string& a,
+                                             const std::string& b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+}  // namespace
+
+StatusOr<AuxKnowledge> BuildAuxKnowledge(
+    const synth::DatasetPreset& aux_preset) {
+  ZR_ASSIGN_OR_RETURN(text::Corpus corpus,
+                      synth::GenerateCorpus(aux_preset.corpus));
+  ZR_ASSIGN_OR_RETURN(synth::QueryLog log,
+                      synth::GenerateQueryLog(corpus, aux_preset.queries));
+
+  AuxKnowledge aux;
+  const uint64_t total = log.TotalTermOccurrences();
+  const double num_docs = static_cast<double>(corpus.NumDocuments());
+  std::unordered_map<text::TermId, std::string> strings;
+  strings.reserve(log.terms_by_popularity.size());
+  for (size_t i = 0; i < log.terms_by_popularity.size(); ++i) {
+    text::TermId t = log.terms_by_popularity[i];
+    ZR_ASSIGN_OR_RETURN(std::string term, corpus.vocabulary().TermOf(t));
+    AuxTermInfo info;
+    info.query_freq =
+        total > 0 ? static_cast<double>(log.frequency_by_popularity[i]) /
+                        static_cast<double>(total)
+                  : 0.0;
+    info.df = num_docs > 0.0
+                  ? static_cast<double>(corpus.DocumentFrequency(t)) / num_docs
+                  : 0.0;
+    aux.terms.emplace(term, info);
+    strings.emplace(t, std::move(term));
+    // terms_by_popularity is most-queried-first, so the first entry is the
+    // blind adversary's guess.
+    if (i == 0) aux.prior_guess = strings[t];
+  }
+
+  if (!log.queries.empty()) {
+    const double per_query = 1.0 / static_cast<double>(log.queries.size());
+    for (const synth::Query& q : log.queries) {
+      // Distinct terms only: a repeated term within one query is one
+      // observation of the term, not a co-occurrence with itself.
+      std::vector<std::string> qs;
+      qs.reserve(q.size());
+      for (text::TermId t : q) {
+        auto it = strings.find(t);
+        if (it != strings.end()) qs.push_back(it->second);
+      }
+      std::sort(qs.begin(), qs.end());
+      qs.erase(std::unique(qs.begin(), qs.end()), qs.end());
+      for (size_t i = 0; i < qs.size(); ++i) {
+        for (size_t j = i + 1; j < qs.size(); ++j) {
+          aux.cooc[TermPair(qs[i], qs[j])] += per_query;
+        }
+      }
+    }
+  }
+  return aux;
+}
+
+RecoveryResult RunQueryRecovery(const std::vector<TraceRecord>& records,
+                                const AuxKnowledge& aux,
+                                const RecoveryOptions& options) {
+  RecoveryResult result;
+  result.observed_frames = records.size();
+
+  // ---- Observation pass: pair each response with its request (streams
+  // are single-connection FIFOs — TCP preserves order and the server
+  // answers in order, pipelining included) and accumulate per-list
+  // features.
+  struct ListStats {
+    uint64_t init_count = 0;      ///< offset-0 ranges (one per query)
+    uint64_t followup_count = 0;  ///< offset>0 ranges (doubling protocol)
+    uint64_t elements = 0;        ///< posting elements returned
+  };
+  std::map<uint32_t, ListStats> lists;
+  std::map<std::pair<uint32_t, uint32_t>, double> obs_cooc;
+  std::unordered_map<uint64_t, std::deque<std::vector<ObservedRange>>> pending;
+
+  // A "burst" is a run of consecutive request frames on one stream before
+  // any response: a multi-term query's initial round, whether it travels
+  // as one MultiFetchRequest frame or as pipelined QueryRequest frames.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> burst;
+  auto flush_burst = [&](std::vector<uint32_t>* co) {
+    std::sort(co->begin(), co->end());
+    co->erase(std::unique(co->begin(), co->end()), co->end());
+    for (size_t i = 0; i < co->size(); ++i) {
+      for (size_t j = i + 1; j < co->size(); ++j) {
+        obs_cooc[{(*co)[i], (*co)[j]}] += 1.0;
+      }
+    }
+    co->clear();
+  };
+
+  for (const TraceRecord& r : records) {
+    if (r.client_to_server) {
+      std::vector<uint32_t>& co = burst[r.stream];
+      for (const ObservedRange& range : r.ranges) {
+        ListStats& stats = lists[range.list];
+        if (range.offset == 0) {
+          ++stats.init_count;
+          ++result.observed_queries;
+          co.push_back(range.list);
+        } else {
+          ++stats.followup_count;
+        }
+      }
+      // Every request frame gets exactly one response frame; non-query
+      // requests enqueue an empty range list so pairing stays aligned.
+      pending[r.stream].push_back(r.ranges);
+    } else {
+      auto bit = burst.find(r.stream);
+      if (bit != burst.end()) flush_burst(&bit->second);
+      auto it = pending.find(r.stream);
+      if (it == pending.end() || it->second.empty()) continue;
+      const std::vector<ObservedRange>& ranges = it->second.front();
+      size_t n = std::min(ranges.size(), r.response_elements.size());
+      for (size_t i = 0; i < n; ++i) {
+        lists[ranges[i].list].elements += r.response_elements[i];
+      }
+      it->second.pop_front();
+    }
+  }
+  // A trailing burst (request frames with no captured response) still
+  // counts as one co-fetch observation. Iteration order cannot matter:
+  // each flush only adds +1 increments into obs_cooc.
+  for (auto& [stream, co] : burst) flush_burst(&co);
+  result.observed_lists = lists.size();
+
+  // ---- Candidate set: auxiliary terms that are ever queried.
+  std::vector<std::string> candidates;
+  for (const auto& [term, info] : aux.terms) {
+    if (info.query_freq > 0.0) candidates.push_back(term);
+  }
+  if (lists.empty() || candidates.empty()) return result;
+
+  uint64_t total_init = 0;
+  for (const auto& [list, stats] : lists) total_init += stats.init_count;
+  if (total_init == 0) return result;
+
+  // ---- Base scores: rank matching. A fetch-share distribution over
+  // lists and a document-frequency distribution over terms have different
+  // shapes, so their magnitudes do not line up — but both are monotone in
+  // the same underlying popularity, so at the head (where the traffic
+  // concentrates) observed rank r corresponds to auxiliary rank r
+  // directly. Raw log-ranks keep strong discrimination there (log 1 vs
+  // log 2) and must NOT be z-normalized: the observed set (lists that
+  // happened to be fetched) and the candidate set (every queried
+  // auxiliary term) have different sizes, and normalizing over them warps
+  // the head correspondence.
+  std::vector<uint32_t> list_ids;
+  std::vector<uint64_t> init_of, elem_of;
+  for (const auto& [list, stats] : lists) {
+    list_ids.push_back(list);
+    init_of.push_back(stats.init_count);
+    elem_of.push_back(stats.elements);
+  }
+  std::vector<size_t> obs_order(list_ids.size());
+  for (size_t i = 0; i < obs_order.size(); ++i) obs_order[i] = i;
+  std::sort(obs_order.begin(), obs_order.end(), [&](size_t a, size_t b) {
+    if (init_of[a] != init_of[b]) return init_of[a] > init_of[b];
+    return list_ids[a] < list_ids[b];
+  });
+  std::vector<double> zfreq_obs(list_ids.size()), zvol_obs(list_ids.size());
+  for (size_t rank = 0; rank < obs_order.size(); ++rank) {
+    zfreq_obs[obs_order[rank]] = std::log(static_cast<double>(rank + 1));
+  }
+  // Response volume ("elements fetched per query of this list") is the
+  // second observable; it too is matched in rank space against the
+  // candidates' document-frequency ranks.
+  std::vector<double> vol_of(list_ids.size());
+  for (size_t li = 0; li < list_ids.size(); ++li) {
+    vol_of[li] = static_cast<double>(elem_of[li]) /
+                 static_cast<double>(std::max<uint64_t>(1, init_of[li]));
+  }
+  std::vector<size_t> vol_order(list_ids.size());
+  for (size_t i = 0; i < vol_order.size(); ++i) vol_order[i] = i;
+  std::sort(vol_order.begin(), vol_order.end(), [&](size_t a, size_t b) {
+    if (vol_of[a] != vol_of[b]) return vol_of[a] > vol_of[b];
+    return list_ids[a] < list_ids[b];
+  });
+  for (size_t rank = 0; rank < vol_order.size(); ++rank) {
+    zvol_obs[vol_order[rank]] = std::log(static_cast<double>(rank + 1));
+  }
+
+  std::vector<size_t> aux_order(candidates.size());
+  for (size_t i = 0; i < aux_order.size(); ++i) aux_order[i] = i;
+  std::sort(aux_order.begin(), aux_order.end(), [&](size_t a, size_t b) {
+    double da = aux.terms.at(candidates[a]).df;
+    double db = aux.terms.at(candidates[b]).df;
+    if (da != db) return da > db;
+    return candidates[a] < candidates[b];
+  });
+  std::vector<double> zfreq_aux(candidates.size());
+  for (size_t rank = 0; rank < aux_order.size(); ++rank) {
+    zfreq_aux[aux_order[rank]] = std::log(static_cast<double>(rank + 1));
+  }
+  // Both observables rank against the same df ordering on the aux side.
+  const std::vector<double>& zdf_aux = zfreq_aux;
+
+  auto base_score = [&](size_t li, size_t ci) {
+    double df = zfreq_obs[li] - zfreq_aux[ci];
+    double dv = zvol_obs[li] - zdf_aux[ci];
+    return -options.freq_weight * df * df - options.volume_weight * dv * dv;
+  };
+
+  // ---- Initial guesses: argmax base score, ties to the smaller term
+  // (candidates iterate sorted, so strict improvement keeps the first).
+  std::vector<size_t> guess_of(list_ids.size(), 0);
+  for (size_t li = 0; li < list_ids.size(); ++li) {
+    double best = base_score(li, 0);
+    for (size_t ci = 1; ci < candidates.size(); ++ci) {
+      double s = base_score(li, ci);
+      if (s > best) {
+        best = s;
+        guess_of[li] = ci;
+      }
+    }
+  }
+
+  // ---- Anchor refinement: the most-queried lists are the matches the
+  // base features pin down best; co-occurrence against their guesses
+  // disambiguates the rest (and the anchors themselves, symmetric).
+  std::vector<size_t> anchors(list_ids.size());
+  for (size_t i = 0; i < anchors.size(); ++i) anchors[i] = i;
+  std::sort(anchors.begin(), anchors.end(), [&](size_t a, size_t b) {
+    uint64_t ia = lists.at(list_ids[a]).init_count;
+    uint64_t ib = lists.at(list_ids[b]).init_count;
+    if (ia != ib) return ia > ib;
+    return list_ids[a] < list_ids[b];
+  });
+  anchors.resize(std::min(anchors.size(), options.num_anchors));
+
+  auto obs_pair = [&](uint32_t a, uint32_t b) {
+    auto it = obs_cooc.find(a < b ? std::make_pair(a, b) : std::make_pair(b, a));
+    return it == obs_cooc.end() ? 0.0 : it->second;
+  };
+  auto aux_pair = [&](const std::string& a, const std::string& b) {
+    if (a == b) return 0.0;
+    auto it = aux.cooc.find(TermPair(a, b));
+    return it == aux.cooc.end() ? 0.0 : it->second;
+  };
+
+  for (size_t round = 0; round < options.refine_rounds && !anchors.empty();
+       ++round) {
+    // Synchronous update: the whole pass scores against last round's
+    // guesses, so iteration order cannot leak into the result.
+    std::vector<size_t> prev = guess_of;
+    for (size_t li = 0; li < list_ids.size(); ++li) {
+      double best = -std::numeric_limits<double>::infinity();
+      size_t best_ci = guess_of[li];
+      for (size_t ci = 0; ci < candidates.size(); ++ci) {
+        // Cosine similarity between the list's co-occurrence profile over
+        // the anchors and the candidate's profile over the anchors'
+        // guessed terms.
+        double dot = 0.0, no = 0.0, na = 0.0;
+        for (size_t ai : anchors) {
+          if (ai == li) continue;
+          double o = obs_pair(list_ids[li], list_ids[ai]);
+          double x = aux_pair(candidates[ci], candidates[prev[ai]]);
+          dot += o * x;
+          no += o * o;
+          na += x * x;
+        }
+        double cosine =
+            (no > 0.0 && na > 0.0) ? dot / (std::sqrt(no) * std::sqrt(na))
+                                   : 0.0;
+        double s = base_score(li, ci) + options.cooc_weight * cosine;
+        if (s > best) {
+          best = s;
+          best_ci = ci;
+        }
+      }
+      guess_of[li] = best_ci;
+    }
+  }
+
+  for (size_t li = 0; li < list_ids.size(); ++li) {
+    result.guess_by_list.emplace(list_ids[li], candidates[guess_of[li]]);
+  }
+  return result;
+}
+
+}  // namespace zr::attack

@@ -1,0 +1,111 @@
+// Score-based query-recovery attack against captured wire traffic.
+//
+// The attacker model follows Damie et al. (PAPERS.md): a passive adversary
+// on the wire path (or the server itself, paper Section 4.1) holds a
+// *similar but non-indexed* auxiliary document collection and query
+// distribution, and tries to map the merged-list ids it observes in query
+// traffic back to plaintext terms. Three observables drive the matching:
+//
+//  * frequency — how often each list is queried vs how often each
+//    candidate term is queried in the auxiliary log;
+//  * volume — posting elements returned per query of a list vs the
+//    candidate term's auxiliary document frequency;
+//  * co-occurrence — lists fetched together in one MultiFetch round trip
+//    vs terms co-occurring in auxiliary multi-term queries, refined
+//    against high-confidence anchor matches.
+//
+// Everything is deterministic: candidate sets iterate in sorted order and
+// every tie breaks toward the lexicographically smaller term, so a fixed
+// capture plus fixed auxiliary knowledge yields one reproducible guess per
+// list. Whether the guesses are any *good* is exactly what Zerber+R's
+// BFM merging is supposed to decide — the harness (harness.h) measures it
+// with core::AttackOutcome's metrics.
+
+#ifndef ZERBERR_ATTACK_RECOVERY_H_
+#define ZERBERR_ATTACK_RECOVERY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "attack/trace_log.h"
+#include "synth/presets.h"
+#include "util/statusor.h"
+
+namespace zr::attack {
+
+/// What the attacker knows about one candidate term, estimated from the
+/// auxiliary (non-indexed) collection.
+struct AuxTermInfo {
+  /// Share of auxiliary query-term occurrences.
+  double query_freq = 0.0;
+
+  /// Auxiliary document frequency as a fraction of auxiliary documents.
+  double df = 0.0;
+};
+
+/// The attacker's background knowledge. Keyed by term *string*: the
+/// auxiliary collection shares a term universe with the indexed one (two
+/// samples of the same language), never ids or documents.
+struct AuxKnowledge {
+  std::map<std::string, AuxTermInfo> terms;
+
+  /// Joint frequency of term pairs within one auxiliary query, keyed by
+  /// the lexicographically ordered pair, normalized by the number of
+  /// auxiliary queries.
+  std::map<std::pair<std::string, std::string>, double> cooc;
+
+  /// The blind adversary's best guess: the most-queried auxiliary term.
+  std::string prior_guess;
+};
+
+/// Generates the auxiliary collection and query log of `aux_preset`
+/// (synth::AuxiliaryPreset of the indexed preset) and distills them into
+/// attack knowledge.
+StatusOr<AuxKnowledge> BuildAuxKnowledge(const synth::DatasetPreset& aux_preset);
+
+/// Scoring weights. Defaults are tuned on the repo's presets; they are
+/// part of the committed BENCH_privacy.json baseline, so change them the
+/// way you would change a benchmark.
+struct RecoveryOptions {
+  double freq_weight = 1.0;
+  double volume_weight = 0.25;
+  double cooc_weight = 1.5;
+
+  /// High-confidence matches used to seed co-occurrence refinement: the
+  /// num_anchors most-queried lists.
+  size_t num_anchors = 16;
+
+  /// Refinement passes re-scoring every list against the anchors' current
+  /// guesses.
+  size_t refine_rounds = 2;
+};
+
+/// The attack's output: one guessed term per observed merged list.
+struct RecoveryResult {
+  /// list id -> guessed term string (candidates come from the auxiliary
+  /// knowledge; the harness maps them back to indexed term ids).
+  std::map<uint32_t, std::string> guess_by_list;
+
+  /// Lists that received at least one initial (offset == 0) request.
+  size_t observed_lists = 0;
+
+  /// Initial query observations (one per offset-0 range).
+  uint64_t observed_queries = 0;
+
+  /// Frames consumed from the capture.
+  uint64_t observed_frames = 0;
+};
+
+/// Runs the attack over a captured trace. An empty capture or empty
+/// knowledge yields an empty result (no guesses), not an error — a blind
+/// adversary is a valid, maximally ignorant one.
+RecoveryResult RunQueryRecovery(const std::vector<TraceRecord>& records,
+                                const AuxKnowledge& aux,
+                                const RecoveryOptions& options = {});
+
+}  // namespace zr::attack
+
+#endif  // ZERBERR_ATTACK_RECOVERY_H_

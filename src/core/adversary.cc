@@ -9,6 +9,44 @@
 
 namespace zr::core {
 
+AttackOutcome ScoreRecovery(
+    const std::vector<std::pair<text::TermId, text::TermId>>& truth_and_guess,
+    text::TermId prior_guess, size_t num_terms) {
+  AttackOutcome outcome;
+  outcome.num_terms = num_terms;
+  outcome.num_elements = truth_and_guess.size();
+  if (truth_and_guess.empty() || num_terms == 0) return outcome;
+
+  size_t correct = 0, prior_correct = 0;
+  std::unordered_map<text::TermId, std::pair<size_t, size_t>> per_term;
+  for (const auto& [truth, guess] : truth_and_guess) {
+    auto& [term_correct, term_total] = per_term[truth];
+    ++term_total;
+    if (guess == truth) {
+      ++correct;
+      ++term_correct;
+    }
+    if (prior_guess == truth) ++prior_correct;
+  }
+  const double n = static_cast<double>(truth_and_guess.size());
+  outcome.accuracy = static_cast<double>(correct) / n;
+  outcome.prior_accuracy = static_cast<double>(prior_correct) / n;
+  outcome.amplification = outcome.prior_accuracy > 0.0
+                              ? outcome.accuracy / outcome.prior_accuracy
+                              : std::numeric_limits<double>::infinity();
+  double recall_sum = 0.0;
+  for (const auto& [term, counts] : per_term) {
+    recall_sum += static_cast<double>(counts.first) /
+                  static_cast<double>(counts.second);
+  }
+  // Terms with no observations contribute zero recall (they cannot be
+  // identified), keeping the measure honest across sparse lists.
+  outcome.balanced_accuracy = recall_sum / static_cast<double>(num_terms);
+  outcome.balanced_amplification =
+      outcome.balanced_accuracy * static_cast<double>(num_terms);
+  return outcome;
+}
+
 StatusOr<AttackOutcome> RunScoreDistributionAttack(
     const std::unordered_map<text::TermId, std::vector<double>>&
         background_keys,
@@ -76,11 +114,8 @@ StatusOr<AttackOutcome> RunScoreDistributionAttack(
     }
   }
 
-  AttackOutcome outcome;
-  outcome.num_elements = observations.size();
-  outcome.num_terms = models.size();
-  size_t correct = 0, prior_correct = 0;
-  std::unordered_map<text::TermId, std::pair<size_t, size_t>> per_term;
+  std::vector<std::pair<text::TermId, text::TermId>> truth_and_guess;
+  truth_and_guess.reserve(observations.size());
   for (const auto& obs : observations) {
     size_t bin = bin_of(obs.key);
     text::TermId guess = prior_guess;
@@ -92,33 +127,9 @@ StatusOr<AttackOutcome> RunScoreDistributionAttack(
         guess = term;
       }
     }
-    auto& [term_correct, term_total] = per_term[obs.true_term];
-    ++term_total;
-    if (guess == obs.true_term) {
-      ++correct;
-      ++term_correct;
-    }
-    if (prior_guess == obs.true_term) ++prior_correct;
+    truth_and_guess.emplace_back(obs.true_term, guess);
   }
-  outcome.accuracy =
-      static_cast<double>(correct) / static_cast<double>(observations.size());
-  outcome.prior_accuracy = static_cast<double>(prior_correct) /
-                           static_cast<double>(observations.size());
-  outcome.amplification = outcome.prior_accuracy > 0.0
-                              ? outcome.accuracy / outcome.prior_accuracy
-                              : std::numeric_limits<double>::infinity();
-  double recall_sum = 0.0;
-  for (const auto& [term, counts] : per_term) {
-    recall_sum += static_cast<double>(counts.first) /
-                  static_cast<double>(counts.second);
-  }
-  // Terms with no observations contribute zero recall (they cannot be
-  // identified), keeping the measure honest across sparse lists.
-  outcome.balanced_accuracy =
-      recall_sum / static_cast<double>(models.size());
-  outcome.balanced_amplification =
-      outcome.balanced_accuracy * static_cast<double>(models.size());
-  return outcome;
+  return ScoreRecovery(truth_and_guess, prior_guess, models.size());
 }
 
 RequestLeakageReport AnalyzeRequestLeakage(

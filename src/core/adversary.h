@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "text/corpus.h"
@@ -59,6 +60,19 @@ struct AttackOutcome {
   size_t num_terms = 0;
   size_t num_elements = 0;
 };
+
+/// Shared scoring of guess-per-observation attacks: the analytic
+/// score-distribution attack below and the wire-traffic recovery attack
+/// (src/attack/) both reduce to a list of (true term, guessed term) pairs
+/// plus a prior-only baseline guess, and their metrics must mean the same
+/// thing. `num_terms` is the size of the adversary's candidate set —
+/// terms with no observations still divide balanced_accuracy (they
+/// contribute zero recall), so sparse observation sets cannot inflate the
+/// balanced numbers. An empty pair list yields a zeroed outcome (0/0
+/// recovery is "recovered nothing", not NaN).
+AttackOutcome ScoreRecovery(
+    const std::vector<std::pair<text::TermId, text::TermId>>& truth_and_guess,
+    text::TermId prior_guess, size_t num_terms);
 
 /// Maximum-likelihood classification of elements to candidate terms.
 ///

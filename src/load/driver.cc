@@ -234,6 +234,14 @@ Status LoadDriver::Setup() {
     state->transport =
         net::MakeTransport(deployment_.transport, deployment_.backend,
                            /*channel=*/nullptr, deployment_.connect_addr);
+    if (deployment_.wire_tap != nullptr &&
+        deployment_.transport == net::TransportKind::kTcp) {
+      // Stream id worker+1: nonzero and stable, so a capture's streams map
+      // straight back to workers.
+      static_cast<net::TcpTransport*>(state->transport.get())
+          ->session()
+          .SetWireTap(deployment_.wire_tap, static_cast<uint64_t>(w) + 1);
+    }
     for (size_t u = 0; u < users_.size(); ++u) {
       state->plain_clients.push_back(std::make_unique<zerber::ZerberClient>(
           users_[u], deployment_.keys, deployment_.plan,
@@ -269,7 +277,21 @@ void LoadDriver::ExecuteOp(WorkerState* w, const Op& op, bool measured) {
   switch (op.cls) {
     case OpClass::kQueryZerberR: {
       const TermEntry& t = terms_[op.term_rank - 1];
-      auto result = w->zr_clients[op.user_index]->QueryTopK(t.term, spec_.top_k);
+      core::ZerberRClient* client = w->zr_clients[op.user_index].get();
+      auto result = [&]() -> StatusOr<core::TopKResult> {
+        if (op.extra_term_ranks.empty()) {
+          return client->QueryTopK(t.term, spec_.top_k);
+        }
+        // Multi-term query (spec.terms_per_query_mean > 1): all initial
+        // requests travel as one MultiFetch round trip.
+        std::vector<text::TermId> query_terms;
+        query_terms.reserve(1 + op.extra_term_ranks.size());
+        query_terms.push_back(t.term);
+        for (uint64_t rank : op.extra_term_ranks) {
+          query_terms.push_back(terms_[rank - 1].term);
+        }
+        return client->QueryTopKMulti(query_terms, spec_.top_k);
+      }();
       if (result.ok()) {
         elements = result->trace.elements_fetched;
         bytes = result->trace.bytes_fetched;

@@ -40,6 +40,10 @@ namespace zr::core {
 struct Pipeline;
 }  // namespace zr::core
 
+namespace zr::net {
+class FrameObserver;
+}  // namespace zr::net
+
 namespace zr::load {
 
 /// A handle known before the run starts (preloaded elements), seeding the
@@ -88,6 +92,13 @@ struct Deployment {
   /// Handles of preloaded elements, distributed round-robin across the
   /// workers' delete pools.
   std::vector<PreloadedHandle> initial_handles;
+
+  /// Passive wire tap installed on every worker's TcpSession (stream id ==
+  /// worker index + 1); ignored unless transport == kTcp. Borrowed; must
+  /// outlive the driver. Observation only — the op stream, accounting and
+  /// report are byte-identical with and without a tap (asserted in
+  /// tests/attack_trace_test.cc).
+  net::FrameObserver* wire_tap = nullptr;
 };
 
 /// Builds a Deployment over a fully built core::Pipeline (single, sharded

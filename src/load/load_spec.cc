@@ -46,6 +46,9 @@ Status LoadSpec::Validate() const {
   if (initial_response_size == 0) {
     return Status::InvalidArgument("initial_response_size must be >= 1");
   }
+  if (terms_per_query_mean < 1.0) {
+    return Status::InvalidArgument("terms_per_query_mean must be >= 1");
+  }
   if (num_users == 0) return Status::InvalidArgument("num_users must be >= 1");
   if (groups_per_user == 0) {
     return Status::InvalidArgument("groups_per_user must be >= 1");

@@ -80,6 +80,16 @@ struct LoadSpec {
   /// Initial response size b of the Zerber+R protocol.
   size_t initial_response_size = 10;
 
+  /// Mean terms per Zerber+R query (the paper's query log averages 2.4).
+  /// 1.0 — the default — keeps the historical single-term op stream
+  /// byte-identical: no extra RNG draws happen at all. Above 1.0 each
+  /// Zerber+R query draws additional Zipf term ranks and issues all of
+  /// its initial requests as one batched MultiFetch round trip — the
+  /// co-occurrence observable the adversarial traffic suite attacks.
+  /// Echoed into the report's spec JSON only when != 1.0, so existing
+  /// perf baselines compare unchanged.
+  double terms_per_query_mean = 1.0;
+
   /// Load-user population: num_users users, each a member of
   /// groups_per_user of the deployment's groups (distinct overlapping
   /// subsets, so ACL filtering is exercised on every path).

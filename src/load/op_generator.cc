@@ -34,6 +34,22 @@ Op OpGenerator::Next() {
       rng_.Uniform(static_cast<uint64_t>(spec_.num_users)));
   switch (op.cls) {
     case OpClass::kQueryZerberR:
+      op.term_rank = term_zipf_.Sample(&rng_);
+      if (spec_.terms_per_query_mean > 1.0) {
+        // Multi-term specs only: the default (1.0) must draw nothing
+        // extra, so single-term op streams stay byte-identical to runs
+        // generated before this knob existed.
+        double extra_mean = spec_.terms_per_query_mean - 1.0;
+        auto extra = static_cast<uint64_t>(extra_mean);
+        if (rng_.NextDouble() < extra_mean - static_cast<double>(extra)) {
+          ++extra;
+        }
+        op.extra_term_ranks.reserve(extra);
+        for (uint64_t i = 0; i < extra; ++i) {
+          op.extra_term_ranks.push_back(term_zipf_.Sample(&rng_));
+        }
+      }
+      break;
     case OpClass::kQueryZerber:
       op.term_rank = term_zipf_.Sample(&rng_);
       break;

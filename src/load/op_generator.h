@@ -42,6 +42,11 @@ struct Op {
   /// Raw relevance score an insert seals into its element, in [0, 1).
   double score = 0.0;
 
+  /// Additional 1-based Zipf term ranks of a multi-term Zerber+R query
+  /// (empty unless spec.terms_per_query_mean > 1). The full query is
+  /// {term_rank} ∪ extra_term_ranks, issued as one MultiFetch round.
+  std::vector<uint64_t> extra_term_ranks;
+
   friend bool operator==(const Op&, const Op&) = default;
 };
 

@@ -69,6 +69,13 @@ void AppendSpec(std::string* out, const LoadSpec& spec) {
   AppendDouble(out, "zipf_s", spec.zipf_s, &first);
   AppendU64(out, "top_k", spec.top_k, &first);
   AppendU64(out, "initial_response_size", spec.initial_response_size, &first);
+  if (spec.terms_per_query_mean != 1.0) {
+    // Workload-shaping knob, but conditional: the default must keep the
+    // spec JSON byte-identical to pre-knob baselines (check_perf.py
+    // compares specs verbatim).
+    AppendDouble(out, "terms_per_query_mean", spec.terms_per_query_mean,
+                 &first);
+  }
   AppendU64(out, "num_users", spec.num_users, &first);
   AppendU64(out, "groups_per_user", spec.groups_per_user, &first);
   AppendU64(out, "warmup_inserts", spec.warmup_inserts, &first);

@@ -429,6 +429,11 @@ ServerConfig& ServerConfig::WithAclHandler(
   return *this;
 }
 
+ServerConfig& ServerConfig::WithWireTap(FrameObserver* tap) {
+  wire_tap_ = tap;
+  return *this;
+}
+
 Status ServerConfig::Validate() const {
   sockaddr_in sa;
   ZR_RETURN_IF_ERROR(ParseAddr(listen_addr_, &sa));
@@ -647,6 +652,7 @@ class TcpServer::Impl {
     size_t in_pos = 0;
     std::string out;
     size_t out_pos = 0;
+    uint64_t tap_stream = 0;       ///< server-unique id for the wire tap
     bool want_read = true;         ///< read interest currently armed
     bool want_write = false;       ///< write interest currently armed
     bool paused = false;           ///< reads suspended by backpressure
@@ -860,7 +866,12 @@ class TcpServer::Impl {
         ::close(fd);
         return;
       }
-      sessions_.emplace(fd, Session());
+      Session session;
+      // Stream ids are server-unique (not per-loop) so a tap can merge
+      // observations across loops without collisions; fds recycle, ids
+      // never do.
+      session.tap_stream = impl_->next_tap_stream_.fetch_add(1);
+      sessions_.emplace(fd, std::move(session));
       accepted_.fetch_add(1);
       open_.fetch_add(1);
     }
@@ -977,6 +988,12 @@ class TcpServer::Impl {
           s->close_after_flush = true;
           progress = true;
           break;
+        }
+        if (FrameObserver* tap = impl_->config_.wire_tap()) {
+          // The eavesdropper's view of the request: stripped payload,
+          // full on-socket frame size (header + extension + payload).
+          tap->OnFrame(s->tap_stream, /*client_to_server=*/true, payload,
+                       kFrameHeaderBytes + length);
         }
         Dispatch(s, payload, ctx);
         s->in_pos += kFrameHeaderBytes + length;
@@ -1162,6 +1179,10 @@ class TcpServer::Impl {
     void AppendResponse(Session* s, std::string_view payload) {
       AppendFrameHeader(&s->out, static_cast<uint32_t>(payload.size()));
       s->out.append(payload.data(), payload.size());
+      if (FrameObserver* tap = impl_->config_.wire_tap()) {
+        tap->OnFrame(s->tap_stream, /*client_to_server=*/false, payload,
+                     kFrameHeaderBytes + payload.size());
+      }
     }
 
     /// Frames a response to a traced request: the collected spans travel
@@ -1170,11 +1191,16 @@ class TcpServer::Impl {
     void AppendResponseWithSpans(Session* s, std::string_view payload,
                                  const std::vector<obs::SpanRecord>& spans) {
       std::string ext = EncodeSpanReportExt(spans);
+      size_t before = s->out.size();
       if (!AppendExtendedFrameHeader(&s->out, ext, payload.size())) {
         AppendResponse(s, payload);
         return;
       }
       s->out.append(payload.data(), payload.size());
+      if (FrameObserver* tap = impl_->config_.wire_tap()) {
+        tap->OnFrame(s->tap_stream, /*client_to_server=*/false, payload,
+                     s->out.size() - before);
+      }
     }
 
     /// Writes as much pending output as the socket accepts. Poller
@@ -1261,6 +1287,10 @@ class TcpServer::Impl {
   /// it. Uncontended shared acquisition is nanoseconds against a dispatch
   /// that parses, serves and serializes.
   SharedMutex dispatch_gate_;
+
+  /// Wire-tap stream ids handed to sessions at accept time. Server-wide
+  /// so ids stay unique across loops.
+  std::atomic<uint64_t> next_tap_stream_{1};
 
   /// DisconnectAll's barrier: waiters sleep here; loops notify after
   /// publishing drain progress or exiting.
@@ -1480,6 +1510,10 @@ Status TcpSession::SendFrame(std::string_view payload) {
   socket_stats_.bytes_up += header.size() + payload.size();
   socket_stats_.ext_bytes_up += header.size() - kFrameHeaderBytes;
   ++socket_stats_.frames_up;
+  if (wire_tap_ != nullptr) {
+    wire_tap_->OnFrame(wire_tap_stream_, /*client_to_server=*/true, payload,
+                       header.size() + payload.size());
+  }
   return Status::OK();
 }
 
@@ -1536,6 +1570,12 @@ Status TcpSession::RecvFrame(std::string* payload) {
     }
     socket_stats_.ext_bytes_down += length - body.size();
     payload->erase(0, length - body.size());
+  }
+  if (wire_tap_ != nullptr) {
+    // Post-strip payload, full on-socket frame size — summing frame_bytes
+    // over a session's observed frames reproduces bytes_down exactly.
+    wire_tap_->OnFrame(wire_tap_stream_, /*client_to_server=*/false, *payload,
+                       kFrameHeaderBytes + length);
   }
   return Status::OK();
 }

@@ -134,6 +134,38 @@ inline constexpr size_t kMaxFrameExtOverhead = 256;
 inline constexpr size_t kMaxEventLoops = 64;
 
 // ---------------------------------------------------------------------------
+// Wire tap
+// ---------------------------------------------------------------------------
+
+/// Passive observer of complete frames crossing the wire. The adversarial
+/// traffic suite (src/attack/) implements this to reconstruct what an
+/// eavesdropper sees; net itself never parses on behalf of an observer —
+/// the tap hands over exactly the bytes, nothing more.
+///
+/// Contract:
+///  * `stream` identifies one connection (client side: the id given at tap
+///    installation; server side: a server-unique session id).
+///  * `client_to_server` is true for request frames.
+///  * `payload` is the message payload with any frame extension already
+///    stripped — the same bytes Transport::stats() accounts.
+///  * `frame_bytes` is the full on-socket size of the frame: header +
+///    extension + payload. Summing frame_bytes over all observed frames
+///    of a session must equal the socket byte counters exactly (asserted
+///    in tests/attack_trace_test.cc).
+///
+/// Threading: a TcpServer invokes its tap from every event-loop thread
+/// concurrently — implementations must be thread-safe. A TcpSession tap is
+/// only invoked from the session's (single) owning thread. Observers must
+/// not call back into the session/server. The tap is borrowed and must
+/// outlive the tapped object.
+class FrameObserver {
+ public:
+  virtual ~FrameObserver() = default;
+  virtual void OnFrame(uint64_t stream, bool client_to_server,
+                       std::string_view payload, uint64_t frame_bytes) = 0;
+};
+
+// ---------------------------------------------------------------------------
 // Deadlines
 // ---------------------------------------------------------------------------
 
@@ -252,6 +284,13 @@ class ServerConfig {
   /// exactly the quiescence the backend's ACL surface requires.
   ServerConfig& WithAclHandler(std::function<Status(const AclRequest&)> handler);
 
+  /// Passive wire tap: every request frame the server decodes and every
+  /// response frame it queues is reported to the observer (see
+  /// FrameObserver's contract). Invoked on the event-loop threads, so the
+  /// observer must be thread-safe. nullptr (the default) keeps serving
+  /// byte-identical to a server built before the tap existed.
+  ServerConfig& WithWireTap(FrameObserver* tap);
+
   /// Rejects configurations that cannot serve: zero or absurdly many
   /// loops, a zero frame ceiling, a session backlog below the frame
   /// ceiling, or a listen address that does not parse. Start() calls this
@@ -271,6 +310,7 @@ class ServerConfig {
   const std::function<Status(const AclRequest&)>& acl_handler() const {
     return acl_handler_;
   }
+  FrameObserver* wire_tap() const { return wire_tap_; }
 
  private:
   std::string listen_addr_ = "127.0.0.1:0";
@@ -282,6 +322,7 @@ class ServerConfig {
   uint64_t server_id_ = 0;
   std::function<StatsResponse()> stats_source_;
   std::function<Status(const AclRequest&)> acl_handler_;
+  FrameObserver* wire_tap_ = nullptr;
 };
 
 /// Socket server for the ZerberService protocol.
@@ -413,6 +454,15 @@ class TcpSession {
   const TcpSocketStats& socket_stats() const { return socket_stats_; }
   void ResetSocketStats() { socket_stats_ = TcpSocketStats(); }
 
+  /// Installs a passive wire tap reporting every complete frame this
+  /// session sends or receives under stream id `stream` (see
+  /// FrameObserver's contract). nullptr removes the tap; with no tap the
+  /// session's behavior and byte accounting are untouched.
+  void SetWireTap(FrameObserver* tap, uint64_t stream) {
+    wire_tap_ = tap;
+    wire_tap_stream_ = stream;
+  }
+
   const std::string& connect_addr() const { return connect_addr_; }
 
  private:
@@ -424,6 +474,8 @@ class TcpSession {
   bool ever_connected_ = false;
   TcpSocketStats socket_stats_;
   std::vector<obs::SpanRecord> response_spans_;
+  FrameObserver* wire_tap_ = nullptr;
+  uint64_t wire_tap_stream_ = 0;
 };
 
 // ---------------------------------------------------------------------------

@@ -93,4 +93,15 @@ DatasetPreset TinyPreset() {
   return p;
 }
 
+DatasetPreset AuxiliaryPreset(const DatasetPreset& indexed) {
+  DatasetPreset p = indexed;
+  p.name = indexed.name + "-aux";
+  // Fixed seed offsets: deterministic, and never colliding with the
+  // indexed collection's seeds (a shared seed would hand the attacker the
+  // exact indexed documents instead of statistically similar ones).
+  p.corpus.seed = indexed.corpus.seed ^ 0xA5A5A5A5u;
+  p.queries.seed = indexed.queries.seed ^ 0x5A5A5A5Au;
+  return p;
+}
+
 }  // namespace zr::synth

@@ -50,6 +50,15 @@ DatasetPreset OdpWebPreset(double scale = 1.0);
 /// Tiny smoke-test dataset for unit/integration tests (fast, deterministic).
 DatasetPreset TinyPreset();
 
+/// The attacker's auxiliary knowledge (Damie et al.: a *similar but
+/// non-indexed* document set): the same distributional shape as `indexed`
+/// — same vocabulary, Zipf exponent, document lengths, groups — but
+/// reseeded, so no generated document or query is shared with the indexed
+/// collection. Term *strings* are rank-derived (SyntheticTerm), so the two
+/// corpora share a term universe the attacker can match on, exactly like
+/// two samples from one real-world collection would.
+DatasetPreset AuxiliaryPreset(const DatasetPreset& indexed);
+
 }  // namespace zr::synth
 
 #endif  // ZERBERR_SYNTH_PRESETS_H_

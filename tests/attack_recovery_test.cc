@@ -1,0 +1,127 @@
+// End-to-end properties of the query-recovery attack and its report.
+//
+// The attack must be strong enough to mean something and the report
+// stable enough to gate on:
+//
+//   teeth        Against the naive configuration (singleton per-term
+//                lists) the attack recovers query identities at a
+//                multiple of the blind prior — otherwise a clean privacy
+//                gate is evidence of a broken adversary, not a safe
+//                system.
+//   protection   Against the paper's hardened configuration (BFM merging
+//                at the preset's r) the same attack collapses to the
+//                prior's neighborhood.
+//   determinism  Two runs of the same scenario serialize byte-identical
+//                AttackReport JSON, so BENCH_privacy.json diffs are
+//                meaningful.
+
+#include "attack/harness.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "attack/recovery.h"
+#include "synth/presets.h"
+
+namespace zr::attack {
+namespace {
+
+ScenarioConfig TinyScenario(bool naive, uint64_t ops) {
+  ScenarioConfig config;
+  config.name = naive ? "tiny-naive" : "tiny-bfm";
+  config.preset = synth::TinyPreset();
+  config.sigma = 0.002;
+  config.naive = naive;
+  config.ops = ops;
+  return config;
+}
+
+TEST(AttackRecoveryTest, NaiveConfigurationIsCracked) {
+  auto result = RunScenario(TinyScenario(/*naive=*/true, /*ops=*/400));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->observed_queries, 0u);
+  EXPECT_GT(result->observed_lists, 0u);
+  // Singleton lists leak per-term traffic wholesale: the attack must beat
+  // the blind prior by a wide margin (measured ~3.3x on this scenario;
+  // 2x leaves slack without letting the attack rot into noise).
+  EXPECT_GT(result->recovery.prior_accuracy, 0.0);
+  EXPECT_GT(result->recovery.amplification, 2.0);
+  EXPECT_GT(result->recovery.balanced_amplification, 2.0);
+}
+
+TEST(AttackRecoveryTest, HardenedConfigurationHoldsNearPrior) {
+  auto result = RunScenario(TinyScenario(/*naive=*/false, /*ops=*/400));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->observed_queries, 0u);
+  // BFM merging flattens per-list traffic: the identical attack falls
+  // back to (or below) the prior-only strategy (measured ~0.6x).
+  EXPECT_LT(result->recovery.amplification, 1.2);
+  EXPECT_LT(result->recovery.accuracy,
+            result->recovery.prior_accuracy + 0.02);
+}
+
+TEST(AttackRecoveryTest, ReportJsonIsByteIdentical) {
+  // Fresh deployments, captures, auxiliary corpora, and attacks on both
+  // sides: every source of nondeterminism (threads, clocks, map orders)
+  // must have been engineered out for the committed report to be diffable.
+  ScenarioConfig config = TinyScenario(/*naive=*/true, /*ops=*/120);
+  auto r1 = RunScenario(config);
+  auto r2 = RunScenario(config);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  AttackReport a{{*r1}};
+  AttackReport b{{*r2}};
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+  EXPECT_NE(a.ToJson().find("\"bench\":\"privacy\""), std::string::npos);
+}
+
+TEST(AttackRecoveryTest, AuxiliaryKnowledgeComesFromReseededCorpus) {
+  // The attacker's corpus is *similar*, never the indexed one: same
+  // generative shape, different seeds. Its knowledge must still be rich
+  // enough to attack with — nonempty term table, co-occurrence pairs,
+  // and a prior guess.
+  synth::DatasetPreset indexed = synth::TinyPreset();
+  synth::DatasetPreset aux_preset = synth::AuxiliaryPreset(indexed);
+  EXPECT_NE(aux_preset.corpus.seed, indexed.corpus.seed);
+  EXPECT_NE(aux_preset.queries.seed, indexed.queries.seed);
+
+  auto aux = BuildAuxKnowledge(aux_preset);
+  ASSERT_TRUE(aux.ok()) << aux.status();
+  EXPECT_GT(aux->terms.size(), 100u);
+  EXPECT_GT(aux->cooc.size(), 100u);
+  EXPECT_FALSE(aux->prior_guess.empty());
+  ASSERT_TRUE(aux->terms.count(aux->prior_guess));
+  EXPECT_GT(aux->terms.at(aux->prior_guess).query_freq, 0.0);
+}
+
+TEST(AttackRecoveryTest, EmptyCaptureRecoversNothing) {
+  auto aux = BuildAuxKnowledge(synth::AuxiliaryPreset(synth::TinyPreset()));
+  ASSERT_TRUE(aux.ok()) << aux.status();
+  RecoveryResult result = RunQueryRecovery({}, *aux);
+  EXPECT_EQ(result.observed_frames, 0u);
+  EXPECT_EQ(result.observed_queries, 0u);
+  EXPECT_EQ(result.observed_lists, 0u);
+  EXPECT_TRUE(result.guess_by_list.empty());
+}
+
+TEST(AttackRecoveryTest, DefaultScenariosCoverTheGateMatrix) {
+  // The committed BENCH_privacy.json must always contain both directions
+  // of the gate on at least two corpus presets.
+  auto scenarios = DefaultScenarios();
+  size_t naive = 0, hardened = 0;
+  std::set<std::string> presets;
+  std::set<std::string> names;
+  for (const ScenarioConfig& s : scenarios) {
+    (s.naive ? naive : hardened) += 1;
+    presets.insert(s.preset.name);
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate " << s.name;
+  }
+  EXPECT_GE(naive, 2u);
+  EXPECT_GE(hardened, 2u);
+  EXPECT_GE(presets.size(), 2u);
+}
+
+}  // namespace
+}  // namespace zr::attack

@@ -1,0 +1,175 @@
+// Wire-trace capture invariants of the adversarial traffic suite.
+//
+// Three properties keep the capture trustworthy as evidence:
+//
+//   framing identity   Everything the tap records must account for the
+//                      socket's own byte/frame counters exactly — header
+//                      arithmetic included. If the tap saw different
+//                      bytes than the socket shipped, any attack result
+//                      derived from the trace is fiction.
+//   tap-off identity   Installing no tap must leave the serving path
+//                      byte-identical: the observer is a read-only
+//                      bystander, not a participant.
+//   determinism        Fixed seeds plus an injected counter clock must
+//                      reproduce the capture record-for-record, the same
+//                      pattern the load harness uses for its reports.
+
+#include "attack/trace_log.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "load/driver.h"
+#include "load/report.h"
+#include "net/tcp.h"
+#include "synth/presets.h"
+
+namespace zr::attack {
+namespace {
+
+std::unique_ptr<core::Pipeline> BuildTinyTcpPipeline() {
+  core::PipelineOptions options;
+  options.preset = synth::TinyPreset();
+  options.sigma = 0.004;
+  options.seed = 424242;
+  options.transport = net::TransportKind::kTcp;
+  options.num_server_loops = 1;
+  options.build_baseline_index = false;
+  options.build_query_log = false;
+  auto pipeline = core::BuildPipeline(options);
+  EXPECT_TRUE(pipeline.ok()) << pipeline.status();
+  return std::move(pipeline).value();
+}
+
+load::LoadSpec QueryOnlySpec() {
+  load::LoadSpec spec;
+  spec.seed = 99;
+  spec.workers = 1;
+  spec.ops_per_worker = 80;
+  spec.warmup_inserts = 0;  // nothing crosses the wire before measurement
+  spec.mix = {1.0, 0.0, 0.0, 0.0};
+  spec.num_users = 4;
+  spec.groups_per_user = 2;
+  spec.top_k = 10;
+  spec.terms_per_query_mean = 2.4;
+  return spec;
+}
+
+load::LoadDriver::NowFn CounterClock() {
+  auto counter = std::make_shared<std::atomic<uint64_t>>(0);
+  return [counter] { return counter->fetch_add(1000) + 1000; };
+}
+
+load::LoadReport MustRun(core::Pipeline* pipeline, TraceLog* tap) {
+  load::Deployment deployment = load::DeploymentFromPipeline(pipeline);
+  deployment.wire_tap = tap;
+  load::LoadDriver driver(deployment, QueryOnlySpec(), CounterClock());
+  auto report = driver.Run();
+  EXPECT_TRUE(report.ok()) << report.status();
+  report->name = "trace";
+  return std::move(report).value();
+}
+
+TEST(AttackTraceTest, TapReproducesSocketAccountingExactly) {
+  auto pipeline = BuildTinyTcpPipeline();
+  TraceLog trace(CounterClock());
+  load::LoadReport report = MustRun(pipeline.get(), &trace);
+
+  // Aggregate identity against the client's socket counters.
+  TraceLog::Totals totals = trace.totals();
+  EXPECT_EQ(totals.bytes_up, report.socket.bytes_up);
+  EXPECT_EQ(totals.bytes_down, report.socket.bytes_down);
+  EXPECT_EQ(totals.frames_up, report.socket.frames_up);
+  EXPECT_EQ(totals.frames_down, report.socket.frames_down);
+
+  // Per-record header arithmetic, and the records re-sum to the totals:
+  // no frame was dropped, duplicated, or resized on its way into the log.
+  uint64_t up = 0, down = 0, frames_up = 0, frames_down = 0;
+  for (const TraceRecord& r : trace.Records()) {
+    EXPECT_EQ(r.frame_bytes, r.payload_bytes + net::kFrameHeaderBytes)
+        << "stream " << r.stream << " seq " << r.seq;
+    if (r.client_to_server) {
+      up += r.frame_bytes;
+      ++frames_up;
+    } else {
+      down += r.frame_bytes;
+      ++frames_down;
+    }
+  }
+  EXPECT_EQ(up, totals.bytes_up);
+  EXPECT_EQ(down, totals.bytes_down);
+  EXPECT_EQ(frames_up, totals.frames_up);
+  EXPECT_EQ(frames_down, totals.frames_down);
+
+  // The capture actually saw the query traffic in the clear: fetch ranges
+  // on requests, element counts on responses.
+  uint64_t ranges = 0, elements_entries = 0;
+  for (const TraceRecord& r : trace.Records()) {
+    ranges += r.ranges.size();
+    elements_entries += r.response_elements.size();
+  }
+  EXPECT_GT(ranges, 0u);
+  EXPECT_GT(elements_entries, 0u);
+}
+
+TEST(AttackTraceTest, TapOffLeavesServingByteIdentical) {
+  // Identically seeded deployments, one tapped and one untapped: the
+  // tapped run's report must serialize byte-identically to the bare one
+  // (server-side latency sums excepted — they use the real steady clock).
+  auto tapped_pipeline = BuildTinyTcpPipeline();
+  auto bare_pipeline = BuildTinyTcpPipeline();
+  TraceLog trace(CounterClock());
+  load::LoadReport tapped = MustRun(tapped_pipeline.get(), &trace);
+  load::LoadReport bare = MustRun(bare_pipeline.get(), nullptr);
+
+  tapped.server.fetch_latency_ns = bare.server.fetch_latency_ns = 0;
+  tapped.server.insert_latency_ns = bare.server.insert_latency_ns = 0;
+  tapped.server.delete_latency_ns = bare.server.delete_latency_ns = 0;
+  EXPECT_EQ(tapped.ToJson(), bare.ToJson());
+  EXPECT_GT(trace.size(), 0u);  // ... and the tap did record that traffic
+}
+
+TEST(AttackTraceTest, FixedSeedCaptureIsReproducible) {
+  auto p1 = BuildTinyTcpPipeline();
+  auto p2 = BuildTinyTcpPipeline();
+  TraceLog t1(CounterClock());
+  TraceLog t2(CounterClock());
+  MustRun(p1.get(), &t1);
+  MustRun(p2.get(), &t2);
+
+  std::vector<TraceRecord> r1 = t1.Records();
+  std::vector<TraceRecord> r2 = t2.Records();
+  ASSERT_EQ(r1.size(), r2.size());
+  for (size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].stream, r2[i].stream) << "record " << i;
+    EXPECT_EQ(r1[i].seq, r2[i].seq) << "record " << i;
+    EXPECT_EQ(r1[i].client_to_server, r2[i].client_to_server) << i;
+    EXPECT_EQ(r1[i].tag, r2[i].tag) << "record " << i;
+    EXPECT_EQ(r1[i].payload_bytes, r2[i].payload_bytes) << "record " << i;
+    EXPECT_EQ(r1[i].frame_bytes, r2[i].frame_bytes) << "record " << i;
+    EXPECT_EQ(r1[i].ts_ns, r2[i].ts_ns) << "record " << i;
+    EXPECT_EQ(r1[i].ranges, r2[i].ranges) << "record " << i;
+    EXPECT_EQ(r1[i].response_elements, r2[i].response_elements) << i;
+  }
+}
+
+TEST(AttackTraceTest, ClearResetsEverything) {
+  TraceLog trace;
+  trace.OnFrame(/*stream=*/1, /*client_to_server=*/true, "abc",
+                /*frame_bytes=*/7);
+  ASSERT_EQ(trace.size(), 1u);
+  trace.Clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.totals().bytes_up, 0u);
+  EXPECT_EQ(trace.totals().frames_up, 0u);
+  // A stream starts its sequence numbering over after a clear.
+  trace.OnFrame(1, true, "abc", 7);
+  EXPECT_EQ(trace.Records()[0].seq, 0u);
+}
+
+}  // namespace
+}  // namespace zr::attack

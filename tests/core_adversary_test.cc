@@ -164,5 +164,70 @@ TEST(AuditTest, FlagsViolations) {
   EXPECT_FALSE(audit.all_within_r);
 }
 
+// ScoreRecovery is the shared scorer behind both this file's analytic
+// attack and the wire-traffic recovery attack (src/attack/); its edge
+// cases must stay well-defined because real captures produce them: a
+// merged list holding a single term, a capture that saw nothing, and a
+// capture where every observation is the same term.
+
+TEST(ScoreRecoveryTest, EmptyObservationSetYieldsZeroesNotNan) {
+  auto outcome = ScoreRecovery({}, /*prior_guess=*/1, /*num_terms=*/5);
+  EXPECT_EQ(outcome.num_elements, 0u);
+  EXPECT_EQ(outcome.num_terms, 5u);
+  EXPECT_EQ(outcome.accuracy, 0.0);
+  EXPECT_EQ(outcome.prior_accuracy, 0.0);
+  EXPECT_EQ(outcome.amplification, 0.0);
+  EXPECT_EQ(outcome.balanced_accuracy, 0.0);
+  EXPECT_EQ(outcome.balanced_amplification, 0.0);
+  EXPECT_FALSE(std::isnan(outcome.balanced_accuracy));
+}
+
+TEST(ScoreRecoveryTest, ZeroCandidateTermsYieldsZeroesNotNan) {
+  std::vector<std::pair<text::TermId, text::TermId>> pairs{{1, 1}};
+  auto outcome = ScoreRecovery(pairs, /*prior_guess=*/1, /*num_terms=*/0);
+  EXPECT_EQ(outcome.num_elements, 1u);
+  EXPECT_EQ(outcome.accuracy, 0.0);
+  EXPECT_FALSE(std::isnan(outcome.balanced_accuracy));
+  EXPECT_FALSE(std::isnan(outcome.balanced_amplification));
+}
+
+TEST(ScoreRecoveryTest, SingleTermMergedListIsFullyDetermined) {
+  // A singleton list: every element is the one term, the prior names it
+  // too. The adversary is right every time yet amplifies nothing — the
+  // list's composition gave the answer away before any attack ran.
+  std::vector<std::pair<text::TermId, text::TermId>> pairs(4, {7, 7});
+  auto outcome = ScoreRecovery(pairs, /*prior_guess=*/7, /*num_terms=*/1);
+  EXPECT_DOUBLE_EQ(outcome.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(outcome.prior_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(outcome.amplification, 1.0);
+  EXPECT_DOUBLE_EQ(outcome.balanced_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(outcome.balanced_amplification, 1.0);
+}
+
+TEST(ScoreRecoveryTest, AllOneTermObservationsKeepBalancedDefined) {
+  // Three candidate terms but the capture only ever saw term 2, and the
+  // prior names an unobserved term. Per-term recall is 1 for term 2 and 0
+  // for the unseen terms, so balanced_accuracy is 1/3 — defined, not 0/0.
+  std::vector<std::pair<text::TermId, text::TermId>> pairs(6, {2, 2});
+  auto outcome = ScoreRecovery(pairs, /*prior_guess=*/1, /*num_terms=*/3);
+  EXPECT_DOUBLE_EQ(outcome.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(outcome.prior_accuracy, 0.0);
+  // Prior never scores: amplification is infinite, never NaN.
+  EXPECT_TRUE(std::isinf(outcome.amplification));
+  EXPECT_DOUBLE_EQ(outcome.balanced_accuracy, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(outcome.balanced_amplification, 1.0);
+  EXPECT_FALSE(std::isnan(outcome.balanced_accuracy));
+}
+
+TEST(ScoreRecoveryTest, BalancedAccuracyResistsDominantTermGaming) {
+  // Nine elements of term 1, one of term 2; always guessing term 1 gets
+  // 90% raw accuracy but only (1 + 0) / 2 = 50% balanced.
+  std::vector<std::pair<text::TermId, text::TermId>> pairs(9, {1, 1});
+  pairs.push_back({2, 1});
+  auto outcome = ScoreRecovery(pairs, /*prior_guess=*/1, /*num_terms=*/2);
+  EXPECT_DOUBLE_EQ(outcome.accuracy, 0.9);
+  EXPECT_DOUBLE_EQ(outcome.balanced_accuracy, 0.5);
+}
+
 }  // namespace
 }  // namespace zr::core

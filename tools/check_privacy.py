@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Privacy gate over BENCH_privacy.json (the adversarial traffic sweep).
+
+`loadgen --attack` runs the wire-trace query-recovery attack against every
+scenario in the privacy grid and reports, per config, the attack's
+amplification over the blind prior (see src/attack/harness.h). This gate
+compares a freshly measured report against the committed baseline and
+fails (exit 1) in either direction:
+
+  regression   A hardened config ("merge": "bfm" — BFM merging at the
+               preset's own r, the paper's Zerber+R configuration) shows
+               amplification above its committed baseline plus --slack.
+               The deployment is leaking more than it used to — a change
+               to the merge planner, TRS keys, or the wire layer widened
+               the attack surface.
+
+  sanity       A naive config ("merge": "naive" — singleton per-term
+               lists) shows amplification below --naive-floor. The attack
+               itself went blind on the *unprotected* configuration, so a
+               pass on the hardened configs means nothing; the gate would
+               be green because the adversary is broken, not because the
+               system is safe.
+
+Configs are only comparable when their scenario knobs (preset, sigma,
+merge, ops) match the baseline exactly; any drift fails the gate with an
+instruction to regenerate the baseline.
+
+Usage:
+    tools/check_privacy.py BASELINE CURRENT [--slack 0.75]
+        [--naive-floor 1.5]
+    tools/check_privacy.py --self-test
+
+Update the committed baseline by re-running `loadgen --attack` (the output
+is deterministic — fixed seeds, injected clocks) and committing the
+regenerated BENCH_privacy.json (see OPERATIONS.md "Privacy gate").
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any, Dict, List
+
+# Scenario knobs that must match before amplification numbers mean
+# anything; a changed workload is a different experiment, not a regression.
+COMPARABILITY_KEYS = ("preset", "sigma", "merge", "ops")
+
+DEFAULT_SLACK = 0.75
+DEFAULT_NAIVE_FLOOR = 1.5
+
+
+def load_configs(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("bench") != "privacy":
+        sys.exit(f"error: {path} is not a privacy bench report")
+    configs = {c["name"]: c for c in doc.get("configs", [])}
+    if not configs:
+        sys.exit(f"error: {path} contains no configs")
+    return configs
+
+
+def check_config(name: str, base: Dict[str, Any], cur: Dict[str, Any],
+                 slack: float, naive_floor: float,
+                 failures: List[str]) -> None:
+    for key in COMPARABILITY_KEYS:
+        if base.get(key) != cur.get(key):
+            failures.append(
+                f"{name}: '{key}' differs between baseline "
+                f"({base.get(key)!r}) and current ({cur.get(key)!r}) — the "
+                "scenarios are not comparable; regenerate the baseline")
+            return
+
+    observed = cur.get("observed", {})
+    if not observed.get("queries") or not observed.get("lists"):
+        failures.append(
+            f"{name}: the capture observed no query traffic — the wire tap "
+            "or the trace decoder is broken")
+        return
+
+    base_amp = base["recovery"]["amplification"]
+    cur_amp = cur["recovery"]["amplification"]
+    if cur.get("merge") == "bfm":
+        ceiling = base_amp + slack
+        status = "ok" if cur_amp <= ceiling else "FAIL"
+        print(f"  {name:28s} hardened  amp {cur_amp:6.2f}"
+              f"  (baseline {base_amp:.2f}, ceiling {ceiling:.2f}) {status}")
+        if cur_amp > ceiling:
+            failures.append(
+                f"{name}: hardened-config amplification {cur_amp:.2f} rose "
+                f"above baseline {base_amp:.2f} + slack {slack:.2f} — the "
+                "deployment leaks more query identity than it used to")
+    else:
+        status = "ok" if cur_amp >= naive_floor else "FAIL"
+        print(f"  {name:28s} naive     amp {cur_amp:6.2f}"
+              f"  (floor {naive_floor:.2f}) {status}")
+        if cur_amp < naive_floor:
+            failures.append(
+                f"{name}: naive-config amplification {cur_amp:.2f} fell "
+                f"below the sanity floor {naive_floor:.2f} — the attack no "
+                "longer cracks the unprotected configuration, so the "
+                "hardened results are not evidence of protection")
+
+
+def run_gate(baseline_path: str, current_path: str, slack: float,
+             naive_floor: float) -> int:
+    baseline = load_configs(baseline_path)
+    current = load_configs(current_path)
+
+    failures: List[str] = []
+    saw_naive = False
+    for name, base_config in sorted(baseline.items()):
+        cur_config = current.get(name)
+        if cur_config is None:
+            failures.append(f"config '{name}' missing from {current_path}")
+            continue
+        saw_naive = saw_naive or base_config.get("merge") == "naive"
+        check_config(name, base_config, cur_config, slack, naive_floor,
+                     failures)
+    if not saw_naive:
+        failures.append(
+            "baseline has no naive config — the gate cannot verify the "
+            "attack has teeth")
+
+    if failures:
+        print("\nPRIVACY GATE FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nprivacy check passed")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test against the fixtures in tools/testdata/check_privacy/.
+# ---------------------------------------------------------------------------
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "testdata" / \
+    "check_privacy"
+
+
+def self_test() -> int:
+    """Pins the gate's verdict on each fixture; exits 1 on any mismatch."""
+    expectations = {
+        "good.json": 0,        # identical to baseline: passes
+        "regressed.json": 1,   # hardened amp above baseline+slack
+        "toothless.json": 1,   # naive amp below the sanity floor
+    }
+    bad = []
+    baseline = str(FIXTURES / "baseline.json")
+    for fixture, want in expectations.items():
+        got = run_gate(baseline, str(FIXTURES / fixture), DEFAULT_SLACK,
+                       DEFAULT_NAIVE_FLOOR)
+        if got != want:
+            bad.append(f"{fixture}: expected exit {want}, got {got}")
+    if bad:
+        print("\ncheck_privacy SELF-TEST FAILED:", file=sys.stderr)
+        for b in bad:
+            print(f"  - {b}", file=sys.stderr)
+        return 1
+    print(f"\ncheck_privacy self-test passed ({len(expectations)} fixtures)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("current", nargs="?")
+    parser.add_argument("--slack", type=float, default=DEFAULT_SLACK)
+    parser.add_argument("--naive-floor", type=float,
+                        default=DEFAULT_NAIVE_FLOOR)
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.error("BASELINE and CURRENT are required without --self-test")
+    return run_gate(args.baseline, args.current, args.slack, args.naive_floor)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/check_privacy.py (stdlib unittest only).
+
+Pins the gate against the fixtures in tools/testdata/check_privacy/ — a
+report identical-shaped to its baseline that must pass, a hardened-config
+regression that must fail with the regression message, and a report whose
+naive config lost its teeth that must fail the sanity direction — plus the
+production invariant that the committed BENCH_privacy.json gates clean
+against itself and actually contains a toothy naive config.
+
+Usage:
+    python3 tools/check_privacy_test.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import unittest
+from typing import List
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import check_privacy  # noqa: E402  (path set up above)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+FIXTURES = REPO_ROOT / "tools" / "testdata" / "check_privacy"
+
+
+def gate(current: str, slack: float = check_privacy.DEFAULT_SLACK,
+         floor: float = check_privacy.DEFAULT_NAIVE_FLOOR) -> int:
+    return check_privacy.run_gate(str(FIXTURES / "baseline.json"),
+                                  str(FIXTURES / current), slack, floor)
+
+
+def failures_for(current: str) -> List[str]:
+    baseline = check_privacy.load_configs(str(FIXTURES / "baseline.json"))
+    cur = check_privacy.load_configs(str(FIXTURES / current))
+    failures: List[str] = []
+    for name, base_config in sorted(baseline.items()):
+        check_privacy.check_config(name, base_config, cur[name],
+                                   check_privacy.DEFAULT_SLACK,
+                                   check_privacy.DEFAULT_NAIVE_FLOOR,
+                                   failures)
+    return failures
+
+
+class FixtureTest(unittest.TestCase):
+    def test_good_report_passes(self) -> None:
+        self.assertEqual(gate("good.json"), 0)
+
+    def test_baseline_passes_against_itself(self) -> None:
+        self.assertEqual(gate("baseline.json"), 0)
+
+    def test_hardened_regression_fails(self) -> None:
+        self.assertEqual(gate("regressed.json"), 1)
+        failures = failures_for("regressed.json")
+        self.assertEqual(len(failures), 1)
+        self.assertIn("tiny-bfm-sigma0.002", failures[0])
+        self.assertIn("rose above baseline", failures[0])
+
+    def test_toothless_attack_fails_sanity(self) -> None:
+        self.assertEqual(gate("toothless.json"), 1)
+        failures = failures_for("toothless.json")
+        self.assertEqual(len(failures), 1)
+        self.assertIn("tiny-naive-sigma0.002", failures[0])
+        self.assertIn("sanity floor", failures[0])
+
+    def test_slack_is_respected(self) -> None:
+        # The regressed hardened amp (2.11 vs baseline 0.59) passes once
+        # the slack is widened past the delta; the gate is the knob, not
+        # a hardcoded constant.
+        self.assertEqual(gate("regressed.json", slack=2.0), 0)
+
+    def test_comparability_drift_fails(self) -> None:
+        baseline = check_privacy.load_configs(
+            str(FIXTURES / "baseline.json"))
+        name = "tiny-bfm-sigma0.002"
+        drifted = dict(baseline[name])
+        drifted["ops"] = 800
+        failures: List[str] = []
+        check_privacy.check_config(name, baseline[name], drifted,
+                                   check_privacy.DEFAULT_SLACK,
+                                   check_privacy.DEFAULT_NAIVE_FLOOR,
+                                   failures)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("not comparable", failures[0])
+
+    def test_empty_observation_fails(self) -> None:
+        baseline = check_privacy.load_configs(
+            str(FIXTURES / "baseline.json"))
+        name = "tiny-naive-sigma0.002"
+        blind = json.loads(json.dumps(baseline[name]))
+        blind["observed"]["queries"] = 0
+        failures: List[str] = []
+        check_privacy.check_config(name, baseline[name], blind,
+                                   check_privacy.DEFAULT_SLACK,
+                                   check_privacy.DEFAULT_NAIVE_FLOOR,
+                                   failures)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("observed no query traffic", failures[0])
+
+
+class SelfTestEntryPointTest(unittest.TestCase):
+    def test_self_test_passes(self) -> None:
+        self.assertEqual(check_privacy.self_test(), 0)
+
+
+class CommittedBaselineTest(unittest.TestCase):
+    def test_committed_report_gates_clean_against_itself(self) -> None:
+        committed = REPO_ROOT / "BENCH_privacy.json"
+        self.assertTrue(committed.exists(),
+                        "BENCH_privacy.json must be committed at the repo "
+                        "root (regenerate with `loadgen --attack`)")
+        self.assertEqual(
+            check_privacy.run_gate(str(committed), str(committed),
+                                   check_privacy.DEFAULT_SLACK,
+                                   check_privacy.DEFAULT_NAIVE_FLOOR), 0,
+            "the committed privacy baseline must pass its own gate: every "
+            "naive config toothy, every hardened config within slack")
+
+
+if __name__ == "__main__":
+    unittest.main()
